@@ -1,0 +1,119 @@
+//! Dynamic Time Warping with a Sakoe–Chiba band.
+
+/// Unconstrained DTW distance (full band).
+pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
+    dtw_distance_banded(a, b, a.len().max(b.len()))
+}
+
+/// DTW distance constrained to a Sakoe–Chiba band of half-width `band`
+/// (in samples). `band == 0` degenerates to Euclidean alignment along the
+/// diagonal; a band at least `|a.len() - b.len()|` is required for a
+/// finite distance on unequal lengths, and the function widens the band to
+/// that minimum automatically.
+///
+/// Runs in O(n·band) time and O(n) space (two rolling rows).
+pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return if a.len() == b.len() { 0.0 } else { f64::INFINITY };
+    }
+    let n = a.len();
+    let m = b.len();
+    let band = band.max(n.abs_diff(m));
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; m + 1];
+    let mut curr = vec![inf; m + 1];
+    prev[0] = 0.0;
+    for i in 1..=n {
+        curr.fill(inf);
+        let lo = i.saturating_sub(band).max(1);
+        let hi = (i + band).min(m);
+        if lo > hi {
+            return inf;
+        }
+        for j in lo..=hi {
+            let d = a[i - 1] - b[j - 1];
+            let cost = d * d;
+            let best = prev[j].min(curr[j - 1]).min(prev[j - 1]);
+            curr[j] = cost + best;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m].sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_series_have_zero_distance() {
+        let a = [1.0, 2.0, 3.0, 2.0, 1.0];
+        assert_eq!(dtw_distance(&a, &a), 0.0);
+        assert_eq!(dtw_distance_banded(&a, &a, 1), 0.0);
+    }
+
+    #[test]
+    fn shifted_series_warp_to_near_zero() {
+        // The same bump shifted by 2: Euclidean is large, DTW small.
+        let a: Vec<f64> = (0..32)
+            .map(|i| (-((i as f64 - 10.0) / 2.0).powi(2) / 2.0).exp())
+            .collect();
+        let b: Vec<f64> = (0..32)
+            .map(|i| (-((i as f64 - 12.0) / 2.0).powi(2) / 2.0).exp())
+            .collect();
+        let eu = rpm_ts::euclidean(&a, &b);
+        let dt = dtw_distance(&a, &b);
+        assert!(dt < eu * 0.5, "dtw {dt} vs euclidean {eu}");
+    }
+
+    #[test]
+    fn zero_band_equals_euclidean_on_equal_lengths() {
+        let a = [0.0, 1.0, 4.0, 2.0];
+        let b = [1.0, 1.5, 3.0, 0.0];
+        let d0 = dtw_distance_banded(&a, &b, 0);
+        assert!((d0 - rpm_ts::euclidean(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_band_never_increases_distance() {
+        let a: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7 + 1.0).sin()).collect();
+        let mut last = f64::INFINITY;
+        for band in [0usize, 1, 2, 5, 10, 20] {
+            let d = dtw_distance_banded(&a, &b, band);
+            assert!(d <= last + 1e-12, "band {band}: {d} > {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn unequal_lengths_are_supported() {
+        let a = [0.0, 1.0, 2.0, 3.0];
+        let b = [0.0, 1.0, 1.0, 2.0, 3.0];
+        let d = dtw_distance(&a, &b);
+        assert!(d.is_finite());
+        assert!(d < 1e-9, "b is a warped copy of a: {d}");
+        // Tiny band still auto-widens to |n-m|.
+        assert!(dtw_distance_banded(&a, &b, 0).is_finite());
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let b = [2.0, 7.0, 1.0, 8.0, 2.0];
+        assert!((dtw_distance(&a, &b) - dtw_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtw_lower_bounds_euclidean() {
+        let a = [0.5, 2.0, -1.0, 0.0, 3.0];
+        let b = [1.0, 1.0, 0.0, -2.0, 2.0];
+        assert!(dtw_distance(&a, &b) <= rpm_ts::euclidean(&a, &b) + 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(dtw_distance(&[], &[]), 0.0);
+        assert_eq!(dtw_distance(&[], &[1.0]), f64::INFINITY);
+    }
+}

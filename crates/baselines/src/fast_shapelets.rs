@@ -1,0 +1,433 @@
+//! Fast Shapelets (Rakthanmanon & Keogh, SDM 2013).
+//!
+//! The decision-tree shapelet classifier the paper benchmarks against for
+//! speed. At each tree node the exhaustive shapelet scan is replaced by a
+//! SAX sketch: every candidate subsequence becomes a SAX word, random
+//! masking projections hash similar words into shared buckets, per-class
+//! collision statistics score each word's distinguishing power, and only
+//! the top-k words are mapped back to raw subsequences and evaluated
+//! exactly with information gain.
+
+use crate::Classifier;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rpm_sax::{sax_word, SaxConfig, SaxWord};
+use rpm_ts::{best_match, Dataset, Label};
+use std::collections::HashMap;
+
+/// Hyper-parameters for [`FastShapelets`].
+#[derive(Clone, Debug)]
+pub struct FastShapeletsParams {
+    /// Candidate shapelet lengths as fractions of the series length.
+    pub length_fractions: Vec<f64>,
+    /// SAX word length for the sketch.
+    pub sax_paa: usize,
+    /// SAX alphabet for the sketch.
+    pub sax_alpha: usize,
+    /// Number of random masking rounds.
+    pub n_projections: usize,
+    /// Symbols masked per round.
+    pub mask_size: usize,
+    /// Words promoted to exact evaluation per length.
+    pub top_k: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum node size to keep splitting.
+    pub min_split: usize,
+    /// RNG seed for the projections.
+    pub seed: u64,
+}
+
+impl Default for FastShapeletsParams {
+    fn default() -> Self {
+        Self {
+            length_fractions: vec![0.1, 0.2, 0.35, 0.5],
+            sax_paa: 8,
+            sax_alpha: 4,
+            n_projections: 8,
+            mask_size: 3,
+            top_k: 8,
+            max_depth: 8,
+            min_split: 4,
+            seed: 0xFA57,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf(Label),
+    Split {
+        shapelet: Vec<f64>,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// Trained Fast Shapelets decision tree.
+#[derive(Clone, Debug)]
+pub struct FastShapelets {
+    root: Node,
+}
+
+fn entropy(labels: &[Label]) -> f64 {
+    let mut counts: HashMap<Label, usize> = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let n = labels.len() as f64;
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+fn majority(labels: &[Label]) -> Label {
+    let mut counts: HashMap<Label, usize> = HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(l, c)| (c, usize::MAX - l)) // deterministic tie-break
+        .map(|(l, _)| l)
+        .expect("non-empty labels")
+}
+
+/// One candidate word with its source location.
+struct WordCandidate {
+    word: SaxWord,
+    series_idx: usize,
+    offset: usize,
+    length: usize,
+}
+
+impl FastShapelets {
+    /// Trains the shapelet tree.
+    ///
+    /// # Panics
+    /// Panics on an empty training set.
+    pub fn train(data: &Dataset, params: &FastShapeletsParams) -> Self {
+        assert!(!data.is_empty(), "Fast Shapelets needs training data");
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = build_node(data, &indices, params, 0, &mut rng);
+        Self { root }
+    }
+
+    /// Depth of the learned tree (leaves have depth 1).
+    pub fn depth(&self) -> usize {
+        fn d(n: &Node) -> usize {
+            match n {
+                Node::Leaf(_) => 1,
+                Node::Split { left, right, .. } => 1 + d(left).max(d(right)),
+            }
+        }
+        d(&self.root)
+    }
+}
+
+fn build_node(
+    data: &Dataset,
+    indices: &[usize],
+    params: &FastShapeletsParams,
+    depth: usize,
+    rng: &mut StdRng,
+) -> Node {
+    let labels: Vec<Label> = indices.iter().map(|&i| data.labels[i]).collect();
+    let base_entropy = entropy(&labels);
+    if base_entropy == 0.0 || depth >= params.max_depth || indices.len() < params.min_split {
+        return Node::Leaf(majority(&labels));
+    }
+
+    // --- Sketch: collect candidate words per length, score by projection.
+    let min_len = indices.iter().map(|&i| data.series[i].len()).min().unwrap();
+    let mut best: Option<(f64, f64, Vec<f64>, f64)> = None; // (gain, gap, shapelet, threshold)
+
+    for &frac in &params.length_fractions {
+        let len = ((min_len as f64) * frac).round() as usize;
+        if len < 4 || len > min_len {
+            continue;
+        }
+        let sax = SaxConfig::new(len, params.sax_paa.min(len), params.sax_alpha);
+        // Distinct words per series (presence semantics).
+        let mut candidates: Vec<WordCandidate> = Vec::new();
+        let mut per_series_words: Vec<Vec<usize>> = Vec::new(); // candidate idx per series
+        for (si, &i) in indices.iter().enumerate() {
+            let series = &data.series[i];
+            let mut seen: HashMap<SaxWord, usize> = HashMap::new();
+            for (off, w) in rpm_ts::sliding_windows(series, len) {
+                let word = sax_word(w, &sax);
+                if !seen.contains_key(&word) {
+                    seen.insert(word.clone(), candidates.len());
+                    candidates.push(WordCandidate {
+                        word,
+                        series_idx: i,
+                        offset: off,
+                        length: len,
+                    });
+                }
+            }
+            let _ = si;
+            per_series_words.push(seen.into_values().collect());
+        }
+        if candidates.is_empty() {
+            continue;
+        }
+
+        // Class frequencies per class label present at this node.
+        let mut class_sizes: HashMap<Label, f64> = HashMap::new();
+        for &l in &labels {
+            *class_sizes.entry(l).or_insert(0.0) += 1.0;
+        }
+
+        // Projection rounds: bucket words by masked signature; every word
+        // in a bucket credits every series owning any bucket member.
+        let word_len = candidates[0].word.len();
+        let mask_size = params.mask_size.min(word_len.saturating_sub(1));
+        let mut scores = vec![0.0f64; candidates.len()];
+        for _round in 0..params.n_projections {
+            let mut positions: Vec<usize> = (0..word_len).collect();
+            positions.shuffle(rng);
+            let masked: Vec<usize> = positions[..mask_size].to_vec();
+            // signature -> per-class set of series (counted via per-series
+            // distinct candidates).
+            let mut buckets: HashMap<Vec<u8>, HashMap<Label, f64>> = HashMap::new();
+            for (series_pos, words) in per_series_words.iter().enumerate() {
+                let label = labels[series_pos];
+                let mut sigs_seen: HashMap<Vec<u8>, ()> = HashMap::new();
+                for &ci in words {
+                    let mut sig = candidates[ci].word.symbols().to_vec();
+                    for &m in &masked {
+                        sig[m] = u8::MAX;
+                    }
+                    sigs_seen.entry(sig).or_insert(());
+                }
+                for (sig, ()) in sigs_seen {
+                    *buckets.entry(sig).or_default().entry(label).or_insert(0.0) += 1.0;
+                }
+            }
+            // Score each candidate by its bucket's class contrast.
+            for (ci, cand) in candidates.iter().enumerate() {
+                let mut sig = cand.word.symbols().to_vec();
+                for &m in &masked {
+                    sig[m] = u8::MAX;
+                }
+                if let Some(by_class) = buckets.get(&sig) {
+                    let mut hi: f64 = 0.0;
+                    let mut lo: f64 = 1.0;
+                    for (&l, &size) in &class_sizes {
+                        let f = by_class.get(&l).copied().unwrap_or(0.0) / size;
+                        hi = hi.max(f);
+                        lo = lo.min(f);
+                    }
+                    scores[ci] += hi - lo;
+                }
+            }
+        }
+
+        // Promote the top-k words to exact evaluation.
+        let mut order: Vec<usize> = (0..candidates.len()).collect();
+        order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        for &ci in order.iter().take(params.top_k) {
+            let cand = &candidates[ci];
+            let series = &data.series[cand.series_idx];
+            let shapelet = series[cand.offset..cand.offset + cand.length].to_vec();
+            // Exact distances to every node member.
+            let dists: Vec<f64> = indices
+                .iter()
+                .map(|&i| {
+                    best_match(&shapelet, &data.series[i], true)
+                        .map_or(f64::INFINITY, |m| m.distance)
+                })
+                .collect();
+            if let Some((gain, gap, threshold)) = best_split(&dists, &labels, base_entropy) {
+                let better = match &best {
+                    None => true,
+                    Some((bg, bgap, _, _)) => {
+                        gain > *bg + 1e-12 || (gain > *bg - 1e-12 && gap > *bgap)
+                    }
+                };
+                if better {
+                    best = Some((gain, gap, shapelet, threshold));
+                }
+            }
+        }
+    }
+
+    let Some((gain, _gap, shapelet, threshold)) = best else {
+        return Node::Leaf(majority(&labels));
+    };
+    if gain <= 1e-9 {
+        return Node::Leaf(majority(&labels));
+    }
+
+    // Partition and recurse.
+    let mut left_idx = Vec::new();
+    let mut right_idx = Vec::new();
+    for &i in indices {
+        let d = best_match(&shapelet, &data.series[i], true)
+            .map_or(f64::INFINITY, |m| m.distance);
+        if d <= threshold {
+            left_idx.push(i);
+        } else {
+            right_idx.push(i);
+        }
+    }
+    if left_idx.is_empty() || right_idx.is_empty() {
+        return Node::Leaf(majority(&labels));
+    }
+    Node::Split {
+        shapelet,
+        threshold,
+        left: Box::new(build_node(data, &left_idx, params, depth + 1, rng)),
+        right: Box::new(build_node(data, &right_idx, params, depth + 1, rng)),
+    }
+}
+
+/// Finds the threshold maximizing information gain over the sorted
+/// distances; returns `(gain, separation gap, threshold)`.
+fn best_split(dists: &[f64], labels: &[Label], base_entropy: f64) -> Option<(f64, f64, f64)> {
+    let mut order: Vec<usize> = (0..dists.len()).collect();
+    order.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
+    let n = dists.len() as f64;
+    let mut best: Option<(f64, f64, f64)> = None;
+    for w in 1..order.len() {
+        let lo = dists[order[w - 1]];
+        let hi = dists[order[w]];
+        if hi <= lo {
+            continue;
+        }
+        let threshold = (lo + hi) / 2.0;
+        let left: Vec<Label> = order[..w].iter().map(|&i| labels[i]).collect();
+        let right: Vec<Label> = order[w..].iter().map(|&i| labels[i]).collect();
+        let gain = base_entropy
+            - (left.len() as f64 / n) * entropy(&left)
+            - (right.len() as f64 / n) * entropy(&right);
+        let gap = hi - lo;
+        let better = match best {
+            None => true,
+            Some((bg, bgap, _)) => gain > bg + 1e-12 || (gain > bg - 1e-12 && gap > bgap),
+        };
+        if better {
+            best = Some((gain, gap, threshold));
+        }
+    }
+    best
+}
+
+impl Classifier for FastShapelets {
+    fn predict(&self, series: &[f64]) -> Label {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf(l) => return *l,
+                Node::Split { shapelet, threshold, left, right } => {
+                    let d = best_match(shapelet, series, true)
+                        .map_or(f64::INFINITY, |m| m.distance);
+                    node = if d <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    fn planted(n_per_class: usize, len: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new("fs", Vec::new(), Vec::new());
+        for class in 0..2usize {
+            for _ in 0..n_per_class {
+                let mut s: Vec<f64> =
+                    (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let motif = len / 5;
+                let at = rng.gen_range(0..len - motif);
+                for i in 0..motif {
+                    let t = std::f64::consts::TAU * i as f64 / motif as f64;
+                    s[at + i] += 2.5 * if class == 0 { t.sin() } else { -t.sin() };
+                }
+                d.push(s, class);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_planted_motifs() {
+        let train = planted(12, 100, 1);
+        let test = planted(10, 100, 2);
+        let m = FastShapelets::train(&train, &FastShapeletsParams::default());
+        let preds = m.predict_batch(&test.series);
+        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        assert!(errs <= 5, "{errs} errors of {}", preds.len());
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let mut d = Dataset::new("pure", Vec::new(), Vec::new());
+        for _ in 0..6 {
+            d.push((0..40).map(|i| (i as f64 * 0.3).sin()).collect(), 3);
+        }
+        d.push((0..40).map(|i| (i as f64 * 0.9).cos()).collect(), 5);
+        let m = FastShapelets::train(&d, &FastShapeletsParams::default());
+        // Whatever the structure, predictions must come from {3, 5}.
+        let p = m.predict(&d.series[0]);
+        assert!(p == 3 || p == 5);
+    }
+
+    #[test]
+    fn depth_respects_cap() {
+        let train = planted(15, 80, 3);
+        let params = FastShapeletsParams { max_depth: 2, ..Default::default() };
+        let m = FastShapelets::train(&train, &params);
+        assert!(m.depth() <= 3, "depth {}", m.depth());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let train = planted(10, 80, 4);
+        let test = planted(6, 80, 5);
+        let p = FastShapeletsParams::default();
+        let m1 = FastShapelets::train(&train, &p);
+        let m2 = FastShapelets::train(&train, &p);
+        assert_eq!(m1.predict_batch(&test.series), m2.predict_batch(&test.series));
+    }
+
+    #[test]
+    fn entropy_and_majority_helpers() {
+        assert_eq!(entropy(&[1, 1, 1]), 0.0);
+        assert!((entropy(&[0, 1]) - 1.0).abs() < 1e-12);
+        assert_eq!(majority(&[2, 2, 7]), 2);
+    }
+
+    #[test]
+    fn best_split_finds_the_clean_cut() {
+        let dists = [0.1, 0.2, 0.3, 5.0, 5.1, 5.2];
+        let labels = [0, 0, 0, 1, 1, 1];
+        let (gain, _gap, th) = best_split(&dists, &labels, entropy(&labels)).unwrap();
+        assert!((gain - 1.0).abs() < 1e-9, "gain {gain}");
+        assert!(th > 0.3 && th < 5.0);
+    }
+
+    #[test]
+    fn best_split_handles_constant_distances() {
+        let dists = [1.0, 1.0, 1.0];
+        let labels = [0, 1, 0];
+        assert!(best_split(&dists, &labels, entropy(&labels)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs training data")]
+    fn empty_training_panics() {
+        FastShapelets::train(&Dataset::default(), &FastShapeletsParams::default());
+    }
+}

@@ -1,0 +1,48 @@
+//! # rpm-baselines — the five comparison classifiers of §5.1
+//!
+//! Everything the paper compares RPM against, implemented from scratch on
+//! the same substrates so the runtime comparison (Table 2) is apples to
+//! apples:
+//!
+//! * [`nn::OneNnEuclidean`] — 1-NN with Euclidean distance (NN-ED),
+//! * [`nn::OneNnDtw`] — 1-NN with DTW and the best warping window
+//!   selected by leave-one-out cross-validation (NN-DTWB),
+//! * [`saxvsm::SaxVsm`] — SAX bag-of-words with tf-idf class vectors and
+//!   cosine-similarity classification (Senin & Malinchik, 2013),
+//! * [`fast_shapelets::FastShapelets`] — the SAX random-projection
+//!   shapelet decision tree (Rakthanmanon & Keogh, 2013),
+//! * [`learning_shapelets::LearningShapelets`] — jointly learned shapelets
+//!   + logistic model via soft-minimum distances (Grabocka et al., 2014),
+//! * [`shapelet_transform::ShapeletTransform`] — best-K shapelets +
+//!   distance transform + SVM (Lines et al., 2012; §2.2's closest
+//!   structural relative of RPM).
+//!
+//! All classifiers implement [`Classifier`] so the benchmark harness can
+//! drive them uniformly.
+
+pub mod dtw;
+pub mod fast_shapelets;
+pub mod learning_shapelets;
+pub mod nn;
+pub mod saxvsm;
+pub mod shapelet_transform;
+
+use rpm_ts::Label;
+
+/// Uniform prediction interface for the benchmark harness.
+pub trait Classifier {
+    /// Predicts the class label of one series.
+    fn predict(&self, series: &[f64]) -> Label;
+
+    /// Predicts a batch.
+    fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
+        series.iter().map(|s| self.predict(s)).collect()
+    }
+}
+
+pub use dtw::{dtw_distance, dtw_distance_banded};
+pub use fast_shapelets::{FastShapelets, FastShapeletsParams};
+pub use learning_shapelets::{LearningShapelets, LearningShapeletsParams};
+pub use nn::{OneNnDtw, OneNnEuclidean};
+pub use saxvsm::{SaxVsm, SaxVsmParams};
+pub use shapelet_transform::{Shapelet, ShapeletTransform, ShapeletTransformParams};

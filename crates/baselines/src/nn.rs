@@ -1,0 +1,195 @@
+//! Nearest-neighbor classifiers: NN-ED and NN-DTW with the best warping
+//! window (§5.1's two global-distance baselines).
+
+use crate::dtw::dtw_distance_banded;
+use crate::Classifier;
+use rpm_ts::{sq_euclidean_early_abandon, znorm, Dataset, Label};
+
+/// 1-NN with Euclidean distance over z-normalized series.
+#[derive(Clone, Debug)]
+pub struct OneNnEuclidean {
+    train: Vec<Vec<f64>>,
+    labels: Vec<Label>,
+}
+
+impl OneNnEuclidean {
+    /// Stores the (z-normalized) training set.
+    ///
+    /// # Panics
+    /// Panics on an empty training set.
+    pub fn train(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "1-NN needs training data");
+        Self {
+            train: data.series.iter().map(|s| znorm(s)).collect(),
+            labels: data.labels.clone(),
+        }
+    }
+}
+
+impl Classifier for OneNnEuclidean {
+    fn predict(&self, series: &[f64]) -> Label {
+        let q = znorm(series);
+        let mut best = (0usize, f64::INFINITY);
+        for (i, t) in self.train.iter().enumerate() {
+            if t.len() != q.len() {
+                continue;
+            }
+            if let Some(d) = sq_euclidean_early_abandon(&q, t, best.1) {
+                if d < best.1 {
+                    best = (i, d);
+                }
+            }
+        }
+        self.labels[best.0]
+    }
+}
+
+/// 1-NN with DTW constrained to the best Sakoe–Chiba band, selected by
+/// leave-one-out cross-validation on the training set over a grid of
+/// window fractions (the standard NN-DTWB protocol).
+#[derive(Clone, Debug)]
+pub struct OneNnDtw {
+    train: Vec<Vec<f64>>,
+    labels: Vec<Label>,
+    band: usize,
+}
+
+impl OneNnDtw {
+    /// Window fractions examined by LOOCV (0%..10% of the series length,
+    /// the range in which UCR best-windows almost always fall).
+    pub const WINDOW_FRACTIONS: [f64; 6] = [0.0, 0.01, 0.02, 0.04, 0.06, 0.10];
+
+    /// Trains by selecting the best warping window via LOOCV.
+    ///
+    /// # Panics
+    /// Panics on an empty training set.
+    pub fn train(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "1-NN needs training data");
+        let train: Vec<Vec<f64>> = data.series.iter().map(|s| znorm(s)).collect();
+        let labels = data.labels.clone();
+        let m = data.max_len();
+
+        let mut best_band = 0usize;
+        let mut best_correct = 0usize;
+        for &frac in &Self::WINDOW_FRACTIONS {
+            let band = ((m as f64) * frac).round() as usize;
+            let mut correct = 0usize;
+            for i in 0..train.len() {
+                let mut nearest = (usize::MAX, f64::INFINITY);
+                for j in 0..train.len() {
+                    if i == j {
+                        continue;
+                    }
+                    let d = dtw_distance_banded(&train[i], &train[j], band);
+                    if d < nearest.1 {
+                        nearest = (j, d);
+                    }
+                }
+                if nearest.0 != usize::MAX && labels[nearest.0] == labels[i] {
+                    correct += 1;
+                }
+            }
+            if correct > best_correct {
+                best_correct = correct;
+                best_band = band;
+            }
+        }
+        Self { train, labels, band: best_band }
+    }
+
+    /// The selected Sakoe–Chiba half-width (samples).
+    pub fn band(&self) -> usize {
+        self.band
+    }
+}
+
+impl Classifier for OneNnDtw {
+    fn predict(&self, series: &[f64]) -> Label {
+        let q = znorm(series);
+        let mut best = (0usize, f64::INFINITY);
+        for (i, t) in self.train.iter().enumerate() {
+            let d = dtw_distance_banded(&q, t, self.band);
+            if d < best.1 {
+                best = (i, d);
+            }
+        }
+        self.labels[best.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Class 0: one bump; class 1: two bumps (positions jittered).
+    fn bumps_dataset(n_per_class: usize, len: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new("bumps", Vec::new(), Vec::new());
+        for class in 0..2usize {
+            for _ in 0..n_per_class {
+                let mut s = vec![0.0; len];
+                let jitter = rng.gen_range(0..6);
+                let centers: &[usize] = if class == 0 { &[20] } else { &[15, 40] };
+                for &c in centers {
+                    let c = c + jitter;
+                    for (i, v) in s.iter_mut().enumerate() {
+                        let x = (i as f64 - c as f64) / 3.0;
+                        *v += (-0.5 * x * x).exp();
+                    }
+                }
+                for v in s.iter_mut() {
+                    *v += 0.05 * (rng.gen::<f64>() - 0.5);
+                }
+                d.push(s, class);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn euclidean_nn_classifies_clean_shapes() {
+        let train = bumps_dataset(10, 64, 1);
+        let test = bumps_dataset(8, 64, 2);
+        let m = OneNnEuclidean::train(&train);
+        let preds = m.predict_batch(&test.series);
+        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        assert!(errs <= 3, "{errs} errors of {}", preds.len());
+    }
+
+    #[test]
+    fn dtw_nn_handles_jitter_better_than_zero_band() {
+        let train = bumps_dataset(10, 64, 3);
+        let m = OneNnDtw::train(&train);
+        // The LOOCV may pick any band, but prediction must be sane.
+        let test = bumps_dataset(8, 64, 4);
+        let preds = m.predict_batch(&test.series);
+        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        assert!(errs <= 2, "{errs} errors");
+    }
+
+    #[test]
+    fn band_is_within_the_searched_range() {
+        let train = bumps_dataset(6, 64, 5);
+        let m = OneNnDtw::train(&train);
+        assert!(m.band() <= (64.0f64 * 0.10).round() as usize);
+    }
+
+    #[test]
+    fn single_training_example_per_class_works() {
+        let mut d = Dataset::new("tiny", Vec::new(), Vec::new());
+        d.push((0..32).map(|i| (i as f64 * 0.3).sin()).collect(), 0);
+        d.push((0..32).map(|i| (i as f64 * 0.3).cos()).collect(), 1);
+        let m = OneNnEuclidean::train(&d);
+        assert_eq!(m.predict(&d.series[0]), 0);
+        assert_eq!(m.predict(&d.series[1]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs training data")]
+    fn empty_training_panics() {
+        OneNnEuclidean::train(&Dataset::default());
+    }
+}

@@ -1,0 +1,322 @@
+//! The Shapelet Transform (Lines, Davis, Hills & Bagnall, KDD 2012).
+//!
+//! §2.2 of the RPM paper positions this as the closest structural relative
+//! of RPM among shapelet methods: find the best K shapelets once, convert
+//! every series into its vector of distances to them, and hand the vector
+//! to any conventional classifier. The difference RPM stresses is the
+//! *candidate source* — the Shapelet Transform still scores sliding-window
+//! candidates exhaustively per length, where RPM gets its candidates from
+//! grammar induction for free.
+//!
+//! This implementation follows the published algorithm with a stride-
+//! subsampled candidate pool (a standard speedup that preserves the
+//! method's character), information-gain quality, self-similarity pruning,
+//! and a linear SVM on the transformed features.
+
+use crate::Classifier;
+use rpm_ml::{LinearSvm, SvmParams};
+use rpm_ts::{best_match, Dataset, Label};
+use std::collections::HashMap;
+
+/// Hyper-parameters for [`ShapeletTransform`].
+#[derive(Clone, Debug)]
+pub struct ShapeletTransformParams {
+    /// Candidate lengths as fractions of the series length.
+    pub length_fractions: Vec<f64>,
+    /// Number of shapelets kept for the transform.
+    pub k: usize,
+    /// Candidate start-position stride (1 = every position; larger values
+    /// subsample the pool).
+    pub stride: usize,
+    /// Candidates whose source intervals overlap by more than this
+    /// fraction are considered self-similar and pruned.
+    pub overlap_fraction: f64,
+    /// SVM hyper-parameters for the classifier on the transform.
+    pub svm: SvmParams,
+}
+
+impl Default for ShapeletTransformParams {
+    fn default() -> Self {
+        Self {
+            length_fractions: vec![0.1, 0.2, 0.35],
+            k: 12,
+            stride: 4,
+            overlap_fraction: 0.5,
+            svm: SvmParams::default(),
+        }
+    }
+}
+
+/// One retained shapelet with its provenance and quality.
+#[derive(Clone, Debug)]
+pub struct Shapelet {
+    /// Raw values (taken from a training series).
+    pub values: Vec<f64>,
+    /// Source training series index.
+    pub source: usize,
+    /// Source start offset.
+    pub offset: usize,
+    /// Information gain of its best split on the training distances.
+    pub quality: f64,
+}
+
+/// Trained Shapelet Transform classifier.
+#[derive(Clone, Debug)]
+pub struct ShapeletTransform {
+    shapelets: Vec<Shapelet>,
+    svm: LinearSvm,
+}
+
+fn entropy(counts: &HashMap<Label, usize>, total: usize) -> f64 {
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Information gain of the best threshold over `dists`.
+fn best_gain(dists: &[f64], labels: &[Label]) -> f64 {
+    let mut order: Vec<usize> = (0..dists.len()).collect();
+    order.sort_by(|&a, &b| dists[a].total_cmp(&dists[b]));
+    let n = dists.len();
+    let mut all: HashMap<Label, usize> = HashMap::new();
+    for &l in labels {
+        *all.entry(l).or_insert(0) += 1;
+    }
+    let base = entropy(&all, n);
+    let mut left: HashMap<Label, usize> = HashMap::new();
+    let mut right = all;
+    let mut best = 0.0f64;
+    for w in 1..n {
+        let moved = labels[order[w - 1]];
+        *left.entry(moved).or_insert(0) += 1;
+        if let Some(c) = right.get_mut(&moved) {
+            *c -= 1;
+            if *c == 0 {
+                right.remove(&moved);
+            }
+        }
+        if dists[order[w]] <= dists[order[w - 1]] {
+            continue; // no threshold separates equal distances
+        }
+        let gain = base
+            - (w as f64 / n as f64) * entropy(&left, w)
+            - ((n - w) as f64 / n as f64) * entropy(&right, n - w);
+        best = best.max(gain);
+    }
+    best
+}
+
+impl ShapeletTransform {
+    /// Finds the best-K shapelets and trains the SVM on the transform.
+    ///
+    /// # Panics
+    /// Panics on an empty training set or fewer than two classes.
+    pub fn train(data: &Dataset, params: &ShapeletTransformParams) -> Self {
+        assert!(!data.is_empty(), "Shapelet Transform needs training data");
+        assert!(data.n_classes() >= 2, "Shapelet Transform needs two classes");
+        let min_len = data.min_len();
+        let stride = params.stride.max(1);
+
+        // --- Score every (subsampled) candidate.
+        let mut scored: Vec<Shapelet> = Vec::new();
+        for &frac in &params.length_fractions {
+            let len = ((min_len as f64) * frac).round() as usize;
+            if len < 4 || len > min_len {
+                continue;
+            }
+            for (si, series) in data.series.iter().enumerate() {
+                let mut offset = 0;
+                while offset + len <= series.len() {
+                    let candidate = &series[offset..offset + len];
+                    let dists: Vec<f64> = data
+                        .series
+                        .iter()
+                        .map(|t| {
+                            best_match(candidate, t, true)
+                                .map_or(f64::INFINITY, |m| m.distance)
+                        })
+                        .collect();
+                    let quality = best_gain(&dists, &data.labels);
+                    scored.push(Shapelet {
+                        values: candidate.to_vec(),
+                        source: si,
+                        offset,
+                        quality,
+                    });
+                    offset += stride;
+                }
+            }
+        }
+        assert!(!scored.is_empty(), "series too short for any candidate length");
+
+        // --- Keep the top K with self-similarity pruning: drop candidates
+        //     overlapping an already-kept shapelet from the same series.
+        scored.sort_by(|a, b| b.quality.total_cmp(&a.quality));
+        let mut kept: Vec<Shapelet> = Vec::new();
+        for c in scored {
+            if kept.len() >= params.k {
+                break;
+            }
+            let self_similar = kept.iter().any(|k| {
+                if k.source != c.source {
+                    return false;
+                }
+                let a0 = k.offset;
+                let a1 = k.offset + k.values.len();
+                let b0 = c.offset;
+                let b1 = c.offset + c.values.len();
+                let inter = a1.min(b1).saturating_sub(a0.max(b0));
+                let shorter = k.values.len().min(c.values.len());
+                (inter as f64) > params.overlap_fraction * shorter as f64
+            });
+            if !self_similar {
+                kept.push(c);
+            }
+        }
+
+        // --- Transform + SVM.
+        let rows: Vec<Vec<f64>> = data
+            .series
+            .iter()
+            .map(|s| Self::transform_with(&kept, s))
+            .collect();
+        let svm = LinearSvm::train(&rows, &data.labels, &params.svm);
+        Self { shapelets: kept, svm }
+    }
+
+    fn transform_with(shapelets: &[Shapelet], series: &[f64]) -> Vec<f64> {
+        shapelets
+            .iter()
+            .map(|sh| {
+                best_match(&sh.values, series, true).map_or(f64::INFINITY, |m| m.distance)
+            })
+            .collect()
+    }
+
+    /// The retained shapelets, best quality first.
+    pub fn shapelets(&self) -> &[Shapelet] {
+        &self.shapelets
+    }
+
+    /// The K-dimensional shapelet-distance vector of one series.
+    pub fn transform(&self, series: &[f64]) -> Vec<f64> {
+        Self::transform_with(&self.shapelets, series)
+    }
+}
+
+impl Classifier for ShapeletTransform {
+    fn predict(&self, series: &[f64]) -> Label {
+        self.svm.predict(&self.transform(series))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn planted(n_per_class: usize, len: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new("st", Vec::new(), Vec::new());
+        for class in 0..2usize {
+            for _ in 0..n_per_class {
+                let mut s: Vec<f64> =
+                    (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let motif = len / 5;
+                let at = rng.gen_range(0..len - motif);
+                for i in 0..motif {
+                    let t = std::f64::consts::TAU * i as f64 / motif as f64;
+                    s[at + i] += 2.5 * if class == 0 { t.sin() } else { -t.sin() };
+                }
+                d.push(s, class);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn classifies_planted_motifs() {
+        let train = planted(10, 80, 1);
+        let test = planted(8, 80, 2);
+        let m = ShapeletTransform::train(&train, &ShapeletTransformParams::default());
+        let preds = m.predict_batch(&test.series);
+        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        assert!(errs <= 4, "{errs} errors of {}", preds.len());
+    }
+
+    #[test]
+    fn keeps_at_most_k_shapelets() {
+        let train = planted(8, 80, 2);
+        let params = ShapeletTransformParams { k: 5, ..Default::default() };
+        let m = ShapeletTransform::train(&train, &params);
+        assert!(m.shapelets().len() <= 5);
+        assert!(!m.shapelets().is_empty());
+    }
+
+    #[test]
+    fn shapelets_are_quality_sorted() {
+        let train = planted(8, 80, 3);
+        let m = ShapeletTransform::train(&train, &ShapeletTransformParams::default());
+        for w in m.shapelets().windows(2) {
+            assert!(w[0].quality >= w[1].quality);
+        }
+    }
+
+    #[test]
+    fn self_similarity_pruning_blocks_overlaps() {
+        let train = planted(8, 80, 4);
+        let m = ShapeletTransform::train(&train, &ShapeletTransformParams::default());
+        for (i, a) in m.shapelets().iter().enumerate() {
+            for b in &m.shapelets()[i + 1..] {
+                if a.source == b.source {
+                    let a0 = a.offset;
+                    let a1 = a.offset + a.values.len();
+                    let b0 = b.offset;
+                    let b1 = b.offset + b.values.len();
+                    let inter = a1.min(b1).saturating_sub(a0.max(b0));
+                    let shorter = a.values.len().min(b.values.len());
+                    assert!(
+                        (inter as f64) <= 0.5 * shorter as f64,
+                        "overlapping shapelets kept"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transform_dimension_matches_k() {
+        let train = planted(8, 80, 5);
+        let m = ShapeletTransform::train(&train, &ShapeletTransformParams::default());
+        let f = m.transform(&train.series[0]);
+        assert_eq!(f.len(), m.shapelets().len());
+    }
+
+    #[test]
+    fn best_gain_on_clean_separation_is_full_entropy() {
+        let dists = [0.1, 0.2, 5.0, 6.0];
+        let labels = [0, 0, 1, 1];
+        assert!((best_gain(&dists, &labels) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_gain_on_shuffled_labels_is_lower() {
+        let dists = [0.1, 5.0, 0.2, 6.0];
+        let labels = [0, 0, 1, 1];
+        assert!(best_gain(&dists, &labels) < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs two classes")]
+    fn single_class_panics() {
+        let mut d = Dataset::new("x", Vec::new(), Vec::new());
+        d.push(vec![0.0; 40], 0);
+        ShapeletTransform::train(&d, &ShapeletTransformParams::default());
+    }
+}

@@ -1,0 +1,67 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//! numerosity reduction, early abandoning, and the cluster-representative
+//! choice. Accuracy effects are reported by `repro ablation`; the
+//! criterion side quantifies the *cost* of each switch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rpm_core::{find_candidates_for_class, RpmClassifier, RpmConfig};
+use rpm_sax::SaxConfig;
+
+fn bench_numerosity_reduction(c: &mut Criterion) {
+    let train = rpm_data::cbf::generate(6, 128, 2);
+    let sax = SaxConfig::new(32, 4, 4);
+    let view = train.by_class().into_iter().next().unwrap();
+    let on = RpmConfig::fixed(sax);
+    let off = RpmConfig { numerosity_reduction: false, ..on.clone() };
+
+    let mut g = c.benchmark_group("numerosity_reduction");
+    g.bench_function("on", |b| {
+        b.iter(|| find_candidates_for_class(black_box(&view.members), 0, &sax, &on))
+    });
+    g.bench_function("off", |b| {
+        b.iter(|| find_candidates_for_class(black_box(&view.members), 0, &sax, &off))
+    });
+    g.finish();
+}
+
+fn bench_early_abandon(c: &mut Criterion) {
+    let train = rpm_data::cbf::generate(6, 128, 3);
+    let sax = SaxConfig::new(32, 4, 4);
+    let fast = RpmConfig::fixed(sax);
+    let slow = RpmConfig { early_abandon: false, ..fast.clone() };
+
+    let mut g = c.benchmark_group("early_abandon_training");
+    g.sample_size(10);
+    g.bench_function("on", |b| {
+        b.iter(|| RpmClassifier::train(black_box(&train), &fast).unwrap())
+    });
+    g.bench_function("off", |b| {
+        b.iter(|| RpmClassifier::train(black_box(&train), &slow).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_representative_choice(c: &mut Criterion) {
+    let train = rpm_data::cbf::generate(6, 128, 4);
+    let sax = SaxConfig::new(32, 4, 4);
+    let view = train.by_class().into_iter().next().unwrap();
+    let centroid = RpmConfig::fixed(sax);
+    let medoid = RpmConfig { use_medoid: true, ..centroid.clone() };
+
+    let mut g = c.benchmark_group("cluster_representative");
+    g.bench_function("centroid", |b| {
+        b.iter(|| find_candidates_for_class(black_box(&view.members), 0, &sax, &centroid))
+    });
+    g.bench_function("medoid", |b| {
+        b.iter(|| find_candidates_for_class(black_box(&view.members), 0, &sax, &medoid))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_numerosity_reduction,
+    bench_early_abandon,
+    bench_representative_choice
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the numeric kernels: the closest-match search (with
+//! and without early abandoning — the §5.3 optimization), SAX
+//! discretization, Sequitur induction, and banded DTW.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpm_baselines::dtw_distance_banded;
+use rpm_grammar::infer;
+use rpm_sax::{discretize, SaxConfig};
+use rpm_ts::best_match;
+
+fn synthetic_series(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.max(1);
+    let mut acc = 0.0f64;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            acc += ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            acc
+        })
+        .collect()
+}
+
+fn bench_best_match(c: &mut Criterion) {
+    let series = synthetic_series(2048, 7);
+    let pattern = series[512..576].to_vec();
+    let mut g = c.benchmark_group("best_match");
+    g.bench_function("early_abandon", |b| {
+        b.iter(|| best_match(black_box(&pattern), black_box(&series), true))
+    });
+    g.bench_function("exhaustive", |b| {
+        b.iter(|| best_match(black_box(&pattern), black_box(&series), false))
+    });
+    g.finish();
+}
+
+fn bench_discretize(c: &mut Criterion) {
+    let series = synthetic_series(1024, 11);
+    let cfg = SaxConfig::new(64, 8, 4);
+    let mut g = c.benchmark_group("sax_discretize");
+    g.bench_function("with_numerosity_reduction", |b| {
+        b.iter(|| discretize(black_box(&series), &cfg, true))
+    });
+    g.bench_function("without_numerosity_reduction", |b| {
+        b.iter(|| discretize(black_box(&series), &cfg, false))
+    });
+    g.finish();
+}
+
+fn bench_sequitur(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequitur");
+    for &n in &[256usize, 1024, 4096] {
+        let tokens: Vec<u32> = (0..n).map(|i| ((i * i) % 17) as u32).collect();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &tokens, |b, t| {
+            b.iter(|| infer(black_box(t)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_dtw(c: &mut Criterion) {
+    let a = synthetic_series(256, 3);
+    let b_series = synthetic_series(256, 5);
+    let mut g = c.benchmark_group("dtw_banded");
+    for &band in &[0usize, 8, 32, 256] {
+        g.bench_with_input(BenchmarkId::from_parameter(band), &band, |b, &band| {
+            b.iter(|| dtw_distance_banded(black_box(&a), black_box(&b_series), band))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_best_match,
+    bench_discretize,
+    bench_sequitur,
+    bench_dtw
+);
+criterion_main!(benches);

@@ -1,0 +1,258 @@
+//! Suite evaluation: train/test all six classifiers on generated datasets.
+
+use rpm_baselines::{
+    Classifier, FastShapelets, FastShapeletsParams, LearningShapelets,
+    LearningShapeletsParams, OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams,
+};
+use rpm_core::{ParamSearch, RpmClassifier, RpmConfig};
+use rpm_data::{generate, DatasetSpec};
+use rpm_ml::error_rate;
+use rpm_ts::Dataset;
+use std::time::{Duration, Instant};
+
+/// The six classifiers of Tables 1–2, in the paper's column order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ClassifierKind {
+    /// 1-NN Euclidean.
+    NnEd,
+    /// 1-NN DTW, best warping window.
+    NnDtwB,
+    /// SAX-VSM.
+    SaxVsm,
+    /// Fast Shapelets.
+    Fs,
+    /// Learning Shapelets.
+    Ls,
+    /// Representative Pattern Mining (this paper).
+    Rpm,
+}
+
+impl ClassifierKind {
+    /// All six, in table order.
+    pub const ALL: [ClassifierKind; 6] = [
+        ClassifierKind::NnEd,
+        ClassifierKind::NnDtwB,
+        ClassifierKind::SaxVsm,
+        ClassifierKind::Fs,
+        ClassifierKind::Ls,
+        ClassifierKind::Rpm,
+    ];
+
+    /// Table-header name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClassifierKind::NnEd => "NN-ED",
+            ClassifierKind::NnDtwB => "NN-DTWB",
+            ClassifierKind::SaxVsm => "SAX-VSM",
+            ClassifierKind::Fs => "FS",
+            ClassifierKind::Ls => "LS",
+            ClassifierKind::Rpm => "RPM",
+        }
+    }
+}
+
+/// One classifier's outcome on one dataset.
+#[derive(Clone, Copy, Debug)]
+pub struct MethodOutcome {
+    /// Test error rate.
+    pub error: f64,
+    /// Training + classification wall time (Table 2's metric).
+    pub time: Duration,
+}
+
+/// All classifiers' outcomes on one dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetResult {
+    /// Dataset name.
+    pub name: String,
+    /// Outcomes in [`ClassifierKind::ALL`] order.
+    pub outcomes: Vec<(ClassifierKind, MethodOutcome)>,
+}
+
+impl DatasetResult {
+    /// Outcome of one method.
+    pub fn get(&self, kind: ClassifierKind) -> MethodOutcome {
+        self.outcomes
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, o)| *o)
+            .expect("all kinds evaluated")
+    }
+}
+
+/// Suite-run options.
+#[derive(Clone, Debug)]
+pub struct SuiteOptions {
+    /// Master seed for dataset generation.
+    pub seed: u64,
+    /// Which classifiers to run.
+    pub methods: Vec<ClassifierKind>,
+    /// RPM configuration (defaults to shared DIRECT selection).
+    pub rpm: RpmConfig,
+    /// Learning Shapelets iterations for the quick protocol (the knob
+    /// that dominates LS cost).
+    pub ls_max_iter: usize,
+    /// Run LS with its published hyperparameter-selection protocol
+    /// (validation grid + long final training) — what Table 2 charges LS
+    /// for. Disable for quick smoke runs.
+    pub ls_full_protocol: bool,
+}
+
+impl Default for SuiteOptions {
+    fn default() -> Self {
+        Self {
+            seed: 2016,
+            methods: ClassifierKind::ALL.to_vec(),
+            rpm: RpmConfig {
+                param_search: ParamSearch::Direct { max_evals: 12, per_class: false },
+                n_validation_splits: 2,
+                ..RpmConfig::default()
+            },
+            ls_max_iter: 120,
+            ls_full_protocol: true,
+        }
+    }
+}
+
+fn time_run<M: Classifier>(
+    build: impl FnOnce() -> M,
+    test: &Dataset,
+) -> MethodOutcome {
+    let start = Instant::now();
+    let model = build();
+    let preds = model.predict_batch(&test.series);
+    let time = start.elapsed();
+    MethodOutcome { error: error_rate(&test.labels, &preds), time }
+}
+
+/// Trains and tests the requested classifiers on one suite dataset,
+/// with optional test-set corruption (used by the §6.1 rotation study).
+pub fn evaluate_dataset_with(
+    spec: &DatasetSpec,
+    options: &SuiteOptions,
+    corrupt_test: impl Fn(&Dataset) -> Dataset,
+) -> DatasetResult {
+    let (train, test_clean) = generate(spec, options.seed);
+    let test = corrupt_test(&test_clean);
+    let mut outcomes = Vec::new();
+    for &kind in &options.methods {
+        let outcome = match kind {
+            ClassifierKind::NnEd => time_run(|| OneNnEuclidean::train(&train), &test),
+            ClassifierKind::NnDtwB => time_run(|| OneNnDtw::train(&train), &test),
+            ClassifierKind::SaxVsm => time_run(
+                || SaxVsm::train(&train, &SaxVsmParams::for_length(spec.length)),
+                &test,
+            ),
+            ClassifierKind::Fs => time_run(
+                || FastShapelets::train(&train, &FastShapeletsParams::default()),
+                &test,
+            ),
+            ClassifierKind::Ls => time_run(
+                || {
+                    if options.ls_full_protocol {
+                        LearningShapelets::train_with_selection(&train, options.seed)
+                    } else {
+                        LearningShapelets::train(
+                            &train,
+                            &LearningShapeletsParams {
+                                max_iter: options.ls_max_iter,
+                                ..Default::default()
+                            },
+                        )
+                    }
+                },
+                &test,
+            ),
+            ClassifierKind::Rpm => {
+                let start = Instant::now();
+                let model = RpmClassifier::train(&train, &options.rpm)
+                    .expect("RPM training failed on suite dataset");
+                let preds = model.predict_batch(&test.series);
+                MethodOutcome {
+                    error: error_rate(&test.labels, &preds),
+                    time: start.elapsed(),
+                }
+            }
+        };
+        outcomes.push((kind, outcome));
+    }
+    DatasetResult { name: spec.name.to_string(), outcomes }
+}
+
+/// Trains and tests on the clean test set.
+pub fn evaluate_dataset(spec: &DatasetSpec, options: &SuiteOptions) -> DatasetResult {
+    evaluate_dataset_with(spec, options, Clone::clone)
+}
+
+/// Runs the whole suite, printing one progress line per dataset to
+/// stderr.
+pub fn run_suite(specs: &[DatasetSpec], options: &SuiteOptions) -> Vec<DatasetResult> {
+    specs
+        .iter()
+        .map(|spec| {
+            eprintln!("[suite] {} ...", spec.name);
+            let r = evaluate_dataset(spec, options);
+            let rpm_err = r
+                .outcomes
+                .iter()
+                .find(|(k, _)| *k == ClassifierKind::Rpm)
+                .map(|(_, o)| o.error);
+            eprintln!("[suite] {} done (RPM err {:?})", spec.name, rpm_err);
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_sax::SaxConfig;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec { name: "CBF", classes: 3, train: 12, test: 15, length: 128 }
+    }
+
+    fn quick_options() -> SuiteOptions {
+        SuiteOptions {
+            methods: vec![ClassifierKind::NnEd, ClassifierKind::Rpm],
+            rpm: RpmConfig::fixed(SaxConfig::new(32, 4, 4)),
+            ls_max_iter: 10,
+            ls_full_protocol: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn evaluates_requested_methods_only() {
+        let r = evaluate_dataset(&tiny_spec(), &quick_options());
+        assert_eq!(r.outcomes.len(), 2);
+        assert_eq!(r.name, "CBF");
+        for (_, o) in &r.outcomes {
+            assert!((0.0..=1.0).contains(&o.error));
+            assert!(o.time > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn corruption_hook_is_applied() {
+        // Corrupting the test set to constant series must hurt accuracy.
+        let clean = evaluate_dataset(&tiny_spec(), &quick_options());
+        let mangled = evaluate_dataset_with(&tiny_spec(), &quick_options(), |t| {
+            let mut t2 = t.clone();
+            for s in &mut t2.series {
+                s.fill(0.0);
+            }
+            t2
+        });
+        let ed_clean = clean.get(ClassifierKind::NnEd).error;
+        let ed_mangled = mangled.get(ClassifierKind::NnEd).error;
+        assert!(ed_mangled >= ed_clean, "{ed_mangled} vs {ed_clean}");
+    }
+
+    #[test]
+    fn get_panics_on_missing_method() {
+        let r = evaluate_dataset(&tiny_spec(), &quick_options());
+        let caught = std::panic::catch_unwind(|| r.get(ClassifierKind::Ls));
+        assert!(caught.is_err());
+    }
+}

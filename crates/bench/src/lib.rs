@@ -1,0 +1,20 @@
+//! # rpm-bench — the experiment harness
+//!
+//! Shared machinery for regenerating every table and figure of the paper's
+//! evaluation (§5–§6). The `repro` binary drives it:
+//!
+//! ```text
+//! cargo run -p rpm-bench --release --bin repro -- table1   # error rates
+//! cargo run -p rpm-bench --release --bin repro -- table2   # runtimes
+//! cargo run -p rpm-bench --release --bin repro -- all      # everything
+//! ```
+//!
+//! [`evaluate_dataset`] trains and tests all six classifiers on one suite
+//! dataset, timing training+classification wall clock the way Table 2
+//! does; [`run_suite`] maps that across the whole suite.
+
+pub mod harness;
+
+pub use harness::{
+    evaluate_dataset, run_suite, ClassifierKind, DatasetResult, MethodOutcome, SuiteOptions,
+};

@@ -1,0 +1,152 @@
+//! The paper's iterative bisection refinement (Algorithm 1, lines 10–12).
+//!
+//! A grammar rule's occurrence set may mix more than one shape family (the
+//! SAX granularity can alias distinct shapes to the same word sequence).
+//! The paper repairs this by repeatedly 2-way complete-linkage splitting:
+//! a split is *accepted* only when both halves keep a sufficient share of
+//! the parent (the paper's example threshold: 30%); otherwise the parent
+//! stays whole. Accepted halves are split again until nothing splits.
+
+use crate::linkage::{agglomerative, Linkage};
+
+/// Knobs for [`bisect_refine`].
+#[derive(Clone, Copy, Debug)]
+pub struct BisectParams {
+    /// Minimum fraction of the parent each child must retain for a split
+    /// to be accepted (paper: 0.3).
+    pub min_child_fraction: f64,
+    /// Groups smaller than this never split. The paper does not state a
+    /// floor, but without one every pair would split into discardable
+    /// singletons; 4 keeps the smallest meaningful motif groups intact.
+    pub min_size: usize,
+    /// Linkage used for the 2-way split (paper: complete).
+    pub linkage: Linkage,
+}
+
+impl Default for BisectParams {
+    fn default() -> Self {
+        Self { min_child_fraction: 0.3, min_size: 4, linkage: Linkage::Complete }
+    }
+}
+
+/// Refines the item set `0..n` into clusters by iterative bisection.
+/// Returns clusters of item indices (each sorted; clusters ordered by
+/// first member).
+pub fn bisect_refine(
+    n: usize,
+    mut dist: impl FnMut(usize, usize) -> f64,
+    params: &BisectParams,
+) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut done: Vec<Vec<usize>> = Vec::new();
+    let mut queue: Vec<Vec<usize>> = vec![(0..n).collect()];
+    while let Some(group) = queue.pop() {
+        if group.len() < params.min_size.max(2) {
+            done.push(group);
+            continue;
+        }
+        // 2-way split of this group (translating local->global indices).
+        let halves = agglomerative(
+            group.len(),
+            |i, j| dist(group[i], group[j]),
+            params.linkage,
+            2,
+        );
+        let a: Vec<usize> = halves[0].iter().map(|&i| group[i]).collect();
+        let b: Vec<usize> = halves[1].iter().map(|&i| group[i]).collect();
+        // A child must clear the paper's fraction *and* hold at least two
+        // members — a singleton can never be a motif cluster, and without
+        // this floor small balanced groups would dissolve into discardable
+        // singletons.
+        let min_needed =
+            ((params.min_child_fraction * group.len() as f64).ceil() as usize).max(2);
+        if a.len() >= min_needed && b.len() >= min_needed {
+            queue.push(a);
+            queue.push(b);
+        } else {
+            done.push(group);
+        }
+    }
+    for c in &mut done {
+        c.sort_unstable();
+    }
+    done.sort_by_key(|c| c[0]);
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d1(points: &'static [f64]) -> impl FnMut(usize, usize) -> f64 {
+        move |i, j| (points[i] - points[j]).abs()
+    }
+
+    #[test]
+    fn homogeneous_group_stays_whole() {
+        // Tight cluster + one outlier: the 2-split isolates the outlier,
+        // which holds < 30%, so no split happens.
+        let pts: &[f64] = &[0.0, 0.1, 0.2, 0.15, 0.05, 9.0];
+        let c = bisect_refine(6, d1(pts), &BisectParams::default());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].len(), 6);
+    }
+
+    #[test]
+    fn two_balanced_groups_split() {
+        let pts: &[f64] = &[0.0, 0.1, 0.2, 10.0, 10.1, 10.2];
+        let c = bisect_refine(6, d1(pts), &BisectParams::default());
+        assert_eq!(c, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn four_groups_split_recursively() {
+        // Each group of 4 has a natural 3+1 internal split, which the 30%
+        // criterion rejects — so recursion stops exactly at the 4 groups.
+        let pts: &[f64] = &[
+            0.0, 0.01, 0.02, 0.5, // group A
+            10.0, 10.01, 10.02, 10.5, // group B
+            20.0, 20.01, 20.02, 20.5, // group C
+            30.0, 30.01, 30.02, 30.5, // group D
+        ];
+        let c = bisect_refine(16, d1(pts), &BisectParams::default());
+        assert_eq!(c.len(), 4, "{c:?}");
+        for g in &c {
+            assert_eq!(g.len(), 4);
+        }
+    }
+
+    #[test]
+    fn min_size_blocks_tiny_splits() {
+        let pts: &[f64] = &[0.0, 10.0, 20.0];
+        let params = BisectParams { min_size: 4, ..Default::default() };
+        let c = bisect_refine(3, d1(pts), &params);
+        assert_eq!(c.len(), 1, "groups below min_size must not split");
+    }
+
+    #[test]
+    fn singleton_children_reject_the_split() {
+        // A pair would split 1+1; both children are singletons, so the
+        // split is rejected and the pair survives intact.
+        let pts: &[f64] = &[0.0, 0.1, 10.0, 10.1];
+        let params = BisectParams { min_size: 2, ..Default::default() };
+        let c = bisect_refine(4, d1(pts), &params);
+        assert_eq!(c, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(bisect_refine(0, |_, _| 0.0, &BisectParams::default()).is_empty());
+    }
+
+    #[test]
+    fn every_item_lands_in_exactly_one_cluster() {
+        let pts: &[f64] = &[5.0, 1.0, 9.0, 1.1, 5.2, 9.1, 0.9, 5.1, 8.9, 1.05];
+        let c = bisect_refine(10, d1(pts), &BisectParams::default());
+        let mut all: Vec<usize> = c.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,196 @@
+//! Cluster representatives for variable-length subsequences.
+//!
+//! Grammar-rule occurrences vary in length (Fig. 4 of the paper shows a
+//! single rule mapping to subsequences of length 72..80). To average them,
+//! every member is linearly resampled to the *median* member length and
+//! z-normalized first; the centroid is the pointwise mean. The medoid
+//! alternative the paper mentions (§3.2.2) picks the member minimizing the
+//! summed distance to its peers.
+
+use rpm_ts::znorm;
+
+/// Linear-interpolation resampling of `x` to `target` points.
+///
+/// Endpoints are preserved; `target == x.len()` copies.
+///
+/// # Panics
+/// Panics when `x` is empty or `target == 0`.
+pub fn resample(x: &[f64], target: usize) -> Vec<f64> {
+    assert!(!x.is_empty(), "cannot resample an empty series");
+    assert!(target > 0, "cannot resample to zero points");
+    if x.len() == target {
+        return x.to_vec();
+    }
+    if x.len() == 1 {
+        return vec![x[0]; target];
+    }
+    if target == 1 {
+        return vec![x[0]];
+    }
+    let scale = (x.len() - 1) as f64 / (target - 1) as f64;
+    (0..target)
+        .map(|i| {
+            let pos = i as f64 * scale;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(x.len() - 1);
+            let frac = pos - lo as f64;
+            x[lo] * (1.0 - frac) + x[hi] * frac
+        })
+        .collect()
+}
+
+/// Pointwise mean of the z-normalized members, all resampled to the median
+/// member length. Returns `None` for an empty member set.
+pub fn centroid(members: &[&[f64]]) -> Option<Vec<f64>> {
+    if members.is_empty() {
+        return None;
+    }
+    let mut lens: Vec<usize> = members.iter().map(|m| m.len()).collect();
+    lens.sort_unstable();
+    let target = lens[lens.len() / 2];
+    let mut acc = vec![0.0; target];
+    for m in members {
+        let r = resample(&znorm(m), target);
+        for (a, v) in acc.iter_mut().zip(&r) {
+            *a += v;
+        }
+    }
+    let n = members.len() as f64;
+    for a in &mut acc {
+        *a /= n;
+    }
+    Some(acc)
+}
+
+/// Index of the member minimizing the summed distance to all other
+/// members. Returns `None` for an empty member set.
+pub fn medoid(members: &[&[f64]], mut dist: impl FnMut(&[f64], &[f64]) -> f64) -> Option<usize> {
+    if members.is_empty() {
+        return None;
+    }
+    let mut best = (0usize, f64::INFINITY);
+    for (i, a) in members.iter().enumerate() {
+        let total: f64 = members
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, b)| dist(a, b))
+            .sum();
+        if total < best.1 {
+            best = (i, total);
+        }
+    }
+    Some(best.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn resample_identity() {
+        let x = [1.0, 2.0, 3.0];
+        close(&resample(&x, 3), &x);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints() {
+        let x = [5.0, 1.0, 9.0, 2.0];
+        for t in [2, 3, 5, 11] {
+            let r = resample(&x, t);
+            assert_eq!(r.len(), t);
+            assert_eq!(r[0], 5.0);
+            assert_eq!(*r.last().unwrap(), 2.0);
+        }
+    }
+
+    #[test]
+    fn resample_linear_midpoints() {
+        // Upsampling a 2-point segment is pure linear interpolation.
+        close(&resample(&[0.0, 4.0], 5), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn resample_downsample_of_ramp_stays_ramp() {
+        let ramp: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let r = resample(&ramp, 11);
+        close(&r, &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+    }
+
+    #[test]
+    fn resample_singleton_broadcasts() {
+        close(&resample(&[7.0], 4), &[7.0; 4]);
+    }
+
+    #[test]
+    fn centroid_of_identical_members_is_their_znorm() {
+        let m = [1.0, 2.0, 3.0, 4.0];
+        let c = centroid(&[&m, &m, &m]).unwrap();
+        close(&c, &znorm(&m));
+    }
+
+    #[test]
+    fn centroid_uses_median_length() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let c = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let cent = centroid(&[&a, &b, &c]).unwrap();
+        assert_eq!(cent.len(), 5);
+    }
+
+    #[test]
+    fn centroid_empty_is_none() {
+        assert!(centroid(&[]).is_none());
+    }
+
+    #[test]
+    fn centroid_averages_opposites_to_zero() {
+        let up = [0.0, 1.0, 2.0, 3.0];
+        let down = [3.0, 2.0, 1.0, 0.0];
+        let c = centroid(&[&up, &down]).unwrap();
+        for v in c {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn medoid_picks_central_member() {
+        let a = [0.0];
+        let b = [1.0];
+        let c = [10.0];
+        let members: Vec<&[f64]> = vec![&a, &b, &c];
+        let m = medoid(&members, |x, y| (x[0] - y[0]).abs()).unwrap();
+        assert_eq!(m, 1, "1.0 is closest to both 0.0 and 10.0 in sum");
+    }
+
+    #[test]
+    fn medoid_empty_is_none() {
+        assert!(medoid(&[], |_, _| 0.0).is_none());
+    }
+
+    #[test]
+    fn medoid_single_member() {
+        let a = [1.0, 2.0];
+        let members: Vec<&[f64]> = vec![&a];
+        assert_eq!(medoid(&members, |_, _| 0.0), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn resample_empty_panics() {
+        resample(&[], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero points")]
+    fn resample_to_zero_panics() {
+        resample(&[1.0], 0);
+    }
+}

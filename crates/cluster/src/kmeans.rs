@@ -1,0 +1,244 @@
+//! k-means with k-means++ seeding.
+//!
+//! Used by the Learning Shapelets baseline (Grabocka et al., whose
+//! initialization the RPM paper's comparison relies on) to seed shapelets
+//! from segment centroids. Deterministic given the seed; randomness comes
+//! from an internal xorshift generator so this crate stays dependency-free.
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Final centroids (`k` rows).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster assignment per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of points to their centroids.
+    pub inertia: f64,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Runs k-means on equal-length points.
+///
+/// * `k` is clamped to the number of points.
+/// * Empty clusters are re-seeded with the point farthest from its
+///   centroid, so exactly `k` non-empty clusters come back whenever
+///   `points.len() >= k`.
+///
+/// # Panics
+/// Panics when `k == 0`, `points` is empty, or point lengths differ.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMeans {
+    assert!(k > 0, "k must be positive");
+    assert!(!points.is_empty(), "kmeans on empty point set");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "kmeans points must share one dimension"
+    );
+    let k = k.min(points.len());
+    let mut rng = XorShift::new(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = (rng.next_u64() % points.len() as u64) as usize;
+    centroids.push(points[first].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let idx = if total <= 0.0 {
+            (rng.next_u64() % points.len() as u64) as usize
+        } else {
+            let mut target = rng.next_f64() * total;
+            let mut chosen = points.len() - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                target -= w;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.push(points[idx].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+        }
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iter.max(1) {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = sq_dist(p, cent);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            if assignments[i] != best.0 {
+                assignments[i] = best.0;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, v) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fit point.
+                let far = points
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        let di = sq_dist(p, &centroids[assignments[*i]]);
+                        let dj = sq_dist(q, &centroids[assignments[*j]]);
+                        di.total_cmp(&dj)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap();
+                centroids[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (dst, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *dst = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeans { centroids, assignments, inertia, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            pts.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            pts.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let pts = blobs();
+        let r = kmeans(&pts, 2, 50, 42);
+        // All even indices (blob A) share one cluster, odd the other.
+        let a = r.assignments[0];
+        let b = r.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..pts.len() {
+            assert_eq!(r.assignments[i], if i % 2 == 0 { a } else { b });
+        }
+        assert!(r.inertia < 1.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = blobs();
+        let r1 = kmeans(&pts, 2, 50, 7);
+        let r2 = kmeans(&pts, 2, 50, 7);
+        assert_eq!(r1.assignments, r2.assignments);
+        assert_eq!(r1.centroids, r2.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let pts = vec![vec![0.0], vec![1.0]];
+        let r = kmeans(&pts, 10, 20, 1);
+        assert_eq!(r.centroids.len(), 2);
+    }
+
+    #[test]
+    fn k_one_gives_global_mean() {
+        let pts = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = kmeans(&pts, 1, 20, 1);
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-9);
+        assert!(r.assignments.iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn identical_points_are_fine() {
+        let pts = vec![vec![3.0, 3.0]; 6];
+        let r = kmeans(&pts, 2, 20, 9);
+        assert_eq!(r.inertia, 0.0);
+    }
+
+    #[test]
+    fn inertia_never_worse_with_more_clusters() {
+        let pts = blobs();
+        let r2 = kmeans(&pts, 2, 100, 3);
+        let r4 = kmeans(&pts, 4, 100, 3);
+        assert!(r4.inertia <= r2.inertia + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        kmeans(&[vec![1.0]], 0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn empty_points_panic() {
+        kmeans(&[], 2, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimension")]
+    fn ragged_points_panic() {
+        kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, 10, 1);
+    }
+}

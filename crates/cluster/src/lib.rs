@@ -1,0 +1,27 @@
+//! # rpm-cluster — clustering substrates for RPM
+//!
+//! Three pieces:
+//!
+//! * [`agglomerative`] — classic bottom-up hierarchical clustering with
+//!   single / complete / average linkage. The paper uses complete linkage
+//!   to refine the subsequence sets of grammar rules (§3.2.2).
+//! * [`bisect_refine`] — the paper's iterative bisection wrapper: split a
+//!   group in two, keep the split only when both halves retain at least
+//!   30% of the parent, recurse until no group splits (Algorithm 1,
+//!   lines 10–12).
+//! * [`kmeans()`] — plain k-means with k-means++ seeding; used by the
+//!   Learning Shapelets baseline to initialize shapelets from segment
+//!   centroids.
+//!
+//! Plus the geometry helpers the candidate machinery needs: linear
+//! [`resample()`], variable-length [`centroid()`], and [`medoid()`].
+
+pub mod bisect;
+pub mod centroid;
+pub mod kmeans;
+pub mod linkage;
+
+pub use bisect::{bisect_refine, BisectParams};
+pub use centroid::{centroid, medoid, resample};
+pub use kmeans::{kmeans, KMeans};
+pub use linkage::{agglomerative, Linkage};

@@ -1,0 +1,181 @@
+//! Agglomerative hierarchical clustering.
+
+/// Linkage criterion for merging clusters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Linkage {
+    /// Minimum pairwise distance between members.
+    Single,
+    /// Maximum pairwise distance between members (the paper's choice).
+    Complete,
+    /// Unweighted mean of pairwise distances (UPGMA).
+    Average,
+}
+
+/// Clusters `n` items bottom-up until `k` clusters remain, returning the
+/// member-index sets sorted by first member.
+///
+/// `dist(i, j)` supplies the item-level distance; it is evaluated once per
+/// unordered pair and cached. The implementation is the O(n³) textbook
+/// loop — rule occurrence groups hold tens of members, far below the point
+/// where a priority-queue variant would pay off.
+///
+/// # Panics
+/// Panics when `k == 0` or `k > n` with `n > 0`.
+pub fn agglomerative(
+    n: usize,
+    mut dist: impl FnMut(usize, usize) -> f64,
+    linkage: Linkage,
+    k: usize,
+) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return Vec::new();
+    }
+    assert!(k >= 1, "cannot form zero clusters");
+    assert!(k <= n, "cannot form {k} clusters from {n} items");
+
+    // Cache the full pairwise matrix once.
+    let mut d = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = dist(i, j);
+            d[i * n + j] = v;
+            d[j * n + i] = v;
+        }
+    }
+
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > k {
+        // Find the closest pair under the linkage criterion.
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let cd = cluster_distance(&clusters[a], &clusters[b], &d, n, linkage);
+                if cd < best.2 {
+                    best = (a, b, cd);
+                }
+            }
+        }
+        let (a, b, _) = best;
+        let merged = clusters.swap_remove(b);
+        clusters[a].extend(merged);
+    }
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    clusters.sort_by_key(|c| c[0]);
+    clusters
+}
+
+fn cluster_distance(a: &[usize], b: &[usize], d: &[f64], n: usize, linkage: Linkage) -> f64 {
+    match linkage {
+        Linkage::Single => {
+            let mut m = f64::INFINITY;
+            for &i in a {
+                for &j in b {
+                    m = m.min(d[i * n + j]);
+                }
+            }
+            m
+        }
+        Linkage::Complete => {
+            let mut m = f64::NEG_INFINITY;
+            for &i in a {
+                for &j in b {
+                    m = m.max(d[i * n + j]);
+                }
+            }
+            m
+        }
+        Linkage::Average => {
+            let mut s = 0.0;
+            for &i in a {
+                for &j in b {
+                    s += d[i * n + j];
+                }
+            }
+            s / (a.len() * b.len()) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 1-D points make distance reasoning trivial.
+    fn d1(points: &'static [f64]) -> impl FnMut(usize, usize) -> f64 {
+        move |i, j| (points[i] - points[j]).abs()
+    }
+
+    #[test]
+    fn two_obvious_groups() {
+        let pts: &[f64] = &[0.0, 0.1, 0.2, 10.0, 10.1];
+        for linkage in [Linkage::Single, Linkage::Complete, Linkage::Average] {
+            let c = agglomerative(5, d1(pts), linkage, 2);
+            assert_eq!(c, vec![vec![0, 1, 2], vec![3, 4]], "{linkage:?}");
+        }
+    }
+
+    #[test]
+    fn k_equals_n_keeps_singletons() {
+        let pts: &[f64] = &[0.0, 1.0, 2.0];
+        let c = agglomerative(3, d1(pts), Linkage::Complete, 3);
+        assert_eq!(c, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn k_equals_one_merges_everything() {
+        let pts: &[f64] = &[0.0, 5.0, 100.0];
+        let c = agglomerative(3, d1(pts), Linkage::Average, 1);
+        assert_eq!(c, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = agglomerative(0, |_, _| 0.0, Linkage::Complete, 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        let c = agglomerative(1, |_, _| 0.0, Linkage::Complete, 1);
+        assert_eq!(c, vec![vec![0]]);
+    }
+
+    #[test]
+    fn complete_vs_single_differ_on_chains() {
+        // A chain 0-1-2-3 with small steps but large total spread:
+        // single linkage chains everything together before separating the
+        // far point; complete linkage prefers compact groups.
+        let pts: &[f64] = &[0.0, 1.0, 2.0, 3.0, 10.0];
+        let single = agglomerative(5, d1(pts), Linkage::Single, 2);
+        assert_eq!(single, vec![vec![0, 1, 2, 3], vec![4]]);
+        let complete = agglomerative(5, d1(pts), Linkage::Complete, 2);
+        assert_eq!(complete, vec![vec![0, 1, 2, 3], vec![4]]);
+        // They diverge at k = 3: single keeps the chain, complete splits it.
+        let single3 = agglomerative(5, d1(pts), Linkage::Single, 3);
+        let complete3 = agglomerative(5, d1(pts), Linkage::Complete, 3);
+        assert_ne!(single3, complete3);
+    }
+
+    #[test]
+    fn all_members_preserved() {
+        let pts: &[f64] = &[3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.0];
+        let c = agglomerative(7, d1(pts), Linkage::Complete, 3);
+        let mut all: Vec<usize> = c.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot form")]
+    fn k_zero_panics() {
+        agglomerative(2, |_, _| 1.0, Linkage::Single, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot form")]
+    fn k_above_n_panics() {
+        agglomerative(2, |_, _| 1.0, Linkage::Single, 3);
+    }
+}

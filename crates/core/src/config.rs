@@ -1,0 +1,160 @@
+//! Configuration for the RPM pipeline.
+
+use rpm_cluster::BisectParams;
+use rpm_ml::{CfsParams, SvmParams};
+use rpm_sax::SaxConfig;
+
+/// Which grammar-inference algorithm mines the repeated patterns
+/// (§3.2.2 notes the technique "works with other (context-free) GI
+/// algorithms"; both options return identical grammar semantics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum GrammarAlgorithm {
+    /// Online Sequitur (the paper's choice).
+    #[default]
+    Sequitur,
+    /// Offline Re-Pair (Larsson & Moffat): globally most-frequent digram
+    /// first; often slightly better compression, hence higher-frequency
+    /// rules.
+    RePair,
+}
+
+/// How the SAX granularity parameters are chosen (§4).
+#[derive(Clone, Debug)]
+pub enum ParamSearch {
+    /// Use one fixed configuration for every class (no search).
+    Fixed(SaxConfig),
+    /// One fixed configuration per class, ordered by ascending label.
+    PerClassFixed(Vec<SaxConfig>),
+    /// DIRECT over (window, paa, alphabet) as §4.2. `per_class` selects
+    /// the paper's per-class optimization; otherwise one shared
+    /// configuration is optimized against the macro F-measure.
+    Direct {
+        /// Budget of *distinct* parameter combinations evaluated (the
+        /// paper's `R`; its observed average is < 200).
+        max_evals: usize,
+        /// Optimize per class (paper) or once for all classes (cheaper).
+        per_class: bool,
+    },
+    /// Exhaustive grid (Algorithm 3's brute-force variant).
+    Grid {
+        /// Window sizes to try.
+        windows: Vec<usize>,
+        /// PAA sizes to try.
+        paas: Vec<usize>,
+        /// Alphabet sizes to try.
+        alphas: Vec<usize>,
+        /// Optimize per class (paper) or shared.
+        per_class: bool,
+    },
+}
+
+/// All knobs of the RPM classifier. `Default` reproduces the paper's
+/// choices where stated (γ = 20% of the class size, τ at the 30th
+/// percentile, numerosity reduction on, centroids, complete linkage) and
+/// uses a modest DIRECT budget for parameter selection.
+#[derive(Clone, Debug)]
+pub struct RpmConfig {
+    /// Minimum fraction of a class's training instances a motif must
+    /// appear in (§3.2's γ; the experiments use 0.2).
+    pub gamma: f64,
+    /// Percentile of intra-cluster pairwise distances used as the
+    /// similarity threshold τ (§3.2.3; the experiments use 30).
+    pub tau_percentile: f64,
+    /// Apply numerosity reduction during discretization (§3.2.1). Off only
+    /// for the ablation study.
+    pub numerosity_reduction: bool,
+    /// Use the cluster medoid instead of the centroid as the pattern
+    /// representative (§3.2.2 notes both options).
+    pub use_medoid: bool,
+    /// Enable the rotation-invariant test transform of §6.1.
+    pub rotation_invariant: bool,
+    /// Early-abandon the closest-match search (§5.3). Off only for the
+    /// ablation benchmark; results are identical either way.
+    pub early_abandon: bool,
+    /// Cap on occurrences per grammar rule fed to the O(u³) clustering;
+    /// larger rules are uniformly subsampled (engineering guard, see
+    /// DESIGN.md).
+    pub max_occurrences_per_rule: usize,
+    /// Cap on the deduplicated candidate pool entering the CFS transform,
+    /// keeping the best-covered candidates. The transform is
+    /// O(candidates · series · length²), so an unbounded pool lets one
+    /// over-fragmented class dominate training time; the paper observes
+    /// the pool is naturally small (§1: O(K) motifs).
+    pub max_candidates: usize,
+    /// Bisection-refinement knobs (Algorithm 1 lines 10-12).
+    pub bisect: BisectParams,
+    /// SVM hyper-parameters (§3.1).
+    pub svm: SvmParams,
+    /// CFS feature-selection knobs (§3.2.3).
+    pub cfs: CfsParams,
+    /// Grammar-inference algorithm for candidate generation (§3.2.2).
+    pub grammar: GrammarAlgorithm,
+    /// SAX parameter selection strategy (§4).
+    pub param_search: ParamSearch,
+    /// Random train/validate splits per parameter evaluation
+    /// (Algorithm 3 uses 5; smaller is cheaper).
+    pub n_validation_splits: usize,
+    /// Fraction of the training data kept for candidate mining in each
+    /// validation split.
+    pub validation_train_fraction: f64,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RpmConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.2,
+            tau_percentile: 30.0,
+            numerosity_reduction: true,
+            use_medoid: false,
+            rotation_invariant: false,
+            early_abandon: true,
+            max_occurrences_per_rule: 64,
+            max_candidates: 48,
+            bisect: BisectParams::default(),
+            svm: SvmParams::default(),
+            cfs: CfsParams::default(),
+            grammar: GrammarAlgorithm::Sequitur,
+            param_search: ParamSearch::Direct { max_evals: 24, per_class: false },
+            n_validation_splits: 3,
+            validation_train_fraction: 0.7,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl RpmConfig {
+    /// Convenience: a configuration with fixed SAX parameters (no search).
+    pub fn fixed(sax: SaxConfig) -> Self {
+        Self { param_search: ParamSearch::Fixed(sax), ..Self::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = RpmConfig::default();
+        assert_eq!(c.gamma, 0.2);
+        assert_eq!(c.tau_percentile, 30.0);
+        assert!(c.numerosity_reduction);
+        assert!(!c.use_medoid);
+        assert!(c.early_abandon);
+    }
+
+    #[test]
+    fn fixed_constructor_sets_search() {
+        let c = RpmConfig::fixed(SaxConfig::new(32, 4, 4));
+        match c.param_search {
+            ParamSearch::Fixed(s) => {
+                assert_eq!(s.window, 32);
+                assert_eq!(s.paa_size, 4);
+                assert_eq!(s.alphabet, 4);
+            }
+            _ => panic!("expected Fixed"),
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Exploratory motif & discord discovery on a single long series — the
+//! GrammarViz capability (the paper's refs \[7\]\[31\]) that RPM's candidate
+//! machinery is built from. §1 highlights that RPM's class-specific motif
+//! discovery "extends beyond the classification task"; this module
+//! packages that exploratory side as a standalone API:
+//!
+//! * [`discover_motifs`] — the variable-length recurring patterns of one
+//!   series, ranked by occurrence count (grammar rules mapped back to raw
+//!   coordinates),
+//! * [`rule_coverage`] — how many grammar-rule intervals cover each point,
+//! * [`find_discords`] — rarest-substructure anomalies: the intervals
+//!   with the lowest rule coverage (the GrammarViz discord heuristic —
+//!   points no rule bothers to describe repeat the least).
+
+use rpm_grammar::Sequitur;
+use rpm_sax::{discretize, SaxConfig};
+
+/// One recurring pattern discovered in a series.
+#[derive(Clone, Debug)]
+pub struct Motif {
+    /// `(start, end)` half-open intervals of every occurrence.
+    pub occurrences: Vec<(usize, usize)>,
+    /// Length of the grammar rule in SAX words.
+    pub rule_words: usize,
+}
+
+impl Motif {
+    /// Number of occurrences.
+    pub fn count(&self) -> usize {
+        self.occurrences.len()
+    }
+}
+
+/// A low-coverage (anomalous) interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Discord {
+    /// Start offset of the interval.
+    pub position: usize,
+    /// Interval length (the SAX window).
+    pub length: usize,
+    /// Mean rule coverage inside the interval (lower = more anomalous).
+    pub coverage: f64,
+}
+
+/// Infers the grammar of one series and returns every rule as a motif,
+/// ordered by descending occurrence count. Returns an empty vector when
+/// the series is shorter than the window or nothing repeats.
+pub fn discover_motifs(series: &[f64], sax: &SaxConfig) -> Vec<Motif> {
+    let words = discretize(series, sax, true);
+    if words.is_empty() {
+        return Vec::new();
+    }
+    let mut interner = std::collections::HashMap::new();
+    let mut seq = Sequitur::new();
+    for w in &words {
+        let next = interner.len() as u32;
+        let t = *interner.entry(w.word.clone()).or_insert(next);
+        seq.push(t);
+    }
+    let grammar = seq.into_grammar();
+    let mut motifs: Vec<Motif> = grammar
+        .repeated_rules()
+        .map(|(_, rule)| {
+            let occurrences = rule
+                .occurrences
+                .iter()
+                .map(|span| {
+                    let start = words[span.start].offset;
+                    let end = (words[span.end - 1].offset + sax.window).min(series.len());
+                    (start, end)
+                })
+                .collect();
+            Motif { occurrences, rule_words: rule.expansion.len() }
+        })
+        .collect();
+    motifs.sort_by_key(|m| std::cmp::Reverse(m.count()));
+    motifs
+}
+
+/// Per-point rule coverage: how many motif occurrence intervals contain
+/// each point. The vector has the series' length.
+pub fn rule_coverage(series: &[f64], sax: &SaxConfig) -> Vec<u32> {
+    let mut cover = vec![0u32; series.len()];
+    for motif in discover_motifs(series, sax) {
+        for (start, end) in motif.occurrences {
+            for c in &mut cover[start..end] {
+                *c += 1;
+            }
+        }
+    }
+    cover
+}
+
+/// Finds the `n` least-covered windows (the GrammarViz discord heuristic),
+/// enforcing at least one window of separation between reported discords.
+pub fn find_discords(series: &[f64], sax: &SaxConfig, n: usize) -> Vec<Discord> {
+    if series.len() < sax.window || n == 0 {
+        return Vec::new();
+    }
+    let cover = rule_coverage(series, sax);
+    // Mean coverage per window via a sliding sum.
+    let w = sax.window;
+    let mut sums = Vec::with_capacity(series.len() - w + 1);
+    let mut acc: f64 = cover[..w].iter().map(|&c| c as f64).sum();
+    sums.push(acc);
+    for i in w..series.len() {
+        acc += cover[i] as f64 - cover[i - w] as f64;
+        sums.push(acc);
+    }
+    let mut order: Vec<usize> = (0..sums.len()).collect();
+    order.sort_by(|&a, &b| sums[a].total_cmp(&sums[b]));
+    let mut out: Vec<Discord> = Vec::new();
+    for p in order {
+        if out.len() >= n {
+            break;
+        }
+        if out.iter().any(|d| p.abs_diff(d.position) < w) {
+            continue; // trivial match of an already-reported discord
+        }
+        out.push(Discord { position: p, length: w, coverage: sums[p] / w as f64 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A periodic series with a planted anomaly.
+    fn periodic_with_anomaly(len: usize, anomaly_at: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                if (anomaly_at..anomaly_at + 20).contains(&i) {
+                    // Flat-line anomaly inside an otherwise periodic signal.
+                    3.0
+                } else {
+                    (i as f64 * 0.4).sin()
+                }
+            })
+            .collect()
+    }
+
+    fn sax() -> SaxConfig {
+        SaxConfig::new(16, 4, 4)
+    }
+
+    #[test]
+    fn periodic_series_has_frequent_motifs() {
+        let s: Vec<f64> = (0..300).map(|i| (i as f64 * 0.4).sin()).collect();
+        let motifs = discover_motifs(&s, &sax());
+        assert!(!motifs.is_empty());
+        assert!(motifs[0].count() >= 3, "top motif count {}", motifs[0].count());
+        // Sorted by descending count.
+        for w in motifs.windows(2) {
+            assert!(w[0].count() >= w[1].count());
+        }
+    }
+
+    #[test]
+    fn motif_occurrences_are_in_bounds() {
+        let s: Vec<f64> = (0..200).map(|i| (i as f64 * 0.3).sin()).collect();
+        for m in discover_motifs(&s, &sax()) {
+            for (start, end) in &m.occurrences {
+                assert!(start < end);
+                assert!(*end <= s.len());
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_low_at_the_anomaly() {
+        let s = periodic_with_anomaly(400, 200);
+        let cover = rule_coverage(&s, &sax());
+        let anomaly_cov: f64 =
+            cover[200..220].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
+        let normal_cov: f64 =
+            cover[60..80].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
+        assert!(
+            anomaly_cov < normal_cov,
+            "anomaly {anomaly_cov} vs normal {normal_cov}"
+        );
+    }
+
+    #[test]
+    fn discord_lands_on_the_anomaly() {
+        let s = periodic_with_anomaly(400, 200);
+        let discords = find_discords(&s, &sax(), 1);
+        assert_eq!(discords.len(), 1);
+        let d = discords[0];
+        assert!(
+            (170..=225).contains(&d.position),
+            "discord at {} (expected near 200)",
+            d.position
+        );
+    }
+
+    #[test]
+    fn discords_are_separated() {
+        let s = periodic_with_anomaly(400, 200);
+        let discords = find_discords(&s, &sax(), 3);
+        for (i, a) in discords.iter().enumerate() {
+            for b in &discords[i + 1..] {
+                assert!(a.position.abs_diff(b.position) >= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn short_series_yield_nothing() {
+        assert!(discover_motifs(&[1.0, 2.0], &sax()).is_empty());
+        assert!(find_discords(&[1.0, 2.0], &sax(), 2).is_empty());
+        assert_eq!(rule_coverage(&[1.0, 2.0], &sax()), vec![0, 0]);
+    }
+
+    #[test]
+    fn zero_discords_requested() {
+        let s = periodic_with_anomaly(200, 100);
+        assert!(find_discords(&s, &sax(), 0).is_empty());
+    }
+}

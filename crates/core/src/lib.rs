@@ -1,0 +1,50 @@
+//! # rpm-core — Representative Pattern Mining
+//!
+//! The primary contribution of *RPM: Representative Pattern Mining for
+//! Efficient Time Series Classification* (EDBT 2016), assembled from the
+//! substrate crates:
+//!
+//! 1. **Candidate generation** ([`candidates`], Algorithm 1) — per class:
+//!    discretize with SAX + numerosity reduction, infer a Sequitur grammar
+//!    over the word stream (junction-safe), map every rule occurrence back
+//!    to a raw subsequence, refine each rule's occurrence set by iterative
+//!    bisection clustering, and keep cluster representatives shared by at
+//!    least `γ` of the class's training instances.
+//! 2. **Distinct-pattern selection** ([`distinct`], Algorithm 2) — drop
+//!    near-duplicate candidates below the τ similarity threshold (30th
+//!    percentile of intra-cluster distances), transform the training set
+//!    into the candidate-distance feature space, and run CFS; the selected
+//!    features *are* the representative patterns.
+//! 3. **Classification** ([`model`], §3.1) — a linear SVM over the
+//!    transformed feature vectors, with the optional rotation-invariant
+//!    transform of §6.1.
+//! 4. **Parameter selection** ([`params`], Algorithm 3 / §4.2) — per-class
+//!    or shared SAX parameters via exhaustive grid search or DIRECT.
+//!
+//! ```no_run
+//! use rpm_core::{RpmClassifier, RpmConfig};
+//! use rpm_ts::Dataset;
+//!
+//! let train: Dataset = unimplemented!("load or generate a dataset");
+//! let test: Dataset = unimplemented!();
+//! let model = RpmClassifier::train(&train, &RpmConfig::default()).unwrap();
+//! let predictions: Vec<usize> = test.series.iter().map(|s| model.predict(s)).collect();
+//! ```
+
+pub mod candidates;
+pub mod config;
+pub mod distinct;
+pub mod explore;
+pub mod model;
+pub mod params;
+pub mod persist;
+pub mod transform;
+
+pub use candidates::{find_candidates_for_class, Candidate, CandidateSet};
+pub use config::{GrammarAlgorithm, ParamSearch, RpmConfig};
+pub use distinct::{compute_tau, remove_similar, select_representative};
+pub use explore::{discover_motifs, find_discords, rule_coverage, Discord, Motif};
+pub use model::{Pattern, RpmClassifier, TrainError};
+pub use params::{default_bounds, search_parameters, SearchOutcome};
+pub use persist::PersistError;
+pub use transform::{pattern_distance, transform_series, transform_set, transform_set_parallel};

@@ -1,0 +1,393 @@
+//! The RPM classifier (training stage §3.2, classification stage §3.1).
+
+use crate::candidates::{find_candidates_for_class, Candidate};
+use crate::config::{ParamSearch, RpmConfig};
+use crate::distinct::select_representative;
+use crate::params::search_parameters;
+use crate::transform::{transform_series, transform_set};
+use rpm_ml::{LinearSvm, SvmParams};
+use rpm_sax::SaxConfig;
+use rpm_ts::{Dataset, Label};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A trained representative pattern — the candidate that survived
+/// Algorithm 2's selection.
+pub type Pattern = Candidate;
+
+/// Training failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrainError {
+    /// The training set is empty.
+    EmptyTrainingSet,
+    /// Training data holds fewer than two classes.
+    TooFewClasses,
+    /// No class produced any candidate under the chosen SAX parameters
+    /// (window too long, γ too strict, or nothing repeats).
+    NoCandidates,
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyTrainingSet => write!(f, "training set is empty"),
+            Self::TooFewClasses => write!(f, "training data holds fewer than two classes"),
+            Self::NoCandidates => {
+                write!(f, "no candidate patterns found; relax gamma or the SAX parameters")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+/// A trained RPM model: the representative patterns plus the SVM over the
+/// transformed feature space.
+#[derive(Clone, Debug)]
+pub struct RpmClassifier {
+    pub(crate) patterns: Vec<Pattern>,
+    pub(crate) pattern_values: Vec<Vec<f64>>,
+    pub(crate) svm: LinearSvm,
+    pub(crate) per_class_sax: BTreeMap<Label, SaxConfig>,
+    pub(crate) rotation_invariant: bool,
+    pub(crate) early_abandon: bool,
+}
+
+impl RpmClassifier {
+    /// Trains on `train` per `config`, running the configured SAX
+    /// parameter search first (§4), then Algorithms 1 + 2, then the SVM.
+    pub fn train(train: &Dataset, config: &RpmConfig) -> Result<Self, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        let classes = train.classes();
+        if classes.len() < 2 {
+            return Err(TrainError::TooFewClasses);
+        }
+        let per_class_sax: BTreeMap<Label, SaxConfig> = match &config.param_search {
+            ParamSearch::Fixed(sax) => classes.iter().map(|&c| (c, *sax)).collect(),
+            ParamSearch::PerClassFixed(saxes) => {
+                assert_eq!(
+                    saxes.len(),
+                    classes.len(),
+                    "PerClassFixed needs one SaxConfig per class"
+                );
+                classes.iter().copied().zip(saxes.iter().copied()).collect()
+            }
+            ParamSearch::Direct { .. } | ParamSearch::Grid { .. } => {
+                search_parameters(train, config).per_class
+            }
+        };
+        Self::train_with_configs(train, config, &per_class_sax)
+    }
+
+    /// Trains with explicit per-class SAX configurations (the §4.3 path
+    /// after parameter learning). Exposed for the parameter-search
+    /// objective and the benchmarks.
+    pub fn train_with_configs(
+        train: &Dataset,
+        config: &RpmConfig,
+        per_class_sax: &BTreeMap<Label, SaxConfig>,
+    ) -> Result<Self, TrainError> {
+        if train.is_empty() {
+            return Err(TrainError::EmptyTrainingSet);
+        }
+        if train.n_classes() < 2 {
+            return Err(TrainError::TooFewClasses);
+        }
+
+        // --- Algorithm 1 per class.
+        let mut all_candidates: Vec<Candidate> = Vec::new();
+        let mut tau_pool: Vec<f64> = Vec::new();
+        for view in train.by_class() {
+            let sax = per_class_sax
+                .get(&view.label)
+                .copied()
+                .unwrap_or_else(|| panic!("missing SaxConfig for class {}", view.label));
+            let set = find_candidates_for_class(&view.members, view.label, &sax, config);
+            all_candidates.extend(set.candidates);
+            tau_pool.extend(set.intra_cluster_distances);
+        }
+        if all_candidates.is_empty() {
+            return Err(TrainError::NoCandidates);
+        }
+
+        // --- Algorithm 2 over the pooled candidates.
+        let mut selected = select_representative(
+            all_candidates.clone(),
+            &tau_pool,
+            &train.series,
+            &train.labels,
+            config,
+        );
+        if selected.is_empty() {
+            // CFS can in principle reject everything on degenerate data;
+            // fall back to the deduplicated pool so training still works.
+            selected = all_candidates;
+        }
+
+        // --- SVM over the transformed training set (training data is
+        //     clean, so the plain transform is used here even when
+        //     rotation-invariant classification is requested; §6.1).
+        let pattern_values: Vec<Vec<f64>> = selected.iter().map(|c| c.values.clone()).collect();
+        let rows = transform_set(&train.series, &pattern_values, false, config.early_abandon);
+        let svm = LinearSvm::train(&rows, &train.labels, &config.svm);
+
+        Ok(Self {
+            patterns: selected,
+            pattern_values,
+            svm,
+            per_class_sax: per_class_sax.clone(),
+            rotation_invariant: config.rotation_invariant,
+            early_abandon: config.early_abandon,
+        })
+    }
+
+    /// Transforms a series into this model's feature space.
+    pub fn transform(&self, series: &[f64]) -> Vec<f64> {
+        transform_series(
+            series,
+            &self.pattern_values,
+            self.rotation_invariant,
+            self.early_abandon,
+        )
+    }
+
+    /// Predicts the class label of one series.
+    pub fn predict(&self, series: &[f64]) -> Label {
+        self.svm.predict(&self.transform(series))
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
+        series.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Predicts a batch using `n_threads` workers for the pattern-distance
+    /// transform (the classification bottleneck). Identical results to
+    /// [`RpmClassifier::predict_batch`].
+    pub fn predict_batch_parallel(&self, series: &[Vec<f64>], n_threads: usize) -> Vec<Label> {
+        let rows = crate::transform::transform_set_parallel(
+            series,
+            &self.pattern_values,
+            self.rotation_invariant,
+            self.early_abandon,
+            n_threads,
+        );
+        rows.iter().map(|r| self.svm.predict(r)).collect()
+    }
+
+    /// Classifies every `hop`-strided window of a long streaming series,
+    /// returning `(window start, predicted label)` pairs — the deployment
+    /// shape for continuous monitoring (e.g. the §6.2 ICU feed, where the
+    /// stream is scored window by window rather than pre-segmented).
+    ///
+    /// Windows shorter than `window` at the tail are skipped. `hop == 0`
+    /// is clamped to 1.
+    pub fn classify_stream(
+        &self,
+        stream: &[f64],
+        window: usize,
+        hop: usize,
+    ) -> Vec<(usize, Label)> {
+        let hop = hop.max(1);
+        let mut out = Vec::new();
+        if window == 0 || stream.len() < window {
+            return out;
+        }
+        let mut start = 0;
+        while start + window <= stream.len() {
+            out.push((start, self.predict(&stream[start..start + window])));
+            start += hop;
+        }
+        out
+    }
+
+    /// The learned representative patterns.
+    pub fn patterns(&self) -> &[Pattern] {
+        &self.patterns
+    }
+
+    /// Patterns belonging to one class.
+    pub fn patterns_for_class(&self, class: Label) -> Vec<&Pattern> {
+        self.patterns.iter().filter(|p| p.class == class).collect()
+    }
+
+    /// The per-class SAX configurations the model was trained with.
+    pub fn sax_configs(&self) -> &BTreeMap<Label, SaxConfig> {
+        &self.per_class_sax
+    }
+
+    /// Whether rotation-invariant classification is enabled.
+    pub fn is_rotation_invariant(&self) -> bool {
+        self.rotation_invariant
+    }
+
+    /// The SVM hyper-parameters type, re-exported for convenience.
+    pub fn svm_params_type() -> SvmParams {
+        SvmParams::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    /// Two-class set: class 0 plants an up-chirp, class 1 a down-chirp,
+    /// at random positions.
+    fn two_class_dataset(n_per_class: usize, len: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new("synthetic", Vec::new(), Vec::new());
+        for class in 0..2usize {
+            for _ in 0..n_per_class {
+                let mut s: Vec<f64> = (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let motif = 24;
+                let at = rng.gen_range(0..len - motif);
+                for i in 0..motif {
+                    let t = i as f64 / motif as f64;
+                    let v = (std::f64::consts::TAU * (1.0 + 2.0 * t) * t).sin();
+                    s[at + i] += 3.0 * if class == 0 { v } else { -v };
+                }
+                d.push(s, class);
+            }
+        }
+        d
+    }
+
+    fn fixed_config() -> RpmConfig {
+        RpmConfig::fixed(SaxConfig::new(24, 4, 4))
+    }
+
+    #[test]
+    fn trains_and_classifies_plantd_motifs() {
+        let train = two_class_dataset(12, 128, 1);
+        let test = two_class_dataset(10, 128, 2);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        assert!(!model.patterns().is_empty());
+        let preds = model.predict_batch(&test.series);
+        let err = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p != l)
+            .count() as f64
+            / preds.len() as f64;
+        assert!(err <= 0.25, "error rate {err}");
+    }
+
+    #[test]
+    fn patterns_carry_class_labels() {
+        let train = two_class_dataset(12, 128, 3);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let classes: std::collections::BTreeSet<usize> =
+            model.patterns().iter().map(|p| p.class).collect();
+        assert!(!classes.is_empty());
+        for &c in &classes {
+            assert!(c < 2);
+            assert_eq!(
+                model.patterns_for_class(c).len(),
+                model.patterns().iter().filter(|p| p.class == c).count()
+            );
+        }
+    }
+
+    #[test]
+    fn transform_dimension_matches_pattern_count() {
+        let train = two_class_dataset(12, 128, 4);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let f = model.transform(&train.series[0]);
+        assert_eq!(f.len(), model.patterns().len());
+    }
+
+    #[test]
+    fn empty_training_set_errors() {
+        let d = Dataset::default();
+        assert_eq!(
+            RpmClassifier::train(&d, &fixed_config()).unwrap_err(),
+            TrainError::EmptyTrainingSet
+        );
+    }
+
+    #[test]
+    fn single_class_errors() {
+        let mut d = Dataset::default();
+        d.push(vec![0.0; 64], 0);
+        d.push(vec![1.0; 64], 0);
+        assert_eq!(
+            RpmClassifier::train(&d, &fixed_config()).unwrap_err(),
+            TrainError::TooFewClasses
+        );
+    }
+
+    #[test]
+    fn oversized_window_gives_no_candidates() {
+        let train = two_class_dataset(6, 40, 5);
+        let cfg = RpmConfig::fixed(SaxConfig::new(64, 4, 4));
+        assert_eq!(
+            RpmClassifier::train(&train, &cfg).unwrap_err(),
+            TrainError::NoCandidates
+        );
+    }
+
+    #[test]
+    fn per_class_fixed_configs_are_applied() {
+        let train = two_class_dataset(12, 128, 6);
+        let cfg = RpmConfig {
+            param_search: ParamSearch::PerClassFixed(vec![
+                SaxConfig::new(24, 4, 4),
+                SaxConfig::new(32, 4, 5),
+            ]),
+            ..RpmConfig::default()
+        };
+        let model = RpmClassifier::train(&train, &cfg).unwrap();
+        assert_eq!(model.sax_configs()[&0].window, 24);
+        assert_eq!(model.sax_configs()[&1].window, 32);
+    }
+
+    #[test]
+    fn rotation_invariant_flag_propagates() {
+        let train = two_class_dataset(12, 128, 7);
+        let cfg = RpmConfig { rotation_invariant: true, ..fixed_config() };
+        let model = RpmClassifier::train(&train, &cfg).unwrap();
+        assert!(model.is_rotation_invariant());
+    }
+
+    #[test]
+    fn stream_classification_tracks_regime_changes() {
+        let train = two_class_dataset(12, 128, 31);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        // A stream that is class 0 for its first half and class 1 after.
+        let probe = two_class_dataset(1, 128, 32);
+        let mut stream = probe.series[probe.labels.iter().position(|&l| l == 0).unwrap()].clone();
+        stream.extend_from_slice(
+            &probe.series[probe.labels.iter().position(|&l| l == 1).unwrap()],
+        );
+        let verdicts = model.classify_stream(&stream, 128, 64);
+        assert_eq!(verdicts.len(), 3); // starts 0, 64, 128
+        assert_eq!(verdicts[0], (0, 0));
+        assert_eq!(verdicts[2], (128, 1));
+    }
+
+    #[test]
+    fn stream_edge_cases() {
+        let train = two_class_dataset(10, 128, 33);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        assert!(model.classify_stream(&[1.0; 10], 128, 1).is_empty());
+        assert!(model.classify_stream(&[1.0; 200], 0, 1).is_empty());
+        // hop 0 clamps to 1 and terminates.
+        let v = model.classify_stream(&train.series[0], 128, 0);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let train = two_class_dataset(10, 128, 8);
+        let m1 = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let m2 = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let test = two_class_dataset(5, 128, 9);
+        assert_eq!(m1.predict_batch(&test.series), m2.predict_batch(&test.series));
+        assert_eq!(m1.patterns().len(), m2.patterns().len());
+    }
+}

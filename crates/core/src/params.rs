@@ -1,0 +1,365 @@
+//! SAX parameter selection — Algorithm 3 and the DIRECT variant (§4).
+//!
+//! The objective of a parameter combination is `1 − F` where `F` is the
+//! F-measure obtained on held-out validation splits: mine candidates on
+//! the split's training part, select representative patterns, transform
+//! both parts, train the SVM on the training part and score the
+//! validation part. (The paper's pseudocode nests a further five-fold CV
+//! inside the validation slice; scoring a model trained on the split's
+//! training part is equivalent in expectation and robust for the very
+//! small classes in the suite — recorded as a deviation in DESIGN.md.)
+//!
+//! `per_class` mode reproduces the paper exactly: each class gets its own
+//! optimized combination (the objective extracts that class's F-measure),
+//! and the final model merges the per-class pattern sets with one more
+//! feature-selection pass (§4.3 — that merge lives in
+//! `RpmClassifier::train_with_configs`). Shared mode optimizes one
+//! combination against the macro F-measure at a fraction of the cost.
+
+use crate::config::{ParamSearch, RpmConfig};
+use crate::model::RpmClassifier;
+use rpm_ml::{macro_f1, per_class_f1, shuffled_stratified_split};
+use rpm_opt::{direct_minimize_integer, DirectParams};
+use rpm_sax::SaxConfig;
+use rpm_ts::{Dataset, Label};
+use std::collections::BTreeMap;
+
+/// Result of the parameter search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Chosen SAX configuration per class.
+    pub per_class: BTreeMap<Label, SaxConfig>,
+    /// Distinct parameter combinations evaluated (the paper's `R`).
+    pub evaluations: usize,
+}
+
+/// Integer search bounds `(window, paa, alphabet)` derived from the
+/// training series lengths: windows span an eighth to half of the
+/// shortest series, PAA sizes 3..=8, alphabets 3..=8 — the region the
+/// GrammarViz line of work searches.
+pub fn default_bounds(train: &Dataset) -> ([i64; 3], [i64; 3]) {
+    let min_len = train.min_len().max(8) as i64;
+    let w_hi = (min_len / 2).max(8);
+    let w_lo = (min_len / 8).clamp(4, w_hi);
+    ([w_lo, 3, 3], [w_hi, 8, 8])
+}
+
+/// Builds a [`SaxConfig`] from a rounded DIRECT/grid point, clamping the
+/// PAA size to the window (a word cannot be longer than its window).
+fn sax_from_point(p: &[i64]) -> SaxConfig {
+    let window = p[0].max(2) as usize;
+    let paa = (p[1].max(2) as usize).min(window);
+    let alpha = (p[2].clamp(2, 12)) as usize;
+    SaxConfig::new(window, paa, alpha)
+}
+
+/// Scores one parameter combination: mean F-measure over the validation
+/// splits, per class (map) plus macro. Returns `None` when no split could
+/// train (no candidates / degenerate split).
+fn evaluate_combination(
+    train: &Dataset,
+    config: &RpmConfig,
+    sax: &SaxConfig,
+) -> Option<(BTreeMap<Label, f64>, f64)> {
+    let classes = train.classes();
+    let mut f_sums: BTreeMap<Label, f64> = classes.iter().map(|&c| (c, 0.0)).collect();
+    let mut macro_sum = 0.0;
+    let mut scored_splits = 0usize;
+
+    for split_idx in 0..config.n_validation_splits.max(1) {
+        let (tr_idx, va_idx) = shuffled_stratified_split(
+            &train.labels,
+            config.validation_train_fraction,
+            config.seed ^ (split_idx as u64).wrapping_mul(0x9E3779B97F4A7C15),
+        );
+        if va_idx.is_empty() {
+            continue;
+        }
+        let sub_train = train.subset(&tr_idx);
+        let validate = train.subset(&va_idx);
+        if sub_train.n_classes() < 2 {
+            continue;
+        }
+        let per_class_sax: BTreeMap<Label, SaxConfig> =
+            sub_train.classes().iter().map(|&c| (c, *sax)).collect();
+        // Avoid nested parameter search: train with these explicit configs.
+        let model = match RpmClassifier::train_with_configs(&sub_train, config, &per_class_sax) {
+            Ok(m) => m,
+            Err(_) => continue, // pruning: abandon this combination's split
+        };
+        let preds = model.predict_batch(&validate.series);
+        let f1s = per_class_f1(&validate.labels, &preds);
+        for (&c, f) in &f1s {
+            *f_sums.entry(c).or_insert(0.0) += f;
+        }
+        macro_sum += macro_f1(&validate.labels, &preds);
+        scored_splits += 1;
+    }
+    if scored_splits == 0 {
+        return None;
+    }
+    let n = scored_splits as f64;
+    for f in f_sums.values_mut() {
+        *f /= n;
+    }
+    Some((f_sums, macro_sum / n))
+}
+
+/// Runs the configured search and returns per-class configurations.
+///
+/// # Panics
+/// Panics when called with a `Fixed`/`PerClassFixed` strategy (those need
+/// no search) — `RpmClassifier::train` never does.
+pub fn search_parameters(train: &Dataset, config: &RpmConfig) -> SearchOutcome {
+    match &config.param_search {
+        ParamSearch::Fixed(_) | ParamSearch::PerClassFixed(_) => {
+            panic!("search_parameters called with a fixed strategy")
+        }
+        ParamSearch::Direct { max_evals, per_class } => {
+            direct_search(train, config, *max_evals, *per_class)
+        }
+        ParamSearch::Grid { windows, paas, alphas, per_class } => {
+            grid_search(train, config, windows, paas, alphas, *per_class)
+        }
+    }
+}
+
+fn direct_search(
+    train: &Dataset,
+    config: &RpmConfig,
+    max_evals: usize,
+    per_class: bool,
+) -> SearchOutcome {
+    let (lo, hi) = default_bounds(train);
+    let classes = train.classes();
+    let direct_params = DirectParams {
+        // Raw proposals; distinct integer points are cached, and roughly
+        // half the proposals round onto already-seen combinations.
+        max_evals: max_evals * 2,
+        max_iters: 40,
+        eps: 1e-4,
+    };
+    let mut evaluations = 0usize;
+    let mut per_class_out: BTreeMap<Label, SaxConfig> = BTreeMap::new();
+
+    if per_class {
+        for &target in &classes {
+            let (point, _f, n) = direct_minimize_integer(
+                |p| {
+                    let sax = sax_from_point(p);
+                    match evaluate_combination(train, config, &sax) {
+                        Some((per_cls, _)) => 1.0 - per_cls.get(&target).copied().unwrap_or(0.0),
+                        None => 1.0,
+                    }
+                },
+                &lo,
+                &hi,
+                &direct_params,
+            );
+            evaluations += n;
+            per_class_out.insert(target, sax_from_point(&point));
+        }
+    } else {
+        let (point, _f, n) = direct_minimize_integer(
+            |p| {
+                let sax = sax_from_point(p);
+                match evaluate_combination(train, config, &sax) {
+                    Some((_, macro_f)) => 1.0 - macro_f,
+                    None => 1.0,
+                }
+            },
+            &lo,
+            &hi,
+            &direct_params,
+        );
+        evaluations = n;
+        let sax = sax_from_point(&point);
+        per_class_out = classes.iter().map(|&c| (c, sax)).collect();
+    }
+    SearchOutcome { per_class: per_class_out, evaluations }
+}
+
+fn grid_search(
+    train: &Dataset,
+    config: &RpmConfig,
+    windows: &[usize],
+    paas: &[usize],
+    alphas: &[usize],
+    per_class: bool,
+) -> SearchOutcome {
+    let classes = train.classes();
+    // best per class: (score, config)
+    let mut best: BTreeMap<Label, (f64, SaxConfig)> = BTreeMap::new();
+    let mut best_shared: (f64, Option<SaxConfig>) = (-1.0, None);
+    let mut evaluations = 0usize;
+
+    for &w in windows {
+        for &p in paas {
+            for &a in alphas {
+                if w < 2 || w > train.min_len() {
+                    continue; // pruning: infeasible window
+                }
+                let sax = sax_from_point(&[w as i64, p as i64, a as i64]);
+                let Some((per_cls, macro_f)) = evaluate_combination(train, config, &sax)
+                else {
+                    continue;
+                };
+                evaluations += 1;
+                for (&c, &f) in &per_cls {
+                    let e = best.entry(c).or_insert((-1.0, sax));
+                    if f > e.0 {
+                        *e = (f, sax);
+                    }
+                }
+                if macro_f > best_shared.0 {
+                    best_shared = (macro_f, Some(sax));
+                }
+            }
+        }
+    }
+
+    let fallback = SaxConfig::new(
+        (train.min_len() / 4).max(4),
+        4,
+        4,
+    );
+    let per_class_out: BTreeMap<Label, SaxConfig> = if per_class {
+        classes
+            .iter()
+            .map(|&c| (c, best.get(&c).map(|e| e.1).unwrap_or(fallback)))
+            .collect()
+    } else {
+        let shared = best_shared.1.unwrap_or(fallback);
+        classes.iter().map(|&c| (c, shared)).collect()
+    };
+    SearchOutcome { per_class: per_class_out, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new("p", Vec::new(), Vec::new());
+        for class in 0..2usize {
+            for _ in 0..10 {
+                let mut s: Vec<f64> =
+                    (0..96).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let at = rng.gen_range(0..96 - 20);
+                for i in 0..20 {
+                    let t = std::f64::consts::TAU * i as f64 / 20.0;
+                    s[at + i] += 3.0 * if class == 0 { t.sin() } else { (2.0 * t).sin() };
+                }
+                d.push(s, class);
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn bounds_are_ordered_and_feasible() {
+        let d = dataset(1);
+        let (lo, hi) = default_bounds(&d);
+        for i in 0..3 {
+            assert!(lo[i] <= hi[i], "{lo:?} vs {hi:?}");
+        }
+        assert!(hi[0] <= 96 / 2);
+        assert!(lo[0] >= 4);
+    }
+
+    #[test]
+    fn sax_from_point_clamps() {
+        let s = sax_from_point(&[10, 50, 30]);
+        assert_eq!(s.window, 10);
+        assert_eq!(s.paa_size, 10, "paa clamped to window");
+        assert_eq!(s.alphabet, 12, "alphabet clamped to 12");
+    }
+
+    #[test]
+    fn evaluate_combination_scores_sane_params() {
+        let d = dataset(2);
+        let cfg = RpmConfig::default();
+        let sax = SaxConfig::new(20, 4, 4);
+        let (per_cls, macro_f) = evaluate_combination(&d, &cfg, &sax).expect("scorable");
+        assert!(per_cls.len() == 2);
+        for f in per_cls.values() {
+            assert!((0.0..=1.0).contains(f));
+        }
+        assert!((0.0..=1.0).contains(&macro_f));
+    }
+
+    #[test]
+    fn evaluate_combination_prunes_oversized_window() {
+        let d = dataset(3);
+        let cfg = RpmConfig::default();
+        let sax = SaxConfig::new(500, 4, 4);
+        assert!(evaluate_combination(&d, &cfg, &sax).is_none());
+    }
+
+    #[test]
+    fn shared_direct_search_returns_uniform_configs() {
+        let d = dataset(4);
+        let cfg = RpmConfig {
+            param_search: ParamSearch::Direct { max_evals: 6, per_class: false },
+            n_validation_splits: 1,
+            ..RpmConfig::default()
+        };
+        let out = search_parameters(&d, &cfg);
+        assert_eq!(out.per_class.len(), 2);
+        let first = out.per_class[&0];
+        assert_eq!(out.per_class[&1], first, "shared mode: same config everywhere");
+        assert!(out.evaluations >= 1);
+    }
+
+    #[test]
+    fn grid_search_picks_feasible_configs() {
+        let d = dataset(5);
+        let cfg = RpmConfig {
+            param_search: ParamSearch::Grid {
+                windows: vec![16, 24],
+                paas: vec![4],
+                alphas: vec![4],
+                per_class: true,
+            },
+            n_validation_splits: 1,
+            ..RpmConfig::default()
+        };
+        let out = search_parameters(&d, &cfg);
+        assert_eq!(out.per_class.len(), 2);
+        for s in out.per_class.values() {
+            assert!(s.window == 16 || s.window == 24);
+        }
+        assert!(out.evaluations <= 2);
+    }
+
+    #[test]
+    fn grid_search_skips_infeasible_windows() {
+        let d = dataset(6);
+        let cfg = RpmConfig {
+            param_search: ParamSearch::Grid {
+                windows: vec![500],
+                paas: vec![4],
+                alphas: vec![4],
+                per_class: false,
+            },
+            n_validation_splits: 1,
+            ..RpmConfig::default()
+        };
+        let out = search_parameters(&d, &cfg);
+        assert_eq!(out.evaluations, 0);
+        // Falls back to a sane default rather than panicking.
+        assert!(out.per_class[&0].window <= 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed strategy")]
+    fn fixed_strategy_panics_in_search() {
+        let d = dataset(7);
+        let cfg = RpmConfig::fixed(SaxConfig::new(8, 4, 4));
+        search_parameters(&d, &cfg);
+    }
+}

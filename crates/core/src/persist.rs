@@ -1,0 +1,347 @@
+//! Trained-model persistence.
+//!
+//! A versioned, dependency-free text format: train once (possibly with the
+//! expensive DIRECT parameter search), save, and classify later from the
+//! saved patterns + SVM. Floats are written with Rust's shortest-roundtrip
+//! `Display`, so save/load is bit-exact.
+//!
+//! ```text
+//! RPM-MODEL v1
+//! flags <rotation_invariant> <early_abandon>
+//! sax <class> <window> <paa> <alpha>        (one per class)
+//! pattern <class> <freq> <coverage> <window> <paa> <alpha> <len> <v...>
+//! svm-classes <labels...>
+//! svm-scaler-mean <v...>
+//! svm-scaler-invsd <v...>
+//! svm-weights <rows>
+//! svm-row <v...>                             (one per class)
+//! END
+//! ```
+
+use crate::candidates::Candidate;
+use crate::model::RpmClassifier;
+use rpm_ml::{LinearSvm, SvmExport};
+use rpm_sax::SaxConfig;
+use rpm_ts::Label;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while loading a saved model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The stream is not a v1 RPM model or is structurally broken.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Format(m) => write!(f, "model format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn format_err(msg: impl Into<String>) -> PersistError {
+    PersistError::Format(msg.into())
+}
+
+impl RpmClassifier {
+    /// Writes the trained model in the v1 text format.
+    pub fn save(&self, mut writer: impl Write) -> std::io::Result<()> {
+        let mut out = String::new();
+        out.push_str("RPM-MODEL v1\n");
+        let _ = writeln!(
+            out,
+            "flags {} {}",
+            self.rotation_invariant as u8, self.early_abandon as u8
+        );
+        for (class, sax) in &self.per_class_sax {
+            let _ = writeln!(out, "sax {class} {} {} {}", sax.window, sax.paa_size, sax.alphabet);
+        }
+        for p in &self.patterns {
+            let _ = write!(
+                out,
+                "pattern {} {} {} {} {} {} {}",
+                p.class,
+                p.frequency,
+                p.coverage,
+                p.sax.window,
+                p.sax.paa_size,
+                p.sax.alphabet,
+                p.values.len()
+            );
+            for v in &p.values {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+        let svm = self.svm.export();
+        out.push_str("svm-classes");
+        for c in &svm.classes {
+            let _ = write!(out, " {c}");
+        }
+        out.push('\n');
+        out.push_str("svm-scaler-mean");
+        for v in &svm.scaler_mean {
+            let _ = write!(out, " {v}");
+        }
+        out.push('\n');
+        out.push_str("svm-scaler-invsd");
+        for v in &svm.scaler_inv_sd {
+            let _ = write!(out, " {v}");
+        }
+        out.push('\n');
+        let _ = writeln!(out, "svm-weights {}", svm.weights.len());
+        for row in &svm.weights {
+            out.push_str("svm-row");
+            for v in row {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+        out.push_str("END\n");
+        writer.write_all(out.as_bytes())
+    }
+
+    /// Loads a model saved by [`RpmClassifier::save`].
+    pub fn load(reader: impl Read) -> Result<Self, PersistError> {
+        let mut lines = BufReader::new(reader).lines();
+        let magic = lines
+            .next()
+            .ok_or_else(|| format_err("empty stream"))??;
+        if magic.trim() != "RPM-MODEL v1" {
+            return Err(format_err(format!("bad magic line {magic:?}")));
+        }
+
+        let mut rotation_invariant = false;
+        let mut early_abandon = true;
+        let mut per_class_sax: BTreeMap<Label, SaxConfig> = BTreeMap::new();
+        let mut patterns: Vec<Candidate> = Vec::new();
+        let mut svm_classes: Option<Vec<usize>> = None;
+        let mut scaler_mean: Option<Vec<f64>> = None;
+        let mut scaler_inv_sd: Option<Vec<f64>> = None;
+        let mut weights: Vec<Vec<f64>> = Vec::new();
+        let mut expected_rows = 0usize;
+        let mut saw_end = false;
+
+        for line in lines {
+            let line = line?;
+            let mut f = line.split_whitespace();
+            let Some(tag) = f.next() else { continue };
+            match tag {
+                "flags" => {
+                    rotation_invariant = parse::<u8>(f.next(), "flags[0]")? != 0;
+                    early_abandon = parse::<u8>(f.next(), "flags[1]")? != 0;
+                }
+                "sax" => {
+                    let class = parse::<usize>(f.next(), "sax class")?;
+                    let w = parse::<usize>(f.next(), "sax window")?;
+                    let p = parse::<usize>(f.next(), "sax paa")?;
+                    let a = parse::<usize>(f.next(), "sax alphabet")?;
+                    per_class_sax.insert(class, SaxConfig::new(w, p, a));
+                }
+                "pattern" => {
+                    let class = parse::<usize>(f.next(), "pattern class")?;
+                    let frequency = parse::<usize>(f.next(), "pattern freq")?;
+                    let coverage = parse::<usize>(f.next(), "pattern coverage")?;
+                    let w = parse::<usize>(f.next(), "pattern window")?;
+                    let p = parse::<usize>(f.next(), "pattern paa")?;
+                    let a = parse::<usize>(f.next(), "pattern alphabet")?;
+                    let len = parse::<usize>(f.next(), "pattern len")?;
+                    let values: Vec<f64> = f
+                        .map(|v| v.parse::<f64>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|e| format_err(format!("pattern values: {e}")))?;
+                    if values.len() != len {
+                        return Err(format_err(format!(
+                            "pattern declared {len} values, found {}",
+                            values.len()
+                        )));
+                    }
+                    patterns.push(Candidate {
+                        class,
+                        values,
+                        frequency,
+                        coverage,
+                        sax: SaxConfig::new(w, p, a),
+                    });
+                }
+                "svm-classes" => {
+                    svm_classes = Some(
+                        f.map(|v| v.parse::<usize>())
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| format_err(format!("svm classes: {e}")))?,
+                    );
+                }
+                "svm-scaler-mean" => scaler_mean = Some(parse_floats(f)?),
+                "svm-scaler-invsd" => scaler_inv_sd = Some(parse_floats(f)?),
+                "svm-weights" => {
+                    expected_rows = parse::<usize>(f.next(), "svm rows")?;
+                }
+                "svm-row" => weights.push(parse_floats(f)?),
+                "END" => {
+                    saw_end = true;
+                    break;
+                }
+                other => return Err(format_err(format!("unknown tag {other:?}"))),
+            }
+        }
+        if !saw_end {
+            return Err(format_err("truncated stream (no END)"));
+        }
+        if weights.len() != expected_rows {
+            return Err(format_err(format!(
+                "declared {expected_rows} weight rows, found {}",
+                weights.len()
+            )));
+        }
+        let svm = LinearSvm::import(SvmExport {
+            classes: svm_classes.ok_or_else(|| format_err("missing svm-classes"))?,
+            weights,
+            scaler_mean: scaler_mean.ok_or_else(|| format_err("missing svm-scaler-mean"))?,
+            scaler_inv_sd: scaler_inv_sd
+                .ok_or_else(|| format_err("missing svm-scaler-invsd"))?,
+        });
+        let pattern_values = patterns.iter().map(|p| p.values.clone()).collect();
+        Ok(RpmClassifier {
+            patterns,
+            pattern_values,
+            svm,
+            per_class_sax,
+            rotation_invariant,
+            early_abandon,
+        })
+    }
+}
+
+fn parse<T: std::str::FromStr>(field: Option<&str>, what: &str) -> Result<T, PersistError>
+where
+    T::Err: std::fmt::Display,
+{
+    field
+        .ok_or_else(|| format_err(format!("missing field {what}")))?
+        .parse::<T>()
+        .map_err(|e| format_err(format!("{what}: {e}")))
+}
+
+fn parse_floats<'a>(f: impl Iterator<Item = &'a str>) -> Result<Vec<f64>, PersistError> {
+    f.map(|v| v.parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format_err(format!("float list: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RpmConfig;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use rand::SeedableRng;
+    use rpm_ts::Dataset;
+
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new("p", Vec::new(), Vec::new());
+        for class in 0..2usize {
+            for _ in 0..10 {
+                let mut s: Vec<f64> =
+                    (0..96).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let at = rng.gen_range(0..96 - 20);
+                for i in 0..20 {
+                    let t = std::f64::consts::TAU * i as f64 / 20.0;
+                    s[at + i] += 3.0 * if class == 0 { t.sin() } else { -t.sin() };
+                }
+                d.push(s, class);
+            }
+        }
+        d
+    }
+
+    fn trained() -> (RpmClassifier, Dataset) {
+        let train = dataset(1);
+        let config = RpmConfig::fixed(SaxConfig::new(20, 4, 4));
+        (RpmClassifier::train(&train, &config).unwrap(), dataset(2))
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions_exactly() {
+        let (model, test) = trained();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = RpmClassifier::load(buf.as_slice()).unwrap();
+        assert_eq!(
+            model.predict_batch(&test.series),
+            loaded.predict_batch(&test.series)
+        );
+        // Feature vectors must be bit-exact too (shortest-roundtrip floats).
+        assert_eq!(model.transform(&test.series[0]), loaded.transform(&test.series[0]));
+    }
+
+    #[test]
+    fn roundtrip_preserves_metadata() {
+        let (model, _) = trained();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = RpmClassifier::load(buf.as_slice()).unwrap();
+        assert_eq!(model.patterns().len(), loaded.patterns().len());
+        assert_eq!(model.sax_configs(), loaded.sax_configs());
+        assert_eq!(model.is_rotation_invariant(), loaded.is_rotation_invariant());
+        for (a, b) in model.patterns().iter().zip(loaded.patterns()) {
+            assert_eq!(a.class, b.class);
+            assert_eq!(a.frequency, b.frequency);
+            assert_eq!(a.coverage, b.coverage);
+            assert_eq!(a.values, b.values);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = RpmClassifier::load("NOT-A-MODEL\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn truncated_stream_is_rejected() {
+        let (model, _) = trained();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let cut = buf.len() / 2;
+        let err = RpmClassifier::load(&buf[..cut]).unwrap_err();
+        assert!(matches!(err, PersistError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupted_pattern_count_is_rejected() {
+        let (model, _) = trained();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // Break a declared pattern length.
+        let broken = text.replacen("pattern 0", "pattern 0 9999", 1);
+        assert!(RpmClassifier::load(broken.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let text = "RPM-MODEL v1\nbogus 1 2 3\nEND\n";
+        let err = RpmClassifier::load(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("unknown tag"));
+    }
+
+    #[test]
+    fn empty_stream_is_rejected() {
+        assert!(RpmClassifier::load(&b""[..]).is_err());
+    }
+}

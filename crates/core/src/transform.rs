@@ -1,0 +1,231 @@
+//! Feature-space transformation (§3.1) and the pattern distance.
+//!
+//! A time series becomes the vector of closest-match distances to the K
+//! representative patterns — the "universal data type" the paper feeds to
+//! the SVM. The rotation-invariant variant (§6.1) additionally matches
+//! against the series rotated at its midpoint and keeps the minimum, so a
+//! best match severed by rotation is re-joined in one of the two views.
+
+use rpm_cluster::resample;
+use rpm_ts::{best_match, euclidean, rotate_half, znorm};
+
+/// Distance between two patterns / subsequences of possibly different
+/// lengths: the shorter is slid over the longer (both z-normalized) and
+/// the length-normalized closest-match distance is returned. Symmetric by
+/// construction. Falls back to resampling when one side is empty-window
+/// degenerate (cannot happen for grammar-derived patterns, but keeps the
+/// function total).
+pub fn pattern_distance(a: &[f64], b: &[f64], early_abandon: bool) -> f64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match best_match(short, long, early_abandon) {
+        Some(m) => m.distance,
+        None => f64::INFINITY,
+    }
+}
+
+/// Closest-match distance of `pattern` inside `series`, with the
+/// resampling fallback for a pattern longer than the series (possible when
+/// test series are shorter than the training series the pattern came
+/// from): the pattern is linearly resampled to the series length and
+/// compared directly, keeping the feature finite.
+fn feature_distance(pattern: &[f64], series: &[f64], early_abandon: bool) -> f64 {
+    if pattern.len() <= series.len() {
+        match best_match(pattern, series, early_abandon) {
+            Some(m) => m.distance,
+            None => 0.0, // empty pattern: degenerate, treat as zero signal
+        }
+    } else {
+        let shrunk = resample(pattern, series.len());
+        let d = euclidean(&znorm(&shrunk), &znorm(series));
+        d / (series.len() as f64).sqrt()
+    }
+}
+
+/// Transforms one series into the K-dimensional pattern-distance vector.
+pub fn transform_series(
+    series: &[f64],
+    patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+) -> Vec<f64> {
+    let rotated = if rotation_invariant {
+        Some(rotate_half(series))
+    } else {
+        None
+    };
+    patterns
+        .iter()
+        .map(|p| {
+            let d = feature_distance(p, series, early_abandon);
+            match &rotated {
+                Some(r) => d.min(feature_distance(p, r, early_abandon)),
+                None => d,
+            }
+        })
+        .collect()
+}
+
+/// Transforms a whole set of series.
+pub fn transform_set(
+    series: &[Vec<f64>],
+    patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+) -> Vec<Vec<f64>> {
+    series
+        .iter()
+        .map(|s| transform_series(s, patterns, rotation_invariant, early_abandon))
+        .collect()
+}
+
+/// Parallel [`transform_set`]: the series are chunked across `n_threads`
+/// scoped worker threads. Results are identical to the serial version —
+/// the transform is embarrassingly parallel and read-only. This is the
+/// hot loop of both training (feature construction) and batch
+/// classification, so it is the one place the crate spends threads.
+pub fn transform_set_parallel(
+    series: &[Vec<f64>],
+    patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    n_threads: usize,
+) -> Vec<Vec<f64>> {
+    let n_threads = n_threads.max(1).min(series.len().max(1));
+    if n_threads <= 1 || series.len() < 2 {
+        return transform_set(series, patterns, rotation_invariant, early_abandon);
+    }
+    let chunk = series.len().div_ceil(n_threads);
+    let mut out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = series
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move |_| {
+                    transform_set(part, patterns, rotation_invariant, early_abandon)
+                })
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("transform worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    out.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bump(at: usize, len: usize) -> Vec<f64> {
+        (0..len)
+            .map(|i| {
+                let d = (i as f64 - at as f64) / 3.0;
+                (-0.5 * d * d).exp()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pattern_distance_is_symmetric() {
+        let a = bump(10, 30);
+        let b = bump(20, 50);
+        let d1 = pattern_distance(&a, &b, true);
+        let d2 = pattern_distance(&b, &a, true);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn identical_patterns_have_zero_distance() {
+        let a = bump(5, 20);
+        assert!(pattern_distance(&a, &a, true) < 1e-9);
+    }
+
+    #[test]
+    fn containing_series_matches_its_pattern() {
+        let series = bump(40, 100);
+        let pattern = series[30..55].to_vec();
+        let f = transform_series(&series, &[pattern], false, true);
+        assert!(f[0] < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn transform_width_equals_pattern_count() {
+        let series = bump(10, 64);
+        let pats = vec![bump(3, 10), bump(5, 12), bump(7, 20)];
+        let f = transform_series(&series, &pats, false, true);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn oversized_pattern_stays_finite() {
+        let series = bump(5, 16);
+        let pattern = bump(30, 64);
+        let f = transform_series(&series, &[pattern], false, true);
+        assert!(f[0].is_finite());
+    }
+
+    #[test]
+    fn rotation_invariance_recovers_severed_match() {
+        // Series with the bump at the end; rotate so the bump is split
+        // across the wrap point; the plain transform misses it while the
+        // rotation-invariant one recovers a near-zero distance.
+        let series = bump(50, 100);
+        let pattern = series[38..63].to_vec();
+        let severed = rpm_ts::rotate(&series, 50); // cut through the bump
+        let plain = transform_series(&severed, std::slice::from_ref(&pattern), false, true);
+        let invariant = transform_series(&severed, &[pattern], true, true);
+        assert!(invariant[0] < 1e-6, "{invariant:?}");
+        assert!(plain[0] > invariant[0] + 0.05, "plain {plain:?} vs {invariant:?}");
+    }
+
+    #[test]
+    fn rotation_invariant_distance_never_exceeds_plain() {
+        let series = bump(20, 80);
+        let pats = vec![bump(4, 15), bump(9, 25)];
+        let plain = transform_series(&series, &pats, false, true);
+        let inv = transform_series(&series, &pats, true, true);
+        for (p, i) in plain.iter().zip(&inv) {
+            assert!(i <= p, "invariant must take the min: {i} > {p}");
+        }
+    }
+
+    #[test]
+    fn transform_set_shape() {
+        let set = vec![bump(5, 40), bump(9, 40)];
+        let pats = vec![bump(3, 10)];
+        let t = transform_set(&set, &pats, false, true);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].len(), 1);
+    }
+
+    #[test]
+    fn parallel_transform_matches_serial() {
+        let set: Vec<Vec<f64>> = (0..17).map(|k| bump(5 + k, 60)).collect();
+        let pats = vec![bump(3, 10), bump(7, 22)];
+        let serial = transform_set(&set, &pats, false, true);
+        for threads in [1usize, 2, 4, 32] {
+            let par = transform_set_parallel(&set, &pats, false, true, threads);
+            assert_eq!(serial, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_transform_handles_empty_set() {
+        let pats = vec![bump(3, 10)];
+        let par = transform_set_parallel(&[], &pats, false, true, 4);
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn early_abandon_matches_exhaustive() {
+        let series = bump(33, 120);
+        let pats = vec![bump(4, 17), bump(2, 9)];
+        let fast = transform_series(&series, &pats, false, true);
+        let slow = transform_series(&series, &pats, false, false);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

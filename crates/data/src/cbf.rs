@@ -1,0 +1,121 @@
+//! Cylinder-Bell-Funnel (Saito, 1994) — the classic synthetic 3-class
+//! benchmark the paper visualizes in Fig. 2.
+//!
+//! All classes share the template `(6 + η)·χ[a,b](t) + ε(t)` where
+//! `η ~ N(0,1)`, `ε` is unit Gaussian noise, `a ~ U{16..32}` and
+//! `b − a ~ U{32..96}`:
+//!
+//! * **Cylinder** — the characteristic function itself (plateau),
+//! * **Bell** — multiplied by the rising ramp `(t−a)/(b−a)`,
+//! * **Funnel** — multiplied by the falling ramp `(b−t)/(b−a)`.
+
+use crate::synth::{rand_int, randn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpm_ts::Dataset;
+
+/// CBF class indices.
+pub const CYLINDER: usize = 0;
+/// Bell class index.
+pub const BELL: usize = 1;
+/// Funnel class index.
+pub const FUNNEL: usize = 2;
+
+/// Generates one CBF instance of the given class.
+pub fn cbf_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 3, "CBF has classes 0..3");
+    let a = rand_int(rng, length / 8, length / 4); // 16..32 at length 128
+    let span = rand_int(rng, length / 4, (3 * length) / 4).max(2); // 32..96
+    let b = (a + span).min(length - 1);
+    let eta = randn(rng);
+    let amp = 6.0 + eta;
+    (0..length)
+        .map(|t| {
+            let noise = randn(rng);
+            if t < a || t > b {
+                noise
+            } else {
+                let shape = match class {
+                    CYLINDER => 1.0,
+                    BELL => (t - a) as f64 / (b - a) as f64,
+                    _ => (b - t) as f64 / (b - a) as f64,
+                };
+                amp * shape + noise
+            }
+        })
+        .collect()
+}
+
+/// Generates a balanced CBF dataset (`n_per_class` instances per class).
+pub fn generate(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("CBF", Vec::new(), Vec::new());
+    for class in 0..3 {
+        for _ in 0..n_per_class {
+            d.push(cbf_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_distinguishable_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200;
+        let len = 128;
+        // Average many instances per class: cylinder is flat-topped, bell
+        // rises toward the right of its support, funnel falls.
+        let mut means = vec![vec![0.0; len]; 3];
+        #[allow(clippy::needless_range_loop)]
+        for class in 0..3 {
+            for _ in 0..n {
+                let s = cbf_instance(class, len, &mut rng);
+                for (m, v) in means[class].iter_mut().zip(&s) {
+                    *m += v / n as f64;
+                }
+            }
+        }
+        // The mean bell has its mass late in the event window, the funnel
+        // early, the cylinder in between; compare centers of mass.
+        let com = |m: &[f64]| {
+            let total: f64 = m.iter().map(|v| v.max(0.0)).sum();
+            m.iter()
+                .enumerate()
+                .map(|(i, v)| i as f64 * v.max(0.0))
+                .sum::<f64>()
+                / total
+        };
+        let (c_cyl, c_bell, c_fun) = (com(&means[CYLINDER]), com(&means[BELL]), com(&means[FUNNEL]));
+        assert!(c_bell > c_cyl + 3.0, "bell mass is late: {c_bell} vs {c_cyl}");
+        assert!(c_fun < c_cyl - 3.0, "funnel mass is early: {c_fun} vs {c_cyl}");
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let d = generate(10, 128, 42);
+        assert_eq!(d.len(), 30);
+        assert_eq!(d.n_classes(), 3);
+        assert!(d.series.iter().all(|s| s.len() == 128));
+        assert_eq!(d.class_size(0), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(5, 64, 7);
+        let b = generate(5, 64, 7);
+        assert_eq!(a, b);
+        let c = generate(5, 64, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes 0..3")]
+    fn invalid_class_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        cbf_instance(3, 128, &mut rng);
+    }
+}

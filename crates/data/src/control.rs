@@ -1,0 +1,213 @@
+//! Control-chart style synthetics: SyntheticControl, TwoPatterns and a
+//! Trace-like transient family.
+
+use crate::synth::{add_noise, rand_f64, rand_int, randn};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpm_ts::Dataset;
+
+/// The six classic control-chart classes (Alcock & Manolopoulos):
+/// normal, cyclic, increasing trend, decreasing trend, upward shift,
+/// downward shift.
+pub fn synthetic_control_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 6, "synthetic control has classes 0..6");
+    let base = 30.0;
+    let mut s: Vec<f64> = (0..length).map(|_| base + 2.0 * randn(rng)).collect();
+    match class {
+        0 => {}
+        1 => {
+            // Cyclic: add a sinusoid of random amplitude/period.
+            let amp = rand_f64(rng, 10.0, 15.0);
+            let period = rand_f64(rng, 10.0, 15.0);
+            for (t, v) in s.iter_mut().enumerate() {
+                *v += amp * (std::f64::consts::TAU * t as f64 / period).sin();
+            }
+        }
+        2 | 3 => {
+            // Trends.
+            let slope = rand_f64(rng, 0.2, 0.5) * if class == 2 { 1.0 } else { -1.0 };
+            for (t, v) in s.iter_mut().enumerate() {
+                *v += slope * t as f64;
+            }
+        }
+        _ => {
+            // Shifts at a random changepoint.
+            let at = rand_int(rng, length / 3, (2 * length) / 3);
+            let mag = rand_f64(rng, 7.5, 20.0) * if class == 4 { 1.0 } else { -1.0 };
+            for v in s.iter_mut().skip(at) {
+                *v += mag;
+            }
+        }
+    }
+    s
+}
+
+/// Balanced SyntheticControl-like dataset.
+pub fn synthetic_control(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("SyntheticControl", Vec::new(), Vec::new());
+    for class in 0..6 {
+        for _ in 0..n_per_class {
+            d.push(synthetic_control_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+/// TwoPatterns: two step events (each up-down `u` or down-up `d`) placed at
+/// random positions; the class is the ordered pair (uu / ud / du / dd).
+pub fn two_patterns_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 4, "two-patterns has classes 0..4");
+    let first_up = class / 2 == 0;
+    let second_up = class.is_multiple_of(2);
+    let mut s = vec![0.0; length];
+    let w = length / 8; // event width
+    let p1 = rand_int(rng, w, length / 2 - 2 * w);
+    let p2 = rand_int(rng, length / 2 + w, length - 2 * w);
+    for (p, up) in [(p1, first_up), (p2, second_up)] {
+        for (i, v) in s.iter_mut().enumerate().skip(p).take(2 * w) {
+            let phase = i - p;
+            let lvl = if phase < w { 1.0 } else { -1.0 };
+            *v += if up { lvl * 5.0 } else { -lvl * 5.0 };
+        }
+    }
+    add_noise(&mut s, 1.0, rng);
+    s
+}
+
+/// Balanced TwoPatterns-like dataset.
+pub fn two_patterns(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("TwoPatterns", Vec::new(), Vec::new());
+    for class in 0..4 {
+        for _ in 0..n_per_class {
+            d.push(two_patterns_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+/// Trace-like transients (4 classes): a baseline with an oscillatory burst
+/// and/or a level step, mimicking the nuclear-plant transients of the UCR
+/// Trace dataset.
+pub fn trace_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 4, "trace has classes 0..4");
+    let has_burst = class & 1 == 1;
+    let has_step = class & 2 == 2;
+    let mut s = vec![0.0; length];
+    if has_step {
+        let at = rand_int(rng, length / 3, length / 2);
+        let ramp = length / 10;
+        for (i, v) in s.iter_mut().enumerate() {
+            if i >= at + ramp {
+                *v += 3.0;
+            } else if i >= at {
+                *v += 3.0 * (i - at) as f64 / ramp as f64;
+            }
+        }
+    }
+    if has_burst {
+        let at = rand_int(rng, length / 10, length / 4);
+        let dur = length / 5;
+        for (i, v) in s.iter_mut().enumerate().skip(at).take(dur) {
+            let phase = (i - at) as f64 / dur as f64;
+            let envelope = (std::f64::consts::PI * phase).sin();
+            *v += 2.0 * envelope * (std::f64::consts::TAU * 4.0 * phase).sin();
+        }
+    }
+    add_noise(&mut s, 0.1, rng);
+    s
+}
+
+/// Balanced Trace-like dataset.
+pub fn trace(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("Trace", Vec::new(), Vec::new());
+    for class in 0..4 {
+        for _ in 0..n_per_class {
+            d.push(trace_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_trends_have_signed_slopes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for (class, sign) in [(2usize, 1.0f64), (3, -1.0)] {
+            let s = synthetic_control_instance(class, 60, &mut rng);
+            let slope = (s[55..].iter().sum::<f64>() - s[..5].iter().sum::<f64>()) / 5.0;
+            assert!(slope * sign > 5.0, "class {class} slope {slope}");
+        }
+    }
+
+    #[test]
+    fn control_shifts_jump() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = synthetic_control_instance(4, 60, &mut rng);
+        let head = s[..10].iter().sum::<f64>() / 10.0;
+        let tail = s[50..].iter().sum::<f64>() / 10.0;
+        assert!(tail - head > 4.0, "upward shift: {head} -> {tail}");
+    }
+
+    #[test]
+    fn control_dataset_shape() {
+        let d = synthetic_control(20, 60, 1);
+        assert_eq!(d.len(), 120);
+        assert_eq!(d.n_classes(), 6);
+    }
+
+    #[test]
+    fn two_patterns_class_signature() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // Class 0 (uu): both events start positive; class 3 (dd): negative.
+        for (class, sign) in [(0usize, 1.0f64), (3, -1.0)] {
+            // Average extremes over instances to defeat noise.
+            let mut lead_sum = 0.0;
+            for _ in 0..50 {
+                let s = two_patterns_instance(class, 128, &mut rng);
+                // The first nonzero event's leading half has the class sign.
+                let first_event = s
+                    .iter()
+                    .position(|&v| v.abs() > 3.0)
+                    .expect("event exists");
+                lead_sum += s[first_event + 2];
+            }
+            assert!(lead_sum * sign > 0.0, "class {class}: {lead_sum}");
+        }
+    }
+
+    #[test]
+    fn two_patterns_dataset_shape() {
+        let d = two_patterns(10, 128, 2);
+        assert_eq!(d.len(), 40);
+        assert_eq!(d.n_classes(), 4);
+        assert!(d.series.iter().all(|s| s.len() == 128));
+    }
+
+    #[test]
+    fn trace_step_classes_end_high() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for class in [2usize, 3] {
+            let s = trace_instance(class, 200, &mut rng);
+            let tail = s[180..].iter().sum::<f64>() / 20.0;
+            assert!(tail > 2.0, "class {class} tail {tail}");
+        }
+        for class in [0usize, 1] {
+            let s = trace_instance(class, 200, &mut rng);
+            let tail = s[180..].iter().sum::<f64>() / 20.0;
+            assert!(tail.abs() < 1.0, "class {class} tail {tail}");
+        }
+    }
+
+    #[test]
+    fn all_deterministic() {
+        assert_eq!(synthetic_control(3, 60, 9), synthetic_control(3, 60, 9));
+        assert_eq!(two_patterns(3, 128, 9), two_patterns(3, 128, 9));
+        assert_eq!(trace(3, 200, 9), trace(3, 200, 9));
+    }
+}

@@ -1,0 +1,87 @@
+//! The rotation corruption of §6.1.
+//!
+//! "To shift or rotate a time series, we randomly choose a cut point in
+//! the time series, and swap the sections before and after the cut point."
+//! Training data stays untouched; only the test set is corrupted.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rpm_ts::{rotate, Dataset};
+
+/// Returns a copy of `dataset` with every series rotated at an independent
+/// uniformly random cut point. Labels are preserved.
+pub fn rotate_dataset(dataset: &Dataset, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let series = dataset
+        .series
+        .iter()
+        .map(|s| {
+            if s.len() < 2 {
+                s.clone()
+            } else {
+                let cut = rng.gen_range(1..s.len());
+                rotate(s, cut)
+            }
+        })
+        .collect();
+    Dataset::new(format!("{}-rotated", dataset.name), series, dataset.labels.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                (0..32).map(|i| i as f64).collect(),
+                (0..32).map(|i| (32 - i) as f64).collect(),
+            ],
+            vec![0, 1],
+        )
+    }
+
+    #[test]
+    fn labels_and_lengths_survive() {
+        let d = toy();
+        let r = rotate_dataset(&d, 1);
+        assert_eq!(r.labels, d.labels);
+        assert_eq!(r.series[0].len(), 32);
+        assert!(r.name.contains("rotated"));
+    }
+
+    #[test]
+    fn values_are_permuted_not_changed() {
+        let d = toy();
+        let r = rotate_dataset(&d, 2);
+        for (orig, rot) in d.series.iter().zip(&r.series) {
+            let mut a = orig.clone();
+            let mut b = rot.clone();
+            a.sort_by(f64::total_cmp);
+            b.sort_by(f64::total_cmp);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn rotation_actually_moves_something() {
+        let d = toy();
+        let r = rotate_dataset(&d, 3);
+        assert_ne!(r.series[0], d.series[0], "cut in 1..len guarantees movement");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = toy();
+        assert_eq!(rotate_dataset(&d, 4).series, rotate_dataset(&d, 4).series);
+    }
+
+    #[test]
+    fn short_series_pass_through() {
+        let d = Dataset::new("s", vec![vec![1.0]], vec![0]);
+        let r = rotate_dataset(&d, 5);
+        assert_eq!(r.series[0], vec![1.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! ECG-beat synthetics (ECGFiveDays-like).
+//!
+//! Each instance is a single heartbeat built from Gaussian waves for the
+//! P wave, QRS complex, and T wave. The two classes share gross morphology
+//! but differ in localized features (T-wave amplitude and an ST-segment
+//! offset) — exactly the "visually similar, locally discriminable"
+//! structure of the paper's Fig. 5.
+
+use crate::synth::{add_gaussian_peak, add_noise, rand_f64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpm_ts::Dataset;
+
+/// Generates one beat of the given class (0 or 1).
+pub fn ecg_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "ECG family has classes 0..2");
+    let mut s = vec![0.0; length];
+    let l = length as f64;
+    let jitter = rand_f64(rng, -0.02, 0.02) * l;
+
+    // P wave.
+    add_gaussian_peak(&mut s, 0.20 * l + jitter, 0.025 * l, 0.25);
+    // QRS complex: Q dip, R spike, S dip.
+    add_gaussian_peak(&mut s, 0.38 * l + jitter, 0.012 * l, -0.3);
+    add_gaussian_peak(&mut s, 0.42 * l + jitter, 0.012 * l, 2.5);
+    add_gaussian_peak(&mut s, 0.46 * l + jitter, 0.012 * l, -0.6);
+    // T wave: class-dependent amplitude (class 1 has a depressed,
+    // widened T — the discriminative feature).
+    let (t_amp, t_width) = if class == 0 {
+        (0.7, 0.04 * l)
+    } else {
+        (0.25, 0.065 * l)
+    };
+    add_gaussian_peak(&mut s, 0.68 * l + jitter, t_width, t_amp);
+    // ST segment offset for class 1 (mild depression).
+    if class == 1 {
+        for (i, v) in s.iter_mut().enumerate() {
+            let x = i as f64 / l;
+            if (0.48..0.62).contains(&x) {
+                *v -= 0.15;
+            }
+        }
+    }
+    add_noise(&mut s, 0.05, rng);
+    s
+}
+
+/// Balanced ECGFiveDays-like dataset.
+pub fn generate(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("ECGFiveDays", Vec::new(), Vec::new());
+    for class in 0..2 {
+        for _ in 0..n_per_class {
+            d.push(ecg_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r_spike_dominates() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = ecg_instance(0, 136, &mut rng);
+        let (argmax, _) = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        let expected = (0.42f64 * 136.0) as usize;
+        assert!(
+            argmax.abs_diff(expected) <= 6,
+            "R peak at {argmax}, expected near {expected}"
+        );
+    }
+
+    #[test]
+    fn t_wave_separates_classes_in_expectation() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 100;
+        let len = 136;
+        let t_region = |s: &[f64]| {
+            s[(0.64 * len as f64) as usize..(0.72 * len as f64) as usize]
+                .iter()
+                .sum::<f64>()
+        };
+        let mut m0 = 0.0;
+        let mut m1 = 0.0;
+        for _ in 0..n {
+            m0 += t_region(&ecg_instance(0, len, &mut rng)) / n as f64;
+            m1 += t_region(&ecg_instance(1, len, &mut rng)) / n as f64;
+        }
+        assert!(m0 > m1 + 1.0, "class 0 T-wave bigger: {m0} vs {m1}");
+    }
+
+    #[test]
+    fn dataset_shape_and_determinism() {
+        let d = generate(12, 136, 3);
+        assert_eq!(d.len(), 24);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d, generate(12, 136, 3));
+    }
+}

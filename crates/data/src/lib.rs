@@ -1,0 +1,46 @@
+//! # rpm-data — datasets for the RPM reproduction
+//!
+//! The paper evaluates on the UCR archive, rotated variants of five of its
+//! shape datasets, and an ICU arterial-blood-pressure alarm corpus from
+//! MIMIC II. None of those corpora can be redistributed here, so this crate
+//! implements *generative stand-ins*: for each dataset family used in the
+//! evaluation we implement a synthetic generator reproducing the family's
+//! class structure (localized discriminative subpatterns, warping, noise),
+//! emitted in the same shapes the paper reports (classes / train / test /
+//! length, scaled to laptop budgets). The relative comparisons the paper
+//! makes — which classifier wins where, and by how much — exercise the same
+//! code paths on these generators. See `DESIGN.md` §3 for the substitution
+//! rationale.
+//!
+//! * [`cbf`] — Cylinder-Bell-Funnel (Saito's classic synthetic ruleset,
+//!   Fig. 2 of the paper),
+//! * [`control`] — control charts, two-patterns, Trace-like transients,
+//! * [`ecg`] — ECG-beat families (ECGFiveDays-like),
+//! * [`motion`] — GunPoint-like motion profiles,
+//! * [`shapes`] — radial shape profiles (leaf/face families; the rotation
+//!   case study of §6.1 uses these),
+//! * [`spectra`] — spectrography families (Coffee-like),
+//! * [`misc`] — ItalyPowerDemand-like and Wafer-like families,
+//! * [`sensor`] — MoteStrain / Lightning2 / SonyAIBO-like sensor traces,
+//! * [`abp`] — the §6.2 medical-alarm stand-in: an arterial blood pressure
+//!   waveform simulator with normal and alarm regimes,
+//! * [`ucr`] — UCR file format I/O (label-first delimited rows),
+//! * [`registry`] — the named evaluation suite with paper-aligned shapes,
+//! * [`corrupt`] — the rotation corruption of §6.1.
+
+pub mod abp;
+pub mod cbf;
+pub mod control;
+pub mod corrupt;
+pub mod ecg;
+pub mod misc;
+pub mod motion;
+pub mod registry;
+pub mod sensor;
+pub mod shapes;
+pub mod spectra;
+pub mod synth;
+pub mod ucr;
+
+pub use corrupt::rotate_dataset;
+pub use registry::{generate, suite, DatasetSpec};

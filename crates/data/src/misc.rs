@@ -1,0 +1,130 @@
+//! Short-series families: ItalyPowerDemand-like and Wafer-like.
+
+use crate::synth::{add_gaussian_peak, add_noise, rand_f64, rand_int};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpm_ts::Dataset;
+
+/// ItalyPowerDemand-like: 24-point daily electricity demand. Class 0
+/// ("winter") has a single evening peak; class 1 ("summer") adds a strong
+/// midday air-conditioning plateau.
+pub fn italy_power_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "italy-power family has classes 0..2");
+    let l = length as f64;
+    let mut s = vec![1.0; length];
+    // Overnight trough.
+    add_gaussian_peak(&mut s, 0.12 * l, 0.10 * l, -0.5);
+    // Evening peak (both classes).
+    add_gaussian_peak(&mut s, 0.80 * l, 0.07 * l, rand_f64(rng, 0.7, 0.9));
+    if class == 1 {
+        // Midday cooling load.
+        add_gaussian_peak(&mut s, 0.50 * l, 0.10 * l, rand_f64(rng, 0.6, 0.8));
+    } else {
+        // Winter lunchtime dip.
+        add_gaussian_peak(&mut s, 0.55 * l, 0.06 * l, -0.2);
+    }
+    add_noise(&mut s, 0.05, rng);
+    s
+}
+
+/// Balanced ItalyPowerDemand-like dataset.
+pub fn italy_power(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("ItalyPowerDemand", Vec::new(), Vec::new());
+    for class in 0..2 {
+        for _ in 0..n_per_class {
+            d.push(italy_power_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+/// Wafer-like: semiconductor process traces. Class 0 (normal) ramps
+/// through clean process stages; class 1 (abnormal) injects a mid-process
+/// excursion spike.
+pub fn wafer_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "wafer family has classes 0..2");
+    let stage1 = length / 4;
+    let stage2 = 3 * length / 4;
+    let mut s: Vec<f64> = (0..length)
+        .map(|i| {
+            if i < stage1 {
+                0.0
+            } else if i < stage2 {
+                2.0
+            } else {
+                0.5
+            }
+        })
+        .collect();
+    if class == 1 {
+        let at = rand_int(rng, stage1 + 5, stage2 - 10);
+        let amp = rand_f64(rng, 1.5, 3.0);
+        add_gaussian_peak(&mut s, at as f64, 0.01 * length as f64 + 1.0, -amp);
+    }
+    add_noise(&mut s, 0.08, rng);
+    s
+}
+
+/// Wafer-like dataset with the archive's class imbalance flavor
+/// (`n_normal` vs `n_abnormal`).
+pub fn wafer(n_normal: usize, n_abnormal: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("Wafer", Vec::new(), Vec::new());
+    for _ in 0..n_normal {
+        d.push(wafer_instance(0, length, &mut rng), 0);
+    }
+    for _ in 0..n_abnormal {
+        d.push(wafer_instance(1, length, &mut rng), 1);
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn italy_summer_has_midday_load() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let n = 60;
+        let len = 24;
+        let midday = |s: &[f64]| s[11..14].iter().sum::<f64>() / 3.0;
+        let mut w = 0.0;
+        let mut su = 0.0;
+        for _ in 0..n {
+            w += midday(&italy_power_instance(0, len, &mut rng)) / n as f64;
+            su += midday(&italy_power_instance(1, len, &mut rng)) / n as f64;
+        }
+        assert!(su > w + 0.3, "summer midday {su} vs winter {w}");
+    }
+
+    #[test]
+    fn wafer_abnormal_dips() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let n = 60;
+        let min_mid = |s: &[f64]| {
+            s[40..110].iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let mut normal = 0.0;
+        let mut abnormal = 0.0;
+        for _ in 0..n {
+            normal += min_mid(&wafer_instance(0, 152, &mut rng)) / n as f64;
+            abnormal += min_mid(&wafer_instance(1, 152, &mut rng)) / n as f64;
+        }
+        assert!(abnormal < normal - 0.8, "{abnormal} vs {normal}");
+    }
+
+    #[test]
+    fn wafer_imbalance_respected() {
+        let d = wafer(30, 10, 152, 6);
+        assert_eq!(d.class_size(0), 30);
+        assert_eq!(d.class_size(1), 10);
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(italy_power(5, 24, 7), italy_power(5, 24, 7));
+        assert_eq!(wafer(5, 5, 152, 7), wafer(5, 5, 152, 7));
+    }
+}

@@ -1,0 +1,94 @@
+//! GunPoint-like motion-capture profiles.
+//!
+//! The UCR GunPoint data tracks a hand's centroid while an actor either
+//! draws a gun from a holster (class *Gun*) or merely points (class
+//! *Point*). Both classes share the raise–hold–lower arc; the Gun class
+//! adds a characteristic dip before the raise and an overshoot after
+//! lowering (reaching into / returning to the holster) — local features,
+//! which is why subsequence methods do well on it (Fig. 10).
+
+use crate::synth::{add_gaussian_peak, add_noise, rand_f64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpm_ts::Dataset;
+
+/// Smoothstep between 0 and 1 over `[a, b]`.
+fn smoothstep(x: f64, a: f64, b: f64) -> f64 {
+    let t = ((x - a) / (b - a)).clamp(0.0, 1.0);
+    t * t * (3.0 - 2.0 * t)
+}
+
+/// Generates one GunPoint-like instance (class 0 = Gun, 1 = Point).
+pub fn gunpoint_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "GunPoint family has classes 0..2");
+    let l = length as f64;
+    let raise_at = rand_f64(rng, 0.18, 0.24);
+    let lower_at = rand_f64(rng, 0.68, 0.76);
+    let plateau = rand_f64(rng, 0.95, 1.05);
+    let mut s: Vec<f64> = (0..length)
+        .map(|i| {
+            let x = i as f64 / l;
+            plateau * (smoothstep(x, raise_at, raise_at + 0.1)
+                - smoothstep(x, lower_at, lower_at + 0.1))
+        })
+        .collect();
+    if class == 0 {
+        // Holster dip before the raise and overshoot after lowering.
+        add_gaussian_peak(&mut s, (raise_at - 0.06) * l, 0.018 * l, -0.35);
+        add_gaussian_peak(&mut s, (lower_at + 0.14) * l, 0.02 * l, 0.3);
+    }
+    add_noise(&mut s, 0.02, rng);
+    s
+}
+
+/// Balanced GunPoint-like dataset.
+pub fn generate(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("GunPoint", Vec::new(), Vec::new());
+    for class in 0..2 {
+        for _ in 0..n_per_class {
+            d.push(gunpoint_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_classes_share_the_plateau() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for class in 0..2 {
+            let s = gunpoint_instance(class, 150, &mut rng);
+            let mid = s[60..90].iter().sum::<f64>() / 30.0;
+            assert!((mid - 1.0).abs() < 0.2, "class {class} plateau {mid}");
+            let start = s[..10].iter().sum::<f64>() / 10.0;
+            assert!(start.abs() < 0.3, "class {class} baseline {start}");
+        }
+    }
+
+    #[test]
+    fn gun_class_has_the_holster_dip() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 60;
+        let mut min0 = 0.0;
+        let mut min1 = 0.0;
+        for _ in 0..n {
+            let g = gunpoint_instance(0, 150, &mut rng);
+            let p = gunpoint_instance(1, 150, &mut rng);
+            min0 += g[..35].iter().copied().fold(f64::INFINITY, f64::min) / n as f64;
+            min1 += p[..35].iter().copied().fold(f64::INFINITY, f64::min) / n as f64;
+        }
+        assert!(min0 < min1 - 0.1, "gun dips: {min0} vs {min1}");
+    }
+
+    #[test]
+    fn dataset_shape_and_determinism() {
+        let d = generate(25, 150, 4);
+        assert_eq!(d.len(), 50);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d, generate(25, 150, 4));
+    }
+}

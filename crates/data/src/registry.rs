@@ -1,0 +1,168 @@
+//! The named evaluation suite.
+//!
+//! One entry per dataset family used in the paper's tables, with class
+//! counts and train/test sizes mirroring Table 1 (test sets scaled down
+//! where the archive's are huge — the relative comparisons are unaffected,
+//! only the variance of the estimates changes).
+
+use crate::{cbf, control, ecg, misc, motion, sensor, shapes, spectra};
+use rpm_ts::Dataset;
+
+/// Descriptor of one suite dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DatasetSpec {
+    /// Suite name (matches the paper's dataset naming).
+    pub name: &'static str,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training set size (total across classes).
+    pub train: usize,
+    /// Test set size (total across classes).
+    pub test: usize,
+    /// Series length.
+    pub length: usize,
+}
+
+/// The full evaluation suite (18 families spanning the paper's categories:
+/// synthetic, spectro, ECG, motion, shape, sensor).
+pub fn suite() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec { name: "CBF", classes: 3, train: 30, test: 150, length: 128 },
+        DatasetSpec { name: "Coffee", classes: 2, train: 28, test: 28, length: 286 },
+        DatasetSpec { name: "GunPoint", classes: 2, train: 50, test: 150, length: 150 },
+        DatasetSpec { name: "ECGFiveDays", classes: 2, train: 23, test: 200, length: 136 },
+        DatasetSpec { name: "ItalyPowerDemand", classes: 2, train: 67, test: 200, length: 24 },
+        DatasetSpec { name: "SyntheticControl", classes: 6, train: 120, test: 120, length: 60 },
+        DatasetSpec { name: "TwoPatterns", classes: 4, train: 120, test: 200, length: 128 },
+        DatasetSpec { name: "Trace", classes: 4, train: 100, test: 100, length: 200 },
+        DatasetSpec { name: "SwedishLeaf", classes: 5, train: 100, test: 125, length: 128 },
+        DatasetSpec { name: "OSULeaf", classes: 6, train: 120, test: 120, length: 256 },
+        DatasetSpec { name: "FaceFour", classes: 4, train: 24, test: 88, length: 256 },
+        DatasetSpec { name: "Wafer", classes: 2, train: 100, test: 200, length: 152 },
+        DatasetSpec { name: "OliveOil", classes: 4, train: 30, test: 30, length: 285 },
+        DatasetSpec { name: "Beef", classes: 5, train: 30, test: 30, length: 235 },
+        DatasetSpec { name: "MoteStrain", classes: 2, train: 20, test: 200, length: 84 },
+        DatasetSpec { name: "Lightning2", classes: 2, train: 60, test: 61, length: 256 },
+        DatasetSpec { name: "SonyAIBORobotSurface", classes: 2, train: 20, test: 200, length: 70 },
+        DatasetSpec { name: "Symbols", classes: 6, train: 25, test: 180, length: 256 },
+    ]
+}
+
+fn split_counts(total: usize, classes: usize) -> usize {
+    // Per-class count; generators are balanced, so round up and trim later.
+    total.div_ceil(classes)
+}
+
+fn generate_total(name: &str, total: usize, classes: usize, length: usize, seed: u64) -> Dataset {
+    let per_class = split_counts(total, classes);
+    let full = match name {
+        "CBF" => cbf::generate(per_class, length, seed),
+        "Coffee" => spectra::coffee(per_class, length, seed),
+        "GunPoint" => motion::generate(per_class, length, seed),
+        "ECGFiveDays" => ecg::generate(per_class, length, seed),
+        "ItalyPowerDemand" => misc::italy_power(per_class, length, seed),
+        "SyntheticControl" => control::synthetic_control(per_class, length, seed),
+        "TwoPatterns" => control::two_patterns(per_class, length, seed),
+        "Trace" => control::trace(per_class, length, seed),
+        "SwedishLeaf" => shapes::leaf("SwedishLeaf", 5, per_class, length, seed),
+        "OSULeaf" => shapes::leaf("OSULeaf", 6, per_class, length, seed),
+        "FaceFour" => shapes::face_four(per_class, length, seed),
+        "Wafer" => misc::wafer(per_class, per_class, length, seed),
+        "OliveOil" => spectra::olive_oil(per_class, length, seed),
+        "Beef" => spectra::beef(per_class, length, seed),
+        "MoteStrain" => sensor::mote_strain(per_class, length, seed),
+        "Lightning2" => sensor::lightning2(per_class, length, seed),
+        "SonyAIBORobotSurface" => sensor::sony_aibo(per_class, length, seed),
+        "Symbols" => shapes::symbols(6, per_class, length, seed),
+        other => panic!("unknown suite dataset {other:?}"),
+    };
+    // Trim to exactly `total`, round-robin across classes so every class
+    // stays represented.
+    let views = full.by_class();
+    let mut order = Vec::new();
+    let max_per = views.iter().map(|v| v.indices.len()).max().unwrap_or(0);
+    'outer: for i in 0..max_per {
+        for v in &views {
+            if let Some(&idx) = v.indices.get(i) {
+                order.push(idx);
+                if order.len() == total {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    full.subset(&order)
+}
+
+/// Generates the `(train, test)` pair for a suite dataset. Train and test
+/// come from disjoint RNG streams of the same generative process, like the
+/// archive's fixed splits.
+///
+/// # Panics
+/// Panics on an unknown dataset name.
+pub fn generate(spec: &DatasetSpec, seed: u64) -> (Dataset, Dataset) {
+    let train = generate_total(spec.name, spec.train, spec.classes, spec.length, seed ^ 0xA11CE);
+    let test = generate_total(
+        spec.name,
+        spec.test,
+        spec.classes,
+        spec.length,
+        seed ^ 0xB0B5_1ED5,
+    );
+    (train, test)
+}
+
+/// Looks up a suite spec by name.
+pub fn spec_by_name(name: &str) -> Option<DatasetSpec> {
+    suite().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_suite_entry_generates_with_declared_shape() {
+        for spec in suite() {
+            let (train, test) = generate(&spec, 7);
+            assert_eq!(train.len(), spec.train, "{}", spec.name);
+            assert_eq!(test.len(), spec.test, "{}", spec.name);
+            assert_eq!(train.n_classes(), spec.classes, "{}", spec.name);
+            assert_eq!(test.n_classes(), spec.classes, "{}", spec.name);
+            assert!(
+                train.series.iter().all(|s| s.len() == spec.length),
+                "{}",
+                spec.name
+            );
+        }
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        let spec = spec_by_name("CBF").unwrap();
+        let (train, test) = generate(&spec, 7);
+        assert_ne!(train.series[0], test.series[0]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = spec_by_name("GunPoint").unwrap();
+        assert_eq!(generate(&spec, 3), generate(&spec, 3));
+    }
+
+    #[test]
+    fn class_balance_is_tight() {
+        for spec in suite() {
+            let (train, _) = generate(&spec, 1);
+            let views = train.by_class();
+            let max = views.iter().map(|v| v.indices.len()).max().unwrap();
+            let min = views.iter().map(|v| v.indices.len()).min().unwrap();
+            assert!(max - min <= 1, "{}: {min}..{max}", spec.name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(spec_by_name("NoSuchDataset").is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! Sensor-trace families: MoteStrain-like, Lightning2-like and
+//! SonyAIBORobotSurface-like.
+
+use crate::synth::{add_gaussian_peak, add_noise, rand_f64, rand_int, randn};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use rpm_ts::Dataset;
+
+/// MoteStrain-like: wireless sensor mote readings. Class 0 ("humidity")
+/// drifts slowly with a shallow daily bow; class 1 ("temperature") carries
+/// a sharper mid-trace ramp with overshoot. Short, very noisy series —
+/// the archive's MoteStrain is one of the noisiest UCR datasets.
+pub fn mote_strain_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "mote-strain family has classes 0..2");
+    let l = length as f64;
+    let mut s: Vec<f64> = (0..length)
+        .map(|i| {
+            let x = i as f64 / l;
+            if class == 0 {
+                // Shallow bow (sensor warming).
+                -1.2 * (x - 0.5) * (x - 0.5) * 4.0
+            } else {
+                // Ramp with saturation.
+                (6.0 * (x - 0.45)).tanh()
+            }
+        })
+        .collect();
+    if class == 1 {
+        // Overshoot blip at the ramp knee.
+        add_gaussian_peak(&mut s, 0.45 * l + rand_f64(rng, -3.0, 3.0), 0.02 * l, 0.8);
+    }
+    add_noise(&mut s, 0.35, rng);
+    s
+}
+
+/// MoteStrain-like dataset.
+pub fn mote_strain(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    balanced("MoteStrain", 2, n_per_class, length, seed, mote_strain_instance)
+}
+
+/// Lightning2-like: RF power profiles of lightning events. Class 0
+/// ("cloud-to-ground") has one dominant impulsive burst with a long decay
+/// tail; class 1 ("intra-cloud") shows a train of smaller bursts.
+pub fn lightning2_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "lightning family has classes 0..2");
+    let l = length as f64;
+    let mut s = vec![0.0; length];
+    if class == 0 {
+        let at = rand_f64(rng, 0.2, 0.4) * l;
+        // Impulsive rise, exponential tail.
+        for (i, v) in s.iter_mut().enumerate() {
+            let d = i as f64 - at;
+            if d >= 0.0 {
+                *v += 5.0 * (-d / (0.1 * l)).exp();
+            }
+        }
+    } else {
+        let bursts = rand_int(rng, 4, 7);
+        for _ in 0..bursts {
+            let at = rand_f64(rng, 0.15, 0.85) * l;
+            let amp = rand_f64(rng, 1.0, 2.5);
+            add_gaussian_peak(&mut s, at, 0.01 * l + 1.0, amp);
+        }
+    }
+    add_noise(&mut s, 0.25, rng);
+    s
+}
+
+/// Lightning2-like dataset.
+pub fn lightning2(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    balanced("Lightning2", 2, n_per_class, length, seed, lightning2_instance)
+}
+
+/// SonyAIBORobotSurface-like: accelerometer traces of a walking robot.
+/// Both classes are gait oscillations; walking on carpet (class 0) damps
+/// the amplitude and slows the cadence relative to cement (class 1).
+pub fn sony_aibo_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "sony-aibo family has classes 0..2");
+    let (amp, cadence) = if class == 0 {
+        (0.7, rand_f64(rng, 5.5, 6.5))
+    } else {
+        (1.3, rand_f64(rng, 8.0, 9.5))
+    };
+    let phase = rand_f64(rng, 0.0, std::f64::consts::TAU);
+    let mut s: Vec<f64> = (0..length)
+        .map(|i| {
+            let t = i as f64 / length as f64;
+            let gait = (std::f64::consts::TAU * cadence * t + phase).sin();
+            // Foot-strike harmonics make cement walking spikier.
+            let strike = if class == 1 {
+                0.4 * (2.0 * std::f64::consts::TAU * cadence * t + phase).sin().powi(3)
+            } else {
+                0.0
+            };
+            amp * gait + strike
+        })
+        .collect();
+    // Occasional stumble.
+    if rng.gen::<f64>() < 0.2 {
+        let at = rand_int(rng, length / 4, 3 * length / 4);
+        add_gaussian_peak(&mut s, at as f64, 2.0, 1.5 * randn(rng));
+    }
+    add_noise(&mut s, 0.15, rng);
+    s
+}
+
+/// SonyAIBORobotSurface-like dataset.
+pub fn sony_aibo(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    balanced("SonyAIBORobotSurface", 2, n_per_class, length, seed, sony_aibo_instance)
+}
+
+fn balanced(
+    name: &str,
+    classes: usize,
+    n_per_class: usize,
+    length: usize,
+    seed: u64,
+    gen_fn: fn(usize, usize, &mut StdRng) -> Vec<f64>,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(name, Vec::new(), Vec::new());
+    for class in 0..classes {
+        for _ in 0..n_per_class {
+            d.push(gen_fn(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mote_classes_differ_in_tail_level() {
+        let mut rng = StdRng::seed_from_u64(71);
+        let n = 60;
+        let tail = |s: &[f64]| s[70..84].iter().sum::<f64>() / 14.0;
+        let mut hum = 0.0;
+        let mut temp = 0.0;
+        for _ in 0..n {
+            hum += tail(&mote_strain_instance(0, 84, &mut rng)) / n as f64;
+            temp += tail(&mote_strain_instance(1, 84, &mut rng)) / n as f64;
+        }
+        assert!(temp > hum + 0.5, "temp tail {temp} vs humidity {hum}");
+    }
+
+    #[test]
+    fn lightning_cg_has_single_dominant_burst() {
+        let mut rng = StdRng::seed_from_u64(72);
+        // Count samples above half the max: the CG tail keeps energy high
+        // for a while after one burst; IC spreads energy across bursts.
+        let s = lightning2_instance(0, 256, &mut rng);
+        let max = s.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max > 3.0, "impulse present: {max}");
+    }
+
+    #[test]
+    fn sony_cement_has_higher_energy() {
+        let mut rng = StdRng::seed_from_u64(73);
+        let n = 40;
+        let energy = |s: &[f64]| s.iter().map(|v| v * v).sum::<f64>() / s.len() as f64;
+        let mut carpet = 0.0;
+        let mut cement = 0.0;
+        for _ in 0..n {
+            carpet += energy(&sony_aibo_instance(0, 70, &mut rng)) / n as f64;
+            cement += energy(&sony_aibo_instance(1, 70, &mut rng)) / n as f64;
+        }
+        assert!(cement > carpet * 1.5, "cement {cement} vs carpet {carpet}");
+    }
+
+    #[test]
+    fn datasets_have_declared_shape_and_are_deterministic() {
+        for (d, classes) in [
+            (mote_strain(10, 84, 1), 2usize),
+            (lightning2(10, 256, 1), 2),
+            (sony_aibo(10, 70, 1), 2),
+        ] {
+            assert_eq!(d.n_classes(), classes);
+            assert_eq!(d.len(), 10 * classes);
+        }
+        assert_eq!(mote_strain(5, 84, 9), mote_strain(5, 84, 9));
+        assert_eq!(lightning2(5, 128, 9), lightning2(5, 128, 9));
+        assert_eq!(sony_aibo(5, 70, 9), sony_aibo(5, 70, 9));
+    }
+}

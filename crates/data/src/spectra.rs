@@ -1,0 +1,218 @@
+//! Spectrography synthetics (Coffee-like).
+//!
+//! The UCR Coffee data holds FTIR spectra of Arabica vs Robusta beans; the
+//! discriminative regions are the caffeine and chlorogenic-acid absorption
+//! bands, on top of shared carbohydrate/lipid structure (the paper's
+//! Fig. 3 discussion). We synthesize spectra as sums of Gaussian bands at
+//! fixed positions: shared bands have equal expected amplitude in both
+//! classes; two marker bands differ by class.
+
+use crate::synth::{add_gaussian_peak, add_noise, rand_f64};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rpm_ts::Dataset;
+
+/// Fractional positions of the shared absorption bands.
+const SHARED_BANDS: [(f64, f64, f64); 4] = [
+    // (position, width, amplitude) as fractions of the spectrum length.
+    (0.12, 0.030, 1.2), // carbohydrates
+    (0.35, 0.045, 0.9), // lipids
+    (0.58, 0.025, 0.7),
+    (0.85, 0.035, 1.0),
+];
+
+/// Caffeine marker band (stronger in class 1 / "Robusta").
+const CAFFEINE: (f64, f64) = (0.70, 0.02);
+/// Chlorogenic-acid marker band (stronger in class 1).
+const CGA: (f64, f64) = (0.25, 0.018);
+
+/// Generates one spectrum (class 0 = Arabica-like, 1 = Robusta-like).
+pub fn coffee_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 2, "coffee family has classes 0..2");
+    let l = length as f64;
+    let mut s = vec![0.0; length];
+    for &(pos, width, amp) in &SHARED_BANDS {
+        let a = amp * rand_f64(rng, 0.9, 1.1);
+        add_gaussian_peak(&mut s, pos * l, width * l, a);
+    }
+    // Robusta carries roughly twice the caffeine and more CGA.
+    let caffeine_amp = if class == 0 { 0.4 } else { 0.8 } * rand_f64(rng, 0.9, 1.1);
+    let cga_amp = if class == 0 { 0.3 } else { 0.55 } * rand_f64(rng, 0.9, 1.1);
+    add_gaussian_peak(&mut s, CAFFEINE.0 * l, CAFFEINE.1 * l, caffeine_amp);
+    add_gaussian_peak(&mut s, CGA.0 * l, CGA.1 * l, cga_amp);
+    // Gentle baseline drift plus sensor noise.
+    let drift = rand_f64(rng, -0.05, 0.05);
+    for (i, v) in s.iter_mut().enumerate() {
+        *v += drift * i as f64 / l;
+    }
+    add_noise(&mut s, 0.01, rng);
+    s
+}
+
+/// Balanced Coffee-like dataset.
+pub fn coffee(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("Coffee", Vec::new(), Vec::new());
+    for class in 0..2 {
+        for _ in 0..n_per_class {
+            d.push(coffee_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+/// OliveOil-like: four cultivar classes distinguished by *subtle*
+/// amplitude ratios between two fatty-acid bands — the archive's OliveOil
+/// is a famously hard, tiny dataset, and the subtlety here (6% steps) is
+/// what keeps it hard.
+pub fn olive_oil_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 4, "olive-oil family has classes 0..4");
+    let l = length as f64;
+    let mut s = vec![0.0; length];
+    for &(pos, width, amp) in &SHARED_BANDS {
+        add_gaussian_peak(&mut s, pos * l, width * l, amp * rand_f64(rng, 0.97, 1.03));
+    }
+    // The cultivar signature: a slowly varying ratio between two bands.
+    let ratio = 1.0 + 0.06 * class as f64;
+    add_gaussian_peak(&mut s, 0.45 * l, 0.02 * l, 0.5 * ratio * rand_f64(rng, 0.98, 1.02));
+    add_gaussian_peak(&mut s, 0.62 * l, 0.02 * l, 0.5 / ratio * rand_f64(rng, 0.98, 1.02));
+    add_noise(&mut s, 0.004, rng);
+    s
+}
+
+/// OliveOil-like dataset.
+pub fn olive_oil(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("OliveOil", Vec::new(), Vec::new());
+    for class in 0..4 {
+        for _ in 0..n_per_class {
+            d.push(olive_oil_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+/// Beef-like: five adulteration classes (pure beef + four offal
+/// admixtures), each adding a contaminant band of increasing strength at a
+/// class-specific position.
+pub fn beef_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f64> {
+    assert!(class < 5, "beef family has classes 0..5");
+    let l = length as f64;
+    let mut s = vec![0.0; length];
+    for &(pos, width, amp) in &SHARED_BANDS {
+        add_gaussian_peak(&mut s, pos * l, width * l, amp * rand_f64(rng, 0.95, 1.05));
+    }
+    if class > 0 {
+        // Contaminant band: position shifts with the offal type.
+        let pos = 0.40 + 0.08 * (class - 1) as f64;
+        add_gaussian_peak(&mut s, pos * l, 0.015 * l, 0.45 * rand_f64(rng, 0.9, 1.1));
+    }
+    add_noise(&mut s, 0.01, rng);
+    s
+}
+
+/// Beef-like dataset.
+pub fn beef(n_per_class: usize, length: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new("Beef", Vec::new(), Vec::new());
+    for class in 0..5 {
+        for _ in 0..n_per_class {
+            d.push(beef_instance(class, length, &mut rng), class);
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caffeine_band_separates_classes() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let len = 286;
+        let band = |s: &[f64]| {
+            let c = (CAFFEINE.0 * len as f64) as usize;
+            s[c - 3..c + 3].iter().sum::<f64>() / 6.0
+        };
+        let n = 50;
+        let mut a = 0.0;
+        let mut r = 0.0;
+        for _ in 0..n {
+            a += band(&coffee_instance(0, len, &mut rng)) / n as f64;
+            r += band(&coffee_instance(1, len, &mut rng)) / n as f64;
+        }
+        assert!(r > a + 0.2, "Robusta caffeine {r} vs Arabica {a}");
+    }
+
+    #[test]
+    fn shared_bands_are_similar_across_classes() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let len = 286;
+        let band = |s: &[f64]| {
+            let c = (SHARED_BANDS[0].0 * len as f64) as usize;
+            s[c - 3..c + 3].iter().sum::<f64>() / 6.0
+        };
+        let n = 50;
+        let mut a = 0.0;
+        let mut r = 0.0;
+        for _ in 0..n {
+            a += band(&coffee_instance(0, len, &mut rng)) / n as f64;
+            r += band(&coffee_instance(1, len, &mut rng)) / n as f64;
+        }
+        assert!((a - r).abs() < 0.1, "shared band should match: {a} vs {r}");
+    }
+
+    #[test]
+    fn dataset_shape_and_determinism() {
+        let d = coffee(14, 286, 5);
+        assert_eq!(d.len(), 28);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d, coffee(14, 286, 5));
+    }
+
+    #[test]
+    fn olive_oil_ratio_orders_classes() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let len = 285;
+        let band_a = (0.45 * len as f64) as usize;
+        let band_b = (0.62 * len as f64) as usize;
+        let n = 40;
+        let mut ratios = [0.0f64; 4];
+        for (class, r) in ratios.iter_mut().enumerate() {
+            for _ in 0..n {
+                let s = olive_oil_instance(class, len, &mut rng);
+                *r += (s[band_a] / s[band_b]) / n as f64;
+            }
+        }
+        for w in ratios.windows(2) {
+            assert!(w[1] > w[0], "ratio must rise with class: {ratios:?}");
+        }
+    }
+
+    #[test]
+    fn beef_contaminant_band_moves_with_class() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let len = 235;
+        // Pure beef (class 0) lacks the contaminant; adulterated classes
+        // gain a band at a class-specific position.
+        let pure = beef_instance(0, len, &mut rng);
+        for class in 1..5usize {
+            let adulterated = beef_instance(class, len, &mut rng);
+            let pos = ((0.40 + 0.08 * (class - 1) as f64) * len as f64) as usize;
+            let delta = adulterated[pos] - pure[pos];
+            assert!(delta > 0.2, "class {class}: band delta {delta}");
+        }
+    }
+
+    #[test]
+    fn olive_and_beef_shapes() {
+        let o = olive_oil(8, 285, 6);
+        assert_eq!(o.n_classes(), 4);
+        assert_eq!(o.len(), 32);
+        let b = beef(6, 235, 6);
+        assert_eq!(b.n_classes(), 5);
+        assert_eq!(b.len(), 30);
+        assert_eq!(o, olive_oil(8, 285, 6));
+    }
+}

@@ -1,0 +1,90 @@
+//! Shared generator primitives.
+
+use rand::Rng;
+
+/// Standard normal draw via Box–Muller (avoids a `rand_distr` dependency).
+pub fn randn(rng: &mut impl Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Adds i.i.d. Gaussian noise of standard deviation `sd` in place.
+pub fn add_noise(series: &mut [f64], sd: f64, rng: &mut impl Rng) {
+    for v in series.iter_mut() {
+        *v += sd * randn(rng);
+    }
+}
+
+/// Unnormalized Gaussian bump `amp * exp(-(t-center)^2 / (2 width^2))`
+/// added onto `series` (indices are positions).
+pub fn add_gaussian_peak(series: &mut [f64], center: f64, width: f64, amp: f64) {
+    for (i, v) in series.iter_mut().enumerate() {
+        let d = (i as f64 - center) / width;
+        *v += amp * (-0.5 * d * d).exp();
+    }
+}
+
+/// Uniform integer in `lo..=hi`.
+pub fn rand_int(rng: &mut impl Rng, lo: usize, hi: usize) -> usize {
+    rng.gen_range(lo..=hi)
+}
+
+/// Uniform float in `lo..hi`.
+pub fn rand_f64(rng: &mut impl Rng, lo: f64, hi: f64) -> f64 {
+    rng.gen_range(lo..hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_has_roughly_standard_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn add_noise_changes_values_by_sd_scale() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = vec![0.0; 10_000];
+        add_noise(&mut s, 0.5, &mut rng);
+        let var = s.iter().map(|x| x * x).sum::<f64>() / s.len() as f64;
+        assert!((var.sqrt() - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn gaussian_peak_maximum_at_center() {
+        let mut s = vec![0.0; 50];
+        add_gaussian_peak(&mut s, 20.0, 3.0, 2.0);
+        let (argmax, max) = s
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i, v))
+            .unwrap();
+        assert_eq!(argmax, 20);
+        assert!((max - 2.0).abs() < 1e-9);
+        assert!(s[0].abs() < 1e-6, "tails should decay");
+    }
+
+    #[test]
+    fn peaks_superimpose() {
+        let mut s = vec![0.0; 30];
+        add_gaussian_peak(&mut s, 10.0, 2.0, 1.0);
+        add_gaussian_peak(&mut s, 10.0, 2.0, 1.0);
+        assert!((s[10] - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,180 @@
+//! UCR archive file format I/O.
+//!
+//! UCR files are plain text: one series per row, the class label first,
+//! then the observations, separated by commas (classic archive) or
+//! whitespace (2018 archive). Labels may be arbitrary integers (including
+//! negatives); we normalize them to dense `0..n_classes` on load, keeping
+//! the mapping available through the returned [`LabelMap`].
+
+use rpm_ts::Dataset;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Mapping from raw archive labels to the dense labels in the [`Dataset`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LabelMap {
+    /// `raw[i]` is the archive label assigned dense label `i`.
+    pub raw: Vec<i64>,
+}
+
+impl LabelMap {
+    /// The dense label for a raw archive label, if seen.
+    pub fn dense(&self, raw: i64) -> Option<usize> {
+        self.raw.iter().position(|&r| r == raw)
+    }
+}
+
+/// Parses a UCR-format stream. Empty lines are skipped; fields may be
+/// separated by commas or whitespace.
+pub fn read_ucr(reader: impl Read, name: &str) -> std::io::Result<(Dataset, LabelMap)> {
+    let mut series = Vec::new();
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let buf = BufReader::new(reader);
+    for (line_no, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let mut fields = trimmed
+            .split(|c: char| c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty());
+        let label_field = fields.next().ok_or_else(|| bad(line_no, "missing label"))?;
+        let raw_label: i64 = label_field
+            .parse::<f64>()
+            .map_err(|_| bad(line_no, "unparseable label"))? as i64;
+        let values: Vec<f64> = fields
+            .map(|f| f.parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| bad(line_no, "unparseable value"))?;
+        if values.is_empty() {
+            return Err(bad(line_no, "row has no observations"));
+        }
+        raw_labels.push(raw_label);
+        series.push(values);
+    }
+    // Dense re-labeling in sorted raw order.
+    let mut uniq = raw_labels.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let labels: Vec<usize> = raw_labels
+        .iter()
+        .map(|r| uniq.binary_search(r).unwrap())
+        .collect();
+    Ok((Dataset::new(name, series, labels), LabelMap { raw: uniq }))
+}
+
+/// Reads a UCR file from disk.
+pub fn read_ucr_file(path: impl AsRef<Path>) -> std::io::Result<(Dataset, LabelMap)> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let file = std::fs::File::open(path)?;
+    read_ucr(file, &name)
+}
+
+/// Writes `dataset` in comma-separated UCR format. Dense labels are
+/// written as-is.
+pub fn write_ucr(dataset: &Dataset, mut writer: impl Write) -> std::io::Result<()> {
+    let mut line = String::new();
+    for (s, l) in dataset.iter() {
+        line.clear();
+        let _ = write!(line, "{l}");
+        for v in s {
+            let _ = write!(line, ",{v}");
+        }
+        line.push('\n');
+        writer.write_all(line.as_bytes())?;
+    }
+    Ok(())
+}
+
+fn bad(line_no: usize, what: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("UCR parse error on line {}: {what}", line_no + 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comma_separated() {
+        let text = "1,0.5,1.5,2.5\n2,3.0,4.0,5.0\n";
+        let (d, map) = read_ucr(text.as_bytes(), "t").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels, vec![0, 1]);
+        assert_eq!(d.series[0], vec![0.5, 1.5, 2.5]);
+        assert_eq!(map.raw, vec![1, 2]);
+        assert_eq!(map.dense(2), Some(1));
+        assert_eq!(map.dense(9), None);
+    }
+
+    #[test]
+    fn parses_whitespace_separated() {
+        let text = " -1  0.5 1.5\n 1  2.0 3.0\n";
+        let (d, map) = read_ucr(text.as_bytes(), "t").unwrap();
+        assert_eq!(d.labels, vec![0, 1]);
+        assert_eq!(map.raw, vec![-1, 1]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "\n1,1.0\n\n2,2.0\n\n";
+        let (d, _) = read_ucr(text.as_bytes(), "t").unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn labels_written_then_reread_roundtrip() {
+        let d = Dataset::new(
+            "rt",
+            vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![0, 1, 0],
+        );
+        let mut buf = Vec::new();
+        write_ucr(&d, &mut buf).unwrap();
+        let (d2, _) = read_ucr(buf.as_slice(), "rt").unwrap();
+        assert_eq!(d.series, d2.series);
+        assert_eq!(d.labels, d2.labels);
+    }
+
+    #[test]
+    fn float_labels_truncate_like_the_archive() {
+        let text = "1.0,0.5\n2.0,0.7\n";
+        let (d, map) = read_ucr(text.as_bytes(), "t").unwrap();
+        assert_eq!(d.labels, vec![0, 1]);
+        assert_eq!(map.raw, vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_empty_rows() {
+        let err = read_ucr("3\n".as_bytes(), "t").unwrap_err();
+        assert!(err.to_string().contains("no observations"));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_ucr("abc,1.0\n".as_bytes(), "t").is_err());
+        assert!(read_ucr("1,abc\n".as_bytes(), "t").is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("rpm_ucr_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("Sample_TRAIN");
+        let d = Dataset::new("Sample_TRAIN", vec![vec![1.5, -2.0]], vec![0]);
+        let f = std::fs::File::create(&path).unwrap();
+        write_ucr(&d, f).unwrap();
+        let (d2, _) = read_ucr_file(&path).unwrap();
+        assert_eq!(d2.name, "Sample_TRAIN");
+        assert_eq!(d2.series, d.series);
+        std::fs::remove_file(path).ok();
+    }
+}

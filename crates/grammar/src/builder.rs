@@ -1,0 +1,130 @@
+//! Shared grammar finalization: expansion and occurrence computation from
+//! a rule list. Both inference algorithms ([`crate::sequitur`] and
+//! [`crate::repair`]) produce right-hand sides and delegate here, so the
+//! [`Grammar`] they return has identical semantics.
+
+use crate::sequitur::{Grammar, GrammarRule, Span, Sym, Token};
+
+/// Builds a [`Grammar`] from finished right-hand sides.
+///
+/// * `rhs_list[0]` is the axiom.
+/// * `uses[r]` is the reference count of rule `r` inside the grammar
+///   (ignored for the axiom, reported as 0).
+/// * `n_tokens` is the input length (the axiom's occurrence span).
+///
+/// Expansions are computed by memoized DFS; occurrences by walking the
+/// axiom and recording the token interval of every rule reference.
+pub fn build_grammar(rhs_list: Vec<Vec<Sym>>, uses: Vec<usize>, n_tokens: usize) -> Grammar {
+    let n = rhs_list.len();
+    assert_eq!(n, uses.len(), "one use count per rule");
+
+    // Expansions.
+    let mut expansions: Vec<Option<Vec<Token>>> = vec![None; n];
+    fn expand_rule(
+        r: usize,
+        rhs_list: &[Vec<Sym>],
+        expansions: &mut Vec<Option<Vec<Token>>>,
+    ) -> Vec<Token> {
+        if let Some(e) = &expansions[r] {
+            return e.clone();
+        }
+        let mut out = Vec::new();
+        for s in &rhs_list[r] {
+            match *s {
+                Sym::T(t) => out.push(t),
+                Sym::R(child) => {
+                    let e = expand_rule(child as usize, rhs_list, expansions);
+                    out.extend_from_slice(&e);
+                }
+            }
+        }
+        expansions[r] = Some(out.clone());
+        out
+    }
+    for r in 0..n {
+        expand_rule(r, &rhs_list, &mut expansions);
+    }
+    let expansions: Vec<Vec<Token>> = expansions.into_iter().map(Option::unwrap).collect();
+
+    // Occurrences.
+    let mut occurrences: Vec<Vec<Span>> = vec![Vec::new(); n];
+    fn walk(
+        r: usize,
+        start: usize,
+        rhs_list: &[Vec<Sym>],
+        expansions: &[Vec<Token>],
+        occ: &mut Vec<Vec<Span>>,
+    ) {
+        let mut idx = start;
+        for s in &rhs_list[r] {
+            match *s {
+                Sym::T(_) => idx += 1,
+                Sym::R(child) => {
+                    let c = child as usize;
+                    let len = expansions[c].len();
+                    occ[c].push(Span { start: idx, end: idx + len });
+                    walk(c, idx, rhs_list, expansions, occ);
+                    idx += len;
+                }
+            }
+        }
+    }
+    occurrences[0].push(Span { start: 0, end: n_tokens.max(expansions[0].len()) });
+    walk(0, 0, &rhs_list, &expansions, &mut occurrences);
+    for occ in &mut occurrences {
+        occ.sort_by_key(|s| (s.start, s.end));
+    }
+
+    let rules = (0..n)
+        .map(|r| GrammarRule {
+            rhs: rhs_list[r].clone(),
+            expansion: expansions[r].clone(),
+            occurrences: occurrences[r].clone(),
+            uses: if r == 0 { 0 } else { uses[r] },
+        })
+        .collect();
+    Grammar { rules }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hand_built_grammar_expands_and_locates() {
+        // axiom: a R1 R1 b ; R1 -> c d
+        let rhs = vec![
+            vec![Sym::T(0), Sym::R(1), Sym::R(1), Sym::T(1)],
+            vec![Sym::T(2), Sym::T(3)],
+        ];
+        let g = build_grammar(rhs, vec![0, 2], 6);
+        assert_eq!(g.axiom().expansion, vec![0, 2, 3, 2, 3, 1]);
+        let r1 = &g.rules[1];
+        assert_eq!(r1.expansion, vec![2, 3]);
+        assert_eq!(
+            r1.occurrences,
+            vec![Span { start: 1, end: 3 }, Span { start: 3, end: 5 }]
+        );
+        assert_eq!(r1.uses, 2);
+    }
+
+    #[test]
+    fn nested_rules_compose() {
+        // axiom: R1 R1 ; R1 -> R2 R2 ; R2 -> a b
+        let rhs = vec![
+            vec![Sym::R(1), Sym::R(1)],
+            vec![Sym::R(2), Sym::R(2)],
+            vec![Sym::T(7), Sym::T(8)],
+        ];
+        let g = build_grammar(rhs, vec![0, 2, 2], 8);
+        assert_eq!(g.axiom().expansion, vec![7, 8, 7, 8, 7, 8, 7, 8]);
+        assert_eq!(g.rules[2].occurrences.len(), 4);
+        assert_eq!(g.rules[1].occurrences.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "one use count per rule")]
+    fn mismatched_uses_panic() {
+        build_grammar(vec![vec![Sym::T(0)]], vec![0, 1], 1);
+    }
+}

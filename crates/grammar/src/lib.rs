@@ -1,0 +1,30 @@
+//! # rpm-grammar — Sequitur grammar induction
+//!
+//! A from-scratch implementation of **Sequitur** (Nevill-Manning & Witten,
+//! 1997): online inference of a context-free grammar from a token sequence
+//! in linear time and space, maintaining the two classic invariants —
+//! *digram uniqueness* (no pair of adjacent symbols occurs more than once
+//! in the grammar) and *rule utility* (every rule is referenced at least
+//! twice).
+//!
+//! RPM (§3.2.2) feeds the numerosity-reduced SAX word sequence of a
+//! concatenated training class into Sequitur and treats every inferred rule
+//! as a candidate motif: a rule exists *because* its expansion occurred
+//! repeatedly, so frequency discovery falls out of the induction without a
+//! single distance computation. The [`Grammar`] returned here therefore
+//! exposes, for every rule, its terminal [`GrammarRule::expansion`] and all
+//! its [`GrammarRule::occurrences`] as token spans in the input sequence;
+//! the `rpm-core` crate maps those spans back to raw subsequences via the
+//! SAX word offsets.
+//!
+//! Concatenation junctions (§3.2.2, Fig. 4) are handled by the caller
+//! inserting per-junction *sentinel* tokens that occur exactly once: a
+//! digram containing a unique token can never repeat, hence no rule ever
+//! spans a junction. See `rpm-core::candidates`.
+
+pub mod builder;
+pub mod repair;
+pub mod sequitur;
+
+pub use repair::infer_repair;
+pub use sequitur::{infer, Grammar, GrammarRule, RuleId, Sequitur, Span, Sym, Token};

@@ -1,0 +1,301 @@
+//! Re-Pair grammar inference (Larsson & Moffat, 1999).
+//!
+//! The paper notes (§3.2.2) that RPM "also works with other (context-free)
+//! GI algorithms"; Re-Pair is the canonical offline alternative to
+//! Sequitur: repeatedly replace the *globally* most frequent digram with a
+//! fresh rule until no digram repeats. Offline selection usually yields a
+//! slightly better compression (and hence higher-frequency rules) than
+//! Sequitur's online heuristic, at the cost of another pass structure.
+//!
+//! The implementation is the straightforward O(n · #rules) array version:
+//! the sequence lives in a `Vec<Option<Sym>>` with holes left by
+//! replacements; each round recounts digrams (skipping holes), replaces
+//! the winner left-to-right non-overlapping, and stops when the best
+//! count drops below 2. Ample for SAX word streams (thousands of tokens).
+
+use crate::sequitur::{Grammar, Sym, Token};
+use std::collections::HashMap;
+
+/// Infers a Re-Pair grammar over `tokens`. The returned [`Grammar`] has
+/// exactly the same semantics as [`crate::sequitur::infer`]'s: axiom rule
+/// 0, terminal expansions, and occurrence spans for every rule.
+pub fn infer_repair(tokens: &[Token]) -> Grammar {
+    let mut seq: Vec<Option<Sym>> = tokens.iter().map(|&t| Some(Sym::T(t))).collect();
+    let mut rules: Vec<(Sym, Sym)> = Vec::new(); // rule body per new nonterminal
+
+    loop {
+        // Count non-overlapping digrams (greedy left-to-right).
+        let mut counts: HashMap<(Sym, Sym), usize> = HashMap::new();
+        {
+            let mut prev: Option<Sym> = None;
+            let mut last_counted_with_prev = false;
+            for s in seq.iter().flatten() {
+                if let Some(p) = prev {
+                    // Greedy non-overlap: if the previous position just
+                    // closed a counted digram of the same pair (runs like
+                    // aaaa), skip alternate positions.
+                    let key = (p, *s);
+                    if last_counted_with_prev && p == *s {
+                        last_counted_with_prev = false;
+                    } else {
+                        *counts.entry(key).or_insert(0) += 1;
+                        last_counted_with_prev = true;
+                    }
+                } else {
+                    last_counted_with_prev = false;
+                }
+                prev = Some(*s);
+            }
+        }
+        let Some((&best, &count)) = counts
+            .iter()
+            .max_by_key(|&(d, &c)| (c, std::cmp::Reverse(digram_order(d))))
+        else {
+            break;
+        };
+        if count < 2 {
+            break;
+        }
+
+        // Allocate the new rule. Internal rule ids are 0-based here; the
+        // axiom is prepended at the end, so rule i becomes output id i+1.
+        let new_id = rules.len() as u32;
+        rules.push(best);
+        let new_sym = Sym::R(new_id);
+
+        // Replace left-to-right, non-overlapping.
+        let positions: Vec<usize> = (0..seq.len()).filter(|&i| seq[i].is_some()).collect();
+        let mut k = 0;
+        while k + 1 < positions.len() {
+            let i = positions[k];
+            let j = positions[k + 1];
+            if seq[i] == Some(best.0) && seq[j] == Some(best.1) {
+                seq[i] = Some(new_sym);
+                seq[j] = None;
+                k += 2; // the consumed pair cannot overlap the next match
+            } else {
+                k += 1;
+            }
+        }
+    }
+
+    // Assemble: axiom first, then the rules shifted by one.
+    let shift = |s: Sym| -> Sym {
+        match s {
+            Sym::T(t) => Sym::T(t),
+            Sym::R(r) => Sym::R(r + 1),
+        }
+    };
+    let axiom: Vec<Sym> = seq.into_iter().flatten().map(shift).collect();
+    let mut rhs_list = Vec::with_capacity(rules.len() + 1);
+    rhs_list.push(axiom);
+    for (a, b) in &rules {
+        rhs_list.push(vec![shift(*a), shift(*b)]);
+    }
+
+    // Enforce rule utility: unlike Sequitur, offline Re-Pair can strand a
+    // rule with a single remaining reference (a later replacement absorbs
+    // its other uses). Inline such rules until a fixpoint, then drop the
+    // dead bodies and renumber.
+    loop {
+        let mut uses = vec![0usize; rhs_list.len()];
+        for rhs in &rhs_list {
+            for s in rhs {
+                if let Sym::R(r) = s {
+                    uses[*r as usize] += 1;
+                }
+            }
+        }
+        let Some(victim) = (1..rhs_list.len()).find(|&r| uses[r] == 1 && !rhs_list[r].is_empty())
+        else {
+            break;
+        };
+        let body = rhs_list[victim].clone();
+        'outer: for rhs in rhs_list.iter_mut() {
+            for i in 0..rhs.len() {
+                if rhs[i] == Sym::R(victim as u32) {
+                    rhs.splice(i..=i, body.iter().copied());
+                    break 'outer;
+                }
+            }
+        }
+        rhs_list[victim].clear();
+    }
+
+    // Renumber, dropping cleared rules (the axiom always survives).
+    let mut id_map = vec![u32::MAX; rhs_list.len()];
+    let mut compact: Vec<Vec<Sym>> = Vec::new();
+    for (i, rhs) in rhs_list.iter().enumerate() {
+        if i == 0 || !rhs.is_empty() {
+            id_map[i] = compact.len() as u32;
+            compact.push(rhs.clone());
+        }
+    }
+    for rhs in &mut compact {
+        for s in rhs.iter_mut() {
+            if let Sym::R(r) = s {
+                *s = Sym::R(id_map[*r as usize]);
+            }
+        }
+    }
+
+    // Final use counts over the compacted grammar.
+    let mut uses = vec![0usize; compact.len()];
+    for rhs in &compact {
+        for s in rhs {
+            if let Sym::R(r) = s {
+                uses[*r as usize] += 1;
+            }
+        }
+    }
+    crate::builder::build_grammar(compact, uses, tokens.len())
+}
+
+/// Deterministic tie-break between equally frequent digrams.
+fn digram_order(d: &(Sym, Sym)) -> (u64, u64) {
+    let key = |s: Sym| -> u64 {
+        match s {
+            Sym::T(t) => t as u64,
+            Sym::R(r) => (1 << 40) + r as u64,
+        }
+    };
+    (key(d.0), key(d.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sequitur::Span;
+
+    fn tokens(s: &str) -> Vec<Token> {
+        s.bytes().map(|b| b as Token).collect()
+    }
+
+    fn assert_valid(input: &[Token]) -> Grammar {
+        let g = infer_repair(input);
+        assert_eq!(g.axiom().expansion, input, "axiom must reproduce input");
+        for (id, rule) in g.repeated_rules() {
+            assert!(rule.uses >= 2, "rule {id} underused ({})", rule.uses);
+            for span in &rule.occurrences {
+                assert_eq!(
+                    &input[span.start..span.end],
+                    rule.expansion.as_slice(),
+                    "rule {id} occurrence {span:?}"
+                );
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(infer_repair(&[]).rules.len(), 1);
+        let g = infer_repair(&[5]);
+        assert_eq!(g.axiom().expansion, vec![5]);
+    }
+
+    #[test]
+    fn abcabc_produces_abc_rule() {
+        let input = tokens("abcabc");
+        let g = assert_valid(&input);
+        let abc = tokens("abc");
+        let found = g.repeated_rules().any(|(_, r)| r.expansion == abc);
+        assert!(found, "{:?}", g.rules);
+    }
+
+    #[test]
+    fn most_frequent_digram_wins_first() {
+        // "ab" occurs 3 times, "bc" once: the first rule must be (a,b).
+        let input = tokens("ababcab");
+        let g = assert_valid(&input);
+        assert_eq!(g.rules[1].expansion, tokens("ab"));
+        assert_eq!(g.rules[1].occurrences.len(), 3);
+    }
+
+    #[test]
+    fn runs_of_equal_tokens() {
+        for n in 2..20 {
+            let input = vec![9u32; n];
+            assert_valid(&input);
+        }
+    }
+
+    #[test]
+    fn no_repeats_no_rules() {
+        let g = assert_valid(&tokens("abcdef"));
+        assert_eq!(g.rules.len(), 1);
+    }
+
+    #[test]
+    fn nested_hierarchy_forms() {
+        let input = tokens("abababab");
+        let g = assert_valid(&input);
+        // (a,b) -> R1 (3+ uses); (R1,R1) -> R2.
+        assert!(g.rules.len() >= 3, "{:?}", g.rules);
+        let ab4 = g
+            .repeated_rules()
+            .find(|(_, r)| r.expansion == tokens("abab"));
+        assert!(ab4.is_some());
+        assert_eq!(
+            ab4.unwrap().1.occurrences,
+            vec![Span { start: 0, end: 4 }, Span { start: 4, end: 8 }]
+        );
+    }
+
+    #[test]
+    fn pseudo_random_streams_are_valid() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for trial in 0..30 {
+            let len = 5 + (trial * 17) % 250;
+            let alpha = 2 + trial % 5;
+            let input: Vec<Token> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % alpha as u64) as Token
+                })
+                .collect();
+            assert_valid(&input);
+        }
+    }
+
+    #[test]
+    fn repair_and_sequitur_agree_on_expansion() {
+        let input = tokens("xyzxyzxyzxyxyxy");
+        let a = infer_repair(&input);
+        let b = crate::sequitur::infer(&input);
+        assert_eq!(a.axiom().expansion, b.axiom().expansion);
+    }
+
+    #[test]
+    fn deterministic() {
+        let input = tokens("mississippi-mississippi");
+        let a = infer_repair(&input);
+        let b = infer_repair(&input);
+        assert_eq!(a.rules.len(), b.rules.len());
+        for (x, y) in a.rules.iter().zip(&b.rules) {
+            assert_eq!(x.rhs, y.rhs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_sequence(input in proptest::collection::vec(0u32..6, 0..300)) {
+            let g = infer_repair(&input);
+            prop_assert_eq!(&g.axiom().expansion, &input);
+            for (_, r) in g.repeated_rules() {
+                prop_assert!(r.uses >= 2);
+                for span in &r.occurrences {
+                    prop_assert_eq!(&input[span.start..span.end], r.expansion.as_slice());
+                }
+            }
+        }
+    }
+}

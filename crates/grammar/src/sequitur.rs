@@ -1,0 +1,722 @@
+//! The Sequitur algorithm over an index arena.
+//!
+//! Symbols live in a slab of doubly linked nodes; each rule owns one guard
+//! node closing its circular list. The digram index maps a symbol pair to
+//! the arena index of the pair's first node. The implementation mirrors the
+//! reference C++ structure (`check` / `match` / `substitute` / `expand`),
+//! including the classic overlapping-digram guards that make runs like
+//! `aaaa` behave.
+
+use std::collections::HashMap;
+
+/// Terminal token identifier. Callers intern whatever alphabet they use
+/// (SAX words, characters, …) into dense `u32` ids.
+pub type Token = u32;
+
+/// Rule identifier in the *output* grammar (axiom is rule 0).
+pub type RuleId = u32;
+
+/// A grammar symbol: terminal token or rule reference.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sym {
+    /// Terminal token.
+    T(Token),
+    /// Non-terminal (rule reference).
+    R(RuleId),
+}
+
+/// Half-open token span `[start, end)` in the input sequence.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Span {
+    /// Index of the first token covered.
+    pub start: usize,
+    /// One past the last token covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// Number of tokens covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True for a degenerate empty span.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// One rule of the inferred grammar.
+#[derive(Clone, Debug)]
+pub struct GrammarRule {
+    /// Right-hand side (rule ids refer to this grammar's numbering).
+    pub rhs: Vec<Sym>,
+    /// Full terminal expansion of the rule.
+    pub expansion: Vec<Token>,
+    /// Every occurrence of the rule in the input, as token spans, in
+    /// ascending start order. The axiom (rule 0) has the single span
+    /// `[0, input_len)`.
+    pub occurrences: Vec<Span>,
+    /// How many times the rule is referenced in the grammar (0 for the
+    /// axiom, ≥ 2 for every other rule — the utility invariant).
+    pub uses: usize,
+}
+
+/// The output of Sequitur: rule 0 is the axiom; every other rule is a
+/// repeated pattern.
+#[derive(Clone, Debug)]
+pub struct Grammar {
+    /// All rules; index = [`RuleId`].
+    pub rules: Vec<GrammarRule>,
+}
+
+impl Grammar {
+    /// The axiom (top-level rule).
+    pub fn axiom(&self) -> &GrammarRule {
+        &self.rules[0]
+    }
+
+    /// Iterator over the non-axiom rules with their ids — the candidate
+    /// motifs RPM consumes.
+    pub fn repeated_rules(&self) -> impl Iterator<Item = (RuleId, &GrammarRule)> + '_ {
+        self.rules
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, r)| (i as RuleId, r))
+    }
+}
+
+/// Convenience one-shot inference.
+pub fn infer(tokens: &[Token]) -> Grammar {
+    let mut s = Sequitur::new();
+    for &t in tokens {
+        s.push(t);
+    }
+    s.into_grammar()
+}
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Copy, Debug)]
+struct Node {
+    sym: Sym,
+    prev: u32,
+    next: u32,
+    guard: bool,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct RuleSlot {
+    guard: u32,
+    uses: u32,
+    alive: bool,
+}
+
+/// Incremental Sequitur state. Feed tokens with [`Sequitur::push`], then
+/// call [`Sequitur::into_grammar`].
+pub struct Sequitur {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    rules: Vec<RuleSlot>,
+    digrams: HashMap<(Sym, Sym), u32>,
+    n_tokens: usize,
+}
+
+impl Default for Sequitur {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sequitur {
+    /// Creates an empty inference state holding just the axiom rule.
+    pub fn new() -> Self {
+        let mut s = Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rules: Vec::new(),
+            digrams: HashMap::new(),
+            n_tokens: 0,
+        };
+        s.new_rule(); // rule 0: axiom
+        s
+    }
+
+    /// Number of tokens pushed so far.
+    pub fn len(&self) -> usize {
+        self.n_tokens
+    }
+
+    /// True before the first push.
+    pub fn is_empty(&self) -> bool {
+        self.n_tokens == 0
+    }
+
+    // ----- arena primitives -------------------------------------------------
+
+    fn alloc(&mut self, sym: Sym, guard: bool) -> u32 {
+        let node = Node { sym, prev: NIL, next: NIL, guard };
+        if let Some(i) = self.free.pop() {
+            self.nodes[i as usize] = node;
+            i
+        } else {
+            self.nodes.push(node);
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    fn release(&mut self, i: u32) {
+        self.free.push(i);
+    }
+
+    fn sym(&self, i: u32) -> Sym {
+        self.nodes[i as usize].sym
+    }
+
+    fn next(&self, i: u32) -> u32 {
+        self.nodes[i as usize].next
+    }
+
+    fn prev(&self, i: u32) -> u32 {
+        self.nodes[i as usize].prev
+    }
+
+    fn is_guard(&self, i: u32) -> bool {
+        self.nodes[i as usize].guard
+    }
+
+    fn new_rule(&mut self) -> RuleId {
+        let id = self.rules.len() as RuleId;
+        let guard = self.alloc(Sym::R(id), true);
+        self.nodes[guard as usize].prev = guard;
+        self.nodes[guard as usize].next = guard;
+        self.rules.push(RuleSlot { guard, uses: 0, alive: true });
+        id
+    }
+
+    fn rule_first(&self, r: RuleId) -> u32 {
+        self.next(self.rules[r as usize].guard)
+    }
+
+    fn rule_last(&self, r: RuleId) -> u32 {
+        self.prev(self.rules[r as usize].guard)
+    }
+
+    // ----- digram table maintenance -----------------------------------------
+
+    /// Removes the table entry for the digram starting at `i`, when that
+    /// entry points at `i` itself.
+    fn delete_digram(&mut self, i: u32) {
+        let n = self.next(i);
+        if n == NIL || self.is_guard(i) || self.is_guard(n) {
+            return;
+        }
+        let key = (self.sym(i), self.sym(n));
+        if self.digrams.get(&key) == Some(&i) {
+            self.digrams.remove(&key);
+        }
+    }
+
+    /// Links `left -> right`, with the reference implementation's
+    /// bookkeeping: the digram that used to start at `left` dies, and runs
+    /// of three equal symbols around the seam get their table entries
+    /// re-pointed so overlap never corrupts the index.
+    fn join(&mut self, left: u32, right: u32) {
+        if self.next(left) != NIL {
+            self.delete_digram(left);
+
+            let rp = self.prev(right);
+            let rn = self.next(right);
+            if rp != NIL
+                && rn != NIL
+                && !self.is_guard(right)
+                && !self.is_guard(rp)
+                && !self.is_guard(rn)
+                && self.sym(right) == self.sym(rp)
+                && self.sym(right) == self.sym(rn)
+            {
+                self.digrams.insert((self.sym(right), self.sym(rn)), right);
+            }
+            let lp = self.prev(left);
+            let ln = self.next(left);
+            if lp != NIL
+                && ln != NIL
+                && !self.is_guard(left)
+                && !self.is_guard(lp)
+                && !self.is_guard(ln)
+                && self.sym(left) == self.sym(ln)
+                && self.sym(left) == self.sym(lp)
+            {
+                self.digrams.insert((self.sym(lp), self.sym(left)), lp);
+            }
+        }
+        self.nodes[left as usize].next = right;
+        self.nodes[right as usize].prev = left;
+    }
+
+    /// Inserts a fresh node for `sym` after `i`, bumping the use count when
+    /// `sym` is a non-terminal. Returns the new node.
+    fn insert_after(&mut self, i: u32, sym: Sym) -> u32 {
+        if let Sym::R(r) = sym {
+            self.rules[r as usize].uses += 1;
+        }
+        let n = self.alloc(sym, false);
+        let old_next = self.next(i);
+        self.join(n, old_next);
+        self.join(i, n);
+        n
+    }
+
+    /// Unlinks and frees node `i` (the reference destructor): joins its
+    /// neighbors, drops its digram entry, and decrements the use count of a
+    /// referenced rule.
+    fn delete_symbol(&mut self, i: u32) {
+        let p = self.prev(i);
+        let n = self.next(i);
+        self.join(p, n);
+        if !self.is_guard(i) {
+            self.delete_digram(i);
+            if let Sym::R(r) = self.sym(i) {
+                self.rules[r as usize].uses -= 1;
+            }
+        }
+        self.release(i);
+    }
+
+    // ----- the Sequitur invariant machinery ---------------------------------
+
+    /// Checks the digram starting at `i`; enforces digram uniqueness.
+    /// Returns true when the grammar was modified.
+    fn check(&mut self, i: u32) -> bool {
+        let n = self.next(i);
+        if self.is_guard(i) || n == NIL || self.is_guard(n) {
+            return false;
+        }
+        let key = (self.sym(i), self.sym(n));
+        match self.digrams.get(&key) {
+            None => {
+                self.digrams.insert(key, i);
+                false
+            }
+            Some(&m) => {
+                if self.next(m) != i {
+                    self.match_digram(i, m);
+                    true
+                } else {
+                    // Overlapping occurrence (e.g. the middle of "aaa");
+                    // leave the existing entry alone.
+                    false
+                }
+            }
+        }
+    }
+
+    /// Handles a repeated digram: `i` is the new occurrence, `m` the one
+    /// already indexed.
+    fn match_digram(&mut self, i: u32, m: u32) {
+        let r: RuleId;
+        if self.is_guard(self.prev(m)) && self.is_guard(self.next(self.next(m))) {
+            // `m`'s digram is exactly the body of an existing rule; reuse it.
+            match self.sym(self.prev(m)) {
+                Sym::R(id) => r = id,
+                Sym::T(_) => unreachable!("guard nodes always reference their rule"),
+            }
+            self.substitute(i, r);
+        } else {
+            // Create a new rule from the digram and substitute both sites.
+            r = self.new_rule();
+            let a = self.sym(i);
+            let b = self.sym(self.next(i));
+            let g = self.rules[r as usize].guard;
+            let first = self.insert_after(g, a);
+            self.insert_after(first, b);
+            self.substitute(m, r);
+            self.substitute(i, r);
+            let f = self.rule_first(r);
+            let key = (self.sym(f), self.sym(self.next(f)));
+            self.digrams.insert(key, f);
+        }
+        // Rule utility: if the reused/created rule starts with a
+        // non-terminal that now has a single use, inline that use.
+        let f = self.rule_first(r);
+        if let Sym::R(inner) = self.sym(f) {
+            if self.rules[inner as usize].uses == 1 {
+                self.expand(f);
+            }
+        }
+    }
+
+    /// Replaces the digram starting at `i` with a reference to rule `r`.
+    fn substitute(&mut self, i: u32, r: RuleId) {
+        let q = self.prev(i);
+        let second = self.next(i);
+        self.delete_symbol(second);
+        self.delete_symbol(i);
+        let nt = self.insert_after(q, Sym::R(r));
+        if !self.check(q) {
+            self.check(nt);
+        }
+    }
+
+    /// Inlines the single remaining use of the rule referenced by node `i`
+    /// (which, by construction, is the first symbol of a freshly touched
+    /// rule, so its left neighbor is a guard).
+    fn expand(&mut self, i: u32) {
+        let r = match self.sym(i) {
+            Sym::R(r) => r,
+            Sym::T(_) => unreachable!("expand called on terminal"),
+        };
+        let left = self.prev(i);
+        let right = self.next(i);
+        let f = self.rule_first(r);
+        let l = self.rule_last(r);
+
+        // Drop the digram starting at the use site, free the rule's guard,
+        // and mark the rule dead.
+        self.delete_digram(i);
+        let guard = self.rules[r as usize].guard;
+        self.release(guard);
+        self.rules[r as usize].alive = false;
+
+        // Unlink the use-site node without touching the rule count (the
+        // rule is being dissolved, not de-used).
+        self.join(left, right);
+        self.release(i);
+
+        // Splice the rule body in place of the use site.
+        self.join(left, f);
+        self.join(l, right);
+
+        // Index the seam digram (the left seam starts at a guard).
+        let key = (self.sym(l), self.sym(right));
+        if !self.is_guard(right) {
+            self.digrams.insert(key, l);
+        }
+    }
+
+    // ----- public API --------------------------------------------------------
+
+    /// Appends one terminal token and restores both invariants.
+    pub fn push(&mut self, token: Token) {
+        self.n_tokens += 1;
+        let g = self.rules[0].guard;
+        let last = self.prev(g);
+        self.insert_after(last, Sym::T(token));
+        // Check the digram formed by the previously-last symbol and the
+        // newcomer (no-op when the axiom held fewer than two symbols).
+        let new_last = self.prev(g);
+        let before = self.prev(new_last);
+        if !self.is_guard(before) {
+            self.check(before);
+        }
+    }
+
+    /// Finalizes inference: renumbers the surviving rules, expands each to
+    /// terminals, and computes every occurrence span by walking the axiom.
+    pub fn into_grammar(self) -> Grammar {
+        // Map live internal ids -> dense output ids (axiom first).
+        let mut id_map: HashMap<RuleId, RuleId> = HashMap::new();
+        let mut live: Vec<RuleId> = Vec::new();
+        for (i, slot) in self.rules.iter().enumerate() {
+            if slot.alive {
+                id_map.insert(i as RuleId, live.len() as RuleId);
+                live.push(i as RuleId);
+            }
+        }
+
+        // Collect raw RHSes with original ids.
+        let mut raw_rhs: Vec<Vec<Sym>> = Vec::with_capacity(live.len());
+        for &r in &live {
+            let mut rhs = Vec::new();
+            let guard = self.rules[r as usize].guard;
+            let mut cur = self.next(guard);
+            while cur != guard {
+                rhs.push(self.sym(cur));
+                cur = self.next(cur);
+            }
+            raw_rhs.push(rhs);
+        }
+
+        // Renumber.
+        let rhs_list: Vec<Vec<Sym>> = raw_rhs
+            .iter()
+            .map(|rhs| {
+                rhs.iter()
+                    .map(|s| match *s {
+                        Sym::T(t) => Sym::T(t),
+                        Sym::R(r) => Sym::R(id_map[&r]),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Expansion + occurrence computation is shared with the other
+        // inference algorithms.
+        let uses: Vec<usize> = live
+            .iter()
+            .map(|&r| self.rules[r as usize].uses as usize)
+            .collect();
+        crate::builder::build_grammar(rhs_list, uses, self.n_tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tokens(s: &str) -> Vec<Token> {
+        s.bytes().map(|b| b as Token).collect()
+    }
+
+    /// Expanding the axiom must reproduce the input exactly.
+    fn assert_roundtrip(input: &[Token]) -> Grammar {
+        let g = infer(input);
+        assert_eq!(g.axiom().expansion, input, "axiom expansion != input");
+        g
+    }
+
+    /// Every claimed occurrence must actually hold the rule's expansion.
+    fn assert_occurrences_valid(g: &Grammar, input: &[Token]) {
+        for (id, rule) in g.repeated_rules() {
+            assert!(rule.uses >= 2, "rule {id} underused ({})", rule.uses);
+            assert!(!rule.occurrences.is_empty(), "rule {id} never occurs");
+            for span in &rule.occurrences {
+                assert_eq!(
+                    &input[span.start..span.end],
+                    rule.expansion.as_slice(),
+                    "rule {id} occurrence {span:?} mismatches"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = infer(&[]);
+        assert_eq!(g.rules.len(), 1);
+        assert!(g.axiom().expansion.is_empty());
+    }
+
+    #[test]
+    fn single_token() {
+        let g = infer(&[7]);
+        assert_eq!(g.rules.len(), 1);
+        assert_eq!(g.axiom().expansion, vec![7]);
+    }
+
+    #[test]
+    fn no_repeats_means_no_rules() {
+        let input = tokens("abcdefg");
+        let g = assert_roundtrip(&input);
+        assert_eq!(g.rules.len(), 1);
+    }
+
+    #[test]
+    fn classic_abcabc() {
+        let input = tokens("abcabc");
+        let g = assert_roundtrip(&input);
+        assert_occurrences_valid(&g, &input);
+        // Some rule must expand to "abc" and occur at 0 and 3.
+        let abc = tokens("abc");
+        let rule = g
+            .repeated_rules()
+            .find(|(_, r)| r.expansion == abc)
+            .expect("no rule for abc");
+        assert_eq!(rule.1.occurrences, vec![Span { start: 0, end: 3 }, Span { start: 3, end: 6 }]);
+    }
+
+    #[test]
+    fn paper_example_bac_cab() {
+        // §3.2.2: S1' = aba bac cab acc bac cab  (after numerosity reduction)
+        // tokens:        0   1   2   3   1   2
+        // Sequitur must produce R1 -> bac cab used twice.
+        let input = [0u32, 1, 2, 3, 1, 2];
+        let g = assert_roundtrip(&input);
+        assert_occurrences_valid(&g, &input);
+        let rule = g
+            .repeated_rules()
+            .find(|(_, r)| r.expansion == vec![1, 2])
+            .expect("no [bac cab] rule");
+        assert_eq!(rule.1.uses, 2);
+        assert_eq!(
+            rule.1.occurrences,
+            vec![Span { start: 1, end: 3 }, Span { start: 4, end: 6 }]
+        );
+    }
+
+    #[test]
+    fn run_of_equal_tokens() {
+        for n in 2..24 {
+            let input = vec![5u32; n];
+            let g = assert_roundtrip(&input);
+            assert_occurrences_valid(&g, &input);
+        }
+    }
+
+    #[test]
+    fn nested_repetition_builds_hierarchy() {
+        // "abab abab" forces a rule whose RHS references another rule.
+        let input = tokens("abababab");
+        let g = assert_roundtrip(&input);
+        assert_occurrences_valid(&g, &input);
+        assert!(g.rules.len() >= 2);
+        let has_nested = g
+            .repeated_rules()
+            .any(|(_, r)| r.rhs.iter().any(|s| matches!(s, Sym::R(_))));
+        assert!(has_nested, "expected rule hierarchy: {:?}", g.rules);
+    }
+
+    #[test]
+    fn digram_uniqueness_holds_in_output() {
+        // No digram may appear twice across all RHSes (non-overlapping).
+        let input = tokens("abcdbcabcdbcefefefxyxyxy");
+        let g = assert_roundtrip(&input);
+        assert_occurrences_valid(&g, &input);
+        // The classic invariant exempts *overlapping* digrams (a run like
+        // `A A A` legitimately holds two overlapping copies of (A, A)), so
+        // count greedily non-overlapping occurrences per rule.
+        let mut seen: std::collections::HashMap<(Sym, Sym), usize> = Default::default();
+        for rule in &g.rules {
+            let mut i = 0;
+            let mut last_counted: Option<usize> = None;
+            while i + 1 < rule.rhs.len() {
+                let d = (rule.rhs[i], rule.rhs[i + 1]);
+                let overlaps_previous = last_counted == Some(i.wrapping_sub(1))
+                    && i > 0
+                    && rule.rhs[i - 1] == rule.rhs[i]
+                    && rule.rhs[i] == rule.rhs[i + 1];
+                if !overlaps_previous {
+                    *seen.entry(d).or_insert(0) += 1;
+                    last_counted = Some(i);
+                }
+                i += 1;
+            }
+        }
+        for (d, c) in seen {
+            assert!(c <= 1, "digram {d:?} appears {c} times");
+        }
+    }
+
+    #[test]
+    fn sentinel_tokens_never_join_rules() {
+        // Two copies of "abcabc" separated by unique sentinels: no rule's
+        // expansion may contain a sentinel.
+        let mut input = tokens("abcabc");
+        input.push(1_000);
+        input.extend(tokens("abcabc"));
+        input.push(1_001);
+        let g = assert_roundtrip(&input);
+        assert_occurrences_valid(&g, &input);
+        for (_, r) in g.repeated_rules() {
+            assert!(
+                r.expansion.iter().all(|&t| t < 1_000),
+                "rule crosses sentinel: {:?}",
+                r.expansion
+            );
+        }
+        // And "abc" should now occur four times.
+        let abc = tokens("abc");
+        let rule = g
+            .repeated_rules()
+            .find(|(_, r)| r.expansion == abc || r.expansion == tokens("abcabc"))
+            .expect("no abc-family rule");
+        assert!(rule.1.occurrences.len() >= 2);
+    }
+
+    #[test]
+    fn occurrences_count_matches_uses_for_flat_rules() {
+        let input = tokens("xyzxyzxyzxyz");
+        let g = assert_roundtrip(&input);
+        assert_occurrences_valid(&g, &input);
+        for (_, r) in g.repeated_rules() {
+            // Occurrence count can exceed `uses` when the rule is nested
+            // inside another repeated rule, but never be below 2.
+            assert!(r.occurrences.len() >= 2);
+        }
+    }
+
+    #[test]
+    fn pseudo_random_roundtrip_small_alphabet() {
+        // Small alphabets maximize rule churn (creation + utility
+        // expansion), which is where linked-list bugs hide.
+        let mut state = 0x243f6a8885a308d3u64;
+        for trial in 0..40 {
+            let len = 3 + (trial * 13) % 300;
+            let alpha = 2 + trial % 4;
+            let input: Vec<Token> = (0..len)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((state >> 33) % alpha as u64) as Token
+                })
+                .collect();
+            let g = assert_roundtrip(&input);
+            assert_occurrences_valid(&g, &input);
+        }
+    }
+
+    #[test]
+    fn incremental_api_matches_one_shot() {
+        let input = tokens("mississippi$mississippi");
+        let mut s = Sequitur::new();
+        for &t in &input {
+            s.push(t);
+        }
+        assert_eq!(s.len(), input.len());
+        let g = s.into_grammar();
+        assert_eq!(g.axiom().expansion, input);
+        assert_occurrences_valid(&g, &input);
+    }
+
+    #[test]
+    fn axiom_span_covers_input() {
+        let input = tokens("aabbaabb");
+        let g = assert_roundtrip(&input);
+        assert_eq!(g.axiom().occurrences, vec![Span { start: 0, end: 8 }]);
+    }
+
+    #[test]
+    fn span_helpers() {
+        let s = Span { start: 2, end: 5 };
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert!(Span { start: 3, end: 3 }.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The grammar must always reproduce its input and satisfy rule
+        /// utility + occurrence correctness, for any token sequence.
+        #[test]
+        fn roundtrip_any_sequence(input in proptest::collection::vec(0u32..6, 0..400)) {
+            let g = infer(&input);
+            prop_assert_eq!(&g.axiom().expansion, &input);
+            for (_, r) in g.repeated_rules() {
+                prop_assert!(r.uses >= 2);
+                prop_assert!(r.occurrences.len() >= 2);
+                for span in &r.occurrences {
+                    prop_assert_eq!(&input[span.start..span.end], r.expansion.as_slice());
+                }
+            }
+        }
+
+        /// Rules never overlap themselves pathologically: every rule's
+        /// occurrences are disjoint or properly ordered by start.
+        #[test]
+        fn occurrences_sorted(input in proptest::collection::vec(0u32..4, 0..200)) {
+            let g = infer(&input);
+            for (_, r) in g.repeated_rules() {
+                for w in r.occurrences.windows(2) {
+                    prop_assert!(w[0].start <= w[1].start);
+                }
+            }
+        }
+    }
+}

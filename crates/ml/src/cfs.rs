@@ -1,0 +1,347 @@
+//! Correlation-based Feature Selection (Hall, 1999).
+//!
+//! §3.2.3 selects the representative patterns by running "the
+//! correlation-based feature selection from \[8\]" over the candidate-
+//! distance feature space. CFS scores a feature subset `S` with the merit
+//!
+//! ```text
+//! merit(S) = k·r̄cf / sqrt(k + k(k-1)·r̄ff)
+//! ```
+//!
+//! where `r̄cf` is the mean feature–class correlation and `r̄ff` the mean
+//! feature–feature inter-correlation, both measured as **symmetric
+//! uncertainty** over equal-frequency-discretized features (the WEKA
+//! convention). Search is best-first with a fixed non-improvement budget.
+
+use std::collections::BTreeSet;
+
+/// Knobs for [`cfs_select`].
+#[derive(Clone, Copy, Debug)]
+pub struct CfsParams {
+    /// Equal-frequency bins used to discretize continuous features.
+    pub bins: usize,
+    /// Best-first search stops after this many consecutive expansions
+    /// without merit improvement (WEKA default: 5).
+    pub stale_limit: usize,
+}
+
+impl Default for CfsParams {
+    fn default() -> Self {
+        Self { bins: 10, stale_limit: 5 }
+    }
+}
+
+/// Equal-frequency discretization of one feature column into at most
+/// `bins` levels. Ties collapse bins, so fewer distinct levels can result.
+fn discretize_column(values: &[f64], bins: usize) -> Vec<usize> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut levels = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        levels[i] = rank * bins / n;
+    }
+    // Equal values must share a level: walk in sorted order and merge.
+    for w in order.windows(2) {
+        if values[w[0]] == values[w[1]] {
+            levels[w[1]] = levels[w[0]];
+        }
+    }
+    levels
+}
+
+fn entropy(counts: &[usize], total: usize) -> f64 {
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / t;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Symmetric uncertainty between two discrete variables:
+/// `SU = 2·(H(X)+H(Y)-H(X,Y)) / (H(X)+H(Y))`, in `[0, 1]`.
+fn symmetric_uncertainty(x: &[usize], y: &[usize]) -> f64 {
+    let n = x.len();
+    let kx = x.iter().max().map_or(0, |m| m + 1);
+    let ky = y.iter().max().map_or(0, |m| m + 1);
+    let mut cx = vec![0usize; kx];
+    let mut cy = vec![0usize; ky];
+    let mut cxy = vec![0usize; kx * ky];
+    for (&a, &b) in x.iter().zip(y) {
+        cx[a] += 1;
+        cy[b] += 1;
+        cxy[a * ky + b] += 1;
+    }
+    let hx = entropy(&cx, n);
+    let hy = entropy(&cy, n);
+    let hxy = entropy(&cxy, n);
+    if hx + hy == 0.0 {
+        return 0.0;
+    }
+    (2.0 * (hx + hy - hxy) / (hx + hy)).clamp(0.0, 1.0)
+}
+
+fn merit(subset: &BTreeSet<usize>, fc: &[f64], ff: &[Vec<f64>]) -> f64 {
+    let k = subset.len() as f64;
+    if k == 0.0 {
+        return 0.0;
+    }
+    let sum_fc: f64 = subset.iter().map(|&i| fc[i]).sum();
+    let mut sum_ff = 0.0;
+    let items: Vec<usize> = subset.iter().copied().collect();
+    for (a, &i) in items.iter().enumerate() {
+        for &j in &items[a + 1..] {
+            sum_ff += ff[i][j];
+        }
+    }
+    let r_cf = sum_fc / k;
+    let r_ff = if k > 1.0 { sum_ff / (k * (k - 1.0) / 2.0) } else { 0.0 };
+    let denom = (k + k * (k - 1.0) * r_ff).sqrt();
+    if denom == 0.0 {
+        0.0
+    } else {
+        k * r_cf / denom
+    }
+}
+
+/// Selects a feature subset with CFS + best-first search. Returns sorted
+/// feature indices; never empty when at least one feature carries any
+/// class information (falls back to the single best feature).
+///
+/// `rows` is samples × features.
+///
+/// # Panics
+/// Panics on empty/ragged input or label length mismatch.
+pub fn cfs_select(rows: &[Vec<f64>], labels: &[usize], params: &CfsParams) -> Vec<usize> {
+    assert!(!rows.is_empty(), "CFS on empty data");
+    assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+    let dim = rows[0].len();
+    assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
+    if dim == 0 {
+        return Vec::new();
+    }
+
+    // Compact labels to dense levels for entropy computation.
+    let mut label_levels: Vec<usize> = labels.to_vec();
+    {
+        let mut uniq: Vec<usize> = labels.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for l in &mut label_levels {
+            *l = uniq.binary_search(l).unwrap();
+        }
+    }
+
+    // Discretize every feature column once.
+    let columns: Vec<Vec<usize>> = (0..dim)
+        .map(|j| {
+            let col: Vec<f64> = rows.iter().map(|r| r[j]).collect();
+            discretize_column(&col, params.bins)
+        })
+        .collect();
+
+    // Correlation caches.
+    let fc: Vec<f64> = columns
+        .iter()
+        .map(|c| symmetric_uncertainty(c, &label_levels))
+        .collect();
+    let mut ff = vec![vec![0.0; dim]; dim];
+    for i in 0..dim {
+        for j in (i + 1)..dim {
+            let su = symmetric_uncertainty(&columns[i], &columns[j]);
+            ff[i][j] = su;
+            ff[j][i] = su;
+        }
+    }
+
+    // Best-first search from the empty set.
+    let mut open: Vec<(f64, BTreeSet<usize>)> = vec![(0.0, BTreeSet::new())];
+    let mut best: (f64, BTreeSet<usize>) = (0.0, BTreeSet::new());
+    let mut visited: BTreeSet<BTreeSet<usize>> = BTreeSet::new();
+    let mut stale = 0usize;
+    while let Some(pos) = open
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+        .map(|(i, _)| i)
+    {
+        let (m, subset) = open.swap_remove(pos);
+        if m > best.0 + 1e-12 {
+            best = (m, subset.clone());
+            stale = 0;
+        } else {
+            stale += 1;
+            if stale > params.stale_limit {
+                break;
+            }
+        }
+        for j in 0..dim {
+            if subset.contains(&j) {
+                continue;
+            }
+            let mut child = subset.clone();
+            child.insert(j);
+            if visited.insert(child.clone()) {
+                let cm = merit(&child, &fc, &ff);
+                open.push((cm, child));
+            }
+        }
+        if open.is_empty() {
+            break;
+        }
+    }
+
+    if best.1.is_empty() {
+        // Degenerate data: fall back to the single most class-correlated
+        // feature (if any information exists at all).
+        let mut best_j = 0;
+        for j in 1..dim {
+            if fc[j] > fc[best_j] {
+                best_j = j;
+            }
+        }
+        return vec![best_j];
+    }
+    best.1.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Feature 0 is the label; features 1,2 are noise.
+    fn informative_plus_noise() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let l = i % 2;
+            let noise1 = ((i * 7919) % 13) as f64;
+            let noise2 = ((i * 104729) % 17) as f64;
+            rows.push(vec![l as f64 * 10.0, noise1, noise2]);
+            labels.push(l);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn selects_the_informative_feature() {
+        let (rows, labels) = informative_plus_noise();
+        let sel = cfs_select(&rows, &labels, &CfsParams::default());
+        assert!(sel.contains(&0), "feature 0 is the label: {sel:?}");
+    }
+
+    #[test]
+    fn drops_redundant_copies() {
+        // Features 0 and 1 are identical; CFS should not keep both.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let l = i % 2;
+            let v = l as f64 * 5.0 + ((i / 2) % 3) as f64 * 0.01;
+            rows.push(vec![v, v, ((i * 31) % 7) as f64]);
+            labels.push(l);
+        }
+        let sel = cfs_select(&rows, &labels, &CfsParams::default());
+        assert!(
+            !(sel.contains(&0) && sel.contains(&1)),
+            "redundant pair kept: {sel:?}"
+        );
+        assert!(sel.contains(&0) || sel.contains(&1));
+    }
+
+    #[test]
+    fn complementary_features_are_both_kept() {
+        // XOR-style: neither feature alone decides, together they do —
+        // merit still favors the pair over noise.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            // Label correlates with each feature individually too (an AND
+            // pattern, which CFS's linear merit can see).
+            let l = a & b;
+            rows.push(vec![a as f64, b as f64, ((i * 13) % 11) as f64]);
+            labels.push(l);
+        }
+        let sel = cfs_select(&rows, &labels, &CfsParams::default());
+        assert!(sel.contains(&0) && sel.contains(&1), "{sel:?}");
+        assert!(!sel.contains(&2), "noise kept: {sel:?}");
+    }
+
+    #[test]
+    fn pure_noise_returns_single_fallback() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![((i * 7) % 5) as f64, ((i * 11) % 3) as f64])
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let sel = cfs_select(&rows, &labels, &CfsParams::default());
+        assert!(!sel.is_empty());
+        assert!(sel.len() <= 2);
+    }
+
+    #[test]
+    fn zero_features_returns_empty() {
+        let rows = vec![vec![], vec![]];
+        let labels = vec![0, 1];
+        assert!(cfs_select(&rows, &labels, &CfsParams::default()).is_empty());
+    }
+
+    #[test]
+    fn su_of_identical_variables_is_one() {
+        let x = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        assert!((symmetric_uncertainty(&x, &x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn su_of_independent_variables_is_low() {
+        let x: Vec<usize> = (0..64).map(|i| i % 2).collect();
+        let y: Vec<usize> = (0..64).map(|i| (i / 2) % 2).collect();
+        assert!(symmetric_uncertainty(&x, &y) < 0.05);
+    }
+
+    #[test]
+    fn su_is_symmetric() {
+        let x: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let y: Vec<usize> = (0..30).map(|i| (i * i) % 4).collect();
+        assert!(
+            (symmetric_uncertainty(&x, &y) - symmetric_uncertainty(&y, &x)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn discretize_handles_constant_column() {
+        let levels = discretize_column(&[3.0; 10], 4);
+        assert!(levels.iter().all(|&l| l == levels[0]));
+    }
+
+    #[test]
+    fn discretize_equal_frequency() {
+        let vals: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let levels = discretize_column(&vals, 4);
+        // 12 points, 4 bins -> 3 per bin, monotone with the values.
+        for w in levels.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(*levels.iter().max().unwrap(), 3);
+        for b in 0..4 {
+            assert_eq!(levels.iter().filter(|&&l| l == b).count(), 3);
+        }
+    }
+
+    #[test]
+    fn discretize_ties_share_levels() {
+        let vals = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0];
+        let levels = discretize_column(&vals, 3);
+        assert!(levels[..4].iter().all(|&l| l == levels[0]));
+        assert!(levels[4..].iter().all(|&l| l == levels[4]));
+        assert_ne!(levels[0], levels[4]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Stratified cross-validation splits.
+//!
+//! Algorithm 3 validates each SAX parameter combination with five-fold
+//! cross-validation on a held-out slice of the training data, repeated over
+//! five random train/validate splits. Both index generators live here.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Produces `k` stratified folds as index sets: each fold holds roughly
+/// `1/k` of every class. Folds are disjoint and cover `0..labels.len()`.
+///
+/// # Panics
+/// Panics when `k == 0` or `k > labels.len()`.
+pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(k >= 1, "need at least one fold");
+    assert!(k <= labels.len(), "more folds than samples");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        by_class.entry(l).or_default().push(i);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (_, mut members) in by_class {
+        members.shuffle(&mut rng);
+        for (j, idx) in members.into_iter().enumerate() {
+            folds[j % k].push(idx);
+        }
+    }
+    for f in &mut folds {
+        f.sort_unstable();
+    }
+    folds
+}
+
+/// One random stratified `(train, validate)` index split where train
+/// receives `train_fraction` of each class (at least one sample per class
+/// in train when the class is non-empty).
+pub fn shuffled_stratified_split(
+    labels: &[usize],
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..=1.0).contains(&train_fraction),
+        "train_fraction must lie in [0,1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, &l) in labels.iter().enumerate() {
+        by_class.entry(l).or_default().push(i);
+    }
+    let mut train = Vec::new();
+    let mut validate = Vec::new();
+    for (_, mut members) in by_class {
+        members.shuffle(&mut rng);
+        let n = members.len();
+        let k = (((n as f64) * train_fraction).round() as usize).clamp(1, n);
+        train.extend_from_slice(&members[..k]);
+        validate.extend_from_slice(&members[k..]);
+    }
+    train.sort_unstable();
+    validate.sort_unstable();
+    (train, validate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        // 10 of class 0, 5 of class 1.
+        let mut l = vec![0; 10];
+        l.extend(vec![1; 5]);
+        l
+    }
+
+    #[test]
+    fn folds_partition_the_indices() {
+        let l = labels();
+        let folds = stratified_folds(&l, 5, 1);
+        assert_eq!(folds.len(), 5);
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let l = labels();
+        let folds = stratified_folds(&l, 5, 2);
+        for f in &folds {
+            let c0 = f.iter().filter(|&&i| l[i] == 0).count();
+            let c1 = f.iter().filter(|&&i| l[i] == 1).count();
+            assert_eq!(c0, 2, "class 0 spreads 2 per fold");
+            assert_eq!(c1, 1, "class 1 spreads 1 per fold");
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed_and_vary_across_seeds() {
+        let l = labels();
+        assert_eq!(stratified_folds(&l, 3, 7), stratified_folds(&l, 3, 7));
+        let a = stratified_folds(&l, 3, 7);
+        let b = stratified_folds(&l, 3, 8);
+        assert_ne!(a, b, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn split_covers_everything_once() {
+        let l = labels();
+        let (tr, va) = shuffled_stratified_split(&l, 0.6, 3);
+        let mut all = tr.clone();
+        all.extend(&va);
+        all.sort_unstable();
+        assert_eq!(all, (0..15).collect::<Vec<_>>());
+        // 60% of 10 = 6; 60% of 5 = 3.
+        assert_eq!(tr.iter().filter(|&&i| l[i] == 0).count(), 6);
+        assert_eq!(tr.iter().filter(|&&i| l[i] == 1).count(), 3);
+    }
+
+    #[test]
+    fn split_keeps_at_least_one_per_class_in_train() {
+        let l = vec![0, 0, 0, 1];
+        let (tr, _) = shuffled_stratified_split(&l, 0.1, 5);
+        assert!(tr.iter().any(|&i| l[i] == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "more folds than samples")]
+    fn too_many_folds_panics() {
+        stratified_folds(&[0, 1], 3, 0);
+    }
+}

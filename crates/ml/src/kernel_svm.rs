@@ -1,0 +1,415 @@
+//! Kernel SVM trained with (simplified) Sequential Minimal Optimization.
+//!
+//! The paper's classifier is "SVM \[4\]" with the transformed features; the
+//! transformed space is usually linearly separable (Fig. 6), so
+//! [`crate::svm::LinearSvm`] is the default. This kernel machine completes
+//! the substrate for the cases where it is not — and for the ablation
+//! comparing classifiers on the RPM features. One-vs-rest multiclass,
+//! internal feature standardization, deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Kernel functions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Kernel {
+    /// Plain dot product.
+    Linear,
+    /// Gaussian RBF `exp(-gamma ||x - y||²)`.
+    Rbf {
+        /// Bandwidth parameter.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        match *self {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        let d = x - y;
+                        d * d
+                    })
+                    .sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// Hyper-parameters for [`KernelSvm`].
+#[derive(Clone, Copy, Debug)]
+pub struct KernelSvmParams {
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Soft-margin constant.
+    pub c: f64,
+    /// KKT violation tolerance.
+    pub tol: f64,
+    /// Consecutive full passes without an update before stopping.
+    pub max_stable_passes: usize,
+    /// Hard cap on full passes.
+    pub max_passes: usize,
+    /// RNG seed (partner selection).
+    pub seed: u64,
+}
+
+impl Default for KernelSvmParams {
+    fn default() -> Self {
+        Self {
+            kernel: Kernel::Rbf { gamma: 0.5 },
+            c: 1.0,
+            tol: 1e-3,
+            max_stable_passes: 5,
+            max_passes: 200,
+            seed: 0x50f7,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BinaryModel {
+    alphas_y: Vec<f64>, // alpha_i * y_i for support vectors
+    support: Vec<Vec<f64>>,
+    bias: f64,
+}
+
+/// Trained one-vs-rest kernel SVM.
+#[derive(Clone, Debug)]
+pub struct KernelSvm {
+    classes: Vec<usize>,
+    models: Vec<BinaryModel>,
+    kernel: Kernel,
+    mean: Vec<f64>,
+    inv_sd: Vec<f64>,
+}
+
+fn standardize_fit(rows: &[Vec<f64>]) -> (Vec<f64>, Vec<f64>) {
+    let dim = rows[0].len();
+    let n = rows.len() as f64;
+    let mut mean = vec![0.0; dim];
+    for r in rows {
+        for (m, v) in mean.iter_mut().zip(r) {
+            *m += v / n;
+        }
+    }
+    let mut var = vec![0.0; dim];
+    for r in rows {
+        for ((s, v), m) in var.iter_mut().zip(r).zip(&mean) {
+            *s += (v - m) * (v - m) / n;
+        }
+    }
+    let inv_sd = var
+        .iter()
+        .map(|v| {
+            let s = v.sqrt();
+            if s < 1e-12 {
+                0.0
+            } else {
+                1.0 / s
+            }
+        })
+        .collect();
+    (mean, inv_sd)
+}
+
+fn apply_scaler(row: &[f64], mean: &[f64], inv_sd: &[f64]) -> Vec<f64> {
+    row.iter()
+        .zip(mean.iter().zip(inv_sd))
+        .map(|(v, (m, is))| (v - m) * is)
+        .collect()
+}
+
+/// Simplified SMO on ±1 labels over pre-standardized rows.
+fn train_binary(
+    x: &[Vec<f64>],
+    y: &[f64],
+    params: &KernelSvmParams,
+    gram: &[f64],
+) -> BinaryModel {
+    let n = x.len();
+    let c = params.c;
+    let mut alpha = vec![0.0f64; n];
+    let mut b = 0.0f64;
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let k = |i: usize, j: usize| gram[i * n + j];
+    let f = |alpha: &[f64], b: f64, i: usize| -> f64 {
+        let mut s = b;
+        for j in 0..n {
+            if alpha[j] != 0.0 {
+                s += alpha[j] * y[j] * k(j, i);
+            }
+        }
+        s
+    };
+
+    let mut stable = 0usize;
+    let mut passes = 0usize;
+    while stable < params.max_stable_passes && passes < params.max_passes {
+        passes += 1;
+        let mut changed = 0usize;
+        for i in 0..n {
+            let e_i = f(&alpha, b, i) - y[i];
+            let violates = (y[i] * e_i < -params.tol && alpha[i] < c)
+                || (y[i] * e_i > params.tol && alpha[i] > 0.0);
+            if !violates {
+                continue;
+            }
+            // Random distinct partner.
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let e_j = f(&alpha, b, j) - y[j];
+            let (a_i_old, a_j_old) = (alpha[i], alpha[j]);
+            let (lo, hi) = if y[i] != y[j] {
+                ((a_j_old - a_i_old).max(0.0), (c + a_j_old - a_i_old).min(c))
+            } else {
+                ((a_i_old + a_j_old - c).max(0.0), (a_i_old + a_j_old).min(c))
+            };
+            if lo >= hi {
+                continue;
+            }
+            let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+            if eta >= 0.0 {
+                continue;
+            }
+            let mut a_j = a_j_old - y[j] * (e_i - e_j) / eta;
+            a_j = a_j.clamp(lo, hi);
+            if (a_j - a_j_old).abs() < 1e-6 {
+                continue;
+            }
+            let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
+            alpha[i] = a_i;
+            alpha[j] = a_j;
+            let b1 = b - e_i
+                - y[i] * (a_i - a_i_old) * k(i, i)
+                - y[j] * (a_j - a_j_old) * k(i, j);
+            let b2 = b - e_j
+                - y[i] * (a_i - a_i_old) * k(i, j)
+                - y[j] * (a_j - a_j_old) * k(j, j);
+            b = if (0.0..c).contains(&a_i) {
+                b1
+            } else if (0.0..c).contains(&a_j) {
+                b2
+            } else {
+                (b1 + b2) / 2.0
+            };
+            changed += 1;
+        }
+        if changed == 0 {
+            stable += 1;
+        } else {
+            stable = 0;
+        }
+    }
+
+    // Keep only support vectors.
+    let mut alphas_y = Vec::new();
+    let mut support = Vec::new();
+    for i in 0..n {
+        if alpha[i] > 1e-9 {
+            alphas_y.push(alpha[i] * y[i]);
+            support.push(x[i].clone());
+        }
+    }
+    BinaryModel { alphas_y, support, bias: b }
+}
+
+impl KernelSvm {
+    /// Trains one-vs-rest.
+    ///
+    /// # Panics
+    /// Panics on empty/mismatched/ragged input or fewer than two classes.
+    pub fn train(rows: &[Vec<f64>], labels: &[usize], params: &KernelSvmParams) -> Self {
+        assert!(!rows.is_empty(), "kernel SVM training set is empty");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "kernel SVM needs at least two classes");
+
+        let (mean, inv_sd) = standardize_fit(rows);
+        let x: Vec<Vec<f64>> = rows.iter().map(|r| apply_scaler(r, &mean, &inv_sd)).collect();
+
+        // Precompute the Gram matrix once; shared by all binary problems.
+        let n = x.len();
+        let mut gram = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = params.kernel.eval(&x[i], &x[j]);
+                gram[i * n + j] = v;
+                gram[j * n + i] = v;
+            }
+        }
+
+        let models = classes
+            .iter()
+            .map(|&cls| {
+                let y: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l == cls { 1.0 } else { -1.0 })
+                    .collect();
+                train_binary(&x, &y, params, &gram)
+            })
+            .collect();
+        Self { classes, models, kernel: params.kernel, mean, inv_sd }
+    }
+
+    /// Decision value per class, ordered like [`KernelSvm::classes`].
+    pub fn decision_values(&self, row: &[f64]) -> Vec<f64> {
+        let z = apply_scaler(row, &self.mean, &self.inv_sd);
+        self.models
+            .iter()
+            .map(|m| {
+                m.bias
+                    + m.alphas_y
+                        .iter()
+                        .zip(&m.support)
+                        .map(|(ay, sv)| ay * self.kernel.eval(sv, &z))
+                        .sum::<f64>()
+            })
+            .collect()
+    }
+
+    /// Predicted class label.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let d = self.decision_values(row);
+        let mut best = 0;
+        for i in 1..d.len() {
+            if d[i] > d[best] {
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+
+    /// Predicts a batch.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The class labels the model knows, ascending.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Total number of retained support vectors across the binary models.
+    pub fn n_support_vectors(&self) -> usize {
+        self.models.iter().map(|m| m.support.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Vec<Vec<f64>>, Vec<usize>) {
+        // Four jittered clusters in XOR layout: not linearly separable.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (cx, cy, l) in [
+            (0.0, 0.0, 0usize),
+            (4.0, 4.0, 0),
+            (0.0, 4.0, 1),
+            (4.0, 0.0, 1),
+        ] {
+            for i in 0..8 {
+                let a = i as f64 * 0.8;
+                rows.push(vec![cx + 0.25 * a.sin(), cy + 0.25 * a.cos()]);
+                labels.push(l);
+            }
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn rbf_solves_xor() {
+        let (rows, labels) = xor_data();
+        let m = KernelSvm::train(&rows, &labels, &KernelSvmParams::default());
+        let errs = m
+            .predict_batch(&rows)
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p != l)
+            .count();
+        assert_eq!(errs, 0, "RBF must fit XOR exactly");
+        // Held-out points near each cluster center.
+        assert_eq!(m.predict(&[0.2, 0.1]), 0);
+        assert_eq!(m.predict(&[3.9, 3.8]), 0);
+        assert_eq!(m.predict(&[0.1, 3.9]), 1);
+        assert_eq!(m.predict(&[3.8, 0.2]), 1);
+    }
+
+    #[test]
+    fn linear_kernel_on_separable_data() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![if i < 10 { i as f64 * 0.1 } else { 5.0 + i as f64 * 0.1 }])
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| (i >= 10) as usize).collect();
+        let params = KernelSvmParams { kernel: Kernel::Linear, ..Default::default() };
+        let m = KernelSvm::train(&rows, &labels, &params);
+        assert_eq!(m.predict(&[0.3]), 0);
+        assert_eq!(m.predict(&[6.0]), 1);
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, (cx, cy)) in [(0.0f64, 0.0f64), (6.0, 0.0), (3.0, 6.0)].iter().enumerate() {
+            for i in 0..10 {
+                let a = i as f64;
+                rows.push(vec![cx + 0.2 * a.sin(), cy + 0.2 * a.cos()]);
+                labels.push(c);
+            }
+        }
+        let m = KernelSvm::train(&rows, &labels, &KernelSvmParams::default());
+        assert_eq!(m.classes(), &[0, 1, 2]);
+        let errs = m
+            .predict_batch(&rows)
+            .iter()
+            .zip(&labels)
+            .filter(|(p, l)| p != l)
+            .count();
+        assert_eq!(errs, 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (rows, labels) = xor_data();
+        let p = KernelSvmParams::default();
+        let m1 = KernelSvm::train(&rows, &labels, &p);
+        let m2 = KernelSvm::train(&rows, &labels, &p);
+        assert_eq!(m1.decision_values(&[1.0, 2.0]), m2.decision_values(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn support_vectors_are_a_subset() {
+        let (rows, labels) = xor_data();
+        let m = KernelSvm::train(&rows, &labels, &KernelSvmParams::default());
+        assert!(m.n_support_vectors() > 0);
+        assert!(m.n_support_vectors() <= rows.len() * m.classes().len());
+    }
+
+    #[test]
+    fn kernel_eval_basics() {
+        assert_eq!(Kernel::Linear.eval(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        let rbf = Kernel::Rbf { gamma: 1.0 };
+        assert!((rbf.eval(&[1.0], &[1.0]) - 1.0).abs() < 1e-12);
+        assert!(rbf.eval(&[0.0], &[10.0]) < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_panics() {
+        KernelSvm::train(&[vec![1.0]], &[0], &KernelSvmParams::default());
+    }
+}

@@ -1,0 +1,161 @@
+//! k-nearest-neighbor classification over feature vectors.
+//!
+//! §3.1 claims the RPM feature space "can work with any classifier"; this
+//! kNN backs that ablation alongside [`crate::svm::LinearSvm`] and
+//! [`crate::logistic::Logistic`]. Distance is Euclidean over the feature
+//! vectors; ties in the vote break toward the nearer neighbor set.
+
+/// Trained (lazy) kNN model.
+#[derive(Clone, Debug)]
+pub struct Knn {
+    rows: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    k: usize,
+}
+
+impl Knn {
+    /// Stores the training rows.
+    ///
+    /// # Panics
+    /// Panics on empty/mismatched input, `k == 0`, or ragged rows.
+    pub fn train(rows: &[Vec<f64>], labels: &[usize], k: usize) -> Self {
+        assert!(!rows.is_empty(), "kNN needs training data");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        assert!(k >= 1, "k must be positive");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
+        Self { rows: rows.to_vec(), labels: labels.to_vec(), k: k.min(rows.len()) }
+    }
+
+    /// Predicted label by majority vote among the k nearest training rows;
+    /// a split vote goes to the class whose voting members sit closer in
+    /// total.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let mut dists: Vec<(f64, usize)> = self
+            .rows
+            .iter()
+            .zip(&self.labels)
+            .map(|(r, &l)| {
+                let d: f64 = r
+                    .iter()
+                    .zip(row)
+                    .map(|(a, b)| {
+                        let v = a - b;
+                        v * v
+                    })
+                    .sum();
+                (d, l)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let neighbors = &dists[..self.k];
+        // (count, -total_distance) per class; majority wins, proximity
+        // breaks ties.
+        let mut votes: std::collections::BTreeMap<usize, (usize, f64)> = Default::default();
+        for &(d, l) in neighbors {
+            let e = votes.entry(l).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += d;
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| {
+                (a.1 .0, -a.1 .1)
+                    .partial_cmp(&(b.1 .0, -b.1 .1))
+                    .expect("distances are finite")
+            })
+            .map(|(l, _)| l)
+            .expect("k >= 1")
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The configured neighborhood size (clamped to the training size).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            labels.push(0);
+            rows.push(vec![5.0 + 0.01 * i as f64, 5.0]);
+            labels.push(1);
+        }
+        (rows, labels)
+    }
+
+    #[test]
+    fn one_nn_classifies_blobs() {
+        let (rows, labels) = blobs();
+        let m = Knn::train(&rows, &labels, 1);
+        assert_eq!(m.predict(&[0.1, 0.2]), 0);
+        assert_eq!(m.predict(&[4.9, 5.1]), 1);
+    }
+
+    #[test]
+    fn larger_k_smooths_outliers() {
+        // One mislabeled point inside blob 0: k=1 near it errs, k=5 does
+        // not.
+        let (mut rows, mut labels) = blobs();
+        rows.push(vec![0.05, 0.05]);
+        labels.push(1); // mislabeled
+        let near_outlier = [0.06, 0.06];
+        let k1 = Knn::train(&rows, &labels, 1);
+        assert_eq!(k1.predict(&near_outlier), 1, "1-NN trusts the outlier");
+        let k5 = Knn::train(&rows, &labels, 5);
+        assert_eq!(k5.predict(&near_outlier), 0, "5-NN out-votes it");
+    }
+
+    #[test]
+    fn k_clamps_to_training_size() {
+        let rows = vec![vec![0.0], vec![1.0]];
+        let labels = vec![0, 1];
+        let m = Knn::train(&rows, &labels, 99);
+        assert_eq!(m.k(), 2);
+        // The proximity tie-break still separates.
+        assert_eq!(m.predict(&[0.1]), 0);
+        assert_eq!(m.predict(&[0.9]), 1);
+    }
+
+    #[test]
+    fn tie_breaks_toward_the_closer_class() {
+        // k=2 with one neighbor per class: the nearer class must win.
+        let rows = vec![vec![0.0], vec![1.0]];
+        let labels = vec![0, 1];
+        let m = Knn::train(&rows, &labels, 2);
+        assert_eq!(m.predict(&[0.2]), 0);
+        assert_eq!(m.predict(&[0.8]), 1);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let (rows, labels) = blobs();
+        let m = Knn::train(&rows, &labels, 3);
+        let queries = vec![vec![0.2, 0.1], vec![5.2, 4.8]];
+        let batch = m.predict_batch(&queries);
+        assert_eq!(batch, vec![m.predict(&queries[0]), m.predict(&queries[1])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        Knn::train(&[vec![0.0]], &[0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs training data")]
+    fn empty_training_panics() {
+        Knn::train(&[], &[], 1);
+    }
+}

@@ -1,0 +1,37 @@
+//! # rpm-ml — machine-learning substrates for RPM
+//!
+//! Everything the paper's training/evaluation loop needs beyond the time
+//! series machinery itself, implemented from scratch:
+//!
+//! * [`svm`] — linear SVM trained by dual coordinate descent, one-vs-rest
+//!   multiclass (the classifier of §3.1; the paper used WEKA's SMO),
+//! * [`logistic`] — L2-regularized logistic regression (the "works with
+//!   any classifier" ablation, and a building block of the Learning
+//!   Shapelets baseline),
+//! * [`kernel_svm`] — RBF/linear kernel SVM via simplified SMO,
+//! * [`knn`] — k-nearest-neighbor over feature vectors,
+//! * [`cfs`] — Hall's correlation-based feature selection with best-first
+//!   search (§3.2.3's `FSalg`),
+//! * [`metrics`] — confusion matrix, error rate, per-class F-measure
+//!   (Algorithm 3's objective),
+//! * [`cv`] — stratified k-fold cross-validation index generation,
+//! * [`stats`] — the Wilcoxon signed-rank test used in §5.2 to compare
+//!   classifiers across datasets.
+
+pub mod cfs;
+pub mod kernel_svm;
+pub mod knn;
+pub mod cv;
+pub mod logistic;
+pub mod metrics;
+pub mod stats;
+pub mod svm;
+
+pub use cfs::{cfs_select, CfsParams};
+pub use kernel_svm::{Kernel, KernelSvm, KernelSvmParams};
+pub use knn::Knn;
+pub use cv::{shuffled_stratified_split, stratified_folds};
+pub use logistic::{Logistic, LogisticParams};
+pub use metrics::{confusion_matrix, error_rate, macro_f1, per_class_f1, ConfusionMatrix};
+pub use stats::{normal_cdf, wilcoxon_signed_rank, WilcoxonResult};
+pub use svm::{LinearSvm, SvmExport, SvmParams};

@@ -1,0 +1,206 @@
+//! L2-regularized multinomial logistic regression.
+//!
+//! §3.1 notes the RPM feature space "can work with any classifier"; this
+//! model backs that ablation (SVM vs logistic vs 1-NN on the transformed
+//! features, see `rpm-bench`) and provides the differentiable loss the
+//! Learning Shapelets baseline optimizes jointly with its shapelets.
+
+/// Hyper-parameters for [`Logistic`].
+#[derive(Clone, Copy, Debug)]
+pub struct LogisticParams {
+    /// Learning rate for full-batch gradient descent.
+    pub learning_rate: f64,
+    /// L2 regularization strength (applied to weights, not biases).
+    pub lambda: f64,
+    /// Gradient-descent iterations.
+    pub max_iter: usize,
+}
+
+impl Default for LogisticParams {
+    fn default() -> Self {
+        Self { learning_rate: 0.1, lambda: 1e-3, max_iter: 500 }
+    }
+}
+
+/// Trained multinomial logistic model.
+#[derive(Clone, Debug)]
+pub struct Logistic {
+    classes: Vec<usize>,
+    /// `classes.len()` rows of `dim + 1` weights (bias last).
+    weights: Vec<Vec<f64>>,
+}
+
+/// Numerically stable softmax in place.
+fn softmax(z: &mut [f64]) {
+    let m = z.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in z.iter_mut() {
+        *v = (*v - m).exp();
+        sum += *v;
+    }
+    for v in z.iter_mut() {
+        *v /= sum;
+    }
+}
+
+impl Logistic {
+    /// Trains with full-batch gradient descent.
+    ///
+    /// # Panics
+    /// Panics on empty/mismatched/ragged input or fewer than two classes.
+    pub fn train(rows: &[Vec<f64>], labels: &[usize], params: &LogisticParams) -> Self {
+        assert!(!rows.is_empty(), "logistic training set is empty");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        let dim = rows[0].len();
+        assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "logistic needs at least two classes");
+        let k = classes.len();
+        let class_index: std::collections::HashMap<usize, usize> =
+            classes.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+
+        let n = rows.len() as f64;
+        let mut weights = vec![vec![0.0; dim + 1]; k];
+        let mut probs = vec![0.0; k];
+        let mut grad = vec![vec![0.0; dim + 1]; k];
+        for _ in 0..params.max_iter {
+            for g in &mut grad {
+                g.fill(0.0);
+            }
+            for (row, &label) in rows.iter().zip(labels) {
+                for (c, w) in weights.iter().enumerate() {
+                    probs[c] = w[..dim].iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + w[dim];
+                }
+                softmax(&mut probs);
+                let yi = class_index[&label];
+                for c in 0..k {
+                    let err = probs[c] - if c == yi { 1.0 } else { 0.0 };
+                    for (g, x) in grad[c][..dim].iter_mut().zip(row) {
+                        *g += err * x;
+                    }
+                    grad[c][dim] += err;
+                }
+            }
+            for c in 0..k {
+                for j in 0..dim {
+                    let reg = params.lambda * weights[c][j];
+                    weights[c][j] -= params.learning_rate * (grad[c][j] / n + reg);
+                }
+                weights[c][dim] -= params.learning_rate * grad[c][dim] / n;
+            }
+        }
+        Self { classes, weights }
+    }
+
+    /// Class probabilities, ordered like [`Logistic::classes`].
+    pub fn probabilities(&self, row: &[f64]) -> Vec<f64> {
+        let dim = row.len();
+        let mut z: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| w[..dim].iter().zip(row).map(|(a, b)| a * b).sum::<f64>() + w[dim])
+            .collect();
+        softmax(&mut z);
+        z
+    }
+
+    /// Predicted class label.
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let p = self.probabilities(row);
+        let mut best = 0;
+        for i in 1..p.len() {
+            if p[i] > p[best] {
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+
+    /// The class labels the model knows, ascending.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_1d_classes() {
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![if i < 10 { i as f64 * 0.1 } else { 5.0 + i as f64 * 0.1 }])
+            .collect();
+        let labels: Vec<usize> = (0..20).map(|i| (i >= 10) as usize).collect();
+        let m = Logistic::train(&rows, &labels, &LogisticParams::default());
+        assert_eq!(m.predict(&[0.2]), 0);
+        assert_eq!(m.predict(&[6.5]), 1);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let rows = vec![vec![0.0, 1.0], vec![1.0, 0.0], vec![5.0, 5.0]];
+        let labels = vec![0, 1, 2];
+        let m = Logistic::train(&rows, &labels, &LogisticParams::default());
+        let p = m.probabilities(&[2.0, 2.0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn three_class_blobs() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, (cx, cy)) in [(0.0, 0.0), (6.0, 0.0), (3.0, 6.0)].iter().enumerate() {
+            for i in 0..12 {
+                let a = i as f64;
+                rows.push(vec![cx + 0.2 * a.sin(), cy + 0.2 * a.cos()]);
+                labels.push(c);
+            }
+        }
+        let m = Logistic::train(&rows, &labels, &LogisticParams::default());
+        let err = rows
+            .iter()
+            .zip(&labels)
+            .filter(|(r, &l)| m.predict(r) != l)
+            .count();
+        assert_eq!(err, 0);
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_inputs() {
+        let mut z = vec![1000.0, 1001.0, 999.0];
+        softmax(&mut z);
+        assert!((z.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(z[1] > z[0] && z[0] > z[2]);
+    }
+
+    #[test]
+    fn regularization_shrinks_weights() {
+        let rows = vec![vec![0.0], vec![0.1], vec![10.0], vec![10.1]];
+        let labels = vec![0, 0, 1, 1];
+        let loose = Logistic::train(
+            &rows,
+            &labels,
+            &LogisticParams { lambda: 0.0, ..Default::default() },
+        );
+        let tight = Logistic::train(
+            &rows,
+            &labels,
+            &LogisticParams { lambda: 10.0, ..Default::default() },
+        );
+        let norm = |m: &Logistic| -> f64 {
+            m.weights.iter().flat_map(|w| &w[..1]).map(|v| v * v).sum()
+        };
+        assert!(norm(&tight) < norm(&loose));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_panics() {
+        Logistic::train(&[vec![1.0]], &[0], &LogisticParams::default());
+    }
+}

@@ -1,0 +1,184 @@
+//! Classification metrics.
+//!
+//! Algorithm 3 scores a SAX parameter combination by the per-class
+//! F-measure from five-fold cross-validation; the experimental section
+//! reports error rates. Both come from the confusion matrix here.
+
+use std::collections::BTreeMap;
+
+/// Confusion matrix over an explicit label set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfusionMatrix {
+    /// Ascending label set covering both actual and predicted labels.
+    pub labels: Vec<usize>,
+    /// `counts[a][p]` = samples of actual label index `a` predicted as
+    /// label index `p`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+/// Builds the confusion matrix from parallel actual/predicted slices.
+///
+/// # Panics
+/// Panics when the slices differ in length or are empty.
+pub fn confusion_matrix(actual: &[usize], predicted: &[usize]) -> ConfusionMatrix {
+    assert_eq!(actual.len(), predicted.len(), "actual/predicted length mismatch");
+    assert!(!actual.is_empty(), "cannot score zero predictions");
+    let mut idx: BTreeMap<usize, usize> = BTreeMap::new();
+    for &l in actual.iter().chain(predicted) {
+        let next = idx.len();
+        idx.entry(l).or_insert(next);
+    }
+    // BTreeMap iteration is sorted; rebuild dense indices in label order.
+    let labels: Vec<usize> = idx.keys().copied().collect();
+    let pos: BTreeMap<usize, usize> =
+        labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let k = labels.len();
+    let mut counts = vec![vec![0usize; k]; k];
+    for (&a, &p) in actual.iter().zip(predicted) {
+        counts[pos[&a]][pos[&p]] += 1;
+    }
+    ConfusionMatrix { labels, counts }
+}
+
+impl ConfusionMatrix {
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.labels.len()).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision for the label at index `i` (1.0 when nothing was
+    /// predicted as that label, matching the conservative convention the
+    /// F-measure search needs to avoid rewarding empty predictions).
+    pub fn precision(&self, i: usize) -> f64 {
+        let tp = self.counts[i][i];
+        let predicted: usize = (0..self.labels.len()).map(|a| self.counts[a][i]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for the label at index `i` (0.0 when the class is absent).
+    pub fn recall(&self, i: usize) -> f64 {
+        let tp = self.counts[i][i];
+        let actual: usize = self.counts[i].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 for the label at index `i`.
+    pub fn f1(&self, i: usize) -> f64 {
+        let p = self.precision(i);
+        let r = self.recall(i);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Fraction of mispredicted samples.
+pub fn error_rate(actual: &[usize], predicted: &[usize]) -> f64 {
+    1.0 - confusion_matrix(actual, predicted).accuracy()
+}
+
+/// Per-class F1 as a `label -> score` map.
+pub fn per_class_f1(actual: &[usize], predicted: &[usize]) -> BTreeMap<usize, f64> {
+    let cm = confusion_matrix(actual, predicted);
+    cm.labels
+        .iter()
+        .enumerate()
+        .map(|(i, &l)| (l, cm.f1(i)))
+        .collect()
+}
+
+/// Unweighted mean of the per-class F1 scores.
+pub fn macro_f1(actual: &[usize], predicted: &[usize]) -> f64 {
+    let scores = per_class_f1(actual, predicted);
+    scores.values().sum::<f64>() / scores.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [0, 1, 2, 1, 0];
+        let cm = confusion_matrix(&y, &y);
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(error_rate(&y, &y), 0.0);
+        assert_eq!(macro_f1(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let actual = [0, 0, 1, 1];
+        let pred = [1, 1, 0, 0];
+        assert_eq!(error_rate(&actual, &pred), 1.0);
+        assert_eq!(macro_f1(&actual, &pred), 0.0);
+    }
+
+    #[test]
+    fn known_confusion_counts() {
+        let actual = [0, 0, 0, 1, 1, 2];
+        let pred = [0, 0, 1, 1, 1, 0];
+        let cm = confusion_matrix(&actual, &pred);
+        assert_eq!(cm.labels, vec![0, 1, 2]);
+        assert_eq!(cm.counts[0], vec![2, 1, 0]);
+        assert_eq!(cm.counts[1], vec![0, 2, 0]);
+        assert_eq!(cm.counts[2], vec![1, 0, 0]);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        // class 0: precision 2/3, recall 2/3 -> F1 2/3.
+        assert!((cm.f1(0) - 2.0 / 3.0).abs() < 1e-12);
+        // class 2: never predicted -> recall 0, F1 0.
+        assert_eq!(cm.f1(2), 0.0);
+    }
+
+    #[test]
+    fn labels_only_in_predictions_are_included() {
+        let actual = [0, 0];
+        let pred = [0, 5];
+        let cm = confusion_matrix(&actual, &pred);
+        assert_eq!(cm.labels, vec![0, 5]);
+        assert_eq!(cm.recall(1), 0.0, "label 5 has no actual samples");
+    }
+
+    #[test]
+    fn per_class_map_keys_are_labels() {
+        let actual = [3, 3, 7];
+        let pred = [3, 7, 7];
+        let f = per_class_f1(&actual, &pred);
+        assert_eq!(f.keys().copied().collect::<Vec<_>>(), vec![3, 7]);
+    }
+
+    #[test]
+    fn binary_f1_hand_computed() {
+        // TP=3 FP=1 FN=2 for class 1.
+        let actual = [1, 1, 1, 1, 1, 0, 0, 0];
+        let pred = [1, 1, 1, 0, 0, 1, 0, 0];
+        let f = per_class_f1(&actual, &pred);
+        let p = 3.0 / 4.0;
+        let r = 3.0 / 5.0;
+        assert!((f[&1] - 2.0 * p * r / (p + r)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        confusion_matrix(&[0], &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero predictions")]
+    fn empty_panics() {
+        confusion_matrix(&[], &[]);
+    }
+}

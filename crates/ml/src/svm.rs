@@ -1,0 +1,396 @@
+//! Linear SVM via dual coordinate descent.
+//!
+//! The classifier of the paper's §3.1: after transforming time series into
+//! the representative-pattern distance space, a linear SVM separates the
+//! classes (Fig. 6 shows the transformed data is typically linearly
+//! separable). We train the L1-loss L2-regularized dual with the
+//! coordinate-descent method of Hsieh et al. (ICML 2008) — the same family
+//! of solver LIBLINEAR uses — and lift to multiclass with one-vs-rest.
+//!
+//! Features are standardized internally (mean 0 / sd 1, computed on the
+//! training split) so the regularization constant behaves uniformly across
+//! datasets; the fitted scaler is applied at prediction time.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyper-parameters for [`LinearSvm`].
+#[derive(Clone, Copy, Debug)]
+pub struct SvmParams {
+    /// Soft-margin constant `C`.
+    pub c: f64,
+    /// Convergence tolerance on the projected gradient.
+    pub eps: f64,
+    /// Maximum outer iterations (full passes over the data).
+    pub max_iter: usize,
+    /// RNG seed for the coordinate permutation.
+    pub seed: u64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        Self { c: 1.0, eps: 1e-3, max_iter: 200, seed: 0x5eed }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Scaler {
+    mean: Vec<f64>,
+    inv_sd: Vec<f64>,
+}
+
+impl Scaler {
+    fn fit(rows: &[Vec<f64>]) -> Self {
+        let dim = rows.first().map_or(0, Vec::len);
+        let n = rows.len().max(1) as f64;
+        let mut mean = vec![0.0; dim];
+        for r in rows {
+            for (m, v) in mean.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; dim];
+        for r in rows {
+            for ((v, x), m) in var.iter_mut().zip(r).zip(&mean) {
+                let d = x - m;
+                *v += d * d;
+            }
+        }
+        let inv_sd = var
+            .into_iter()
+            .map(|v| {
+                let sd = (v / n).sqrt();
+                if sd < 1e-12 {
+                    0.0
+                } else {
+                    1.0 / sd
+                }
+            })
+            .collect();
+        Self { mean, inv_sd }
+    }
+
+    fn apply(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(&self.mean)
+            .zip(&self.inv_sd)
+            .map(|((x, m), s)| (x - m) * s)
+            .collect()
+    }
+}
+
+/// Trained one-vs-rest linear SVM.
+#[derive(Clone, Debug)]
+pub struct LinearSvm {
+    classes: Vec<usize>,
+    /// One weight vector per class, each of length `dim + 1` (bias last).
+    weights: Vec<Vec<f64>>,
+    scaler: Scaler,
+}
+
+/// Plain-data snapshot of a trained [`LinearSvm`], for persistence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SvmExport {
+    /// Class labels, ascending.
+    pub classes: Vec<usize>,
+    /// One weight row per class (`dim + 1` values, bias last).
+    pub weights: Vec<Vec<f64>>,
+    /// Feature means of the fitted standardizer.
+    pub scaler_mean: Vec<f64>,
+    /// Inverse standard deviations (0 marks a constant feature).
+    pub scaler_inv_sd: Vec<f64>,
+}
+
+impl LinearSvm {
+    /// Trains on `rows` (one feature vector per sample) and `labels`.
+    ///
+    /// # Panics
+    /// Panics on empty input, mismatched lengths, ragged rows, or a single
+    /// class (nothing to separate).
+    pub fn train(rows: &[Vec<f64>], labels: &[usize], params: &SvmParams) -> Self {
+        assert!(!rows.is_empty(), "SVM training set is empty");
+        assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
+        let dim = rows[0].len();
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "SVM rows must share one dimension"
+        );
+        let mut classes: Vec<usize> = labels.to_vec();
+        classes.sort_unstable();
+        classes.dedup();
+        assert!(classes.len() >= 2, "SVM needs at least two classes");
+
+        let scaler = Scaler::fit(rows);
+        // Standardize and append the bias feature.
+        let x: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| {
+                let mut v = scaler.apply(r);
+                v.push(1.0);
+                v
+            })
+            .collect();
+
+        let weights = classes
+            .iter()
+            .map(|&cls| {
+                let y: Vec<f64> = labels
+                    .iter()
+                    .map(|&l| if l == cls { 1.0 } else { -1.0 })
+                    .collect();
+                train_binary(&x, &y, params)
+            })
+            .collect();
+
+        Self { classes, weights, scaler }
+    }
+
+    /// Decision value per class, ordered like [`LinearSvm::classes`].
+    pub fn decision_values(&self, row: &[f64]) -> Vec<f64> {
+        let mut v = self.scaler.apply(row);
+        v.push(1.0);
+        self.weights
+            .iter()
+            .map(|w| w.iter().zip(&v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Predicted class label (argmax of the one-vs-rest decision values).
+    pub fn predict(&self, row: &[f64]) -> usize {
+        let d = self.decision_values(row);
+        let mut best = 0;
+        for i in 1..d.len() {
+            if d[i] > d[best] {
+                best = i;
+            }
+        }
+        self.classes[best]
+    }
+
+    /// Predicts a batch of rows.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The class labels the model knows, ascending.
+    pub fn classes(&self) -> &[usize] {
+        &self.classes
+    }
+
+    /// Snapshots the trained model for persistence.
+    pub fn export(&self) -> SvmExport {
+        SvmExport {
+            classes: self.classes.clone(),
+            weights: self.weights.clone(),
+            scaler_mean: self.scaler.mean.clone(),
+            scaler_inv_sd: self.scaler.inv_sd.clone(),
+        }
+    }
+
+    /// Rebuilds a model from a snapshot.
+    ///
+    /// # Panics
+    /// Panics when the snapshot is internally inconsistent (weight rows vs
+    /// classes, weight width vs scaler dimension).
+    pub fn import(export: SvmExport) -> Self {
+        assert_eq!(
+            export.classes.len(),
+            export.weights.len(),
+            "one weight row per class"
+        );
+        assert_eq!(
+            export.scaler_mean.len(),
+            export.scaler_inv_sd.len(),
+            "scaler vectors must agree"
+        );
+        for w in &export.weights {
+            assert_eq!(
+                w.len(),
+                export.scaler_mean.len() + 1,
+                "weight rows carry dim + 1 values (bias last)"
+            );
+        }
+        Self {
+            classes: export.classes,
+            weights: export.weights,
+            scaler: Scaler { mean: export.scaler_mean, inv_sd: export.scaler_inv_sd },
+        }
+    }
+}
+
+/// Dual coordinate descent for binary L1-loss SVM. `x` already carries the
+/// bias feature; `y` is ±1. Returns the primal weight vector.
+fn train_binary(x: &[Vec<f64>], y: &[f64], params: &SvmParams) -> Vec<f64> {
+    let n = x.len();
+    let dim = x[0].len();
+    let c = params.c;
+    let q_diag: Vec<f64> = x
+        .iter()
+        .map(|xi| xi.iter().map(|v| v * v).sum::<f64>())
+        .collect();
+    let mut alpha = vec![0.0f64; n];
+    let mut w = vec![0.0f64; dim];
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    for _ in 0..params.max_iter {
+        order.shuffle(&mut rng);
+        let mut max_pg: f64 = 0.0;
+        for &i in &order {
+            let xi = &x[i];
+            let yi = y[i];
+            // G = y_i * w.x_i - 1
+            let g = yi * xi.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>() - 1.0;
+            // Projected gradient respecting 0 <= alpha_i <= C.
+            let pg = if alpha[i] <= 0.0 {
+                g.min(0.0)
+            } else if alpha[i] >= c {
+                g.max(0.0)
+            } else {
+                g
+            };
+            max_pg = max_pg.max(pg.abs());
+            if pg.abs() > 1e-12 && q_diag[i] > 0.0 {
+                let old = alpha[i];
+                alpha[i] = (alpha[i] - g / q_diag[i]).clamp(0.0, c);
+                let delta = (alpha[i] - old) * yi;
+                for (wj, xj) in w.iter_mut().zip(xi) {
+                    *wj += delta * xj;
+                }
+            }
+        }
+        if max_pg < params.eps {
+            break;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, jitter: f64) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                vec![cx + jitter * a.sin(), cy + jitter * a.cos()]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rows = blob(0.0, 0.0, 20, 0.3);
+        rows.extend(blob(5.0, 5.0, 20, 0.3));
+        let labels: Vec<usize> = (0..40).map(|i| if i < 20 { 0 } else { 1 }).collect();
+        let m = LinearSvm::train(&rows, &labels, &SvmParams::default());
+        for (r, &l) in rows.iter().zip(&labels) {
+            assert_eq!(m.predict(r), l);
+        }
+        assert_eq!(m.predict(&[0.1, -0.1]), 0);
+        assert_eq!(m.predict(&[4.8, 5.3]), 1);
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        let mut rows = blob(0.0, 0.0, 15, 0.2);
+        rows.extend(blob(6.0, 0.0, 15, 0.2));
+        rows.extend(blob(3.0, 6.0, 15, 0.2));
+        let labels: Vec<usize> = (0..45).map(|i| i / 15).collect();
+        let m = LinearSvm::train(&rows, &labels, &SvmParams::default());
+        assert_eq!(m.classes(), &[0, 1, 2]);
+        let preds = m.predict_batch(&rows);
+        let errors = preds.iter().zip(&labels).filter(|(p, l)| p != l).count();
+        assert_eq!(errors, 0, "training error on separable blobs");
+    }
+
+    #[test]
+    fn noncontiguous_labels_are_preserved() {
+        let mut rows = blob(0.0, 0.0, 10, 0.2);
+        rows.extend(blob(8.0, 8.0, 10, 0.2));
+        let labels: Vec<usize> = (0..20).map(|i| if i < 10 { 3 } else { 11 }).collect();
+        let m = LinearSvm::train(&rows, &labels, &SvmParams::default());
+        assert_eq!(m.classes(), &[3, 11]);
+        assert_eq!(m.predict(&[0.0, 0.0]), 3);
+        assert_eq!(m.predict(&[8.0, 8.0]), 11);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rows = blob(0.0, 0.0, 12, 0.4);
+        rows.extend(blob(3.0, 3.0, 12, 0.4));
+        let labels: Vec<usize> = (0..24).map(|i| (i >= 12) as usize).collect();
+        let p = SvmParams::default();
+        let m1 = LinearSvm::train(&rows, &labels, &p);
+        let m2 = LinearSvm::train(&rows, &labels, &p);
+        assert_eq!(m1.decision_values(&[1.0, 2.0]), m2.decision_values(&[1.0, 2.0]));
+    }
+
+    #[test]
+    fn scale_invariance_through_standardization() {
+        // Same geometry at wildly different feature scales must classify
+        // identically thanks to the internal scaler.
+        let rows_small = vec![vec![0.0, 0.0], vec![0.001, 0.0], vec![1.0, 0.0], vec![1.001, 0.0]];
+        let rows_big: Vec<Vec<f64>> =
+            rows_small.iter().map(|r| vec![r[0] * 1e6, r[1]]).collect();
+        let labels = vec![0, 0, 1, 1];
+        let p = SvmParams::default();
+        let ms = LinearSvm::train(&rows_small, &labels, &p);
+        let mb = LinearSvm::train(&rows_big, &labels, &p);
+        assert_eq!(ms.predict(&[0.0005, 0.0]), 0);
+        assert_eq!(mb.predict(&[500.0, 0.0]), 0);
+        assert_eq!(ms.predict(&[1.0005, 0.0]), 1);
+        assert_eq!(mb.predict(&[1_000_500.0, 0.0]), 1);
+    }
+
+    #[test]
+    fn constant_feature_is_harmless() {
+        let rows = vec![
+            vec![0.0, 7.0],
+            vec![0.1, 7.0],
+            vec![5.0, 7.0],
+            vec![5.1, 7.0],
+        ];
+        let labels = vec![0, 0, 1, 1];
+        let m = LinearSvm::train(&rows, &labels, &SvmParams::default());
+        assert_eq!(m.predict(&[0.05, 7.0]), 0);
+        assert_eq!(m.predict(&[5.05, 7.0]), 1);
+    }
+
+    #[test]
+    fn decision_values_align_with_classes() {
+        let rows = vec![vec![0.0], vec![0.1], vec![4.0], vec![4.1]];
+        let labels = vec![0, 0, 1, 1];
+        let m = LinearSvm::train(&rows, &labels, &SvmParams::default());
+        let d = m.decision_values(&[4.05]);
+        assert_eq!(d.len(), 2);
+        assert!(d[1] > d[0], "class-1 decision value should dominate: {d:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_panics() {
+        LinearSvm::train(&[vec![1.0], vec![2.0]], &[0, 0], &SvmParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_training_panics() {
+        LinearSvm::train(&[], &[], &SvmParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one dimension")]
+    fn ragged_rows_panic() {
+        LinearSvm::train(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[0, 1],
+            &SvmParams::default(),
+        );
+    }
+}

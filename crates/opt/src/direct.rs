@@ -1,0 +1,413 @@
+//! The DIRECT (DIviding RECTangles) global optimizer.
+//!
+//! DIRECT normalizes the search domain to the unit hypercube, keeps a pool
+//! of hyper-rectangles (center sample + per-dimension trisection level),
+//! and on every iteration divides the *potentially optimal* rectangles —
+//! those on the lower-right convex hull of the (size, f) scatter, with the
+//! classic ε-improvement condition. It is deterministic and converges to a
+//! global optimum of a continuous objective as iterations → ∞ (§4.2).
+
+/// Knobs for the DIRECT runs.
+#[derive(Clone, Copy, Debug)]
+pub struct DirectParams {
+    /// Hard budget of objective evaluations.
+    pub max_evals: usize,
+    /// Maximum outer iterations.
+    pub max_iters: usize,
+    /// The Jones ε in the potential-optimality test (typical: 1e-4).
+    pub eps: f64,
+}
+
+impl Default for DirectParams {
+    fn default() -> Self {
+        Self { max_evals: 200, max_iters: 50, eps: 1e-4 }
+    }
+}
+
+/// Result of a DIRECT run.
+#[derive(Clone, Debug)]
+pub struct DirectResult {
+    /// Best point found, in original (un-normalized) coordinates.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub f: f64,
+    /// Objective evaluations spent.
+    pub evaluations: usize,
+}
+
+#[derive(Clone, Debug)]
+struct Rect {
+    center: Vec<f64>, // unit-cube coordinates
+    levels: Vec<u32>, // trisection count per dimension
+    f: f64,
+}
+
+impl Rect {
+    /// Size measure: half the diagonal of the rectangle.
+    fn size(&self) -> f64 {
+        let s: f64 = self
+            .levels
+            .iter()
+            .map(|&l| {
+                let side = 3f64.powi(-(l as i32));
+                side * side
+            })
+            .sum();
+        0.5 * s.sqrt()
+    }
+}
+
+/// Minimizes `f` over the box `lo[i] ..= hi[i]`.
+///
+/// # Panics
+/// Panics when the bounds are empty, mismatched, or inverted.
+pub fn direct_minimize(
+    mut f: impl FnMut(&[f64]) -> f64,
+    lo: &[f64],
+    hi: &[f64],
+    params: &DirectParams,
+) -> DirectResult {
+    assert!(!lo.is_empty(), "DIRECT needs at least one dimension");
+    assert_eq!(lo.len(), hi.len(), "bound length mismatch");
+    assert!(
+        lo.iter().zip(hi).all(|(a, b)| a <= b),
+        "inverted bounds"
+    );
+    let dim = lo.len();
+    let denorm = |u: &[f64]| -> Vec<f64> {
+        u.iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(v, (a, b))| a + v * (b - a))
+            .collect()
+    };
+
+    let mut evals = 0usize;
+    let mut eval = |u: &[f64], evals: &mut usize| -> f64 {
+        *evals += 1;
+        f(&denorm(u))
+    };
+
+    let center = vec![0.5; dim];
+    let f0 = eval(&center, &mut evals);
+    let mut rects = vec![Rect { center, levels: vec![0; dim], f: f0 }];
+    let mut best_idx = 0usize;
+
+    for _ in 0..params.max_iters {
+        if evals >= params.max_evals {
+            break;
+        }
+        let selected = potentially_optimal(&rects, rects[best_idx].f, params.eps);
+        if selected.is_empty() {
+            break;
+        }
+        let mut new_rects: Vec<Rect> = Vec::new();
+        for &ri in &selected {
+            if evals >= params.max_evals {
+                break;
+            }
+            // Longest dimensions = minimal trisection level.
+            let min_level = *rects[ri].levels.iter().min().unwrap();
+            let long_dims: Vec<usize> = (0..dim)
+                .filter(|&d| rects[ri].levels[d] == min_level)
+                .collect();
+            let delta = 3f64.powi(-(min_level as i32)) / 3.0;
+
+            // Sample c ± δ e_d for each long dimension.
+            struct DimSample {
+                d: usize,
+                plus: Vec<f64>,
+                minus: Vec<f64>,
+                f_plus: f64,
+                f_minus: f64,
+            }
+            let mut samples: Vec<DimSample> = Vec::new();
+            for &d in &long_dims {
+                if evals + 2 > params.max_evals {
+                    break;
+                }
+                let mut plus = rects[ri].center.clone();
+                plus[d] = (plus[d] + delta).min(1.0);
+                let mut minus = rects[ri].center.clone();
+                minus[d] = (minus[d] - delta).max(0.0);
+                let f_plus = eval(&plus, &mut evals);
+                let f_minus = eval(&minus, &mut evals);
+                samples.push(DimSample { d, plus, minus, f_plus, f_minus });
+            }
+            if samples.is_empty() {
+                continue;
+            }
+            // Divide in ascending order of the better child value so the
+            // best-looking dimension keeps the largest children.
+            samples.sort_by(|a, b| {
+                a.f_plus.min(a.f_minus).total_cmp(&b.f_plus.min(b.f_minus))
+            });
+            let mut levels = rects[ri].levels.clone();
+            for s in samples {
+                levels[s.d] += 1;
+                new_rects.push(Rect {
+                    center: s.plus,
+                    levels: levels.clone(),
+                    f: s.f_plus,
+                });
+                new_rects.push(Rect {
+                    center: s.minus,
+                    levels: levels.clone(),
+                    f: s.f_minus,
+                });
+            }
+            rects[ri].levels = levels;
+        }
+        rects.extend(new_rects);
+        best_idx = (0..rects.len())
+            .min_by(|&a, &b| rects[a].f.total_cmp(&rects[b].f))
+            .unwrap();
+    }
+
+    let best = &rects[best_idx];
+    DirectResult { x: denorm(&best.center), f: best.f, evaluations: evals }
+}
+
+/// Indices of the potentially optimal rectangles: for some K > 0 the
+/// rectangle minimizes `f - K·size`, and beats `f_min` by at least
+/// `eps·|f_min|`. Computed as the lower-right convex hull of the
+/// (size, f) point set.
+fn potentially_optimal(rects: &[Rect], f_min: f64, eps: f64) -> Vec<usize> {
+    // Best rectangle per distinct size.
+    let mut pts: Vec<(f64, f64, usize)> = Vec::new(); // (size, f, idx)
+    for (i, r) in rects.iter().enumerate() {
+        pts.push((r.size(), r.f, i));
+    }
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut best_per_size: Vec<(f64, f64, usize)> = Vec::new();
+    for p in pts {
+        match best_per_size.last() {
+            Some(last) if (last.0 - p.0).abs() < 1e-15 => {} // same size, worse f
+            _ => best_per_size.push(p),
+        }
+    }
+    // Lower convex hull over (size, f), scanning from small to large size.
+    let mut hull: Vec<(f64, f64, usize)> = Vec::new();
+    for p in best_per_size {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            // b must lie below segment a->p; otherwise pop.
+            let cross = (b.0 - a.0) * (p.1 - a.1) - (p.0 - a.0) * (b.1 - a.1);
+            if cross <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    // Keep only the descending-f tail ending at the largest size, and apply
+    // the ε condition relative to the incumbent.
+    let mut out = Vec::new();
+    for (i, &(size, f, idx)) in hull.iter().enumerate() {
+        // Rectangles on the hull with a larger-size successor of lower f
+        // are dominated for every K; the hull construction already removed
+        // those. Apply Jones' ε test with the slope toward the next point.
+        let improvement_ok = if i + 1 < hull.len() {
+            let (s2, f2, _) = hull[i + 1];
+            let k = (f2 - f) / (s2 - size).max(1e-15);
+            // Value achievable within this rect at slope k:
+            f - k * size <= f_min - eps * f_min.abs()
+        } else {
+            true // largest rectangle always survives
+        };
+        if improvement_ok || f <= f_min {
+            out.push(idx);
+        }
+    }
+    if out.is_empty() {
+        // Always divide at least the incumbent's rectangle.
+        if let Some((_, _, idx)) = hull.last() {
+            out.push(*idx);
+        }
+    }
+    out
+}
+
+/// Integer-rounded DIRECT (§4.2): every proposal is rounded to the nearest
+/// integer vector and the objective is memoized on those integer points, so
+/// the expensive cross-validation objective runs once per distinct integer
+/// combination. `DirectResult::evaluations` counts *distinct* integer
+/// evaluations — the `R` of the paper's complexity analysis.
+pub fn direct_minimize_integer(
+    mut f: impl FnMut(&[i64]) -> f64,
+    lo: &[i64],
+    hi: &[i64],
+    params: &DirectParams,
+) -> (Vec<i64>, f64, usize) {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    let cache: RefCell<HashMap<Vec<i64>, f64>> = RefCell::new(HashMap::new());
+    let distinct = RefCell::new(0usize);
+    let lo_f: Vec<f64> = lo.iter().map(|&v| v as f64).collect();
+    let hi_f: Vec<f64> = hi.iter().map(|&v| v as f64).collect();
+    let result = direct_minimize(
+        |x| {
+            let xi: Vec<i64> = x
+                .iter()
+                .zip(lo.iter().zip(hi))
+                .map(|(&v, (&a, &b))| (v.round() as i64).clamp(a, b))
+                .collect();
+            let mut c = cache.borrow_mut();
+            if let Some(&v) = c.get(&xi) {
+                v
+            } else {
+                *distinct.borrow_mut() += 1;
+                let v = f(&xi);
+                c.insert(xi, v);
+                v
+            }
+        },
+        &lo_f,
+        &hi_f,
+        params,
+    );
+    let xi: Vec<i64> = result
+        .x
+        .iter()
+        .zip(lo.iter().zip(hi))
+        .map(|(&v, (&a, &b))| (v.round() as i64).clamp(a, b))
+        .collect();
+    let best_f = *cache.borrow().get(&xi).unwrap_or(&result.f);
+    let n = *distinct.borrow();
+    (xi, best_f, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_shifted_sphere() {
+        let target = [0.3, -0.7];
+        let r = direct_minimize(
+            |x| x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum(),
+            &[-2.0, -2.0],
+            &[2.0, 2.0],
+            &DirectParams { max_evals: 600, max_iters: 60, eps: 1e-4 },
+        );
+        assert!(r.f < 1e-3, "f = {}", r.f);
+        assert!((r.x[0] - 0.3).abs() < 0.1, "{:?}", r.x);
+        assert!((r.x[1] + 0.7).abs() < 0.1, "{:?}", r.x);
+    }
+
+    #[test]
+    fn minimizes_1d_absolute_value() {
+        let r = direct_minimize(
+            |x| (x[0] - 1.5).abs(),
+            &[0.0],
+            &[10.0],
+            &DirectParams::default(),
+        );
+        assert!(r.f < 0.05, "f = {}", r.f);
+    }
+
+    #[test]
+    fn respects_evaluation_budget() {
+        let mut count = 0usize;
+        let budget = 37;
+        let _ = direct_minimize(
+            |x| {
+                count += 1;
+                x[0] * x[0] + x[1] * x[1]
+            },
+            &[-1.0, -1.0],
+            &[1.0, 1.0],
+            &DirectParams { max_evals: budget, max_iters: 1000, eps: 1e-4 },
+        );
+        assert!(count <= budget, "spent {count} > {budget}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let obj = |x: &[f64]| (x[0] - 0.2).powi(2) + (x[1] + 0.4).powi(2);
+        let p = DirectParams::default();
+        let a = direct_minimize(obj, &[-1.0, -1.0], &[1.0, 1.0], &p);
+        let b = direct_minimize(obj, &[-1.0, -1.0], &[1.0, 1.0], &p);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.f, b.f);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn escapes_local_minimum() {
+        // Two-well function: local minimum at x=-0.5 (f=0.1), global at
+        // x=0.75 (f=0). A purely local method started at the center finds
+        // the wrong well; DIRECT's global division must find the right one.
+        let obj = |x: &[f64]| {
+            let a = (x[0] + 0.5) * (x[0] + 0.5) + 0.1;
+            let b = 4.0 * (x[0] - 0.75) * (x[0] - 0.75);
+            a.min(b)
+        };
+        let r = direct_minimize(
+            obj,
+            &[-1.0],
+            &[1.0],
+            &DirectParams { max_evals: 300, max_iters: 60, eps: 1e-4 },
+        );
+        assert!((r.x[0] - 0.75).abs() < 0.05, "stuck at {:?}", r.x);
+    }
+
+    #[test]
+    fn stays_inside_bounds() {
+        let r = direct_minimize(
+            |x| {
+                assert!((-3.0..=5.0).contains(&x[0]), "x out of bounds: {}", x[0]);
+                -x[0]
+            },
+            &[-3.0],
+            &[5.0],
+            &DirectParams::default(),
+        );
+        assert!(r.x[0] > 4.0, "should push toward the upper bound: {:?}", r.x);
+    }
+
+    #[test]
+    fn integer_variant_caches_roundings() {
+        let mut evals = 0usize;
+        let (x, f, distinct) = direct_minimize_integer(
+            |xi| {
+                evals += 1;
+                ((xi[0] - 7) * (xi[0] - 7) + (xi[1] - 3) * (xi[1] - 3)) as f64
+            },
+            &[0, 0],
+            &[20, 20],
+            &DirectParams { max_evals: 400, max_iters: 60, eps: 1e-4 },
+        );
+        assert_eq!(evals, distinct, "objective must only see distinct points");
+        assert!(distinct < 400, "cache must dedupe roundings: {distinct}");
+        assert_eq!(f, 0.0, "best = {x:?}");
+        assert_eq!(x, vec![7, 3]);
+    }
+
+    #[test]
+    fn integer_variant_single_point_domain() {
+        let (x, f, distinct) = direct_minimize_integer(
+            |xi| xi[0] as f64,
+            &[4],
+            &[4],
+            &DirectParams::default(),
+        );
+        assert_eq!(x, vec![4]);
+        assert_eq!(f, 4.0);
+        assert_eq!(distinct, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted bounds")]
+    fn inverted_bounds_panic() {
+        direct_minimize(|_| 0.0, &[1.0], &[0.0], &DirectParams::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one dimension")]
+    fn empty_bounds_panic() {
+        direct_minimize(|_| 0.0, &[], &[], &DirectParams::default());
+    }
+}

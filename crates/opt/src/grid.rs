@@ -1,0 +1,123 @@
+//! Exhaustive integer grids for Algorithm 3's brute-force variant.
+
+/// An inclusive stepped integer range `lo..=hi` by `step`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IntRange {
+    /// First value.
+    pub lo: i64,
+    /// Last value (inclusive; the final point never exceeds it).
+    pub hi: i64,
+    /// Stride (> 0).
+    pub step: i64,
+}
+
+impl IntRange {
+    /// Creates a range.
+    ///
+    /// # Panics
+    /// Panics when `step <= 0` or `hi < lo`.
+    pub fn new(lo: i64, hi: i64, step: i64) -> Self {
+        assert!(step > 0, "step must be positive");
+        assert!(hi >= lo, "empty range {lo}..={hi}");
+        Self { lo, hi, step }
+    }
+
+    /// Values in the range.
+    pub fn values(&self) -> Vec<i64> {
+        (self.lo..=self.hi).step_by(self.step as usize).collect()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        ((self.hi - self.lo) / self.step + 1) as usize
+    }
+
+    /// Always false (ranges are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Cartesian product of the ranges, in row-major order (last range varies
+/// fastest) — the full parameter grid the brute-force search of Algorithm 3
+/// walks.
+pub fn grid_points(ranges: &[IntRange]) -> Vec<Vec<i64>> {
+    if ranges.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = vec![Vec::new()];
+    for r in ranges {
+        let vals = r.values();
+        let mut next = Vec::with_capacity(out.len() * vals.len());
+        for prefix in &out {
+            for &v in &vals {
+                let mut p = prefix.clone();
+                p.push(v);
+                next.push(p);
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_values_and_len() {
+        let r = IntRange::new(2, 10, 3);
+        assert_eq!(r.values(), vec![2, 5, 8]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn range_len_with_exact_endpoint() {
+        let r = IntRange::new(0, 9, 3);
+        assert_eq!(r.values(), vec![0, 3, 6, 9]);
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn singleton_range() {
+        let r = IntRange::new(5, 5, 1);
+        assert_eq!(r.values(), vec![5]);
+    }
+
+    #[test]
+    fn grid_cartesian_product() {
+        let g = grid_points(&[IntRange::new(0, 1, 1), IntRange::new(10, 12, 2)]);
+        assert_eq!(
+            g,
+            vec![vec![0, 10], vec![0, 12], vec![1, 10], vec![1, 12]]
+        );
+    }
+
+    #[test]
+    fn grid_of_nothing_is_single_empty_point() {
+        assert_eq!(grid_points(&[]), vec![Vec::<i64>::new()]);
+    }
+
+    #[test]
+    fn grid_size_multiplies() {
+        let g = grid_points(&[
+            IntRange::new(0, 4, 1),
+            IntRange::new(0, 2, 1),
+            IntRange::new(0, 1, 1),
+        ]);
+        assert_eq!(g.len(), 5 * 3 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        IntRange::new(0, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        IntRange::new(3, 2, 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Bag-of-words construction over SAX words.
+//!
+//! SAX-VSM represents each *class* as a bag of the SAX words extracted from
+//! all its training series (then weights them with tf-idf). The bag type
+//! here is the shared substrate; the tf-idf weighting lives with the
+//! SAX-VSM baseline in `rpm-baselines`.
+
+use crate::discretize::{discretize, SaxConfig};
+use crate::word::SaxWord;
+use std::collections::HashMap;
+
+/// A multiset of SAX words.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BagOfWords {
+    counts: HashMap<SaxWord, u64>,
+    total: u64,
+}
+
+impl BagOfWords {
+    /// Empty bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a bag from one series via sliding-window discretization with
+    /// numerosity reduction (SAX-VSM's convention).
+    pub fn from_series(series: &[f64], cfg: &SaxConfig) -> Self {
+        let mut bag = Self::new();
+        for w in discretize(series, cfg, true) {
+            bag.add(w.word);
+        }
+        bag
+    }
+
+    /// Adds one occurrence of `word`.
+    pub fn add(&mut self, word: SaxWord) {
+        *self.counts.entry(word).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &BagOfWords) {
+        for (w, &c) in &other.counts {
+            *self.counts.entry(w.clone()).or_insert(0) += c;
+        }
+        self.total += other.total;
+    }
+
+    /// Occurrence count of `word`.
+    pub fn count(&self, word: &SaxWord) -> u64 {
+        self.counts.get(word).copied().unwrap_or(0)
+    }
+
+    /// Total number of word occurrences.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct words.
+    pub fn vocabulary_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when `word` occurs at least once.
+    pub fn contains(&self, word: &SaxWord) -> bool {
+        self.counts.contains_key(word)
+    }
+
+    /// Iterator over `(word, count)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SaxWord, u64)> + '_ {
+        self.counts.iter().map(|(w, &c)| (w, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_count() {
+        let mut b = BagOfWords::new();
+        b.add(SaxWord::from_letters("ab"));
+        b.add(SaxWord::from_letters("ab"));
+        b.add(SaxWord::from_letters("ba"));
+        assert_eq!(b.count(&SaxWord::from_letters("ab")), 2);
+        assert_eq!(b.count(&SaxWord::from_letters("ba")), 1);
+        assert_eq!(b.count(&SaxWord::from_letters("cc")), 0);
+        assert_eq!(b.total(), 3);
+        assert_eq!(b.vocabulary_size(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BagOfWords::new();
+        a.add(SaxWord::from_letters("x"));
+        let mut c = BagOfWords::new();
+        c.add(SaxWord::from_letters("x"));
+        a.merge(&c);
+        assert_eq!(a.count(&SaxWord::from_letters("x")), 2);
+        assert_eq!(a.total(), 2);
+    }
+
+    #[test]
+    fn from_series_counts_reduced_words() {
+        let s: Vec<f64> = (0..40).map(|i| (i as f64 * 0.5).sin()).collect();
+        let cfg = SaxConfig::new(10, 4, 4);
+        let bag = BagOfWords::from_series(&s, &cfg);
+        assert!(bag.total() > 0);
+        let reduced = discretize(&s, &cfg, true);
+        assert_eq!(bag.total(), reduced.len() as u64);
+    }
+
+    #[test]
+    fn contains_matches_count() {
+        let mut b = BagOfWords::new();
+        let w = SaxWord::from_letters("abc");
+        assert!(!b.contains(&w));
+        b.add(w.clone());
+        assert!(b.contains(&w));
+    }
+}

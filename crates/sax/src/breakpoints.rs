@@ -1,0 +1,183 @@
+//! Gaussian equiprobable breakpoints.
+//!
+//! SAX maps PAA means to symbols by cutting the standard normal
+//! distribution into `alpha` equiprobable regions (§3.2.1). The cut points
+//! are `Φ⁻¹(i/alpha)` for `i = 1..alpha`. We compute them with Acklam's
+//! rational approximation of the inverse normal CDF (relative error below
+//! 1.15e-9 — far below any effect visible after discretization), which
+//! supports arbitrary alphabet sizes instead of the usual hardcoded table.
+
+/// Smallest supported alphabet size. A 1-letter alphabet would collapse
+/// every subsequence to the same word.
+pub const MIN_ALPHABET: usize = 2;
+
+/// Largest supported alphabet size (letters `a..=t`, matching GrammarViz).
+pub const MAX_ALPHABET: usize = 20;
+
+/// Inverse CDF of the standard normal distribution (Acklam's algorithm).
+///
+/// Defined for `p` in the open interval `(0, 1)`; returns `-INFINITY` /
+/// `INFINITY` at the endpoints and NaN outside `[0, 1]`.
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    if p.is_nan() || !(0.0..=1.0).contains(&p) {
+        return f64::NAN;
+    }
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383_577_518_672_69e2,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    }
+}
+
+/// The `alpha - 1` breakpoints dividing N(0,1) into `alpha` equiprobable
+/// regions, in ascending order.
+///
+/// # Panics
+/// Panics when `alpha` lies outside [`MIN_ALPHABET`]..=[`MAX_ALPHABET`].
+pub fn breakpoints(alpha: usize) -> Vec<f64> {
+    assert!(
+        (MIN_ALPHABET..=MAX_ALPHABET).contains(&alpha),
+        "alphabet size {alpha} outside supported range {MIN_ALPHABET}..={MAX_ALPHABET}"
+    );
+    (1..alpha)
+        .map(|i| inv_norm_cdf(i as f64 / alpha as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inv_cdf_is_accurate_at_known_quantiles() {
+        // Reference values from standard normal tables.
+        let cases = [
+            (0.5, 0.0),
+            (0.841344746, 1.0),
+            (0.158655254, -1.0),
+            (0.977249868, 2.0),
+            (0.9999683287581669, 4.0),
+        ];
+        for (p, z) in cases {
+            assert!(
+                (inv_norm_cdf(p) - z).abs() < 1e-6,
+                "p={p}: got {}, want {z}",
+                inv_norm_cdf(p)
+            );
+        }
+    }
+
+    #[test]
+    fn inv_cdf_endpoints_and_domain() {
+        assert_eq!(inv_norm_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_norm_cdf(1.0), f64::INFINITY);
+        assert!(inv_norm_cdf(-0.1).is_nan());
+        assert!(inv_norm_cdf(1.1).is_nan());
+        assert!(inv_norm_cdf(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn inv_cdf_symmetry() {
+        for p in [0.01, 0.1, 0.25, 0.4] {
+            assert!((inv_norm_cdf(p) + inv_norm_cdf(1.0 - p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classic_sax_tables_match() {
+        // The published SAX lookup tables for alpha = 3, 4, 5.
+        let b3 = breakpoints(3);
+        assert!((b3[0] + 0.4307273).abs() < 1e-6);
+        assert!((b3[1] - 0.4307273).abs() < 1e-6);
+
+        let b4 = breakpoints(4);
+        assert!((b4[0] + 0.6744898).abs() < 1e-6);
+        assert!(b4[1].abs() < 1e-9);
+        assert!((b4[2] - 0.6744898).abs() < 1e-6);
+
+        let b5 = breakpoints(5);
+        assert!((b5[0] + 0.8416212).abs() < 1e-6);
+        assert!((b5[1] + 0.2533471).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakpoints_are_sorted_and_counted() {
+        for alpha in MIN_ALPHABET..=MAX_ALPHABET {
+            let b = breakpoints(alpha);
+            assert_eq!(b.len(), alpha - 1);
+            for w in b.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn breakpoints_are_symmetric_around_zero() {
+        for alpha in [2, 4, 6, 10] {
+            let b = breakpoints(alpha);
+            for i in 0..b.len() {
+                assert!((b[i] + b[b.len() - 1 - i]).abs() < 1e-9, "alpha={alpha}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn alphabet_of_one_panics() {
+        breakpoints(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside supported range")]
+    fn oversized_alphabet_panics() {
+        breakpoints(MAX_ALPHABET + 1);
+    }
+}

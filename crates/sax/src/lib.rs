@@ -1,0 +1,25 @@
+//! # rpm-sax — Symbolic Aggregate approXimation
+//!
+//! SAX discretization as used by the RPM pipeline (§3.2.1) and by the
+//! SAX-VSM / Fast Shapelets baselines:
+//!
+//! * Gaussian equiprobable breakpoints for any alphabet size
+//!   ([`breakpoints()`]),
+//! * single-subsequence discretization (z-normalize → PAA → symbols,
+//!   [`sax_word`]),
+//! * sliding-window discretization of a whole series with optional
+//!   **numerosity reduction** ([`discretize()`]),
+//! * the MINDIST lower bound between SAX words ([`mindist()`]),
+//! * per-class bag-of-words construction ([`bag::BagOfWords`]).
+
+pub mod bag;
+pub mod breakpoints;
+pub mod discretize;
+pub mod mindist;
+pub mod word;
+
+pub use bag::BagOfWords;
+pub use breakpoints::{breakpoints, inv_norm_cdf, MAX_ALPHABET, MIN_ALPHABET};
+pub use discretize::{discretize, sax_word, SaxConfig, SaxWordAt};
+pub use mindist::mindist;
+pub use word::SaxWord;

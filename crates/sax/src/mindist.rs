@@ -1,0 +1,108 @@
+//! MINDIST — the SAX lower bound on Euclidean distance.
+//!
+//! `MINDIST(Q̂, Ĉ) = sqrt(n/w) * sqrt(Σ cell(q_i, c_i)²)` where `cell` looks
+//! up the breakpoint gap between two symbols (zero for adjacent or equal
+//! symbols). RPM itself never prunes with MINDIST, but Fast Shapelets and
+//! the exploratory tooling do, and it completes the SAX substrate.
+
+use crate::breakpoints::breakpoints;
+use crate::word::SaxWord;
+
+/// Lower bound on the Euclidean distance between the two z-normalized
+/// length-`n` subsequences the words were derived from.
+///
+/// # Panics
+/// Panics when the words differ in length, are empty, or contain symbols
+/// outside the alphabet.
+pub fn mindist(a: &SaxWord, b: &SaxWord, alpha: usize, n: usize) -> f64 {
+    assert_eq!(a.len(), b.len(), "MINDIST requires equal word lengths");
+    assert!(!a.is_empty(), "MINDIST of empty words");
+    let cuts = breakpoints(alpha);
+    let w = a.len();
+    let mut acc = 0.0;
+    for (&sa, &sb) in a.symbols().iter().zip(b.symbols()) {
+        let (lo, hi) = if sa < sb { (sa, sb) } else { (sb, sa) };
+        assert!((hi as usize) < alpha, "symbol outside alphabet");
+        if hi - lo >= 2 {
+            // Gap between the regions: upper cut of `lo` to lower cut of `hi`.
+            let d = cuts[hi as usize - 1] - cuts[lo as usize];
+            acc += d * d;
+        }
+    }
+    ((n as f64) / (w as f64)).sqrt() * acc.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpm_ts::{euclidean, znorm};
+
+    #[test]
+    fn identical_words_have_zero_mindist() {
+        let w = SaxWord::from_letters("abba");
+        assert_eq!(mindist(&w, &w, 4, 16), 0.0);
+    }
+
+    #[test]
+    fn adjacent_symbols_contribute_zero() {
+        let a = SaxWord::from_letters("ab");
+        let b = SaxWord::from_letters("ba");
+        assert_eq!(mindist(&a, &b, 4, 8), 0.0);
+    }
+
+    #[test]
+    fn distant_symbols_contribute_breakpoint_gap() {
+        // alpha=4: cuts at [-0.6745, 0, 0.6745]. Symbols a(0) and d(3) gap
+        // from cuts[0] to cuts[2] => 1.3490.
+        let a = SaxWord::from_letters("a");
+        let b = SaxWord::from_letters("d");
+        let d = mindist(&a, &b, 4, 1);
+        assert!((d - 1.348979).abs() < 1e-5, "{d}");
+    }
+
+    #[test]
+    fn scaling_with_n() {
+        let a = SaxWord::from_letters("ad");
+        let b = SaxWord::from_letters("da");
+        let d1 = mindist(&a, &b, 4, 2);
+        let d4 = mindist(&a, &b, 4, 8);
+        assert!((d4 / d1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mindist_lower_bounds_euclidean() {
+        // The lower-bounding property, checked over deterministic pseudo-
+        // random subsequence pairs.
+        let mut state = 0xdeadbeefu64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64) / (u32::MAX as f64) * 4.0 - 2.0
+        };
+        for _ in 0..50 {
+            let x: Vec<f64> = (0..32).map(|_| next()).collect();
+            let y: Vec<f64> = (0..32).map(|_| next()).collect();
+            let zx = znorm(&x);
+            let zy = znorm(&y);
+            let true_d = euclidean(&zx, &zy);
+            let cfg = crate::discretize::SaxConfig::new(32, 8, 6);
+            let wa = crate::discretize::sax_word(&x, &cfg);
+            let wb = crate::discretize::sax_word(&y, &cfg);
+            let lb = mindist(&wa, &wb, 6, 32);
+            assert!(
+                lb <= true_d + 1e-9,
+                "MINDIST {lb} exceeds Euclidean {true_d}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "equal word lengths")]
+    fn mismatched_lengths_panic() {
+        mindist(
+            &SaxWord::from_letters("ab"),
+            &SaxWord::from_letters("abc"),
+            4,
+            8,
+        );
+    }
+}

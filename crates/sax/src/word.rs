@@ -1,0 +1,102 @@
+//! SAX word type.
+
+use std::fmt;
+
+/// A SAX word: a sequence of alphabet symbols, stored 0-based
+/// (`0 => 'a'`, `1 => 'b'`, …).
+///
+/// Words order lexicographically and hash cheaply, which the grammar
+/// tokenizer, the bag-of-words builders, and Fast Shapelets' random
+/// projection all rely on.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SaxWord(pub Vec<u8>);
+
+impl SaxWord {
+    /// Builds a word from raw 0-based symbols.
+    pub fn new(symbols: Vec<u8>) -> Self {
+        Self(symbols)
+    }
+
+    /// Parses a word from its letter representation (`"abc"`).
+    ///
+    /// # Panics
+    /// Panics on characters outside `a..=z`.
+    pub fn from_letters(s: &str) -> Self {
+        Self(
+            s.chars()
+                .map(|c| {
+                    assert!(c.is_ascii_lowercase(), "invalid SAX letter {c:?}");
+                    c as u8 - b'a'
+                })
+                .collect(),
+        )
+    }
+
+    /// Word length (the PAA size it was produced with).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the word holds no symbols.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The raw 0-based symbols.
+    pub fn symbols(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Letter rendering, e.g. `[0, 1, 2] => "abc"`.
+    pub fn letters(&self) -> String {
+        self.0.iter().map(|&s| (b'a' + s) as char).collect()
+    }
+}
+
+// Both Display and Debug render the letter form: it is what GrammarViz
+// shows and what every log line in the reproduction prints.
+impl fmt::Debug for SaxWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.letters())
+    }
+}
+
+impl fmt::Display for SaxWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.letters())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_roundtrip() {
+        let w = SaxWord::from_letters("cab");
+        assert_eq!(w.symbols(), &[2, 0, 1]);
+        assert_eq!(w.letters(), "cab");
+        assert_eq!(format!("{w}"), "cab");
+        assert_eq!(format!("{w:?}"), "cab");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(SaxWord::from_letters("ab") < SaxWord::from_letters("ba"));
+        assert!(SaxWord::from_letters("a") < SaxWord::from_letters("ab"));
+    }
+
+    #[test]
+    fn empty_word() {
+        let w = SaxWord::new(vec![]);
+        assert!(w.is_empty());
+        assert_eq!(w.len(), 0);
+        assert_eq!(w.letters(), "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SAX letter")]
+    fn bad_letter_panics() {
+        SaxWord::from_letters("aB");
+    }
+}

@@ -1,0 +1,284 @@
+//! Labeled time series collections.
+//!
+//! The paper works with UCR-style datasets: a set of univariate series of
+//! (usually) equal length, each tagged with an integer class label. We keep
+//! the representation deliberately plain — a `Vec<Vec<f64>>` plus a parallel
+//! label vector — because every algorithm in the reproduction consumes
+//! slices, and because UCR archives are small enough that cache-friendly
+//! nesting tricks buy nothing measurable here.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Class label. UCR labels are small integers; we normalize them to
+/// contiguous `0..n_classes` on construction of a [`Dataset`] when loading
+/// (see `rpm-data`), but the type itself accepts any `usize`.
+pub type Label = usize;
+
+/// A labeled collection of univariate time series.
+///
+/// Invariant: `series.len() == labels.len()`. Series lengths may differ
+/// (the grammar/candidate machinery is length-agnostic), although every
+/// generator in `rpm-data` produces equal-length series like the UCR
+/// archive does.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"CBF"`).
+    pub name: String,
+    /// The series themselves.
+    pub series: Vec<Vec<f64>>,
+    /// Per-series class labels, parallel to `series`.
+    pub labels: Vec<Label>,
+}
+
+/// Borrowed view of all series belonging to one class.
+#[derive(Clone, Debug)]
+pub struct ClassView<'a> {
+    /// The class label shared by every member.
+    pub label: Label,
+    /// Indices into the parent dataset.
+    pub indices: Vec<usize>,
+    /// Borrowed series, parallel to `indices`.
+    pub members: Vec<&'a [f64]>,
+}
+
+impl Dataset {
+    /// Creates a dataset from parallel series/label vectors.
+    ///
+    /// # Panics
+    /// Panics if the vectors disagree in length.
+    pub fn new(name: impl Into<String>, series: Vec<Vec<f64>>, labels: Vec<Label>) -> Self {
+        assert_eq!(
+            series.len(),
+            labels.len(),
+            "series/labels length mismatch"
+        );
+        Self { name: name.into(), series, labels }
+    }
+
+    /// Number of series in the dataset.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when the dataset holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Appends one labeled series.
+    pub fn push(&mut self, series: Vec<f64>, label: Label) {
+        self.series.push(series);
+        self.labels.push(label);
+    }
+
+    /// Distinct labels in ascending order.
+    pub fn classes(&self) -> Vec<Label> {
+        let mut c: Vec<Label> = self.labels.clone();
+        c.sort_unstable();
+        c.dedup();
+        c
+    }
+
+    /// Number of distinct classes.
+    pub fn n_classes(&self) -> usize {
+        self.classes().len()
+    }
+
+    /// Length of the longest series (0 for an empty dataset).
+    pub fn max_len(&self) -> usize {
+        self.series.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Length of the shortest series (0 for an empty dataset).
+    pub fn min_len(&self) -> usize {
+        self.series.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Borrowed per-class views, ordered by ascending label.
+    pub fn by_class(&self) -> Vec<ClassView<'_>> {
+        let mut groups: BTreeMap<Label, ClassView<'_>> = BTreeMap::new();
+        for (i, (s, &l)) in self.series.iter().zip(&self.labels).enumerate() {
+            let entry = groups.entry(l).or_insert_with(|| ClassView {
+                label: l,
+                indices: Vec::new(),
+                members: Vec::new(),
+            });
+            entry.indices.push(i);
+            entry.members.push(s.as_slice());
+        }
+        groups.into_values().collect()
+    }
+
+    /// Indices of all series carrying `label`.
+    pub fn class_indices(&self, label: Label) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == label)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of series carrying `label`.
+    pub fn class_size(&self, label: Label) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// Builds a sub-dataset from the given indices (cloning the series).
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            series: indices.iter().map(|&i| self.series[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// Splits into (train, validate) where for each class the first
+    /// `ceil(fraction * class_size)` members (in dataset order, after the
+    /// caller shuffled if desired) go to train and the rest to validate.
+    ///
+    /// This is the `Split(OriginalTrain)` of Algorithm 3; the caller supplies
+    /// randomness by permuting indices first (see `rpm-ml::cv`).
+    pub fn stratified_split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        assert!(
+            (0.0..=1.0).contains(&train_fraction),
+            "train_fraction must lie in [0,1]"
+        );
+        let mut train_idx = Vec::new();
+        let mut val_idx = Vec::new();
+        for view in self.by_class() {
+            let n = view.indices.len();
+            let k = ((n as f64) * train_fraction).ceil() as usize;
+            let k = k.min(n);
+            train_idx.extend_from_slice(&view.indices[..k]);
+            val_idx.extend_from_slice(&view.indices[k..]);
+        }
+        (self.subset(&train_idx), self.subset(&val_idx))
+    }
+
+    /// Iterator over `(series, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], Label)> + '_ {
+        self.series
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+}
+
+impl fmt::Display for Dataset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} series, {} classes, length {}..{}",
+            self.name,
+            self.len(),
+            self.n_classes(),
+            self.min_len(),
+            self.max_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            "toy",
+            vec![
+                vec![0.0, 1.0],
+                vec![1.0, 2.0],
+                vec![2.0, 3.0],
+                vec![3.0, 4.0],
+                vec![4.0, 5.0],
+            ],
+            vec![0, 1, 0, 1, 1],
+        )
+    }
+
+    #[test]
+    fn classes_are_sorted_and_deduped() {
+        let d = toy();
+        assert_eq!(d.classes(), vec![0, 1]);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn by_class_groups_members() {
+        let d = toy();
+        let views = d.by_class();
+        assert_eq!(views.len(), 2);
+        assert_eq!(views[0].label, 0);
+        assert_eq!(views[0].indices, vec![0, 2]);
+        assert_eq!(views[1].indices, vec![1, 3, 4]);
+        assert_eq!(views[1].members.len(), 3);
+    }
+
+    #[test]
+    fn class_indices_and_size() {
+        let d = toy();
+        assert_eq!(d.class_indices(1), vec![1, 3, 4]);
+        assert_eq!(d.class_size(0), 2);
+        assert_eq!(d.class_size(7), 0);
+    }
+
+    #[test]
+    fn subset_preserves_pairs() {
+        let d = toy();
+        let s = d.subset(&[4, 0]);
+        assert_eq!(s.series[0], vec![4.0, 5.0]);
+        assert_eq!(s.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn stratified_split_respects_classes() {
+        let d = toy();
+        let (tr, va) = d.stratified_split(0.5);
+        // class 0: 2 members -> 1 train; class 1: 3 members -> 2 train.
+        assert_eq!(tr.len(), 3);
+        assert_eq!(va.len(), 2);
+        assert_eq!(tr.class_size(0), 1);
+        assert_eq!(tr.class_size(1), 2);
+        // Every class still present in both halves.
+        assert_eq!(va.class_size(0), 1);
+        assert_eq!(va.class_size(1), 1);
+    }
+
+    #[test]
+    fn split_with_fraction_one_keeps_everything_in_train() {
+        let d = toy();
+        let (tr, va) = d.stratified_split(1.0);
+        assert_eq!(tr.len(), 5);
+        assert!(va.is_empty());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let d = toy();
+        let s = format!("{d}");
+        assert!(s.contains("toy"));
+        assert!(s.contains("5 series"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        Dataset::new("bad", vec![vec![1.0]], vec![0, 1]);
+    }
+
+    #[test]
+    fn min_max_len() {
+        let d = Dataset::new(
+            "v",
+            vec![vec![0.0; 3], vec![0.0; 7]],
+            vec![0, 0],
+        );
+        assert_eq!(d.min_len(), 3);
+        assert_eq!(d.max_len(), 7);
+    }
+}

@@ -1,0 +1,110 @@
+//! Euclidean distances with early abandoning.
+//!
+//! The paper's training bottleneck is the repeated closest-match search
+//! between pattern candidates and full training series (§5.3); it cites the
+//! classic early-abandoning trick: stop accumulating squared differences as
+//! soon as the running sum exceeds the best-so-far. We expose both plain and
+//! early-abandoning variants so the ablation bench can quantify the win.
+
+/// Squared Euclidean distance between equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sq_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sq_euclidean length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between equal-length slices.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Squared Euclidean distance that abandons once the partial sum exceeds
+/// `cutoff`, returning `None` in that case.
+///
+/// `cutoff` is a *squared* threshold. The check runs every 8 lanes so the
+/// common (non-abandoning) path stays vectorizable.
+pub fn sq_euclidean_early_abandon(a: &[f64], b: &[f64], cutoff: f64) -> Option<f64> {
+    assert_eq!(a.len(), b.len(), "sq_euclidean length mismatch");
+    let mut acc = 0.0;
+    let mut i = 0;
+    let n = a.len();
+    while i < n {
+        let end = (i + 8).min(n);
+        for j in i..end {
+            let d = a[j] - b[j];
+            acc += d * d;
+        }
+        if acc > cutoff {
+            return None;
+        }
+        i = end;
+    }
+    Some(acc)
+}
+
+/// Euclidean distance with early abandoning; `cutoff` is in distance units
+/// (not squared). Returns `None` when the distance provably exceeds it.
+pub fn euclidean_early_abandon(a: &[f64], b: &[f64], cutoff: f64) -> Option<f64> {
+    sq_euclidean_early_abandon(a, b, cutoff * cutoff).map(f64::sqrt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_distance() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = [1.5, -2.0, 0.25];
+        assert_eq!(sq_euclidean(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn empty_slices_have_zero_distance() {
+        assert_eq!(sq_euclidean(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_matches_exact_when_under_cutoff() {
+        let a = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let b = [1.0; 9];
+        let exact = sq_euclidean(&a, &b);
+        assert_eq!(sq_euclidean_early_abandon(&a, &b, exact + 1.0), Some(exact));
+        // Cutoff exactly equal is kept (strict > abandon).
+        assert_eq!(sq_euclidean_early_abandon(&a, &b, exact), Some(exact));
+    }
+
+    #[test]
+    fn early_abandon_triggers() {
+        let a = [10.0; 64];
+        let b = [0.0; 64];
+        assert_eq!(sq_euclidean_early_abandon(&a, &b, 50.0), None);
+    }
+
+    #[test]
+    fn euclidean_cutoff_is_in_distance_units() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert_eq!(euclidean_early_abandon(&a, &b, 5.0), Some(5.0));
+        assert_eq!(euclidean_early_abandon(&a, &b, 4.9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        sq_euclidean(&[1.0], &[1.0, 2.0]);
+    }
+}

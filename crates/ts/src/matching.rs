@@ -1,0 +1,138 @@
+//! Closest-match subsequence search (§2.1, "closest (best) match").
+//!
+//! Given a pattern `S` and a series `T`, the closest match is the
+//! length-`|S|` window of `T` minimizing the Euclidean distance to `S`. Both
+//! the pattern and every candidate window are z-normalized (the patterns the
+//! pipeline produces are centroids of z-normalized subsequences, and test
+//! series arrive in raw units), and the distance is divided by `sqrt(|S|)`
+//! so that closest-match distances of *different-length* patterns are
+//! commensurable — Algorithm 2 compares a candidate against previously kept
+//! candidates of other lengths, and the feature-space transform mixes
+//! per-pattern distances of many lengths in one vector.
+//!
+//! The search early-abandons each window's distance computation against the
+//! best-so-far (§5.3), which is why [`best_match`] is the hot kernel of the
+//! whole reproduction.
+
+use crate::norm::znorm_into;
+
+/// Result of a closest-match search.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BestMatch {
+    /// Start offset of the winning window in the target series.
+    pub position: usize,
+    /// Length-normalized z-normalized Euclidean distance
+    /// (`||znorm(S) - znorm(T_p)|| / sqrt(|S|)`).
+    pub distance: f64,
+}
+
+/// Finds the closest match of `pattern` inside `series`.
+///
+/// Returns `None` when the pattern is empty or longer than the series.
+/// Set `early_abandon = false` only for the ablation benchmark; results are
+/// identical either way.
+pub fn best_match(pattern: &[f64], series: &[f64], early_abandon: bool) -> Option<BestMatch> {
+    let n = pattern.len();
+    if n == 0 || n > series.len() {
+        return None;
+    }
+    let zp = crate::norm::znorm(pattern);
+    let mut window_buf = vec![0.0; n];
+    let mut best = BestMatch { position: 0, distance: f64::INFINITY };
+    let mut best_sq = f64::INFINITY;
+    for p in 0..=(series.len() - n) {
+        znorm_into(&series[p..p + n], &mut window_buf);
+        let d_sq = if early_abandon {
+            match crate::dist::sq_euclidean_early_abandon(&zp, &window_buf, best_sq) {
+                Some(d) => d,
+                None => continue,
+            }
+        } else {
+            crate::dist::sq_euclidean(&zp, &window_buf)
+        };
+        if d_sq < best_sq {
+            best_sq = d_sq;
+            best = BestMatch { position: p, distance: 0.0 };
+        }
+    }
+    best.distance = (best_sq / n as f64).sqrt();
+    Some(best)
+}
+
+/// Convenience wrapper returning only the closest-match distance, with
+/// early abandoning enabled. `f64::INFINITY` when no window fits.
+pub fn closest_match_distance(pattern: &[f64], series: &[f64]) -> f64 {
+    best_match(pattern, series, true).map_or(f64::INFINITY, |m| m.distance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_occurrence_has_zero_distance() {
+        // The pattern's z-normalized shape (up then down) appears only at
+        // offset 2; neighboring windows normalize to different shapes.
+        let series = [0.0, 0.0, 1.0, 3.0, 2.0, 0.0, 0.0];
+        let pattern = [1.0, 3.0, 2.0];
+        let m = best_match(&pattern, &series, true).unwrap();
+        assert_eq!(m.position, 2);
+        assert!(m.distance < 1e-9);
+    }
+
+    #[test]
+    fn scaled_occurrence_still_matches_exactly() {
+        // z-normalization makes amplitude irrelevant.
+        let series = [5.0, 5.0, 10.0, 20.0, 30.0, 5.0];
+        let pattern = [1.0, 2.0, 3.0];
+        let m = best_match(&pattern, &series, true).unwrap();
+        assert_eq!(m.position, 2);
+        assert!(m.distance < 1e-9);
+    }
+
+    #[test]
+    fn oversized_pattern_returns_none() {
+        assert!(best_match(&[1.0, 2.0, 3.0], &[1.0, 2.0], true).is_none());
+        assert_eq!(closest_match_distance(&[1.0, 2.0, 3.0], &[1.0]), f64::INFINITY);
+    }
+
+    #[test]
+    fn empty_pattern_returns_none() {
+        assert!(best_match(&[], &[1.0, 2.0], true).is_none());
+    }
+
+    #[test]
+    fn abandoning_matches_exhaustive() {
+        // Pseudo-random series; both modes must agree exactly.
+        let mut series = Vec::with_capacity(200);
+        let mut state = 0x12345678u64;
+        for _ in 0..200 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            series.push(((state >> 33) as f64) / (u32::MAX as f64) - 0.5);
+        }
+        let pattern = &series[40..70].to_vec();
+        let fast = best_match(pattern, &series, true).unwrap();
+        let slow = best_match(pattern, &series, false).unwrap();
+        assert_eq!(fast.position, slow.position);
+        assert!((fast.distance - slow.distance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_normalization_makes_lengths_comparable() {
+        // A pattern matching perfectly should give ~0 regardless of length;
+        // a constant-vs-ramp mismatch gives O(1) regardless of length.
+        let ramp: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let short = &ramp[10..20];
+        let long = &ramp[10..60];
+        assert!(closest_match_distance(short, &ramp) < 1e-9);
+        assert!(closest_match_distance(long, &ramp) < 1e-9);
+    }
+
+    #[test]
+    fn full_length_pattern_single_window() {
+        let series = [1.0, 5.0, 2.0];
+        let m = best_match(&[1.0, 5.0, 2.0], &series, true).unwrap();
+        assert_eq!(m.position, 0);
+        assert!(m.distance < 1e-9);
+    }
+}

@@ -1,0 +1,132 @@
+//! Z-normalization.
+//!
+//! Every subsequence the paper's pipeline touches is z-normalized before
+//! discretization or distance computation (§3.2.1). A subsequence whose
+//! standard deviation falls below [`ZNORM_EPSILON`] is treated as constant
+//! and mapped to all zeros, the standard guard used by the SAX literature to
+//! avoid amplifying quantization noise on flat segments.
+
+/// Standard deviation below which a window counts as constant.
+pub const ZNORM_EPSILON: f64 = 1e-10;
+
+/// Returns the z-normalized copy of `x`.
+///
+/// A (near-)constant input yields all zeros rather than NaNs.
+pub fn znorm(x: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; x.len()];
+    znorm_into(x, &mut out);
+    out
+}
+
+/// Z-normalizes `x` into the caller-provided buffer `out`.
+///
+/// The buffer form exists because the closest-match search z-normalizes one
+/// window per sliding position; reusing one scratch buffer removes the per-
+/// window allocation from the hottest loop in the system.
+///
+/// # Panics
+/// Panics if `out.len() != x.len()`.
+pub fn znorm_into(x: &[f64], out: &mut [f64]) {
+    assert_eq!(x.len(), out.len(), "znorm_into buffer length mismatch");
+    if x.is_empty() {
+        return;
+    }
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd < ZNORM_EPSILON {
+        out.fill(0.0);
+    } else {
+        for (o, v) in out.iter_mut().zip(x) {
+            *o = (v - mean) / sd;
+        }
+    }
+}
+
+/// Z-normalizes `x` in place.
+pub fn znorm_in_place(x: &mut [f64]) {
+    if x.is_empty() {
+        return;
+    }
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    if sd < ZNORM_EPSILON {
+        x.fill(0.0);
+    } else {
+        for v in x.iter_mut() {
+            *v = (*v - mean) / sd;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn zero_mean_unit_variance() {
+        let z = znorm(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mean = z.iter().sum::<f64>() / z.len() as f64;
+        let var = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(close(mean, 0.0), "mean {mean}");
+        assert!(close(var, 1.0), "var {var}");
+    }
+
+    #[test]
+    fn constant_series_maps_to_zero() {
+        assert_eq!(znorm(&[3.3; 8]), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn near_constant_series_maps_to_zero() {
+        let z = znorm(&[1.0, 1.0 + 1e-13, 1.0]);
+        assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_is_ok() {
+        assert!(znorm(&[]).is_empty());
+        let mut e: Vec<f64> = vec![];
+        znorm_in_place(&mut e);
+    }
+
+    #[test]
+    fn shift_and_scale_invariance() {
+        let a = znorm(&[0.0, 1.0, 0.0, -1.0]);
+        let b = znorm(&[10.0, 12.0, 10.0, 8.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!(close(*x, *y));
+        }
+    }
+
+    #[test]
+    fn in_place_matches_copy() {
+        let src = [2.0, -1.0, 0.5, 7.0, 3.0];
+        let copied = znorm(&src);
+        let mut inpl = src.to_vec();
+        znorm_in_place(&mut inpl);
+        assert_eq!(copied, inpl);
+    }
+
+    #[test]
+    fn into_matches_copy() {
+        let src = [2.0, -1.0, 0.5, 7.0];
+        let mut buf = vec![0.0; 4];
+        znorm_into(&src, &mut buf);
+        assert_eq!(buf, znorm(&src));
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn into_rejects_bad_buffer() {
+        let mut buf = vec![0.0; 3];
+        znorm_into(&[1.0, 2.0], &mut buf);
+    }
+}

@@ -1,0 +1,128 @@
+//! Piecewise Aggregate Approximation (PAA).
+//!
+//! PAA reduces an `n`-point series to `w` segment means (§3.2.1). When `w`
+//! does not divide `n` we use the fractional-weight scheme from the SAX
+//! reference implementations: conceptually each input point is split evenly
+//! across the `w` segments so every segment receives total weight `n / w`.
+
+/// Computes the `w`-segment PAA of `x`.
+///
+/// * `w == x.len()` returns a copy of `x` (identity).
+/// * `w > x.len()` is clamped to `x.len()` — requesting more segments than
+///   points cannot add information, and the SAX discretizer relies on this
+///   clamp when the sliding window is short.
+///
+/// # Panics
+/// Panics if `w == 0` or `x` is empty.
+pub fn paa(x: &[f64], w: usize) -> Vec<f64> {
+    assert!(w > 0, "PAA segment count must be positive");
+    assert!(!x.is_empty(), "PAA input must be non-empty");
+    let n = x.len();
+    let w = w.min(n);
+    if w == n {
+        return x.to_vec();
+    }
+    if n.is_multiple_of(w) {
+        let seg = n / w;
+        return x
+            .chunks_exact(seg)
+            .map(|c| c.iter().sum::<f64>() / seg as f64)
+            .collect();
+    }
+    // Fractional scheme: map point i to the interval [i*w/n, (i+1)*w/n) in
+    // segment space. Each segment spans exactly one unit there, so the
+    // weights accumulated per segment sum to 1 and the accumulator is
+    // already the segment's weighted mean.
+    let mut out = vec![0.0; w];
+    let n_f = n as f64;
+    let w_f = w as f64;
+    for (i, &v) in x.iter().enumerate() {
+        let start = i as f64 * w_f / n_f;
+        let end = (i + 1) as f64 * w_f / n_f;
+        let s_idx = start.floor() as usize;
+        // `end` may land exactly on a boundary; clamp to the last segment.
+        let e_idx = (end.ceil() as usize).saturating_sub(1).min(w - 1);
+        if s_idx == e_idx {
+            out[s_idx] += v * (end - start);
+        } else {
+            // The point straddles the boundary between two segments.
+            let boundary = (s_idx + 1) as f64;
+            out[s_idx] += v * (boundary - start);
+            out[e_idx] += v * (end - boundary);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < 1e-9, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn exact_division_uses_segment_means() {
+        close(&paa(&[1.0, 3.0, 5.0, 7.0], 2), &[2.0, 6.0]);
+    }
+
+    #[test]
+    fn identity_when_w_equals_n() {
+        let x = [1.0, 2.0, 3.0];
+        close(&paa(&x, 3), &x);
+    }
+
+    #[test]
+    fn w_larger_than_n_clamps() {
+        let x = [4.0, 5.0];
+        close(&paa(&x, 10), &x);
+    }
+
+    #[test]
+    fn single_segment_is_global_mean() {
+        close(&paa(&[2.0, 4.0, 9.0], 1), &[5.0]);
+    }
+
+    #[test]
+    fn fractional_split_preserves_total_mass() {
+        // 5 points into 2 segments: each segment covers 2.5 points.
+        let x = [1.0, 1.0, 1.0, 1.0, 1.0];
+        close(&paa(&x, 2), &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn fractional_split_known_values() {
+        // 3 points into 2 segments:
+        // seg0 = (x0 + 0.5*x1) / 1.5, seg1 = (0.5*x1 + x2) / 1.5
+        let x = [0.0, 3.0, 6.0];
+        close(&paa(&x, 2), &[1.0, 5.0]);
+    }
+
+    #[test]
+    fn mean_is_preserved() {
+        // PAA of any series has the same mean as the input (weights sum to n/w).
+        let x = [0.4, 1.7, -2.0, 3.3, 0.0, 5.5, -1.1];
+        for w in 1..=7 {
+            let p = paa(&x, w);
+            let m_in = x.iter().sum::<f64>() / x.len() as f64;
+            let m_out = p.iter().sum::<f64>() / p.len() as f64;
+            assert!((m_in - m_out).abs() < 1e-9, "w={w}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_segments_panics() {
+        paa(&[1.0], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_input_panics() {
+        paa(&[], 1);
+    }
+}

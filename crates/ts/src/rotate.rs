@@ -1,0 +1,81 @@
+//! Rotation / shift corruption (§6.1).
+//!
+//! The paper evaluates shift invariance by cutting each *test* series at a
+//! random point and swapping the halves — equivalent to starting the radial
+//! scan of a shape-converted series at a different position. The paper's
+//! rotation-invariant transform also rotates the test series at its midpoint
+//! ([`rotate_half`]) and keeps the smaller of the two closest-match
+//! distances.
+
+/// Rotates `series` left by `cut` positions: the result is
+/// `series[cut..] ++ series[..cut]`.
+///
+/// `cut` is taken modulo the series length, so any value is accepted;
+/// rotating an empty series returns an empty vector.
+pub fn rotate(series: &[f64], cut: usize) -> Vec<f64> {
+    if series.is_empty() {
+        return Vec::new();
+    }
+    let cut = cut % series.len();
+    let mut out = Vec::with_capacity(series.len());
+    out.extend_from_slice(&series[cut..]);
+    out.extend_from_slice(&series[..cut]);
+    out
+}
+
+/// Rotates `series` at its midpoint — the auxiliary series `B` of §6.1 used
+/// to re-join a best match that the random rotation may have severed.
+pub fn rotate_half(series: &[f64]) -> Vec<f64> {
+    rotate(series, series.len() / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_rotation() {
+        assert_eq!(rotate(&[1.0, 2.0, 3.0, 4.0], 1), vec![2.0, 3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_cut_is_identity() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(rotate(&s, 0), s.to_vec());
+    }
+
+    #[test]
+    fn cut_wraps_modulo_length() {
+        let s = [1.0, 2.0, 3.0];
+        assert_eq!(rotate(&s, 4), rotate(&s, 1));
+        assert_eq!(rotate(&s, 3), s.to_vec());
+    }
+
+    #[test]
+    fn rotate_half_even_and_odd() {
+        assert_eq!(rotate_half(&[1.0, 2.0, 3.0, 4.0]), vec![3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(rotate_half(&[1.0, 2.0, 3.0]), vec![2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn double_half_rotation_restores_even_series() {
+        let s = [5.0, 6.0, 7.0, 8.0];
+        assert_eq!(rotate_half(&rotate_half(&s)), s.to_vec());
+    }
+
+    #[test]
+    fn empty_series() {
+        assert!(rotate(&[], 3).is_empty());
+        assert!(rotate_half(&[]).is_empty());
+    }
+
+    #[test]
+    fn rotation_is_a_permutation() {
+        let s = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let mut r = rotate(&s, 4);
+        let mut orig = s.to_vec();
+        r.sort_by(f64::total_cmp);
+        orig.sort_by(f64::total_cmp);
+        assert_eq!(r, orig);
+    }
+}

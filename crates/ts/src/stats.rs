@@ -1,0 +1,97 @@
+//! Small statistics helpers used across the pipeline.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(x: &[f64]) -> f64 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f64>() / x.len() as f64
+    }
+}
+
+/// Population standard deviation; 0.0 for slices shorter than 2.
+pub fn std_dev(x: &[f64]) -> f64 {
+    if x.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(x);
+    (x.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / x.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile of `x` (`p` in `[0, 100]`) using linear
+/// interpolation between order statistics — the convention behind the
+/// paper's "distance at the 30th percentile" similarity threshold τ
+/// (§3.2.3).
+///
+/// # Panics
+/// Panics when `x` is empty or `p` lies outside `[0, 100]`.
+pub fn percentile(x: &[f64], p: f64) -> f64 {
+    assert!(!x.is_empty(), "percentile of empty slice");
+    assert!((0.0..=100.0).contains(&p), "percentile rank out of range");
+    let mut sorted = x.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[2.0, 2.0, 2.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let x = [3.0, 1.0, 2.0];
+        assert_eq!(percentile(&x, 0.0), 1.0);
+        assert_eq!(percentile(&x, 100.0), 3.0);
+        assert_eq!(percentile(&x, 50.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let x = [0.0, 10.0];
+        assert!((percentile(&x, 30.0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_element() {
+        assert_eq!(percentile(&[7.0], 30.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let x = [9.0, 1.0, 5.0, 3.0, 7.0];
+        assert_eq!(percentile(&x, 50.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn percentile_bad_rank_panics() {
+        percentile(&[1.0], 101.0);
+    }
+}

@@ -1,0 +1,63 @@
+//! Sliding-window subsequence extraction (§2.1).
+
+/// Iterator over all length-`n` windows of `series`, yielding
+/// `(start_offset, window)` pairs.
+///
+/// Yields nothing when `n == 0` or `n > series.len()`; callers in the SAX
+/// pipeline treat an over-long window as "this parameter combination does
+/// not apply to this series" rather than an error, matching the paper's
+/// parameter search which simply skips infeasible combinations.
+pub fn sliding_windows(series: &[f64], n: usize) -> impl Iterator<Item = (usize, &[f64])> + '_ {
+    let count = if n == 0 || n > series.len() {
+        0
+    } else {
+        series.len() - n + 1
+    };
+    (0..count).map(move |p| (p, &series[p..p + n]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_all_positions() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        let w: Vec<_> = sliding_windows(&s, 2).collect();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], (0, &s[0..2]));
+        assert_eq!(w[2], (2, &s[2..4]));
+    }
+
+    #[test]
+    fn full_length_window_yields_once() {
+        let s = [1.0, 2.0];
+        let w: Vec<_> = sliding_windows(&s, 2).collect();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].0, 0);
+    }
+
+    #[test]
+    fn oversized_window_yields_nothing() {
+        let s = [1.0, 2.0];
+        assert_eq!(sliding_windows(&s, 3).count(), 0);
+    }
+
+    #[test]
+    fn zero_window_yields_nothing() {
+        let s = [1.0, 2.0];
+        assert_eq!(sliding_windows(&s, 0).count(), 0);
+    }
+
+    #[test]
+    fn empty_series_yields_nothing() {
+        let s: [f64; 0] = [];
+        assert_eq!(sliding_windows(&s, 1).count(), 0);
+    }
+
+    #[test]
+    fn count_formula() {
+        let s = vec![0.0; 100];
+        assert_eq!(sliding_windows(&s, 10).count(), 91);
+    }
+}

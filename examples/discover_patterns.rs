@@ -1,0 +1,66 @@
+//! Exploratory pattern discovery (the paper's Figs. 2-3 workflow): mine
+//! the class-specific representative patterns of a dataset and render them
+//! as terminal sparklines, alongside the SAX parameters chosen per class.
+//!
+//! ```text
+//! cargo run --release --example discover_patterns [CBF|Coffee|GunPoint|...]
+//! ```
+
+use rpm::prelude::*;
+use rpm_data::registry::spec_by_name;
+
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(1e-12);
+    values
+        .iter()
+        .map(|v| BARS[(((v - lo) / span) * 7.0).round() as usize])
+        .collect()
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "CBF".to_string());
+    let spec = spec_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown dataset {name:?}; available:");
+        for s in rpm_data::suite() {
+            eprintln!("  {}", s.name);
+        }
+        std::process::exit(2);
+    });
+    let (train, test) = rpm_data::generate(&spec, 2016);
+    println!("dataset: {train}");
+
+    let config = RpmConfig {
+        param_search: ParamSearch::Direct { max_evals: 10, per_class: false },
+        ..RpmConfig::default()
+    };
+    let model = RpmClassifier::train(&train, &config).expect("training failed");
+
+    println!("\nSAX parameters per class:");
+    for (class, sax) in model.sax_configs() {
+        println!(
+            "  class {class}: window {} / PAA {} / alphabet {}",
+            sax.window, sax.paa_size, sax.alphabet
+        );
+    }
+
+    println!("\nrepresentative patterns:");
+    for class in train.classes() {
+        let pats = model.patterns_for_class(class);
+        println!("class {class} ({} patterns):", pats.len());
+        for p in pats {
+            println!(
+                "  len {:>4} freq {:>3} coverage {:>3}  {}",
+                p.values.len(),
+                p.frequency,
+                p.coverage,
+                sparkline(&p.values)
+            );
+        }
+    }
+
+    let err = error_rate(&test.labels, &model.predict_batch(&test.series));
+    println!("\ntest error rate: {err:.3}");
+}

@@ -1,0 +1,52 @@
+//! Exploratory motif & discord discovery — the GrammarViz-style capability
+//! RPM's candidate generation is built on (§1: "the discovery of
+//! class-specific motifs ... extends beyond the classification task").
+//! Plants an anomaly inside a periodic signal, then finds both the
+//! recurring motifs and the discord.
+//!
+//! ```text
+//! cargo run --release --example explore_motifs
+//! ```
+
+use rpm::core::{discover_motifs, find_discords, rule_coverage};
+use rpm::sax::SaxConfig;
+
+fn main() {
+    // A noisy periodic signal with a flat-line fault in the middle.
+    let len = 600;
+    let fault = 300..330;
+    let series: Vec<f64> = (0..len)
+        .map(|i| {
+            if fault.contains(&i) {
+                2.5
+            } else {
+                (i as f64 * 0.35).sin() + 0.05 * ((i * 7919) % 13) as f64 / 13.0
+            }
+        })
+        .collect();
+
+    let sax = SaxConfig::new(20, 4, 4);
+
+    let motifs = discover_motifs(&series, &sax);
+    println!("discovered {} motifs; top 5 by occurrence count:", motifs.len());
+    for m in motifs.iter().take(5) {
+        let first: Vec<String> = m
+            .occurrences
+            .iter()
+            .take(4)
+            .map(|(s, e)| format!("[{s},{e})"))
+            .collect();
+        println!("  x{:<4} ({} words)  {}", m.count(), m.rule_words, first.join(" "));
+    }
+
+    let cover = rule_coverage(&series, &sax);
+    let fault_cov: f64 = cover[300..330].iter().map(|&c| c as f64).sum::<f64>() / 30.0;
+    let normal_cov: f64 = cover[100..130].iter().map(|&c| c as f64).sum::<f64>() / 30.0;
+    println!("\nmean rule coverage: normal region {normal_cov:.1}, fault region {fault_cov:.1}");
+
+    println!("\ntop discords (least-covered windows):");
+    for d in find_discords(&series, &sax, 3) {
+        let marker = if (250..340).contains(&d.position) { "  <-- the fault" } else { "" };
+        println!("  @{:<5} len {:<4} coverage {:.2}{marker}", d.position, d.length, d.coverage);
+    }
+}

@@ -1,0 +1,61 @@
+//! The Figure 5/6 workflow: visually similar ECG classes become linearly
+//! separable after the representative-pattern transform. Prints the
+//! transformed training set as a 2-D ASCII scatter plot.
+//!
+//! ```text
+//! cargo run --release --example feature_space
+//! ```
+
+use rpm::prelude::*;
+use rpm_data::registry::spec_by_name;
+
+fn main() {
+    let spec = spec_by_name("ECGFiveDays").expect("suite dataset");
+    let (train, test) = rpm_data::generate(&spec, 2016);
+    println!("dataset: {train}");
+
+    let config = RpmConfig {
+        param_search: ParamSearch::Direct { max_evals: 10, per_class: false },
+        ..RpmConfig::default()
+    };
+    let model = RpmClassifier::train(&train, &config).expect("training failed");
+    println!("patterns learned: {}", model.patterns().len());
+
+    // Project onto the first two pattern axes.
+    let points: Vec<(f64, f64, usize)> = train
+        .iter()
+        .map(|(s, l)| {
+            let f = model.transform(s);
+            (f[0], f.get(1).copied().unwrap_or(0.0), l)
+        })
+        .collect();
+
+    // ASCII scatter, 50x20.
+    let (w, h) = (50usize, 20usize);
+    let xs: Vec<f64> = points.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let (x_lo, x_hi) = (
+        xs.iter().copied().fold(f64::INFINITY, f64::min),
+        xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let (y_lo, y_hi) = (
+        ys.iter().copied().fold(f64::INFINITY, f64::min),
+        ys.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let mut grid = vec![vec![' '; w]; h];
+    for &(x, y, l) in &points {
+        let xi = (((x - x_lo) / (x_hi - x_lo).max(1e-12)) * (w - 1) as f64) as usize;
+        let yi = (((y - y_lo) / (y_hi - y_lo).max(1e-12)) * (h - 1) as f64) as usize;
+        grid[h - 1 - yi][xi] = if l == 0 { 'o' } else { 'x' };
+    }
+    println!("\ndistance to pattern #2 ↑  (o = class 0, x = class 1)");
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        println!("|{line}|");
+    }
+    println!("{:-<52}", "");
+    println!("distance to pattern #1 →");
+
+    let err = error_rate(&test.labels, &model.predict_batch(&test.series));
+    println!("\ntest error rate: {err:.3}");
+}

@@ -1,0 +1,41 @@
+//! The §6.2 case study: classify arterial-blood-pressure windows as
+//! normal or alarm (synthetic MIMIC-II stand-in; see DESIGN.md §3).
+//!
+//! ```text
+//! cargo run --release --example medical_alarm
+//! ```
+
+use rpm::prelude::*;
+use rpm_ml::per_class_f1;
+
+fn main() {
+    let train = rpm::data::abp::generate(20, 400, 7);
+    let test = rpm::data::abp::generate(40, 400, 8);
+    println!("train: {train}");
+    println!("test : {test}");
+
+    let config = RpmConfig {
+        param_search: ParamSearch::Direct { max_evals: 10, per_class: false },
+        ..RpmConfig::default()
+    };
+    let model = RpmClassifier::train(&train, &config).expect("training failed");
+
+    let preds = model.predict_batch(&test.series);
+    let err = error_rate(&test.labels, &preds);
+    let f1 = per_class_f1(&test.labels, &preds);
+    println!("\ntest error rate: {err:.3}");
+    println!(
+        "per-class F1: normal {:.3}, alarm {:.3}",
+        f1[&rpm::data::abp::NORMAL],
+        f1[&rpm::data::abp::ALARM]
+    );
+
+    println!("\npatterns mined from the alarm class:");
+    for p in model.patterns_for_class(rpm::data::abp::ALARM) {
+        println!("  len {} freq {} coverage {}", p.values.len(), p.frequency, p.coverage);
+    }
+    println!("patterns mined from the normal class:");
+    for p in model.patterns_for_class(rpm::data::abp::NORMAL) {
+        println!("  len {} freq {} coverage {}", p.values.len(), p.frequency, p.coverage);
+    }
+}

@@ -1,0 +1,35 @@
+//! Quickstart: train RPM on the Cylinder-Bell-Funnel dataset and classify.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rpm::prelude::*;
+
+fn main() {
+    // CBF (the paper's Fig. 2 dataset): 3 classes, 30 train / 150 test.
+    let train = rpm::data::cbf::generate(10, 128, 1);
+    let test = rpm::data::cbf::generate(50, 128, 2);
+    println!("train: {train}");
+    println!("test : {test}");
+
+    // Default configuration: γ = 0.2, τ at the 30th percentile, SAX
+    // parameters selected by DIRECT on validation splits.
+    let config = RpmConfig::default();
+    let model = RpmClassifier::train(&train, &config).expect("training failed");
+
+    println!("\nlearned {} representative patterns:", model.patterns().len());
+    for p in model.patterns() {
+        println!(
+            "  class {} len {} freq {} coverage {}",
+            p.class,
+            p.values.len(),
+            p.frequency,
+            p.coverage
+        );
+    }
+
+    let predictions = model.predict_batch(&test.series);
+    let err = error_rate(&test.labels, &predictions);
+    println!("\ntest error rate: {err:.3}");
+}

@@ -1,0 +1,40 @@
+//! Model persistence: train once (including the expensive parameter
+//! search), save the patterns + SVM to disk, and classify later from the
+//! saved model. Predictions are bit-exact across the round trip.
+//!
+//! ```text
+//! cargo run --release --example save_load
+//! ```
+
+use rpm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let train = rpm::data::cbf::generate(10, 128, 1);
+    let test = rpm::data::cbf::generate(30, 128, 2);
+
+    let config = RpmConfig {
+        param_search: ParamSearch::Direct { max_evals: 8, per_class: false },
+        ..RpmConfig::default()
+    };
+    let model = RpmClassifier::train(&train, &config)?;
+    let before = model.predict_batch(&test.series);
+
+    let path = std::env::temp_dir().join("rpm_cbf.model");
+    model.save(std::fs::File::create(&path)?)?;
+    println!(
+        "saved {} patterns to {} ({} bytes)",
+        model.patterns().len(),
+        path.display(),
+        std::fs::metadata(&path)?.len()
+    );
+
+    let loaded = RpmClassifier::load(std::fs::File::open(&path)?)?;
+    let after = loaded.predict_batch(&test.series);
+    assert_eq!(before, after, "round trip must preserve predictions");
+    println!(
+        "reloaded model agrees on all {} test predictions (error {:.3})",
+        after.len(),
+        error_rate(&test.labels, &after)
+    );
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! UCR file-format round trip: export a generated dataset in the archive's
+//! label-first format, read it back, and train from the file — the
+//! workflow for anyone pointing this library at a real UCR download.
+//!
+//! ```text
+//! cargo run --release --example ucr_io
+//! ```
+
+use rpm::prelude::*;
+use rpm::data::ucr::{read_ucr_file, write_ucr};
+
+fn main() -> std::io::Result<()> {
+    let dir = std::env::temp_dir().join("rpm_ucr_example");
+    std::fs::create_dir_all(&dir)?;
+    let train_path = dir.join("GunPoint_TRAIN");
+    let test_path = dir.join("GunPoint_TEST");
+
+    // Export a GunPoint-like pair.
+    let spec = rpm::data::registry::spec_by_name("GunPoint").expect("suite dataset");
+    let (train, test) = rpm::data::generate(&spec, 2016);
+    write_ucr(&train, std::fs::File::create(&train_path)?)?;
+    write_ucr(&test, std::fs::File::create(&test_path)?)?;
+    println!("wrote {} and {}", train_path.display(), test_path.display());
+
+    // Read back, exactly as one would read a real archive file.
+    let (train2, label_map) = read_ucr_file(&train_path)?;
+    let (test2, _) = read_ucr_file(&test_path)?;
+    println!("reloaded: {train2}");
+    println!("label map (raw -> dense): {:?}", label_map.raw);
+
+    let config = RpmConfig::fixed(SaxConfig::new(30, 4, 4));
+    let model = RpmClassifier::train(&train2, &config).expect("training failed");
+    let err = error_rate(&test2.labels, &model.predict_batch(&test2.series));
+    println!("test error rate from reloaded files: {err:.3}");
+    Ok(())
+}

@@ -1,0 +1,192 @@
+//! `rpm-cli` — train, persist, and apply RPM models on UCR-format files.
+//!
+//! ```text
+//! rpm-cli train <TRAIN_FILE> --model <OUT> [--window W --paa P --alpha A]
+//!                                          [--direct N] [--gamma G]
+//!                                          [--rotation-invariant]
+//! rpm-cli classify <MODEL> <TEST_FILE>     # prints predictions + error
+//! rpm-cli patterns <MODEL>                 # prints the learned patterns
+//! rpm-cli motifs <SERIES_FILE> [--window W --paa P --alpha A]
+//!                                          # exploratory motifs/discords
+//! rpm-cli generate <DATASET> <OUT_PREFIX>  # writes <PREFIX>_TRAIN/_TEST
+//! ```
+//!
+//! Files use the UCR archive format: one series per line, class label
+//! first, comma- or whitespace-separated.
+
+use rpm::core::{discover_motifs, find_discords, ParamSearch, RpmClassifier, RpmConfig};
+use rpm::data::registry::spec_by_name;
+use rpm::data::ucr::{read_ucr_file, write_ucr};
+use rpm::ml::error_rate;
+use rpm::sax::SaxConfig;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args[1..]),
+        Some("classify") => cmd_classify(&args[1..]),
+        Some("patterns") => cmd_patterns(&args[1..]),
+        Some("motifs") => cmd_motifs(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        _ => {
+            eprintln!("usage: rpm-cli <train|classify|patterns|motifs|generate> ...");
+            eprintln!("see the crate docs (src/bin/rpm-cli.rs) for full usage");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Pulls `--flag value` out of the argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn positional(args: &[String], index: usize) -> Result<&String, String> {
+    args.iter()
+        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            // A value following a --flag is not positional.
+            let pos = args.iter().position(|x| x == *a).unwrap();
+            pos == 0 || !args[pos - 1].starts_with("--")
+        })
+        .nth(index)
+        .ok_or_else(|| format!("missing positional argument #{index}"))
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+fn sax_from_flags(args: &[String], default_len: usize) -> Result<SaxConfig, String> {
+    let window = parse_flag::<usize>(args, "--window")?.unwrap_or((default_len / 4).max(4));
+    let paa = parse_flag::<usize>(args, "--paa")?.unwrap_or(4);
+    let alpha = parse_flag::<usize>(args, "--alpha")?.unwrap_or(4);
+    Ok(SaxConfig::new(window, paa.min(window), alpha))
+}
+
+fn cmd_train(args: &[String]) -> CliResult {
+    let train_path = positional(args, 0)?;
+    let model_path =
+        flag_value(args, "--model").ok_or("train requires --model <OUT>")?;
+    let (train, _) = read_ucr_file(train_path)?;
+    eprintln!("loaded {train}");
+
+    let param_search = if let Some(n) = parse_flag::<usize>(args, "--direct")? {
+        ParamSearch::Direct { max_evals: n, per_class: flag_present(args, "--per-class") }
+    } else if flag_present(args, "--window") {
+        ParamSearch::Fixed(sax_from_flags(args, train.min_len())?)
+    } else {
+        ParamSearch::Direct { max_evals: 12, per_class: false }
+    };
+    let config = RpmConfig {
+        param_search,
+        gamma: parse_flag::<f64>(args, "--gamma")?.unwrap_or(0.2),
+        rotation_invariant: flag_present(args, "--rotation-invariant"),
+        ..RpmConfig::default()
+    };
+    let model = RpmClassifier::train(&train, &config)?;
+    eprintln!("learned {} representative patterns", model.patterns().len());
+    model.save(std::fs::File::create(&model_path)?)?;
+    eprintln!("model written to {model_path}");
+    Ok(())
+}
+
+fn cmd_classify(args: &[String]) -> CliResult {
+    let model_path = positional(args, 0)?;
+    let test_path = positional(args, 1)?;
+    let model = RpmClassifier::load(std::fs::File::open(model_path)?)?;
+    let (test, _) = read_ucr_file(test_path)?;
+    let preds = model.predict_batch(&test.series);
+    for p in &preds {
+        println!("{p}");
+    }
+    eprintln!("error rate: {:.4}", error_rate(&test.labels, &preds));
+    Ok(())
+}
+
+fn cmd_patterns(args: &[String]) -> CliResult {
+    let model_path = positional(args, 0)?;
+    let model = RpmClassifier::load(std::fs::File::open(model_path)?)?;
+    println!("class,length,frequency,coverage,window,paa,alphabet");
+    for p in model.patterns() {
+        println!(
+            "{},{},{},{},{},{},{}",
+            p.class,
+            p.values.len(),
+            p.frequency,
+            p.coverage,
+            p.sax.window,
+            p.sax.paa_size,
+            p.sax.alphabet
+        );
+    }
+    Ok(())
+}
+
+fn cmd_motifs(args: &[String]) -> CliResult {
+    let series_path = positional(args, 0)?;
+    let (data, _) = read_ucr_file(series_path)?;
+    let series = data
+        .series
+        .first()
+        .ok_or("series file is empty")?;
+    let sax = sax_from_flags(args, series.len())?;
+    let motifs = discover_motifs(series, &sax);
+    println!("top motifs (count, word length, first occurrences):");
+    for m in motifs.iter().take(10) {
+        let occ: Vec<String> = m
+            .occurrences
+            .iter()
+            .take(5)
+            .map(|(s, e)| format!("[{s},{e})"))
+            .collect();
+        println!("  x{:<4} {:>3} words  {}", m.count(), m.rule_words, occ.join(" "));
+    }
+    let discords = find_discords(series, &sax, 3);
+    println!("top discords (position, length, coverage):");
+    for d in discords {
+        println!("  @{:<6} len {:<5} coverage {:.2}", d.position, d.length, d.coverage);
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String]) -> CliResult {
+    let name = positional(args, 0)?;
+    let prefix = positional(args, 1)?;
+    let spec = spec_by_name(name).ok_or_else(|| {
+        let names: Vec<&str> = rpm::data::suite().iter().map(|s| s.name).collect();
+        format!("unknown dataset {name:?}; available: {}", names.join(", "))
+    })?;
+    let seed = parse_flag::<u64>(args, "--seed")?.unwrap_or(2016);
+    let (train, test) = rpm::data::generate(&spec, seed);
+    write_ucr(&train, std::fs::File::create(format!("{prefix}_TRAIN"))?)?;
+    write_ucr(&test, std::fs::File::create(format!("{prefix}_TEST"))?)?;
+    eprintln!("wrote {prefix}_TRAIN ({}) and {prefix}_TEST ({})", train.len(), test.len());
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # rpm — Representative Pattern Mining for time series classification
+//!
+//! A from-scratch Rust reproduction of *Wang, Lin, Senin, Oates, Gandhi,
+//! Boedihardjo, Chen, Frankenstein: "RPM: Representative Pattern Mining
+//! for Efficient Time Series Classification", EDBT 2016*.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! * [`core`] — the RPM classifier itself,
+//! * [`ts`] — time series primitives,
+//! * [`sax`] — SAX discretization,
+//! * [`grammar`] — Sequitur grammar induction,
+//! * [`cluster`] — hierarchical/bisection/k-means clustering,
+//! * [`ml`] — SVM, CFS, metrics, cross-validation, Wilcoxon,
+//! * [`opt`] — DIRECT and grid search,
+//! * [`data`] — dataset generators and UCR I/O,
+//! * [`baselines`] — the five comparison classifiers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rpm::prelude::*;
+//!
+//! // Generate a CBF dataset (the paper's Fig. 2 example).
+//! let train = rpm::data::cbf::generate(10, 128, 1);
+//! let test = rpm::data::cbf::generate(20, 128, 2);
+//!
+//! // Train with fixed SAX parameters (window 32, PAA 4, alphabet 4).
+//! let config = RpmConfig::fixed(SaxConfig::new(32, 4, 4));
+//! let model = RpmClassifier::train(&train, &config).unwrap();
+//!
+//! let predictions = model.predict_batch(&test.series);
+//! let err = error_rate(&test.labels, &predictions);
+//! assert!(err < 0.4, "error rate {err}");
+//! ```
+
+pub use rpm_baselines as baselines;
+pub use rpm_cluster as cluster;
+pub use rpm_core as core;
+pub use rpm_data as data;
+pub use rpm_grammar as grammar;
+pub use rpm_ml as ml;
+pub use rpm_opt as opt;
+pub use rpm_sax as sax;
+pub use rpm_ts as ts;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use rpm_baselines::Classifier;
+    pub use rpm_core::{ParamSearch, Pattern, RpmClassifier, RpmConfig, TrainError};
+    pub use rpm_ml::{error_rate, macro_f1};
+    pub use rpm_sax::SaxConfig;
+    pub use rpm_ts::{Dataset, Label};
+}
