@@ -14,7 +14,11 @@ pub fn dtw_distance(a: &[f64], b: &[f64]) -> f64 {
 /// Runs in O(n·band) time and O(n) space (two rolling rows).
 pub fn dtw_distance_banded(a: &[f64], b: &[f64], band: usize) -> f64 {
     if a.is_empty() || b.is_empty() {
-        return if a.len() == b.len() { 0.0 } else { f64::INFINITY };
+        return if a.len() == b.len() {
+            0.0
+        } else {
+            f64::INFINITY
+        };
     }
     let n = a.len();
     let m = b.len();

@@ -271,8 +271,7 @@ fn build_node(
     let mut left_idx = Vec::new();
     let mut right_idx = Vec::new();
     for &i in indices {
-        let d = best_match(&shapelet, &data.series[i], true)
-            .map_or(f64::INFINITY, |m| m.distance);
+        let d = best_match(&shapelet, &data.series[i], true).map_or(f64::INFINITY, |m| m.distance);
         if d <= threshold {
             left_idx.push(i);
         } else {
@@ -327,9 +326,14 @@ impl Classifier for FastShapelets {
         loop {
             match node {
                 Node::Leaf(l) => return *l,
-                Node::Split { shapelet, threshold, left, right } => {
-                    let d = best_match(shapelet, series, true)
-                        .map_or(f64::INFINITY, |m| m.distance);
+                Node::Split {
+                    shapelet,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    let d =
+                        best_match(shapelet, series, true).map_or(f64::INFINITY, |m| m.distance);
                     node = if d <= *threshold { left } else { right };
                 }
             }
@@ -347,8 +351,7 @@ mod tests {
         let mut d = Dataset::new("fs", Vec::new(), Vec::new());
         for class in 0..2usize {
             for _ in 0..n_per_class {
-                let mut s: Vec<f64> =
-                    (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let mut s: Vec<f64> = (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
                 let motif = len / 5;
                 let at = rng.gen_range(0..len - motif);
                 for i in 0..motif {
@@ -367,7 +370,11 @@ mod tests {
         let test = planted(10, 100, 2);
         let m = FastShapelets::train(&train, &FastShapeletsParams::default());
         let preds = m.predict_batch(&test.series);
-        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        let errs = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p != l)
+            .count();
         assert!(errs <= 5, "{errs} errors of {}", preds.len());
     }
 
@@ -387,7 +394,10 @@ mod tests {
     #[test]
     fn depth_respects_cap() {
         let train = planted(15, 80, 3);
-        let params = FastShapeletsParams { max_depth: 2, ..Default::default() };
+        let params = FastShapeletsParams {
+            max_depth: 2,
+            ..Default::default()
+        };
         let m = FastShapelets::train(&train, &params);
         assert!(m.depth() <= 3, "depth {}", m.depth());
     }
@@ -399,7 +409,10 @@ mod tests {
         let p = FastShapeletsParams::default();
         let m1 = FastShapelets::train(&train, &p);
         let m2 = FastShapelets::train(&train, &p);
-        assert_eq!(m1.predict_batch(&test.series), m2.predict_batch(&test.series));
+        assert_eq!(
+            m1.predict_batch(&test.series),
+            m2.predict_batch(&test.series)
+        );
     }
 
     #[test]

@@ -84,12 +84,7 @@ fn soft_min(dists: &[f64], alpha: f64) -> (f64, Vec<f64>) {
     let d_min = dists.iter().copied().fold(f64::INFINITY, f64::min);
     let exps: Vec<f64> = dists.iter().map(|&d| (alpha * (d - d_min)).exp()).collect();
     let psi: f64 = exps.iter().sum();
-    let m: f64 = dists
-        .iter()
-        .zip(&exps)
-        .map(|(&d, &e)| d * e)
-        .sum::<f64>()
-        / psi;
+    let m: f64 = dists.iter().zip(&exps).map(|(&d, &e)| d * e).sum::<f64>() / psi;
     let weights = dists
         .iter()
         .zip(&exps)
@@ -124,8 +119,8 @@ impl LearningShapelets {
         let k_total_per_scale = params.k_per_class * classes.len();
         let mut shapelets: Vec<Vec<f64>> = Vec::new();
         for scale in 0..params.n_scales.max(1) {
-            let l = (((scale + 1) as f64) * params.length_fraction * min_len as f64).round()
-                as usize;
+            let l =
+                (((scale + 1) as f64) * params.length_fraction * min_len as f64).round() as usize;
             let l = l.clamp(4, min_len);
             let mut segments: Vec<Vec<f64>> = Vec::new();
             for s in &series {
@@ -142,7 +137,10 @@ impl LearningShapelets {
             let km = kmeans(&segments, k_total_per_scale, 30, params.seed + scale as u64);
             shapelets.extend(km.centroids);
         }
-        assert!(!shapelets.is_empty(), "series too short for any shapelet scale");
+        assert!(
+            !shapelets.is_empty(),
+            "series too short for any shapelet scale"
+        );
 
         let k = shapelets.len();
         let n = series.len();
@@ -235,8 +233,7 @@ impl LearningShapelets {
                 let mut per_shapelet = Vec::with_capacity(k);
                 for (kk, sh) in shapelets.iter().enumerate() {
                     let j_max = s.len() - sh.len();
-                    let dists: Vec<f64> =
-                        (0..=j_max).map(|j| segment_dist(sh, s, j)).collect();
+                    let dists: Vec<f64> = (0..=j_max).map(|j| segment_dist(sh, s, j)).collect();
                     let (m, w) = soft_min(&dists, params.alpha);
                     feats[i][kk] = m;
                     per_shapelet.push(w);
@@ -305,7 +302,14 @@ impl LearningShapelets {
             }
         }
 
-        Self { shapelets, classes, weights, alpha: params.alpha, mu, inv_sd }
+        Self {
+            shapelets,
+            classes,
+            weights,
+            alpha: params.alpha,
+            mu,
+            inv_sd,
+        }
     }
 
     /// The published protocol: hyperparameter selection by validation
@@ -316,13 +320,8 @@ impl LearningShapelets {
     /// thousands of gradient iterations, which is exactly why LS is two to
     /// three orders of magnitude slower than RPM there.
     pub fn train_with_selection(data: &Dataset, seed: u64) -> Self {
-        let grid = [
-            (2usize, 0.125, 1e-3),
-            (3, 0.2, 1e-3),
-            (2, 0.3, 1e-2),
-        ];
-        let (tr_idx, va_idx) =
-            rpm_ml::shuffled_stratified_split(&data.labels, 0.7, seed);
+        let grid = [(2usize, 0.125, 1e-3), (3, 0.2, 1e-3), (2, 0.3, 1e-2)];
+        let (tr_idx, va_idx) = rpm_ml::shuffled_stratified_split(&data.labels, 0.7, seed);
         let sub = data.subset(&tr_idx);
         let val = data.subset(&va_idx);
         let mut best: Option<(usize, (usize, f64, f64))> = None;
@@ -393,8 +392,7 @@ impl Classifier for LearningShapelets {
         let k = self.shapelets.len();
         let mut best = (0usize, f64::NEG_INFINITY);
         for (c, w) in self.weights.iter().enumerate() {
-            let z: f64 =
-                w[..k].iter().zip(&zf).map(|(a, b)| a * b).sum::<f64>() + w[k];
+            let z: f64 = w[..k].iter().zip(&zf).map(|(a, b)| a * b).sum::<f64>() + w[k];
             if z > best.1 {
                 best = (c, z);
             }
@@ -415,8 +413,7 @@ mod tests {
         let mut d = Dataset::new("ls", Vec::new(), Vec::new());
         for class in 0..2usize {
             for _ in 0..n_per_class {
-                let mut s: Vec<f64> =
-                    (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let mut s: Vec<f64> = (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
                 let motif = len / 5;
                 let at = rng.gen_range(0..len - motif);
                 for i in 0..motif {
@@ -430,7 +427,10 @@ mod tests {
     }
 
     fn quick_params() -> LearningShapeletsParams {
-        LearningShapeletsParams { max_iter: 80, ..Default::default() }
+        LearningShapeletsParams {
+            max_iter: 80,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -439,7 +439,11 @@ mod tests {
         let test = planted(8, 80, 2);
         let m = LearningShapelets::train(&train, &quick_params());
         let preds = m.predict_batch(&test.series);
-        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        let errs = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p != l)
+            .count();
         assert!(errs <= 4, "{errs} errors of {}", preds.len());
     }
 
@@ -472,7 +476,11 @@ mod tests {
     #[test]
     fn shapelet_count_matches_configuration() {
         let train = planted(8, 80, 4);
-        let p = LearningShapeletsParams { k_per_class: 3, n_scales: 2, ..quick_params() };
+        let p = LearningShapeletsParams {
+            k_per_class: 3,
+            n_scales: 2,
+            ..quick_params()
+        };
         let m = LearningShapelets::train(&train, &p);
         // 3 per class × 2 classes × 2 scales.
         assert_eq!(m.shapelets().len(), 12);
@@ -484,7 +492,10 @@ mod tests {
         let test = planted(4, 80, 6);
         let m1 = LearningShapelets::train(&train, &quick_params());
         let m2 = LearningShapelets::train(&train, &quick_params());
-        assert_eq!(m1.predict_batch(&test.series), m2.predict_batch(&test.series));
+        assert_eq!(
+            m1.predict_batch(&test.series),
+            m2.predict_batch(&test.series)
+        );
     }
 
     #[test]

@@ -27,18 +27,9 @@ pub mod nn;
 pub mod saxvsm;
 pub mod shapelet_transform;
 
-use rpm_ts::Label;
-
-/// Uniform prediction interface for the benchmark harness.
-pub trait Classifier {
-    /// Predicts the class label of one series.
-    fn predict(&self, series: &[f64]) -> Label;
-
-    /// Predicts a batch.
-    fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
-        series.iter().map(|s| self.predict(s)).collect()
-    }
-}
+/// The shared prediction interface now lives in `rpm-ts` (so `rpm-core`
+/// implements it too); re-exported here for compatibility.
+pub use rpm_ts::Classifier;
 
 pub use dtw::{dtw_distance, dtw_distance_banded};
 pub use fast_shapelets::{FastShapelets, FastShapeletsParams};

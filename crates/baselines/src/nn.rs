@@ -94,7 +94,11 @@ impl OneNnDtw {
                 best_band = band;
             }
         }
-        Self { train, labels, band: best_band }
+        Self {
+            train,
+            labels,
+            band: best_band,
+        }
     }
 
     /// The selected Sakoe–Chiba half-width (samples).
@@ -131,7 +135,7 @@ mod tests {
         for class in 0..2usize {
             for _ in 0..n_per_class {
                 let mut s = vec![0.0; len];
-                let jitter = rng.gen_range(0..6);
+                let jitter = rng.gen_range(0usize..6);
                 let centers: &[usize] = if class == 0 { &[20] } else { &[15, 40] };
                 for &c in centers {
                     let c = c + jitter;
@@ -155,7 +159,11 @@ mod tests {
         let test = bumps_dataset(8, 64, 2);
         let m = OneNnEuclidean::train(&train);
         let preds = m.predict_batch(&test.series);
-        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        let errs = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p != l)
+            .count();
         assert!(errs <= 3, "{errs} errors of {}", preds.len());
     }
 
@@ -166,7 +174,11 @@ mod tests {
         // The LOOCV may pick any band, but prediction must be sane.
         let test = bumps_dataset(8, 64, 4);
         let preds = m.predict_batch(&test.series);
-        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        let errs = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p != l)
+            .count();
         assert!(errs <= 2, "{errs} errors");
     }
 

@@ -40,7 +40,11 @@ impl SaxVsmParams {
                 }
             }
         }
-        Self { configs, train_fraction: 0.7, seed: 0x5a5a }
+        Self {
+            configs,
+            train_fraction: 0.7,
+            seed: 0x5a5a,
+        }
     }
 }
 
@@ -93,7 +97,11 @@ fn fit_weights(data: &Dataset, sax: &SaxConfig) -> SaxVsm {
         weights.insert(label, wv);
         norms.insert(label, norm);
     }
-    SaxVsm { sax: *sax, weights, norms }
+    SaxVsm {
+        sax: *sax,
+        weights,
+        norms,
+    }
 }
 
 impl SaxVsm {
@@ -107,11 +115,8 @@ impl SaxVsm {
         if params.configs.len() == 1 {
             return fit_weights(data, &params.configs[0]);
         }
-        let (tr_idx, va_idx) = rpm_ml::shuffled_stratified_split(
-            &data.labels,
-            params.train_fraction,
-            params.seed,
-        );
+        let (tr_idx, va_idx) =
+            rpm_ml::shuffled_stratified_split(&data.labels, params.train_fraction, params.seed);
         let sub = data.subset(&tr_idx);
         let val = data.subset(&va_idx);
         let mut best: Option<(usize, SaxConfig)> = None;
@@ -120,10 +125,7 @@ impl SaxVsm {
                 continue;
             }
             let model = fit_weights(&sub, cfg);
-            let correct = val
-                .iter()
-                .filter(|(s, l)| model.predict(s) == *l)
-                .count();
+            let correct = val.iter().filter(|(s, l)| model.predict(s) == *l).count();
             if best.is_none_or(|(c, _)| correct > c) {
                 best = Some((correct, *cfg));
             }
@@ -151,14 +153,22 @@ impl SaxVsm {
                 if window > sub.min_len() {
                     return 1.0;
                 }
-                let cfg = SaxConfig::new(window, (p[1].max(2) as usize).min(window), p[2].clamp(2, 12) as usize);
+                let cfg = SaxConfig::new(
+                    window,
+                    (p[1].max(2) as usize).min(window),
+                    p[2].clamp(2, 12) as usize,
+                );
                 let model = fit_weights(&sub, &cfg);
                 let correct = val.iter().filter(|(s, l)| model.predict(s) == *l).count();
                 1.0 - correct as f64 / val.len().max(1) as f64
             },
             &lo,
             &hi,
-            &rpm_opt::DirectParams { max_evals: max_evals * 2, max_iters: 40, eps: 1e-4 },
+            &rpm_opt::DirectParams {
+                max_evals: max_evals * 2,
+                max_iters: 40,
+                ..rpm_opt::DirectParams::default()
+            },
         );
         let window = (point[0].max(2) as usize).min(data.min_len());
         let cfg = SaxConfig::new(
@@ -241,7 +251,11 @@ mod tests {
         let test = sine_vs_square(10, 96, 2);
         let m = SaxVsm::train(&train, &SaxVsmParams::for_length(96));
         let preds = m.predict_batch(&test.series);
-        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        let errs = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p != l)
+            .count();
         assert!(errs <= 4, "{errs} errors of {}", preds.len());
     }
 
@@ -266,11 +280,14 @@ mod tests {
                 d.push(s.clone(), class);
             }
         }
-        let m = SaxVsm::train(&d, &SaxVsmParams {
-            configs: vec![SaxConfig::new(16, 4, 4)],
-            train_fraction: 0.7,
-            seed: 0,
-        });
+        let m = SaxVsm::train(
+            &d,
+            &SaxVsmParams {
+                configs: vec![SaxConfig::new(16, 4, 4)],
+                train_fraction: 0.7,
+                seed: 0,
+            },
+        );
         for wv in m.weights.values() {
             assert!(wv.is_empty(), "shared words must vanish");
         }

@@ -117,7 +117,10 @@ impl ShapeletTransform {
     /// Panics on an empty training set or fewer than two classes.
     pub fn train(data: &Dataset, params: &ShapeletTransformParams) -> Self {
         assert!(!data.is_empty(), "Shapelet Transform needs training data");
-        assert!(data.n_classes() >= 2, "Shapelet Transform needs two classes");
+        assert!(
+            data.n_classes() >= 2,
+            "Shapelet Transform needs two classes"
+        );
         let min_len = data.min_len();
         let stride = params.stride.max(1);
 
@@ -136,8 +139,7 @@ impl ShapeletTransform {
                         .series
                         .iter()
                         .map(|t| {
-                            best_match(candidate, t, true)
-                                .map_or(f64::INFINITY, |m| m.distance)
+                            best_match(candidate, t, true).map_or(f64::INFINITY, |m| m.distance)
                         })
                         .collect();
                     let quality = best_gain(&dists, &data.labels);
@@ -151,7 +153,10 @@ impl ShapeletTransform {
                 }
             }
         }
-        assert!(!scored.is_empty(), "series too short for any candidate length");
+        assert!(
+            !scored.is_empty(),
+            "series too short for any candidate length"
+        );
 
         // --- Keep the top K with self-similarity pruning: drop candidates
         //     overlapping an already-kept shapelet from the same series.
@@ -185,15 +190,16 @@ impl ShapeletTransform {
             .map(|s| Self::transform_with(&kept, s))
             .collect();
         let svm = LinearSvm::train(&rows, &data.labels, &params.svm);
-        Self { shapelets: kept, svm }
+        Self {
+            shapelets: kept,
+            svm,
+        }
     }
 
     fn transform_with(shapelets: &[Shapelet], series: &[f64]) -> Vec<f64> {
         shapelets
             .iter()
-            .map(|sh| {
-                best_match(&sh.values, series, true).map_or(f64::INFINITY, |m| m.distance)
-            })
+            .map(|sh| best_match(&sh.values, series, true).map_or(f64::INFINITY, |m| m.distance))
             .collect()
     }
 
@@ -226,8 +232,7 @@ mod tests {
         let mut d = Dataset::new("st", Vec::new(), Vec::new());
         for class in 0..2usize {
             for _ in 0..n_per_class {
-                let mut s: Vec<f64> =
-                    (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let mut s: Vec<f64> = (0..len).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
                 let motif = len / 5;
                 let at = rng.gen_range(0..len - motif);
                 for i in 0..motif {
@@ -246,14 +251,21 @@ mod tests {
         let test = planted(8, 80, 2);
         let m = ShapeletTransform::train(&train, &ShapeletTransformParams::default());
         let preds = m.predict_batch(&test.series);
-        let errs = preds.iter().zip(&test.labels).filter(|(p, l)| p != l).count();
+        let errs = preds
+            .iter()
+            .zip(&test.labels)
+            .filter(|(p, l)| p != l)
+            .count();
         assert!(errs <= 4, "{errs} errors of {}", preds.len());
     }
 
     #[test]
     fn keeps_at_most_k_shapelets() {
         let train = planted(8, 80, 2);
-        let params = ShapeletTransformParams { k: 5, ..Default::default() };
+        let params = ShapeletTransformParams {
+            k: 5,
+            ..Default::default()
+        };
         let m = ShapeletTransform::train(&train, &params);
         assert!(m.shapelets().len() <= 5);
         assert!(!m.shapelets().is_empty());

@@ -12,7 +12,10 @@ fn bench_numerosity_reduction(c: &mut Criterion) {
     let sax = SaxConfig::new(32, 4, 4);
     let view = train.by_class().into_iter().next().unwrap();
     let on = RpmConfig::fixed(sax);
-    let off = RpmConfig { numerosity_reduction: false, ..on.clone() };
+    let off = RpmConfig {
+        numerosity_reduction: false,
+        ..on.clone()
+    };
 
     let mut g = c.benchmark_group("numerosity_reduction");
     g.bench_function("on", |b| {
@@ -28,7 +31,10 @@ fn bench_early_abandon(c: &mut Criterion) {
     let train = rpm_data::cbf::generate(6, 128, 3);
     let sax = SaxConfig::new(32, 4, 4);
     let fast = RpmConfig::fixed(sax);
-    let slow = RpmConfig { early_abandon: false, ..fast.clone() };
+    let slow = RpmConfig {
+        early_abandon: false,
+        ..fast.clone()
+    };
 
     let mut g = c.benchmark_group("early_abandon_training");
     g.sample_size(10);
@@ -46,7 +52,10 @@ fn bench_representative_choice(c: &mut Criterion) {
     let sax = SaxConfig::new(32, 4, 4);
     let view = train.by_class().into_iter().next().unwrap();
     let centroid = RpmConfig::fixed(sax);
-    let medoid = RpmConfig { use_medoid: true, ..centroid.clone() };
+    let medoid = RpmConfig {
+        use_medoid: true,
+        ..centroid.clone()
+    };
 
     let mut g = c.benchmark_group("cluster_representative");
     g.bench_function("centroid", |b| {

@@ -4,8 +4,8 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rpm_baselines::{
-    Classifier, FastShapelets, FastShapeletsParams, LearningShapelets,
-    LearningShapeletsParams, OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams,
+    Classifier, FastShapelets, FastShapeletsParams, LearningShapelets, LearningShapeletsParams,
+    OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams,
 };
 use rpm_core::{find_candidates_for_class, transform_series, RpmClassifier, RpmConfig};
 use rpm_sax::SaxConfig;
@@ -34,7 +34,9 @@ fn bench_rpm_stages(c: &mut Criterion) {
     g.bench_function("transform_one_series", |b| {
         b.iter(|| transform_series(black_box(&query), &patterns, false, true))
     });
-    g.bench_function("predict_one_series", |b| b.iter(|| model.predict(black_box(&query))));
+    g.bench_function("predict_one_series", |b| {
+        b.iter(|| model.predict(black_box(&query)))
+    });
     g.finish();
 }
 
@@ -43,7 +45,9 @@ fn bench_rivals(c: &mut Criterion) {
     let query = train.series[0].clone();
     let mut g = c.benchmark_group("rival_training");
     g.sample_size(10);
-    g.bench_function("nn_ed", |b| b.iter(|| OneNnEuclidean::train(black_box(&train))));
+    g.bench_function("nn_ed", |b| {
+        b.iter(|| OneNnEuclidean::train(black_box(&train)))
+    });
     g.bench_function("nn_dtw_best_window", |b| {
         b.iter(|| OneNnDtw::train(black_box(&train)))
     });
@@ -57,7 +61,10 @@ fn bench_rivals(c: &mut Criterion) {
         b.iter(|| {
             LearningShapelets::train(
                 black_box(&train),
-                &LearningShapeletsParams { max_iter: 50, ..Default::default() },
+                &LearningShapeletsParams {
+                    max_iter: 50,
+                    ..Default::default()
+                },
             )
         })
     });
@@ -65,7 +72,9 @@ fn bench_rivals(c: &mut Criterion) {
 
     let nn = OneNnEuclidean::train(&train);
     let mut g2 = c.benchmark_group("rival_prediction");
-    g2.bench_function("nn_ed_predict", |b| b.iter(|| nn.predict(black_box(&query))));
+    g2.bench_function("nn_ed_predict", |b| {
+        b.iter(|| nn.predict(black_box(&query)))
+    });
     g2.finish();
 }
 

@@ -4,7 +4,7 @@
 //! the clustering term).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rpm_core::{RpmClassifier, RpmConfig};
+use rpm_core::{ParamSearch, RpmClassifier, RpmConfig};
 use rpm_sax::SaxConfig;
 
 fn bench_train_vs_set_size(c: &mut Criterion) {
@@ -38,7 +38,9 @@ fn bench_train_vs_series_length(c: &mut Criterion) {
 fn bench_discretize_plus_grammar_linear(c: &mut Criterion) {
     let mut g = c.benchmark_group("discretize_plus_sequitur");
     for &len in &[512usize, 2048, 8192] {
-        let series: Vec<f64> = (0..len).map(|i| (i as f64 * 0.37).sin() + (i as f64 * 0.071).cos()).collect();
+        let series: Vec<f64> = (0..len)
+            .map(|i| (i as f64 * 0.37).sin() + (i as f64 * 0.071).cos())
+            .collect();
         let sax = SaxConfig::new(32, 4, 4);
         g.bench_with_input(BenchmarkId::from_parameter(len), &series, |b, s| {
             b.iter(|| {
@@ -57,10 +59,72 @@ fn bench_discretize_plus_grammar_linear(c: &mut Criterion) {
     g.finish();
 }
 
+/// Grid-search training under the shared engine (the tentpole's headline
+/// case): the same 12-combination grid, serial-without-cache (the seed's
+/// behaviour), then cached at 1, 2, and 4 workers. Results are
+/// bit-identical across every row; only the wall clock moves — the cache
+/// removes repeated SAX/transform work shared by grid neighbours, the
+/// threads overlap what remains.
+fn bench_grid_search_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_search_training_threads");
+    g.sample_size(10);
+    let train = rpm_data::cbf::generate(8, 128, 3);
+    let grid = ParamSearch::Grid {
+        windows: vec![16, 24, 32, 48],
+        paas: vec![4],
+        alphas: vec![3, 4, 6],
+        per_class: false,
+    };
+    for (label, n_threads, cache) in [
+        ("1-nocache", 1usize, false),
+        ("1", 1, true),
+        ("2", 2, true),
+        ("4", 4, true),
+    ] {
+        let config = RpmConfig {
+            param_search: grid.clone(),
+            n_validation_splits: 2,
+            n_threads,
+            cache,
+            ..RpmConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| RpmClassifier::train(black_box(&train), config).unwrap())
+        });
+    }
+    g.finish();
+}
+
+/// Thread scaling of the batch transform alone (training fixed, the
+/// per-series feature columns computed by the engine).
+fn bench_transform_thread_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("batch_transform_threads");
+    g.sample_size(10);
+    let train = rpm_data::cbf::generate(8, 128, 4);
+    let test = rpm_data::cbf::generate(40, 128, 5);
+    let model = RpmClassifier::train(&train, &RpmConfig::fixed(SaxConfig::new(32, 4, 4))).unwrap();
+    for &n_threads in &[1usize, 4] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(n_threads),
+            &test.series,
+            |b, series| {
+                b.iter(|| {
+                    model
+                        .predict_batch_parallel(black_box(series), n_threads)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_train_vs_set_size,
     bench_train_vs_series_length,
-    bench_discretize_plus_grammar_linear
+    bench_discretize_plus_grammar_linear,
+    bench_grid_search_thread_scaling,
+    bench_transform_thread_scaling
 );
 criterion_main!(benches);

@@ -16,18 +16,34 @@
 //! repro all       everything above (suite is evaluated once)
 //! ```
 
+use rpm_baselines::{OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams};
 use rpm_bench::{
     harness::evaluate_dataset_with, run_suite, ClassifierKind, DatasetResult, SuiteOptions,
 };
-use rpm_baselines::{Classifier, OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams};
 use rpm_core::{transform_set, ParamSearch, RpmClassifier, RpmConfig};
 use rpm_data::{generate, registry::spec_by_name, rotate_dataset, suite};
 use rpm_grammar::infer;
 use rpm_ml::{error_rate, wilcoxon_signed_rank};
 use rpm_sax::{discretize, SaxConfig};
-use rpm_ts::Dataset;
+use rpm_ts::{Classifier, Dataset};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Worker count for parallel RPM training: the `RPM_THREADS` environment
+/// variable if set, otherwise one per available CPU (results are
+/// bit-identical at any thread count).
+fn threads() -> usize {
+    std::env::var("RPM_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+/// Test error of any trained method, through the shared [`Classifier`]
+/// trait object — the single evaluation path for all six methods.
+fn eval_method(model: &dyn Classifier, test: &Dataset) -> f64 {
+    error_rate(&test.labels, &model.predict_batch(&test.series))
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,7 +94,8 @@ struct SuiteCache {
 impl SuiteCache {
     fn results(&mut self) -> &[DatasetResult] {
         if self.results.is_none() {
-            let options = SuiteOptions::default();
+            let mut options = SuiteOptions::default();
+            options.rpm.n_threads = threads();
             self.results = Some(run_suite(&suite(), &options));
         }
         self.results.as_ref().unwrap()
@@ -139,7 +156,11 @@ fn fig7(cache: &mut SuiteCache) {
         ClassifierKind::Ls,
     ] {
         let other: Vec<f64> = results.iter().map(|r| r.get(rival).error).collect();
-        println!("\n--- {} vs RPM (x = {}, y = RPM; below diagonal = RPM wins)", rival.name(), rival.name());
+        println!(
+            "\n--- {} vs RPM (x = {}, y = RPM; below diagonal = RPM wins)",
+            rival.name(),
+            rival.name()
+        );
         for (r, (o, p)) in results.iter().zip(other.iter().zip(&rpm)) {
             println!("  {:<18} {o:.3} {p:.3}", r.name);
         }
@@ -233,15 +254,18 @@ fn table3() {
         for &pct in &percentiles {
             let config = RpmConfig {
                 tau_percentile: pct,
-                param_search: ParamSearch::Direct { max_evals: 8, per_class: false },
+                param_search: ParamSearch::Direct {
+                    max_evals: 8,
+                    per_class: false,
+                },
                 n_validation_splits: 2,
+                n_threads: threads(),
                 ..RpmConfig::default()
             };
             let start = Instant::now();
             let model = RpmClassifier::train(&train, &config).expect("train");
-            let preds = model.predict_batch(&test.series);
+            let err = eval_method(&model, &test);
             let secs = start.elapsed().as_secs_f64();
-            let err = error_rate(&test.labels, &preds);
             println!("{name:<18}{pct:>10.0}{secs:>12.3}{err:>12.3}");
             if pct == 30.0 {
                 base.insert(name, (secs, err));
@@ -275,8 +299,12 @@ fn table4() {
             methods: methods.to_vec(),
             rpm: RpmConfig {
                 rotation_invariant: true,
-                param_search: ParamSearch::Direct { max_evals: 8, per_class: false },
+                param_search: ParamSearch::Direct {
+                    max_evals: 8,
+                    per_class: false,
+                },
                 n_validation_splits: 2,
+                n_threads: threads(),
                 ..RpmConfig::default()
             },
             ..SuiteOptions::default()
@@ -337,8 +365,12 @@ fn train_for_figure(name: &str) -> (RpmClassifier, Dataset, Dataset) {
     let spec = spec_by_name(name).expect("suite dataset");
     let (train, test) = generate(&spec, 2016);
     let config = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 8, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 8,
+            per_class: false,
+        },
         n_validation_splits: 2,
+        n_threads: threads(),
         ..RpmConfig::default()
     };
     let model = RpmClassifier::train(&train, &config).expect("train");
@@ -349,16 +381,14 @@ fn fig2() {
     header("Figure 2: best representative patterns on CBF");
     let (model, train, test) = train_for_figure("CBF");
     print_patterns(&model, &train);
-    let err = error_rate(&test.labels, &model.predict_batch(&test.series));
-    println!("CBF test error: {err:.3}");
+    println!("CBF test error: {:.3}", eval_method(&model, &test));
 }
 
 fn fig3() {
     header("Figure 3: best representative patterns on Coffee");
     let (model, train, test) = train_for_figure("Coffee");
     print_patterns(&model, &train);
-    let err = error_rate(&test.labels, &model.predict_batch(&test.series));
-    println!("Coffee test error: {err:.3}");
+    println!("Coffee test error: {:.3}", eval_method(&model, &test));
 }
 
 fn fig4() {
@@ -403,7 +433,10 @@ fn fig4() {
         best_rule.1.occurrences.len(),
         best_rule.1.expansion.len()
     );
-    println!("{:<10}{:>10}{:>10}{:>10}", "instance", "start", "end", "length");
+    println!(
+        "{:<10}{:>10}{:>10}{:>10}",
+        "instance", "start", "end", "length"
+    );
     for span in &best_rule.1.occurrences {
         if let (Some((inst, start)), Some((last_inst, last_off))) =
             (origin[span.start], origin[span.end - 1])
@@ -421,8 +454,7 @@ fn fig56() {
     header("Figures 5-6: ECGFiveDays patterns and the transformed feature space");
     let (model, train, test) = train_for_figure("ECGFiveDays");
     print_patterns(&model, &train);
-    let err = error_rate(&test.labels, &model.predict_batch(&test.series));
-    println!("ECGFiveDays test error: {err:.3}");
+    println!("ECGFiveDays test error: {:.3}", eval_method(&model, &test));
     // Figure 6: project the training data on the first two pattern axes.
     let k = model.patterns().len().min(2);
     println!("\ntransformed training data (first {k} feature(s)):");
@@ -441,30 +473,44 @@ fn alarm() {
     let train = rpm_data::abp::generate(20, 400, 7);
     let test = rpm_data::abp::generate(40, 400, 8);
     let config = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 8, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 8,
+            per_class: false,
+        },
         n_validation_splits: 2,
+        n_threads: threads(),
         ..RpmConfig::default()
     };
     let start = Instant::now();
     let model = RpmClassifier::train(&train, &config).expect("train");
-    let rpm_err = error_rate(&test.labels, &model.predict_batch(&test.series));
     let rpm_t = start.elapsed().as_secs_f64();
 
-    let nn = OneNnEuclidean::train(&train);
-    let nn_err = error_rate(&test.labels, &nn.predict_batch(&test.series));
-    let dtw = OneNnDtw::train(&train);
-    let dtw_err = error_rate(&test.labels, &dtw.predict_batch(&test.series));
-    let vsm = SaxVsm::train(&train, &SaxVsmParams::for_length(400));
-    let vsm_err = error_rate(&test.labels, &vsm.predict_batch(&test.series));
-
+    // Every method goes through the shared trait object.
+    let rivals: Vec<(&str, Box<dyn Classifier>)> = vec![
+        ("NN-ED", Box::new(OneNnEuclidean::train(&train))),
+        ("NN-DTWB", Box::new(OneNnDtw::train(&train))),
+        (
+            "SAX-VSM",
+            Box::new(SaxVsm::train(&train, &SaxVsmParams::for_length(400))),
+        ),
+    ];
     println!("{:<10}{:>10}", "method", "error");
-    println!("{:<10}{:>10.3}", "NN-ED", nn_err);
-    println!("{:<10}{:>10.3}", "NN-DTWB", dtw_err);
-    println!("{:<10}{:>10.3}", "SAX-VSM", vsm_err);
-    println!("{:<10}{:>10.3}  ({rpm_t:.2}s)", "RPM", rpm_err);
+    for (name, m) in &rivals {
+        println!("{name:<10}{:>10.3}", eval_method(m.as_ref(), &test));
+    }
+    println!(
+        "{:<10}{:>10.3}  ({rpm_t:.2}s)",
+        "RPM",
+        eval_method(&model, &test)
+    );
     println!("\nRPM patterns on the alarm class:");
     for p in model.patterns_for_class(rpm_data::abp::ALARM) {
-        println!("  len={} freq={} {}", p.values.len(), p.frequency, sparkline(&p.values));
+        println!(
+            "  len={} freq={} {}",
+            p.values.len(),
+            p.frequency,
+            sparkline(&p.values)
+        );
     }
 
     // The harder 4-class variant: which alarm phenomenon fired?
@@ -473,18 +519,29 @@ fn alarm() {
     let test4 = rpm_data::abp::generate_by_type(25, 400, 18);
     let start4 = Instant::now();
     let model4 = RpmClassifier::train(&train4, &config).expect("train");
-    let rpm4 = error_rate(&test4.labels, &model4.predict_batch(&test4.series));
     let rpm4_t = start4.elapsed().as_secs_f64();
-    let nn4 = OneNnEuclidean::train(&train4);
-    let nn4_err = error_rate(&test4.labels, &nn4.predict_batch(&test4.series));
-    let vsm4 = SaxVsm::train(&train4, &SaxVsmParams::for_length(400));
-    let vsm4_err = error_rate(&test4.labels, &vsm4.predict_batch(&test4.series));
+    let rivals4: Vec<(&str, Box<dyn Classifier>)> = vec![
+        ("NN-ED", Box::new(OneNnEuclidean::train(&train4))),
+        (
+            "SAX-VSM",
+            Box::new(SaxVsm::train(&train4, &SaxVsmParams::for_length(400))),
+        ),
+    ];
     println!("{:<10}{:>10}", "method", "error");
-    println!("{:<10}{:>10.3}", "NN-ED", nn4_err);
-    println!("{:<10}{:>10.3}", "SAX-VSM", vsm4_err);
-    println!("{:<10}{rpm4:>10.3}  ({rpm4_t:.2}s)", "RPM");
-    println!("(chance = 0.75; patterns per class: {:?})",
-        (0..4).map(|c| model4.patterns_for_class(c).len()).collect::<Vec<_>>());
+    for (name, m) in &rivals4 {
+        println!("{name:<10}{:>10.3}", eval_method(m.as_ref(), &test4));
+    }
+    println!(
+        "{:<10}{:>10.3}  ({rpm4_t:.2}s)",
+        "RPM",
+        eval_method(&model4, &test4)
+    );
+    println!(
+        "(chance = 0.75; patterns per class: {:?})",
+        (0..4)
+            .map(|c| model4.patterns_for_class(c).len())
+            .collect::<Vec<_>>()
+    );
 }
 
 // ---------------------------------------------------------------- Ablation
@@ -499,7 +556,7 @@ fn ablation() {
         let start = Instant::now();
         match RpmClassifier::train(&train, config) {
             Ok(model) => {
-                let err = error_rate(&test.labels, &model.predict_batch(&test.series));
+                let err = eval_method(&model, &test);
                 let t = start.elapsed().as_secs_f64();
                 println!(
                     "{label:<34} error {err:>6.3}  time {t:>7.3}s  patterns {}",
@@ -514,13 +571,31 @@ fn ablation() {
     run("baseline (NR on, centroid)", &base);
     run(
         "numerosity reduction OFF",
-        &RpmConfig { numerosity_reduction: false, ..base.clone() },
+        &RpmConfig {
+            numerosity_reduction: false,
+            ..base.clone()
+        },
     );
-    run("medoid representatives", &RpmConfig { use_medoid: true, ..base.clone() });
-    run("early abandoning OFF", &RpmConfig { early_abandon: false, ..base.clone() });
+    run(
+        "medoid representatives",
+        &RpmConfig {
+            use_medoid: true,
+            ..base.clone()
+        },
+    );
+    run(
+        "early abandoning OFF",
+        &RpmConfig {
+            early_abandon: false,
+            ..base.clone()
+        },
+    );
     run(
         "Re-Pair grammar induction",
-        &RpmConfig { grammar: rpm_core::GrammarAlgorithm::RePair, ..base.clone() },
+        &RpmConfig {
+            grammar: rpm_core::GrammarAlgorithm::RePair,
+            ..base.clone()
+        },
     );
 
     // Grid vs DIRECT parameter selection.
@@ -532,26 +607,34 @@ fn ablation() {
             per_class: false,
         },
         n_validation_splits: 2,
+        n_threads: threads(),
         ..RpmConfig::default()
     };
     run("grid search (24 combos)", &grid);
     let direct = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 12, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 12,
+            per_class: false,
+        },
         n_validation_splits: 2,
+        n_threads: threads(),
         ..RpmConfig::default()
     };
     run("DIRECT (<=12 distinct evals)", &direct);
     let per_class = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 6, per_class: true },
+        param_search: ParamSearch::Direct {
+            max_evals: 6,
+            per_class: true,
+        },
         n_validation_splits: 2,
+        n_threads: threads(),
         ..RpmConfig::default()
     };
     run("DIRECT per class (paper mode)", &per_class);
 
     // "Works with any classifier": SVM vs 1-NN on the transformed space.
     let model = RpmClassifier::train(&train, &base).expect("train");
-    let pattern_values: Vec<Vec<f64>> =
-        model.patterns().iter().map(|p| p.values.clone()).collect();
+    let pattern_values: Vec<Vec<f64>> = model.patterns().iter().map(|p| p.values.clone()).collect();
     let train_f = transform_set(&train.series, &pattern_values, false, true);
     let test_f = transform_set(&test.series, &pattern_values, false, true);
     let mut correct = 0usize;
@@ -574,8 +657,8 @@ fn ablation() {
     );
 
     // The full "any classifier" sweep over the same transformed features.
-    use rpm_ml::{Knn, Logistic, LogisticParams};
     use rpm_ml::{KernelSvm, KernelSvmParams};
+    use rpm_ml::{Knn, Logistic, LogisticParams};
     let knn = Knn::train(&train_f, &train.labels, 3);
     println!(
         "{:<34} error {:>6.3}",
@@ -624,14 +707,17 @@ fn extras() {
 
         let t1 = Instant::now();
         let config = RpmConfig {
-            param_search: ParamSearch::Direct { max_evals: 8, per_class: false },
+            param_search: ParamSearch::Direct {
+                max_evals: 8,
+                per_class: false,
+            },
             n_validation_splits: 2,
+            n_threads: threads(),
             ..RpmConfig::default()
         };
         let rpm = RpmClassifier::train(&train, &config).expect("train");
-        let rpm_preds = rpm.predict_batch(&test.series);
+        let rpm_err = eval_method(&rpm, &test);
         let rpm_t = t1.elapsed().as_secs_f64();
-        let rpm_err = error_rate(&test.labels, &rpm_preds);
 
         println!("{name:<18}{st_err:>10.3}{rpm_err:>10.3}{st_t:>11.2}s{rpm_t:>11.2}s");
     }

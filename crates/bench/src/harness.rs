@@ -1,8 +1,8 @@
 //! Suite evaluation: train/test all six classifiers on generated datasets.
 
 use rpm_baselines::{
-    Classifier, FastShapelets, FastShapeletsParams, LearningShapelets,
-    LearningShapeletsParams, OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams,
+    Classifier, FastShapelets, FastShapeletsParams, LearningShapelets, LearningShapeletsParams,
+    OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams,
 };
 use rpm_core::{ParamSearch, RpmClassifier, RpmConfig};
 use rpm_data::{generate, DatasetSpec};
@@ -104,7 +104,10 @@ impl Default for SuiteOptions {
             seed: 2016,
             methods: ClassifierKind::ALL.to_vec(),
             rpm: RpmConfig {
-                param_search: ParamSearch::Direct { max_evals: 12, per_class: false },
+                param_search: ParamSearch::Direct {
+                    max_evals: 12,
+                    per_class: false,
+                },
                 n_validation_splits: 2,
                 ..RpmConfig::default()
             },
@@ -114,15 +117,18 @@ impl Default for SuiteOptions {
     }
 }
 
-fn time_run<M: Classifier>(
-    build: impl FnOnce() -> M,
-    test: &Dataset,
-) -> MethodOutcome {
+/// Times one method end to end: build (train) + batch classification,
+/// through the shared [`Classifier`] trait object — RPM and the five
+/// baselines all go through this single code path.
+fn time_run(build: impl FnOnce() -> Box<dyn Classifier>, test: &Dataset) -> MethodOutcome {
     let start = Instant::now();
     let model = build();
     let preds = model.predict_batch(&test.series);
     let time = start.elapsed();
-    MethodOutcome { error: error_rate(&test.labels, &preds), time }
+    MethodOutcome {
+        error: error_rate(&test.labels, &preds),
+        time,
+    }
 }
 
 /// Trains and tests the requested classifiers on one suite dataset,
@@ -137,46 +143,61 @@ pub fn evaluate_dataset_with(
     let mut outcomes = Vec::new();
     for &kind in &options.methods {
         let outcome = match kind {
-            ClassifierKind::NnEd => time_run(|| OneNnEuclidean::train(&train), &test),
-            ClassifierKind::NnDtwB => time_run(|| OneNnDtw::train(&train), &test),
+            ClassifierKind::NnEd => time_run(|| Box::new(OneNnEuclidean::train(&train)), &test),
+            ClassifierKind::NnDtwB => time_run(|| Box::new(OneNnDtw::train(&train)), &test),
             ClassifierKind::SaxVsm => time_run(
-                || SaxVsm::train(&train, &SaxVsmParams::for_length(spec.length)),
+                || {
+                    Box::new(SaxVsm::train(
+                        &train,
+                        &SaxVsmParams::for_length(spec.length),
+                    ))
+                },
                 &test,
             ),
             ClassifierKind::Fs => time_run(
-                || FastShapelets::train(&train, &FastShapeletsParams::default()),
+                || {
+                    Box::new(FastShapelets::train(
+                        &train,
+                        &FastShapeletsParams::default(),
+                    ))
+                },
                 &test,
             ),
             ClassifierKind::Ls => time_run(
                 || {
                     if options.ls_full_protocol {
-                        LearningShapelets::train_with_selection(&train, options.seed)
+                        Box::new(LearningShapelets::train_with_selection(
+                            &train,
+                            options.seed,
+                        ))
                     } else {
-                        LearningShapelets::train(
+                        Box::new(LearningShapelets::train(
                             &train,
                             &LearningShapeletsParams {
                                 max_iter: options.ls_max_iter,
                                 ..Default::default()
                             },
-                        )
+                        ))
                     }
                 },
                 &test,
             ),
-            ClassifierKind::Rpm => {
-                let start = Instant::now();
-                let model = RpmClassifier::train(&train, &options.rpm)
-                    .expect("RPM training failed on suite dataset");
-                let preds = model.predict_batch(&test.series);
-                MethodOutcome {
-                    error: error_rate(&test.labels, &preds),
-                    time: start.elapsed(),
-                }
-            }
+            ClassifierKind::Rpm => time_run(
+                || {
+                    Box::new(
+                        RpmClassifier::train(&train, &options.rpm)
+                            .expect("RPM training failed on suite dataset"),
+                    )
+                },
+                &test,
+            ),
         };
         outcomes.push((kind, outcome));
     }
-    DatasetResult { name: spec.name.to_string(), outcomes }
+    DatasetResult {
+        name: spec.name.to_string(),
+        outcomes,
+    }
 }
 
 /// Trains and tests on the clean test set.
@@ -209,7 +230,13 @@ mod tests {
     use rpm_sax::SaxConfig;
 
     fn tiny_spec() -> DatasetSpec {
-        DatasetSpec { name: "CBF", classes: 3, train: 12, test: 15, length: 128 }
+        DatasetSpec {
+            name: "CBF",
+            classes: 3,
+            train: 12,
+            test: 15,
+            length: 128,
+        }
     }
 
     fn quick_options() -> SuiteOptions {

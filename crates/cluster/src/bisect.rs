@@ -25,7 +25,11 @@ pub struct BisectParams {
 
 impl Default for BisectParams {
     fn default() -> Self {
-        Self { min_child_fraction: 0.3, min_size: 4, linkage: Linkage::Complete }
+        Self {
+            min_child_fraction: 0.3,
+            min_size: 4,
+            linkage: Linkage::Complete,
+        }
     }
 }
 
@@ -60,8 +64,7 @@ pub fn bisect_refine(
         // members — a singleton can never be a motif cluster, and without
         // this floor small balanced groups would dissolve into discardable
         // singletons.
-        let min_needed =
-            ((params.min_child_fraction * group.len() as f64).ceil() as usize).max(2);
+        let min_needed = ((params.min_child_fraction * group.len() as f64).ceil() as usize).max(2);
         if a.len() >= min_needed && b.len() >= min_needed {
             queue.push(a);
             queue.push(b);
@@ -121,7 +124,10 @@ mod tests {
     #[test]
     fn min_size_blocks_tiny_splits() {
         let pts: &[f64] = &[0.0, 10.0, 20.0];
-        let params = BisectParams { min_size: 4, ..Default::default() };
+        let params = BisectParams {
+            min_size: 4,
+            ..Default::default()
+        };
         let c = bisect_refine(3, d1(pts), &params);
         assert_eq!(c.len(), 1, "groups below min_size must not split");
     }
@@ -131,7 +137,10 @@ mod tests {
         // A pair would split 1+1; both children are singletons, so the
         // split is rejected and the pair survives intact.
         let pts: &[f64] = &[0.0, 0.1, 10.0, 10.1];
-        let params = BisectParams { min_size: 2, ..Default::default() };
+        let params = BisectParams {
+            min_size: 2,
+            ..Default::default()
+        };
         let c = bisect_refine(4, d1(pts), &params);
         assert_eq!(c, vec![vec![0, 1], vec![2, 3]]);
     }

@@ -121,7 +121,12 @@ mod tests {
     fn resample_downsample_of_ramp_stays_ramp() {
         let ramp: Vec<f64> = (0..101).map(|i| i as f64).collect();
         let r = resample(&ramp, 11);
-        close(&r, &[0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0]);
+        close(
+            &r,
+            &[
+                0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0,
+            ],
+        );
     }
 
     #[test]

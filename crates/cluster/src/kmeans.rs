@@ -155,7 +155,12 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> KMea
         .zip(&assignments)
         .map(|(p, &a)| sq_dist(p, &centroids[a]))
         .sum();
-    KMeans { centroids, assignments, inertia, iterations }
+    KMeans {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
 }
 
 #[cfg(test)]

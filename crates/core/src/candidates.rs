@@ -9,12 +9,14 @@
 //! representatives of clusters covering at least `γ` of the class's
 //! training instances.
 
+use crate::cache::{Ctx, SaxCache};
+use crate::config::GrammarAlgorithm;
 use crate::config::RpmConfig;
+use crate::engine::Engine;
 use crate::transform::pattern_distance;
 use rpm_cluster::{bisect_refine, centroid, medoid};
-use crate::config::GrammarAlgorithm;
 use rpm_grammar::{infer_repair, Sequitur, Token};
-use rpm_sax::{discretize, SaxConfig, SaxWord};
+use rpm_sax::{SaxConfig, SaxWord};
 use rpm_ts::{znorm, Label};
 use std::collections::HashMap;
 
@@ -68,6 +70,22 @@ pub fn find_candidates_for_class(
     sax: &SaxConfig,
     config: &RpmConfig,
 ) -> CandidateSet {
+    let cache = SaxCache::disabled();
+    let ctx = Ctx::new(Engine::serial(), &cache);
+    find_candidates_for_class_ctx(members, class, sax, config, &ctx)
+}
+
+/// [`find_candidates_for_class`] inside a training run: discretizations
+/// come from the run's cache (keyed by the context's set identity), so
+/// parameter-search neighbours sharing a `(window, paa)` or a full
+/// `SaxConfig` never re-pay the SAX pass.
+pub(crate) fn find_candidates_for_class_ctx(
+    members: &[&[f64]],
+    class: Label,
+    sax: &SaxConfig,
+    config: &RpmConfig,
+    ctx: &Ctx<'_>,
+) -> CandidateSet {
     let mut out = CandidateSet::default();
     if members.is_empty() {
         return out;
@@ -76,6 +94,9 @@ pub fn find_candidates_for_class(
     // --- Discretize each member separately; windows therefore never cross
     //     junctions, and sentinels below keep the grammar from joining
     //     words across them.
+    let all_words = ctx
+        .cache
+        .words(ctx.set, class, sax, config.numerosity_reduction, members);
     let mut interner: HashMap<SaxWord, Token> = HashMap::new();
     let mut tokens: Vec<Token> = Vec::new();
     // origin[i] = Some((instance, window offset)) for word tokens.
@@ -83,10 +104,9 @@ pub fn find_candidates_for_class(
     let mut next_token: Token = 0;
     let mut sentinel_base: Token = Token::MAX;
 
-    for (inst, series) in members.iter().enumerate() {
-        let words = discretize(series, sax, config.numerosity_reduction);
+    for (inst, words) in all_words.iter().enumerate() {
         for w in words {
-            let t = *interner.entry(w.word).or_insert_with(|| {
+            let t = *interner.entry(w.word.clone()).or_insert_with(|| {
                 let t = next_token;
                 next_token += 1;
                 t
@@ -140,7 +160,11 @@ pub fn find_candidates_for_class(
             }
             let end = (last_off + sax.window).min(members[inst].len());
             if end > start {
-                occs.push(Occurrence { instance: inst, start, end });
+                occs.push(Occurrence {
+                    instance: inst,
+                    start,
+                    end,
+                });
             }
         }
         if occs.len() < 2 {
@@ -180,8 +204,11 @@ pub fn find_candidates_for_class(
             // Record the τ pool.
             for (a, &i) in cluster.iter().enumerate() {
                 for &j in &cluster[a + 1..] {
-                    out.intra_cluster_distances
-                        .push(pattern_distance(subs[i], subs[j], config.early_abandon));
+                    out.intra_cluster_distances.push(pattern_distance(
+                        subs[i],
+                        subs[j],
+                        config.early_abandon,
+                    ));
                 }
             }
             let members_refs: Vec<&[f64]> = cluster.iter().map(|&i| subs[i]).collect();
@@ -219,13 +246,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                let mut s: Vec<f64> = (0..len)
-                    .map(|_| 0.3 * (rng.gen::<f64>() - 0.5))
-                    .collect();
+                let mut s: Vec<f64> = (0..len).map(|_| 0.3 * (rng.gen::<f64>() - 0.5)).collect();
                 let at = rng.gen_range(0..len - motif_len);
                 for i in 0..motif_len {
-                    s[at + i] +=
-                        3.0 * (std::f64::consts::TAU * i as f64 / motif_len as f64).sin();
+                    s[at + i] += 3.0 * (std::f64::consts::TAU * i as f64 / motif_len as f64).sin();
                 }
                 s
             })
@@ -307,8 +331,7 @@ mod tests {
     fn candidate_values_are_znormalized() {
         let class = planted_class(10, 120, 24, 5);
         let members: Vec<&[f64]> = class.iter().map(Vec::as_slice).collect();
-        let set =
-            find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &cfg());
+        let set = find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &cfg());
         for c in &set.candidates {
             let mean = c.values.iter().sum::<f64>() / c.values.len() as f64;
             assert!(mean.abs() < 0.5, "centroid mean {mean} far from 0");
@@ -321,13 +344,16 @@ mod tests {
         let members: Vec<&[f64]> = class.iter().map(Vec::as_slice).collect();
         let mut config = cfg();
         config.use_medoid = true;
-        let set =
-            find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &config);
+        let set = find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &config);
         assert!(!set.candidates.is_empty());
         for c in &set.candidates {
             // Medoids are z-normalized raw members: mean ~0, sd ~1.
             let mean = c.values.iter().sum::<f64>() / c.values.len() as f64;
-            let sd = (c.values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            let sd = (c
+                .values
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
                 / c.values.len() as f64)
                 .sqrt();
             assert!(mean.abs() < 1e-9);
@@ -340,17 +366,12 @@ mod tests {
         // A long, strongly periodic class yields rules with many
         // occurrences; the pool must still be bounded.
         let class: Vec<Vec<f64>> = (0..4)
-            .map(|k| {
-                (0..400)
-                    .map(|i| ((i + k) as f64 * 0.3).sin())
-                    .collect()
-            })
+            .map(|k| (0..400).map(|i| ((i + k) as f64 * 0.3).sin()).collect())
             .collect();
         let members: Vec<&[f64]> = class.iter().map(Vec::as_slice).collect();
         let mut config = cfg();
         config.max_occurrences_per_rule = 16;
-        let set =
-            find_candidates_for_class(&members, 0, &SaxConfig::new(20, 4, 4), &config);
+        let set = find_candidates_for_class(&members, 0, &SaxConfig::new(20, 4, 4), &config);
         for c in &set.candidates {
             assert!(c.frequency <= 16, "frequency {} exceeds cap", c.frequency);
         }
@@ -362,8 +383,7 @@ mod tests {
         let members: Vec<&[f64]> = class.iter().map(Vec::as_slice).collect();
         let mut config = cfg();
         config.grammar = crate::config::GrammarAlgorithm::RePair;
-        let set =
-            find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &config);
+        let set = find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &config);
         assert!(!set.candidates.is_empty(), "Re-Pair found no candidates");
         let template: Vec<f64> = (0..24)
             .map(|i| (std::f64::consts::TAU * i as f64 / 24.0).sin())
@@ -380,8 +400,7 @@ mod tests {
     fn intra_cluster_distances_are_finite_and_nonnegative() {
         let class = planted_class(10, 120, 24, 7);
         let members: Vec<&[f64]> = class.iter().map(Vec::as_slice).collect();
-        let set =
-            find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &cfg());
+        let set = find_candidates_for_class(&members, 0, &SaxConfig::new(24, 4, 4), &cfg());
         assert!(!set.intra_cluster_distances.is_empty());
         for &d in &set.intra_cluster_distances {
             assert!(d.is_finite() && d >= 0.0);

@@ -7,9 +7,11 @@
 //! feature space and run CFS — the surviving features are the
 //! representative patterns.
 
+use crate::cache::{Ctx, SaxCache};
 use crate::candidates::Candidate;
 use crate::config::RpmConfig;
-use crate::transform::{pattern_distance, transform_set};
+use crate::engine::{Engine, EngineError};
+use crate::transform::{pattern_distance, transform_set_ctx};
 use rpm_ml::cfs_select;
 use rpm_ts::{percentile, Label};
 
@@ -28,7 +30,11 @@ pub fn compute_tau(intra_cluster_distances: &[f64], tau_percentile: f64) -> f64 
 /// in descending frequency order, a candidate within τ of an already-kept
 /// one is dropped — equivalent to the paper's replace-if-more-frequent
 /// bookkeeping, without the in-place swaps.
-pub fn remove_similar(mut candidates: Vec<Candidate>, tau: f64, early_abandon: bool) -> Vec<Candidate> {
+pub fn remove_similar(
+    mut candidates: Vec<Candidate>,
+    tau: f64,
+    early_abandon: bool,
+) -> Vec<Candidate> {
     candidates.sort_by_key(|c| std::cmp::Reverse(c.frequency));
     let mut kept: Vec<Candidate> = Vec::new();
     for c in candidates {
@@ -53,8 +59,32 @@ pub fn select_representative(
     labels: &[Label],
     config: &RpmConfig,
 ) -> Vec<Candidate> {
+    let cache = SaxCache::disabled();
+    let ctx = Ctx::new(Engine::serial(), &cache);
+    select_representative_ctx(
+        candidates,
+        intra_cluster_distances,
+        train,
+        labels,
+        config,
+        &ctx,
+    )
+    .expect("serial selection cannot fail")
+}
+
+/// [`select_representative`] inside a training run: the CFS transform
+/// runs on the shared engine and its per-candidate columns are memoized,
+/// so the final SVM transform reuses every selected candidate's column.
+pub(crate) fn select_representative_ctx(
+    candidates: Vec<Candidate>,
+    intra_cluster_distances: &[f64],
+    train: &[Vec<f64>],
+    labels: &[Label],
+    config: &RpmConfig,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<Candidate>, EngineError> {
     if candidates.is_empty() {
-        return candidates;
+        return Ok(candidates);
     }
     let tau = compute_tau(intra_cluster_distances, config.tau_percentile);
     let mut deduped = remove_similar(candidates, tau, config.early_abandon);
@@ -62,27 +92,25 @@ pub fn select_representative(
         // Keep the candidates covering the most training instances (ties
         // broken by raw frequency); the transform below is the training
         // bottleneck and scales linearly in this pool.
-        deduped.sort_by(|a, b| {
-            (b.coverage, b.frequency).cmp(&(a.coverage, a.frequency))
-        });
+        deduped.sort_by_key(|c| std::cmp::Reverse((c.coverage, c.frequency)));
         deduped.truncate(config.max_candidates);
     }
     if deduped.len() <= 1 {
-        return deduped;
+        return Ok(deduped);
     }
     // Transform the training set into the candidate-distance space.
     let pattern_values: Vec<Vec<f64>> = deduped.iter().map(|c| c.values.clone()).collect();
-    let rows = transform_set(train, &pattern_values, false, config.early_abandon);
+    let rows = transform_set_ctx(train, &pattern_values, false, config.early_abandon, ctx)?;
     let selected = cfs_select(&rows, labels, &config.cfs);
     let mut keep = vec![false; deduped.len()];
     for idx in selected {
         keep[idx] = true;
     }
-    deduped
+    Ok(deduped
         .into_iter()
         .zip(keep)
         .filter_map(|(c, k)| k.then_some(c))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -119,17 +147,19 @@ mod tests {
         let b = cand(0, wave(0.02, 24), 3); // nearly identical shape
         let c = cand(1, wave(1.5, 24), 5); // different phase
         let kept = remove_similar(vec![a, b, c], 0.3, true);
-        assert_eq!(kept.len(), 2, "{:?}", kept.iter().map(|k| k.frequency).collect::<Vec<_>>());
+        assert_eq!(
+            kept.len(),
+            2,
+            "{:?}",
+            kept.iter().map(|k| k.frequency).collect::<Vec<_>>()
+        );
         assert_eq!(kept[0].frequency, 10, "most frequent survives");
         assert!(kept.iter().any(|k| k.frequency == 5));
     }
 
     #[test]
     fn zero_tau_keeps_everything() {
-        let cands = vec![
-            cand(0, wave(0.0, 24), 4),
-            cand(0, wave(0.001, 24), 3),
-        ];
+        let cands = vec![cand(0, wave(0.0, 24), 4), cand(0, wave(0.001, 24), 3)];
         let kept = remove_similar(cands, 0.0, true);
         assert_eq!(kept.len(), 2);
     }
@@ -160,7 +190,13 @@ mod tests {
             cand(1, down.clone(), 6),
             cand(0, vec![0.0; 16], 2), // flat, matches everything equally
         ];
-        let selected = select_representative(cands, &[0.1, 0.2, 0.3], &train, &labels, &RpmConfig::default());
+        let selected = select_representative(
+            cands,
+            &[0.1, 0.2, 0.3],
+            &train,
+            &labels,
+            &RpmConfig::default(),
+        );
         assert!(!selected.is_empty());
         // The flat candidate must not be the only survivor.
         assert!(
@@ -171,8 +207,7 @@ mod tests {
 
     #[test]
     fn empty_candidates_pass_through() {
-        let selected =
-            select_representative(Vec::new(), &[], &[], &[], &RpmConfig::default());
+        let selected = select_representative(Vec::new(), &[], &[], &[], &RpmConfig::default());
         assert!(selected.is_empty());
     }
 
@@ -181,13 +216,8 @@ mod tests {
         let c = cand(0, wave(0.0, 16), 4);
         let train = vec![vec![0.0; 32]];
         let labels = vec![0];
-        let selected = select_representative(
-            vec![c],
-            &[0.5],
-            &train,
-            &labels,
-            &RpmConfig::default(),
-        );
+        let selected =
+            select_representative(vec![c], &[0.5], &train, &labels, &RpmConfig::default());
         assert_eq!(selected.len(), 1);
     }
 }

@@ -1,0 +1,247 @@
+//! The shared training engine: a scoped work-stealing thread pool used by
+//! every parallel stage of RPM training — per-class parameter search,
+//! grid/DIRECT evaluations, validation splits, candidate mining, and
+//! batch transforms.
+//!
+//! Design constraints (DESIGN.md §5, engineering guards):
+//!
+//! * **Bit-identical results.** Jobs are pure functions of their index;
+//!   results are merged *by index*, never by completion order, so a run
+//!   with `n` workers produces exactly the serial output. Reductions over
+//!   engine output happen in index order in the callers.
+//! * **No panicking joins.** A worker panic is caught and surfaced as an
+//!   [`EngineError`] instead of poisoning the process (the seed code
+//!   `expect`ed on crossbeam joins; that path is gone).
+//! * **Std-only.** Workers are `std::thread::scope` threads pulling job
+//!   indices from a shared atomic counter — dynamic (work-stealing-like)
+//!   scheduling without any external dependency, because the build
+//!   environment is offline.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Failure inside an engine worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// A job panicked; the payload message is preserved.
+    WorkerPanicked(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::WorkerPanicked(msg) => write!(f, "engine worker panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Handle configuring how much parallelism a training stage may use.
+///
+/// The engine is a *policy*, not a persistent pool: each [`Engine::run`]
+/// call spawns scoped threads for its own job set and joins them before
+/// returning, so borrowed data flows into jobs freely. An engine with
+/// `n_threads <= 1` executes jobs inline (and is what nested stages
+/// receive, so parallelism is spent once, at the outermost stage that
+/// fans out).
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    n_threads: usize,
+}
+
+impl Engine {
+    /// An engine using `n_threads` workers; `0` means one worker per
+    /// available CPU.
+    pub fn new(n_threads: usize) -> Self {
+        let n = if n_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            n_threads
+        };
+        Self { n_threads: n }
+    }
+
+    /// The single-worker engine: jobs run inline on the caller's thread.
+    pub fn serial() -> Self {
+        Self { n_threads: 1 }
+    }
+
+    /// Number of workers this engine spends.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Whether [`Engine::run`] will spawn threads.
+    pub fn is_parallel(&self) -> bool {
+        self.n_threads > 1
+    }
+
+    /// Executes `job(0..n_jobs)` and returns the results in index order.
+    ///
+    /// With one worker (or fewer than two jobs) everything runs inline;
+    /// otherwise `min(n_threads, n_jobs)` scoped workers pull indices
+    /// from a shared counter. Either way a panicking job yields
+    /// `Err(EngineError::WorkerPanicked)` and the remaining jobs are
+    /// abandoned.
+    pub fn run<T, F>(&self, n_jobs: usize, job: F) -> Result<Vec<T>, EngineError>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.n_threads <= 1 || n_jobs < 2 {
+            let mut out = Vec::with_capacity(n_jobs);
+            for i in 0..n_jobs {
+                out.push(catch_unwind(AssertUnwindSafe(|| job(i))).map_err(panic_error)?);
+            }
+            return Ok(out);
+        }
+
+        let n_workers = self.n_threads.min(n_jobs);
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
+        let failure: Mutex<Option<EngineError>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for _ in 0..n_workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    if failure.lock().is_ok_and(|f| f.is_some()) {
+                        break; // a sibling already failed; stop early
+                    }
+                    match catch_unwind(AssertUnwindSafe(|| job(i))) {
+                        Ok(v) => {
+                            if let Ok(mut slot) = slots[i].lock() {
+                                *slot = Some(v);
+                            }
+                        }
+                        Err(p) => {
+                            if let Ok(mut f) = failure.lock() {
+                                f.get_or_insert(panic_error(p));
+                            }
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+
+        if let Ok(mut f) = failure.lock() {
+            if let Some(err) = f.take() {
+                return Err(err);
+            }
+        }
+        let mut out = Vec::with_capacity(n_jobs);
+        for slot in slots {
+            match slot.into_inner() {
+                Ok(Some(v)) => out.push(v),
+                // Unreachable: every index below n_jobs is claimed by
+                // exactly one worker and filled unless a failure was
+                // recorded above.
+                _ => {
+                    return Err(EngineError::WorkerPanicked(
+                        "worker exited without producing a result".into(),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// [`Engine::run`] over a slice: `job(index, &items[index])`.
+    pub fn map<I, T, F>(&self, items: &[I], job: F) -> Result<Vec<T>, EngineError>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(usize, &I) -> T + Sync,
+    {
+        self.run(items.len(), |i| job(i, &items[i]))
+    }
+}
+
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> EngineError {
+    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    };
+    EngineError::WorkerPanicked(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        for threads in [1usize, 2, 4, 16] {
+            let engine = Engine::new(threads);
+            let out = engine.run(100, |i| i * i).unwrap();
+            assert_eq!(
+                out,
+                (0..100).map(|i| i * i).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let engine = Engine::new(0);
+        assert!(engine.n_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_job_set_is_fine() {
+        let out: Vec<usize> = Engine::new(4).run(0, |i| i).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_passes_items() {
+        let items = vec!["a", "bb", "ccc"];
+        let out = Engine::new(2).map(&items, |i, s| (i, s.len())).unwrap();
+        assert_eq!(out, vec![(0, 1), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn panics_become_errors_serial() {
+        let err = Engine::serial()
+            .run(3, |i| if i == 1 { panic!("boom {i}") } else { i })
+            .unwrap_err();
+        assert_eq!(err, EngineError::WorkerPanicked("boom 1".into()));
+    }
+
+    #[test]
+    fn panics_become_errors_parallel() {
+        let err = Engine::new(4)
+            .run(64, |i| {
+                if i == 40 {
+                    panic!("kaput");
+                }
+                i
+            })
+            .unwrap_err();
+        assert_eq!(err, EngineError::WorkerPanicked("kaput".into()));
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_float_reduction() {
+        // The engine itself never reduces; this guards the contract that
+        // index-ordered merging keeps downstream float folds identical.
+        let serial: Vec<f64> = Engine::serial().run(37, |i| (i as f64).sqrt()).unwrap();
+        let parallel = Engine::new(8).run(37, |i| (i as f64).sqrt()).unwrap();
+        assert_eq!(serial, parallel);
+        let s1: f64 = serial.iter().sum();
+        let s2: f64 = parallel.iter().sum();
+        assert_eq!(s1.to_bits(), s2.to_bits());
+    }
+}

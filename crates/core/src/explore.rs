@@ -12,6 +12,7 @@
 //!   with the lowest rule coverage (the GrammarViz discord heuristic —
 //!   points no rule bothers to describe repeat the least).
 
+use crate::engine::{Engine, EngineError};
 use rpm_grammar::Sequitur;
 use rpm_sax::{discretize, SaxConfig};
 
@@ -70,11 +71,36 @@ pub fn discover_motifs(series: &[f64], sax: &SaxConfig) -> Vec<Motif> {
                     (start, end)
                 })
                 .collect();
-            Motif { occurrences, rule_words: rule.expansion.len() }
+            Motif {
+                occurrences,
+                rule_words: rule.expansion.len(),
+            }
         })
         .collect();
     motifs.sort_by_key(|m| std::cmp::Reverse(m.count()));
     motifs
+}
+
+/// [`discover_motifs`] over a batch of series on `n_threads` engine
+/// workers (`0` = one per CPU). Results are index-aligned with the input
+/// and identical to calling [`discover_motifs`] serially per series.
+pub fn discover_motifs_batch(
+    series: &[Vec<f64>],
+    sax: &SaxConfig,
+    n_threads: usize,
+) -> Result<Vec<Vec<Motif>>, EngineError> {
+    Engine::new(n_threads).map(series, |_, s| discover_motifs(s, sax))
+}
+
+/// [`find_discords`] over a batch of series on `n_threads` engine
+/// workers (`0` = one per CPU). Results are index-aligned with the input.
+pub fn find_discords_batch(
+    series: &[Vec<f64>],
+    sax: &SaxConfig,
+    n: usize,
+    n_threads: usize,
+) -> Result<Vec<Vec<Discord>>, EngineError> {
+    Engine::new(n_threads).map(series, |_, s| find_discords(s, sax, n))
 }
 
 /// Per-point rule coverage: how many motif occurrence intervals contain
@@ -117,7 +143,11 @@ pub fn find_discords(series: &[f64], sax: &SaxConfig, n: usize) -> Vec<Discord> 
         if out.iter().any(|d| p.abs_diff(d.position) < w) {
             continue; // trivial match of an already-reported discord
         }
-        out.push(Discord { position: p, length: w, coverage: sums[p] / w as f64 });
+        out.push(Discord {
+            position: p,
+            length: w,
+            coverage: sums[p] / w as f64,
+        });
     }
     out
 }
@@ -149,7 +179,11 @@ mod tests {
         let s: Vec<f64> = (0..300).map(|i| (i as f64 * 0.4).sin()).collect();
         let motifs = discover_motifs(&s, &sax());
         assert!(!motifs.is_empty());
-        assert!(motifs[0].count() >= 3, "top motif count {}", motifs[0].count());
+        assert!(
+            motifs[0].count() >= 3,
+            "top motif count {}",
+            motifs[0].count()
+        );
         // Sorted by descending count.
         for w in motifs.windows(2) {
             assert!(w[0].count() >= w[1].count());
@@ -171,10 +205,8 @@ mod tests {
     fn coverage_is_low_at_the_anomaly() {
         let s = periodic_with_anomaly(400, 200);
         let cover = rule_coverage(&s, &sax());
-        let anomaly_cov: f64 =
-            cover[200..220].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
-        let normal_cov: f64 =
-            cover[60..80].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
+        let anomaly_cov: f64 = cover[200..220].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
+        let normal_cov: f64 = cover[60..80].iter().map(|&c| c as f64).sum::<f64>() / 20.0;
         assert!(
             anomaly_cov < normal_cov,
             "anomaly {anomaly_cov} vs normal {normal_cov}"
@@ -216,5 +248,24 @@ mod tests {
     fn zero_discords_requested() {
         let s = periodic_with_anomaly(200, 100);
         assert!(find_discords(&s, &sax(), 0).is_empty());
+    }
+
+    #[test]
+    fn batch_discovery_matches_serial() {
+        let batch: Vec<Vec<f64>> = (0..5)
+            .map(|k| periodic_with_anomaly(300, 60 + 40 * k))
+            .collect();
+        let motifs = discover_motifs_batch(&batch, &sax(), 4).unwrap();
+        let discords = find_discords_batch(&batch, &sax(), 2, 4).unwrap();
+        assert_eq!(motifs.len(), batch.len());
+        for (i, s) in batch.iter().enumerate() {
+            let serial_motifs = discover_motifs(s, &sax());
+            assert_eq!(motifs[i].len(), serial_motifs.len());
+            for (a, b) in motifs[i].iter().zip(&serial_motifs) {
+                assert_eq!(a.occurrences, b.occurrences);
+                assert_eq!(a.rule_words, b.rule_words);
+            }
+            assert_eq!(discords[i], find_discords(s, &sax(), 2));
+        }
     }
 }

@@ -31,20 +31,29 @@
 //! let predictions: Vec<usize> = test.series.iter().map(|s| model.predict(s)).collect();
 //! ```
 
+pub mod cache;
 pub mod candidates;
 pub mod config;
 pub mod distinct;
+pub mod engine;
 pub mod explore;
 pub mod model;
 pub mod params;
 pub mod persist;
 pub mod transform;
 
+pub use cache::{CacheStats, SaxCache, SetId};
 pub use candidates::{find_candidates_for_class, Candidate, CandidateSet};
-pub use config::{GrammarAlgorithm, ParamSearch, RpmConfig};
+pub use config::{ConfigError, GrammarAlgorithm, ParamSearch, RpmConfig, RpmConfigBuilder};
 pub use distinct::{compute_tau, remove_similar, select_representative};
-pub use explore::{discover_motifs, find_discords, rule_coverage, Discord, Motif};
+pub use engine::{Engine, EngineError};
+pub use explore::{
+    discover_motifs, discover_motifs_batch, find_discords, find_discords_batch, rule_coverage,
+    Discord, Motif,
+};
 pub use model::{Pattern, RpmClassifier, TrainError};
 pub use params::{default_bounds, search_parameters, SearchOutcome};
 pub use persist::PersistError;
-pub use transform::{pattern_distance, transform_series, transform_set, transform_set_parallel};
+pub use transform::{
+    pattern_distance, transform_series, transform_set, transform_set_engine, transform_set_parallel,
+};

@@ -1,10 +1,12 @@
 //! The RPM classifier (training stage §3.2, classification stage §3.1).
 
-use crate::candidates::{find_candidates_for_class, Candidate};
+use crate::cache::{Ctx, SaxCache};
+use crate::candidates::{find_candidates_for_class_ctx, Candidate, CandidateSet};
 use crate::config::{ParamSearch, RpmConfig};
-use crate::distinct::select_representative;
-use crate::params::search_parameters;
-use crate::transform::{transform_series, transform_set};
+use crate::distinct::select_representative_ctx;
+use crate::engine::{Engine, EngineError};
+use crate::params::search_parameters_ctx;
+use crate::transform::{transform_series, transform_set_ctx, transform_set_parallel};
 use rpm_ml::{LinearSvm, SvmParams};
 use rpm_sax::SaxConfig;
 use rpm_ts::{Dataset, Label};
@@ -25,6 +27,9 @@ pub enum TrainError {
     /// No class produced any candidate under the chosen SAX parameters
     /// (window too long, γ too strict, or nothing repeats).
     NoCandidates,
+    /// A training-engine worker failed (a panic inside a parallel stage,
+    /// surfaced as an error instead of aborting the process).
+    Engine(EngineError),
 }
 
 impl fmt::Display for TrainError {
@@ -33,13 +38,23 @@ impl fmt::Display for TrainError {
             Self::EmptyTrainingSet => write!(f, "training set is empty"),
             Self::TooFewClasses => write!(f, "training data holds fewer than two classes"),
             Self::NoCandidates => {
-                write!(f, "no candidate patterns found; relax gamma or the SAX parameters")
+                write!(
+                    f,
+                    "no candidate patterns found; relax gamma or the SAX parameters"
+                )
             }
+            Self::Engine(e) => write!(f, "training failed: {e}"),
         }
     }
 }
 
 impl std::error::Error for TrainError {}
+
+impl From<EngineError> for TrainError {
+    fn from(e: EngineError) -> Self {
+        Self::Engine(e)
+    }
+}
 
 /// A trained RPM model: the representative patterns plus the SVM over the
 /// transformed feature space.
@@ -75,7 +90,9 @@ impl RpmClassifier {
                 classes.iter().copied().zip(saxes.iter().copied()).collect()
             }
             ParamSearch::Direct { .. } | ParamSearch::Grid { .. } => {
-                search_parameters(train, config).per_class
+                let cache = SaxCache::new(config.cache);
+                let ctx = Ctx::new(Engine::new(config.n_threads), &cache);
+                search_parameters_ctx(train, config, &ctx)?.per_class
             }
         };
         Self::train_with_configs(train, config, &per_class_sax)
@@ -83,11 +100,27 @@ impl RpmClassifier {
 
     /// Trains with explicit per-class SAX configurations (the §4.3 path
     /// after parameter learning). Exposed for the parameter-search
-    /// objective and the benchmarks.
+    /// objective and the benchmarks. Runs on `config.n_threads` workers
+    /// with the memoization cache from `config.cache`; results are
+    /// identical to the serial path for any thread count.
     pub fn train_with_configs(
         train: &Dataset,
         config: &RpmConfig,
         per_class_sax: &BTreeMap<Label, SaxConfig>,
+    ) -> Result<Self, TrainError> {
+        let cache = SaxCache::new(config.cache);
+        let ctx = Ctx::new(Engine::new(config.n_threads), &cache);
+        Self::train_with_configs_ctx(train, config, per_class_sax, &ctx)
+    }
+
+    /// [`RpmClassifier::train_with_configs`] inside an existing training
+    /// context — the parameter search trains fold models through this so
+    /// every stage shares one engine and one cache.
+    pub(crate) fn train_with_configs_ctx(
+        train: &Dataset,
+        config: &RpmConfig,
+        per_class_sax: &BTreeMap<Label, SaxConfig>,
+        ctx: &Ctx<'_>,
     ) -> Result<Self, TrainError> {
         if train.is_empty() {
             return Err(TrainError::EmptyTrainingSet);
@@ -96,15 +129,33 @@ impl RpmClassifier {
             return Err(TrainError::TooFewClasses);
         }
 
-        // --- Algorithm 1 per class.
+        // --- Algorithm 1 per class, fanned out across the engine's
+        //     workers. The SAX lookup happens before the fan-out so a
+        //     missing class still panics on the caller's thread.
+        let views = train.by_class();
+        let saxes: Vec<SaxConfig> = views
+            .iter()
+            .map(|view| {
+                per_class_sax
+                    .get(&view.label)
+                    .copied()
+                    .unwrap_or_else(|| panic!("missing SaxConfig for class {}", view.label))
+            })
+            .collect();
+        let sets: Vec<CandidateSet> = ctx.engine.map(&views, |i, view| {
+            find_candidates_for_class_ctx(
+                &view.members,
+                view.label,
+                &saxes[i],
+                config,
+                &ctx.serial(),
+            )
+        })?;
+        // Merge in ascending-label order (`by_class` order), exactly as
+        // the serial per-class loop did.
         let mut all_candidates: Vec<Candidate> = Vec::new();
         let mut tau_pool: Vec<f64> = Vec::new();
-        for view in train.by_class() {
-            let sax = per_class_sax
-                .get(&view.label)
-                .copied()
-                .unwrap_or_else(|| panic!("missing SaxConfig for class {}", view.label));
-            let set = find_candidates_for_class(&view.members, view.label, &sax, config);
+        for set in sets {
             all_candidates.extend(set.candidates);
             tau_pool.extend(set.intra_cluster_distances);
         }
@@ -113,13 +164,14 @@ impl RpmClassifier {
         }
 
         // --- Algorithm 2 over the pooled candidates.
-        let mut selected = select_representative(
+        let mut selected = select_representative_ctx(
             all_candidates.clone(),
             &tau_pool,
             &train.series,
             &train.labels,
             config,
-        );
+            ctx,
+        )?;
         if selected.is_empty() {
             // CFS can in principle reject everything on degenerate data;
             // fall back to the deduplicated pool so training still works.
@@ -128,9 +180,17 @@ impl RpmClassifier {
 
         // --- SVM over the transformed training set (training data is
         //     clean, so the plain transform is used here even when
-        //     rotation-invariant classification is requested; §6.1).
+        //     rotation-invariant classification is requested; §6.1). The
+        //     selected patterns' columns were cached by the CFS transform
+        //     above, so this pass is mostly cache hits.
         let pattern_values: Vec<Vec<f64>> = selected.iter().map(|c| c.values.clone()).collect();
-        let rows = transform_set(&train.series, &pattern_values, false, config.early_abandon);
+        let rows = transform_set_ctx(
+            &train.series,
+            &pattern_values,
+            false,
+            config.early_abandon,
+            ctx,
+        )?;
         let svm = LinearSvm::train(&rows, &train.labels, &config.svm);
 
         Ok(Self {
@@ -165,16 +225,21 @@ impl RpmClassifier {
 
     /// Predicts a batch using `n_threads` workers for the pattern-distance
     /// transform (the classification bottleneck). Identical results to
-    /// [`RpmClassifier::predict_batch`].
-    pub fn predict_batch_parallel(&self, series: &[Vec<f64>], n_threads: usize) -> Vec<Label> {
-        let rows = crate::transform::transform_set_parallel(
+    /// [`RpmClassifier::predict_batch`]; a panic inside a worker surfaces
+    /// as an [`EngineError`] instead of aborting the process.
+    pub fn predict_batch_parallel(
+        &self,
+        series: &[Vec<f64>],
+        n_threads: usize,
+    ) -> Result<Vec<Label>, EngineError> {
+        let rows = transform_set_parallel(
             series,
             &self.pattern_values,
             self.rotation_invariant,
             self.early_abandon,
             n_threads,
-        );
-        rows.iter().map(|r| self.svm.predict(r)).collect()
+        )?;
+        Ok(rows.iter().map(|r| self.svm.predict(r)).collect())
     }
 
     /// Classifies every `hop`-strided window of a long streaming series,
@@ -226,6 +291,14 @@ impl RpmClassifier {
     /// The SVM hyper-parameters type, re-exported for convenience.
     pub fn svm_params_type() -> SvmParams {
         SvmParams::default()
+    }
+}
+
+/// RPM through the shared [`rpm_ts::Classifier`] interface, so harnesses
+/// can drive it and the baselines through one trait object.
+impl rpm_ts::Classifier for RpmClassifier {
+    fn predict(&self, series: &[f64]) -> Label {
+        RpmClassifier::predict(self, series)
     }
 }
 
@@ -349,7 +422,10 @@ mod tests {
     #[test]
     fn rotation_invariant_flag_propagates() {
         let train = two_class_dataset(12, 128, 7);
-        let cfg = RpmConfig { rotation_invariant: true, ..fixed_config() };
+        let cfg = RpmConfig {
+            rotation_invariant: true,
+            ..fixed_config()
+        };
         let model = RpmClassifier::train(&train, &cfg).unwrap();
         assert!(model.is_rotation_invariant());
     }
@@ -361,9 +437,7 @@ mod tests {
         // A stream that is class 0 for its first half and class 1 after.
         let probe = two_class_dataset(1, 128, 32);
         let mut stream = probe.series[probe.labels.iter().position(|&l| l == 0).unwrap()].clone();
-        stream.extend_from_slice(
-            &probe.series[probe.labels.iter().position(|&l| l == 1).unwrap()],
-        );
+        stream.extend_from_slice(&probe.series[probe.labels.iter().position(|&l| l == 1).unwrap()]);
         let verdicts = model.classify_stream(&stream, 128, 64);
         assert_eq!(verdicts.len(), 3); // starts 0, 64, 128
         assert_eq!(verdicts[0], (0, 0));
@@ -382,12 +456,44 @@ mod tests {
     }
 
     #[test]
+    fn parallel_training_matches_serial() {
+        let train = two_class_dataset(10, 128, 40);
+        let test = two_class_dataset(6, 128, 41);
+        let serial = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let parallel_cfg = RpmConfig {
+            n_threads: 4,
+            ..fixed_config()
+        };
+        let parallel = RpmClassifier::train(&train, &parallel_cfg).unwrap();
+        assert_eq!(
+            serial.predict_batch(&test.series),
+            parallel.predict_batch(&test.series)
+        );
+        assert_eq!(serial.patterns().len(), parallel.patterns().len());
+        let batched = parallel.predict_batch_parallel(&test.series, 4).unwrap();
+        assert_eq!(batched, serial.predict_batch(&test.series));
+    }
+
+    #[test]
+    fn classifier_trait_dispatches_to_rpm() {
+        let train = two_class_dataset(10, 128, 42);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let as_trait: &dyn rpm_ts::Classifier = &model;
+        let direct = model.predict_batch(&train.series);
+        let via_trait = as_trait.predict_batch(&train.series);
+        assert_eq!(direct, via_trait);
+    }
+
+    #[test]
     fn training_is_deterministic() {
         let train = two_class_dataset(10, 128, 8);
         let m1 = RpmClassifier::train(&train, &fixed_config()).unwrap();
         let m2 = RpmClassifier::train(&train, &fixed_config()).unwrap();
         let test = two_class_dataset(5, 128, 9);
-        assert_eq!(m1.predict_batch(&test.series), m2.predict_batch(&test.series));
+        assert_eq!(
+            m1.predict_batch(&test.series),
+            m2.predict_batch(&test.series)
+        );
         assert_eq!(m1.patterns().len(), m2.patterns().len());
     }
 }

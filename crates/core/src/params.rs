@@ -15,14 +15,28 @@
 //! feature-selection pass (§4.3 — that merge lives in
 //! `RpmClassifier::train_with_configs`). Shared mode optimizes one
 //! combination against the macro F-measure at a fraction of the cost.
+//!
+//! Every mode runs on the shared training engine with deterministic
+//! merges, so `n_threads > 1` returns bit-identical outcomes to serial:
+//! grid points evaluate in parallel but reduce serially in enumeration
+//! order; per-class DIRECT runs are independent and merge in class order;
+//! shared DIRECT batches its proposals inside the optimizer. Combination
+//! scores are memoized in the run's [`SaxCache`], so overlapping DIRECT
+//! probes pay for each distinct combination once.
 
+use crate::cache::{Ctx, SaxCache, SetId};
 use crate::config::{ParamSearch, RpmConfig};
-use crate::model::RpmClassifier;
+use crate::engine::Engine;
+use crate::model::{RpmClassifier, TrainError};
 use rpm_ml::{macro_f1, per_class_f1, shuffled_stratified_split};
 use rpm_opt::{direct_minimize_integer, DirectParams};
 use rpm_sax::SaxConfig;
 use rpm_ts::{Dataset, Label};
 use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One combination's validation score: per-class F-measures plus macro.
+type CombinationScore = (BTreeMap<Label, f64>, f64);
 
 /// Result of the parameter search.
 #[derive(Clone, Debug)]
@@ -54,73 +68,141 @@ fn sax_from_point(p: &[i64]) -> SaxConfig {
 }
 
 /// Scores one parameter combination: mean F-measure over the validation
-/// splits, per class (map) plus macro. Returns `None` when no split could
-/// train (no candidates / degenerate split).
+/// splits, per class (map) plus macro. Returns `Ok(None)` when no split
+/// could train (no candidates / degenerate split); `Err` when a fold
+/// worker failed. Memoized per [`SaxConfig`] in the run's cache.
 fn evaluate_combination(
     train: &Dataset,
     config: &RpmConfig,
     sax: &SaxConfig,
-) -> Option<(BTreeMap<Label, f64>, f64)> {
-    let classes = train.classes();
-    let mut f_sums: BTreeMap<Label, f64> = classes.iter().map(|&c| (c, 0.0)).collect();
-    let mut macro_sum = 0.0;
-    let mut scored_splits = 0usize;
+    ctx: &Ctx<'_>,
+) -> Result<Option<CombinationScore>, TrainError> {
+    let mut failure: Option<TrainError> = None;
+    let value = ctx.cache.eval(sax, || {
+        match evaluate_combination_uncached(train, config, sax, ctx) {
+            Ok(v) => v,
+            Err(e) => {
+                failure = Some(e);
+                None
+            }
+        }
+    });
+    match failure {
+        Some(e) => Err(e),
+        None => Ok(value),
+    }
+}
 
-    for split_idx in 0..config.n_validation_splits.max(1) {
-        let (tr_idx, va_idx) = shuffled_stratified_split(
-            &train.labels,
-            config.validation_train_fraction,
-            config.seed ^ (split_idx as u64).wrapping_mul(0x9E3779B97F4A7C15),
-        );
+fn evaluate_combination_uncached(
+    train: &Dataset,
+    config: &RpmConfig,
+    sax: &SaxConfig,
+    ctx: &Ctx<'_>,
+) -> Result<Option<CombinationScore>, TrainError> {
+    let classes = train.classes();
+    let n_splits = config.n_validation_splits.max(1);
+
+    // Folds fan out on the engine (serial in practice when a grid point /
+    // DIRECT class already spent the budget); the reduction below walks
+    // them in split order, so the float sums match the serial loop.
+    let folds = ctx.engine.run(n_splits, |split_idx| {
+        let split_seed = config.seed ^ (split_idx as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        let (tr_idx, va_idx) =
+            shuffled_stratified_split(&train.labels, config.validation_train_fraction, split_seed);
         if va_idx.is_empty() {
-            continue;
+            return None;
         }
         let sub_train = train.subset(&tr_idx);
         let validate = train.subset(&va_idx);
         if sub_train.n_classes() < 2 {
-            continue;
+            return None;
         }
         let per_class_sax: BTreeMap<Label, SaxConfig> =
             sub_train.classes().iter().map(|&c| (c, *sax)).collect();
-        // Avoid nested parameter search: train with these explicit configs.
-        let model = match RpmClassifier::train_with_configs(&sub_train, config, &per_class_sax) {
+        // Avoid nested parameter search: train with these explicit
+        // configs. The fold context is keyed by the split's identity so
+        // cached artifacts never leak across different subsets.
+        let fold_ctx = ctx.serial().with_set(SetId::Split(split_seed));
+        let model = match RpmClassifier::train_with_configs_ctx(
+            &sub_train,
+            config,
+            &per_class_sax,
+            &fold_ctx,
+        ) {
             Ok(m) => m,
-            Err(_) => continue, // pruning: abandon this combination's split
+            Err(_) => return None, // pruning: abandon this combination's split
         };
         let preds = model.predict_batch(&validate.series);
-        let f1s = per_class_f1(&validate.labels, &preds);
-        for (&c, f) in &f1s {
+        Some((
+            per_class_f1(&validate.labels, &preds),
+            macro_f1(&validate.labels, &preds),
+        ))
+    })?;
+
+    let mut f_sums: BTreeMap<Label, f64> = classes.iter().map(|&c| (c, 0.0)).collect();
+    let mut macro_sum = 0.0;
+    let mut scored_splits = 0usize;
+    for (f1s, macro_f) in folds.into_iter().flatten() {
+        for (c, f) in f1s {
             *f_sums.entry(c).or_insert(0.0) += f;
         }
-        macro_sum += macro_f1(&validate.labels, &preds);
+        macro_sum += macro_f;
         scored_splits += 1;
     }
     if scored_splits == 0 {
-        return None;
+        return Ok(None);
     }
     let n = scored_splits as f64;
     for f in f_sums.values_mut() {
         *f /= n;
     }
-    Some((f_sums, macro_sum / n))
+    Ok(Some((f_sums, macro_sum / n)))
 }
 
-/// Runs the configured search and returns per-class configurations.
+/// Runs the configured search and returns per-class configurations,
+/// using `config.n_threads` workers and the `config.cache` memoization
+/// policy. Results are identical for any thread count.
 ///
 /// # Panics
 /// Panics when called with a `Fixed`/`PerClassFixed` strategy (those need
 /// no search) — `RpmClassifier::train` never does.
-pub fn search_parameters(train: &Dataset, config: &RpmConfig) -> SearchOutcome {
+pub fn search_parameters(train: &Dataset, config: &RpmConfig) -> Result<SearchOutcome, TrainError> {
+    let cache = SaxCache::new(config.cache);
+    let ctx = Ctx::new(Engine::new(config.n_threads), &cache);
+    search_parameters_ctx(train, config, &ctx)
+}
+
+/// [`search_parameters`] inside an existing training context.
+pub(crate) fn search_parameters_ctx(
+    train: &Dataset,
+    config: &RpmConfig,
+    ctx: &Ctx<'_>,
+) -> Result<SearchOutcome, TrainError> {
     match &config.param_search {
         ParamSearch::Fixed(_) | ParamSearch::PerClassFixed(_) => {
             panic!("search_parameters called with a fixed strategy")
         }
-        ParamSearch::Direct { max_evals, per_class } => {
-            direct_search(train, config, *max_evals, *per_class)
-        }
-        ParamSearch::Grid { windows, paas, alphas, per_class } => {
-            grid_search(train, config, windows, paas, alphas, *per_class)
-        }
+        ParamSearch::Direct {
+            max_evals,
+            per_class,
+        } => direct_search(train, config, *max_evals, *per_class, ctx),
+        ParamSearch::Grid {
+            windows,
+            paas,
+            alphas,
+            per_class,
+        } => grid_search(train, config, windows, paas, alphas, *per_class, ctx),
+    }
+}
+
+fn direct_params_for(max_evals: usize, n_threads: usize) -> DirectParams {
+    DirectParams {
+        // Raw proposals; distinct integer points are cached, and roughly
+        // half the proposals round onto already-seen combinations.
+        max_evals: max_evals * 2,
+        max_iters: 40,
+        eps: 1e-4,
+        n_threads,
     }
 }
 
@@ -129,54 +211,88 @@ fn direct_search(
     config: &RpmConfig,
     max_evals: usize,
     per_class: bool,
-) -> SearchOutcome {
+    ctx: &Ctx<'_>,
+) -> Result<SearchOutcome, TrainError> {
     let (lo, hi) = default_bounds(train);
     let classes = train.classes();
-    let direct_params = DirectParams {
-        // Raw proposals; distinct integer points are cached, and roughly
-        // half the proposals round onto already-seen combinations.
-        max_evals: max_evals * 2,
-        max_iters: 40,
-        eps: 1e-4,
-    };
-    let mut evaluations = 0usize;
-    let mut per_class_out: BTreeMap<Label, SaxConfig> = BTreeMap::new();
 
     if per_class {
-        for &target in &classes {
+        // One independent DIRECT run per class: classes fan out across
+        // the engine's workers, each run serial inside. The objective
+        // returns `f64`, so a fold failure is parked in a slot and
+        // re-raised once the optimizer returns.
+        let runs = ctx.engine.map(&classes, |_, &target| {
+            let sub = ctx.serial();
+            let failure: Mutex<Option<TrainError>> = Mutex::new(None);
             let (point, _f, n) = direct_minimize_integer(
                 |p| {
                     let sax = sax_from_point(p);
-                    match evaluate_combination(train, config, &sax) {
-                        Some((per_cls, _)) => 1.0 - per_cls.get(&target).copied().unwrap_or(0.0),
-                        None => 1.0,
+                    match evaluate_combination(train, config, &sax, &sub) {
+                        Ok(Some((per_cls, _))) => {
+                            1.0 - per_cls.get(&target).copied().unwrap_or(0.0)
+                        }
+                        Ok(None) => 1.0,
+                        Err(e) => {
+                            if let Ok(mut slot) = failure.lock() {
+                                slot.get_or_insert(e);
+                            }
+                            1.0
+                        }
                     }
                 },
                 &lo,
                 &hi,
-                &direct_params,
+                &direct_params_for(max_evals, 1),
             );
+            match failure.into_inner().ok().flatten() {
+                Some(e) => Err(e),
+                None => Ok((sax_from_point(&point), n)),
+            }
+        })?;
+        // Merge in ascending class order, exactly like the serial loop.
+        let mut evaluations = 0usize;
+        let mut per_class_out: BTreeMap<Label, SaxConfig> = BTreeMap::new();
+        for (&target, run) in classes.iter().zip(runs) {
+            let (sax, n) = run?;
             evaluations += n;
-            per_class_out.insert(target, sax_from_point(&point));
+            per_class_out.insert(target, sax);
         }
+        Ok(SearchOutcome {
+            per_class: per_class_out,
+            evaluations,
+        })
     } else {
+        // One shared run: parallelism lives inside the optimizer, which
+        // batch-evaluates its proposals over the engine's worker count.
+        let fold_ctx = ctx.serial();
+        let failure: Mutex<Option<TrainError>> = Mutex::new(None);
         let (point, _f, n) = direct_minimize_integer(
             |p| {
                 let sax = sax_from_point(p);
-                match evaluate_combination(train, config, &sax) {
-                    Some((_, macro_f)) => 1.0 - macro_f,
-                    None => 1.0,
+                match evaluate_combination(train, config, &sax, &fold_ctx) {
+                    Ok(Some((_, macro_f))) => 1.0 - macro_f,
+                    Ok(None) => 1.0,
+                    Err(e) => {
+                        if let Ok(mut slot) = failure.lock() {
+                            slot.get_or_insert(e);
+                        }
+                        1.0
+                    }
                 }
             },
             &lo,
             &hi,
-            &direct_params,
+            &direct_params_for(max_evals, ctx.engine.n_threads()),
         );
-        evaluations = n;
+        if let Some(e) = failure.into_inner().ok().flatten() {
+            return Err(e);
+        }
         let sax = sax_from_point(&point);
-        per_class_out = classes.iter().map(|&c| (c, sax)).collect();
+        Ok(SearchOutcome {
+            per_class: classes.iter().map(|&c| (c, sax)).collect(),
+            evaluations: n,
+        })
     }
-    SearchOutcome { per_class: per_class_out, evaluations }
 }
 
 fn grid_search(
@@ -186,43 +302,50 @@ fn grid_search(
     paas: &[usize],
     alphas: &[usize],
     per_class: bool,
-) -> SearchOutcome {
+    ctx: &Ctx<'_>,
+) -> Result<SearchOutcome, TrainError> {
     let classes = train.classes();
-    // best per class: (score, config)
-    let mut best: BTreeMap<Label, (f64, SaxConfig)> = BTreeMap::new();
-    let mut best_shared: (f64, Option<SaxConfig>) = (-1.0, None);
-    let mut evaluations = 0usize;
-
+    // Feasible grid points in enumeration order: window, then PAA, then
+    // alphabet — the order the serial nested loops visited.
+    let mut points: Vec<SaxConfig> = Vec::new();
     for &w in windows {
         for &p in paas {
             for &a in alphas {
                 if w < 2 || w > train.min_len() {
                     continue; // pruning: infeasible window
                 }
-                let sax = sax_from_point(&[w as i64, p as i64, a as i64]);
-                let Some((per_cls, macro_f)) = evaluate_combination(train, config, &sax)
-                else {
-                    continue;
-                };
-                evaluations += 1;
-                for (&c, &f) in &per_cls {
-                    let e = best.entry(c).or_insert((-1.0, sax));
-                    if f > e.0 {
-                        *e = (f, sax);
-                    }
-                }
-                if macro_f > best_shared.0 {
-                    best_shared = (macro_f, Some(sax));
-                }
+                points.push(sax_from_point(&[w as i64, p as i64, a as i64]));
             }
         }
     }
 
-    let fallback = SaxConfig::new(
-        (train.min_len() / 4).max(4),
-        4,
-        4,
-    );
+    // Every point evaluates in parallel; the reduction below is serial
+    // and walks enumeration order with strict `>` comparisons, so ties
+    // keep the earliest point — bit-identical to the serial search.
+    let scores = ctx.engine.map(&points, |_, sax| {
+        evaluate_combination(train, config, sax, &ctx.serial())
+    })?;
+
+    let mut best: BTreeMap<Label, (f64, SaxConfig)> = BTreeMap::new();
+    let mut best_shared: (f64, Option<SaxConfig>) = (-1.0, None);
+    let mut evaluations = 0usize;
+    for (sax, score) in points.iter().zip(scores) {
+        let Some((per_cls, macro_f)) = score? else {
+            continue;
+        };
+        evaluations += 1;
+        for (&c, &f) in &per_cls {
+            let e = best.entry(c).or_insert((-1.0, *sax));
+            if f > e.0 {
+                *e = (f, *sax);
+            }
+        }
+        if macro_f > best_shared.0 {
+            best_shared = (macro_f, Some(*sax));
+        }
+    }
+
+    let fallback = SaxConfig::new((train.min_len() / 4).max(4), 4, 4);
     let per_class_out: BTreeMap<Label, SaxConfig> = if per_class {
         classes
             .iter()
@@ -232,7 +355,10 @@ fn grid_search(
         let shared = best_shared.1.unwrap_or(fallback);
         classes.iter().map(|&c| (c, shared)).collect()
     };
-    SearchOutcome { per_class: per_class_out, evaluations }
+    Ok(SearchOutcome {
+        per_class: per_class_out,
+        evaluations,
+    })
 }
 
 #[cfg(test)]
@@ -247,9 +373,8 @@ mod tests {
         let mut d = Dataset::new("p", Vec::new(), Vec::new());
         for class in 0..2usize {
             for _ in 0..10 {
-                let mut s: Vec<f64> =
-                    (0..96).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
-                let at = rng.gen_range(0..96 - 20);
+                let mut s: Vec<f64> = (0..96).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let at = rng.gen_range(0usize..96 - 20);
                 for i in 0..20 {
                     let t = std::f64::consts::TAU * i as f64 / 20.0;
                     s[at + i] += 3.0 * if class == 0 { t.sin() } else { (2.0 * t).sin() };
@@ -258,6 +383,12 @@ mod tests {
             }
         }
         d
+    }
+
+    fn eval(d: &Dataset, cfg: &RpmConfig, sax: &SaxConfig) -> Option<(BTreeMap<Label, f64>, f64)> {
+        let cache = SaxCache::new(cfg.cache);
+        let ctx = Ctx::new(Engine::serial(), &cache);
+        evaluate_combination(d, cfg, sax, &ctx).unwrap()
     }
 
     #[test]
@@ -284,7 +415,7 @@ mod tests {
         let d = dataset(2);
         let cfg = RpmConfig::default();
         let sax = SaxConfig::new(20, 4, 4);
-        let (per_cls, macro_f) = evaluate_combination(&d, &cfg, &sax).expect("scorable");
+        let (per_cls, macro_f) = eval(&d, &cfg, &sax).expect("scorable");
         assert!(per_cls.len() == 2);
         for f in per_cls.values() {
             assert!((0.0..=1.0).contains(f));
@@ -297,21 +428,66 @@ mod tests {
         let d = dataset(3);
         let cfg = RpmConfig::default();
         let sax = SaxConfig::new(500, 4, 4);
-        assert!(evaluate_combination(&d, &cfg, &sax).is_none());
+        assert!(eval(&d, &cfg, &sax).is_none());
+    }
+
+    #[test]
+    fn evaluate_combination_is_memoized() {
+        let d = dataset(2);
+        let cfg = RpmConfig::default();
+        let sax = SaxConfig::new(20, 4, 4);
+        let cache = SaxCache::new(true);
+        let ctx = Ctx::new(Engine::serial(), &cache);
+        let first = evaluate_combination(&d, &cfg, &sax, &ctx).unwrap();
+        let evals_after_first = cache.stats();
+        let second = evaluate_combination(&d, &cfg, &sax, &ctx).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(
+            cache.stats().hits,
+            evals_after_first.hits + 1,
+            "second score answered from memory"
+        );
+    }
+
+    #[test]
+    fn parallel_folds_match_serial_scoring() {
+        let d = dataset(2);
+        let cfg = RpmConfig {
+            n_validation_splits: 3,
+            ..RpmConfig::default()
+        };
+        let sax = SaxConfig::new(20, 4, 4);
+        let serial = eval(&d, &cfg, &sax);
+        let cache = SaxCache::disabled();
+        let ctx = Ctx::new(Engine::new(4), &cache);
+        let parallel = evaluate_combination(&d, &cfg, &sax, &ctx).unwrap();
+        let (s, p) = (serial.expect("scorable"), parallel.expect("scorable"));
+        assert_eq!(s.0, p.0);
+        assert_eq!(
+            s.1.to_bits(),
+            p.1.to_bits(),
+            "fold reduction order preserved"
+        );
     }
 
     #[test]
     fn shared_direct_search_returns_uniform_configs() {
         let d = dataset(4);
         let cfg = RpmConfig {
-            param_search: ParamSearch::Direct { max_evals: 6, per_class: false },
+            param_search: ParamSearch::Direct {
+                max_evals: 6,
+                per_class: false,
+            },
             n_validation_splits: 1,
             ..RpmConfig::default()
         };
-        let out = search_parameters(&d, &cfg);
+        let out = search_parameters(&d, &cfg).unwrap();
         assert_eq!(out.per_class.len(), 2);
         let first = out.per_class[&0];
-        assert_eq!(out.per_class[&1], first, "shared mode: same config everywhere");
+        assert_eq!(
+            out.per_class[&1], first,
+            "shared mode: same config everywhere"
+        );
         assert!(out.evaluations >= 1);
     }
 
@@ -328,7 +504,7 @@ mod tests {
             n_validation_splits: 1,
             ..RpmConfig::default()
         };
-        let out = search_parameters(&d, &cfg);
+        let out = search_parameters(&d, &cfg).unwrap();
         assert_eq!(out.per_class.len(), 2);
         for s in out.per_class.values() {
             assert!(s.window == 16 || s.window == 24);
@@ -349,10 +525,60 @@ mod tests {
             n_validation_splits: 1,
             ..RpmConfig::default()
         };
-        let out = search_parameters(&d, &cfg);
+        let out = search_parameters(&d, &cfg).unwrap();
         assert_eq!(out.evaluations, 0);
         // Falls back to a sane default rather than panicking.
         assert!(out.per_class[&0].window <= 96);
+    }
+
+    #[test]
+    fn parallel_grid_search_matches_serial() {
+        let d = dataset(8);
+        let base = RpmConfig {
+            param_search: ParamSearch::Grid {
+                windows: vec![16, 24],
+                paas: vec![4],
+                alphas: vec![3, 4],
+                per_class: true,
+            },
+            n_validation_splits: 1,
+            ..RpmConfig::default()
+        };
+        let serial = search_parameters(&d, &base).unwrap();
+        let parallel = search_parameters(
+            &d,
+            &RpmConfig {
+                n_threads: 4,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.per_class, parallel.per_class);
+        assert_eq!(serial.evaluations, parallel.evaluations);
+    }
+
+    #[test]
+    fn parallel_direct_search_matches_serial() {
+        let d = dataset(9);
+        let base = RpmConfig {
+            param_search: ParamSearch::Direct {
+                max_evals: 4,
+                per_class: true,
+            },
+            n_validation_splits: 1,
+            ..RpmConfig::default()
+        };
+        let serial = search_parameters(&d, &base).unwrap();
+        let parallel = search_parameters(
+            &d,
+            &RpmConfig {
+                n_threads: 4,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(serial.per_class, parallel.per_class);
+        assert_eq!(serial.evaluations, parallel.evaluations);
     }
 
     #[test]
@@ -360,6 +586,6 @@ mod tests {
     fn fixed_strategy_panics_in_search() {
         let d = dataset(7);
         let cfg = RpmConfig::fixed(SaxConfig::new(8, 4, 4));
-        search_parameters(&d, &cfg);
+        let _ = search_parameters(&d, &cfg);
     }
 }

@@ -68,7 +68,11 @@ impl RpmClassifier {
             self.rotation_invariant as u8, self.early_abandon as u8
         );
         for (class, sax) in &self.per_class_sax {
-            let _ = writeln!(out, "sax {class} {} {} {}", sax.window, sax.paa_size, sax.alphabet);
+            let _ = writeln!(
+                out,
+                "sax {class} {} {} {}",
+                sax.window, sax.paa_size, sax.alphabet
+            );
         }
         for p in &self.patterns {
             let _ = write!(
@@ -118,9 +122,7 @@ impl RpmClassifier {
     /// Loads a model saved by [`RpmClassifier::save`].
     pub fn load(reader: impl Read) -> Result<Self, PersistError> {
         let mut lines = BufReader::new(reader).lines();
-        let magic = lines
-            .next()
-            .ok_or_else(|| format_err("empty stream"))??;
+        let magic = lines.next().ok_or_else(|| format_err("empty stream"))??;
         if magic.trim() != "RPM-MODEL v1" {
             return Err(format_err(format!("bad magic line {magic:?}")));
         }
@@ -211,8 +213,7 @@ impl RpmClassifier {
             classes: svm_classes.ok_or_else(|| format_err("missing svm-classes"))?,
             weights,
             scaler_mean: scaler_mean.ok_or_else(|| format_err("missing svm-scaler-mean"))?,
-            scaler_inv_sd: scaler_inv_sd
-                .ok_or_else(|| format_err("missing svm-scaler-invsd"))?,
+            scaler_inv_sd: scaler_inv_sd.ok_or_else(|| format_err("missing svm-scaler-invsd"))?,
         });
         let pattern_values = patterns.iter().map(|p| p.values.clone()).collect();
         Ok(RpmClassifier {
@@ -256,9 +257,8 @@ mod tests {
         let mut d = Dataset::new("p", Vec::new(), Vec::new());
         for class in 0..2usize {
             for _ in 0..10 {
-                let mut s: Vec<f64> =
-                    (0..96).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
-                let at = rng.gen_range(0..96 - 20);
+                let mut s: Vec<f64> = (0..96).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let at = rng.gen_range(0usize..96 - 20);
                 for i in 0..20 {
                     let t = std::f64::consts::TAU * i as f64 / 20.0;
                     s[at + i] += 3.0 * if class == 0 { t.sin() } else { -t.sin() };
@@ -286,7 +286,10 @@ mod tests {
             loaded.predict_batch(&test.series)
         );
         // Feature vectors must be bit-exact too (shortest-roundtrip floats).
-        assert_eq!(model.transform(&test.series[0]), loaded.transform(&test.series[0]));
+        assert_eq!(
+            model.transform(&test.series[0]),
+            loaded.transform(&test.series[0])
+        );
     }
 
     #[test]
@@ -297,7 +300,10 @@ mod tests {
         let loaded = RpmClassifier::load(buf.as_slice()).unwrap();
         assert_eq!(model.patterns().len(), loaded.patterns().len());
         assert_eq!(model.sax_configs(), loaded.sax_configs());
-        assert_eq!(model.is_rotation_invariant(), loaded.is_rotation_invariant());
+        assert_eq!(
+            model.is_rotation_invariant(),
+            loaded.is_rotation_invariant()
+        );
         for (a, b) in model.patterns().iter().zip(loaded.patterns()) {
             assert_eq!(a.class, b.class);
             assert_eq!(a.frequency, b.frequency);

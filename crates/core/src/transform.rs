@@ -5,7 +5,15 @@
 //! the SVM. The rotation-invariant variant (§6.1) additionally matches
 //! against the series rotated at its midpoint and keeps the minimum, so a
 //! best match severed by rotation is re-joined in one of the two views.
+//!
+//! Batch transforms run on the shared training [`Engine`]
+//! (`rpm_core::engine`): workers pull series indices from a shared
+//! counter and results merge by index, so the parallel output is
+//! bit-identical to the serial one, and worker panics surface as
+//! [`EngineError`] values instead of aborting the process.
 
+use crate::cache::Ctx;
+use crate::engine::{Engine, EngineError};
 use rpm_cluster::resample;
 use rpm_ts::{best_match, euclidean, rotate_half, znorm};
 
@@ -78,44 +86,82 @@ pub fn transform_set(
         .collect()
 }
 
-/// Parallel [`transform_set`]: the series are chunked across `n_threads`
-/// scoped worker threads. Results are identical to the serial version —
-/// the transform is embarrassingly parallel and read-only. This is the
-/// hot loop of both training (feature construction) and batch
-/// classification, so it is the one place the crate spends threads.
+/// [`transform_set`] on an explicit [`Engine`]: series are distributed
+/// across the engine's workers and merged by index, so results are
+/// identical to the serial version. A panic inside a worker becomes an
+/// [`EngineError`] instead of a process abort.
+pub fn transform_set_engine(
+    series: &[Vec<f64>],
+    patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    engine: &Engine,
+) -> Result<Vec<Vec<f64>>, EngineError> {
+    engine.map(series, |_, s| {
+        transform_series(s, patterns, rotation_invariant, early_abandon)
+    })
+}
+
+/// Parallel [`transform_set`] over `n_threads` workers — the batch
+/// classification entry point. Identical results to the serial version.
 pub fn transform_set_parallel(
     series: &[Vec<f64>],
     patterns: &[Vec<f64>],
     rotation_invariant: bool,
     early_abandon: bool,
     n_threads: usize,
-) -> Vec<Vec<f64>> {
-    let n_threads = n_threads.max(1).min(series.len().max(1));
-    if n_threads <= 1 || series.len() < 2 {
-        return transform_set(series, patterns, rotation_invariant, early_abandon);
-    }
-    let chunk = series.len().div_ceil(n_threads);
-    let mut out: Vec<Vec<Vec<f64>>> = Vec::with_capacity(n_threads);
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = series
-            .chunks(chunk)
-            .map(|part| {
-                scope.spawn(move |_| {
-                    transform_set(part, patterns, rotation_invariant, early_abandon)
-                })
+) -> Result<Vec<Vec<f64>>, EngineError> {
+    transform_set_engine(
+        series,
+        patterns,
+        rotation_invariant,
+        early_abandon,
+        &Engine::new(n_threads.max(1)),
+    )
+}
+
+/// Training-internal transform: like [`transform_set_engine`] but
+/// memoizing per-pattern *columns* in the run's cache, keyed by the
+/// context's set identity. The CFS-selection transform and the final SVM
+/// transform both call this over the same training series, so every
+/// pattern surviving selection reuses its column instead of re-running
+/// the closest-match scan. Workers fan out over patterns (columns are the
+/// cacheable unit); rows are assembled in index order afterwards, keeping
+/// the result bit-identical to [`transform_set`].
+pub(crate) fn transform_set_ctx(
+    series: &[Vec<f64>],
+    patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<Vec<f64>>, EngineError> {
+    let rotated: Option<Vec<Vec<f64>>> =
+        rotation_invariant.then(|| series.iter().map(|s| rotate_half(s)).collect());
+    let columns = ctx.engine.map(patterns, |_, p| {
+        ctx.cache
+            .column(ctx.set, p, rotation_invariant, early_abandon, || {
+                series
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let d = feature_distance(p, s, early_abandon);
+                        match &rotated {
+                            Some(r) => d.min(feature_distance(p, &r[i], early_abandon)),
+                            None => d,
+                        }
+                    })
+                    .collect()
             })
-            .collect();
-        for h in handles {
-            out.push(h.join().expect("transform worker panicked"));
-        }
-    })
-    .expect("crossbeam scope failed");
-    out.into_iter().flatten().collect()
+    })?;
+    Ok((0..series.len())
+        .map(|i| columns.iter().map(|c| c[i]).collect())
+        .collect())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::SaxCache;
 
     fn bump(at: usize, len: usize) -> Vec<f64> {
         (0..len)
@@ -177,7 +223,10 @@ mod tests {
         let plain = transform_series(&severed, std::slice::from_ref(&pattern), false, true);
         let invariant = transform_series(&severed, &[pattern], true, true);
         assert!(invariant[0] < 1e-6, "{invariant:?}");
-        assert!(plain[0] > invariant[0] + 0.05, "plain {plain:?} vs {invariant:?}");
+        assert!(
+            plain[0] > invariant[0] + 0.05,
+            "plain {plain:?} vs {invariant:?}"
+        );
     }
 
     #[test]
@@ -206,7 +255,7 @@ mod tests {
         let pats = vec![bump(3, 10), bump(7, 22)];
         let serial = transform_set(&set, &pats, false, true);
         for threads in [1usize, 2, 4, 32] {
-            let par = transform_set_parallel(&set, &pats, false, true, threads);
+            let par = transform_set_parallel(&set, &pats, false, true, threads).unwrap();
             assert_eq!(serial, par, "threads = {threads}");
         }
     }
@@ -214,8 +263,29 @@ mod tests {
     #[test]
     fn parallel_transform_handles_empty_set() {
         let pats = vec![bump(3, 10)];
-        let par = transform_set_parallel(&[], &pats, false, true, 4);
+        let par = transform_set_parallel(&[], &pats, false, true, 4).unwrap();
         assert!(par.is_empty());
+    }
+
+    #[test]
+    fn cached_transform_matches_plain_for_both_rotations() {
+        let set: Vec<Vec<f64>> = (0..9).map(|k| bump(4 + 3 * k, 48)).collect();
+        let pats = vec![bump(2, 9), bump(6, 14), bump(3, 11)];
+        let cache = SaxCache::new(true);
+        for rotation in [false, true] {
+            let plain = transform_set(&set, &pats, rotation, true);
+            for threads in [1usize, 4] {
+                let ctx = Ctx::new(Engine::new(threads), &cache);
+                // Twice: cold (misses) then warm (all columns hit).
+                for _ in 0..2 {
+                    let got = transform_set_ctx(&set, &pats, rotation, true, &ctx).unwrap();
+                    assert_eq!(plain, got, "rotation={rotation} threads={threads}");
+                }
+            }
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 6, "3 patterns x 2 rotation variants");
+        assert!(stats.hits >= 18, "repeats served from memory: {stats:?}");
     }
 
     #[test]

@@ -261,6 +261,9 @@ mod tests {
             normal += burst(&abp_instance_with_mode(NORMAL, 0, 400, &mut rng)) / n as f64;
             artifact += burst(&abp_instance_with_mode(1, 2, 400, &mut rng)) / n as f64;
         }
-        assert!(artifact > normal * 1.5, "artifact {artifact} vs normal {normal}");
+        assert!(
+            artifact > normal * 1.5,
+            "artifact {artifact} vs normal {normal}"
+        );
     }
 }

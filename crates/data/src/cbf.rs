@@ -89,9 +89,19 @@ mod tests {
                 .sum::<f64>()
                 / total
         };
-        let (c_cyl, c_bell, c_fun) = (com(&means[CYLINDER]), com(&means[BELL]), com(&means[FUNNEL]));
-        assert!(c_bell > c_cyl + 3.0, "bell mass is late: {c_bell} vs {c_cyl}");
-        assert!(c_fun < c_cyl - 3.0, "funnel mass is early: {c_fun} vs {c_cyl}");
+        let (c_cyl, c_bell, c_fun) = (
+            com(&means[CYLINDER]),
+            com(&means[BELL]),
+            com(&means[FUNNEL]),
+        );
+        assert!(
+            c_bell > c_cyl + 3.0,
+            "bell mass is late: {c_bell} vs {c_cyl}"
+        );
+        assert!(
+            c_fun < c_cyl - 3.0,
+            "funnel mass is early: {c_fun} vs {c_cyl}"
+        );
     }
 
     #[test]

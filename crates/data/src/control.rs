@@ -171,10 +171,7 @@ mod tests {
             for _ in 0..50 {
                 let s = two_patterns_instance(class, 128, &mut rng);
                 // The first nonzero event's leading half has the class sign.
-                let first_event = s
-                    .iter()
-                    .position(|&v| v.abs() > 3.0)
-                    .expect("event exists");
+                let first_event = s.iter().position(|&v| v.abs() > 3.0).expect("event exists");
                 lead_sum += s[first_event + 2];
             }
             assert!(lead_sum * sign > 0.0, "class {class}: {lead_sum}");

@@ -25,7 +25,11 @@ pub fn rotate_dataset(dataset: &Dataset, seed: u64) -> Dataset {
             }
         })
         .collect();
-    Dataset::new(format!("{}-rotated", dataset.name), series, dataset.labels.clone())
+    Dataset::new(
+        format!("{}-rotated", dataset.name),
+        series,
+        dataset.labels.clone(),
+    )
 }
 
 #[cfg(test)]
@@ -69,7 +73,10 @@ mod tests {
     fn rotation_actually_moves_something() {
         let d = toy();
         let r = rotate_dataset(&d, 3);
-        assert_ne!(r.series[0], d.series[0], "cut in 1..len guarantees movement");
+        assert_ne!(
+            r.series[0], d.series[0],
+            "cut in 1..len guarantees movement"
+        );
     }
 
     #[test]

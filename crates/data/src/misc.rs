@@ -103,9 +103,7 @@ mod tests {
     fn wafer_abnormal_dips() {
         let mut rng = StdRng::seed_from_u64(52);
         let n = 60;
-        let min_mid = |s: &[f64]| {
-            s[40..110].iter().copied().fold(f64::INFINITY, f64::min)
-        };
+        let min_mid = |s: &[f64]| s[40..110].iter().copied().fold(f64::INFINITY, f64::min);
         let mut normal = 0.0;
         let mut abnormal = 0.0;
         for _ in 0..n {

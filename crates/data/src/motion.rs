@@ -28,8 +28,9 @@ pub fn gunpoint_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<f
     let mut s: Vec<f64> = (0..length)
         .map(|i| {
             let x = i as f64 / l;
-            plateau * (smoothstep(x, raise_at, raise_at + 0.1)
-                - smoothstep(x, lower_at, lower_at + 0.1))
+            plateau
+                * (smoothstep(x, raise_at, raise_at + 0.1)
+                    - smoothstep(x, lower_at, lower_at + 0.1))
         })
         .collect();
     if class == 0 {

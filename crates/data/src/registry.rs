@@ -27,24 +27,132 @@ pub struct DatasetSpec {
 /// synthetic, spectro, ECG, motion, shape, sensor).
 pub fn suite() -> Vec<DatasetSpec> {
     vec![
-        DatasetSpec { name: "CBF", classes: 3, train: 30, test: 150, length: 128 },
-        DatasetSpec { name: "Coffee", classes: 2, train: 28, test: 28, length: 286 },
-        DatasetSpec { name: "GunPoint", classes: 2, train: 50, test: 150, length: 150 },
-        DatasetSpec { name: "ECGFiveDays", classes: 2, train: 23, test: 200, length: 136 },
-        DatasetSpec { name: "ItalyPowerDemand", classes: 2, train: 67, test: 200, length: 24 },
-        DatasetSpec { name: "SyntheticControl", classes: 6, train: 120, test: 120, length: 60 },
-        DatasetSpec { name: "TwoPatterns", classes: 4, train: 120, test: 200, length: 128 },
-        DatasetSpec { name: "Trace", classes: 4, train: 100, test: 100, length: 200 },
-        DatasetSpec { name: "SwedishLeaf", classes: 5, train: 100, test: 125, length: 128 },
-        DatasetSpec { name: "OSULeaf", classes: 6, train: 120, test: 120, length: 256 },
-        DatasetSpec { name: "FaceFour", classes: 4, train: 24, test: 88, length: 256 },
-        DatasetSpec { name: "Wafer", classes: 2, train: 100, test: 200, length: 152 },
-        DatasetSpec { name: "OliveOil", classes: 4, train: 30, test: 30, length: 285 },
-        DatasetSpec { name: "Beef", classes: 5, train: 30, test: 30, length: 235 },
-        DatasetSpec { name: "MoteStrain", classes: 2, train: 20, test: 200, length: 84 },
-        DatasetSpec { name: "Lightning2", classes: 2, train: 60, test: 61, length: 256 },
-        DatasetSpec { name: "SonyAIBORobotSurface", classes: 2, train: 20, test: 200, length: 70 },
-        DatasetSpec { name: "Symbols", classes: 6, train: 25, test: 180, length: 256 },
+        DatasetSpec {
+            name: "CBF",
+            classes: 3,
+            train: 30,
+            test: 150,
+            length: 128,
+        },
+        DatasetSpec {
+            name: "Coffee",
+            classes: 2,
+            train: 28,
+            test: 28,
+            length: 286,
+        },
+        DatasetSpec {
+            name: "GunPoint",
+            classes: 2,
+            train: 50,
+            test: 150,
+            length: 150,
+        },
+        DatasetSpec {
+            name: "ECGFiveDays",
+            classes: 2,
+            train: 23,
+            test: 200,
+            length: 136,
+        },
+        DatasetSpec {
+            name: "ItalyPowerDemand",
+            classes: 2,
+            train: 67,
+            test: 200,
+            length: 24,
+        },
+        DatasetSpec {
+            name: "SyntheticControl",
+            classes: 6,
+            train: 120,
+            test: 120,
+            length: 60,
+        },
+        DatasetSpec {
+            name: "TwoPatterns",
+            classes: 4,
+            train: 120,
+            test: 200,
+            length: 128,
+        },
+        DatasetSpec {
+            name: "Trace",
+            classes: 4,
+            train: 100,
+            test: 100,
+            length: 200,
+        },
+        DatasetSpec {
+            name: "SwedishLeaf",
+            classes: 5,
+            train: 100,
+            test: 125,
+            length: 128,
+        },
+        DatasetSpec {
+            name: "OSULeaf",
+            classes: 6,
+            train: 120,
+            test: 120,
+            length: 256,
+        },
+        DatasetSpec {
+            name: "FaceFour",
+            classes: 4,
+            train: 24,
+            test: 88,
+            length: 256,
+        },
+        DatasetSpec {
+            name: "Wafer",
+            classes: 2,
+            train: 100,
+            test: 200,
+            length: 152,
+        },
+        DatasetSpec {
+            name: "OliveOil",
+            classes: 4,
+            train: 30,
+            test: 30,
+            length: 285,
+        },
+        DatasetSpec {
+            name: "Beef",
+            classes: 5,
+            train: 30,
+            test: 30,
+            length: 235,
+        },
+        DatasetSpec {
+            name: "MoteStrain",
+            classes: 2,
+            train: 20,
+            test: 200,
+            length: 84,
+        },
+        DatasetSpec {
+            name: "Lightning2",
+            classes: 2,
+            train: 60,
+            test: 61,
+            length: 256,
+        },
+        DatasetSpec {
+            name: "SonyAIBORobotSurface",
+            classes: 2,
+            train: 20,
+            test: 200,
+            length: 70,
+        },
+        DatasetSpec {
+            name: "Symbols",
+            classes: 6,
+            train: 25,
+            test: 180,
+            length: 256,
+        },
     ]
 }
 
@@ -101,7 +209,13 @@ fn generate_total(name: &str, total: usize, classes: usize, length: usize, seed:
 /// # Panics
 /// Panics on an unknown dataset name.
 pub fn generate(spec: &DatasetSpec, seed: u64) -> (Dataset, Dataset) {
-    let train = generate_total(spec.name, spec.train, spec.classes, spec.length, seed ^ 0xA11CE);
+    let train = generate_total(
+        spec.name,
+        spec.train,
+        spec.classes,
+        spec.length,
+        seed ^ 0xA11CE,
+    );
     let test = generate_total(
         spec.name,
         spec.test,

@@ -36,7 +36,14 @@ pub fn mote_strain_instance(class: usize, length: usize, rng: &mut StdRng) -> Ve
 
 /// MoteStrain-like dataset.
 pub fn mote_strain(n_per_class: usize, length: usize, seed: u64) -> Dataset {
-    balanced("MoteStrain", 2, n_per_class, length, seed, mote_strain_instance)
+    balanced(
+        "MoteStrain",
+        2,
+        n_per_class,
+        length,
+        seed,
+        mote_strain_instance,
+    )
 }
 
 /// Lightning2-like: RF power profiles of lightning events. Class 0
@@ -69,7 +76,14 @@ pub fn lightning2_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec
 
 /// Lightning2-like dataset.
 pub fn lightning2(n_per_class: usize, length: usize, seed: u64) -> Dataset {
-    balanced("Lightning2", 2, n_per_class, length, seed, lightning2_instance)
+    balanced(
+        "Lightning2",
+        2,
+        n_per_class,
+        length,
+        seed,
+        lightning2_instance,
+    )
 }
 
 /// SonyAIBORobotSurface-like: accelerometer traces of a walking robot.
@@ -89,7 +103,9 @@ pub fn sony_aibo_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<
             let gait = (std::f64::consts::TAU * cadence * t + phase).sin();
             // Foot-strike harmonics make cement walking spikier.
             let strike = if class == 1 {
-                0.4 * (2.0 * std::f64::consts::TAU * cadence * t + phase).sin().powi(3)
+                0.4 * (2.0 * std::f64::consts::TAU * cadence * t + phase)
+                    .sin()
+                    .powi(3)
             } else {
                 0.0
             };
@@ -107,7 +123,14 @@ pub fn sony_aibo_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<
 
 /// SonyAIBORobotSurface-like dataset.
 pub fn sony_aibo(n_per_class: usize, length: usize, seed: u64) -> Dataset {
-    balanced("SonyAIBORobotSurface", 2, n_per_class, length, seed, sony_aibo_instance)
+    balanced(
+        "SonyAIBORobotSurface",
+        2,
+        n_per_class,
+        length,
+        seed,
+        sony_aibo_instance,
+    )
 }
 
 fn balanced(

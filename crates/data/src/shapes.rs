@@ -79,8 +79,8 @@ pub fn face_four(n_per_class: usize, length: usize, seed: u64) -> Dataset {
                 })
                 .collect();
             // Class-specific protrusion: position quarter and width differ.
-            let center = (0.15 + 0.2 * class as f64 + rand_f64(&mut rng, -0.02, 0.02))
-                * length as f64;
+            let center =
+                (0.15 + 0.2 * class as f64 + rand_f64(&mut rng, -0.02, 0.02)) * length as f64;
             let width = (0.02 + 0.012 * class as f64) * length as f64;
             crate::synth::add_gaussian_peak(&mut s, center, width, 0.6);
             add_noise(&mut s, 0.03, &mut rng);
@@ -209,7 +209,10 @@ mod tests {
         let mut sorted = maxima.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert!(sorted.len() >= 3, "protrusion positions overlap: {maxima:?}");
+        assert!(
+            sorted.len() >= 3,
+            "protrusion positions overlap: {maxima:?}"
+        );
     }
 
     #[test]

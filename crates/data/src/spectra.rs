@@ -74,8 +74,18 @@ pub fn olive_oil_instance(class: usize, length: usize, rng: &mut StdRng) -> Vec<
     }
     // The cultivar signature: a slowly varying ratio between two bands.
     let ratio = 1.0 + 0.06 * class as f64;
-    add_gaussian_peak(&mut s, 0.45 * l, 0.02 * l, 0.5 * ratio * rand_f64(rng, 0.98, 1.02));
-    add_gaussian_peak(&mut s, 0.62 * l, 0.02 * l, 0.5 / ratio * rand_f64(rng, 0.98, 1.02));
+    add_gaussian_peak(
+        &mut s,
+        0.45 * l,
+        0.02 * l,
+        0.5 * ratio * rand_f64(rng, 0.98, 1.02),
+    );
+    add_gaussian_peak(
+        &mut s,
+        0.62 * l,
+        0.02 * l,
+        0.5 / ratio * rand_f64(rng, 0.98, 1.02),
+    );
     add_noise(&mut s, 0.004, rng);
     s
 }

@@ -62,14 +62,20 @@ pub fn build_grammar(rhs_list: Vec<Vec<Sym>>, uses: Vec<usize>, n_tokens: usize)
                 Sym::R(child) => {
                     let c = child as usize;
                     let len = expansions[c].len();
-                    occ[c].push(Span { start: idx, end: idx + len });
+                    occ[c].push(Span {
+                        start: idx,
+                        end: idx + len,
+                    });
                     walk(c, idx, rhs_list, expansions, occ);
                     idx += len;
                 }
             }
         }
     }
-    occurrences[0].push(Span { start: 0, end: n_tokens.max(expansions[0].len()) });
+    occurrences[0].push(Span {
+        start: 0,
+        end: n_tokens.max(expansions[0].len()),
+    });
     walk(0, 0, &rhs_list, &expansions, &mut occurrences);
     for occ in &mut occurrences {
         occ.sort_by_key(|s| (s.start, s.end));

@@ -156,7 +156,12 @@ impl Sequitur {
     // ----- arena primitives -------------------------------------------------
 
     fn alloc(&mut self, sym: Sym, guard: bool) -> u32 {
-        let node = Node { sym, prev: NIL, next: NIL, guard };
+        let node = Node {
+            sym,
+            prev: NIL,
+            next: NIL,
+            guard,
+        };
         if let Some(i) = self.free.pop() {
             self.nodes[i as usize] = node;
             i
@@ -191,7 +196,11 @@ impl Sequitur {
         let guard = self.alloc(Sym::R(id), true);
         self.nodes[guard as usize].prev = guard;
         self.nodes[guard as usize].next = guard;
-        self.rules.push(RuleSlot { guard, uses: 0, alive: true });
+        self.rules.push(RuleSlot {
+            guard,
+            uses: 0,
+            alive: true,
+        });
         id
     }
 
@@ -523,7 +532,10 @@ mod tests {
             .repeated_rules()
             .find(|(_, r)| r.expansion == abc)
             .expect("no rule for abc");
-        assert_eq!(rule.1.occurrences, vec![Span { start: 0, end: 3 }, Span { start: 3, end: 6 }]);
+        assert_eq!(
+            rule.1.occurrences,
+            vec![Span { start: 0, end: 3 }, Span { start: 3, end: 6 }]
+        );
     }
 
     #[test]

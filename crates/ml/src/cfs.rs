@@ -27,7 +27,10 @@ pub struct CfsParams {
 
 impl Default for CfsParams {
     fn default() -> Self {
-        Self { bins: 10, stale_limit: 5 }
+        Self {
+            bins: 10,
+            stale_limit: 5,
+        }
     }
 }
 
@@ -102,7 +105,11 @@ fn merit(subset: &BTreeSet<usize>, fc: &[f64], ff: &[Vec<f64>]) -> f64 {
         }
     }
     let r_cf = sum_fc / k;
-    let r_ff = if k > 1.0 { sum_ff / (k * (k - 1.0) / 2.0) } else { 0.0 };
+    let r_ff = if k > 1.0 {
+        sum_ff / (k * (k - 1.0) / 2.0)
+    } else {
+        0.0
+    };
     let denom = (k + k * (k - 1.0) * r_ff).sqrt();
     if denom == 0.0 {
         0.0
@@ -123,7 +130,10 @@ pub fn cfs_select(rows: &[Vec<f64>], labels: &[usize], params: &CfsParams) -> Ve
     assert!(!rows.is_empty(), "CFS on empty data");
     assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
     let dim = rows[0].len();
-    assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
+    assert!(
+        rows.iter().all(|r| r.len() == dim),
+        "rows must share one dimension"
+    );
     if dim == 0 {
         return Vec::new();
     }
@@ -311,9 +321,7 @@ mod tests {
     fn su_is_symmetric() {
         let x: Vec<usize> = (0..30).map(|i| i % 3).collect();
         let y: Vec<usize> = (0..30).map(|i| (i * i) % 4).collect();
-        assert!(
-            (symmetric_uncertainty(&x, &y) - symmetric_uncertainty(&y, &x)).abs() < 1e-12
-        );
+        assert!((symmetric_uncertainty(&x, &y) - symmetric_uncertainty(&y, &x)).abs() < 1e-12);
     }
 
     #[test]

@@ -126,12 +126,7 @@ fn apply_scaler(row: &[f64], mean: &[f64], inv_sd: &[f64]) -> Vec<f64> {
 }
 
 /// Simplified SMO on ±1 labels over pre-standardized rows.
-fn train_binary(
-    x: &[Vec<f64>],
-    y: &[f64],
-    params: &KernelSvmParams,
-    gram: &[f64],
-) -> BinaryModel {
+fn train_binary(x: &[Vec<f64>], y: &[f64], params: &KernelSvmParams, gram: &[f64]) -> BinaryModel {
     let n = x.len();
     let c = params.c;
     let mut alpha = vec![0.0f64; n];
@@ -187,12 +182,8 @@ fn train_binary(
             let a_i = a_i_old + y[i] * y[j] * (a_j_old - a_j);
             alpha[i] = a_i;
             alpha[j] = a_j;
-            let b1 = b - e_i
-                - y[i] * (a_i - a_i_old) * k(i, i)
-                - y[j] * (a_j - a_j_old) * k(i, j);
-            let b2 = b - e_j
-                - y[i] * (a_i - a_i_old) * k(i, j)
-                - y[j] * (a_j - a_j_old) * k(j, j);
+            let b1 = b - e_i - y[i] * (a_i - a_i_old) * k(i, i) - y[j] * (a_j - a_j_old) * k(i, j);
+            let b2 = b - e_j - y[i] * (a_i - a_i_old) * k(i, j) - y[j] * (a_j - a_j_old) * k(j, j);
             b = if (0.0..c).contains(&a_i) {
                 b1
             } else if (0.0..c).contains(&a_j) {
@@ -218,7 +209,11 @@ fn train_binary(
             support.push(x[i].clone());
         }
     }
-    BinaryModel { alphas_y, support, bias: b }
+    BinaryModel {
+        alphas_y,
+        support,
+        bias: b,
+    }
 }
 
 impl KernelSvm {
@@ -230,14 +225,20 @@ impl KernelSvm {
         assert!(!rows.is_empty(), "kernel SVM training set is empty");
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         let dim = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "rows must share one dimension"
+        );
         let mut classes: Vec<usize> = labels.to_vec();
         classes.sort_unstable();
         classes.dedup();
         assert!(classes.len() >= 2, "kernel SVM needs at least two classes");
 
         let (mean, inv_sd) = standardize_fit(rows);
-        let x: Vec<Vec<f64>> = rows.iter().map(|r| apply_scaler(r, &mean, &inv_sd)).collect();
+        let x: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| apply_scaler(r, &mean, &inv_sd))
+            .collect();
 
         // Precompute the Gram matrix once; shared by all binary problems.
         let n = x.len();
@@ -260,7 +261,13 @@ impl KernelSvm {
                 train_binary(&x, &y, params, &gram)
             })
             .collect();
-        Self { classes, models, kernel: params.kernel, mean, inv_sd }
+        Self {
+            classes,
+            models,
+            kernel: params.kernel,
+            mean,
+            inv_sd,
+        }
     }
 
     /// Decision value per class, ordered like [`KernelSvm::classes`].
@@ -351,10 +358,19 @@ mod tests {
     #[test]
     fn linear_kernel_on_separable_data() {
         let rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![if i < 10 { i as f64 * 0.1 } else { 5.0 + i as f64 * 0.1 }])
+            .map(|i| {
+                vec![if i < 10 {
+                    i as f64 * 0.1
+                } else {
+                    5.0 + i as f64 * 0.1
+                }]
+            })
             .collect();
         let labels: Vec<usize> = (0..20).map(|i| (i >= 10) as usize).collect();
-        let params = KernelSvmParams { kernel: Kernel::Linear, ..Default::default() };
+        let params = KernelSvmParams {
+            kernel: Kernel::Linear,
+            ..Default::default()
+        };
         let m = KernelSvm::train(&rows, &labels, &params);
         assert_eq!(m.predict(&[0.3]), 0);
         assert_eq!(m.predict(&[6.0]), 1);
@@ -364,7 +380,10 @@ mod tests {
     fn three_class_one_vs_rest() {
         let mut rows = Vec::new();
         let mut labels = Vec::new();
-        for (c, (cx, cy)) in [(0.0f64, 0.0f64), (6.0, 0.0), (3.0, 6.0)].iter().enumerate() {
+        for (c, (cx, cy)) in [(0.0f64, 0.0f64), (6.0, 0.0), (3.0, 6.0)]
+            .iter()
+            .enumerate()
+        {
             for i in 0..10 {
                 let a = i as f64;
                 rows.push(vec![cx + 0.2 * a.sin(), cy + 0.2 * a.cos()]);
@@ -388,7 +407,10 @@ mod tests {
         let p = KernelSvmParams::default();
         let m1 = KernelSvm::train(&rows, &labels, &p);
         let m2 = KernelSvm::train(&rows, &labels, &p);
-        assert_eq!(m1.decision_values(&[1.0, 2.0]), m2.decision_values(&[1.0, 2.0]));
+        assert_eq!(
+            m1.decision_values(&[1.0, 2.0]),
+            m2.decision_values(&[1.0, 2.0])
+        );
     }
 
     #[test]

@@ -23,8 +23,15 @@ impl Knn {
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         assert!(k >= 1, "k must be positive");
         let dim = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
-        Self { rows: rows.to_vec(), labels: labels.to_vec(), k: k.min(rows.len()) }
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "rows must share one dimension"
+        );
+        Self {
+            rows: rows.to_vec(),
+            labels: labels.to_vec(),
+            k: k.min(rows.len()),
+        }
     }
 
     /// Predicted label by majority vote among the k nearest training rows;

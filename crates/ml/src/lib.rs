@@ -19,18 +19,18 @@
 //!   classifiers across datasets.
 
 pub mod cfs;
+pub mod cv;
 pub mod kernel_svm;
 pub mod knn;
-pub mod cv;
 pub mod logistic;
 pub mod metrics;
 pub mod stats;
 pub mod svm;
 
 pub use cfs::{cfs_select, CfsParams};
+pub use cv::{shuffled_stratified_split, stratified_folds};
 pub use kernel_svm::{Kernel, KernelSvm, KernelSvmParams};
 pub use knn::Knn;
-pub use cv::{shuffled_stratified_split, stratified_folds};
 pub use logistic::{Logistic, LogisticParams};
 pub use metrics::{confusion_matrix, error_rate, macro_f1, per_class_f1, ConfusionMatrix};
 pub use stats::{normal_cdf, wilcoxon_signed_rank, WilcoxonResult};

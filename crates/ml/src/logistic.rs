@@ -18,7 +18,11 @@ pub struct LogisticParams {
 
 impl Default for LogisticParams {
     fn default() -> Self {
-        Self { learning_rate: 0.1, lambda: 1e-3, max_iter: 500 }
+        Self {
+            learning_rate: 0.1,
+            lambda: 1e-3,
+            max_iter: 500,
+        }
     }
 }
 
@@ -52,7 +56,10 @@ impl Logistic {
         assert!(!rows.is_empty(), "logistic training set is empty");
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         let dim = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == dim), "rows must share one dimension");
+        assert!(
+            rows.iter().all(|r| r.len() == dim),
+            "rows must share one dimension"
+        );
         let mut classes: Vec<usize> = labels.to_vec();
         classes.sort_unstable();
         classes.dedup();
@@ -131,7 +138,13 @@ mod tests {
     #[test]
     fn separates_1d_classes() {
         let rows: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![if i < 10 { i as f64 * 0.1 } else { 5.0 + i as f64 * 0.1 }])
+            .map(|i| {
+                vec![if i < 10 {
+                    i as f64 * 0.1
+                } else {
+                    5.0 + i as f64 * 0.1
+                }]
+            })
             .collect();
         let labels: Vec<usize> = (0..20).map(|i| (i >= 10) as usize).collect();
         let m = Logistic::train(&rows, &labels, &LogisticParams::default());
@@ -185,16 +198,21 @@ mod tests {
         let loose = Logistic::train(
             &rows,
             &labels,
-            &LogisticParams { lambda: 0.0, ..Default::default() },
+            &LogisticParams {
+                lambda: 0.0,
+                ..Default::default()
+            },
         );
         let tight = Logistic::train(
             &rows,
             &labels,
-            &LogisticParams { lambda: 10.0, ..Default::default() },
+            &LogisticParams {
+                lambda: 10.0,
+                ..Default::default()
+            },
         );
-        let norm = |m: &Logistic| -> f64 {
-            m.weights.iter().flat_map(|w| &w[..1]).map(|v| v * v).sum()
-        };
+        let norm =
+            |m: &Logistic| -> f64 { m.weights.iter().flat_map(|w| &w[..1]).map(|v| v * v).sum() };
         assert!(norm(&tight) < norm(&loose));
     }
 

@@ -21,7 +21,11 @@ pub struct ConfusionMatrix {
 /// # Panics
 /// Panics when the slices differ in length or are empty.
 pub fn confusion_matrix(actual: &[usize], predicted: &[usize]) -> ConfusionMatrix {
-    assert_eq!(actual.len(), predicted.len(), "actual/predicted length mismatch");
+    assert_eq!(
+        actual.len(),
+        predicted.len(),
+        "actual/predicted length mismatch"
+    );
     assert!(!actual.is_empty(), "cannot score zero predictions");
     let mut idx: BTreeMap<usize, usize> = BTreeMap::new();
     for &l in actual.iter().chain(predicted) {
@@ -30,8 +34,7 @@ pub fn confusion_matrix(actual: &[usize], predicted: &[usize]) -> ConfusionMatri
     }
     // BTreeMap iteration is sorted; rebuild dense indices in label order.
     let labels: Vec<usize> = idx.keys().copied().collect();
-    let pos: BTreeMap<usize, usize> =
-        labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+    let pos: BTreeMap<usize, usize> = labels.iter().enumerate().map(|(i, &l)| (l, i)).collect();
     let k = labels.len();
     let mut counts = vec![vec![0usize; k]; k];
     for (&a, &p) in actual.iter().zip(predicted) {

@@ -55,7 +55,13 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
         .collect();
     let n = diffs.len();
     if n == 0 {
-        return WilcoxonResult { w_plus: 0.0, w_minus: 0.0, n_used: 0, p_value: 1.0, z: 0.0 };
+        return WilcoxonResult {
+            w_plus: 0.0,
+            w_minus: 0.0,
+            n_used: 0,
+            p_value: 1.0,
+            z: 0.0,
+        };
     }
     diffs.sort_by(|x, y| x.abs().total_cmp(&y.abs()));
 
@@ -98,7 +104,13 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> WilcoxonResult {
         (w - mean + 0.5) / var.sqrt()
     };
     let p = (2.0 * normal_cdf(z)).min(1.0);
-    WilcoxonResult { w_plus, w_minus, n_used: n, p_value: p, z }
+    WilcoxonResult {
+        w_plus,
+        w_minus,
+        n_used: n,
+        p_value: p,
+        z,
+    }
 }
 
 #[cfg(test)]

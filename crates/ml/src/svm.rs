@@ -30,7 +30,12 @@ pub struct SvmParams {
 
 impl Default for SvmParams {
     fn default() -> Self {
-        Self { c: 1.0, eps: 1e-3, max_iter: 200, seed: 0x5eed }
+        Self {
+            c: 1.0,
+            eps: 1e-3,
+            max_iter: 200,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -146,7 +151,11 @@ impl LinearSvm {
             })
             .collect();
 
-        Self { classes, weights, scaler }
+        Self {
+            classes,
+            weights,
+            scaler,
+        }
     }
 
     /// Decision value per class, ordered like [`LinearSvm::classes`].
@@ -217,7 +226,10 @@ impl LinearSvm {
         Self {
             classes: export.classes,
             weights: export.weights,
-            scaler: Scaler { mean: export.scaler_mean, inv_sd: export.scaler_inv_sd },
+            scaler: Scaler {
+                mean: export.scaler_mean,
+                inv_sd: export.scaler_inv_sd,
+            },
         }
     }
 }
@@ -328,16 +340,23 @@ mod tests {
         let p = SvmParams::default();
         let m1 = LinearSvm::train(&rows, &labels, &p);
         let m2 = LinearSvm::train(&rows, &labels, &p);
-        assert_eq!(m1.decision_values(&[1.0, 2.0]), m2.decision_values(&[1.0, 2.0]));
+        assert_eq!(
+            m1.decision_values(&[1.0, 2.0]),
+            m2.decision_values(&[1.0, 2.0])
+        );
     }
 
     #[test]
     fn scale_invariance_through_standardization() {
         // Same geometry at wildly different feature scales must classify
         // identically thanks to the internal scaler.
-        let rows_small = vec![vec![0.0, 0.0], vec![0.001, 0.0], vec![1.0, 0.0], vec![1.001, 0.0]];
-        let rows_big: Vec<Vec<f64>> =
-            rows_small.iter().map(|r| vec![r[0] * 1e6, r[1]]).collect();
+        let rows_small = vec![
+            vec![0.0, 0.0],
+            vec![0.001, 0.0],
+            vec![1.0, 0.0],
+            vec![1.001, 0.0],
+        ];
+        let rows_big: Vec<Vec<f64>> = rows_small.iter().map(|r| vec![r[0] * 1e6, r[1]]).collect();
         let labels = vec![0, 0, 1, 1];
         let p = SvmParams::default();
         let ms = LinearSvm::train(&rows_small, &labels, &p);
@@ -387,10 +406,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "share one dimension")]
     fn ragged_rows_panic() {
-        LinearSvm::train(
-            &[vec![1.0], vec![1.0, 2.0]],
-            &[0, 1],
-            &SvmParams::default(),
-        );
+        LinearSvm::train(&[vec![1.0], vec![1.0, 2.0]], &[0, 1], &SvmParams::default());
     }
 }

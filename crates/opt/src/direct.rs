@@ -6,6 +6,16 @@
 //! those on the lower-right convex hull of the (size, f) scatter, with the
 //! classic ε-improvement condition. It is deterministic and converges to a
 //! global optimum of a continuous objective as iterations → ∞ (§4.2).
+//!
+//! With `DirectParams::n_threads > 1` the sample points of each division
+//! step are evaluated as one batch on scoped worker threads. The batch is
+//! precomputed to match the serial evaluation budget exactly and its
+//! results are consumed in point order, so the search trajectory — every
+//! division, every level update, the final result — is bit-identical to
+//! the serial run. This requires the objective to be `Fn + Sync`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Knobs for the DIRECT runs.
 #[derive(Clone, Copy, Debug)]
@@ -16,11 +26,18 @@ pub struct DirectParams {
     pub max_iters: usize,
     /// The Jones ε in the potential-optimality test (typical: 1e-4).
     pub eps: f64,
+    /// Worker threads for batch objective evaluation (`<= 1` = serial).
+    pub n_threads: usize,
 }
 
 impl Default for DirectParams {
     fn default() -> Self {
-        Self { max_evals: 200, max_iters: 50, eps: 1e-4 }
+        Self {
+            max_evals: 200,
+            max_iters: 50,
+            eps: 1e-4,
+            n_threads: 1,
+        }
     }
 }
 
@@ -57,22 +74,53 @@ impl Rect {
     }
 }
 
+/// Evaluates `f` at every point, on `n_threads` scoped workers when
+/// requested. Results come back in point order regardless of scheduling;
+/// a worker panic propagates once every worker has joined.
+fn batch_eval<F: Fn(&[f64]) -> f64 + Sync>(
+    points: &[Vec<f64>],
+    n_threads: usize,
+    f: &F,
+) -> Vec<f64> {
+    if n_threads <= 1 || points.len() < 2 {
+        return points.iter().map(|p| f(p)).collect();
+    }
+    let n_workers = n_threads.min(points.len());
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<f64>>> = points.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= points.len() {
+                    break;
+                }
+                let v = f(&points[i]);
+                if let Ok(mut slot) = slots[i].lock() {
+                    *slot = Some(v);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().ok().flatten().expect("every slot is filled"))
+        .collect()
+}
+
 /// Minimizes `f` over the box `lo[i] ..= hi[i]`.
 ///
 /// # Panics
 /// Panics when the bounds are empty, mismatched, or inverted.
 pub fn direct_minimize(
-    mut f: impl FnMut(&[f64]) -> f64,
+    f: impl Fn(&[f64]) -> f64 + Sync,
     lo: &[f64],
     hi: &[f64],
     params: &DirectParams,
 ) -> DirectResult {
     assert!(!lo.is_empty(), "DIRECT needs at least one dimension");
     assert_eq!(lo.len(), hi.len(), "bound length mismatch");
-    assert!(
-        lo.iter().zip(hi).all(|(a, b)| a <= b),
-        "inverted bounds"
-    );
+    assert!(lo.iter().zip(hi).all(|(a, b)| a <= b), "inverted bounds");
     let dim = lo.len();
     let denorm = |u: &[f64]| -> Vec<f64> {
         u.iter()
@@ -82,14 +130,15 @@ pub fn direct_minimize(
     };
 
     let mut evals = 0usize;
-    let mut eval = |u: &[f64], evals: &mut usize| -> f64 {
-        *evals += 1;
-        f(&denorm(u))
-    };
 
     let center = vec![0.5; dim];
-    let f0 = eval(&center, &mut evals);
-    let mut rects = vec![Rect { center, levels: vec![0; dim], f: f0 }];
+    evals += 1;
+    let f0 = f(&denorm(&center));
+    let mut rects = vec![Rect {
+        center,
+        levels: vec![0; dim],
+        f: f0,
+    }];
     let mut best_idx = 0usize;
 
     for _ in 0..params.max_iters {
@@ -112,7 +161,23 @@ pub fn direct_minimize(
                 .collect();
             let delta = 3f64.powi(-(min_level as i32)) / 3.0;
 
-            // Sample c ± δ e_d for each long dimension.
+            // Sample c ± δ e_d for each long dimension within the
+            // remaining budget — the same pairs the serial loop would
+            // evaluate one by one — then score the whole batch at once.
+            let n_pairs = long_dims.len().min((params.max_evals - evals) / 2);
+            let mut points: Vec<Vec<f64>> = Vec::with_capacity(2 * n_pairs);
+            for &d in &long_dims[..n_pairs] {
+                let mut plus = rects[ri].center.clone();
+                plus[d] = (plus[d] + delta).min(1.0);
+                let mut minus = rects[ri].center.clone();
+                minus[d] = (minus[d] - delta).max(0.0);
+                points.push(plus);
+                points.push(minus);
+            }
+            let denormed: Vec<Vec<f64>> = points.iter().map(|u| denorm(u)).collect();
+            let fvals = batch_eval(&denormed, params.n_threads, &f);
+            evals += points.len();
+
             struct DimSample {
                 d: usize,
                 plus: Vec<f64>,
@@ -120,27 +185,25 @@ pub fn direct_minimize(
                 f_plus: f64,
                 f_minus: f64,
             }
-            let mut samples: Vec<DimSample> = Vec::new();
-            for &d in &long_dims {
-                if evals + 2 > params.max_evals {
-                    break;
-                }
-                let mut plus = rects[ri].center.clone();
-                plus[d] = (plus[d] + delta).min(1.0);
-                let mut minus = rects[ri].center.clone();
-                minus[d] = (minus[d] - delta).max(0.0);
-                let f_plus = eval(&plus, &mut evals);
-                let f_minus = eval(&minus, &mut evals);
-                samples.push(DimSample { d, plus, minus, f_plus, f_minus });
+            let mut point_iter = points.into_iter();
+            let mut samples: Vec<DimSample> = Vec::with_capacity(n_pairs);
+            for (k, &d) in long_dims[..n_pairs].iter().enumerate() {
+                let plus = point_iter.next().unwrap();
+                let minus = point_iter.next().unwrap();
+                samples.push(DimSample {
+                    d,
+                    plus,
+                    minus,
+                    f_plus: fvals[2 * k],
+                    f_minus: fvals[2 * k + 1],
+                });
             }
             if samples.is_empty() {
                 continue;
             }
             // Divide in ascending order of the better child value so the
             // best-looking dimension keeps the largest children.
-            samples.sort_by(|a, b| {
-                a.f_plus.min(a.f_minus).total_cmp(&b.f_plus.min(b.f_minus))
-            });
+            samples.sort_by(|a, b| a.f_plus.min(a.f_minus).total_cmp(&b.f_plus.min(b.f_minus)));
             let mut levels = rects[ri].levels.clone();
             for s in samples {
                 levels[s.d] += 1;
@@ -164,7 +227,11 @@ pub fn direct_minimize(
     }
 
     let best = &rects[best_idx];
-    DirectResult { x: denorm(&best.center), f: best.f, evaluations: evals }
+    DirectResult {
+        x: denorm(&best.center),
+        f: best.f,
+        evaluations: evals,
+    }
 }
 
 /// Indices of the potentially optimal rectangles: for some K > 0 the
@@ -232,51 +299,54 @@ fn potentially_optimal(rects: &[Rect], f_min: f64, eps: f64) -> Vec<usize> {
 /// Integer-rounded DIRECT (§4.2): every proposal is rounded to the nearest
 /// integer vector and the objective is memoized on those integer points, so
 /// the expensive cross-validation objective runs once per distinct integer
-/// combination. `DirectResult::evaluations` counts *distinct* integer
-/// evaluations — the `R` of the paper's complexity analysis.
+/// combination. The returned count is the *distinct* integer evaluations —
+/// the `R` of the paper's complexity analysis. Concurrent batch proposals
+/// rounding onto the same point may both compute (the value is identical);
+/// the distinct count only advances on first insertion, so it matches the
+/// serial count for any thread count.
 pub fn direct_minimize_integer(
-    mut f: impl FnMut(&[i64]) -> f64,
+    f: impl Fn(&[i64]) -> f64 + Sync,
     lo: &[i64],
     hi: &[i64],
     params: &DirectParams,
 ) -> (Vec<i64>, f64, usize) {
-    use std::cell::RefCell;
     use std::collections::HashMap;
 
-    let cache: RefCell<HashMap<Vec<i64>, f64>> = RefCell::new(HashMap::new());
-    let distinct = RefCell::new(0usize);
+    let cache: Mutex<HashMap<Vec<i64>, f64>> = Mutex::new(HashMap::new());
+    let distinct = AtomicUsize::new(0);
     let lo_f: Vec<f64> = lo.iter().map(|&v| v as f64).collect();
     let hi_f: Vec<f64> = hi.iter().map(|&v| v as f64).collect();
+    let round = |x: &[f64]| -> Vec<i64> {
+        x.iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(&v, (&a, &b))| (v.round() as i64).clamp(a, b))
+            .collect()
+    };
     let result = direct_minimize(
         |x| {
-            let xi: Vec<i64> = x
-                .iter()
-                .zip(lo.iter().zip(hi))
-                .map(|(&v, (&a, &b))| (v.round() as i64).clamp(a, b))
-                .collect();
-            let mut c = cache.borrow_mut();
-            if let Some(&v) = c.get(&xi) {
-                v
-            } else {
-                *distinct.borrow_mut() += 1;
-                let v = f(&xi);
-                c.insert(xi, v);
-                v
+            let xi = round(x);
+            if let Some(v) = cache.lock().ok().and_then(|c| c.get(&xi).copied()) {
+                return v;
             }
+            let v = f(&xi);
+            if let Ok(mut c) = cache.lock() {
+                if c.insert(xi, v).is_none() {
+                    distinct.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            v
         },
         &lo_f,
         &hi_f,
         params,
     );
-    let xi: Vec<i64> = result
-        .x
-        .iter()
-        .zip(lo.iter().zip(hi))
-        .map(|(&v, (&a, &b))| (v.round() as i64).clamp(a, b))
-        .collect();
-    let best_f = *cache.borrow().get(&xi).unwrap_or(&result.f);
-    let n = *distinct.borrow();
-    (xi, best_f, n)
+    let xi = round(&result.x);
+    let best_f = cache
+        .lock()
+        .ok()
+        .and_then(|c| c.get(&xi).copied())
+        .unwrap_or(result.f);
+    (xi, best_f, distinct.load(Ordering::Relaxed))
 }
 
 #[cfg(test)]
@@ -290,7 +360,11 @@ mod tests {
             |x| x.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum(),
             &[-2.0, -2.0],
             &[2.0, 2.0],
-            &DirectParams { max_evals: 600, max_iters: 60, eps: 1e-4 },
+            &DirectParams {
+                max_evals: 600,
+                max_iters: 60,
+                ..DirectParams::default()
+            },
         );
         assert!(r.f < 1e-3, "f = {}", r.f);
         assert!((r.x[0] - 0.3).abs() < 0.1, "{:?}", r.x);
@@ -310,18 +384,23 @@ mod tests {
 
     #[test]
     fn respects_evaluation_budget() {
-        let mut count = 0usize;
+        let count = AtomicUsize::new(0);
         let budget = 37;
         let _ = direct_minimize(
             |x| {
-                count += 1;
+                count.fetch_add(1, Ordering::Relaxed);
                 x[0] * x[0] + x[1] * x[1]
             },
             &[-1.0, -1.0],
             &[1.0, 1.0],
-            &DirectParams { max_evals: budget, max_iters: 1000, eps: 1e-4 },
+            &DirectParams {
+                max_evals: budget,
+                max_iters: 1000,
+                ..DirectParams::default()
+            },
         );
-        assert!(count <= budget, "spent {count} > {budget}");
+        let spent = count.load(Ordering::Relaxed);
+        assert!(spent <= budget, "spent {spent} > {budget}");
     }
 
     #[test]
@@ -333,6 +412,66 @@ mod tests {
         assert_eq!(a.x, b.x);
         assert_eq!(a.f, b.f);
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let obj = |x: &[f64]| (x[0] - 0.37).powi(2) + (x[1] + 0.81).powi(2) + (x[0] * x[1]).sin();
+        let serial = direct_minimize(
+            obj,
+            &[-2.0, -2.0],
+            &[2.0, 2.0],
+            &DirectParams {
+                max_evals: 500,
+                max_iters: 80,
+                ..DirectParams::default()
+            },
+        );
+        for threads in [2usize, 4, 8] {
+            let parallel = direct_minimize(
+                obj,
+                &[-2.0, -2.0],
+                &[2.0, 2.0],
+                &DirectParams {
+                    max_evals: 500,
+                    max_iters: 80,
+                    eps: 1e-4,
+                    n_threads: threads,
+                },
+            );
+            assert_eq!(serial.x, parallel.x, "threads = {threads}");
+            assert_eq!(serial.f.to_bits(), parallel.f.to_bits());
+            assert_eq!(serial.evaluations, parallel.evaluations);
+        }
+    }
+
+    #[test]
+    fn parallel_integer_run_matches_serial() {
+        let obj = |xi: &[i64]| ((xi[0] - 11) * (xi[0] - 11) + (xi[1] - 5) * (xi[1] - 5)) as f64;
+        let serial = direct_minimize_integer(
+            obj,
+            &[0, 0],
+            &[30, 30],
+            &DirectParams {
+                max_evals: 300,
+                max_iters: 50,
+                ..DirectParams::default()
+            },
+        );
+        let parallel = direct_minimize_integer(
+            obj,
+            &[0, 0],
+            &[30, 30],
+            &DirectParams {
+                max_evals: 300,
+                max_iters: 50,
+                eps: 1e-4,
+                n_threads: 4,
+            },
+        );
+        assert_eq!(serial.0, parallel.0);
+        assert_eq!(serial.1.to_bits(), parallel.1.to_bits());
+        assert_eq!(serial.2, parallel.2, "distinct counts must agree");
     }
 
     #[test]
@@ -349,7 +488,11 @@ mod tests {
             obj,
             &[-1.0],
             &[1.0],
-            &DirectParams { max_evals: 300, max_iters: 60, eps: 1e-4 },
+            &DirectParams {
+                max_evals: 300,
+                max_iters: 60,
+                ..DirectParams::default()
+            },
         );
         assert!((r.x[0] - 0.75).abs() < 0.05, "stuck at {:?}", r.x);
     }
@@ -365,22 +508,34 @@ mod tests {
             &[5.0],
             &DirectParams::default(),
         );
-        assert!(r.x[0] > 4.0, "should push toward the upper bound: {:?}", r.x);
+        assert!(
+            r.x[0] > 4.0,
+            "should push toward the upper bound: {:?}",
+            r.x
+        );
     }
 
     #[test]
     fn integer_variant_caches_roundings() {
-        let mut evals = 0usize;
+        let evals = AtomicUsize::new(0);
         let (x, f, distinct) = direct_minimize_integer(
             |xi| {
-                evals += 1;
+                evals.fetch_add(1, Ordering::Relaxed);
                 ((xi[0] - 7) * (xi[0] - 7) + (xi[1] - 3) * (xi[1] - 3)) as f64
             },
             &[0, 0],
             &[20, 20],
-            &DirectParams { max_evals: 400, max_iters: 60, eps: 1e-4 },
+            &DirectParams {
+                max_evals: 400,
+                max_iters: 60,
+                ..DirectParams::default()
+            },
         );
-        assert_eq!(evals, distinct, "objective must only see distinct points");
+        assert_eq!(
+            evals.load(Ordering::Relaxed),
+            distinct,
+            "objective must only see distinct points"
+        );
         assert!(distinct < 400, "cache must dedupe roundings: {distinct}");
         assert_eq!(f, 0.0, "best = {x:?}");
         assert_eq!(x, vec![7, 3]);
@@ -388,12 +543,8 @@ mod tests {
 
     #[test]
     fn integer_variant_single_point_domain() {
-        let (x, f, distinct) = direct_minimize_integer(
-            |xi| xi[0] as f64,
-            &[4],
-            &[4],
-            &DirectParams::default(),
-        );
+        let (x, f, distinct) =
+            direct_minimize_integer(|xi| xi[0] as f64, &[4], &[4], &DirectParams::default());
         assert_eq!(x, vec![4]);
         assert_eq!(f, 4.0);
         assert_eq!(distinct, 1);

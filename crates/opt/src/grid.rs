@@ -88,10 +88,7 @@ mod tests {
     #[test]
     fn grid_cartesian_product() {
         let g = grid_points(&[IntRange::new(0, 1, 1), IntRange::new(10, 12, 2)]);
-        assert_eq!(
-            g,
-            vec![vec![0, 10], vec![0, 12], vec![1, 10], vec![1, 12]]
-        );
+        assert_eq!(g, vec![vec![0, 10], vec![0, 12], vec![1, 10], vec![1, 12]]);
     }
 
     #[test]

@@ -27,7 +27,11 @@ impl SaxConfig {
         assert!(paa_size > 0, "paa_size must be positive");
         // Validates alphabet bounds as a side effect.
         let _ = breakpoints(alphabet);
-        Self { window, paa_size, alphabet }
+        Self {
+            window,
+            paa_size,
+            alphabet,
+        }
     }
 }
 
@@ -86,6 +90,63 @@ pub fn discretize(series: &[f64], cfg: &SaxConfig, numerosity_reduction: bool) -
             }
         }
         out.push(SaxWordAt { offset, word });
+    }
+    out
+}
+
+/// The alphabet-independent half of discretization: a z-normalized,
+/// PAA-reduced sliding window. Parameter-search grids vary the alphabet
+/// far more cheaply than the window/PAA pair, so `rpm-core` memoizes
+/// these frames per `(window, paa)` and derives words for every alphabet
+/// from the same frames (see `rpm_core::cache`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PaaFrame {
+    /// Start offset of the window in the source series.
+    pub offset: usize,
+    /// PAA segment means of the z-normalized window.
+    pub paa: Vec<f64>,
+}
+
+/// Computes the [`PaaFrame`]s of every sliding window: exactly the
+/// z-normalize + PAA stage of [`discretize`], with symbolization and
+/// numerosity reduction deferred to [`words_from_frames`].
+pub fn paa_frames(series: &[f64], window: usize, paa_size: usize) -> Vec<PaaFrame> {
+    let mut out = Vec::new();
+    let mut zbuf = vec![0.0; window];
+    for (offset, w) in rpm_ts::sliding_windows(series, window) {
+        rpm_ts::znorm_into(w, &mut zbuf);
+        out.push(PaaFrame {
+            offset,
+            paa: paa(&zbuf, paa_size),
+        });
+    }
+    out
+}
+
+/// Completes discretization from precomputed frames: symbolize each frame
+/// with the `alphabet` breakpoints and optionally apply numerosity
+/// reduction. `words_from_frames(paa_frames(s, w, p), a, nr)` is
+/// guaranteed to equal `discretize(s, &SaxConfig::new(w, p, a), nr)`.
+pub fn words_from_frames(
+    frames: &[PaaFrame],
+    alphabet: usize,
+    numerosity_reduction: bool,
+) -> Vec<SaxWordAt> {
+    let cuts = breakpoints(alphabet);
+    let mut out: Vec<SaxWordAt> = Vec::new();
+    for frame in frames {
+        let word = symbolize(&frame.paa, &cuts);
+        if numerosity_reduction {
+            if let Some(last) = out.last() {
+                if last.word == word {
+                    continue;
+                }
+            }
+        }
+        out.push(SaxWordAt {
+            offset: frame.offset,
+            word,
+        });
     }
     out
 }
@@ -149,7 +210,12 @@ mod tests {
         let s: Vec<f64> = (0..50).map(|i| (i as f64 * 0.1).sin()).collect();
         let all = discretize(&s, &cfg(16, 4, 3), false);
         let reduced = discretize(&s, &cfg(16, 4, 3), true);
-        assert!(reduced.len() < all.len(), "{} vs {}", reduced.len(), all.len());
+        assert!(
+            reduced.len() < all.len(),
+            "{} vs {}",
+            reduced.len(),
+            all.len()
+        );
         // No two consecutive identical words remain.
         for pair in reduced.windows(2) {
             assert_ne!(pair[0].word, pair[1].word);
@@ -164,14 +230,23 @@ mod tests {
         // becomes aba bac cab acc bac cab — "bac" reappears after "acc".
         // We emulate by hand-rolling words through the same filter logic.
         let s: Vec<f64> = (0..60)
-            .map(|i| if (i / 10) % 2 == 0 { (i % 10) as f64 } else { (9 - i % 10) as f64 })
+            .map(|i| {
+                if (i / 10) % 2 == 0 {
+                    (i % 10) as f64
+                } else {
+                    (9 - i % 10) as f64
+                }
+            })
             .collect();
         let reduced = discretize(&s, &cfg(10, 5, 4), true);
         let letters: Vec<String> = reduced.iter().map(|w| w.word.letters()).collect();
         // The zig-zag series must alternate between at least two words and
         // revisit earlier words.
         let unique: std::collections::BTreeSet<_> = letters.iter().collect();
-        assert!(unique.len() < letters.len(), "repeats must survive: {letters:?}");
+        assert!(
+            unique.len() < letters.len(),
+            "repeats must survive: {letters:?}"
+        );
     }
 
     #[test]
@@ -191,5 +266,31 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         SaxConfig::new(0, 4, 4);
+    }
+
+    #[test]
+    fn frames_then_words_equals_discretize() {
+        let s: Vec<f64> = (0..120)
+            .map(|i| (i as f64 * 0.23).sin() + (i as f64 * 0.05).cos())
+            .collect();
+        for (w, p) in [(8usize, 4usize), (16, 4), (16, 8), (24, 6)] {
+            let frames = paa_frames(&s, w, p);
+            for a in [3usize, 4, 6, 8] {
+                let cfg = SaxConfig::new(w, p, a);
+                for nr in [false, true] {
+                    assert_eq!(
+                        words_from_frames(&frames, a, nr),
+                        discretize(&s, &cfg, nr),
+                        "w={w} p={p} a={a} nr={nr}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frames_of_short_series_are_empty() {
+        assert!(paa_frames(&[1.0, 2.0], 8, 4).is_empty());
+        assert!(words_from_frames(&[], 4, true).is_empty());
     }
 }

@@ -1,0 +1,66 @@
+//! The shared classification interface.
+//!
+//! Every method in the reproduction — RPM itself and the five §5.1
+//! baselines — implements [`Classifier`], so harnesses, the reproduction
+//! binary, and ablations drive all of them through one `&dyn Classifier`.
+//! The trait lives in this foundation crate (rather than the baselines
+//! crate, where it started) so `rpm-core` can implement it without a
+//! dependency cycle.
+
+use crate::dataset::Label;
+
+/// Uniform prediction interface over trained time-series classifiers.
+///
+/// ```
+/// use rpm_ts::{Classifier, Label};
+///
+/// /// Classifies by the sign of the series mean.
+/// struct SignOfMean;
+///
+/// impl Classifier for SignOfMean {
+///     fn predict(&self, series: &[f64]) -> Label {
+///         let mean: f64 = series.iter().sum::<f64>() / series.len().max(1) as f64;
+///         usize::from(mean >= 0.0)
+///     }
+/// }
+///
+/// let model: &dyn Classifier = &SignOfMean;
+/// assert_eq!(model.predict(&[-1.0, -2.0]), 0);
+/// assert_eq!(model.predict_batch(&[vec![1.0, 2.0]]), vec![1]);
+/// ```
+pub trait Classifier {
+    /// Predicts the class label of one series.
+    fn predict(&self, series: &[f64]) -> Label;
+
+    /// Predicts a batch.
+    fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
+        series.iter().map(|s| self.predict(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(Label);
+
+    impl Classifier for Constant {
+        fn predict(&self, _series: &[f64]) -> Label {
+            self.0
+        }
+    }
+
+    #[test]
+    fn default_batch_maps_predict() {
+        let c = Constant(3);
+        let batch = vec![vec![0.0; 4], vec![1.0; 4]];
+        assert_eq!(c.predict_batch(&batch), vec![3, 3]);
+    }
+
+    #[test]
+    fn trait_objects_dispatch() {
+        let models: Vec<Box<dyn Classifier>> = vec![Box::new(Constant(0)), Box::new(Constant(1))];
+        let preds: Vec<Label> = models.iter().map(|m| m.predict(&[0.5])).collect();
+        assert_eq!(preds, vec![0, 1]);
+    }
+}

@@ -48,12 +48,12 @@ impl Dataset {
     /// # Panics
     /// Panics if the vectors disagree in length.
     pub fn new(name: impl Into<String>, series: Vec<Vec<f64>>, labels: Vec<Label>) -> Self {
-        assert_eq!(
-            series.len(),
-            labels.len(),
-            "series/labels length mismatch"
-        );
-        Self { name: name.into(), series, labels }
+        assert_eq!(series.len(), labels.len(), "series/labels length mismatch");
+        Self {
+            name: name.into(),
+            series,
+            labels,
+        }
     }
 
     /// Number of series in the dataset.
@@ -273,11 +273,7 @@ mod tests {
 
     #[test]
     fn min_max_len() {
-        let d = Dataset::new(
-            "v",
-            vec![vec![0.0; 3], vec![0.0; 7]],
-            vec![0, 0],
-        );
+        let d = Dataset::new("v", vec![vec![0.0; 3], vec![0.0; 7]], vec![0, 0]);
         assert_eq!(d.min_len(), 3);
         assert_eq!(d.max_len(), 7);
     }

@@ -16,6 +16,7 @@
 //!
 //! All series are `f64` slices; no external numeric dependencies are used.
 
+pub mod classifier;
 pub mod dataset;
 pub mod dist;
 pub mod matching;
@@ -25,6 +26,7 @@ pub mod rotate;
 pub mod stats;
 pub mod windows;
 
+pub use classifier::Classifier;
 pub use dataset::{ClassView, Dataset, Label};
 pub use dist::{euclidean, euclidean_early_abandon, sq_euclidean, sq_euclidean_early_abandon};
 pub use matching::{best_match, closest_match_distance, BestMatch};

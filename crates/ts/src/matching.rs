@@ -38,7 +38,10 @@ pub fn best_match(pattern: &[f64], series: &[f64], early_abandon: bool) -> Optio
     }
     let zp = crate::norm::znorm(pattern);
     let mut window_buf = vec![0.0; n];
-    let mut best = BestMatch { position: 0, distance: f64::INFINITY };
+    let mut best = BestMatch {
+        position: 0,
+        distance: f64::INFINITY,
+    };
     let mut best_sq = f64::INFINITY;
     for p in 0..=(series.len() - n) {
         znorm_into(&series[p..p + n], &mut window_buf);
@@ -52,7 +55,10 @@ pub fn best_match(pattern: &[f64], series: &[f64], early_abandon: bool) -> Optio
         };
         if d_sq < best_sq {
             best_sq = d_sq;
-            best = BestMatch { position: p, distance: 0.0 };
+            best = BestMatch {
+                position: p,
+                distance: 0.0,
+            };
         }
     }
     best.distance = (best_sq / n as f64).sqrt();
@@ -93,7 +99,10 @@ mod tests {
     #[test]
     fn oversized_pattern_returns_none() {
         assert!(best_match(&[1.0, 2.0, 3.0], &[1.0, 2.0], true).is_none());
-        assert_eq!(closest_match_distance(&[1.0, 2.0, 3.0], &[1.0]), f64::INFINITY);
+        assert_eq!(
+            closest_match_distance(&[1.0, 2.0, 3.0], &[1.0]),
+            f64::INFINITY
+        );
     }
 
     #[test]
@@ -107,7 +116,9 @@ mod tests {
         let mut series = Vec::with_capacity(200);
         let mut state = 0x12345678u64;
         for _ in 0..200 {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             series.push(((state >> 33) as f64) / (u32::MAX as f64) - 0.5);
         }
         let pattern = &series[40..70].to_vec();

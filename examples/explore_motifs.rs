@@ -28,7 +28,10 @@ fn main() {
     let sax = SaxConfig::new(20, 4, 4);
 
     let motifs = discover_motifs(&series, &sax);
-    println!("discovered {} motifs; top 5 by occurrence count:", motifs.len());
+    println!(
+        "discovered {} motifs; top 5 by occurrence count:",
+        motifs.len()
+    );
     for m in motifs.iter().take(5) {
         let first: Vec<String> = m
             .occurrences
@@ -36,7 +39,12 @@ fn main() {
             .take(4)
             .map(|(s, e)| format!("[{s},{e})"))
             .collect();
-        println!("  x{:<4} ({} words)  {}", m.count(), m.rule_words, first.join(" "));
+        println!(
+            "  x{:<4} ({} words)  {}",
+            m.count(),
+            m.rule_words,
+            first.join(" ")
+        );
     }
 
     let cover = rule_coverage(&series, &sax);
@@ -46,7 +54,14 @@ fn main() {
 
     println!("\ntop discords (least-covered windows):");
     for d in find_discords(&series, &sax, 3) {
-        let marker = if (250..340).contains(&d.position) { "  <-- the fault" } else { "" };
-        println!("  @{:<5} len {:<4} coverage {:.2}{marker}", d.position, d.length, d.coverage);
+        let marker = if (250..340).contains(&d.position) {
+            "  <-- the fault"
+        } else {
+            ""
+        };
+        println!(
+            "  @{:<5} len {:<4} coverage {:.2}{marker}",
+            d.position, d.length, d.coverage
+        );
     }
 }

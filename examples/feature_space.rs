@@ -15,7 +15,10 @@ fn main() {
     println!("dataset: {train}");
 
     let config = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 10, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 10,
+            per_class: false,
+        },
         ..RpmConfig::default()
     };
     let model = RpmClassifier::train(&train, &config).expect("training failed");

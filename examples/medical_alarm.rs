@@ -15,7 +15,10 @@ fn main() {
     println!("test : {test}");
 
     let config = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 10, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 10,
+            per_class: false,
+        },
         ..RpmConfig::default()
     };
     let model = RpmClassifier::train(&train, &config).expect("training failed");
@@ -32,10 +35,20 @@ fn main() {
 
     println!("\npatterns mined from the alarm class:");
     for p in model.patterns_for_class(rpm::data::abp::ALARM) {
-        println!("  len {} freq {} coverage {}", p.values.len(), p.frequency, p.coverage);
+        println!(
+            "  len {} freq {} coverage {}",
+            p.values.len(),
+            p.frequency,
+            p.coverage
+        );
     }
     println!("patterns mined from the normal class:");
     for p in model.patterns_for_class(rpm::data::abp::NORMAL) {
-        println!("  len {} freq {} coverage {}", p.values.len(), p.frequency, p.coverage);
+        println!(
+            "  len {} freq {} coverage {}",
+            p.values.len(),
+            p.frequency,
+            p.coverage
+        );
     }
 }

@@ -18,7 +18,10 @@ fn main() {
     let config = RpmConfig::default();
     let model = RpmClassifier::train(&train, &config).expect("training failed");
 
-    println!("\nlearned {} representative patterns:", model.patterns().len());
+    println!(
+        "\nlearned {} representative patterns:",
+        model.patterns().len()
+    );
     for p in model.patterns() {
         println!(
             "  class {} len {} freq {} coverage {}",

@@ -26,13 +26,19 @@ fn main() {
     // RPM, plain and rotation-invariant (same patterns; the invariant
     // variant also matches each pattern against the half-rotated series).
     let base = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 10, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 10,
+            per_class: false,
+        },
         ..RpmConfig::default()
     };
     let plain = RpmClassifier::train(&train, &base).expect("training failed");
     let invariant = RpmClassifier::train(
         &train,
-        &RpmConfig { rotation_invariant: true, ..base },
+        &RpmConfig {
+            rotation_invariant: true,
+            ..base
+        },
     )
     .expect("training failed");
 
@@ -46,10 +52,16 @@ fn main() {
         &invariant.predict_batch(&test_rotated.series),
     );
 
-    println!("\n{:<28}{:>12}{:>14}", "method", "clean test", "rotated test");
+    println!(
+        "\n{:<28}{:>12}{:>14}",
+        "method", "clean test", "rotated test"
+    );
     println!("{:<28}{nn_clean:>12.3}{nn_rot:>14.3}", "NN-ED");
     println!("{:<28}{rpm_clean:>12.3}{rpm_rot:>14.3}", "RPM (plain)");
-    println!("{:<28}{:>12}{rpm_inv_rot:>14.3}", "RPM (rotation-invariant)", "-");
+    println!(
+        "{:<28}{:>12}{rpm_inv_rot:>14.3}",
+        "RPM (rotation-invariant)", "-"
+    );
     println!(
         "\nExpected shape (paper Table 4): NN-ED degrades drastically under \
          rotation while rotation-invariant RPM holds up."

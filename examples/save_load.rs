@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test = rpm::data::cbf::generate(30, 128, 2);
 
     let config = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 8, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 8,
+            per_class: false,
+        },
         ..RpmConfig::default()
     };
     let model = RpmClassifier::train(&train, &config)?;

@@ -6,8 +6,8 @@
 //! cargo run --release --example ucr_io
 //! ```
 
-use rpm::prelude::*;
 use rpm::data::ucr::{read_ucr_file, write_ucr};
+use rpm::prelude::*;
 
 fn main() -> std::io::Result<()> {
     let dir = std::env::temp_dir().join("rpm_ucr_example");

@@ -76,10 +76,7 @@ where
 {
     match flag_value(args, flag) {
         None => Ok(None),
-        Some(v) => v
-            .parse::<T>()
-            .map(Some)
-            .map_err(|e| format!("{flag}: {e}")),
+        Some(v) => v.parse::<T>().map(Some).map_err(|e| format!("{flag}: {e}")),
     }
 }
 
@@ -92,17 +89,22 @@ fn sax_from_flags(args: &[String], default_len: usize) -> Result<SaxConfig, Stri
 
 fn cmd_train(args: &[String]) -> CliResult {
     let train_path = positional(args, 0)?;
-    let model_path =
-        flag_value(args, "--model").ok_or("train requires --model <OUT>")?;
+    let model_path = flag_value(args, "--model").ok_or("train requires --model <OUT>")?;
     let (train, _) = read_ucr_file(train_path)?;
     eprintln!("loaded {train}");
 
     let param_search = if let Some(n) = parse_flag::<usize>(args, "--direct")? {
-        ParamSearch::Direct { max_evals: n, per_class: flag_present(args, "--per-class") }
+        ParamSearch::Direct {
+            max_evals: n,
+            per_class: flag_present(args, "--per-class"),
+        }
     } else if flag_present(args, "--window") {
         ParamSearch::Fixed(sax_from_flags(args, train.min_len())?)
     } else {
-        ParamSearch::Direct { max_evals: 12, per_class: false }
+        ParamSearch::Direct {
+            max_evals: 12,
+            per_class: false,
+        }
     };
     let config = RpmConfig {
         param_search,
@@ -152,10 +154,7 @@ fn cmd_patterns(args: &[String]) -> CliResult {
 fn cmd_motifs(args: &[String]) -> CliResult {
     let series_path = positional(args, 0)?;
     let (data, _) = read_ucr_file(series_path)?;
-    let series = data
-        .series
-        .first()
-        .ok_or("series file is empty")?;
+    let series = data.series.first().ok_or("series file is empty")?;
     let sax = sax_from_flags(args, series.len())?;
     let motifs = discover_motifs(series, &sax);
     println!("top motifs (count, word length, first occurrences):");
@@ -166,12 +165,20 @@ fn cmd_motifs(args: &[String]) -> CliResult {
             .take(5)
             .map(|(s, e)| format!("[{s},{e})"))
             .collect();
-        println!("  x{:<4} {:>3} words  {}", m.count(), m.rule_words, occ.join(" "));
+        println!(
+            "  x{:<4} {:>3} words  {}",
+            m.count(),
+            m.rule_words,
+            occ.join(" ")
+        );
     }
     let discords = find_discords(series, &sax, 3);
     println!("top discords (position, length, coverage):");
     for d in discords {
-        println!("  @{:<6} len {:<5} coverage {:.2}", d.position, d.length, d.coverage);
+        println!(
+            "  @{:<6} len {:<5} coverage {:.2}",
+            d.position, d.length, d.coverage
+        );
     }
     Ok(())
 }
@@ -187,6 +194,10 @@ fn cmd_generate(args: &[String]) -> CliResult {
     let (train, test) = rpm::data::generate(&spec, seed);
     write_ucr(&train, std::fs::File::create(format!("{prefix}_TRAIN"))?)?;
     write_ucr(&test, std::fs::File::create(format!("{prefix}_TEST"))?)?;
-    eprintln!("wrote {prefix}_TRAIN ({}) and {prefix}_TEST ({})", train.len(), test.len());
+    eprintln!(
+        "wrote {prefix}_TRAIN ({}) and {prefix}_TEST ({})",
+        train.len(),
+        test.len()
+    );
     Ok(())
 }

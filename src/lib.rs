@@ -46,9 +46,10 @@ pub use rpm_ts as ts;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use rpm_baselines::Classifier;
-    pub use rpm_core::{ParamSearch, Pattern, RpmClassifier, RpmConfig, TrainError};
+    pub use rpm_core::{
+        ConfigError, ParamSearch, Pattern, RpmClassifier, RpmConfig, RpmConfigBuilder, TrainError,
+    };
     pub use rpm_ml::{error_rate, macro_f1};
     pub use rpm_sax::SaxConfig;
-    pub use rpm_ts::{Dataset, Label};
+    pub use rpm_ts::{Classifier, Dataset, Label};
 }

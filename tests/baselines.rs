@@ -4,8 +4,8 @@
 //! hold in the small.
 
 use rpm::baselines::{
-    Classifier, FastShapelets, FastShapeletsParams, LearningShapelets,
-    LearningShapeletsParams, OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams,
+    Classifier, FastShapelets, FastShapeletsParams, LearningShapelets, LearningShapeletsParams,
+    OneNnDtw, OneNnEuclidean, SaxVsm, SaxVsmParams,
 };
 use rpm::prelude::*;
 use rpm_data::{generate, registry::spec_by_name};
@@ -54,7 +54,10 @@ fn learning_shapelets_on_gun_point() {
     let (train, test) = small("GunPoint", 30, 40);
     let m = LearningShapelets::train(
         &train,
-        &LearningShapeletsParams { max_iter: 150, ..Default::default() },
+        &LearningShapeletsParams {
+            max_iter: 150,
+            ..Default::default()
+        },
     );
     let err = error_rate(&test.labels, &m.predict_batch(&test.series));
     assert!(err < 0.3, "LS error {err}");
@@ -72,8 +75,7 @@ fn all_methods_agree_on_an_easy_dataset() {
         ),
         error_rate(
             &test.labels,
-            &SaxVsm::train(&train, &SaxVsmParams::for_length(200))
-                .predict_batch(&test.series),
+            &SaxVsm::train(&train, &SaxVsmParams::for_length(200)).predict_batch(&test.series),
         ),
         error_rate(
             &test.labels,
@@ -107,10 +109,10 @@ fn any_classifier_works_on_rpm_features() {
     // once, reuse its features with SVM (built in), kNN, logistic, and
     // the RBF kernel SVM; all must beat chance clearly.
     use rpm::core::transform_set;
-    use rpm::ml::{Knn, Logistic, LogisticParams};
     use rpm::ml::{KernelSvm, KernelSvmParams};
+    use rpm::ml::{Knn, Logistic, LogisticParams};
     let (train, test) = small("CBF", 18, 30);
-    let model = RpmClassifier::train(&train, &RpmConfig::fixed(SaxConfig::new(32, 4, 4))).unwrap();
+    let model = RpmClassifier::train(&train, &RpmConfig::fixed(SaxConfig::new(24, 4, 4))).unwrap();
     let values: Vec<Vec<f64>> = model.patterns().iter().map(|p| p.values.clone()).collect();
     let train_f = transform_set(&train.series, &values, false, true);
     let test_f = transform_set(&test.series, &values, false, true);
@@ -147,7 +149,10 @@ fn rpm_is_much_faster_than_learning_shapelets() {
     let t1 = std::time::Instant::now();
     let ls = LearningShapelets::train(
         &train,
-        &LearningShapeletsParams { max_iter: 200, ..Default::default() },
+        &LearningShapeletsParams {
+            max_iter: 200,
+            ..Default::default()
+        },
     );
     ls.predict_batch(&test.series);
     let ls_t = t1.elapsed();

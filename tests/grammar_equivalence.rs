@@ -46,7 +46,10 @@ fn rpm_classifies_well_with_either_inducer() {
         ("sequitur", GrammarAlgorithm::Sequitur),
         ("repair", GrammarAlgorithm::RePair),
     ] {
-        let config = RpmConfig { grammar, ..base.clone() };
+        let config = RpmConfig {
+            grammar,
+            ..base.clone()
+        };
         let model = RpmClassifier::train(&train, &config).unwrap();
         let err = error_rate(&test.labels, &model.predict_batch(&test.series));
         assert!(err < 0.2, "{name}: error {err}");

@@ -1,0 +1,155 @@
+//! Parallel-training acceptance tests: training with `n_threads >= 4`
+//! must produce *bit-identical* models to serial training — the engine
+//! merges worker results by index and every reduction happens in the
+//! serial order (DESIGN.md §5). Plus property tests of the validated
+//! config builder.
+
+use proptest::prelude::*;
+use rpm::prelude::*;
+use rpm_data::{generate, registry::spec_by_name};
+
+/// Full grid-search training on CBF: 4 threads vs serial, predictions
+/// and learned patterns must match exactly.
+#[test]
+fn parallel_grid_training_matches_serial_on_cbf() {
+    let spec = spec_by_name("CBF").unwrap();
+    let mut spec = spec;
+    spec.train = 18;
+    spec.test = 24;
+    let (train, test) = generate(&spec, 2016);
+    let search = ParamSearch::Grid {
+        windows: vec![16, 24, 32],
+        paas: vec![4],
+        alphas: vec![3, 4],
+        per_class: false,
+    };
+    let serial_cfg = RpmConfig {
+        param_search: search.clone(),
+        n_validation_splits: 2,
+        n_threads: 1,
+        ..RpmConfig::default()
+    };
+    let parallel_cfg = RpmConfig {
+        n_threads: 4,
+        ..serial_cfg.clone()
+    };
+
+    let serial = RpmClassifier::train(&train, &serial_cfg).unwrap();
+    let parallel = RpmClassifier::train(&train, &parallel_cfg).unwrap();
+
+    assert_eq!(
+        serial.predict_batch(&test.series),
+        parallel.predict_batch(&test.series),
+        "parallel grid training must be bit-identical to serial"
+    );
+    assert_eq!(serial.patterns().len(), parallel.patterns().len());
+    for (a, b) in serial.patterns().iter().zip(parallel.patterns()) {
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.values, b.values);
+    }
+}
+
+/// DIRECT per-class training on SyntheticControl (6 classes): 4 threads
+/// vs serial, identical predictions.
+#[test]
+fn parallel_direct_training_matches_serial_on_synthetic_control() {
+    let mut spec = spec_by_name("SyntheticControl").unwrap();
+    spec.train = 18; // 3 per class
+    spec.test = 24;
+    let (train, test) = generate(&spec, 2016);
+    let serial_cfg = RpmConfig {
+        param_search: ParamSearch::Direct {
+            max_evals: 4,
+            per_class: true,
+        },
+        n_validation_splits: 1,
+        n_threads: 1,
+        ..RpmConfig::default()
+    };
+    let parallel_cfg = RpmConfig {
+        n_threads: 4,
+        ..serial_cfg.clone()
+    };
+
+    let serial = RpmClassifier::train(&train, &serial_cfg).unwrap();
+    let parallel = RpmClassifier::train(&train, &parallel_cfg).unwrap();
+
+    assert_eq!(
+        serial.predict_batch(&test.series),
+        parallel.predict_batch(&test.series),
+        "parallel DIRECT training must be bit-identical to serial"
+    );
+}
+
+/// The quickstart builder from the issue: fluent, validated.
+#[test]
+fn builder_quickstart_round_trip() {
+    let config = RpmConfig::builder().gamma(0.2).threads(8).build().unwrap();
+    assert_eq!(config.gamma, 0.2);
+    assert_eq!(config.n_threads, 8);
+
+    let err = RpmConfig::builder().gamma(1.5).build().unwrap_err();
+    assert_eq!(err, ConfigError::GammaOutOfRange(1.5));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `build()` accepts exactly the documented γ range `(0, 1]`.
+    #[test]
+    fn builder_validates_gamma(gamma in -1.0f64..2.0) {
+        let r = RpmConfig::builder().gamma(gamma).build();
+        if gamma > 0.0 && gamma <= 1.0 {
+            prop_assert!(r.is_ok(), "gamma {gamma} should be accepted");
+            prop_assert_eq!(r.unwrap().gamma, gamma);
+        } else {
+            prop_assert_eq!(r.unwrap_err(), ConfigError::GammaOutOfRange(gamma));
+        }
+    }
+
+    /// `build()` accepts exactly the documented τ percentile range [0, 100].
+    #[test]
+    fn builder_validates_tau(tau in -50.0f64..150.0) {
+        let r = RpmConfig::builder().tau_percentile(tau).build();
+        if (0.0..=100.0).contains(&tau) {
+            prop_assert!(r.is_ok(), "tau {tau} should be accepted");
+        } else {
+            prop_assert_eq!(r.unwrap_err(), ConfigError::TauPercentileOutOfRange(tau));
+        }
+    }
+
+    /// Fixed SAX parameters are validated against the documented ranges;
+    /// a valid triple always builds to a `Fixed` search with those values.
+    #[test]
+    fn builder_validates_sax(w in 0usize..64, p in 0usize..16, a in 0usize..26) {
+        let r = RpmConfig::builder().sax(w, p, a).build();
+        match r {
+            Ok(cfg) => {
+                prop_assert!(w > 0 && p > 0 && (2..=20).contains(&a));
+                match cfg.param_search {
+                    ParamSearch::Fixed(s) => {
+                        prop_assert_eq!(s.window, w);
+                        prop_assert_eq!(s.paa_size, p);
+                        prop_assert_eq!(s.alphabet, a);
+                    }
+                    other => prop_assert!(false, "expected Fixed, got {:?}", other),
+                }
+            }
+            Err(ConfigError::ZeroWindow) => prop_assert_eq!(w, 0),
+            Err(ConfigError::ZeroPaa) => prop_assert_eq!(p, 0),
+            Err(ConfigError::AlphabetOutOfRange(bad)) => {
+                prop_assert_eq!(bad, a);
+                prop_assert!(!(2..=20).contains(&a));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+        }
+    }
+
+    /// Any thread count is legal and is passed through verbatim
+    /// (0 = auto-detect, resolved at engine construction, not here).
+    #[test]
+    fn builder_accepts_any_thread_count(n in 0usize..256) {
+        let cfg = RpmConfig::builder().threads(n).build().unwrap();
+        prop_assert_eq!(cfg.n_threads, n);
+    }
+}

@@ -34,7 +34,10 @@ fn gun_point_with_direct_search() {
     let spec = spec_by_name("GunPoint").unwrap();
     let (train, test) = generate(&spec, 7);
     let config = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 6, per_class: false },
+        param_search: ParamSearch::Direct {
+            max_evals: 6,
+            per_class: false,
+        },
         n_validation_splits: 2,
         ..RpmConfig::default()
     };
@@ -48,7 +51,10 @@ fn per_class_direct_search_trains() {
     let spec = spec_by_name("ItalyPowerDemand").unwrap();
     let (train, test) = generate(&spec, 9);
     let config = RpmConfig {
-        param_search: ParamSearch::Direct { max_evals: 4, per_class: true },
+        param_search: ParamSearch::Direct {
+            max_evals: 4,
+            per_class: true,
+        },
         n_validation_splits: 1,
         ..RpmConfig::default()
     };
@@ -66,7 +72,10 @@ fn rotation_invariant_model_survives_rotation() {
     let plain = RpmClassifier::train(&train, &quick_config(30)).unwrap();
     let invariant = RpmClassifier::train(
         &train,
-        &RpmConfig { rotation_invariant: true, ..quick_config(30) },
+        &RpmConfig {
+            rotation_invariant: true,
+            ..quick_config(30)
+        },
     )
     .unwrap();
 
@@ -113,7 +122,10 @@ fn training_twice_is_deterministic() {
     let test = rpm::data::ecg::generate(10, 136, 42);
     let m1 = RpmClassifier::train(&train, &quick_config(28)).unwrap();
     let m2 = RpmClassifier::train(&train, &quick_config(28)).unwrap();
-    assert_eq!(m1.predict_batch(&test.series), m2.predict_batch(&test.series));
+    assert_eq!(
+        m1.predict_batch(&test.series),
+        m2.predict_batch(&test.series)
+    );
 }
 
 #[test]
@@ -136,7 +148,10 @@ fn grid_and_direct_search_both_produce_working_models() {
             alphas: vec![4],
             per_class: false,
         },
-        ParamSearch::Direct { max_evals: 5, per_class: false },
+        ParamSearch::Direct {
+            max_evals: 5,
+            per_class: false,
+        },
     ] {
         let config = RpmConfig {
             param_search: search,
