@@ -1,6 +1,7 @@
 //! Microbenchmarks of the numeric kernels: the closest-match search (with
 //! and without early abandoning — the §5.3 optimization), SAX
-//! discretization, Sequitur induction, and banded DTW.
+//! discretization, Sequitur induction, banded DTW, and the disabled-path
+//! cost of the observability probes (one relaxed atomic load each).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpm_baselines::dtw_distance_banded;
@@ -71,11 +72,56 @@ fn bench_dtw(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of observability probes while recording is OFF — the state every
+/// production run pays. Each probe must compile down to one relaxed
+/// atomic load plus a branch; the instrumented kernel is compared against
+/// an identical closure with no probe.
+fn bench_obs_disabled(c: &mut Criterion) {
+    assert_eq!(rpm_obs::level(), rpm_obs::ObsLevel::Off);
+    let mut g = c.benchmark_group("obs_disabled");
+    g.bench_function("span_enter_drop", |b| {
+        b.iter(|| {
+            let _span = rpm_obs::span!("bench");
+            black_box(())
+        })
+    });
+    g.bench_function("counter_add", |b| {
+        b.iter(|| rpm_obs::metrics().engine_jobs.add(black_box(1)))
+    });
+    g.bench_function("histogram_observe", |b| {
+        b.iter(|| rpm_obs::metrics().engine_drain.observe(black_box(42)))
+    });
+    // The same tight loop with and without a probe inside: the delta is
+    // the per-iteration overhead an instrumented hot loop pays when off.
+    let series = synthetic_series(256, 13);
+    g.bench_function("sum_loop_plain", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for v in black_box(&series) {
+                acc += v;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("sum_loop_probed", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for v in black_box(&series) {
+                rpm_obs::metrics().engine_jobs.add(1);
+                acc += v;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_best_match,
     bench_discretize,
     bench_sequitur,
-    bench_dtw
+    bench_dtw,
+    bench_obs_disabled
 );
 criterion_main!(benches);

@@ -46,6 +46,7 @@ fn eval_method(model: &dyn Classifier, test: &Dataset) -> f64 {
 }
 
 fn main() {
+    rpm_obs::init_env_default(rpm_obs::ObsLevel::Summary);
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let mut cache = SuiteCache::default();
@@ -83,6 +84,8 @@ fn main() {
             std::process::exit(2);
         }
     }
+    // Stage tree to stderr + optional JSONL report (RPM_LOG=...,json=PATH).
+    rpm_obs::finish();
 }
 
 /// The Table 1/2 suite run is shared by four views; compute it once.
@@ -382,6 +385,7 @@ fn fig2() {
     let (model, train, test) = train_for_figure("CBF");
     print_patterns(&model, &train);
     println!("CBF test error: {:.3}", eval_method(&model, &test));
+    println!("training cache: {}", model.cache_stats());
 }
 
 fn fig3() {
@@ -389,6 +393,7 @@ fn fig3() {
     let (model, train, test) = train_for_figure("Coffee");
     print_patterns(&model, &train);
     println!("Coffee test error: {:.3}", eval_method(&model, &test));
+    println!("training cache: {}", model.cache_stats());
 }
 
 fn fig4() {
@@ -455,6 +460,7 @@ fn fig56() {
     let (model, train, test) = train_for_figure("ECGFiveDays");
     print_patterns(&model, &train);
     println!("ECGFiveDays test error: {:.3}", eval_method(&model, &test));
+    println!("training cache: {}", model.cache_stats());
     // Figure 6: project the training data on the first two pattern axes.
     let k = model.patterns().len().min(2);
     println!("\ntransformed training data (first {k} feature(s)):");
@@ -503,6 +509,7 @@ fn alarm() {
         "RPM",
         eval_method(&model, &test)
     );
+    println!("training cache: {}", model.cache_stats());
     println!("\nRPM patterns on the alarm class:");
     for p in model.patterns_for_class(rpm_data::abp::ALARM) {
         println!(

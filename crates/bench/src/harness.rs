@@ -120,7 +120,12 @@ impl Default for SuiteOptions {
 /// Times one method end to end: build (train) + batch classification,
 /// through the shared [`Classifier`] trait object — RPM and the five
 /// baselines all go through this single code path.
-fn time_run(build: impl FnOnce() -> Box<dyn Classifier>, test: &Dataset) -> MethodOutcome {
+fn time_run(
+    name: &'static str,
+    build: impl FnOnce() -> Box<dyn Classifier>,
+    test: &Dataset,
+) -> MethodOutcome {
+    let _span = rpm_obs::span!(name);
     let start = Instant::now();
     let model = build();
     let preds = model.predict_batch(&test.series);
@@ -143,9 +148,16 @@ pub fn evaluate_dataset_with(
     let mut outcomes = Vec::new();
     for &kind in &options.methods {
         let outcome = match kind {
-            ClassifierKind::NnEd => time_run(|| Box::new(OneNnEuclidean::train(&train)), &test),
-            ClassifierKind::NnDtwB => time_run(|| Box::new(OneNnDtw::train(&train)), &test),
+            ClassifierKind::NnEd => time_run(
+                kind.name(),
+                || Box::new(OneNnEuclidean::train(&train)),
+                &test,
+            ),
+            ClassifierKind::NnDtwB => {
+                time_run(kind.name(), || Box::new(OneNnDtw::train(&train)), &test)
+            }
             ClassifierKind::SaxVsm => time_run(
+                kind.name(),
                 || {
                     Box::new(SaxVsm::train(
                         &train,
@@ -155,6 +167,7 @@ pub fn evaluate_dataset_with(
                 &test,
             ),
             ClassifierKind::Fs => time_run(
+                kind.name(),
                 || {
                     Box::new(FastShapelets::train(
                         &train,
@@ -164,6 +177,7 @@ pub fn evaluate_dataset_with(
                 &test,
             ),
             ClassifierKind::Ls => time_run(
+                kind.name(),
                 || {
                     if options.ls_full_protocol {
                         Box::new(LearningShapelets::train_with_selection(
@@ -183,6 +197,7 @@ pub fn evaluate_dataset_with(
                 &test,
             ),
             ClassifierKind::Rpm => time_run(
+                kind.name(),
                 || {
                     Box::new(
                         RpmClassifier::train(&train, &options.rpm)
@@ -205,20 +220,20 @@ pub fn evaluate_dataset(spec: &DatasetSpec, options: &SuiteOptions) -> DatasetRe
     evaluate_dataset_with(spec, options, Clone::clone)
 }
 
-/// Runs the whole suite, printing one progress line per dataset to
-/// stderr.
+/// Runs the whole suite, logging one progress line per dataset through
+/// the structured logger (visible when observability is enabled).
 pub fn run_suite(specs: &[DatasetSpec], options: &SuiteOptions) -> Vec<DatasetResult> {
     specs
         .iter()
         .map(|spec| {
-            eprintln!("[suite] {} ...", spec.name);
+            rpm_obs::info!("suite", "{} ...", spec.name);
             let r = evaluate_dataset(spec, options);
             let rpm_err = r
                 .outcomes
                 .iter()
                 .find(|(k, _)| *k == ClassifierKind::Rpm)
                 .map(|(_, o)| o.error);
-            eprintln!("[suite] {} done (RPM err {:?})", spec.name, rpm_err);
+            rpm_obs::info!("suite", "{} done (RPM err {rpm_err:?})", spec.name);
             r
         })
         .collect()

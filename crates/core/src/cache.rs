@@ -56,6 +56,44 @@ pub struct CacheStats {
     pub misses: usize,
 }
 
+impl CacheStats {
+    /// Total lookups (`hits + misses`).
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups answered from memory (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} lookups ({:.1}% hit rate)",
+            self.hits,
+            self.lookups(),
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
+/// Which memoization map a lookup went to; routes the lookup to the
+/// matching per-family counters in the global metrics registry.
+#[derive(Clone, Copy, Debug)]
+enum Family {
+    Frames,
+    Words,
+    Evals,
+    Columns,
+}
+
 type FramesKey = (SetId, Label, usize, usize);
 type WordsKey = (SetId, Label, SaxConfig, bool);
 type EvalValue = Option<(BTreeMap<Label, f64>, f64)>;
@@ -102,11 +140,25 @@ impl SaxCache {
         }
     }
 
-    fn record(&self, hit: bool) {
+    fn record(&self, family: Family, hit: bool) {
         if hit {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
             self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        if rpm_obs::enabled() {
+            let m = rpm_obs::metrics();
+            let fam = match family {
+                Family::Frames => &m.cache_frames,
+                Family::Words => &m.cache_words,
+                Family::Evals => &m.cache_evals,
+                Family::Columns => &m.cache_columns,
+            };
+            if hit {
+                fam.hits.inc();
+            } else {
+                fam.misses.inc();
+            }
         }
     }
 
@@ -133,10 +185,10 @@ impl SaxCache {
         }
         let key = (set, class, window, paa_size);
         if let Some(v) = self.frames.lock().ok().and_then(|m| m.get(&key).cloned()) {
-            self.record(true);
+            self.record(Family::Frames, true);
             return v;
         }
-        self.record(false);
+        self.record(Family::Frames, false);
         let v = compute();
         if let Ok(mut m) = self.frames.lock() {
             return m.entry(key).or_insert(v).clone();
@@ -158,10 +210,10 @@ impl SaxCache {
         let key = (set, class, *sax, numerosity_reduction);
         if self.enabled {
             if let Some(v) = self.words.lock().ok().and_then(|m| m.get(&key).cloned()) {
-                self.record(true);
+                self.record(Family::Words, true);
                 return v;
             }
-            self.record(false);
+            self.record(Family::Words, false);
         }
         let frames = self.frames(set, class, sax.window, sax.paa_size, members);
         let v = Arc::new(
@@ -188,10 +240,10 @@ impl SaxCache {
             return compute();
         }
         if let Some(v) = self.evals.lock().ok().and_then(|m| m.get(sax).cloned()) {
-            self.record(true);
+            self.record(Family::Evals, true);
             return v;
         }
-        self.record(false);
+        self.record(Family::Evals, false);
         let v = compute();
         if let Ok(mut m) = self.evals.lock() {
             return m.entry(*sax).or_insert(v).clone();
@@ -216,10 +268,10 @@ impl SaxCache {
         }
         let key = (set, fingerprint(pattern), rotation_invariant, early_abandon);
         if let Some(v) = self.columns.lock().ok().and_then(|m| m.get(&key).cloned()) {
-            self.record(true);
+            self.record(Family::Columns, true);
             return v;
         }
-        self.record(false);
+        self.record(Family::Columns, false);
         let v = Arc::new(compute());
         if let Ok(mut m) = self.columns.lock() {
             return m.entry(key).or_insert(v).clone();

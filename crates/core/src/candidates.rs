@@ -86,6 +86,9 @@ pub(crate) fn find_candidates_for_class_ctx(
     config: &RpmConfig,
     ctx: &Ctx<'_>,
 ) -> CandidateSet {
+    // Runs on an engine worker when classes fan out, so this span roots
+    // its own per-thread stage ("mine_class") in the run report.
+    let _span = rpm_obs::span!("mine_class");
     let mut out = CandidateSet::default();
     if members.is_empty() {
         return out;
@@ -230,6 +233,9 @@ pub(crate) fn find_candidates_for_class_ctx(
             });
         }
     }
+    let m = rpm_obs::metrics();
+    m.mine_rules.add(out.rules_inspected as u64);
+    m.mine_candidates.add(out.candidates.len() as u64);
     out
 }
 

@@ -4,6 +4,7 @@
 
 use rpm_cluster::BisectParams;
 use rpm_ml::{CfsParams, SvmParams};
+use rpm_obs::ObsConfig;
 use rpm_sax::{SaxConfig, MAX_ALPHABET, MIN_ALPHABET};
 use std::fmt;
 
@@ -154,6 +155,11 @@ pub struct RpmConfig {
     /// during training. Identical results either way; off only for the
     /// cache ablation.
     pub cache: bool,
+    /// Observability settings (recording level + JSONL report path),
+    /// installed globally when training starts. Recording never changes
+    /// results — only what is measured. Binaries usually leave this at
+    /// the default and rely on `RPM_LOG` instead (`rpm_obs::init_env`).
+    pub obs: ObsConfig,
 }
 
 impl Default for RpmConfig {
@@ -180,6 +186,7 @@ impl Default for RpmConfig {
             seed: 0xC0FFEE,
             n_threads: 1,
             cache: true,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -243,6 +250,12 @@ impl RpmConfigBuilder {
     /// Enable or disable the training memoization cache.
     pub fn cache(mut self, enabled: bool) -> Self {
         self.config.cache = enabled;
+        self
+    }
+
+    /// Observability settings (recording level + JSONL report path).
+    pub fn obs(mut self, obs: ObsConfig) -> Self {
+        self.config.obs = obs;
         self
     }
 

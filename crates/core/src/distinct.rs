@@ -83,10 +83,15 @@ pub(crate) fn select_representative_ctx(
     config: &RpmConfig,
     ctx: &Ctx<'_>,
 ) -> Result<Vec<Candidate>, EngineError> {
+    let _span = rpm_obs::span!("select");
     if candidates.is_empty() {
         return Ok(candidates);
     }
+    rpm_obs::metrics()
+        .prune_pool_in
+        .add(candidates.len() as u64);
     let tau = compute_tau(intra_cluster_distances, config.tau_percentile);
+    let dedup_span = rpm_obs::span!("dedup");
     let mut deduped = remove_similar(candidates, tau, config.early_abandon);
     if deduped.len() > config.max_candidates {
         // Keep the candidates covering the most training instances (ties
@@ -95,22 +100,39 @@ pub(crate) fn select_representative_ctx(
         deduped.sort_by_key(|c| std::cmp::Reverse((c.coverage, c.frequency)));
         deduped.truncate(config.max_candidates);
     }
+    drop(dedup_span);
+    rpm_obs::metrics().prune_kept.add(deduped.len() as u64);
     if deduped.len() <= 1 {
         return Ok(deduped);
     }
     // Transform the training set into the candidate-distance space.
     let pattern_values: Vec<Vec<f64>> = deduped.iter().map(|c| c.values.clone()).collect();
     let rows = transform_set_ctx(train, &pattern_values, false, config.early_abandon, ctx)?;
+    let cfs_span = rpm_obs::span!("cfs");
+    rpm_obs::metrics().cfs_features_in.add(deduped.len() as u64);
     let selected = cfs_select(&rows, labels, &config.cfs);
+    drop(cfs_span);
     let mut keep = vec![false; deduped.len()];
     for idx in selected {
         keep[idx] = true;
     }
-    Ok(deduped
+    let kept: Vec<Candidate> = deduped
         .into_iter()
         .zip(keep)
         .filter_map(|(c, k)| k.then_some(c))
-        .collect())
+        .collect();
+    if rpm_obs::enabled() {
+        rpm_obs::metrics().cfs_survivors.add(kept.len() as u64);
+        let mut per_class: std::collections::BTreeMap<Label, u64> =
+            std::collections::BTreeMap::new();
+        for c in &kept {
+            *per_class.entry(c.class).or_insert(0) += 1;
+        }
+        for (class, n) in per_class {
+            rpm_obs::metrics::labeled_add(&format!("cfs.survivors.class={class}"), n);
+        }
+    }
+    Ok(kept)
 }
 
 #[cfg(test)]

@@ -92,10 +92,24 @@ impl Engine {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        // Observability only reads clocks and bumps atomic counters; it
+        // never influences scheduling, so instrumented runs return the
+        // same bytes as uninstrumented ones.
+        let obs = rpm_obs::enabled();
+        if obs {
+            rpm_obs::metrics().engine_runs.inc();
+            rpm_obs::metrics().engine_jobs.add(n_jobs as u64);
+        }
         if self.n_threads <= 1 || n_jobs < 2 {
+            let t0 = obs.then(rpm_obs::now_ns);
             let mut out = Vec::with_capacity(n_jobs);
             for i in 0..n_jobs {
                 out.push(catch_unwind(AssertUnwindSafe(|| job(i))).map_err(panic_error)?);
+            }
+            if let Some(t0) = t0 {
+                rpm_obs::metrics()
+                    .engine_drain
+                    .observe(rpm_obs::now_ns().saturating_sub(t0));
             }
             return Ok(out);
         }
@@ -105,32 +119,56 @@ impl Engine {
         let slots: Vec<Mutex<Option<T>>> = (0..n_jobs).map(|_| Mutex::new(None)).collect();
         let failure: Mutex<Option<EngineError>> = Mutex::new(None);
 
+        let t0 = obs.then(rpm_obs::now_ns);
+        if obs {
+            rpm_obs::metrics()
+                .engine_workers_max
+                .record_max(n_workers as u64);
+        }
         std::thread::scope(|scope| {
             for _ in 0..n_workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_jobs {
-                        break;
-                    }
-                    if failure.lock().is_ok_and(|f| f.is_some()) {
-                        break; // a sibling already failed; stop early
-                    }
-                    match catch_unwind(AssertUnwindSafe(|| job(i))) {
-                        Ok(v) => {
-                            if let Ok(mut slot) = slots[i].lock() {
-                                *slot = Some(v);
-                            }
-                        }
-                        Err(p) => {
-                            if let Ok(mut f) = failure.lock() {
-                                f.get_or_insert(panic_error(p));
-                            }
+                scope.spawn(|| {
+                    let mut busy_ns = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_jobs {
                             break;
                         }
+                        if failure.lock().is_ok_and(|f| f.is_some()) {
+                            break; // a sibling already failed; stop early
+                        }
+                        let job_t0 = obs.then(rpm_obs::now_ns);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| job(i)));
+                        if let Some(job_t0) = job_t0 {
+                            busy_ns += rpm_obs::now_ns().saturating_sub(job_t0);
+                        }
+                        match outcome {
+                            Ok(v) => {
+                                if let Ok(mut slot) = slots[i].lock() {
+                                    *slot = Some(v);
+                                }
+                            }
+                            Err(p) => {
+                                if let Ok(mut f) = failure.lock() {
+                                    f.get_or_insert(panic_error(p));
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    if busy_ns > 0 {
+                        rpm_obs::metrics().engine_busy_ns.add(busy_ns);
                     }
                 });
             }
         });
+        if let Some(t0) = t0 {
+            let drain_ns = rpm_obs::now_ns().saturating_sub(t0);
+            let m = rpm_obs::metrics();
+            m.engine_drain.observe(drain_ns);
+            // Utilization denominator: workers × fan-out wall time.
+            m.engine_span_ns.add(drain_ns * n_workers as u64);
+        }
 
         if let Ok(mut f) = failure.lock() {
             if let Some(err) = f.take() {

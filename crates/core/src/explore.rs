@@ -47,6 +47,7 @@ pub struct Discord {
 /// ordered by descending occurrence count. Returns an empty vector when
 /// the series is shorter than the window or nothing repeats.
 pub fn discover_motifs(series: &[f64], sax: &SaxConfig) -> Vec<Motif> {
+    let _span = rpm_obs::span!("motifs");
     let words = discretize(series, sax, true);
     if words.is_empty() {
         return Vec::new();
@@ -120,6 +121,7 @@ pub fn rule_coverage(series: &[f64], sax: &SaxConfig) -> Vec<u32> {
 /// Finds the `n` least-covered windows (the GrammarViz discord heuristic),
 /// enforcing at least one window of separation between reported discords.
 pub fn find_discords(series: &[f64], sax: &SaxConfig, n: usize) -> Vec<Discord> {
+    let _span = rpm_obs::span!("discords");
     if series.len() < sax.window || n == 0 {
         return Vec::new();
     }

@@ -54,6 +54,7 @@ pub use explore::{
 pub use model::{Pattern, RpmClassifier, TrainError};
 pub use params::{default_bounds, search_parameters, SearchOutcome};
 pub use persist::PersistError;
+pub use rpm_obs::{ObsConfig, ObsLevel};
 pub use transform::{
     pattern_distance, transform_series, transform_set, transform_set_engine, transform_set_parallel,
 };

@@ -1,6 +1,6 @@
 //! The RPM classifier (training stage §3.2, classification stage §3.1).
 
-use crate::cache::{Ctx, SaxCache};
+use crate::cache::{CacheStats, Ctx, SaxCache};
 use crate::candidates::{find_candidates_for_class_ctx, Candidate, CandidateSet};
 use crate::config::{ParamSearch, RpmConfig};
 use crate::distinct::select_representative_ctx;
@@ -66,12 +66,18 @@ pub struct RpmClassifier {
     pub(crate) per_class_sax: BTreeMap<Label, SaxConfig>,
     pub(crate) rotation_invariant: bool,
     pub(crate) early_abandon: bool,
+    /// Memoization-cache counters of the training run that produced this
+    /// model (zero for models loaded from disk).
+    pub(crate) cache_stats: CacheStats,
 }
 
 impl RpmClassifier {
     /// Trains on `train` per `config`, running the configured SAX
     /// parameter search first (§4), then Algorithms 1 + 2, then the SVM.
     pub fn train(train: &Dataset, config: &RpmConfig) -> Result<Self, TrainError> {
+        if config.obs.level != rpm_obs::ObsLevel::Off {
+            config.obs.install();
+        }
         if train.is_empty() {
             return Err(TrainError::EmptyTrainingSet);
         }
@@ -79,6 +85,14 @@ impl RpmClassifier {
         if classes.len() < 2 {
             return Err(TrainError::TooFewClasses);
         }
+        let _train_span = rpm_obs::span!("train");
+        // One cache and one engine serve both the parameter search and
+        // the final fit: cached values are pure functions of their keys,
+        // so combinations probed by the search stay warm for the final
+        // training pass (and the surfaced CacheStats cover the whole
+        // call).
+        let cache = SaxCache::new(config.cache);
+        let ctx = Ctx::new(Engine::new(config.n_threads), &cache);
         let per_class_sax: BTreeMap<Label, SaxConfig> = match &config.param_search {
             ParamSearch::Fixed(sax) => classes.iter().map(|&c| (c, *sax)).collect(),
             ParamSearch::PerClassFixed(saxes) => {
@@ -90,12 +104,10 @@ impl RpmClassifier {
                 classes.iter().copied().zip(saxes.iter().copied()).collect()
             }
             ParamSearch::Direct { .. } | ParamSearch::Grid { .. } => {
-                let cache = SaxCache::new(config.cache);
-                let ctx = Ctx::new(Engine::new(config.n_threads), &cache);
                 search_parameters_ctx(train, config, &ctx)?.per_class
             }
         };
-        Self::train_with_configs(train, config, &per_class_sax)
+        Self::train_with_configs_ctx(train, config, &per_class_sax, &ctx)
     }
 
     /// Trains with explicit per-class SAX configurations (the §4.3 path
@@ -128,10 +140,12 @@ impl RpmClassifier {
         if train.n_classes() < 2 {
             return Err(TrainError::TooFewClasses);
         }
+        let _fit_span = rpm_obs::span!("fit");
 
         // --- Algorithm 1 per class, fanned out across the engine's
         //     workers. The SAX lookup happens before the fan-out so a
         //     missing class still panics on the caller's thread.
+        let mine_span = rpm_obs::span!("mine");
         let views = train.by_class();
         let saxes: Vec<SaxConfig> = views
             .iter()
@@ -162,6 +176,7 @@ impl RpmClassifier {
         if all_candidates.is_empty() {
             return Err(TrainError::NoCandidates);
         }
+        drop(mine_span);
 
         // --- Algorithm 2 over the pooled candidates.
         let mut selected = select_representative_ctx(
@@ -184,6 +199,7 @@ impl RpmClassifier {
         //     selected patterns' columns were cached by the CFS transform
         //     above, so this pass is mostly cache hits.
         let pattern_values: Vec<Vec<f64>> = selected.iter().map(|c| c.values.clone()).collect();
+        let svm_span = rpm_obs::span!("svm");
         let rows = transform_set_ctx(
             &train.series,
             &pattern_values,
@@ -192,6 +208,7 @@ impl RpmClassifier {
             ctx,
         )?;
         let svm = LinearSvm::train(&rows, &train.labels, &config.svm);
+        drop(svm_span);
 
         Ok(Self {
             patterns: selected,
@@ -200,6 +217,7 @@ impl RpmClassifier {
             per_class_sax: per_class_sax.clone(),
             rotation_invariant: config.rotation_invariant,
             early_abandon: config.early_abandon,
+            cache_stats: ctx.cache.stats(),
         })
     }
 
@@ -220,6 +238,8 @@ impl RpmClassifier {
 
     /// Predicts a batch.
     pub fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
+        let _span = rpm_obs::span!("predict");
+        rpm_obs::metrics().predict_series.add(series.len() as u64);
         series.iter().map(|s| self.predict(s)).collect()
     }
 
@@ -232,6 +252,8 @@ impl RpmClassifier {
         series: &[Vec<f64>],
         n_threads: usize,
     ) -> Result<Vec<Label>, EngineError> {
+        let _span = rpm_obs::span!("predict");
+        rpm_obs::metrics().predict_series.add(series.len() as u64);
         let rows = transform_set_parallel(
             series,
             &self.pattern_values,
@@ -281,6 +303,12 @@ impl RpmClassifier {
     /// The per-class SAX configurations the model was trained with.
     pub fn sax_configs(&self) -> &BTreeMap<Label, SaxConfig> {
         &self.per_class_sax
+    }
+
+    /// Memoization-cache counters of the training run that produced this
+    /// model (`CacheStats::default()` for models loaded from disk).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats
     }
 
     /// Whether rotation-invariant classification is enabled.

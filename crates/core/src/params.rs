@@ -79,13 +79,20 @@ fn evaluate_combination(
 ) -> Result<Option<CombinationScore>, TrainError> {
     let mut failure: Option<TrainError> = None;
     let value = ctx.cache.eval(sax, || {
-        match evaluate_combination_uncached(train, config, sax, ctx) {
+        let t0 = rpm_obs::enabled().then(rpm_obs::now_ns);
+        let out = match evaluate_combination_uncached(train, config, sax, ctx) {
             Ok(v) => v,
             Err(e) => {
                 failure = Some(e);
                 None
             }
+        };
+        if let Some(t0) = t0 {
+            let m = rpm_obs::metrics();
+            m.params_evals.inc();
+            m.params_eval.observe(rpm_obs::now_ns().saturating_sub(t0));
         }
+        out
     });
     match failure {
         Some(e) => Err(e),
@@ -99,6 +106,7 @@ fn evaluate_combination_uncached(
     sax: &SaxConfig,
     ctx: &Ctx<'_>,
 ) -> Result<Option<CombinationScore>, TrainError> {
+    let _span = rpm_obs::span!("eval");
     let classes = train.classes();
     let n_splits = config.n_validation_splits.max(1);
 
@@ -106,6 +114,7 @@ fn evaluate_combination_uncached(
     // DIRECT class already spent the budget); the reduction below walks
     // them in split order, so the float sums match the serial loop.
     let folds = ctx.engine.run(n_splits, |split_idx| {
+        rpm_obs::metrics().params_folds.inc();
         let split_seed = config.seed ^ (split_idx as u64).wrapping_mul(0x9E3779B97F4A7C15);
         let (tr_idx, va_idx) =
             shuffled_stratified_split(&train.labels, config.validation_train_fraction, split_seed);
@@ -178,6 +187,7 @@ pub(crate) fn search_parameters_ctx(
     config: &RpmConfig,
     ctx: &Ctx<'_>,
 ) -> Result<SearchOutcome, TrainError> {
+    let _span = rpm_obs::span!("params");
     match &config.param_search {
         ParamSearch::Fixed(_) | ParamSearch::PerClassFixed(_) => {
             panic!("search_parameters called with a fixed strategy")

@@ -223,6 +223,9 @@ impl RpmClassifier {
             per_class_sax,
             rotation_invariant,
             early_abandon,
+            // Training-run counters are not persisted; a loaded model
+            // reports empty stats.
+            cache_stats: crate::cache::CacheStats::default(),
         })
     }
 }

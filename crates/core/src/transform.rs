@@ -135,6 +135,10 @@ pub(crate) fn transform_set_ctx(
     early_abandon: bool,
     ctx: &Ctx<'_>,
 ) -> Result<Vec<Vec<f64>>, EngineError> {
+    let _span = rpm_obs::span!("transform");
+    rpm_obs::metrics()
+        .transform_columns
+        .add(patterns.len() as u64);
     let rotated: Option<Vec<Vec<f64>>> =
         rotation_invariant.then(|| series.iter().map(|s| rotate_half(s)).collect());
     let columns = ctx.engine.map(patterns, |_, p| {

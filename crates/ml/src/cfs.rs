@@ -127,6 +127,7 @@ fn merit(subset: &BTreeSet<usize>, fc: &[f64], ff: &[Vec<f64>]) -> f64 {
 /// # Panics
 /// Panics on empty/ragged input or label length mismatch.
 pub fn cfs_select(rows: &[Vec<f64>], labels: &[usize], params: &CfsParams) -> Vec<usize> {
+    rpm_obs::metrics().ml_cfs_runs.inc();
     assert!(!rows.is_empty(), "CFS on empty data");
     assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
     let dim = rows[0].len();

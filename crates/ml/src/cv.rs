@@ -15,6 +15,7 @@ use std::collections::BTreeMap;
 /// # Panics
 /// Panics when `k == 0` or `k > labels.len()`.
 pub fn stratified_folds(labels: &[usize], k: usize, seed: u64) -> Vec<Vec<usize>> {
+    rpm_obs::metrics().ml_cv_splits.add(k as u64);
     assert!(k >= 1, "need at least one fold");
     assert!(k <= labels.len(), "more folds than samples");
     let mut rng = StdRng::seed_from_u64(seed);
@@ -43,6 +44,7 @@ pub fn shuffled_stratified_split(
     train_fraction: f64,
     seed: u64,
 ) -> (Vec<usize>, Vec<usize>) {
+    rpm_obs::metrics().ml_cv_splits.inc();
     assert!(
         (0.0..=1.0).contains(&train_fraction),
         "train_fraction must lie in [0,1]"

@@ -117,6 +117,7 @@ impl LinearSvm {
     /// Panics on empty input, mismatched lengths, ragged rows, or a single
     /// class (nothing to separate).
     pub fn train(rows: &[Vec<f64>], labels: &[usize], params: &SvmParams) -> Self {
+        rpm_obs::metrics().ml_svm_trains.inc();
         assert!(!rows.is_empty(), "SVM training set is empty");
         assert_eq!(rows.len(), labels.len(), "rows/labels length mismatch");
         let dim = rows[0].len();

@@ -1,0 +1,50 @@
+//! Validates a JSONL run report emitted by `rpm_obs::finish()`.
+//!
+//! Used by CI after running the quickstart example with
+//! `RPM_LOG=spans,json=rpm-report.jsonl`:
+//!
+//! ```sh
+//! cargo run --release -p rpm-obs --example validate -- rpm-report.jsonl
+//! ```
+//!
+//! Exits non-zero unless the report has a meta line, non-empty spans with
+//! monotone timestamps inside wall time, every cache line satisfying
+//! `hits + misses == lookups`, and a populated `engine.jobs` counter.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate <report.jsonl>");
+        return ExitCode::from(2);
+    };
+    match rpm_obs::validate_jsonl(&path) {
+        Ok(check) => {
+            println!(
+                "{path}: OK — {} lines, {} spans, {} counters, {} cache families, {} logs, \
+                 wall {:.3}s, root-stage coverage {:.1}%",
+                check.lines,
+                check.spans,
+                check.counters.len(),
+                check.caches,
+                check.logs,
+                check.wall_ns as f64 / 1e9,
+                100.0 * check.coverage,
+            );
+            match check.counter("engine.jobs") {
+                Some(jobs) if jobs > 0 => {
+                    println!("{path}: engine.jobs = {jobs}");
+                    ExitCode::SUCCESS
+                }
+                other => {
+                    eprintln!("{path}: engine.jobs not populated (got {other:?})");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{path}: INVALID — {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

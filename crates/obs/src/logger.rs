@@ -1,0 +1,129 @@
+//! Structured progress logging: the replacement for ad-hoc
+//! `println!`/`eprintln!` progress lines in binaries and the bench
+//! harness. Events go to stderr immediately (result tables keep stdout to
+//! themselves) and into a bounded in-memory buffer so the end-of-run
+//! JSONL report can replay them.
+
+use std::sync::{Mutex, OnceLock};
+
+/// Events kept for the JSONL report; beyond this the buffer stops
+/// growing (stderr output continues) so unbounded streaming loops cannot
+/// exhaust memory.
+const BUFFER_CAP: usize = 65_536;
+
+/// One structured log event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEvent {
+    /// Nanoseconds since the observability epoch.
+    pub t_ns: u64,
+    /// `"info"` or `"debug"`.
+    pub level: &'static str,
+    /// Component emitting the event (e.g. `suite`, `repro`, `cli`).
+    pub target: String,
+    /// Formatted message.
+    pub message: String,
+}
+
+fn buffer() -> &'static Mutex<Vec<LogEvent>> {
+    static BUFFER: OnceLock<Mutex<Vec<LogEvent>>> = OnceLock::new();
+    BUFFER.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records one event: prints it to stderr and buffers it for the run
+/// report. Callers normally go through the [`info!`](crate::info) /
+/// [`debug!`](crate::debug) macros, which also gate on the level.
+pub fn log(level: &'static str, target: &str, message: String) {
+    if !crate::enabled() {
+        return;
+    }
+    let t_ns = crate::now_ns();
+    eprintln!("[{:9.3}s {level}] {target}: {message}", t_ns as f64 / 1e9);
+    if let Ok(mut events) = buffer().lock() {
+        if events.len() < BUFFER_CAP {
+            events.push(LogEvent {
+                t_ns,
+                level,
+                target: target.to_string(),
+                message,
+            });
+        }
+    }
+}
+
+/// Drains the buffered events (used by `report::finish`).
+pub fn take() -> Vec<LogEvent> {
+    buffer()
+        .lock()
+        .map(|mut events| std::mem::take(&mut *events))
+        .unwrap_or_default()
+}
+
+/// Copies the buffered events without draining.
+pub fn peek() -> Vec<LogEvent> {
+    buffer()
+        .lock()
+        .map(|events| events.clone())
+        .unwrap_or_default()
+}
+
+/// Logs a progress event at summary level:
+/// `rpm_obs::info!("suite", "dataset {} done", name)`. No-op while
+/// observability is off.
+#[macro_export]
+macro_rules! info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::enabled() {
+            $crate::logger::log("info", $target, format!($($arg)*));
+        }
+    };
+}
+
+/// Logs a debug event, recorded only at [`ObsLevel::Debug`](crate::ObsLevel).
+#[macro_export]
+macro_rules! debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::debug_enabled() {
+            $crate::logger::log("debug", $target, format!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, ObsLevel};
+
+    #[test]
+    fn events_gate_on_level_and_buffer() {
+        let _g = crate::test_lock();
+        ObsConfig::default().install();
+        take();
+        crate::info!("test", "invisible {}", 1);
+        assert!(take().is_empty());
+
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: None,
+        }
+        .install();
+        crate::info!("test", "visible {}", 2);
+        crate::debug!("test", "still invisible");
+        let events = peek();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].level, "info");
+        assert_eq!(events[0].target, "test");
+        assert_eq!(events[0].message, "visible 2");
+
+        ObsConfig {
+            level: ObsLevel::Debug,
+            json_path: None,
+        }
+        .install();
+        crate::debug!("test", "now visible");
+        let events = take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].level, "debug");
+        assert!(take().is_empty(), "take drains");
+        ObsConfig::default().install();
+    }
+}

@@ -1,0 +1,556 @@
+//! The metrics registry: atomic counters, gauges, and histograms.
+//!
+//! Every metric is a static inside the global [`Metrics`] struct, so an
+//! increment is one predictable branch (the enabled check) plus one
+//! relaxed `fetch_add` — no registry lookup on the hot path. Disabled
+//! (the default), increments compile down to a relaxed load and a
+//! not-taken branch. Low-frequency per-label counts (e.g. CFS survivors
+//! per class) go through the dynamic [`labeled_add`] map instead.
+//!
+//! Metrics observe; they never influence scheduling or results, so
+//! counter totals are reproducible wherever the underlying quantity is
+//! deterministic (jobs executed, lookups issued, rectangles split). Only
+//! the hit/miss *split* of a racing cache double-compute can vary — the
+//! lookup total never does.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` (no-op while observability is off).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A last-write-wins atomic gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge (no-op while observability is off).
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if crate::enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+const HIST_BUCKETS: usize = 40;
+
+/// A log₂-bucket histogram: bucket `i` counts observations in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds zero). Tracks count and
+/// sum exactly, distribution to a factor of two — enough to separate a
+/// microsecond drain from a millisecond one without a lock.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one observation (no-op while observability is off).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        let bucket = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then(|| {
+                        let upper = if i == 0 { 0 } else { 1u64 << i };
+                        (upper, n)
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Point-in-time copy of one [`Histogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact sum of all observations.
+    pub sum: u64,
+    /// Non-empty buckets as `(exclusive upper bound, count)` pairs.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Hit/miss/eviction counters of one cache family.
+#[derive(Debug)]
+pub struct CacheFamilyMetrics {
+    /// Lookups answered from memory.
+    pub hits: Counter,
+    /// Lookups that had to compute.
+    pub misses: Counter,
+    /// Entries dropped to reclaim capacity (the training caches are
+    /// currently unbounded per run, so this stays 0 until a capacity
+    /// policy lands — the field keeps the report schema stable).
+    pub evictions: Counter,
+}
+
+impl CacheFamilyMetrics {
+    const fn new() -> Self {
+        Self {
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+        }
+    }
+
+    /// Total lookups (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits.get() + self.misses.get()
+    }
+
+    fn reset(&self) {
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
+    }
+}
+
+/// Every static metric the pipeline feeds. Names in reports are the
+/// dotted forms listed per field.
+#[derive(Debug)]
+pub struct Metrics {
+    /// `engine.runs` — engine fan-out calls executed.
+    pub engine_runs: Counter,
+    /// `engine.jobs` — jobs executed across all engine runs.
+    pub engine_jobs: Counter,
+    /// `engine.busy_ns` — summed per-worker time spent inside jobs.
+    pub engine_busy_ns: Counter,
+    /// `engine.span_ns` — summed `workers × wall` of parallel engine
+    /// runs; `busy_ns / span_ns` is the worker utilization.
+    pub engine_span_ns: Counter,
+    /// `engine.workers.max` — widest parallel fan-out seen.
+    pub engine_workers_max: Gauge,
+    /// `engine.drain_ns` — queue drain (fan-out wall) time distribution.
+    pub engine_drain: Histogram,
+    /// `params.evals` — distinct SAX combinations scored.
+    pub params_evals: Counter,
+    /// `params.folds` — validation folds evaluated (Algorithm 3's inner
+    /// loop, fed from the fold runner in `rpm-core::params`).
+    pub params_folds: Counter,
+    /// `params.eval_ns` — per-combination scoring time distribution.
+    pub params_eval: Histogram,
+    /// `mine.rules` — grammar rules inspected by Algorithm 1.
+    pub mine_rules: Counter,
+    /// `mine.candidates` — candidates surviving the γ filter.
+    pub mine_candidates: Counter,
+    /// `prune.pool_in` — candidates entering Algorithm 2.
+    pub prune_pool_in: Counter,
+    /// `prune.kept` — candidates surviving τ dedup + the pool cap.
+    pub prune_kept: Counter,
+    /// `cfs.features_in` — features offered to CFS selection.
+    pub cfs_features_in: Counter,
+    /// `cfs.survivors` — features CFS kept (per-class counts go to the
+    /// labeled map as `cfs.survivors.class=<label>`).
+    pub cfs_survivors: Counter,
+    /// `transform.columns` — pattern-distance columns computed or fetched.
+    pub transform_columns: Counter,
+    /// `predict.series` — series classified through the trained model.
+    pub predict_series: Counter,
+    /// `cache.frames.*` — PAA-frame cache family.
+    pub cache_frames: CacheFamilyMetrics,
+    /// `cache.words.*` — word-sequence cache family.
+    pub cache_words: CacheFamilyMetrics,
+    /// `cache.evals.*` — combination-score cache family.
+    pub cache_evals: CacheFamilyMetrics,
+    /// `cache.columns.*` — transform-column cache family.
+    pub cache_columns: CacheFamilyMetrics,
+    /// `ml.svm_trains` — linear SVM trainings.
+    pub ml_svm_trains: Counter,
+    /// `ml.cv_splits` — stratified folds/splits drawn.
+    pub ml_cv_splits: Counter,
+    /// `ml.cfs_runs` — CFS best-first searches executed.
+    pub ml_cfs_runs: Counter,
+    /// `opt.direct.splits` — DIRECT rectangle divisions.
+    pub opt_direct_splits: Counter,
+    /// `opt.direct.evals` — DIRECT objective evaluations.
+    pub opt_direct_evals: Counter,
+}
+
+impl Metrics {
+    const fn new() -> Self {
+        Self {
+            engine_runs: Counter::new(),
+            engine_jobs: Counter::new(),
+            engine_busy_ns: Counter::new(),
+            engine_span_ns: Counter::new(),
+            engine_workers_max: Gauge::new(),
+            engine_drain: Histogram::new(),
+            params_evals: Counter::new(),
+            params_folds: Counter::new(),
+            params_eval: Histogram::new(),
+            mine_rules: Counter::new(),
+            mine_candidates: Counter::new(),
+            prune_pool_in: Counter::new(),
+            prune_kept: Counter::new(),
+            cfs_features_in: Counter::new(),
+            cfs_survivors: Counter::new(),
+            transform_columns: Counter::new(),
+            predict_series: Counter::new(),
+            cache_frames: CacheFamilyMetrics::new(),
+            cache_words: CacheFamilyMetrics::new(),
+            cache_evals: CacheFamilyMetrics::new(),
+            cache_columns: CacheFamilyMetrics::new(),
+            ml_svm_trains: Counter::new(),
+            ml_cv_splits: Counter::new(),
+            ml_cfs_runs: Counter::new(),
+            opt_direct_splits: Counter::new(),
+            opt_direct_evals: Counter::new(),
+        }
+    }
+
+    fn counter_entries(&self) -> [(&'static str, &Counter); 17] {
+        [
+            ("engine.runs", &self.engine_runs),
+            ("engine.jobs", &self.engine_jobs),
+            ("engine.busy_ns", &self.engine_busy_ns),
+            ("engine.span_ns", &self.engine_span_ns),
+            ("params.evals", &self.params_evals),
+            ("params.folds", &self.params_folds),
+            ("mine.rules", &self.mine_rules),
+            ("mine.candidates", &self.mine_candidates),
+            ("prune.pool_in", &self.prune_pool_in),
+            ("prune.kept", &self.prune_kept),
+            ("cfs.features_in", &self.cfs_features_in),
+            ("cfs.survivors", &self.cfs_survivors),
+            ("transform.columns", &self.transform_columns),
+            ("predict.series", &self.predict_series),
+            ("ml.svm_trains", &self.ml_svm_trains),
+            ("ml.cv_splits", &self.ml_cv_splits),
+            ("ml.cfs_runs", &self.ml_cfs_runs),
+        ]
+    }
+
+    fn opt_entries(&self) -> [(&'static str, &Counter); 2] {
+        [
+            ("opt.direct.splits", &self.opt_direct_splits),
+            ("opt.direct.evals", &self.opt_direct_evals),
+        ]
+    }
+
+    fn cache_entries(&self) -> [(&'static str, &CacheFamilyMetrics); 4] {
+        [
+            ("frames", &self.cache_frames),
+            ("words", &self.cache_words),
+            ("evals", &self.cache_evals),
+            ("columns", &self.cache_columns),
+        ]
+    }
+
+    fn histogram_entries(&self) -> [(&'static str, &Histogram); 2] {
+        [
+            ("engine.drain_ns", &self.engine_drain),
+            ("params.eval_ns", &self.params_eval),
+        ]
+    }
+}
+
+static METRICS: Metrics = Metrics::new();
+
+/// The global metrics registry.
+pub fn metrics() -> &'static Metrics {
+    &METRICS
+}
+
+fn labeled() -> &'static Mutex<BTreeMap<String, u64>> {
+    static LABELED: OnceLock<Mutex<BTreeMap<String, u64>>> = OnceLock::new();
+    LABELED.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Adds `n` to the dynamic counter `name` (e.g.
+/// `cfs.survivors.class=3`). Takes a lock — keep off hot paths.
+pub fn labeled_add(name: &str, n: u64) {
+    if !crate::enabled() {
+        return;
+    }
+    if let Ok(mut map) = labeled().lock() {
+        *map.entry(name.to_string()).or_insert(0) += n;
+    }
+}
+
+/// Point-in-time copy of the whole registry.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Static counters as `(name, value)`, report order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Gauges as `(name, value)`.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// Cache families as `(family, hits, misses, evictions)`.
+    pub cache: Vec<(&'static str, u64, u64, u64)>,
+    /// Histograms as `(name, snapshot)`.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+    /// Dynamic labeled counters.
+    pub labeled: Vec<(String, u64)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a static counter by report name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Summed cache lookups/hits across all families.
+    pub fn cache_totals(&self) -> (u64, u64) {
+        let hits: u64 = self.cache.iter().map(|(_, h, _, _)| h).sum();
+        let lookups: u64 = self.cache.iter().map(|(_, h, m, _)| h + m).sum();
+        (lookups, hits)
+    }
+
+    /// Worker utilization of the parallel engine runs (`busy / span`),
+    /// or `None` when no parallel run happened.
+    pub fn engine_utilization(&self) -> Option<f64> {
+        let busy = self.counter("engine.busy_ns")?;
+        let span = self.counter("engine.span_ns")?;
+        (span > 0).then(|| busy as f64 / span as f64)
+    }
+}
+
+/// Snapshots every metric.
+pub fn snapshot() -> MetricsSnapshot {
+    let m = metrics();
+    MetricsSnapshot {
+        counters: m
+            .counter_entries()
+            .iter()
+            .chain(m.opt_entries().iter())
+            .map(|(n, c)| (*n, c.get()))
+            .collect(),
+        gauges: vec![("engine.workers.max", m.engine_workers_max.get())],
+        cache: m
+            .cache_entries()
+            .iter()
+            .map(|(n, f)| (*n, f.hits.get(), f.misses.get(), f.evictions.get()))
+            .collect(),
+        histograms: m
+            .histogram_entries()
+            .iter()
+            .map(|(n, h)| (*n, h.snapshot()))
+            .collect(),
+        labeled: labeled()
+            .lock()
+            .map(|m| m.iter().map(|(k, v)| (k.clone(), *v)).collect())
+            .unwrap_or_default(),
+    }
+}
+
+/// Zeroes every metric (start of a fresh run / after a report).
+pub fn reset() {
+    let m = metrics();
+    for (_, c) in m.counter_entries().iter().chain(m.opt_entries().iter()) {
+        c.reset();
+    }
+    m.engine_workers_max.reset();
+    for (_, f) in m.cache_entries() {
+        f.reset();
+    }
+    for (_, h) in m.histogram_entries() {
+        h.reset();
+    }
+    if let Ok(mut map) = labeled().lock() {
+        map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, ObsLevel};
+
+    #[test]
+    fn counters_gate_on_level_and_accumulate_concurrently() {
+        let _g = crate::test_lock();
+        ObsConfig::default().install();
+        reset();
+        metrics().engine_jobs.add(5);
+        assert_eq!(metrics().engine_jobs.get(), 0, "off = no-op");
+
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: None,
+        }
+        .install();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        metrics().engine_jobs.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(metrics().engine_jobs.get(), 8000);
+        ObsConfig::default().install();
+        reset();
+    }
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let _g = crate::test_lock();
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: None,
+        }
+        .install();
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        h.observe(1 << 20);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 6 + (1 << 20));
+        assert_eq!(s.buckets, vec![(0, 1), (4, 2), (1 << 21, 1)]);
+        assert!(s.mean() > 0.0);
+        ObsConfig::default().install();
+    }
+
+    #[test]
+    fn snapshot_and_labeled_round_trip() {
+        let _g = crate::test_lock();
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: None,
+        }
+        .install();
+        reset();
+        metrics().cache_words.hits.add(3);
+        metrics().cache_words.misses.add(1);
+        labeled_add("cfs.survivors.class=2", 4);
+        let s = snapshot();
+        assert_eq!(
+            s.cache.iter().find(|(n, ..)| *n == "words"),
+            Some(&("words", 3, 1, 0))
+        );
+        assert_eq!(s.cache_totals(), (4, 3));
+        assert_eq!(s.labeled, vec![("cfs.survivors.class=2".to_string(), 4)]);
+        reset();
+        let s = snapshot();
+        assert_eq!(s.cache_totals(), (0, 0));
+        assert!(s.labeled.is_empty());
+        ObsConfig::default().install();
+    }
+}

@@ -1,0 +1,624 @@
+//! Run reports: aggregation of spans + metrics + logs into a stage tree,
+//! the human-readable stderr summary, the JSONL export, and the
+//! validator CI runs against emitted reports.
+//!
+//! ## JSONL schema (one object per line)
+//!
+//! | `type`      | fields                                                              |
+//! |-------------|---------------------------------------------------------------------|
+//! | `meta`      | `version`, `wall_ns`, `level`                                       |
+//! | `span`      | `path`, `name`, `depth`, `thread`, `start_ns`, `dur_ns`             |
+//! | `stage`     | `path`, `calls`, `total_ns` (aggregated over same-path spans)       |
+//! | `counter`   | `name`, `value` (includes gauges and labeled counters)              |
+//! | `cache`     | `family`, `hits`, `misses`, `evictions`, `lookups`, `hit_rate`      |
+//! | `histogram` | `name`, `count`, `sum_ns`, `mean_ns`, `buckets` (`[upper, n]` pairs)|
+//! | `log`       | `t_ns`, `level`, `target`, `message`                                |
+
+use crate::logger::{self, LogEvent};
+use crate::metrics::{self, MetricsSnapshot};
+use crate::span::{self, SpanRecord};
+use crate::ObsLevel;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Report schema version emitted in the `meta` line.
+pub const REPORT_VERSION: u64 = 1;
+
+/// All same-path spans merged into one stage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StageAgg {
+    /// Full `/`-joined stage path.
+    pub path: String,
+    /// Last path segment.
+    pub name: String,
+    /// Nesting depth (0 = root stage).
+    pub depth: u32,
+    /// Spans merged into this stage.
+    pub calls: u64,
+    /// Summed duration (can exceed wall time when calls overlap across
+    /// worker threads).
+    pub total_ns: u64,
+    /// Earliest start among merged spans.
+    pub min_start_ns: u64,
+    /// Latest end among merged spans.
+    pub max_end_ns: u64,
+}
+
+/// Everything one run recorded.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Nanoseconds from the observability epoch to report creation.
+    pub wall_ns: u64,
+    /// Level the run recorded at.
+    pub level: ObsLevel,
+    /// Aggregated stages in tree order (parents before children,
+    /// siblings by first start).
+    pub stages: Vec<StageAgg>,
+    /// Raw span records, sorted by start time.
+    pub records: Vec<SpanRecord>,
+    /// Snapshot of the metrics registry.
+    pub metrics: MetricsSnapshot,
+    /// Buffered structured log events.
+    pub logs: Vec<LogEvent>,
+}
+
+impl RunReport {
+    /// Fraction of wall time covered by root stages of the main thread
+    /// (the thread that opened the earliest span). The acceptance target
+    /// for an instrumented training run is ≥ 0.9.
+    pub fn coverage(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        let main_thread = match self.records.iter().min_by_key(|r| r.start_ns) {
+            Some(first) => first.thread,
+            None => return 0.0,
+        };
+        let covered: u64 = self
+            .records
+            .iter()
+            .filter(|r| r.depth == 0 && r.thread == main_thread)
+            .map(|r| r.dur_ns)
+            .sum();
+        covered as f64 / self.wall_ns as f64
+    }
+
+    /// The human-readable end-of-run summary: a stage tree with time, %
+    /// of wall, and call counts, followed by engine and cache totals.
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "[rpm-obs] run report — wall {}, level {}",
+            fmt_ns(self.wall_ns),
+            self.level
+        );
+        let name_width = self
+            .stages
+            .iter()
+            .map(|s| 2 * s.depth as usize + s.name.len())
+            .max()
+            .unwrap_or(0)
+            .max(12);
+        for stage in &self.stages {
+            let indent = "  ".repeat(stage.depth as usize);
+            let pct = if self.wall_ns > 0 {
+                100.0 * stage.total_ns as f64 / self.wall_ns as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "  {:name_width$}  {:>9}  {:5.1}%  {:>6}×",
+                format!("{indent}{}", stage.name),
+                fmt_ns(stage.total_ns),
+                pct,
+                stage.calls,
+            );
+        }
+        if !self.stages.is_empty() {
+            let _ = writeln!(
+                out,
+                "  (root stages cover {:.1}% of wall time)",
+                100.0 * self.coverage()
+            );
+        }
+        let jobs = self.metrics.counter("engine.jobs").unwrap_or(0);
+        if jobs > 0 {
+            let runs = self.metrics.counter("engine.runs").unwrap_or(0);
+            match self.metrics.engine_utilization() {
+                Some(u) => {
+                    let _ = writeln!(
+                        out,
+                        "  engine: {jobs} jobs / {runs} runs, worker utilization {:.1}%",
+                        100.0 * u
+                    );
+                }
+                None => {
+                    let _ = writeln!(out, "  engine: {jobs} jobs / {runs} runs (serial)");
+                }
+            }
+        }
+        let cache_lines: Vec<String> = self
+            .metrics
+            .cache
+            .iter()
+            .filter(|(_, h, m, _)| h + m > 0)
+            .map(|(family, h, m, _)| {
+                format!(
+                    "{family} {:.1}% of {}",
+                    100.0 * *h as f64 / (h + m) as f64,
+                    h + m
+                )
+            })
+            .collect();
+        if !cache_lines.is_empty() {
+            let _ = writeln!(out, "  cache hit-rates: {}", cache_lines.join(" | "));
+        }
+        out
+    }
+
+    /// Serializes the full report to JSONL (see the module docs for the
+    /// schema).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"version\":{REPORT_VERSION},\"wall_ns\":{},\"level\":\"{}\"}}",
+            self.wall_ns, self.level
+        );
+        for r in &self.records {
+            out.push_str("{\"type\":\"span\",\"path\":");
+            push_json_str(&mut out, &r.path);
+            out.push_str(",\"name\":");
+            push_json_str(&mut out, r.name);
+            let _ = writeln!(
+                out,
+                ",\"depth\":{},\"thread\":{},\"start_ns\":{},\"dur_ns\":{}}}",
+                r.depth, r.thread, r.start_ns, r.dur_ns
+            );
+        }
+        for s in &self.stages {
+            out.push_str("{\"type\":\"stage\",\"path\":");
+            push_json_str(&mut out, &s.path);
+            let _ = writeln!(out, ",\"calls\":{},\"total_ns\":{}}}", s.calls, s.total_ns);
+        }
+        let named = self
+            .metrics
+            .counters
+            .iter()
+            .map(|(n, v)| (n.to_string(), *v))
+            .chain(self.metrics.gauges.iter().map(|(n, v)| (n.to_string(), *v)))
+            .chain(self.metrics.labeled.iter().cloned());
+        for (name, value) in named {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            push_json_str(&mut out, &name);
+            let _ = writeln!(out, ",\"value\":{value}}}");
+        }
+        for (family, hits, misses, evictions) in &self.metrics.cache {
+            let lookups = hits + misses;
+            let hit_rate = if lookups > 0 {
+                *hits as f64 / lookups as f64
+            } else {
+                0.0
+            };
+            out.push_str("{\"type\":\"cache\",\"family\":");
+            push_json_str(&mut out, family);
+            let _ = writeln!(
+                out,
+                ",\"hits\":{hits},\"misses\":{misses},\"evictions\":{evictions},\"lookups\":{lookups},\"hit_rate\":{hit_rate:.6}}}"
+            );
+        }
+        for (name, h) in &self.metrics.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            push_json_str(&mut out, name);
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(upper, n)| format!("[{upper},{n}]"))
+                .collect();
+            let _ = writeln!(
+                out,
+                ",\"count\":{},\"sum_ns\":{},\"mean_ns\":{:.1},\"buckets\":[{}]}}",
+                h.count,
+                h.sum,
+                h.mean(),
+                buckets.join(",")
+            );
+        }
+        for event in &self.logs {
+            let _ = write!(
+                out,
+                "{{\"type\":\"log\",\"t_ns\":{},\"level\":\"{}\",\"target\":",
+                event.t_ns, event.level
+            );
+            push_json_str(&mut out, &event.target);
+            out.push_str(",\"message\":");
+            push_json_str(&mut out, &event.message);
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+fn build(mut records: Vec<SpanRecord>, logs: Vec<LogEvent>) -> RunReport {
+    records.sort_by(|a, b| {
+        a.start_ns
+            .cmp(&b.start_ns)
+            .then_with(|| a.path.cmp(&b.path))
+    });
+    let mut aggs: BTreeMap<String, StageAgg> = BTreeMap::new();
+    for r in &records {
+        let agg = aggs.entry(r.path.clone()).or_insert_with(|| StageAgg {
+            path: r.path.clone(),
+            name: r.name.to_string(),
+            depth: r.path.matches('/').count() as u32,
+            calls: 0,
+            total_ns: 0,
+            min_start_ns: u64::MAX,
+            max_end_ns: 0,
+        });
+        agg.calls += 1;
+        agg.total_ns += r.dur_ns;
+        agg.min_start_ns = agg.min_start_ns.min(r.start_ns);
+        agg.max_end_ns = agg.max_end_ns.max(r.end_ns());
+    }
+    RunReport {
+        wall_ns: crate::now_ns(),
+        level: crate::level(),
+        stages: tree_order(aggs),
+        records,
+        metrics: metrics::snapshot(),
+        logs,
+    }
+}
+
+/// Orders aggregated stages parents-first, siblings by earliest start.
+/// Deterministic for a given record set no matter how worker threads
+/// interleaved at run time.
+fn tree_order(aggs: BTreeMap<String, StageAgg>) -> Vec<StageAgg> {
+    let mut children: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut roots: Vec<String> = Vec::new();
+    for path in aggs.keys() {
+        let parent = path.rsplit_once('/').map(|(p, _)| p);
+        match parent {
+            Some(p) if aggs.contains_key(p) => {
+                children
+                    .entry(p.to_string())
+                    .or_default()
+                    .push(path.clone());
+            }
+            _ => roots.push(path.clone()),
+        }
+    }
+    let by_start = |paths: &mut Vec<String>| {
+        paths.sort_by_key(|p| (aggs[p].min_start_ns, p.clone()));
+    };
+    by_start(&mut roots);
+    for siblings in children.values_mut() {
+        by_start(siblings);
+    }
+    let mut out = Vec::with_capacity(aggs.len());
+    let mut stack: Vec<String> = roots.into_iter().rev().collect();
+    while let Some(path) = stack.pop() {
+        if let Some(kids) = children.get(&path) {
+            stack.extend(kids.iter().rev().cloned());
+        }
+        out.push(aggs[&path].clone());
+    }
+    out
+}
+
+/// Closes out the run: drains spans and logs, snapshots metrics, prints
+/// the stage tree to stderr, writes the JSONL report when a path is
+/// configured, and resets the metrics registry for the next run. Returns
+/// `None` while observability is off.
+pub fn finish() -> Option<RunReport> {
+    if !crate::enabled() {
+        return None;
+    }
+    let report = build(span::take_records(), logger::take());
+    eprint!("{}", report.render_tree());
+    if let Some(path) = crate::json_path() {
+        match std::fs::write(&path, report.to_jsonl()) {
+            Ok(()) => eprintln!("[rpm-obs] wrote run report to {path}"),
+            Err(e) => eprintln!("[rpm-obs] failed to write {path}: {e}"),
+        }
+    }
+    metrics::reset();
+    Some(report)
+}
+
+/// A non-destructive [`finish`]: copies the current spans, metrics, and
+/// logs without draining or printing anything.
+pub fn snapshot() -> RunReport {
+    build(span::peek_records(), logger::peek())
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+// --- JSONL validation -----------------------------------------------------
+// The reports are emitted by this crate, so a full JSON parser is not
+// needed: minimal field extraction over our own single-line objects.
+
+fn u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let digits: String = line[i..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let i = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[i..].chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+    None
+}
+
+/// What [`validate_jsonl`] verified about a report file.
+#[derive(Clone, Debug, Default)]
+pub struct ReportCheck {
+    /// Total JSONL lines.
+    pub lines: usize,
+    /// `span` lines (must be > 0).
+    pub spans: usize,
+    /// `counter` lines as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// `cache` lines (each verified `hits + misses == lookups`).
+    pub caches: usize,
+    /// `log` lines.
+    pub logs: usize,
+    /// Wall time from the `meta` line.
+    pub wall_ns: u64,
+    /// Root-stage coverage of wall time (main recording thread).
+    pub coverage: f64,
+}
+
+impl ReportCheck {
+    /// Looks up a validated counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Validates a JSONL run report: a `meta` line exists, spans are present
+/// with monotone start timestamps and end within wall time, and every
+/// cache line satisfies `hits + misses == lookups`. Returns what was
+/// checked, or a description of the first violation.
+pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut check = ReportCheck::default();
+    let mut last_start = 0u64;
+    let mut main_thread: Option<u64> = None;
+    let mut covered_ns = 0u64;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        check.lines += 1;
+        let kind =
+            str_field(line, "type").ok_or_else(|| format!("line {lineno}: no \"type\" field"))?;
+        match kind.as_str() {
+            "meta" => {
+                check.wall_ns = u64_field(line, "wall_ns")
+                    .ok_or_else(|| format!("line {lineno}: meta without wall_ns"))?;
+            }
+            "span" => {
+                let start = u64_field(line, "start_ns")
+                    .ok_or_else(|| format!("line {lineno}: span without start_ns"))?;
+                let dur = u64_field(line, "dur_ns")
+                    .ok_or_else(|| format!("line {lineno}: span without dur_ns"))?;
+                let depth = u64_field(line, "depth")
+                    .ok_or_else(|| format!("line {lineno}: span without depth"))?;
+                let thread = u64_field(line, "thread")
+                    .ok_or_else(|| format!("line {lineno}: span without thread"))?;
+                if start < last_start {
+                    return Err(format!(
+                        "line {lineno}: span start_ns {start} < previous {last_start} (not monotone)"
+                    ));
+                }
+                last_start = start;
+                if check.wall_ns > 0 && start + dur > check.wall_ns {
+                    return Err(format!(
+                        "line {lineno}: span ends at {} beyond wall_ns {}",
+                        start + dur,
+                        check.wall_ns
+                    ));
+                }
+                let main = *main_thread.get_or_insert(thread);
+                if depth == 0 && thread == main {
+                    covered_ns += dur;
+                }
+                check.spans += 1;
+            }
+            "counter" => {
+                let name = str_field(line, "name")
+                    .ok_or_else(|| format!("line {lineno}: counter without name"))?;
+                let value = u64_field(line, "value")
+                    .ok_or_else(|| format!("line {lineno}: counter without value"))?;
+                check.counters.push((name, value));
+            }
+            "cache" => {
+                let hits = u64_field(line, "hits")
+                    .ok_or_else(|| format!("line {lineno}: cache without hits"))?;
+                let misses = u64_field(line, "misses")
+                    .ok_or_else(|| format!("line {lineno}: cache without misses"))?;
+                let lookups = u64_field(line, "lookups")
+                    .ok_or_else(|| format!("line {lineno}: cache without lookups"))?;
+                if hits + misses != lookups {
+                    return Err(format!(
+                        "line {lineno}: cache invariant broken: {hits} + {misses} != {lookups}"
+                    ));
+                }
+                check.caches += 1;
+            }
+            "log" => check.logs += 1,
+            "stage" | "histogram" => {}
+            other => return Err(format!("line {lineno}: unknown type {other:?}")),
+        }
+    }
+    if check.wall_ns == 0 {
+        return Err("no meta line with wall_ns".to_string());
+    }
+    if check.spans == 0 {
+        return Err("no span lines in report".to_string());
+    }
+    check.coverage = covered_ns as f64 / check.wall_ns as f64;
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, ObsLevel};
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("rpm_obs_{tag}_{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn finish_aggregates_and_round_trips_through_jsonl() {
+        let _g = crate::test_lock();
+        let path = temp_path("round_trip");
+        ObsConfig {
+            level: ObsLevel::Spans,
+            json_path: Some(path.display().to_string()),
+        }
+        .install();
+        span::take_records();
+        logger::take();
+        metrics::reset();
+
+        {
+            let _train = crate::span!("train");
+            {
+                let _mine = crate::span!("mine");
+                crate::metrics().mine_rules.add(10);
+            }
+            let _svm = crate::span!("svm");
+            crate::metrics().cache_words.hits.add(7);
+            crate::metrics().cache_words.misses.add(3);
+            crate::info!("test", "stage done");
+        }
+        let report = finish().expect("enabled");
+        assert_eq!(report.level, ObsLevel::Spans);
+        let paths: Vec<&str> = report.stages.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["train", "train/mine", "train/svm"]);
+        assert_eq!(report.stages[0].depth, 0);
+        assert_eq!(report.stages[1].depth, 1);
+        assert_eq!(report.metrics.counter("mine.rules"), Some(10));
+        assert_eq!(report.logs.len(), 1);
+        let tree = report.render_tree();
+        assert!(tree.contains("train"), "{tree}");
+        assert!(tree.contains("cache hit-rates"), "{tree}");
+
+        let check = validate_jsonl(&path.display().to_string()).expect("valid report");
+        assert_eq!(check.spans, 3);
+        assert_eq!(check.caches, 4);
+        assert_eq!(check.logs, 1);
+        assert_eq!(check.counter("mine.rules"), Some(10));
+        assert!(check.coverage > 0.0);
+        std::fs::remove_file(&path).ok();
+        ObsConfig::default().install();
+    }
+
+    #[test]
+    fn validator_rejects_broken_invariants() {
+        let path = temp_path("invalid");
+        let bad_cache = "{\"type\":\"meta\",\"version\":1,\"wall_ns\":100,\"level\":\"spans\"}\n\
+             {\"type\":\"span\",\"path\":\"a\",\"name\":\"a\",\"depth\":0,\"thread\":0,\"start_ns\":1,\"dur_ns\":2}\n\
+             {\"type\":\"cache\",\"family\":\"words\",\"hits\":3,\"misses\":3,\"evictions\":0,\"lookups\":5,\"hit_rate\":0.6}\n";
+        std::fs::write(&path, bad_cache).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("cache invariant"), "{err}");
+
+        let non_monotone = "{\"type\":\"meta\",\"version\":1,\"wall_ns\":100,\"level\":\"spans\"}\n\
+             {\"type\":\"span\",\"path\":\"a\",\"name\":\"a\",\"depth\":0,\"thread\":0,\"start_ns\":50,\"dur_ns\":2}\n\
+             {\"type\":\"span\",\"path\":\"b\",\"name\":\"b\",\"depth\":0,\"thread\":0,\"start_ns\":10,\"dur_ns\":2}\n";
+        std::fs::write(&path, non_monotone).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("not monotone"), "{err}");
+
+        let no_spans = "{\"type\":\"meta\",\"version\":1,\"wall_ns\":100,\"level\":\"summary\"}\n";
+        std::fs::write(&path, no_spans).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("no span lines"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tree_order_is_parents_first_siblings_by_start() {
+        let mut aggs = BTreeMap::new();
+        for (path, start) in [
+            ("train", 0),
+            ("train/svm", 900),
+            ("train/mine", 10),
+            ("predict", 1000),
+        ] {
+            aggs.insert(
+                path.to_string(),
+                StageAgg {
+                    path: path.to_string(),
+                    name: path.rsplit('/').next().unwrap().to_string(),
+                    depth: path.matches('/').count() as u32,
+                    calls: 1,
+                    total_ns: 5,
+                    min_start_ns: start,
+                    max_end_ns: start + 5,
+                },
+            );
+        }
+        let order: Vec<String> = tree_order(aggs).into_iter().map(|s| s.path).collect();
+        assert_eq!(order, vec!["train", "train/mine", "train/svm", "predict"]);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

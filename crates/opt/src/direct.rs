@@ -177,6 +177,7 @@ pub fn direct_minimize(
             let denormed: Vec<Vec<f64>> = points.iter().map(|u| denorm(u)).collect();
             let fvals = batch_eval(&denormed, params.n_threads, &f);
             evals += points.len();
+            rpm_obs::metrics().opt_direct_evals.add(points.len() as u64);
 
             struct DimSample {
                 d: usize,
@@ -201,6 +202,9 @@ pub fn direct_minimize(
             if samples.is_empty() {
                 continue;
             }
+            rpm_obs::metrics()
+                .opt_direct_splits
+                .add(samples.len() as u64);
             // Divide in ascending order of the better child value so the
             // best-looking dimension keeps the largest children.
             samples.sort_by(|a, b| a.f_plus.min(a.f_minus).total_cmp(&b.f_plus.min(b.f_minus)));

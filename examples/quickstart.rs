@@ -7,6 +7,9 @@
 use rpm::prelude::*;
 
 fn main() {
+    // Honor RPM_LOG (e.g. RPM_LOG=spans,json=rpm-report.jsonl).
+    rpm::obs::init_env();
+
     // CBF (the paper's Fig. 2 dataset): 3 classes, 30 train / 150 test.
     let train = rpm::data::cbf::generate(10, 128, 1);
     let test = rpm::data::cbf::generate(50, 128, 2);
@@ -35,4 +38,8 @@ fn main() {
     let predictions = model.predict_batch(&test.series);
     let err = error_rate(&test.labels, &predictions);
     println!("\ntest error rate: {err:.3}");
+    println!("training cache: {}", model.cache_stats());
+
+    // Stage tree to stderr + optional JSONL report when RPM_LOG is set.
+    rpm::obs::finish();
 }

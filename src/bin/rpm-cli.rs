@@ -22,6 +22,7 @@ use rpm::sax::SaxConfig;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
+    rpm::obs::init_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
@@ -35,13 +36,16 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    match result {
+    let code = match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }
-    }
+    };
+    // Stage tree to stderr + optional JSONL report when RPM_LOG is set.
+    rpm::obs::finish();
+    code
 }
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -114,6 +118,7 @@ fn cmd_train(args: &[String]) -> CliResult {
     };
     let model = RpmClassifier::train(&train, &config)?;
     eprintln!("learned {} representative patterns", model.patterns().len());
+    eprintln!("training cache: {}", model.cache_stats());
     model.save(std::fs::File::create(&model_path)?)?;
     eprintln!("model written to {model_path}");
     Ok(())

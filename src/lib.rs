@@ -12,6 +12,7 @@
 //! * [`grammar`] — Sequitur grammar induction,
 //! * [`cluster`] — hierarchical/bisection/k-means clustering,
 //! * [`ml`] — SVM, CFS, metrics, cross-validation, Wilcoxon,
+//! * [`obs`] — spans, metrics, and structured run reports,
 //! * [`opt`] — DIRECT and grid search,
 //! * [`data`] — dataset generators and UCR I/O,
 //! * [`baselines`] — the five comparison classifiers.
@@ -40,6 +41,7 @@ pub use rpm_core as core;
 pub use rpm_data as data;
 pub use rpm_grammar as grammar;
 pub use rpm_ml as ml;
+pub use rpm_obs as obs;
 pub use rpm_opt as opt;
 pub use rpm_sax as sax;
 pub use rpm_ts as ts;
