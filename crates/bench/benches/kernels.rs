@@ -116,12 +116,38 @@ fn bench_obs_disabled(c: &mut Criterion) {
     g.finish();
 }
 
+/// Single-series predict latency with recording off vs on — the serving
+/// acceptance gate: turning the metrics level up must not measurably
+/// slow the inference path (two histogram observations + two clock
+/// reads per predict, against a closest-match scan over every pattern).
+/// Runs last: `bench_obs_disabled` asserts the level is still Off.
+fn bench_predict_latency(c: &mut Criterion) {
+    use rpm_core::{RpmClassifier, RpmConfig};
+    let train = rpm_data::cbf::generate(8, 128, 21);
+    let series = rpm_data::cbf::generate(1, 128, 22).series.remove(0);
+    let model = RpmClassifier::train(&train, &RpmConfig::fixed(SaxConfig::new(32, 4, 4)))
+        .expect("train for predict bench");
+    let mut g = c.benchmark_group("predict_latency");
+    g.bench_function("obs_off", |b| b.iter(|| model.predict(black_box(&series))));
+    rpm_obs::ObsConfig {
+        level: rpm_obs::ObsLevel::Summary,
+        ..Default::default()
+    }
+    .install();
+    g.bench_function("obs_summary", |b| {
+        b.iter(|| model.predict(black_box(&series)))
+    });
+    rpm_obs::ObsConfig::default().install();
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_best_match,
     bench_discretize,
     bench_sequitur,
     bench_dtw,
-    bench_obs_disabled
+    bench_obs_disabled,
+    bench_predict_latency
 );
 criterion_main!(benches);

@@ -99,7 +99,14 @@ impl SuiteCache {
         if self.results.is_none() {
             let mut options = SuiteOptions::default();
             options.rpm.n_threads = threads();
-            self.results = Some(run_suite(&suite(), &options));
+            let results = run_suite(&suite(), &options);
+            // Machine-readable companion to the printed tables: next free
+            // BENCH_<n>.json in the working directory (never overwrites).
+            match rpm_bench::write_bench_json(std::path::Path::new("."), &results) {
+                Ok(path) => eprintln!("suite results written to {}", path.display()),
+                Err(e) => eprintln!("could not write bench JSON: {e}"),
+            }
+            self.results = Some(results);
         }
         self.results.as_ref().unwrap()
     }

@@ -8,6 +8,7 @@ use rpm_core::{ParamSearch, RpmClassifier, RpmConfig};
 use rpm_data::{generate, DatasetSpec};
 use rpm_ml::error_rate;
 use rpm_ts::Dataset;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// The six classifiers of Tables 1–2, in the paper's column order.
@@ -239,6 +240,69 @@ pub fn run_suite(specs: &[DatasetSpec], options: &SuiteOptions) -> Vec<DatasetRe
         .collect()
 }
 
+/// Renders suite results as a machine-readable JSON document — the
+/// stable companion to BENCH.md's hand-edited tables, meant for CI
+/// trend tracking and `jq`-style post-processing. Schema:
+///
+/// ```json
+/// {
+///   "schema": 1,
+///   "datasets": [
+///     {"name": "CBF",
+///      "methods": [{"method": "NN-ED", "error": 0.02, "seconds": 0.011}]}
+///   ]
+/// }
+/// ```
+///
+/// Method entries appear in evaluation order; errors are test error
+/// rates in `[0, 1]`, `seconds` is train+classify wall time (Table 2's
+/// metric). Hand-rolled writer — dataset/method names come from the
+/// static registry, so only `"` and `\` need escaping.
+pub fn results_to_json(results: &[DatasetResult]) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    let mut out = String::from("{\n  \"schema\": 1,\n  \"datasets\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"methods\": [\n",
+            esc(&r.name)
+        ));
+        for (j, (kind, o)) in r.outcomes.iter().enumerate() {
+            out.push_str(&format!(
+                "      {{\"method\": \"{}\", \"error\": {:.6}, \"seconds\": {:.6}}}{}\n",
+                esc(kind.name()),
+                o.error,
+                o.time.as_secs_f64(),
+                if j + 1 < r.outcomes.len() { "," } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "    ]}}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`results_to_json`] to the first free `BENCH_<n>.json` in
+/// `dir` (starting at 1), mirroring the repo's numbered `BENCH.md`
+/// convention: existing result files are never overwritten, so a CI
+/// artifact step can archive every run. Returns the path written.
+pub fn write_bench_json(dir: &Path, results: &[DatasetResult]) -> std::io::Result<PathBuf> {
+    let json = results_to_json(results);
+    for n in 1..10_000u32 {
+        let path = dir.join(format!("BENCH_{n}.json"));
+        if path.exists() {
+            continue;
+        }
+        std::fs::write(&path, &json)?;
+        return Ok(path);
+    }
+    Err(std::io::Error::other("no free BENCH_<n>.json slot"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,5 +360,71 @@ mod tests {
         let r = evaluate_dataset(&tiny_spec(), &quick_options());
         let caught = std::panic::catch_unwind(|| r.get(ClassifierKind::Ls));
         assert!(caught.is_err());
+    }
+
+    fn fake_results() -> Vec<DatasetResult> {
+        vec![
+            DatasetResult {
+                name: "CBF".into(),
+                outcomes: vec![
+                    (
+                        ClassifierKind::NnEd,
+                        MethodOutcome {
+                            error: 0.02,
+                            time: Duration::from_millis(11),
+                        },
+                    ),
+                    (
+                        ClassifierKind::Rpm,
+                        MethodOutcome {
+                            error: 0.0,
+                            time: Duration::from_millis(250),
+                        },
+                    ),
+                ],
+            },
+            DatasetResult {
+                name: "Coffee".into(),
+                outcomes: vec![(
+                    ClassifierKind::Rpm,
+                    MethodOutcome {
+                        error: 0.125,
+                        time: Duration::from_secs(1),
+                    },
+                )],
+            },
+        ]
+    }
+
+    #[test]
+    fn json_export_lists_every_method() {
+        let json = results_to_json(&fake_results());
+        assert!(json.contains("\"schema\": 1"));
+        assert!(json.contains("\"name\": \"CBF\""));
+        assert!(json.contains("\"name\": \"Coffee\""));
+        assert!(json.contains("\"method\": \"NN-ED\""));
+        assert!(json.contains("\"error\": 0.125000"));
+        assert!(json.contains("\"seconds\": 1.000000"));
+        // Balanced brackets — cheap well-formedness check without a parser.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let o = json.matches(open).count();
+            let c = json.matches(close).count();
+            assert_eq!(o, c, "unbalanced {open}{close}");
+        }
+    }
+
+    #[test]
+    fn bench_json_picks_next_free_slot() {
+        let dir = std::env::temp_dir().join(format!("rpm-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let results = fake_results();
+        let first = write_bench_json(&dir, &results).unwrap();
+        assert!(first.ends_with("BENCH_1.json"));
+        let second = write_bench_json(&dir, &results).unwrap();
+        assert!(second.ends_with("BENCH_2.json"));
+        // Existing files are never overwritten.
+        let kept = std::fs::read_to_string(&first).unwrap();
+        assert_eq!(kept, results_to_json(&results));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -16,5 +16,6 @@
 pub mod harness;
 
 pub use harness::{
-    evaluate_dataset, run_suite, ClassifierKind, DatasetResult, MethodOutcome, SuiteOptions,
+    evaluate_dataset, results_to_json, run_suite, write_bench_json, ClassifierKind, DatasetResult,
+    MethodOutcome, SuiteOptions,
 };

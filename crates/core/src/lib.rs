@@ -41,6 +41,7 @@ pub mod model;
 pub mod params;
 pub mod persist;
 pub mod transform;
+pub mod usage;
 
 pub use cache::{CacheStats, SaxCache, SetId};
 pub use candidates::{find_candidates_for_class, Candidate, CandidateSet};

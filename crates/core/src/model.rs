@@ -7,6 +7,7 @@ use crate::distinct::select_representative_ctx;
 use crate::engine::{Engine, EngineError};
 use crate::params::search_parameters_ctx;
 use crate::transform::{transform_series, transform_set_ctx, transform_set_parallel};
+use crate::usage::{render_usage, PatternStats, PatternUsage};
 use rpm_ml::{LinearSvm, SvmParams};
 use rpm_sax::SaxConfig;
 use rpm_ts::{Dataset, Label};
@@ -69,6 +70,9 @@ pub struct RpmClassifier {
     /// Memoization-cache counters of the training run that produced this
     /// model (zero for models loaded from disk).
     pub(crate) cache_stats: CacheStats,
+    /// Serving-path utilization accumulators (one slot per pattern);
+    /// populated only while `rpm-obs` is enabled, never persisted.
+    pub(crate) usage: PatternUsage,
 }
 
 impl RpmClassifier {
@@ -210,6 +214,7 @@ impl RpmClassifier {
         let svm = LinearSvm::train(&rows, &train.labels, &config.svm);
         drop(svm_span);
 
+        let usage = PatternUsage::new(pattern_values.len());
         Ok(Self {
             patterns: selected,
             pattern_values,
@@ -218,6 +223,7 @@ impl RpmClassifier {
             rotation_invariant: config.rotation_invariant,
             early_abandon: config.early_abandon,
             cache_stats: ctx.cache.stats(),
+            usage,
         })
     }
 
@@ -232,14 +238,32 @@ impl RpmClassifier {
     }
 
     /// Predicts the class label of one series.
+    ///
+    /// With observability off this is exactly the PR 2 path (transform +
+    /// SVM, zero probes); with it on, the same computation additionally
+    /// feeds the `predict.latency_ns`/`predict.match_distance` histograms
+    /// and the per-pattern utilization accumulators. Instrumentation only
+    /// observes — predictions are bit-identical either way.
     pub fn predict(&self, series: &[f64]) -> Label {
-        self.svm.predict(&self.transform(series))
+        if !rpm_obs::enabled() {
+            return self.svm.predict(&self.transform(series));
+        }
+        let start = rpm_obs::now_ns();
+        let features = self.transform(series);
+        self.usage.note(&features);
+        let label = self.svm.predict(&features);
+        let m = rpm_obs::metrics();
+        m.predict_series.inc();
+        m.predict_latency
+            .observe(rpm_obs::now_ns().saturating_sub(start));
+        label
     }
 
     /// Predicts a batch.
     pub fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
         let _span = rpm_obs::span!("predict");
-        rpm_obs::metrics().predict_series.add(series.len() as u64);
+        rpm_obs::metrics().predict_batches.inc();
+        // `predict.series` is counted per series inside `predict`.
         series.iter().map(|s| self.predict(s)).collect()
     }
 
@@ -253,7 +277,9 @@ impl RpmClassifier {
         n_threads: usize,
     ) -> Result<Vec<Label>, EngineError> {
         let _span = rpm_obs::span!("predict");
-        rpm_obs::metrics().predict_series.add(series.len() as u64);
+        let m = rpm_obs::metrics();
+        m.predict_batches.inc();
+        m.predict_series.add(series.len() as u64);
         let rows = transform_set_parallel(
             series,
             &self.pattern_values,
@@ -261,7 +287,39 @@ impl RpmClassifier {
             self.early_abandon,
             n_threads,
         )?;
+        if rpm_obs::enabled() {
+            // The parallel path bypasses `predict`; feed utilization from
+            // the transformed rows instead (same values, same argmins).
+            for row in &rows {
+                self.usage.note(row);
+            }
+        }
         Ok(rows.iter().map(|r| self.svm.predict(r)).collect())
+    }
+
+    /// Per-pattern utilization accumulated on the serving path while
+    /// `rpm-obs` is enabled: argmin (closest-match) counts and mean match
+    /// distances, in pattern order. All zeros when observability was off.
+    pub fn pattern_usage(&self) -> Vec<PatternStats> {
+        self.usage.stats()
+    }
+
+    /// Predictions observed by the utilization tracker.
+    pub fn usage_observations(&self) -> u64 {
+        self.usage.observations()
+    }
+
+    /// Zeroes the utilization accumulators (e.g. between traffic
+    /// windows).
+    pub fn reset_pattern_usage(&self) {
+        self.usage.reset();
+    }
+
+    /// Human-readable utilization table (see [`crate::usage`]): patterns
+    /// by argmin share, dead patterns flagged.
+    pub fn render_pattern_usage(&self) -> String {
+        let classes: Vec<usize> = self.patterns.iter().map(|p| p.class).collect();
+        render_usage(&self.usage.stats(), &classes)
     }
 
     /// Classifies every `hop`-strided window of a long streaming series,

@@ -215,7 +215,8 @@ impl RpmClassifier {
             scaler_mean: scaler_mean.ok_or_else(|| format_err("missing svm-scaler-mean"))?,
             scaler_inv_sd: scaler_inv_sd.ok_or_else(|| format_err("missing svm-scaler-invsd"))?,
         });
-        let pattern_values = patterns.iter().map(|p| p.values.clone()).collect();
+        let pattern_values: Vec<Vec<f64>> = patterns.iter().map(|p| p.values.clone()).collect();
+        let n_patterns = pattern_values.len();
         Ok(RpmClassifier {
             patterns,
             pattern_values,
@@ -224,8 +225,9 @@ impl RpmClassifier {
             rotation_invariant,
             early_abandon,
             // Training-run counters are not persisted; a loaded model
-            // reports empty stats.
+            // reports empty stats and starts a fresh usage window.
             cache_stats: crate::cache::CacheStats::default(),
+            usage: crate::usage::PatternUsage::new(n_patterns),
         })
     }
 }

@@ -50,7 +50,28 @@ fn feature_distance(pattern: &[f64], series: &[f64], early_abandon: bool) -> f64
 }
 
 /// Transforms one series into the K-dimensional pattern-distance vector.
+///
+/// While `rpm-obs` is enabled each call also feeds the
+/// `transform.series_ns` histogram; the disabled path skips the clock
+/// reads entirely.
 pub fn transform_series(
+    series: &[f64],
+    patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+) -> Vec<f64> {
+    if !rpm_obs::enabled() {
+        return transform_series_inner(series, patterns, rotation_invariant, early_abandon);
+    }
+    let start = rpm_obs::now_ns();
+    let out = transform_series_inner(series, patterns, rotation_invariant, early_abandon);
+    rpm_obs::metrics()
+        .transform_series
+        .observe(rpm_obs::now_ns().saturating_sub(start));
+    out
+}
+
+fn transform_series_inner(
     series: &[f64],
     patterns: &[Vec<f64>],
     rotation_invariant: bool,

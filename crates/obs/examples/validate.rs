@@ -9,7 +9,10 @@
 //!
 //! Exits non-zero unless the report has a meta line, non-empty spans with
 //! monotone timestamps inside wall time, every cache line satisfying
-//! `hits + misses == lookups`, and a populated `engine.jobs` counter.
+//! `hits + misses == lookups`, every histogram line satisfying the bucket
+//! invariants (`count == Σ bucket counts`, ascending bucket bounds,
+//! `sum_ns ≤ count × max upper bound` — all enforced inside
+//! `validate_jsonl`), and a populated `engine.jobs` counter.
 
 use std::process::ExitCode;
 
@@ -21,16 +24,25 @@ fn main() -> ExitCode {
     match rpm_obs::validate_jsonl(&path) {
         Ok(check) => {
             println!(
-                "{path}: OK — {} lines, {} spans, {} counters, {} cache families, {} logs, \
-                 wall {:.3}s, root-stage coverage {:.1}%",
+                "{path}: OK — {} lines, {} spans, {} stages, {} counters, {} cache families, \
+                 {} histograms, {} logs, wall {:.3}s, root-stage coverage {:.1}%",
                 check.lines,
                 check.spans,
+                check.stages,
                 check.counters.len(),
                 check.caches,
+                check.histograms,
                 check.logs,
                 check.wall_ns as f64 / 1e9,
                 100.0 * check.coverage,
             );
+            if check.histograms > 0 {
+                println!(
+                    "{path}: {} histogram(s) passed the bucket invariants \
+                     (count == Σ buckets, ascending bounds, bounded sum)",
+                    check.histograms
+                );
+            }
             match check.counter("engine.jobs") {
                 Some(jobs) if jobs > 0 => {
                     println!("{path}: engine.jobs = {jobs}");

@@ -1,0 +1,502 @@
+//! Report analytics: load a saved JSONL run report back into a summary
+//! and diff two reports for CI perf gating (`rpm-cli obs summary` /
+//! `rpm-cli obs diff`).
+//!
+//! A diff compares three signal classes with different strictness:
+//!
+//! * **counters** (jobs, candidates, survivors, …) are deterministic —
+//!   any drift beyond the tolerance, or a counter missing from either
+//!   side, is a regression;
+//! * **cache totals** compare *lookups* only: the hit/miss split
+//!   legitimately varies with thread scheduling, the lookup total does
+//!   not;
+//! * **wall/stage times** are noisy on shared runners, so they only
+//!   count as regressions when `DiffOptions::time_gate` is set (the CI
+//!   default leaves them informational).
+
+use crate::report::{bucket_pairs, str_field, u64_field};
+use std::fmt::Write as _;
+
+/// One stage aggregate loaded from a report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageSummary {
+    /// Full `/`-joined stage path.
+    pub path: String,
+    /// Merged span count.
+    pub calls: u64,
+    /// Summed duration.
+    pub total_ns: u64,
+}
+
+/// One histogram loaded from a report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HistogramSummary {
+    /// Registry name (e.g. `predict.latency_ns`).
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum_ns: u64,
+    /// Median estimate (0 for v1 reports without quantiles).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+}
+
+/// A JSONL run report parsed back into comparable form.
+#[derive(Clone, Debug, Default)]
+pub struct ReportSummary {
+    /// Total wall time of the run.
+    pub wall_ns: u64,
+    /// Recording level the run used.
+    pub level: String,
+    /// Stage aggregates in file order (tree order).
+    pub stages: Vec<StageSummary>,
+    /// Counters (static + gauges + labeled) as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Cache families as `(family, lookups)`.
+    pub caches: Vec<(String, u64)>,
+    /// Histograms with their quantile estimates.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl ReportSummary {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Renders the summary as a human-readable table (the `obs summary`
+    /// output): stage tree with times, then histograms with quantiles,
+    /// then non-zero counters.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report — wall {}, level {}",
+            fmt_ns(self.wall_ns),
+            self.level
+        );
+        if !self.stages.is_empty() {
+            let name_width = self
+                .stages
+                .iter()
+                .map(|s| s.path.len())
+                .max()
+                .unwrap_or(0)
+                .max(12);
+            let _ = writeln!(out, "stages:");
+            for s in &self.stages {
+                let pct = if self.wall_ns > 0 {
+                    100.0 * s.total_ns as f64 / self.wall_ns as f64
+                } else {
+                    0.0
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:name_width$}  {:>9}  {:5.1}%  {:>6}×",
+                    s.path,
+                    fmt_ns(s.total_ns),
+                    pct,
+                    s.calls
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "histograms:");
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {}: {} obs, p50 {:.0}, p90 {:.0}, p99 {:.0}",
+                    h.name, h.count, h.p50, h.p90, h.p99
+                );
+            }
+        }
+        let nonzero: Vec<&(String, u64)> = self.counters.iter().filter(|(_, v)| *v > 0).collect();
+        if !nonzero.is_empty() {
+            let _ = writeln!(out, "counters:");
+            for (name, value) in nonzero {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        for (family, lookups) in &self.caches {
+            if *lookups > 0 {
+                let _ = writeln!(out, "cache {family}: {lookups} lookups");
+            }
+        }
+        out
+    }
+}
+
+/// Parses a JSONL run report from `path` into a [`ReportSummary`].
+/// Tolerates v1 reports (no quantile fields — they load as 0).
+pub fn load_summary(path: &str) -> Result<ReportSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut summary = ReportSummary::default();
+    let mut saw_meta = false;
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ty =
+            str_field(line, "type").ok_or_else(|| format!("{path}:{lineno}: line without type"))?;
+        match ty.as_str() {
+            "meta" => {
+                summary.wall_ns = u64_field(line, "wall_ns")
+                    .ok_or_else(|| format!("{path}:{lineno}: meta without wall_ns"))?;
+                summary.level = str_field(line, "level").unwrap_or_default();
+                saw_meta = true;
+            }
+            "stage" => summary.stages.push(StageSummary {
+                path: str_field(line, "path")
+                    .ok_or_else(|| format!("{path}:{lineno}: stage without path"))?,
+                calls: u64_field(line, "calls").unwrap_or(0),
+                total_ns: u64_field(line, "total_ns").unwrap_or(0),
+            }),
+            "counter" => summary.counters.push((
+                str_field(line, "name")
+                    .ok_or_else(|| format!("{path}:{lineno}: counter without name"))?,
+                u64_field(line, "value").unwrap_or(0),
+            )),
+            "cache" => summary.caches.push((
+                str_field(line, "family")
+                    .ok_or_else(|| format!("{path}:{lineno}: cache without family"))?,
+                u64_field(line, "lookups").unwrap_or(0),
+            )),
+            "histogram" => {
+                let name = str_field(line, "name")
+                    .ok_or_else(|| format!("{path}:{lineno}: histogram without name"))?;
+                let count = u64_field(line, "count").unwrap_or(0);
+                // Sanity: the validator's core invariant also holds here.
+                if let Some(buckets) = bucket_pairs(line) {
+                    let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+                    if total != count {
+                        return Err(format!(
+                            "{path}:{lineno}: histogram bucket counts do not sum to count"
+                        ));
+                    }
+                }
+                summary.histograms.push(HistogramSummary {
+                    name,
+                    count,
+                    sum_ns: u64_field(line, "sum_ns").unwrap_or(0),
+                    p50: f64_field(line, "p50").unwrap_or(0.0),
+                    p90: f64_field(line, "p90").unwrap_or(0.0),
+                    p99: f64_field(line, "p99").unwrap_or(0.0),
+                });
+            }
+            // span/log lines carry no aggregate information.
+            _ => {}
+        }
+    }
+    if !saw_meta {
+        return Err(format!("{path}: no meta line — not a run report?"));
+    }
+    Ok(summary)
+}
+
+/// Extracts a float field (quantiles serialize as `"p50":123.4`).
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let pattern = format!("\"{key}\":");
+    let start = line.find(&pattern)? + pattern.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Knobs for [`diff_reports`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Allowed relative drift for counters (0.2 = ±20%). Exact matching
+    /// is `0.0`.
+    pub tolerance: f64,
+    /// Whether slower wall/stage times count as regressions (off by
+    /// default — shared CI runners are too noisy to gate on time).
+    pub time_gate: bool,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            tolerance: 0.0,
+            time_gate: false,
+        }
+    }
+}
+
+/// One comparison line in a diff.
+#[derive(Clone, Debug)]
+pub struct DiffLine {
+    /// What was compared (`counter engine.jobs`, `stage train`, …).
+    pub what: String,
+    /// Baseline value (None = absent from the baseline).
+    pub before: Option<u64>,
+    /// Current value (None = absent from the current report).
+    pub after: Option<u64>,
+    /// Whether this line fails the gate.
+    pub regression: bool,
+}
+
+/// Result of comparing two reports.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// All comparison lines, regressions first.
+    pub lines: Vec<DiffLine>,
+    /// Number of gating failures.
+    pub regressions: usize,
+}
+
+impl DiffReport {
+    /// Renders the diff as a table; regressions are marked `!!`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.lines.is_empty() {
+            let _ = writeln!(out, "reports are identical under the gate");
+            return out;
+        }
+        let what_width = self
+            .lines
+            .iter()
+            .map(|l| l.what.len())
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        for l in &self.lines {
+            let mark = if l.regression { "!!" } else { "  " };
+            let before = l.before.map_or("-".to_string(), |v| v.to_string());
+            let after = l.after.map_or("-".to_string(), |v| v.to_string());
+            let delta = match (l.before, l.after) {
+                (Some(b), Some(a)) if b > 0 => {
+                    format!("{:+.1}%", 100.0 * (a as f64 - b as f64) / b as f64)
+                }
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{mark} {:what_width$}  {:>12} -> {:>12}  {delta}",
+                l.what, before, after
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{} comparisons, {} regression(s)",
+            self.lines.len(),
+            self.regressions
+        );
+        out
+    }
+}
+
+/// Compares `current` against `baseline`. Counters (including cache
+/// lookup totals) regress when they drift beyond `opts.tolerance` or
+/// disappear; times regress only under `opts.time_gate`. New counters
+/// (present only in `current`) are reported but never gate — adding
+/// instrumentation must not fail CI.
+pub fn diff_reports(
+    baseline: &ReportSummary,
+    current: &ReportSummary,
+    opts: &DiffOptions,
+) -> DiffReport {
+    let mut lines = Vec::new();
+
+    let drifts = |b: u64, a: u64| -> bool {
+        if b == a {
+            return false;
+        }
+        if b == 0 {
+            return true;
+        }
+        let rel = (a as f64 - b as f64).abs() / b as f64;
+        rel > opts.tolerance
+    };
+
+    for (name, b) in &baseline.counters {
+        let a = current.counter(name);
+        let regression = match a {
+            Some(a) => drifts(*b, a),
+            None => true,
+        };
+        lines.push(DiffLine {
+            what: format!("counter {name}"),
+            before: Some(*b),
+            after: a,
+            regression,
+        });
+    }
+    for (name, a) in &current.counters {
+        if baseline.counter(name).is_none() {
+            lines.push(DiffLine {
+                what: format!("counter {name} (new)"),
+                before: None,
+                after: Some(*a),
+                regression: false,
+            });
+        }
+    }
+
+    for (family, b) in &baseline.caches {
+        let a = current
+            .caches
+            .iter()
+            .find(|(f, _)| f == family)
+            .map(|(_, v)| *v);
+        let regression = match a {
+            Some(a) => drifts(*b, a),
+            None => *b > 0,
+        };
+        lines.push(DiffLine {
+            what: format!("cache {family} lookups"),
+            before: Some(*b),
+            after: a,
+            regression,
+        });
+    }
+
+    // Times: gate only when asked, and only on slowdowns.
+    let slower = |b: u64, a: u64| -> bool {
+        opts.time_gate && a > b && (b == 0 || (a - b) as f64 / b as f64 > opts.tolerance)
+    };
+    lines.push(DiffLine {
+        what: "wall_ns".to_string(),
+        before: Some(baseline.wall_ns),
+        after: Some(current.wall_ns),
+        regression: slower(baseline.wall_ns, current.wall_ns),
+    });
+    for s in &baseline.stages {
+        let a = current
+            .stages
+            .iter()
+            .find(|c| c.path == s.path)
+            .map(|c| c.total_ns);
+        lines.push(DiffLine {
+            what: format!("stage {} total_ns", s.path),
+            before: Some(s.total_ns),
+            after: a,
+            regression: match a {
+                Some(a) => slower(s.total_ns, a),
+                // A stage vanishing entirely is structural, not noise.
+                None => true,
+            },
+        });
+    }
+
+    lines.sort_by_key(|l| !l.regression);
+    let regressions = lines.iter().filter(|l| l.regression).count();
+    DiffReport { lines, regressions }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    crate::report::fmt_ns(ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(counters: &[(&str, u64)], wall: u64) -> ReportSummary {
+        ReportSummary {
+            wall_ns: wall,
+            level: "spans".to_string(),
+            stages: vec![StageSummary {
+                path: "train".to_string(),
+                calls: 1,
+                total_ns: wall / 2,
+            }],
+            counters: counters.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            caches: vec![("words".to_string(), 100)],
+            histograms: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_reports_have_no_regressions() {
+        let s = summary(&[("engine.jobs", 10), ("mine.rules", 5)], 1000);
+        let d = diff_reports(&s, &s.clone(), &DiffOptions::default());
+        assert_eq!(d.regressions, 0, "{}", d.render());
+    }
+
+    #[test]
+    fn counter_drift_beyond_tolerance_regresses() {
+        let base = summary(&[("engine.jobs", 100)], 1000);
+        let close = summary(&[("engine.jobs", 110)], 1000);
+        let far = summary(&[("engine.jobs", 150)], 1000);
+        let opts = DiffOptions {
+            tolerance: 0.2,
+            time_gate: false,
+        };
+        assert_eq!(diff_reports(&base, &close, &opts).regressions, 0);
+        let d = diff_reports(&base, &far, &opts);
+        assert_eq!(d.regressions, 1, "{}", d.render());
+        assert!(d.render().contains("!!"), "{}", d.render());
+    }
+
+    #[test]
+    fn missing_counter_regresses_but_new_counter_does_not() {
+        let base = summary(&[("engine.jobs", 10)], 1000);
+        let cur = summary(&[("mine.rules", 3)], 1000);
+        let d = diff_reports(&base, &cur, &DiffOptions::default());
+        // engine.jobs vanished (regression); mine.rules is new (not).
+        assert_eq!(d.regressions, 1, "{}", d.render());
+        assert!(d.render().contains("(new)"), "{}", d.render());
+    }
+
+    #[test]
+    fn times_gate_only_when_asked() {
+        let base = summary(&[], 1000);
+        let slow = summary(&[], 5000);
+        assert_eq!(
+            diff_reports(&base, &slow, &DiffOptions::default()).regressions,
+            0
+        );
+        let gated = DiffOptions {
+            tolerance: 0.2,
+            time_gate: true,
+        };
+        assert!(diff_reports(&base, &slow, &gated).regressions >= 1);
+    }
+
+    #[test]
+    fn summary_round_trips_through_jsonl_file() {
+        let path = std::env::temp_dir().join(format!(
+            "rpm_obs_diff_roundtrip_{}.jsonl",
+            std::process::id()
+        ));
+        let text = "{\"type\":\"meta\",\"version\":2,\"wall_ns\":5000,\"level\":\"spans\"}\n\
+             {\"type\":\"stage\",\"path\":\"train\",\"calls\":1,\"total_ns\":4000}\n\
+             {\"type\":\"counter\",\"name\":\"engine.jobs\",\"value\":12}\n\
+             {\"type\":\"cache\",\"family\":\"words\",\"hits\":6,\"misses\":4,\"evictions\":0,\"lookups\":10,\"hit_rate\":0.6}\n\
+             {\"type\":\"histogram\",\"name\":\"predict.latency_ns\",\"count\":3,\"sum_ns\":2100,\"mean_ns\":700.0,\"p50\":700.0,\"p90\":900.0,\"p99\":990.0,\"buckets\":[[1024,3]]}\n";
+        std::fs::write(&path, text).unwrap();
+        let s = load_summary(&path.display().to_string()).expect("loads");
+        assert_eq!(s.wall_ns, 5000);
+        assert_eq!(s.counter("engine.jobs"), Some(12));
+        assert_eq!(s.caches, vec![("words".to_string(), 10)]);
+        assert_eq!(s.histograms.len(), 1);
+        assert!((s.histograms[0].p90 - 900.0).abs() < 1e-9);
+        let rendered = s.render();
+        assert!(rendered.contains("train"), "{rendered}");
+        assert!(rendered.contains("p90 900"), "{rendered}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_reports_without_quantiles_still_load() {
+        let path =
+            std::env::temp_dir().join(format!("rpm_obs_diff_v1_{}.jsonl", std::process::id()));
+        let text = "{\"type\":\"meta\",\"version\":1,\"wall_ns\":100,\"level\":\"summary\"}\n\
+             {\"type\":\"histogram\",\"name\":\"h\",\"count\":1,\"sum_ns\":8,\"mean_ns\":8.0,\"buckets\":[[16,1]]}\n";
+        std::fs::write(&path, text).unwrap();
+        let s = load_summary(&path.display().to_string()).expect("v1 loads");
+        assert_eq!(s.histograms[0].p50, 0.0);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,267 @@
+//! Prometheus text exposition of the metrics registry.
+//!
+//! Renders a [`MetricsSnapshot`] in the Prometheus text format
+//! (version 0.0.4) for scraping via the [`crate::http`] endpoint or for
+//! dumping to a file. Mapping from the internal dotted names:
+//!
+//! * every metric is prefixed `rpm_` and dots become underscores;
+//! * counters gain the conventional `_total` suffix
+//!   (`engine.jobs` → `rpm_engine_jobs_total`);
+//! * gauges keep their flattened name (`engine.workers.max` →
+//!   `rpm_engine_workers_max`);
+//! * cache families collapse into three labeled counters
+//!   (`rpm_cache_hits_total{family="words"}`, …misses…, …evictions…);
+//! * dynamic labeled counters split their trailing `key=value` segment
+//!   into a label (`cfs.survivors.class=3` →
+//!   `rpm_cfs_survivors_total{class="3"}`);
+//! * histograms render the full conventional triple: cumulative
+//!   `_bucket{le="…"}` series ending in `le="+Inf"`, plus `_sum` and
+//!   `_count`. Bucket bounds are the registry's log₂ upper bounds,
+//!   *inclusive* in Prometheus semantics — the internal buckets are
+//!   `[2^(i-1), 2^i)`, so `le="2^i - 1"` would be exact; we emit the
+//!   power of two itself, which over-covers each bucket by exactly one
+//!   nanosecond and keeps the bounds recognizable.
+//!
+//! The exposition is pull-model and read-only: rendering never mutates
+//! the registry, so scrapes cannot perturb a run.
+
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Renders `snap` in Prometheus text exposition format 0.0.4.
+///
+/// Families with zero activity are skipped (except `_count`-bearing
+/// histogram triples, which render whenever they have observations), so
+/// a fresh process exposes a short page rather than forty zero lines.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+
+    for &(name, value) in &snap.counters {
+        if value == 0 {
+            continue;
+        }
+        let flat = flatten(name);
+        let _ = writeln!(out, "# TYPE rpm_{flat}_total counter");
+        let _ = writeln!(out, "rpm_{flat}_total {value}");
+    }
+
+    for &(name, value) in &snap.gauges {
+        if value == 0 {
+            continue;
+        }
+        let flat = flatten(name);
+        let _ = writeln!(out, "# TYPE rpm_{flat} gauge");
+        let _ = writeln!(out, "rpm_{flat} {value}");
+    }
+
+    if snap.cache.iter().any(|(_, h, m, e)| h + m + e > 0) {
+        for (kind, pick) in [("hits", 0usize), ("misses", 1), ("evictions", 2)] {
+            let _ = writeln!(out, "# TYPE rpm_cache_{kind}_total counter");
+            for &(family, h, m, e) in &snap.cache {
+                if h + m + e == 0 {
+                    continue;
+                }
+                let value = [h, m, e][pick];
+                let _ = writeln!(
+                    out,
+                    "rpm_cache_{kind}_total{{family=\"{}\"}} {value}",
+                    escape_label(family)
+                );
+            }
+        }
+    }
+
+    // Dynamic labeled counters, grouped so each family gets one TYPE
+    // line (the snapshot is sorted by name, so a family's entries are
+    // contiguous).
+    let mut last_family = String::new();
+    for (name, value) in &snap.labeled {
+        let (family, label) = split_label(name);
+        let flat = flatten(&family);
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE rpm_{flat}_total counter");
+            last_family = family.clone();
+        }
+        match label {
+            Some((key, val)) => {
+                let _ = writeln!(
+                    out,
+                    "rpm_{flat}_total{{{key}=\"{}\"}} {value}",
+                    escape_label(&val)
+                );
+            }
+            None => {
+                let _ = writeln!(out, "rpm_{flat}_total {value}");
+            }
+        }
+    }
+
+    for (name, hist) in &snap.histograms {
+        if hist.count == 0 {
+            continue;
+        }
+        push_histogram(&mut out, name, hist);
+    }
+
+    out
+}
+
+fn push_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
+    let flat = flatten(name);
+    let _ = writeln!(out, "# TYPE rpm_{flat} histogram");
+    let mut cumulative = 0u64;
+    for &(upper, n) in &hist.buckets {
+        cumulative += n;
+        let _ = writeln!(out, "rpm_{flat}_bucket{{le=\"{upper}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "rpm_{flat}_bucket{{le=\"+Inf\"}} {}", hist.count);
+    let _ = writeln!(out, "rpm_{flat}_sum {}", hist.sum);
+    let _ = writeln!(out, "rpm_{flat}_count {}", hist.count);
+}
+
+/// `engine.jobs` → `engine_jobs`.
+fn flatten(name: &str) -> String {
+    name.replace(['.', '-'], "_")
+}
+
+/// Splits a labeled-counter name on its trailing `.key=value` segment:
+/// `cfs.survivors.class=3` → (`cfs.survivors`, Some(("class", "3"))).
+/// Names without a `key=value` tail pass through unlabeled.
+fn split_label(name: &str) -> (String, Option<(String, String)>) {
+    if let Some(eq) = name.rfind('=') {
+        if let Some(dot) = name[..eq].rfind('.') {
+            let family = name[..dot].to_string();
+            let key = flatten(&name[dot + 1..eq]);
+            let value = name[eq + 1..].to_string();
+            if !family.is_empty() && !key.is_empty() {
+                return (family, Some((key, value)));
+            }
+        }
+    }
+    (name.to_string(), None)
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: vec![("engine.jobs", 12), ("mine.rules", 0)],
+            gauges: vec![("engine.workers.max", 4)],
+            cache: vec![("words", 7, 3, 0), ("grammar", 0, 0, 0)],
+            histograms: vec![(
+                "predict.latency_ns",
+                HistogramSnapshot {
+                    count: 3,
+                    sum: 2100,
+                    buckets: vec![(1024, 2), (2048, 1)],
+                },
+            )],
+            labeled: vec![
+                ("cfs.survivors.class=0".to_string(), 5),
+                ("cfs.survivors.class=1".to_string(), 8),
+            ],
+        }
+    }
+
+    #[test]
+    fn counters_gauges_and_caches_render() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(
+            text.contains("# TYPE rpm_engine_jobs_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("rpm_engine_jobs_total 12"), "{text}");
+        // Zero counters and idle cache families are skipped.
+        assert!(!text.contains("mine_rules"), "{text}");
+        assert!(!text.contains("family=\"grammar\""), "{text}");
+        assert!(text.contains("rpm_engine_workers_max 4"), "{text}");
+        assert!(
+            text.contains("rpm_cache_hits_total{family=\"words\"} 7"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpm_cache_misses_total{family=\"words\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn labeled_counters_split_into_labels() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(
+            text.contains("rpm_cfs_survivors_total{class=\"0\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpm_cfs_survivors_total{class=\"1\"} 8"),
+            "{text}"
+        );
+        // One TYPE line for the family, not one per label.
+        assert_eq!(
+            text.matches("# TYPE rpm_cfs_survivors_total").count(),
+            1,
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_and_count() {
+        let text = to_prometheus(&sample_snapshot());
+        assert!(
+            text.contains("# TYPE rpm_predict_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpm_predict_latency_ns_bucket{le=\"1024\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpm_predict_latency_ns_bucket{le=\"2048\"} 3"),
+            "cumulative, not per-bucket: {text}"
+        );
+        assert!(
+            text.contains("rpm_predict_latency_ns_bucket{le=\"+Inf\"} 3"),
+            "{text}"
+        );
+        assert!(text.contains("rpm_predict_latency_ns_sum 2100"), "{text}");
+        assert!(text.contains("rpm_predict_latency_ns_count 3"), "{text}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_page() {
+        assert_eq!(to_prometheus(&MetricsSnapshot::default()), "");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn split_label_handles_plain_names() {
+        assert_eq!(
+            split_label("plain.counter"),
+            ("plain.counter".to_string(), None)
+        );
+        let (family, label) = split_label("cfs.survivors.class=3");
+        assert_eq!(family, "cfs.survivors");
+        assert_eq!(label, Some(("class".to_string(), "3".to_string())));
+    }
+}

@@ -1,0 +1,188 @@
+//! Opt-in `/metrics` + `/healthz` HTTP endpoint, std-only.
+//!
+//! A minimal single-threaded HTTP/1.0-style server on a background
+//! thread: each connection gets its request line read, one response
+//! written, and the socket closed. That is all a Prometheus scraper (or
+//! `curl`) needs, and it keeps the implementation at a `TcpListener`
+//! and a handful of `write_all` calls — no dependencies, no keep-alive
+//! state, no thread pool to manage. Responses are rendered from a
+//! [`crate::metrics::snapshot`] taken at request time, so scrapes
+//! observe but never perturb the run.
+//!
+//! Enabled via [`crate::ObsConfig`] (`http_addr`) or the `RPM_LOG`
+//! directive `http=127.0.0.1:9898`; `rpm-cli classify --metrics-addr`
+//! wires it up for serving runs. Bind to port 0 to let the OS pick
+//! (tests do), and read the actual address back from
+//! [`MetricsServer::local_addr`].
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+/// Handle to a running metrics endpoint. Dropping it shuts the server
+/// down (the global endpoint started by [`crate::ObsConfig::install`]
+/// is intentionally leaked so it lives for the process).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// The address actually bound (resolves port 0 to the OS choice).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::Relaxed);
+            // Unblock the accept call with one throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9898`, port 0 for OS-assigned) and
+/// serves `/metrics` and `/healthz` on a background thread until the
+/// returned handle is shut down or dropped.
+pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("rpm-obs-http".to_string())
+        .spawn(move || accept_loop(listener, &stop_flag))?;
+    Ok(MetricsServer {
+        addr,
+        stop,
+        handle: Some(handle),
+    })
+}
+
+/// Starts the process-global endpoint once; later calls (e.g. a second
+/// `ObsConfig::install`) are no-ops. Returns the bound address, or
+/// `None` if the bind failed (reported on stderr — observability must
+/// not take the pipeline down).
+pub fn serve_global(addr: &str) -> Option<SocketAddr> {
+    static GLOBAL: OnceLock<Option<SocketAddr>> = OnceLock::new();
+    *GLOBAL.get_or_init(|| match serve(addr) {
+        Ok(mut server) => {
+            let bound = server.local_addr();
+            // Detach the thread: the endpoint serves until process exit.
+            drop(server.handle.take());
+            Some(bound)
+        }
+        Err(e) => {
+            eprintln!("[rpm-obs] failed to bind metrics endpoint {addr}: {e}");
+            None
+        }
+    })
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Ok(stream) = conn {
+            // One bad connection must not kill the endpoint.
+            let _ = handle_connection(stream);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream) -> std::io::Result<()> {
+    let mut reader = BufReader::new(stream);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    let path = request_line.split_whitespace().nth(1).unwrap_or("");
+
+    let mut stream = reader.into_inner();
+    match path {
+        "/metrics" => {
+            let body = crate::export::to_prometheus(&crate::metrics::snapshot());
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n",
+        ),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn get(addr: SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_healthz_and_404() {
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"), "{metrics}");
+
+        let missing = get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+
+    #[test]
+    fn shutdown_joins_and_frees_the_port() {
+        let mut server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        server.shutdown();
+        // Idempotent.
+        server.shutdown();
+        // The port is released; rebinding succeeds.
+        let rebound = TcpListener::bind(addr);
+        assert!(rebound.is_ok(), "{rebound:?}");
+    }
+}

@@ -27,7 +27,7 @@
 //! ```
 //! use rpm_obs::{ObsConfig, ObsLevel};
 //!
-//! ObsConfig { level: ObsLevel::Spans, json_path: None }.install();
+//! ObsConfig { level: ObsLevel::Spans, ..ObsConfig::default() }.install();
 //! {
 //!     let _train = rpm_obs::span!("train");
 //!     let _mine = rpm_obs::span!("mine");
@@ -38,11 +38,17 @@
 //! assert_eq!(report.metrics.counter("engine.jobs"), Some(3));
 //! ```
 
+pub mod diff;
+pub mod export;
+pub mod http;
 pub mod logger;
 pub mod metrics;
 pub mod report;
 pub mod span;
 
+pub use diff::{diff_reports, load_summary, DiffOptions, DiffReport, ReportSummary};
+pub use export::to_prometheus;
+pub use http::{serve, MetricsServer};
 pub use logger::LogEvent;
 pub use metrics::{metrics, CacheFamilyMetrics, Counter, Gauge, Histogram, MetricsSnapshot};
 pub use report::{finish, snapshot, validate_jsonl, ReportCheck, RunReport, StageAgg};
@@ -104,12 +110,19 @@ pub struct ObsConfig {
     pub level: ObsLevel,
     /// Where [`finish`] writes the JSONL run report (`None` = no export).
     pub json_path: Option<String>,
+    /// Address for the Prometheus `/metrics` endpoint (`None` = no
+    /// server). Started process-globally on the first [`install`] that
+    /// sets it; see [`http::serve_global`].
+    ///
+    /// [`install`]: ObsConfig::install
+    pub http_addr: Option<String>,
 }
 
 impl ObsConfig {
     /// Parses the `RPM_LOG` directive syntax: a comma-separated list of a
-    /// level name and/or `json=PATH`, e.g. `spans,json=run.jsonl`.
-    /// Unknown directives are ignored; a bare path-less `json` is ignored.
+    /// level name, `json=PATH`, and/or `http=ADDR`, e.g.
+    /// `spans,json=run.jsonl,http=127.0.0.1:9898`. Unknown directives are
+    /// ignored; a bare path-less `json`/addr-less `http` is ignored.
     pub fn parse(s: &str) -> Self {
         let mut config = Self::default();
         for directive in s.split(',') {
@@ -122,6 +135,14 @@ impl ObsConfig {
                         config.level = ObsLevel::Spans;
                     }
                 }
+            } else if let Some(addr) = directive.strip_prefix("http=") {
+                if !addr.is_empty() {
+                    config.http_addr = Some(addr.to_string());
+                    // A scrape endpoint needs metrics to be recorded.
+                    if config.level == ObsLevel::Off {
+                        config.level = ObsLevel::Summary;
+                    }
+                }
             } else if let Some(level) = ObsLevel::parse(directive) {
                 config.level = level;
             }
@@ -130,13 +151,17 @@ impl ObsConfig {
     }
 
     /// Installs this configuration globally: sets the recording level and
-    /// the JSONL report path, and pins the monotonic epoch.
+    /// the JSONL report path, pins the monotonic epoch, and (once per
+    /// process) starts the `/metrics` endpoint when `http_addr` is set.
     pub fn install(&self) {
         let _ = epoch();
         if let Ok(mut p) = json_path_slot().lock() {
             p.clone_from(&self.json_path);
         }
         LEVEL.store(self.level as u8, Ordering::Relaxed);
+        if let Some(addr) = &self.http_addr {
+            http::serve_global(addr);
+        }
     }
 }
 
@@ -207,7 +232,7 @@ pub fn init_env_default(default_level: ObsLevel) -> ObsConfig {
         Ok(s) if !s.trim().is_empty() => ObsConfig::parse(&s),
         _ => ObsConfig {
             level: default_level,
-            json_path: None,
+            ..ObsConfig::default()
         },
     };
     config.install();
@@ -253,8 +278,18 @@ mod tests {
         let c = ObsConfig::parse("json=x.jsonl");
         assert_eq!(c.level, ObsLevel::Spans);
 
-        // unknown directives are ignored.
-        let c = ObsConfig::parse("verbose,wat");
+        // http alone implies metric recording.
+        let c = ObsConfig::parse("http=127.0.0.1:9898");
+        assert_eq!(c.level, ObsLevel::Summary);
+        assert_eq!(c.http_addr.as_deref(), Some("127.0.0.1:9898"));
+
+        // an explicit level combines with an endpoint.
+        let c = ObsConfig::parse("spans,http=0.0.0.0:9000");
+        assert_eq!(c.level, ObsLevel::Spans);
+        assert_eq!(c.http_addr.as_deref(), Some("0.0.0.0:9000"));
+
+        // unknown directives and an addr-less http are ignored.
+        let c = ObsConfig::parse("verbose,wat,http=");
         assert_eq!(c, ObsConfig::default());
     }
 

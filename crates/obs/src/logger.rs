@@ -104,6 +104,7 @@ mod tests {
         ObsConfig {
             level: ObsLevel::Summary,
             json_path: None,
+            http_addr: None,
         }
         .install();
         crate::info!("test", "visible {}", 2);
@@ -117,6 +118,7 @@ mod tests {
         ObsConfig {
             level: ObsLevel::Debug,
             json_path: None,
+            http_addr: None,
         }
         .install();
         crate::debug!("test", "now visible");

@@ -191,6 +191,57 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) by linear interpolation
+    /// inside the log₂ bucket holding the target rank.
+    ///
+    /// **Error bound.** The exact quantile and this estimate always fall
+    /// in the same bucket `[2^(i-1), 2^i)`, so the estimate is within a
+    /// factor of two of the exact value (absolute error < the bucket
+    /// width `2^(i-1)`); under the in-bucket uniformity assumption the
+    /// expected error is far smaller. Bucket 0 holds only the value 0,
+    /// where the estimate is exact. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest rank in 1..=count, then mid-rank interpolation within
+        // the bucket (a 1-observation bucket estimates its midpoint).
+        let rank = (q * self.count as f64)
+            .ceil()
+            .max(1.0)
+            .min(self.count as f64);
+        let mut below = 0u64;
+        for &(upper, n) in &self.buckets {
+            if rank <= (below + n) as f64 {
+                if upper == 0 {
+                    return 0.0;
+                }
+                let lower = (upper / 2) as f64;
+                let fraction = (rank - below as f64 - 0.5) / n as f64;
+                return lower + fraction * (upper as f64 - lower);
+            }
+            below += n;
+        }
+        // Unreachable when count == Σ bucket counts; degrade gracefully.
+        self.buckets.last().map_or(0.0, |&(upper, _)| upper as f64)
+    }
+
+    /// Median estimate (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// Hit/miss/eviction counters of one cache family.
@@ -266,8 +317,25 @@ pub struct Metrics {
     pub cfs_survivors: Counter,
     /// `transform.columns` — pattern-distance columns computed or fetched.
     pub transform_columns: Counter,
+    /// `transform.series_ns` — per-series feature-transform latency
+    /// (the classification bottleneck: K closest-match scans).
+    pub transform_series: Histogram,
     /// `predict.series` — series classified through the trained model.
     pub predict_series: Counter,
+    /// `predict.batches` — predict-batch calls (serial or parallel).
+    pub predict_batches: Counter,
+    /// `predict.latency_ns` — end-to-end single-prediction latency
+    /// (transform + SVM argmax), fed by `RpmClassifier::predict`.
+    pub predict_latency: Histogram,
+    /// `predict.match_distance` — winning (argmin) closest-match distance
+    /// per prediction, in millionths (distance × 10⁶ rounded down) so the
+    /// unitless z-normalized distance fits the integer histogram.
+    pub predict_match_distance: Histogram,
+    /// `match.searches` — closest-match scans executed (`best_match`).
+    pub match_searches: Counter,
+    /// `match.windows` — candidate windows considered across all
+    /// closest-match scans (before early abandoning).
+    pub match_windows: Counter,
     /// `cache.frames.*` — PAA-frame cache family.
     pub cache_frames: CacheFamilyMetrics,
     /// `cache.words.*` — word-sequence cache family.
@@ -307,7 +375,13 @@ impl Metrics {
             cfs_features_in: Counter::new(),
             cfs_survivors: Counter::new(),
             transform_columns: Counter::new(),
+            transform_series: Histogram::new(),
             predict_series: Counter::new(),
+            predict_batches: Counter::new(),
+            predict_latency: Histogram::new(),
+            predict_match_distance: Histogram::new(),
+            match_searches: Counter::new(),
+            match_windows: Counter::new(),
             cache_frames: CacheFamilyMetrics::new(),
             cache_words: CacheFamilyMetrics::new(),
             cache_evals: CacheFamilyMetrics::new(),
@@ -320,7 +394,7 @@ impl Metrics {
         }
     }
 
-    fn counter_entries(&self) -> [(&'static str, &Counter); 17] {
+    fn counter_entries(&self) -> [(&'static str, &Counter); 20] {
         [
             ("engine.runs", &self.engine_runs),
             ("engine.jobs", &self.engine_jobs),
@@ -336,6 +410,9 @@ impl Metrics {
             ("cfs.survivors", &self.cfs_survivors),
             ("transform.columns", &self.transform_columns),
             ("predict.series", &self.predict_series),
+            ("predict.batches", &self.predict_batches),
+            ("match.searches", &self.match_searches),
+            ("match.windows", &self.match_windows),
             ("ml.svm_trains", &self.ml_svm_trains),
             ("ml.cv_splits", &self.ml_cv_splits),
             ("ml.cfs_runs", &self.ml_cfs_runs),
@@ -358,10 +435,13 @@ impl Metrics {
         ]
     }
 
-    fn histogram_entries(&self) -> [(&'static str, &Histogram); 2] {
+    fn histogram_entries(&self) -> [(&'static str, &Histogram); 5] {
         [
             ("engine.drain_ns", &self.engine_drain),
             ("params.eval_ns", &self.params_eval),
+            ("transform.series_ns", &self.transform_series),
+            ("predict.latency_ns", &self.predict_latency),
+            ("predict.match_distance", &self.predict_match_distance),
         ]
     }
 }
@@ -491,6 +571,7 @@ mod tests {
         ObsConfig {
             level: ObsLevel::Summary,
             json_path: None,
+            http_addr: None,
         }
         .install();
         std::thread::scope(|scope| {
@@ -513,6 +594,7 @@ mod tests {
         ObsConfig {
             level: ObsLevel::Summary,
             json_path: None,
+            http_addr: None,
         }
         .install();
         let h = Histogram::new();
@@ -529,11 +611,73 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let _g = crate::test_lock();
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: None,
+            http_addr: None,
+        }
+        .install();
+        let h = Histogram::new();
+        // 90 fast observations around 1µs, 10 slow around 1ms.
+        for _ in 0..90 {
+            h.observe(1_000);
+        }
+        for _ in 0..10 {
+            h.observe(1 << 20);
+        }
+        let s = h.snapshot();
+        // p50 must land in the [512, 1024) bucket holding the 1µs mass.
+        let p50 = s.p50();
+        assert!((512.0..1024.0).contains(&p50), "p50 = {p50}");
+        // p99 must land in the [2^20, 2^21) bucket holding the slow tail.
+        let p99 = s.p99();
+        assert!(
+            ((1u64 << 20) as f64..(1u64 << 21) as f64).contains(&p99),
+            "p99 = {p99}"
+        );
+        // Quantiles are monotone in q.
+        assert!(s.p50() <= s.p90() && s.p90() <= s.p99());
+        ObsConfig::default().install();
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_observation() {
+        let _g = crate::test_lock();
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: None,
+            http_addr: None,
+        }
+        .install();
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.p50(), 0.0);
+        assert_eq!(empty.p99(), 0.0);
+
+        let h = Histogram::new();
+        h.observe(700);
+        let s = h.snapshot();
+        // One observation: every quantile is the same in-bucket estimate,
+        // within a factor of two of the true value.
+        for q in [0.01, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile(q);
+            assert!((512.0..1024.0).contains(&est), "q={q}: {est}");
+        }
+        // A single zero observation is estimated exactly.
+        let z = Histogram::new();
+        z.observe(0);
+        assert_eq!(z.snapshot().p50(), 0.0);
+        ObsConfig::default().install();
+    }
+
+    #[test]
     fn snapshot_and_labeled_round_trip() {
         let _g = crate::test_lock();
         ObsConfig {
             level: ObsLevel::Summary,
             json_path: None,
+            http_addr: None,
         }
         .install();
         reset();

@@ -11,8 +11,13 @@
 //! | `stage`     | `path`, `calls`, `total_ns` (aggregated over same-path spans)       |
 //! | `counter`   | `name`, `value` (includes gauges and labeled counters)              |
 //! | `cache`     | `family`, `hits`, `misses`, `evictions`, `lookups`, `hit_rate`      |
-//! | `histogram` | `name`, `count`, `sum_ns`, `mean_ns`, `buckets` (`[upper, n]` pairs)|
+//! | `histogram` | `name`, `count`, `sum_ns`, `mean_ns`, `p50`, `p90`, `p99`, `buckets` (`[upper, n]` pairs) |
 //! | `log`       | `t_ns`, `level`, `target`, `message`                                |
+//!
+//! Version history: v1 had no quantile fields on `histogram` lines; v2
+//! (current) adds `p50`/`p90`/`p99` estimated from the log₂ buckets
+//! (see [`crate::metrics::HistogramSnapshot::quantile`] for the
+//! interpolation and its error bound).
 
 use crate::logger::{self, LogEvent};
 use crate::metrics::{self, MetricsSnapshot};
@@ -22,7 +27,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Report schema version emitted in the `meta` line.
-pub const REPORT_VERSION: u64 = 1;
+pub const REPORT_VERSION: u64 = 2;
 
 /// All same-path spans merged into one stage.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -155,6 +160,20 @@ impl RunReport {
         if !cache_lines.is_empty() {
             let _ = writeln!(out, "  cache hit-rates: {}", cache_lines.join(" | "));
         }
+        for (name, h) in &self.metrics.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {name}: {} obs, mean {}, p50 {}, p90 {}, p99 {}",
+                h.count,
+                fmt_hist_value(name, h.mean()),
+                fmt_hist_value(name, h.p50()),
+                fmt_hist_value(name, h.p90()),
+                fmt_hist_value(name, h.p99()),
+            );
+        }
         out
     }
 
@@ -219,10 +238,13 @@ impl RunReport {
                 .collect();
             let _ = writeln!(
                 out,
-                ",\"count\":{},\"sum_ns\":{},\"mean_ns\":{:.1},\"buckets\":[{}]}}",
+                ",\"count\":{},\"sum_ns\":{},\"mean_ns\":{:.1},\"p50\":{:.1},\"p90\":{:.1},\"p99\":{:.1},\"buckets\":[{}]}}",
                 h.count,
                 h.sum,
                 h.mean(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
                 buckets.join(",")
             );
         }
@@ -353,7 +375,20 @@ fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn fmt_ns(ns: u64) -> String {
+/// Formats one histogram statistic for the stderr tree: `*_ns`
+/// histograms hold nanoseconds, `*distance*` histograms hold millionths
+/// of the unitless match distance, anything else prints raw.
+fn fmt_hist_value(name: &str, v: f64) -> String {
+    if name.ends_with("_ns") {
+        fmt_ns(v as u64)
+    } else if name.contains("distance") {
+        format!("{:.3}", v / 1e6)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+pub(crate) fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
     } else if ns >= 1_000_000 {
@@ -369,7 +404,7 @@ fn fmt_ns(ns: u64) -> String {
 // The reports are emitted by this crate, so a full JSON parser is not
 // needed: minimal field extraction over our own single-line objects.
 
-fn u64_field(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn u64_field(line: &str, key: &str) -> Option<u64> {
     let pat = format!("\"{key}\":");
     let i = line.find(&pat)? + pat.len();
     let digits: String = line[i..]
@@ -379,7 +414,7 @@ fn u64_field(line: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
-fn str_field(line: &str, key: &str) -> Option<String> {
+pub(crate) fn str_field(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let i = line.find(&pat)? + pat.len();
     let mut out = String::new();
@@ -399,14 +434,20 @@ fn str_field(line: &str, key: &str) -> Option<String> {
 pub struct ReportCheck {
     /// Total JSONL lines.
     pub lines: usize,
-    /// `span` lines (must be > 0).
+    /// `span` lines (must be > 0 for a spans-level report).
     pub spans: usize,
+    /// `stage` aggregate lines.
+    pub stages: usize,
     /// `counter` lines as `(name, value)`.
     pub counters: Vec<(String, u64)>,
     /// `cache` lines (each verified `hits + misses == lookups`).
     pub caches: usize,
+    /// `histogram` lines (each verified against the bucket invariants).
+    pub histograms: usize,
     /// `log` lines.
     pub logs: usize,
+    /// Recording level from the `meta` line.
+    pub level: String,
     /// Wall time from the `meta` line.
     pub wall_ns: u64,
     /// Root-stage coverage of wall time (main recording thread).
@@ -423,10 +464,31 @@ impl ReportCheck {
     }
 }
 
-/// Validates a JSONL run report: a `meta` line exists, spans are present
-/// with monotone start timestamps and end within wall time, and every
-/// cache line satisfies `hits + misses == lookups`. Returns what was
-/// checked, or a description of the first violation.
+/// Parses the `"buckets":[[upper,n],…]` array of a histogram line.
+pub(crate) fn bucket_pairs(line: &str) -> Option<Vec<(u64, u64)>> {
+    let pat = "\"buckets\":[";
+    let i = line.find(pat)? + pat.len();
+    let rest = &line[i..];
+    if rest.starts_with(']') {
+        return Some(Vec::new());
+    }
+    let content = &rest[..rest.find("]]")? + 1]; // "[0,1],[4,2]"
+    let trimmed = content.trim_start_matches('[').trim_end_matches(']');
+    let mut out = Vec::new();
+    for pair in trimmed.split("],[") {
+        let (a, b) = pair.split_once(',')?;
+        out.push((a.trim().parse().ok()?, b.trim().parse().ok()?));
+    }
+    Some(out)
+}
+
+/// Validates a JSONL run report: a `meta` line exists, spans carry
+/// monotone start timestamps and end within wall time (and are present
+/// at all for a spans-level report), every cache line satisfies
+/// `hits + misses == lookups`, and every histogram line satisfies the
+/// bucket invariants (`count == Σ bucket counts`, buckets sorted by
+/// ascending upper bound, `sum_ns ≤ count × max bucket upper`). Returns
+/// what was checked, or a description of the first violation.
 pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut check = ReportCheck::default();
@@ -445,6 +507,8 @@ pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
             "meta" => {
                 check.wall_ns = u64_field(line, "wall_ns")
                     .ok_or_else(|| format!("line {lineno}: meta without wall_ns"))?;
+                check.level = str_field(line, "level")
+                    .ok_or_else(|| format!("line {lineno}: meta without level"))?;
             }
             "span" => {
                 let start = u64_field(line, "start_ns")
@@ -496,15 +560,58 @@ pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
                 check.caches += 1;
             }
             "log" => check.logs += 1,
-            "stage" | "histogram" => {}
+            "stage" => {
+                str_field(line, "path")
+                    .ok_or_else(|| format!("line {lineno}: stage without path"))?;
+                let calls = u64_field(line, "calls")
+                    .ok_or_else(|| format!("line {lineno}: stage without calls"))?;
+                u64_field(line, "total_ns")
+                    .ok_or_else(|| format!("line {lineno}: stage without total_ns"))?;
+                if calls == 0 {
+                    return Err(format!("line {lineno}: stage aggregate with zero calls"));
+                }
+                check.stages += 1;
+            }
+            "histogram" => {
+                let name = str_field(line, "name")
+                    .ok_or_else(|| format!("line {lineno}: histogram without name"))?;
+                let count = u64_field(line, "count")
+                    .ok_or_else(|| format!("line {lineno}: histogram without count"))?;
+                let sum_ns = u64_field(line, "sum_ns")
+                    .ok_or_else(|| format!("line {lineno}: histogram without sum_ns"))?;
+                let buckets = bucket_pairs(line)
+                    .ok_or_else(|| format!("line {lineno}: histogram without buckets"))?;
+                let total: u64 = buckets.iter().map(|(_, n)| n).sum();
+                if total != count {
+                    return Err(format!(
+                        "line {lineno}: histogram {name}: count {count} != sum of bucket counts {total}"
+                    ));
+                }
+                if buckets.windows(2).any(|w| w[0].0 >= w[1].0) {
+                    return Err(format!(
+                        "line {lineno}: histogram {name}: bucket upper bounds not ascending"
+                    ));
+                }
+                let max_upper = buckets.last().map_or(0, |&(u, _)| u);
+                // Every observation is strictly below its bucket's upper
+                // bound (bucket 0 holds exactly 0), bounding the sum.
+                if sum_ns > count.saturating_mul(max_upper) {
+                    return Err(format!(
+                        "line {lineno}: histogram {name}: sum_ns {sum_ns} exceeds count {count} × max upper {max_upper}"
+                    ));
+                }
+                check.histograms += 1;
+            }
             other => return Err(format!("line {lineno}: unknown type {other:?}")),
         }
     }
     if check.wall_ns == 0 {
         return Err("no meta line with wall_ns".to_string());
     }
-    if check.spans == 0 {
-        return Err("no span lines in report".to_string());
+    // Summary-level runs legitimately record no spans; a spans-level
+    // report without any is broken.
+    if check.spans == 0 && matches!(check.level.as_str(), "spans" | "debug") {
+        return Err("no span lines in a spans-level report".to_string());
     }
     check.coverage = covered_ns as f64 / check.wall_ns as f64;
     Ok(check)
@@ -526,6 +633,7 @@ mod tests {
         ObsConfig {
             level: ObsLevel::Spans,
             json_path: Some(path.display().to_string()),
+            http_addr: None,
         }
         .install();
         span::take_records();
@@ -582,11 +690,107 @@ mod tests {
         let err = validate_jsonl(&path.display().to_string()).unwrap_err();
         assert!(err.contains("not monotone"), "{err}");
 
-        let no_spans = "{\"type\":\"meta\",\"version\":1,\"wall_ns\":100,\"level\":\"summary\"}\n";
+        // A spans-level report must contain spans; a summary-level one
+        // need not (e.g. an empty run with spans disabled).
+        let no_spans = "{\"type\":\"meta\",\"version\":1,\"wall_ns\":100,\"level\":\"spans\"}\n";
         std::fs::write(&path, no_spans).unwrap();
         let err = validate_jsonl(&path.display().to_string()).unwrap_err();
         assert!(err.contains("no span lines"), "{err}");
+
+        let summary_no_spans =
+            "{\"type\":\"meta\",\"version\":1,\"wall_ns\":100,\"level\":\"summary\"}\n";
+        std::fs::write(&path, summary_no_spans).unwrap();
+        let check =
+            validate_jsonl(&path.display().to_string()).expect("summary level needs no spans");
+        assert_eq!(check.spans, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validator_checks_histogram_invariants() {
+        let path = temp_path("hist_invariants");
+        let meta = "{\"type\":\"meta\",\"version\":2,\"wall_ns\":100,\"level\":\"summary\"}\n";
+
+        // count != Σ bucket counts
+        let bad_count = format!(
+            "{meta}{{\"type\":\"histogram\",\"name\":\"h\",\"count\":3,\"sum_ns\":10,\
+             \"mean_ns\":3.3,\"p50\":5.0,\"p90\":5.0,\"p99\":5.0,\"buckets\":[[8,2]]}}\n"
+        );
+        std::fs::write(&path, &bad_count).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("sum of bucket counts"), "{err}");
+
+        // bucket upper bounds out of order
+        let unsorted = format!(
+            "{meta}{{\"type\":\"histogram\",\"name\":\"h\",\"count\":2,\"sum_ns\":10,\
+             \"mean_ns\":5.0,\"p50\":5.0,\"p90\":5.0,\"p99\":5.0,\"buckets\":[[16,1],[8,1]]}}\n"
+        );
+        std::fs::write(&path, &unsorted).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("not ascending"), "{err}");
+
+        // sum_ns exceeds what the buckets could hold
+        let impossible_sum = format!(
+            "{meta}{{\"type\":\"histogram\",\"name\":\"h\",\"count\":2,\"sum_ns\":100,\
+             \"mean_ns\":50.0,\"p50\":5.0,\"p90\":5.0,\"p99\":5.0,\"buckets\":[[8,2]]}}\n"
+        );
+        std::fs::write(&path, &impossible_sum).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("exceeds count"), "{err}");
+
+        // A well-formed histogram line passes and is counted.
+        let good = format!(
+            "{meta}{{\"type\":\"histogram\",\"name\":\"h\",\"count\":3,\"sum_ns\":14,\
+             \"mean_ns\":4.7,\"p50\":6.0,\"p90\":7.6,\"p99\":7.9,\"buckets\":[[4,1],[8,2]]}}\n"
+        );
+        std::fs::write(&path, &good).unwrap();
+        let check = validate_jsonl(&path.display().to_string()).expect("valid histogram");
+        assert_eq!(check.histograms, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_run_renders_and_validates_cleanly() {
+        let _g = crate::test_lock();
+        let path = temp_path("empty_run");
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: Some(path.display().to_string()),
+            http_addr: None,
+        }
+        .install();
+        span::take_records();
+        logger::take();
+        metrics::reset();
+
+        // No spans, no counters, no histograms: the degenerate run.
+        let report = finish().expect("enabled");
+        assert!(report.stages.is_empty());
+        assert!(report.records.is_empty());
+        let tree = report.render_tree();
+        assert!(tree.contains("run report"), "{tree}");
+
+        let check = validate_jsonl(&path.display().to_string()).expect("empty run is valid");
+        assert_eq!(check.spans, 0);
+        assert_eq!(check.stages, 0);
+        std::fs::remove_file(&path).ok();
+        ObsConfig::default().install();
+    }
+
+    #[test]
+    fn coverage_of_zero_duration_run_is_zero() {
+        let report = RunReport {
+            wall_ns: 0,
+            level: ObsLevel::Spans,
+            stages: Vec::new(),
+            records: Vec::new(),
+            metrics: MetricsSnapshot::default(),
+            logs: Vec::new(),
+        };
+        assert_eq!(report.coverage(), 0.0);
+        // Rendering a zero-duration report must not divide by zero either.
+        let tree = report.render_tree();
+        assert!(tree.contains("run report"), "{tree}");
     }
 
     #[test]

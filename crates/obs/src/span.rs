@@ -200,6 +200,7 @@ mod tests {
         ObsConfig {
             level: ObsLevel::Spans,
             json_path: None,
+            http_addr: None,
         }
         .install();
         take_records(); // drop stale records from other tests

@@ -36,6 +36,12 @@ pub fn best_match(pattern: &[f64], series: &[f64], early_abandon: bool) -> Optio
     if n == 0 || n > series.len() {
         return None;
     }
+    // Self-gated counters (no-ops while rpm-obs is off): search volume
+    // for the serving dashboards. Per-window probes would distort the
+    // kernel they measure; two adds per search are in the noise.
+    let m = rpm_obs::metrics();
+    m.match_searches.inc();
+    m.match_windows.add((series.len() - n + 1) as u64);
     let zp = crate::norm::znorm(pattern);
     let mut window_buf = vec![0.0; n];
     let mut best = BestMatch {

@@ -5,19 +5,26 @@
 //!                                          [--direct N] [--gamma G]
 //!                                          [--rotation-invariant]
 //! rpm-cli classify <MODEL> <TEST_FILE>     # prints predictions + error
+//!         [--metrics-addr HOST:PORT]       # serve Prometheus /metrics
+//!         [--metrics-linger SECS]          # keep serving after classify
 //! rpm-cli patterns <MODEL>                 # prints the learned patterns
 //! rpm-cli motifs <SERIES_FILE> [--window W --paa P --alpha A]
 //!                                          # exploratory motifs/discords
 //! rpm-cli generate <DATASET> <OUT_PREFIX>  # writes <PREFIX>_TRAIN/_TEST
+//! rpm-cli obs summary <RUN.jsonl>          # stage tree + quantiles
+//! rpm-cli obs diff <BASE.jsonl> <RUN.jsonl> [--tolerance 20%] [--time-gate]
+//!                                          # exit 1 on regression
 //! ```
 //!
 //! Files use the UCR archive format: one series per line, class label
-//! first, comma- or whitespace-separated.
+//! first, comma- or whitespace-separated. Run reports are the JSONL
+//! files written via `RPM_LOG=spans,json=run.jsonl`.
 
 use rpm::core::{discover_motifs, find_discords, ParamSearch, RpmClassifier, RpmConfig};
 use rpm::data::registry::spec_by_name;
 use rpm::data::ucr::{read_ucr_file, write_ucr};
 use rpm::ml::error_rate;
+use rpm::obs::{diff_reports, load_summary, DiffOptions};
 use rpm::sax::SaxConfig;
 use std::process::ExitCode;
 
@@ -30,8 +37,9 @@ fn main() -> ExitCode {
         Some("patterns") => cmd_patterns(&args[1..]),
         Some("motifs") => cmd_motifs(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         _ => {
-            eprintln!("usage: rpm-cli <train|classify|patterns|motifs|generate> ...");
+            eprintln!("usage: rpm-cli <train|classify|patterns|motifs|generate|obs> ...");
             eprintln!("see the crate docs (src/bin/rpm-cli.rs) for full usage");
             return ExitCode::from(2);
         }
@@ -50,12 +58,24 @@ fn main() -> ExitCode {
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
-/// Pulls `--flag value` out of the argument list.
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Pulls `--flag value` out of the argument list. A flag given more than
+/// once, or present without a value (end of args, or followed by another
+/// `--flag`), is a usage error rather than a panic or silent pick.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut found: Option<String> = None;
+    for (i, a) in args.iter().enumerate() {
+        if a != flag {
+            continue;
+        }
+        if found.is_some() {
+            return Err(format!("{flag} given more than once"));
+        }
+        match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => found = Some(v.clone()),
+            _ => return Err(format!("{flag} requires a value")),
+        }
+    }
+    Ok(found)
 }
 
 fn flag_present(args: &[String], flag: &str) -> bool {
@@ -64,12 +84,13 @@ fn flag_present(args: &[String], flag: &str) -> bool {
 
 fn positional(args: &[String], index: usize) -> Result<&String, String> {
     args.iter()
-        .filter(|a| !a.starts_with("--"))
-        .filter(|a| {
-            // A value following a --flag is not positional.
-            let pos = args.iter().position(|x| x == *a).unwrap();
-            pos == 0 || !args[pos - 1].starts_with("--")
+        .enumerate()
+        .filter(|(i, a)| {
+            // A --flag is not positional, and neither is the value
+            // following one.
+            !a.starts_with("--") && (*i == 0 || !args[*i - 1].starts_with("--"))
         })
+        .map(|(_, a)| a)
         .nth(index)
         .ok_or_else(|| format!("missing positional argument #{index}"))
 }
@@ -78,10 +99,27 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Optio
 where
     T::Err: std::fmt::Display,
 {
-    match flag_value(args, flag) {
+    match flag_value(args, flag)? {
         None => Ok(None),
         Some(v) => v.parse::<T>().map(Some).map_err(|e| format!("{flag}: {e}")),
     }
+}
+
+/// Parses a tolerance given as a percentage (`20%`) or a ratio (`0.2`).
+fn parse_tolerance(s: &str) -> Result<f64, String> {
+    let (body, scale) = match s.strip_suffix('%') {
+        Some(body) => (body, 100.0),
+        None => (s, 1.0),
+    };
+    let v: f64 = body
+        .trim()
+        .parse()
+        .map_err(|e| format!("--tolerance {s:?}: {e}"))?;
+    let v = v / scale;
+    if !(0.0..=10.0).contains(&v) {
+        return Err(format!("--tolerance {s:?} out of range"));
+    }
+    Ok(v)
 }
 
 fn sax_from_flags(args: &[String], default_len: usize) -> Result<SaxConfig, String> {
@@ -93,7 +131,7 @@ fn sax_from_flags(args: &[String], default_len: usize) -> Result<SaxConfig, Stri
 
 fn cmd_train(args: &[String]) -> CliResult {
     let train_path = positional(args, 0)?;
-    let model_path = flag_value(args, "--model").ok_or("train requires --model <OUT>")?;
+    let model_path = flag_value(args, "--model")?.ok_or("train requires --model <OUT>")?;
     let (train, _) = read_ucr_file(train_path)?;
     eprintln!("loaded {train}");
 
@@ -127,6 +165,27 @@ fn cmd_train(args: &[String]) -> CliResult {
 fn cmd_classify(args: &[String]) -> CliResult {
     let model_path = positional(args, 0)?;
     let test_path = positional(args, 1)?;
+    let metrics_addr = flag_value(args, "--metrics-addr")?;
+    let linger = parse_flag::<u64>(args, "--metrics-linger")?.unwrap_or(0);
+    let server = match &metrics_addr {
+        Some(addr) => {
+            if !rpm::obs::enabled() {
+                // A scrape endpoint without metric recording would serve
+                // an empty page; bump to Summary, keeping any JSONL path
+                // RPM_LOG already configured.
+                rpm::obs::ObsConfig {
+                    level: rpm::obs::ObsLevel::Summary,
+                    json_path: rpm::obs::json_path(),
+                    http_addr: None,
+                }
+                .install();
+            }
+            let server = rpm::obs::serve(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            eprintln!("serving /metrics on {}", server.local_addr());
+            Some(server)
+        }
+        None => None,
+    };
     let model = RpmClassifier::load(std::fs::File::open(model_path)?)?;
     let (test, _) = read_ucr_file(test_path)?;
     let preds = model.predict_batch(&test.series);
@@ -134,7 +193,62 @@ fn cmd_classify(args: &[String]) -> CliResult {
         println!("{p}");
     }
     eprintln!("error rate: {:.4}", error_rate(&test.labels, &preds));
+    if model.usage_observations() > 0 {
+        eprint!("{}", model.render_pattern_usage());
+    }
+    if let Some(server) = server {
+        if linger > 0 {
+            eprintln!(
+                "metrics endpoint lingering {linger}s on {}",
+                server.local_addr()
+            );
+            std::thread::sleep(std::time::Duration::from_secs(linger));
+        }
+        drop(server);
+    }
     Ok(())
+}
+
+fn cmd_obs(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("summary") => {
+            let rest = &args[1..];
+            let path = positional(rest, 0)?;
+            let summary = load_summary(path)?;
+            print!("{}", summary.render());
+            Ok(())
+        }
+        Some("diff") => {
+            let rest = &args[1..];
+            let baseline_path = positional(rest, 0)?;
+            let current_path = positional(rest, 1)?;
+            let tolerance = match flag_value(rest, "--tolerance")? {
+                Some(t) => parse_tolerance(&t)?,
+                None => 0.0,
+            };
+            let opts = DiffOptions {
+                tolerance,
+                time_gate: flag_present(rest, "--time-gate"),
+            };
+            let baseline = load_summary(baseline_path)?;
+            let current = load_summary(current_path)?;
+            let diff = diff_reports(&baseline, &current, &opts);
+            print!("{}", diff.render());
+            if diff.regressions > 0 {
+                return Err(format!(
+                    "{} regression(s) in {current_path} against {baseline_path}",
+                    diff.regressions
+                )
+                .into());
+            }
+            Ok(())
+        }
+        _ => Err(
+            "usage: rpm-cli obs <summary RUN.jsonl | diff BASELINE.jsonl RUN.jsonl \
+                  [--tolerance 20%] [--time-gate]>"
+                .into(),
+        ),
+    }
 }
 
 fn cmd_patterns(args: &[String]) -> CliResult {
@@ -205,4 +319,64 @@ fn cmd_generate(args: &[String]) -> CliResult {
         test.len()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_extracts_and_errors_on_malformed_usage() {
+        let ok = argv(&["train", "file", "--model", "out.rpm"]);
+        assert_eq!(
+            flag_value(&ok, "--model").unwrap().as_deref(),
+            Some("out.rpm")
+        );
+        assert_eq!(flag_value(&ok, "--gamma").unwrap(), None);
+
+        // Flag at the end with no value.
+        let dangling = argv(&["train", "file", "--model"]);
+        let err = flag_value(&dangling, "--model").unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+
+        // Flag followed by another flag instead of a value.
+        let eaten = argv(&["train", "file", "--model", "--gamma", "0.2"]);
+        let err = flag_value(&eaten, "--model").unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+
+        // Repeated flag.
+        let twice = argv(&["--model", "a", "--model", "b"]);
+        let err = flag_value(&twice, "--model").unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn positional_skips_flags_and_their_values() {
+        let args = argv(&["model.rpm", "--tolerance", "20%", "test.ucr"]);
+        assert_eq!(positional(&args, 0).unwrap(), "model.rpm");
+        assert_eq!(positional(&args, 1).unwrap(), "test.ucr");
+        assert!(positional(&args, 2).is_err());
+    }
+
+    #[test]
+    fn positional_handles_repeated_values() {
+        // The same string as a flag value and a positional must not
+        // confuse the index-based scan.
+        let args = argv(&["--model", "x", "x"]);
+        assert_eq!(positional(&args, 0).unwrap(), "x");
+        assert!(positional(&args, 1).is_err());
+    }
+
+    #[test]
+    fn tolerance_accepts_percent_and_ratio() {
+        assert!((parse_tolerance("20%").unwrap() - 0.2).abs() < 1e-12);
+        assert!((parse_tolerance("0.2").unwrap() - 0.2).abs() < 1e-12);
+        assert_eq!(parse_tolerance("0").unwrap(), 0.0);
+        assert!(parse_tolerance("pct").is_err());
+        assert!(parse_tolerance("-5%").is_err());
+    }
 }

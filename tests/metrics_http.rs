@@ -1,0 +1,133 @@
+//! End-to-end test of the `/metrics` endpoint: start the std-only HTTP
+//! server on an ephemeral port, scrape it with a raw [`TcpStream`], and
+//! parse the Prometheus text exposition it returns.
+//!
+//! The global metrics registry and obs level are process-wide, so all
+//! assertions live in one `#[test]` — state set up early (counters,
+//! histogram observations) is visible to every later scrape.
+
+use rpm::obs::{ObsConfig, ObsLevel};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// Minimal HTTP/1.0 GET returning `(status_line, headers, body)`.
+fn http_get(addr: SocketAddr, path: &str) -> (String, String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let (status, headers) = head.split_once("\r\n").unwrap_or((head, ""));
+    (status.to_string(), headers.to_string(), body.to_string())
+}
+
+/// Parses `value` from a `name{labels} value` or `name value` line.
+fn sample_value(line: &str) -> f64 {
+    line.rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("numeric sample")
+}
+
+#[test]
+fn metrics_endpoint_serves_parseable_exposition() {
+    ObsConfig {
+        level: ObsLevel::Summary,
+        ..ObsConfig::default()
+    }
+    .install();
+
+    // Populate the registry through the public probes (all gated on the
+    // level we just installed).
+    let m = rpm::obs::metrics();
+    m.engine_jobs.add(42);
+    for v in [100u64, 2_000, 2_000, 65_000] {
+        m.predict_latency.observe(v);
+    }
+
+    let mut server = rpm::obs::serve("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+
+    // --- /healthz ---------------------------------------------------
+    let (status, _, body) = http_get(addr, "/healthz");
+    assert!(status.contains("200"), "healthz status: {status}");
+    assert_eq!(body, "ok\n");
+
+    // --- unknown route ----------------------------------------------
+    let (status, _, _) = http_get(addr, "/nope");
+    assert!(status.contains("404"), "unknown route: {status}");
+
+    // --- /metrics ---------------------------------------------------
+    let (status, headers, body) = http_get(addr, "/metrics");
+    assert!(status.contains("200"), "metrics status: {status}");
+    assert!(
+        headers.to_ascii_lowercase().contains("text/plain"),
+        "content type: {headers}"
+    );
+
+    let lines: Vec<&str> = body.lines().collect();
+    assert!(!lines.is_empty(), "empty exposition");
+
+    // Counter family: TYPE line and a _total sample >= what we added.
+    assert!(
+        lines.contains(&"# TYPE rpm_engine_jobs_total counter"),
+        "missing counter TYPE line in:\n{body}"
+    );
+    let jobs = lines
+        .iter()
+        .find(|l| l.starts_with("rpm_engine_jobs_total "))
+        .expect("engine jobs sample");
+    assert!(sample_value(jobs) >= 42.0, "{jobs}");
+
+    // Histogram family: _bucket series must be cumulative and monotone,
+    // end at +Inf == _count, and carry a _sum.
+    assert!(
+        lines.contains(&"# TYPE rpm_predict_latency_ns histogram"),
+        "missing histogram TYPE line in:\n{body}"
+    );
+    let buckets: Vec<f64> = lines
+        .iter()
+        .filter(|l| l.starts_with("rpm_predict_latency_ns_bucket{"))
+        .map(|l| sample_value(l))
+        .collect();
+    assert!(buckets.len() >= 2, "expected buckets: {body}");
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "buckets not cumulative: {buckets:?}"
+    );
+    let inf = lines
+        .iter()
+        .find(|l| l.contains("rpm_predict_latency_ns_bucket{le=\"+Inf\"}"))
+        .expect("+Inf bucket");
+    let count = lines
+        .iter()
+        .find(|l| l.starts_with("rpm_predict_latency_ns_count "))
+        .expect("_count sample");
+    assert_eq!(sample_value(inf), sample_value(count));
+    assert!(sample_value(count) >= 4.0, "{count}");
+    let sum = lines
+        .iter()
+        .find(|l| l.starts_with("rpm_predict_latency_ns_sum "))
+        .expect("_sum sample");
+    assert!(sample_value(sum) >= 69_100.0, "{sum}");
+
+    // Every non-comment line is `name[{labels}] value` with a finite value.
+    for l in lines.iter().filter(|l| !l.starts_with('#')) {
+        let v = sample_value(l);
+        assert!(v.is_finite() && v >= 0.0, "bad sample line: {l}");
+    }
+
+    // A second scrape must reflect updates (live registry, not a cache).
+    m.engine_jobs.add(1);
+    let (_, _, body2) = http_get(addr, "/metrics");
+    let jobs2 = body2
+        .lines()
+        .find(|l| l.starts_with("rpm_engine_jobs_total "))
+        .expect("engine jobs sample after update");
+    assert!(sample_value(jobs2) >= 43.0, "{jobs2}");
+
+    server.shutdown();
+    // After shutdown the port is released and can be rebound.
+    assert!(std::net::TcpListener::bind(addr).is_ok(), "port not freed");
+}

@@ -21,6 +21,7 @@ fn reset() {
     ObsConfig {
         level: ObsLevel::Spans,
         json_path: None,
+        http_addr: None,
     }
     .install();
     rpm::obs::finish();
@@ -54,6 +55,7 @@ fn instrumented_training_is_deterministic_across_thread_counts() {
         ObsConfig {
             level: ObsLevel::Spans,
             json_path: None,
+            http_addr: None,
         }
         .install();
         let config = RpmConfig {
@@ -122,6 +124,7 @@ fn span_nesting_and_ordering_invariants_hold() {
     ObsConfig {
         level: ObsLevel::Spans,
         json_path: None,
+        http_addr: None,
     }
     .install();
     {
