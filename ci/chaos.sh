@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Chaos gate: arm every fault site against the real CLI workflows and
+# assert each run ends in a clean exit or a typed error — exit code 0 or
+# 1, never a panic (101) or a signal. Deterministic: every armed spec
+# carries an explicit seed.
+#
+# Usage: ci/chaos.sh [path-to-rpm-cli]
+# Builds the release CLI when no path is given.
+set -u
+
+CLI="${1:-}"
+if [[ -z "$CLI" ]]; then
+  cargo build --release --bin rpm-cli >/dev/null
+  CLI=target/release/rpm-cli
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+FAILURES=0
+
+# Fixture data, generated without faults.
+"$CLI" generate CBF "$WORK/cbf" 2>/dev/null
+"$CLI" train "$WORK/cbf_TRAIN" --model "$WORK/clean.rpm" --window 32 2>/dev/null
+
+# run <fault-spec> <expected: "ok|err" or "err"> <cli args...>
+run() {
+  local spec="$1" expected="$2"
+  shift 2
+  RPM_FAULT="$spec" "$CLI" "$@" >/dev/null 2>"$WORK/stderr"
+  local code=$?
+  local verdict="unexpected"
+  case "$code" in
+    0) [[ "$expected" == *ok* ]] && verdict=ok ;;
+    1) [[ "$expected" == *err* ]] && verdict=ok ;;
+    2) verdict="usage-error" ;;
+    *) verdict="crash" ;;
+  esac
+  if [[ "$verdict" != ok ]]; then
+    echo "FAIL [$verdict, exit $code] RPM_FAULT='$spec' rpm-cli $*"
+    sed 's/^/    /' "$WORK/stderr" | tail -5
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "  ok [exit $code] RPM_FAULT='$spec' rpm-cli $*"
+  fi
+}
+
+echo "== certainty pass: every site at probability 1 =="
+# data.load fires before anything else in train/classify.
+run "data.load:io:1:0"        err  train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --window 32
+run "data.load:io:1:0"        err  classify "$WORK/clean.rpm" "$WORK/cbf_TEST"
+# engine.job / params.eval fail the search or the fit with a typed error.
+run "engine.job:panic:1:0"    err  train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --window 32
+run "engine.job:io:1:0"       err  train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --window 32
+run "params.eval:panic:1:0"   err  train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --direct 4
+# persistence faults: saving fails late (model already trained), loading
+# fails fast.
+run "persist.save:io:1:0"     err  train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --window 32
+run "persist.load:io:1:0"     err  classify "$WORK/clean.rpm" "$WORK/cbf_TEST"
+run "persist.load:io:1:0"     err  model verify "$WORK/clean.rpm"
+# checkpoint.load refuses the resume; checkpoint.write degrades to a
+# warning and training still succeeds.
+run "checkpoint.load:io:1:0"  err  train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --direct 4 --checkpoint "$WORK/c.ckpt"
+run "checkpoint.write:io:1:0" ok   train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --direct 4 --checkpoint "$WORK/c2.ckpt"
+# Delays never change outcomes.
+run "engine.job:delay5:1:0"   ok   train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --window 32
+# http.conn: the endpoint must survive injected connection faults (the
+# process still exits 0; per-connection failures are absorbed).
+run "http.conn:panic:1:0"     ok   classify "$WORK/clean.rpm" "$WORK/cbf_TEST" --metrics-addr 127.0.0.1:0
+
+echo "== probabilistic pass: all sites armed at low probability =="
+for seed in 1 2 3 4 5; do
+  run "*:io:0.05:$seed"       "ok err" train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --direct 4
+  run "*:panic:0.05:$seed"    "ok err" train "$WORK/cbf_TRAIN" --model "$WORK/m.rpm" --direct 4 --checkpoint "$WORK/p$seed.ckpt"
+  run "*:io:0.05:$seed"       "ok err" classify "$WORK/clean.rpm" "$WORK/cbf_TEST"
+done
+
+echo "== malformed RPM_FAULT is a warning, not a failure =="
+run "not-a-valid-spec"        ok   model verify "$WORK/clean.rpm"
+
+if [[ "$FAILURES" -gt 0 ]]; then
+  echo "chaos gate: $FAILURES failure(s)"
+  exit 1
+fi
+echo "chaos gate: all runs ended in clean exits or typed errors"

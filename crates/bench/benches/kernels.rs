@@ -116,6 +116,43 @@ fn bench_obs_disabled(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of fault-injection sites while no plan is armed — the state every
+/// run outside chaos testing pays. `point`/`fire` must compile down to
+/// one relaxed atomic load plus a branch, like the obs probes above.
+fn bench_fault_disabled(c: &mut Criterion) {
+    assert!(!rpm_obs::fault::active());
+    let mut g = c.benchmark_group("fault_disabled");
+    g.bench_function("point", |b| {
+        b.iter(|| rpm_obs::fault::point(black_box("bench.site")))
+    });
+    g.bench_function("fire", |b| {
+        b.iter(|| rpm_obs::fault::fire(black_box("bench.site")))
+    });
+    // The same tight loop with and without a site inside: the delta is
+    // the per-iteration overhead a guarded hot loop pays when off.
+    let series = synthetic_series(256, 13);
+    g.bench_function("sum_loop_plain", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for v in black_box(&series) {
+                acc += v;
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("sum_loop_with_site", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for v in black_box(&series) {
+                rpm_obs::fault::fire("bench.site");
+                acc += v;
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
 /// Single-series predict latency with recording off vs on — the serving
 /// acceptance gate: turning the metrics level up must not measurably
 /// slow the inference path (two histogram observations + two clock
@@ -148,6 +185,7 @@ criterion_group!(
     bench_sequitur,
     bench_dtw,
     bench_obs_disabled,
+    bench_fault_disabled,
     bench_predict_latency
 );
 criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! repro fig8      Figure 8 : log-runtime scatter pairs
 //! repro table3    Table 3/Fig. 9: τ percentile sweep (runtime & error)
 //! repro table4    Table 4/Fig.10: rotated-test-set error rates
+//!                 (--dropout [FRAC]: NaN dropout + interpolation instead)
 //! repro fig2      Figure 2 : best representative patterns on CBF
 //! repro fig3      Figure 3 : best representative patterns on Coffee
 //! repro fig4      Figure 4 : grammar-rule occurrences (variable length)
@@ -21,7 +22,9 @@ use rpm_bench::{
     harness::evaluate_dataset_with, run_suite, ClassifierKind, DatasetResult, SuiteOptions,
 };
 use rpm_core::{transform_set, ParamSearch, RpmClassifier, RpmConfig};
-use rpm_data::{generate, registry::spec_by_name, rotate_dataset, suite};
+use rpm_data::{
+    dropout_dataset, generate, interpolate_gaps, registry::spec_by_name, rotate_dataset, suite,
+};
 use rpm_grammar::infer;
 use rpm_ml::{error_rate, wilcoxon_signed_rank};
 use rpm_sax::{discretize, SaxConfig};
@@ -56,7 +59,7 @@ fn main() {
         "table2" => table2(&mut cache),
         "fig8" => fig8(&mut cache),
         "table3" | "fig9" => table3(),
-        "table4" | "fig10" => table4(),
+        "table4" | "fig10" => table4(dropout_flag(&args)),
         "fig2" => fig2(),
         "fig3" => fig3(),
         "fig4" => fig4(),
@@ -70,7 +73,7 @@ fn main() {
             table2(&mut cache);
             fig8(&mut cache);
             table3();
-            table4();
+            table4(dropout_flag(&args));
             fig2();
             fig3();
             fig4();
@@ -287,8 +290,25 @@ fn table3() {
 
 // ------------------------------------------------------ Table 4 / Figure 10
 
-fn table4() {
-    header("Table 4 / Figure 10: error rates on rotated test sets");
+/// `--dropout [FRACTION]`: swap Table 4's rotation corruption for NaN
+/// dropout + linear-interpolation repair. Bare `--dropout` uses 0.1.
+fn dropout_flag(args: &[String]) -> Option<f64> {
+    let at = args.iter().position(|a| a == "--dropout")?;
+    Some(
+        args.get(at + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.1),
+    )
+}
+
+fn table4(dropout: Option<f64>) {
+    match dropout {
+        Some(frac) => header(&format!(
+            "Table 4 variant: error rates with {:.0}% sensor dropout (repaired by interpolation)",
+            frac * 100.0
+        )),
+        None => header("Table 4 / Figure 10: error rates on rotated test sets"),
+    }
     let names = ["Coffee", "FaceFour", "GunPoint", "SwedishLeaf", "OSULeaf"];
     let methods = [
         ClassifierKind::NnEd,
@@ -319,7 +339,12 @@ fn table4() {
             },
             ..SuiteOptions::default()
         };
-        let result = evaluate_dataset_with(&spec, &options, |test| rotate_dataset(test, 99));
+        let result = evaluate_dataset_with(&spec, &options, |test| match dropout {
+            // Repair before classifying: distance kernels cannot digest
+            // NaN, so the serving-side contract is dropout → interpolate.
+            Some(frac) => interpolate_gaps(&dropout_dataset(test, frac, 99)),
+            None => rotate_dataset(test, 99),
+        });
         print!("{name:<14}");
         let best = result
             .outcomes

@@ -96,7 +96,7 @@ enum Family {
 
 type FramesKey = (SetId, Label, usize, usize);
 type WordsKey = (SetId, Label, SaxConfig, bool);
-type EvalValue = Option<(BTreeMap<Label, f64>, f64)>;
+pub(crate) type EvalValue = Option<(BTreeMap<Label, f64>, f64)>;
 type ColumnKey = (SetId, u64, bool, bool);
 
 /// The per-training-run memoization cache. Construct one per
@@ -231,6 +231,18 @@ impl SaxCache {
         v
     }
 
+    /// Seeds the evaluation map with an already-known combination score
+    /// (checkpoint resume). Counts as neither hit nor miss; a no-op on
+    /// a disabled cache.
+    pub(crate) fn preload_eval(&self, sax: SaxConfig, value: EvalValue) {
+        if !self.enabled {
+            return;
+        }
+        if let Ok(mut m) = self.evals.lock() {
+            m.insert(sax, value);
+        }
+    }
+
     /// Memoized cross-validation score of one parameter combination
     /// (Algorithm 3's objective). The combination is always scored
     /// against the full training set with splits derived from the config
@@ -307,6 +319,10 @@ pub(crate) struct Ctx<'a> {
     pub engine: Engine,
     pub cache: &'a SaxCache,
     pub set: SetId,
+    /// Parameter-search budget; `None` = unlimited (the default).
+    pub budget: Option<&'a crate::budget::BudgetState>,
+    /// Open checkpoint receiving completed combination scores.
+    pub checkpoint: Option<&'a crate::checkpoint::Checkpoint>,
 }
 
 impl<'a> Ctx<'a> {
@@ -316,6 +332,24 @@ impl<'a> Ctx<'a> {
             engine,
             cache,
             set: SetId::FullTrain,
+            budget: None,
+            checkpoint: None,
+        }
+    }
+
+    /// This context with a search budget attached.
+    pub fn with_budget(&self, budget: &'a crate::budget::BudgetState) -> Self {
+        Self {
+            budget: Some(budget),
+            ..*self
+        }
+    }
+
+    /// This context with an open checkpoint attached.
+    pub fn with_checkpoint(&self, checkpoint: Option<&'a crate::checkpoint::Checkpoint>) -> Self {
+        Self {
+            checkpoint,
+            ..*self
         }
     }
 

@@ -7,6 +7,40 @@ use rpm_ml::{CfsParams, SvmParams};
 use rpm_obs::ObsConfig;
 use rpm_sax::{SaxConfig, MAX_ALPHABET, MIN_ALPHABET};
 use std::fmt;
+use std::time::Duration;
+
+/// Resource budget for the parameter search (§4.5 is the expensive
+/// phase). When either bound trips, the search stops at a safe boundary
+/// — whole combinations, never a torn evaluation — and training
+/// continues with the best parameters scored so far, flagging the model
+/// (and the run report, via the `train.degraded` counter) as degraded
+/// instead of erroring. The default is unlimited.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrainBudget {
+    /// Wall-clock limit for the whole parameter search. Checked between
+    /// evaluations, so a slow evaluation can overshoot by its own
+    /// duration but nothing is ever half-applied.
+    pub wall_clock: Option<Duration>,
+    /// Cap on *fresh* combination evaluations (cache hits and
+    /// checkpoint-restored scores are free — resuming under the same
+    /// budget makes progress instead of re-spending it).
+    pub max_evals: Option<usize>,
+}
+
+impl TrainBudget {
+    /// No limits (the default).
+    pub const fn unlimited() -> Self {
+        Self {
+            wall_clock: None,
+            max_evals: None,
+        }
+    }
+
+    /// Whether both bounds are absent.
+    pub fn is_unlimited(&self) -> bool {
+        self.wall_clock.is_none() && self.max_evals.is_none()
+    }
+}
 
 /// Which grammar-inference algorithm mines the repeated patterns
 /// (§3.2.2 notes the technique "works with other (context-free) GI
@@ -160,6 +194,15 @@ pub struct RpmConfig {
     /// results — only what is measured. Binaries usually leave this at
     /// the default and rely on `RPM_LOG` instead (`rpm_obs::init_env`).
     pub obs: ObsConfig,
+    /// Resource budget for the parameter search; exhausting it degrades
+    /// (best-so-far parameters) instead of erroring.
+    pub budget: TrainBudget,
+    /// Checkpoint file for the parameter search: completed combination
+    /// scores are appended as they finish, and a later run pointed at
+    /// the same file re-runs only the missing combinations
+    /// (`rpm-cli train --checkpoint PATH`). `None` disables
+    /// checkpointing.
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 impl Default for RpmConfig {
@@ -187,6 +230,8 @@ impl Default for RpmConfig {
             n_threads: 1,
             cache: true,
             obs: ObsConfig::default(),
+            budget: TrainBudget::unlimited(),
+            checkpoint: None,
         }
     }
 }
@@ -323,6 +368,18 @@ impl RpmConfigBuilder {
     /// Cap on the deduplicated candidate pool.
     pub fn max_candidates(mut self, n: usize) -> Self {
         self.config.max_candidates = n;
+        self
+    }
+
+    /// Resource budget for the parameter search (see [`TrainBudget`]).
+    pub fn budget(mut self, budget: TrainBudget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Checkpoint file for parameter-search resume.
+    pub fn checkpoint(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.config.checkpoint = Some(path.into());
         self
     }
 

@@ -104,7 +104,16 @@ impl Engine {
             let t0 = obs.then(rpm_obs::now_ns);
             let mut out = Vec::with_capacity(n_jobs);
             for i in 0..n_jobs {
-                out.push(catch_unwind(AssertUnwindSafe(|| job(i))).map_err(panic_error)?);
+                // Fault site `engine.job`: an injected failure lands
+                // inside the unwind boundary, so it surfaces as the same
+                // typed EngineError a real job panic would.
+                out.push(
+                    catch_unwind(AssertUnwindSafe(|| {
+                        rpm_obs::fault::fire("engine.job");
+                        job(i)
+                    }))
+                    .map_err(panic_error)?,
+                );
             }
             if let Some(t0) = t0 {
                 rpm_obs::metrics()
@@ -138,7 +147,10 @@ impl Engine {
                             break; // a sibling already failed; stop early
                         }
                         let job_t0 = obs.then(rpm_obs::now_ns);
-                        let outcome = catch_unwind(AssertUnwindSafe(|| job(i)));
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            rpm_obs::fault::fire("engine.job");
+                            job(i)
+                        }));
                         if let Some(job_t0) = job_t0 {
                             busy_ns += rpm_obs::now_ns().saturating_sub(job_t0);
                         }

@@ -31,8 +31,10 @@
 //! let predictions: Vec<usize> = test.series.iter().map(|s| model.predict(s)).collect();
 //! ```
 
+pub(crate) mod budget;
 pub mod cache;
 pub mod candidates;
+pub mod checkpoint;
 pub mod config;
 pub mod distinct;
 pub mod engine;
@@ -45,7 +47,10 @@ pub mod usage;
 
 pub use cache::{CacheStats, SaxCache, SetId};
 pub use candidates::{find_candidates_for_class, Candidate, CandidateSet};
-pub use config::{ConfigError, GrammarAlgorithm, ParamSearch, RpmConfig, RpmConfigBuilder};
+pub use checkpoint::CheckpointError;
+pub use config::{
+    ConfigError, GrammarAlgorithm, ParamSearch, RpmConfig, RpmConfigBuilder, TrainBudget,
+};
 pub use distinct::{compute_tau, remove_similar, select_representative};
 pub use engine::{Engine, EngineError};
 pub use explore::{

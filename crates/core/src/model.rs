@@ -31,6 +31,11 @@ pub enum TrainError {
     /// A training-engine worker failed (a panic inside a parallel stage,
     /// surfaced as an error instead of aborting the process).
     Engine(EngineError),
+    /// The parameter-search checkpoint could not be opened or resumed
+    /// (corrupt file, unsupported version, or a context mismatch —
+    /// resuming against different data or scoring configuration would
+    /// silently produce a different model, so it is refused).
+    Checkpoint(String),
 }
 
 impl fmt::Display for TrainError {
@@ -45,6 +50,7 @@ impl fmt::Display for TrainError {
                 )
             }
             Self::Engine(e) => write!(f, "training failed: {e}"),
+            Self::Checkpoint(msg) => write!(f, "checkpoint unusable: {msg}"),
         }
     }
 }
@@ -67,6 +73,10 @@ pub struct RpmClassifier {
     pub(crate) per_class_sax: BTreeMap<Label, SaxConfig>,
     pub(crate) rotation_invariant: bool,
     pub(crate) early_abandon: bool,
+    /// True when the parameter search ran out of its [`crate::TrainBudget`]
+    /// and the model was fit with best-so-far parameters; persisted so a
+    /// loaded model still discloses it.
+    pub(crate) degraded: bool,
     /// Memoization-cache counters of the training run that produced this
     /// model (zero for models loaded from disk).
     pub(crate) cache_stats: CacheStats,
@@ -96,22 +106,54 @@ impl RpmClassifier {
         // training pass (and the surfaced CacheStats cover the whole
         // call).
         let cache = SaxCache::new(config.cache);
-        let ctx = Ctx::new(Engine::new(config.n_threads), &cache);
-        let per_class_sax: BTreeMap<Label, SaxConfig> = match &config.param_search {
-            ParamSearch::Fixed(sax) => classes.iter().map(|&c| (c, *sax)).collect(),
-            ParamSearch::PerClassFixed(saxes) => {
-                assert_eq!(
-                    saxes.len(),
-                    classes.len(),
-                    "PerClassFixed needs one SaxConfig per class"
-                );
-                classes.iter().copied().zip(saxes.iter().copied()).collect()
+        // A checkpoint only makes sense when there is a search to resume;
+        // fixed-parameter training ignores `config.checkpoint`.
+        let searching = matches!(
+            config.param_search,
+            ParamSearch::Direct { .. } | ParamSearch::Grid { .. }
+        );
+        let checkpoint = match &config.checkpoint {
+            Some(path) if searching => {
+                let fingerprint = crate::checkpoint::context_fingerprint(train, config);
+                let (cp, restored) = crate::checkpoint::Checkpoint::open(path, fingerprint)
+                    .map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+                // Completed evaluations from the previous run become cache
+                // hits: the search re-runs only the missing cells and the
+                // resumed trajectory is bit-identical to an uninterrupted
+                // one (eval scores are pure functions of their SaxConfig).
+                for (sax, value) in restored {
+                    cache.preload_eval(sax, value);
+                }
+                Some(cp)
             }
-            ParamSearch::Direct { .. } | ParamSearch::Grid { .. } => {
-                search_parameters_ctx(train, config, &ctx)?.per_class
-            }
+            _ => None,
         };
-        Self::train_with_configs_ctx(train, config, &per_class_sax, &ctx)
+        let budget = crate::budget::BudgetState::new(&config.budget);
+        let ctx = Ctx::new(Engine::new(config.n_threads), &cache)
+            .with_budget(&budget)
+            .with_checkpoint(checkpoint.as_ref());
+        let (per_class_sax, degraded): (BTreeMap<Label, SaxConfig>, bool) =
+            match &config.param_search {
+                ParamSearch::Fixed(sax) => (classes.iter().map(|&c| (c, *sax)).collect(), false),
+                ParamSearch::PerClassFixed(saxes) => {
+                    assert_eq!(
+                        saxes.len(),
+                        classes.len(),
+                        "PerClassFixed needs one SaxConfig per class"
+                    );
+                    (
+                        classes.iter().copied().zip(saxes.iter().copied()).collect(),
+                        false,
+                    )
+                }
+                ParamSearch::Direct { .. } | ParamSearch::Grid { .. } => {
+                    let outcome = search_parameters_ctx(train, config, &ctx)?;
+                    (outcome.per_class, outcome.degraded)
+                }
+            };
+        let mut model = Self::train_with_configs_ctx(train, config, &per_class_sax, &ctx)?;
+        model.degraded = degraded;
+        Ok(model)
     }
 
     /// Trains with explicit per-class SAX configurations (the §4.3 path
@@ -222,6 +264,7 @@ impl RpmClassifier {
             per_class_sax: per_class_sax.clone(),
             rotation_invariant: config.rotation_invariant,
             early_abandon: config.early_abandon,
+            degraded: false,
             cache_stats: ctx.cache.stats(),
             usage,
         })
@@ -372,6 +415,14 @@ impl RpmClassifier {
     /// Whether rotation-invariant classification is enabled.
     pub fn is_rotation_invariant(&self) -> bool {
         self.rotation_invariant
+    }
+
+    /// Whether the parameter search exhausted its [`crate::TrainBudget`]
+    /// before completing — the model was fit with the best parameters
+    /// found so far and may score below a full search. Survives
+    /// save/load.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 
     /// The SVM hyper-parameters type, re-exported for convenience.

@@ -24,16 +24,19 @@
 //! scores are memoized in the run's [`SaxCache`], so overlapping DIRECT
 //! probes pay for each distinct combination once.
 
+use crate::budget::BudgetState;
 use crate::cache::{Ctx, SaxCache, SetId};
 use crate::config::{ParamSearch, RpmConfig};
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineError};
 use crate::model::{RpmClassifier, TrainError};
 use rpm_ml::{macro_f1, per_class_f1, shuffled_stratified_split};
 use rpm_opt::{direct_minimize_integer, DirectParams};
 use rpm_sax::SaxConfig;
 use rpm_ts::{Dataset, Label};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// One combination's validation score: per-class F-measures plus macro.
 type CombinationScore = (BTreeMap<Label, f64>, f64);
@@ -45,6 +48,10 @@ pub struct SearchOutcome {
     pub per_class: BTreeMap<Label, SaxConfig>,
     /// Distinct parameter combinations evaluated (the paper's `R`).
     pub evaluations: usize,
+    /// The search ran out of [`crate::TrainBudget`] before finishing:
+    /// `per_class` holds the best parameters scored so far rather than
+    /// the full search's choice.
+    pub degraded: bool,
 }
 
 /// Integer search bounds `(window, paa, alphabet)` derived from the
@@ -79,11 +86,34 @@ fn evaluate_combination(
 ) -> Result<Option<CombinationScore>, TrainError> {
     let mut failure: Option<TrainError> = None;
     let value = ctx.cache.eval(sax, || {
+        // Only fresh evaluations spend budget; cache hits and
+        // checkpoint-restored scores short-circuit above this closure.
+        if let Some(budget) = ctx.budget {
+            if !budget.try_claim() {
+                return None; // unscored: the search degrades to best-so-far
+            }
+        }
         let t0 = rpm_obs::enabled().then(rpm_obs::now_ns);
-        let out = match evaluate_combination_uncached(train, config, sax, ctx) {
-            Ok(v) => v,
-            Err(e) => {
+        // The unwind boundary makes a panicking evaluation — the
+        // `params.eval` fault site, or a genuine bug — a typed error on
+        // every search path, including shared DIRECT where the objective
+        // runs outside any engine job.
+        let out = match catch_unwind(AssertUnwindSafe(|| {
+            rpm_obs::fault::fire("params.eval");
+            evaluate_combination_uncached(train, config, sax, ctx)
+        })) {
+            Ok(Ok(v)) => v,
+            Ok(Err(e)) => {
                 failure = Some(e);
+                None
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "opaque panic payload".to_string());
+                failure = Some(TrainError::Engine(EngineError::WorkerPanicked(msg)));
                 None
             }
         };
@@ -91,6 +121,11 @@ fn evaluate_combination(
             let m = rpm_obs::metrics();
             m.params_evals.inc();
             m.params_eval.observe(rpm_obs::now_ns().saturating_sub(t0));
+        }
+        if failure.is_none() {
+            if let Some(checkpoint) = ctx.checkpoint {
+                checkpoint.record(sax, &out);
+            }
         }
         out
     });
@@ -177,7 +212,8 @@ fn evaluate_combination_uncached(
 /// no search) — `RpmClassifier::train` never does.
 pub fn search_parameters(train: &Dataset, config: &RpmConfig) -> Result<SearchOutcome, TrainError> {
     let cache = SaxCache::new(config.cache);
-    let ctx = Ctx::new(Engine::new(config.n_threads), &cache);
+    let budget = BudgetState::new(&config.budget);
+    let ctx = Ctx::new(Engine::new(config.n_threads), &cache).with_budget(&budget);
     search_parameters_ctx(train, config, &ctx)
 }
 
@@ -188,7 +224,7 @@ pub(crate) fn search_parameters_ctx(
     ctx: &Ctx<'_>,
 ) -> Result<SearchOutcome, TrainError> {
     let _span = rpm_obs::span!("params");
-    match &config.param_search {
+    let mut outcome = match &config.param_search {
         ParamSearch::Fixed(_) | ParamSearch::PerClassFixed(_) => {
             panic!("search_parameters called with a fixed strategy")
         }
@@ -202,10 +238,19 @@ pub(crate) fn search_parameters_ctx(
             alphas,
             per_class,
         } => grid_search(train, config, windows, paas, alphas, *per_class, ctx),
+    }?;
+    outcome.degraded = ctx.budget.is_some_and(BudgetState::exhausted);
+    if outcome.degraded {
+        rpm_obs::metrics().train_degraded.inc();
     }
+    Ok(outcome)
 }
 
-fn direct_params_for(max_evals: usize, n_threads: usize) -> DirectParams {
+fn direct_params_for(
+    max_evals: usize,
+    n_threads: usize,
+    wall_clock: Option<Duration>,
+) -> DirectParams {
     DirectParams {
         // Raw proposals; distinct integer points are cached, and roughly
         // half the proposals round onto already-seen combinations.
@@ -213,6 +258,7 @@ fn direct_params_for(max_evals: usize, n_threads: usize) -> DirectParams {
         max_iters: 40,
         eps: 1e-4,
         n_threads,
+        wall_clock,
     }
 }
 
@@ -252,7 +298,7 @@ fn direct_search(
                 },
                 &lo,
                 &hi,
-                &direct_params_for(max_evals, 1),
+                &direct_params_for(max_evals, 1, ctx.budget.and_then(BudgetState::remaining)),
             );
             match failure.into_inner().ok().flatten() {
                 Some(e) => Err(e),
@@ -270,6 +316,7 @@ fn direct_search(
         Ok(SearchOutcome {
             per_class: per_class_out,
             evaluations,
+            degraded: false,
         })
     } else {
         // One shared run: parallelism lives inside the optimizer, which
@@ -292,7 +339,11 @@ fn direct_search(
             },
             &lo,
             &hi,
-            &direct_params_for(max_evals, ctx.engine.n_threads()),
+            &direct_params_for(
+                max_evals,
+                ctx.engine.n_threads(),
+                ctx.budget.and_then(BudgetState::remaining),
+            ),
         );
         if let Some(e) = failure.into_inner().ok().flatten() {
             return Err(e);
@@ -301,6 +352,7 @@ fn direct_search(
         Ok(SearchOutcome {
             per_class: classes.iter().map(|&c| (c, sax)).collect(),
             evaluations: n,
+            degraded: false,
         })
     }
 }
@@ -368,6 +420,7 @@ fn grid_search(
     Ok(SearchOutcome {
         per_class: per_class_out,
         evaluations,
+        degraded: false,
     })
 }
 

@@ -1,7 +1,12 @@
-//! The rotation corruption of §6.1.
+//! Test-set corruptions.
 //!
-//! "To shift or rotate a time series, we randomly choose a cut point in
-//! the time series, and swap the sections before and after the cut point."
+//! * Rotation (§6.1): "To shift or rotate a time series, we randomly
+//!   choose a cut point in the time series, and swap the sections before
+//!   and after the cut point."
+//! * Sensor dropout (robustness harness): observations are knocked out to
+//!   NaN at a configurable rate, modeling lossy telemetry; the serving
+//!   side repairs the holes with [`interpolate_gaps`] before classifying.
+//!
 //! Training data stays untouched; only the test set is corrupted.
 
 use rand::rngs::StdRng;
@@ -30,6 +35,83 @@ pub fn rotate_dataset(dataset: &Dataset, seed: u64) -> Dataset {
         series,
         dataset.labels.clone(),
     )
+}
+
+/// Returns a copy of `dataset` with each observation independently
+/// replaced by NaN with probability `fraction` (clamped to `[0, 1]`).
+/// Labels are preserved; the draw order is row-major, so the result is a
+/// pure function of `(dataset, fraction, seed)`.
+pub fn dropout_dataset(dataset: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    let fraction = fraction.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let series = dataset
+        .series
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|&v| {
+                    if rng.gen::<f64>() < fraction {
+                        f64::NAN
+                    } else {
+                        v
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    Dataset::new(
+        format!("{}-dropout", dataset.name),
+        series,
+        dataset.labels.clone(),
+    )
+}
+
+/// Repairs non-finite holes by linear interpolation between the nearest
+/// finite neighbors; leading/trailing gaps copy the nearest finite value.
+/// A series with no finite observation at all becomes zeros (the caller
+/// should normally have quarantined it). Finite values pass through
+/// bit-identically.
+pub fn interpolate_gaps(dataset: &Dataset) -> Dataset {
+    let series = dataset.series.iter().map(|s| repair_series(s)).collect();
+    Dataset::new(dataset.name.clone(), series, dataset.labels.clone())
+}
+
+fn repair_series(s: &[f64]) -> Vec<f64> {
+    if s.iter().all(|v| v.is_finite()) {
+        return s.to_vec();
+    }
+    if !s.iter().any(|v| v.is_finite()) {
+        return vec![0.0; s.len()];
+    }
+    let mut out = s.to_vec();
+    let mut i = 0;
+    while i < out.len() {
+        if out[i].is_finite() {
+            i += 1;
+            continue;
+        }
+        // Gap [i, j): previous finite at i-1 (if any), next finite at j.
+        let mut j = i;
+        while j < out.len() && !out[j].is_finite() {
+            j += 1;
+        }
+        let left = (i > 0).then(|| out[i - 1]);
+        let right = (j < out.len()).then(|| out[j]);
+        match (left, right) {
+            (Some(l), Some(r)) => {
+                let span = (j - i + 1) as f64;
+                for (k, slot) in out[i..j].iter_mut().enumerate() {
+                    let t = (k + 1) as f64 / span;
+                    *slot = l + (r - l) * t;
+                }
+            }
+            (Some(l), None) => out[i..j].fill(l),
+            (None, Some(r)) => out[i..j].fill(r),
+            (None, None) => unreachable!("a finite value exists"),
+        }
+        i = j;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -90,5 +172,84 @@ mod tests {
         let d = Dataset::new("s", vec![vec![1.0]], vec![0]);
         let r = rotate_dataset(&d, 5);
         assert_eq!(r.series[0], vec![1.0]);
+    }
+
+    #[test]
+    fn dropout_knocks_out_roughly_the_requested_fraction() {
+        let d = Dataset::new("s", vec![(0..1000).map(|i| i as f64).collect()], vec![0]);
+        let c = dropout_dataset(&d, 0.2, 7);
+        let nans = c.series[0].iter().filter(|v| v.is_nan()).count();
+        assert!((120..280).contains(&nans), "nans = {nans}");
+        assert_eq!(c.labels, d.labels);
+        assert!(c.name.contains("dropout"));
+        // Surviving values are untouched.
+        for (a, b) in d.series[0].iter().zip(&c.series[0]) {
+            if b.is_finite() {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_is_deterministic_and_clamped() {
+        let d = toy();
+        assert_eq!(
+            dropout_dataset(&d, 0.3, 4).series[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            dropout_dataset(&d, 0.3, 4).series[0]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>()
+        );
+        assert!(dropout_dataset(&d, 0.0, 4).series[0]
+            .iter()
+            .all(|v| v.is_finite()));
+        assert!(dropout_dataset(&d, 2.0, 4).series[0]
+            .iter()
+            .all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn interpolation_fills_interior_gaps_linearly() {
+        let d = Dataset::new("s", vec![vec![0.0, f64::NAN, f64::NAN, 3.0, 4.0]], vec![0]);
+        let r = interpolate_gaps(&d);
+        assert_eq!(r.series[0], vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn interpolation_extends_edges_and_handles_hopeless_rows() {
+        let d = Dataset::new(
+            "s",
+            vec![
+                vec![f64::NAN, f64::NAN, 2.0, f64::NAN],
+                vec![f64::NAN, f64::INFINITY],
+                vec![1.0, 2.0],
+            ],
+            vec![0, 0, 0],
+        );
+        let r = interpolate_gaps(&d);
+        assert_eq!(r.series[0], vec![2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(r.series[1], vec![0.0, 0.0]);
+        assert_eq!(r.series[2], vec![1.0, 2.0]); // clean rows untouched
+    }
+
+    #[test]
+    fn interpolation_repairs_dropout_to_classifiable_values() {
+        let d = Dataset::new(
+            "s",
+            vec![(0..128).map(|i| (i as f64 * 0.1).sin()).collect()],
+            vec![0],
+        );
+        let r = interpolate_gaps(&dropout_dataset(&d, 0.1, 9));
+        assert!(r.series[0].iter().all(|v| v.is_finite()));
+        // The repair should stay close to the original smooth signal.
+        let max_err = d.series[0]
+            .iter()
+            .zip(&r.series[0])
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_err < 0.5, "max_err = {max_err}");
     }
 }

@@ -42,5 +42,6 @@ pub mod spectra;
 pub mod synth;
 pub mod ucr;
 
-pub use corrupt::rotate_dataset;
+pub use corrupt::{dropout_dataset, interpolate_gaps, rotate_dataset};
 pub use registry::{generate, suite, DatasetSpec};
+pub use ucr::{read_ucr_file_lenient, read_ucr_lenient, Quarantine};

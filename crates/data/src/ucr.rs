@@ -25,9 +25,114 @@ impl LabelMap {
     }
 }
 
+/// Per-stream account of what the lenient reader kept and what it
+/// quarantined (and why). Counts are rows, not observations.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Quarantine {
+    /// Rows accepted into the dataset.
+    pub kept: usize,
+    /// Rows whose label field did not parse as a number.
+    pub bad_label: usize,
+    /// Rows with an unparseable observation.
+    pub bad_value: usize,
+    /// Rows holding NaN or ±Inf observations.
+    pub non_finite: usize,
+    /// Rows whose length disagrees with the first accepted row's.
+    pub ragged: usize,
+    /// Rows with a label but no observations.
+    pub empty: usize,
+}
+
+impl Quarantine {
+    /// Rows refused, across all reasons.
+    pub fn dropped(&self) -> usize {
+        self.bad_label + self.bad_value + self.non_finite + self.ragged + self.empty
+    }
+
+    /// True when every row was accepted.
+    pub fn is_clean(&self) -> bool {
+        self.dropped() == 0
+    }
+
+    /// One-line human summary (`kept 198, dropped 2 (non-finite 1, ragged 1)`).
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return format!("kept {} rows, dropped 0", self.kept);
+        }
+        let mut reasons = Vec::new();
+        for (n, what) in [
+            (self.bad_label, "bad-label"),
+            (self.bad_value, "bad-value"),
+            (self.non_finite, "non-finite"),
+            (self.ragged, "ragged"),
+            (self.empty, "empty"),
+        ] {
+            if n > 0 {
+                reasons.push(format!("{what} {n}"));
+            }
+        }
+        format!(
+            "kept {} rows, dropped {} ({})",
+            self.kept,
+            self.dropped(),
+            reasons.join(", ")
+        )
+    }
+}
+
+/// One parsed row, or the reason it was refused.
+enum Row {
+    Ok(i64, Vec<f64>),
+    BadLabel,
+    BadValue,
+    NonFinite,
+    Empty,
+}
+
+fn parse_row(trimmed: &str) -> Row {
+    let mut fields = trimmed
+        .split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|f| !f.is_empty());
+    let Some(label_field) = fields.next() else {
+        return Row::BadLabel;
+    };
+    let Ok(raw_label) = label_field.parse::<f64>() else {
+        return Row::BadLabel;
+    };
+    let mut values = Vec::new();
+    for f in fields {
+        match f.parse::<f64>() {
+            Ok(v) if v.is_finite() => values.push(v),
+            Ok(_) => return Row::NonFinite,
+            Err(_) => return Row::BadValue,
+        }
+    }
+    if values.is_empty() {
+        return Row::Empty;
+    }
+    Row::Ok(raw_label as i64, values)
+}
+
+/// Dense re-labeling in sorted raw order. `partition_point` finds each
+/// raw label's rank without a fallible lookup — every element of
+/// `raw_labels` is in `uniq` by construction.
+fn dense_labels(raw_labels: &[i64]) -> (Vec<usize>, LabelMap) {
+    let mut uniq = raw_labels.to_vec();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let labels = raw_labels
+        .iter()
+        .map(|r| uniq.partition_point(|u| u < r))
+        .collect();
+    (labels, LabelMap { raw: uniq })
+}
+
 /// Parses a UCR-format stream. Empty lines are skipped; fields may be
-/// separated by commas or whitespace.
+/// separated by commas or whitespace. Strict: the first malformed row
+/// fails the whole stream (see [`read_ucr_lenient`] for the
+/// quarantine-and-continue reader).
 pub fn read_ucr(reader: impl Read, name: &str) -> std::io::Result<(Dataset, LabelMap)> {
+    rpm_obs::fault::point("data.load")?;
     let mut series = Vec::new();
     let mut raw_labels: Vec<i64> = Vec::new();
     let buf = BufReader::new(reader);
@@ -37,32 +142,64 @@ pub fn read_ucr(reader: impl Read, name: &str) -> std::io::Result<(Dataset, Labe
         if trimmed.is_empty() {
             continue;
         }
-        let mut fields = trimmed
-            .split(|c: char| c == ',' || c.is_whitespace())
-            .filter(|f| !f.is_empty());
-        let label_field = fields.next().ok_or_else(|| bad(line_no, "missing label"))?;
-        let raw_label: i64 = label_field
-            .parse::<f64>()
-            .map_err(|_| bad(line_no, "unparseable label"))? as i64;
-        let values: Vec<f64> = fields
-            .map(|f| f.parse::<f64>())
-            .collect::<Result<_, _>>()
-            .map_err(|_| bad(line_no, "unparseable value"))?;
-        if values.is_empty() {
-            return Err(bad(line_no, "row has no observations"));
+        match parse_row(trimmed) {
+            Row::Ok(raw_label, values) => {
+                raw_labels.push(raw_label);
+                series.push(values);
+            }
+            Row::BadLabel => return Err(bad(line_no, "unparseable label")),
+            Row::BadValue => return Err(bad(line_no, "unparseable value")),
+            Row::NonFinite => return Err(bad(line_no, "non-finite observation")),
+            Row::Empty => return Err(bad(line_no, "row has no observations")),
         }
-        raw_labels.push(raw_label);
-        series.push(values);
     }
-    // Dense re-labeling in sorted raw order.
-    let mut uniq = raw_labels.clone();
-    uniq.sort_unstable();
-    uniq.dedup();
-    let labels: Vec<usize> = raw_labels
-        .iter()
-        .map(|r| uniq.binary_search(r).unwrap())
-        .collect();
-    Ok((Dataset::new(name, series, labels), LabelMap { raw: uniq }))
+    let (labels, map) = dense_labels(&raw_labels);
+    Ok((Dataset::new(name, series, labels), map))
+}
+
+/// Parses a UCR-format stream, skipping malformed rows instead of failing:
+/// rows with unparseable labels or values, NaN/Inf observations, ragged
+/// lengths (vs the first accepted row), or no observations are counted in
+/// the returned [`Quarantine`] and dropped. Quarantined rows feed the
+/// `data.quarantined` metric. Only I/O (or an injected `data.load` fault)
+/// errors the call.
+pub fn read_ucr_lenient(
+    reader: impl Read,
+    name: &str,
+) -> std::io::Result<(Dataset, LabelMap, Quarantine)> {
+    rpm_obs::fault::point("data.load")?;
+    let mut series: Vec<Vec<f64>> = Vec::new();
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let mut q = Quarantine::default();
+    let mut expected_len: Option<usize> = None;
+    let buf = BufReader::new(reader);
+    for line in buf.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        match parse_row(trimmed) {
+            Row::Ok(raw_label, values) => {
+                if *expected_len.get_or_insert(values.len()) != values.len() {
+                    q.ragged += 1;
+                    continue;
+                }
+                q.kept += 1;
+                raw_labels.push(raw_label);
+                series.push(values);
+            }
+            Row::BadLabel => q.bad_label += 1,
+            Row::BadValue => q.bad_value += 1,
+            Row::NonFinite => q.non_finite += 1,
+            Row::Empty => q.empty += 1,
+        }
+    }
+    if q.dropped() > 0 {
+        rpm_obs::metrics().data_quarantined.add(q.dropped() as u64);
+    }
+    let (labels, map) = dense_labels(&raw_labels);
+    Ok((Dataset::new(name, series, labels), map, q))
 }
 
 /// Reads a UCR file from disk.
@@ -74,6 +211,19 @@ pub fn read_ucr_file(path: impl AsRef<Path>) -> std::io::Result<(Dataset, LabelM
         .unwrap_or_else(|| "unnamed".to_string());
     let file = std::fs::File::open(path)?;
     read_ucr(file, &name)
+}
+
+/// Reads a UCR file from disk with the lenient (quarantining) reader.
+pub fn read_ucr_file_lenient(
+    path: impl AsRef<Path>,
+) -> std::io::Result<(Dataset, LabelMap, Quarantine)> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let file = std::fs::File::open(path)?;
+    read_ucr_lenient(file, &name)
 }
 
 /// Writes `dataset` in comma-separated UCR format. Dense labels are
@@ -162,6 +312,64 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_ucr("abc,1.0\n".as_bytes(), "t").is_err());
         assert!(read_ucr("1,abc\n".as_bytes(), "t").is_err());
+    }
+
+    #[test]
+    fn strict_rejects_non_finite_observations() {
+        assert!(read_ucr("1,NaN,2.0\n".as_bytes(), "t").is_err());
+        assert!(read_ucr("1,inf,2.0\n".as_bytes(), "t").is_err());
+    }
+
+    #[test]
+    fn lenient_quarantines_instead_of_failing() {
+        let text = "1,0.5,1.5\n\
+                    2,NaN,1.0\n\
+                    abc,1.0,2.0\n\
+                    1,oops,2.0\n\
+                    2,3.0,4.0\n\
+                    2,1.0,2.0,3.0\n\
+                    3\n";
+        let (d, map, q) = read_ucr_lenient(text.as_bytes(), "t").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.labels, vec![0, 1]);
+        assert_eq!(map.raw, vec![1, 2]);
+        assert_eq!(
+            q,
+            Quarantine {
+                kept: 2,
+                bad_label: 1,
+                bad_value: 1,
+                non_finite: 1,
+                ragged: 1,
+                empty: 1,
+            }
+        );
+        assert_eq!(q.dropped(), 5);
+        assert!(!q.is_clean());
+        let summary = q.summary();
+        assert!(summary.contains("kept 2"), "{summary}");
+        assert!(summary.contains("non-finite 1"), "{summary}");
+    }
+
+    #[test]
+    fn lenient_matches_strict_on_clean_input() {
+        let text = "1,0.5,1.5,2.5\n2,3.0,4.0,5.0\n";
+        let (strict, smap) = read_ucr(text.as_bytes(), "t").unwrap();
+        let (lenient, lmap, q) = read_ucr_lenient(text.as_bytes(), "t").unwrap();
+        assert_eq!(strict.series, lenient.series);
+        assert_eq!(strict.labels, lenient.labels);
+        assert_eq!(smap, lmap);
+        assert!(q.is_clean());
+        assert_eq!(q.kept, 2);
+        assert_eq!(q.summary(), "kept 2 rows, dropped 0");
+    }
+
+    #[test]
+    fn lenient_on_all_bad_input_yields_empty_dataset() {
+        let (d, map, q) = read_ucr_lenient("x,1\ny,2\n".as_bytes(), "t").unwrap();
+        assert!(d.is_empty());
+        assert!(map.raw.is_empty());
+        assert_eq!(q.bad_label, 2);
     }
 
     #[test]

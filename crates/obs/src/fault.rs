@@ -1,0 +1,426 @@
+//! Deterministic, seeded fault injection for resilience testing.
+//!
+//! A fault *site* is a named probe compiled into a failure-prone code
+//! path — the engine work pool (`engine.job`), persistence I/O
+//! (`persist.save`, `persist.load`), checkpointing (`checkpoint.write`,
+//! `checkpoint.load`), the data loaders (`data.load`), and the metrics
+//! endpoint (`http.conn`). A *plan* arms some of those sites with a
+//! failure kind and probability; the chaos CI job and the resilience
+//! tests use it to prove every failure path ends in a typed error, a
+//! degraded-but-valid result, or a quarantine count — never a crash.
+//!
+//! Armed from the `RPM_FAULT` environment variable ([`init_env`]) or
+//! programmatically ([`install`]). The directive syntax is a list of
+//! `site:kind[:prob[:seed]]` entries separated by `,` or `;`:
+//!
+//! ```text
+//! RPM_FAULT='persist.save:io:0.05:42;engine.job:panic:0.01:7'
+//! ```
+//!
+//! * `site` — exact site name, a `prefix.*` glob, or `*` for all sites.
+//! * `kind` — `panic`, `io` (an injected [`std::io::Error`]), or
+//!   `delay<ms>` (an artificial stall, default 10 ms for bare `delay`).
+//! * `prob` — injection probability per arrival (default 1).
+//! * `seed` — PRNG seed for the per-site arrival sequence (default 0).
+//!
+//! Draws are deterministic: each armed spec keeps an arrival counter and
+//! hashes `(seed, site, arrival)` through SplitMix64, so a serial run
+//! injects at the same arrivals every time. Disabled (the default), a
+//! [`point`] is one relaxed atomic load and a not-taken branch — the
+//! same zero-cost contract as the observability probes (benchmarked in
+//! `rpm-bench/benches/kernels.rs`).
+
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Every site compiled into the workspace, for docs and the chaos
+/// driver (`ci/chaos.sh` arms each in turn). Keep in sync with the
+/// `fault::point`/`fault::fire` call sites.
+pub const KNOWN_SITES: &[&str] = &[
+    "engine.job",
+    "params.eval",
+    "persist.save",
+    "persist.load",
+    "checkpoint.write",
+    "checkpoint.load",
+    "data.load",
+    "http.conn",
+];
+
+/// What an armed site does when a draw fires.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an `injected fault` message at [`fire`] sites (the
+    /// engine converts worker panics into typed `EngineError`s). At
+    /// [`point`] sites — which have a typed error channel and whose
+    /// callers are not required to contain unwinds — the fault surfaces
+    /// as the site's [`std::io::Error`] instead.
+    Panic,
+    /// Return an injected [`std::io::Error`] from the site.
+    Io,
+    /// Sleep for the given number of milliseconds, then proceed —
+    /// exercises deadlines and timeouts without failing the operation.
+    Delay(u64),
+}
+
+/// One armed injection site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Site name, `prefix.*` glob, or `*`.
+    pub site: String,
+    /// Failure to inject when a draw fires.
+    pub kind: FaultKind,
+    /// Injection probability per arrival, in `[0, 1]`.
+    pub prob: f64,
+    /// Seed for the deterministic arrival draws.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    fn matches(&self, site: &str) -> bool {
+        self.site == "*"
+            || self.site == site
+            || self
+                .site
+                .strip_suffix('*')
+                .is_some_and(|prefix| site.starts_with(prefix))
+    }
+}
+
+/// Parses the `RPM_FAULT` directive syntax (see the module docs).
+pub fn parse(s: &str) -> Result<Vec<FaultSpec>, String> {
+    let mut specs = Vec::new();
+    for entry in s.split([',', ';']) {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let mut fields = entry.split(':');
+        let site = fields.next().unwrap_or_default().trim();
+        if site.is_empty() {
+            return Err(format!("RPM_FAULT entry {entry:?}: empty site"));
+        }
+        let kind = match fields.next().map(str::trim) {
+            Some("panic") => FaultKind::Panic,
+            Some("io") => FaultKind::Io,
+            Some("delay") => FaultKind::Delay(10),
+            Some(k) if k.starts_with("delay") => {
+                let ms = k["delay".len()..]
+                    .parse::<u64>()
+                    .map_err(|_| format!("RPM_FAULT entry {entry:?}: bad delay {k:?}"))?;
+                FaultKind::Delay(ms)
+            }
+            Some(k) => {
+                return Err(format!(
+                    "RPM_FAULT entry {entry:?}: unknown kind {k:?} (panic|io|delay<ms>)"
+                ))
+            }
+            None => return Err(format!("RPM_FAULT entry {entry:?}: missing kind")),
+        };
+        let prob = match fields.next().map(str::trim) {
+            Some(p) => p
+                .parse::<f64>()
+                .ok()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .ok_or_else(|| {
+                    format!("RPM_FAULT entry {entry:?}: bad probability {p:?} (want [0,1])")
+                })?,
+            None => 1.0,
+        };
+        let seed = match fields.next().map(str::trim) {
+            Some(s) => s
+                .parse::<u64>()
+                .map_err(|_| format!("RPM_FAULT entry {entry:?}: bad seed {s:?}"))?,
+            None => 0,
+        };
+        if fields.next().is_some() {
+            return Err(format!(
+                "RPM_FAULT entry {entry:?}: too many fields (site:kind[:prob[:seed]])"
+            ));
+        }
+        specs.push(FaultSpec {
+            site: site.to_string(),
+            kind,
+            prob,
+            seed,
+        });
+    }
+    Ok(specs)
+}
+
+struct ArmedSpec {
+    spec: FaultSpec,
+    arrivals: AtomicU64,
+}
+
+struct FaultPlan {
+    specs: Vec<ArmedSpec>,
+    injected: AtomicU64,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn plan_slot() -> &'static Mutex<Option<Arc<FaultPlan>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultPlan>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Arms the given specs process-globally, replacing any previous plan.
+pub fn install(specs: Vec<FaultSpec>) {
+    let plan = FaultPlan {
+        specs: specs
+            .into_iter()
+            .map(|spec| ArmedSpec {
+                spec,
+                arrivals: AtomicU64::new(0),
+            })
+            .collect(),
+        injected: AtomicU64::new(0),
+    };
+    let armed = !plan.specs.is_empty();
+    if let Ok(mut slot) = plan_slot().lock() {
+        *slot = armed.then(|| Arc::new(plan));
+        ACTIVE.store(armed, Ordering::Relaxed);
+    }
+}
+
+/// Disarms every site (the default state).
+pub fn clear() {
+    install(Vec::new());
+}
+
+/// Whether any site is armed. The entire cost of a disabled
+/// [`point`]/[`fire`]: one relaxed load.
+#[inline]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Faults injected by the current plan since it was installed (0 when
+/// disarmed). Tests assert on this; the `fault.injected` metrics
+/// counter carries the same count into run reports when observability
+/// is on.
+pub fn injected_total() -> u64 {
+    plan_slot()
+        .lock()
+        .ok()
+        .and_then(|slot| slot.as_ref().map(|p| p.injected.load(Ordering::Relaxed)))
+        .unwrap_or(0)
+}
+
+/// Arms sites from the `RPM_FAULT` environment variable; leaves
+/// everything disarmed when it is unset or empty. A malformed directive
+/// is reported on stderr and ignored (fault injection must never take
+/// the process down by itself).
+pub fn init_env() {
+    match std::env::var("RPM_FAULT") {
+        Ok(s) if !s.trim().is_empty() => match parse(&s) {
+            Ok(specs) => install(specs),
+            Err(e) => eprintln!("[rpm-obs] ignoring malformed RPM_FAULT: {e}"),
+        },
+        _ => {}
+    }
+}
+
+/// SplitMix64: a full-period mix, so `(seed, arrival)` pairs map to
+/// uniform draws without shared mutable RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// An injection point with an I/O error channel. Returns the injected
+/// error for `io` and `panic` kinds (it never unwinds — callers are not
+/// required to contain panics), sleeps through `delay` kinds, and is a
+/// no-op (one relaxed load) when disarmed.
+#[inline]
+pub fn point(site: &str) -> io::Result<()> {
+    if !active() {
+        return Ok(());
+    }
+    point_armed(site)
+}
+
+/// An injection point on a path with no error channel (e.g. inside an
+/// engine job): every firing fault — `io` or `panic` — is escalated to
+/// a panic, which the caller is expected to contain (the engine's
+/// `catch_unwind` turns them into typed `EngineError`s).
+#[inline]
+pub fn fire(site: &str) {
+    if !active() {
+        return;
+    }
+    if let Err(e) = point_armed(site) {
+        panic!("{e}");
+    }
+}
+
+#[cold]
+fn point_armed(site: &str) -> io::Result<()> {
+    let Some(plan) = plan_slot().lock().ok().and_then(|slot| slot.clone()) else {
+        return Ok(());
+    };
+    for armed in plan.specs.iter().filter(|a| a.spec.matches(site)) {
+        let arrival = armed.arrivals.fetch_add(1, Ordering::Relaxed);
+        let mixed = splitmix64(armed.spec.seed ^ fnv1a(site) ^ splitmix64(arrival));
+        // 53 high bits → uniform draw in [0, 1).
+        let draw = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= armed.spec.prob {
+            continue;
+        }
+        plan.injected.fetch_add(1, Ordering::Relaxed);
+        crate::metrics().faults_injected.inc();
+        match armed.spec.kind {
+            // Never unwind out of a typed-error site: a `panic` fault
+            // here surfaces as the site's error; [`fire`] escalates it
+            // to a real panic at the sites built to contain one.
+            FaultKind::Panic => {
+                return Err(io::Error::other(format!(
+                    "injected fault (panic) at {site}"
+                )))
+            }
+            FaultKind::Io => {
+                return Err(io::Error::other(format!("injected fault (io) at {site}")))
+            }
+            FaultKind::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes fault tests: the plan is process-global (shared with
+    /// the http tests, which also arm it).
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        crate::test_lock()
+    }
+
+    #[test]
+    fn disabled_points_are_noops() {
+        let _g = lock();
+        clear();
+        assert!(!active());
+        assert!(point("engine.job").is_ok());
+        fire("engine.job");
+        assert_eq!(injected_total(), 0);
+    }
+
+    #[test]
+    fn parse_accepts_full_and_defaulted_entries() {
+        let specs = parse("engine.job:panic:0.25:7; persist.*:io, data.load:delay250").unwrap();
+        assert_eq!(
+            specs,
+            vec![
+                FaultSpec {
+                    site: "engine.job".into(),
+                    kind: FaultKind::Panic,
+                    prob: 0.25,
+                    seed: 7,
+                },
+                FaultSpec {
+                    site: "persist.*".into(),
+                    kind: FaultKind::Io,
+                    prob: 1.0,
+                    seed: 0,
+                },
+                FaultSpec {
+                    site: "data.load".into(),
+                    kind: FaultKind::Delay(250),
+                    prob: 1.0,
+                    seed: 0,
+                },
+            ]
+        );
+        assert!(parse("x:explode").is_err());
+        assert!(parse("x:io:1.5").is_err());
+        assert!(parse(":io").is_err());
+        assert!(parse("x:io:1:2:3").is_err());
+        assert!(parse("x").is_err());
+        assert_eq!(parse("").unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn io_fault_fires_with_certainty_and_counts() {
+        let _g = lock();
+        install(parse("persist.save:io:1:3").unwrap());
+        let err = point("persist.save").unwrap_err();
+        assert!(err.to_string().contains("persist.save"), "{err}");
+        assert!(point("persist.load").is_ok(), "unarmed site stays clean");
+        assert_eq!(injected_total(), 1);
+        clear();
+        assert!(point("persist.save").is_ok());
+    }
+
+    #[test]
+    fn panic_fault_panics_and_fire_escalates_io() {
+        let _g = lock();
+        install(parse("engine.job:panic").unwrap());
+        let caught = std::panic::catch_unwind(|| fire("engine.job"));
+        assert!(caught.is_err());
+
+        install(parse("engine.job:io").unwrap());
+        let caught = std::panic::catch_unwind(|| fire("engine.job"));
+        assert!(caught.is_err(), "fire escalates io faults to panics");
+        clear();
+    }
+
+    #[test]
+    fn draws_are_seeded_and_deterministic() {
+        let _g = lock();
+        let run = |seed: u64| {
+            install(vec![FaultSpec {
+                site: "data.load".into(),
+                kind: FaultKind::Io,
+                prob: 0.3,
+                seed,
+            }]);
+            let pattern: Vec<bool> = (0..64).map(|_| point("data.load").is_err()).collect();
+            clear();
+            pattern
+        };
+        let a = run(11);
+        assert_eq!(a, run(11), "same seed, same arrivals");
+        assert_ne!(a, run(12), "different seed, different arrivals");
+        let hits = a.iter().filter(|h| **h).count();
+        assert!((5..=35).contains(&hits), "p=0.3 over 64 draws: {hits}");
+    }
+
+    #[test]
+    fn globs_match_prefixes_and_everything() {
+        let _g = lock();
+        install(parse("persist.*:io:1:0").unwrap());
+        assert!(point("persist.save").is_err());
+        assert!(point("persist.load").is_err());
+        assert!(point("checkpoint.write").is_ok());
+        install(parse("*:io:1:0").unwrap());
+        assert!(point("anything.at.all").is_err());
+        clear();
+    }
+
+    #[test]
+    fn delay_faults_stall_but_succeed() {
+        let _g = lock();
+        install(parse("http.conn:delay20:1:0").unwrap());
+        let t0 = std::time::Instant::now();
+        assert!(point("http.conn").is_ok());
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert_eq!(injected_total(), 1);
+        clear();
+    }
+}

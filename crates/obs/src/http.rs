@@ -1,13 +1,21 @@
-//! Opt-in `/metrics` + `/healthz` HTTP endpoint, std-only.
+//! Opt-in `/metrics` + `/healthz` HTTP endpoint, std-only, hardened.
 //!
-//! A minimal single-threaded HTTP/1.0-style server on a background
-//! thread: each connection gets its request line read, one response
-//! written, and the socket closed. That is all a Prometheus scraper (or
-//! `curl`) needs, and it keeps the implementation at a `TcpListener`
-//! and a handful of `write_all` calls — no dependencies, no keep-alive
-//! state, no thread pool to manage. Responses are rendered from a
-//! [`crate::metrics::snapshot`] taken at request time, so scrapes
-//! observe but never perturb the run.
+//! A minimal HTTP/1.0-style server: each connection gets its request
+//! line read, one response written, and the socket closed. That is all
+//! a Prometheus scraper (or `curl`) needs, and it keeps the
+//! implementation at a `TcpListener` and a handful of `write_all`
+//! calls — no dependencies, no keep-alive state. Responses are rendered
+//! from a [`crate::metrics::snapshot`] taken at request time, so
+//! scrapes observe but never perturb the run.
+//!
+//! Serving hardening ([`ServeLimits`]): every connection is handled on
+//! its own thread under a concurrency bound (excess connections get an
+//! immediate `503` on the accept thread), with read/write socket
+//! timeouts so a stalled peer cannot pin a handler, and a request-line
+//! size cap (`414` past it) so a hostile client cannot grow a buffer
+//! without bound. Rejections count into the `http.rejected` metric, and
+//! a handler panic (e.g. an armed `http.conn` fault) is contained per
+//! connection — the endpoint itself never goes down.
 //!
 //! Enabled via [`crate::ObsConfig`] (`http_addr`) or the `RPM_LOG`
 //! directive `http=127.0.0.1:9898`; `rpm-cli classify --metrics-addr`
@@ -15,11 +23,40 @@
 //! (tests do), and read the actual address back from
 //! [`MetricsServer::local_addr`].
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Per-connection resource bounds for the metrics endpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServeLimits {
+    /// Socket read timeout: a peer that connects but never sends a
+    /// request is dropped after this long.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a peer that stops draining the response
+    /// is dropped after this long.
+    pub write_timeout: Duration,
+    /// Connections handled concurrently; arrivals past the bound get
+    /// an immediate `503`. `0` rejects everything (used by tests).
+    pub max_connections: usize,
+    /// Longest request line accepted, in bytes; longer gets `414`.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        Self {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_connections: 32,
+            max_request_bytes: 8 * 1024,
+        }
+    }
+}
 
 /// Handle to a running metrics endpoint. Dropping it shuts the server
 /// down (the global endpoint started by [`crate::ObsConfig::install`]
@@ -54,16 +91,22 @@ impl Drop for MetricsServer {
 }
 
 /// Binds `addr` (e.g. `127.0.0.1:9898`, port 0 for OS-assigned) and
-/// serves `/metrics` and `/healthz` on a background thread until the
-/// returned handle is shut down or dropped.
+/// serves `/metrics` and `/healthz` on a background thread with the
+/// default [`ServeLimits`] until the returned handle is shut down or
+/// dropped.
 pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
+    serve_with(addr, ServeLimits::default())
+}
+
+/// [`serve`] with explicit per-connection limits.
+pub fn serve_with(addr: &str, limits: ServeLimits) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
     let handle = std::thread::Builder::new()
         .name("rpm-obs-http".to_string())
-        .spawn(move || accept_loop(listener, &stop_flag))?;
+        .spawn(move || accept_loop(listener, &stop_flag, limits))?;
     Ok(MetricsServer {
         addr,
         stop,
@@ -91,47 +134,114 @@ pub fn serve_global(addr: &str) -> Option<SocketAddr> {
     })
 }
 
-fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+fn accept_loop(listener: TcpListener, stop: &AtomicBool, limits: ServeLimits) {
+    let in_flight = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
             break;
         }
-        if let Ok(stream) = conn {
-            // One bad connection must not kill the endpoint.
-            let _ = handle_connection(stream);
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream) -> std::io::Result<()> {
-    let mut reader = BufReader::new(stream);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    let path = request_line.split_whitespace().nth(1).unwrap_or("");
-
-    let mut stream = reader.into_inner();
-    match path {
-        "/metrics" => {
-            let body = crate::export::to_prometheus(&crate::metrics::snapshot());
-            respond(
+        let Ok(mut stream) = conn else { continue };
+        let _ = stream.set_read_timeout(Some(limits.read_timeout));
+        let _ = stream.set_write_timeout(Some(limits.write_timeout));
+        // Admission control happens on the accept thread: claim a slot
+        // before spawning so a flood can never pile up handler threads.
+        let claimed = in_flight
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                (n < limits.max_connections).then_some(n + 1)
+            })
+            .is_ok();
+        if !claimed {
+            crate::metrics().http_rejected.inc();
+            let _ = respond(
                 &mut stream,
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                &body,
-            )
+                "503 Service Unavailable",
+                "text/plain; charset=utf-8",
+                "busy\n",
+            );
+            close_gracefully(&stream);
+            continue;
         }
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
-        _ => respond(
-            &mut stream,
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n",
-        ),
+        let slots = Arc::clone(&in_flight);
+        let spawned = std::thread::Builder::new()
+            .name("rpm-obs-http-conn".to_string())
+            .spawn(move || {
+                // One bad connection (I/O error or an injected panic)
+                // must not kill the endpoint.
+                let _ = catch_unwind(AssertUnwindSafe(|| {
+                    let _ = handle_connection(stream, &limits);
+                }));
+                slots.fetch_sub(1, Ordering::Relaxed);
+            });
+        if spawned.is_err() {
+            in_flight.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
-fn respond(
-    stream: &mut TcpStream,
+fn handle_connection(stream: TcpStream, limits: &ServeLimits) -> std::io::Result<()> {
+    if let Err(e) = crate::fault::point("http.conn") {
+        crate::metrics().http_rejected.inc();
+        return Err(e);
+    }
+    // Cap how much of the request line we are willing to buffer; a
+    // request line that fills the cap without a newline is oversized.
+    let mut reader = BufReader::new((&stream).take(limits.max_request_bytes as u64));
+    let mut request_line = String::new();
+    let n = match reader.read_line(&mut request_line) {
+        Ok(n) => n,
+        Err(e) => {
+            // Read timeout or broken peer: drop the connection.
+            crate::metrics().http_rejected.inc();
+            return Err(e);
+        }
+    };
+    let mut writer = &stream;
+    let result = if n >= limits.max_request_bytes && !request_line.ends_with('\n') {
+        crate::metrics().http_rejected.inc();
+        respond(
+            &mut writer,
+            "414 URI Too Long",
+            "text/plain; charset=utf-8",
+            "request line too long\n",
+        )
+    } else {
+        let path = request_line.split_whitespace().nth(1).unwrap_or("");
+        match path {
+            "/metrics" => {
+                let body = crate::export::to_prometheus(&crate::metrics::snapshot());
+                respond(
+                    &mut writer,
+                    "200 OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &body,
+                )
+            }
+            "/healthz" => respond(&mut writer, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+            _ => respond(
+                &mut writer,
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                "not found\n",
+            ),
+        }
+    };
+    close_gracefully(&stream);
+    result
+}
+
+/// Orderly close: signal EOF to the peer, then drain (bounded) whatever
+/// request bytes it already sent. Closing with unread data in the
+/// receive buffer sends an RST that can race ahead of the response;
+/// draining first turns the close into a clean FIN. The drain is capped
+/// in bytes and by the socket read timeout, so a hostile peer cannot
+/// pin the handler.
+fn close_gracefully(stream: &TcpStream) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = std::io::copy(&mut stream.take(64 * 1024), &mut std::io::sink());
+}
+
+fn respond<W: Write>(
+    stream: &mut W,
     status: &str,
     content_type: &str,
     body: &str,
@@ -184,5 +294,68 @@ mod tests {
         // The port is released; rebinding succeeds.
         let rebound = TcpListener::bind(addr);
         assert!(rebound.is_ok(), "{rebound:?}");
+    }
+
+    #[test]
+    fn oversized_request_lines_get_414() {
+        let limits = ServeLimits {
+            max_request_bytes: 64,
+            ..ServeLimits::default()
+        };
+        let server = serve_with("127.0.0.1:0", limits).expect("bind");
+        let long_path = "/".repeat(200);
+        let response = get(server.local_addr(), &long_path);
+        assert!(response.starts_with("HTTP/1.0 414"), "{response}");
+        // The endpoint still serves normal requests afterwards.
+        let health = get(server.local_addr(), "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+    }
+
+    #[test]
+    fn connection_bound_rejects_with_503() {
+        let limits = ServeLimits {
+            max_connections: 0,
+            ..ServeLimits::default()
+        };
+        let server = serve_with("127.0.0.1:0", limits).expect("bind");
+        let response = get(server.local_addr(), "/healthz");
+        assert!(response.starts_with("HTTP/1.0 503"), "{response}");
+    }
+
+    #[test]
+    fn silent_peers_time_out_without_pinning_the_endpoint() {
+        let limits = ServeLimits {
+            read_timeout: Duration::from_millis(100),
+            max_connections: 1,
+            ..ServeLimits::default()
+        };
+        let server = serve_with("127.0.0.1:0", limits).expect("bind");
+        let addr = server.local_addr();
+        // A peer that connects and never writes holds the only slot…
+        let stuck = TcpStream::connect(addr).expect("connect");
+        // …until the read timeout reaps it and the slot frees up.
+        std::thread::sleep(Duration::from_millis(300));
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+        drop(stuck);
+    }
+
+    #[test]
+    fn injected_connection_faults_do_not_kill_the_endpoint() {
+        let _g = crate::test_lock();
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        crate::fault::install(crate::fault::parse("http.conn:panic:1:0").unwrap());
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let _ = write!(stream, "GET /healthz HTTP/1.0\r\n\r\n");
+        let mut sink = String::new();
+        // The handler dies before responding; the read observes EOF.
+        let _ = stream.read_to_string(&mut sink);
+        crate::fault::clear();
+
+        // The accept loop survived the handler panic.
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
     }
 }

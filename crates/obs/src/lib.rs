@@ -40,6 +40,7 @@
 
 pub mod diff;
 pub mod export;
+pub mod fault;
 pub mod http;
 pub mod logger;
 pub mod metrics;
@@ -48,6 +49,7 @@ pub mod span;
 
 pub use diff::{diff_reports, load_summary, DiffOptions, DiffReport, ReportSummary};
 pub use export::to_prometheus;
+pub use fault::{FaultKind, FaultSpec};
 pub use http::{serve, MetricsServer};
 pub use logger::LogEvent;
 pub use metrics::{metrics, CacheFamilyMetrics, Counter, Gauge, Histogram, MetricsSnapshot};
@@ -228,6 +230,7 @@ pub fn init_env() -> ObsConfig {
 /// `init_env_default(ObsLevel::Summary)` so `RPM_LOG=off` can silence
 /// them.
 pub fn init_env_default(default_level: ObsLevel) -> ObsConfig {
+    fault::init_env();
     let config = match std::env::var("RPM_LOG") {
         Ok(s) if !s.trim().is_empty() => ObsConfig::parse(&s),
         _ => ObsConfig {

@@ -354,6 +354,18 @@ pub struct Metrics {
     pub opt_direct_splits: Counter,
     /// `opt.direct.evals` — DIRECT objective evaluations.
     pub opt_direct_evals: Counter,
+    /// `fault.injected` — faults fired by the [`crate::fault`] layer.
+    pub faults_injected: Counter,
+    /// `train.degraded` — searches stopped early by an exhausted
+    /// `TrainBudget` (best-so-far parameters returned, model flagged).
+    pub train_degraded: Counter,
+    /// `data.quarantined` — input rows skipped by the lenient loaders
+    /// (NaN/Inf values, ragged lengths, unparseable fields).
+    pub data_quarantined: Counter,
+    /// `http.rejected` — metrics-endpoint connections refused or cut
+    /// short by the serving limits (concurrency bound, oversized or
+    /// timed-out requests).
+    pub http_rejected: Counter,
 }
 
 impl Metrics {
@@ -391,10 +403,14 @@ impl Metrics {
             ml_cfs_runs: Counter::new(),
             opt_direct_splits: Counter::new(),
             opt_direct_evals: Counter::new(),
+            faults_injected: Counter::new(),
+            train_degraded: Counter::new(),
+            data_quarantined: Counter::new(),
+            http_rejected: Counter::new(),
         }
     }
 
-    fn counter_entries(&self) -> [(&'static str, &Counter); 20] {
+    fn counter_entries(&self) -> [(&'static str, &Counter); 24] {
         [
             ("engine.runs", &self.engine_runs),
             ("engine.jobs", &self.engine_jobs),
@@ -416,6 +432,10 @@ impl Metrics {
             ("ml.svm_trains", &self.ml_svm_trains),
             ("ml.cv_splits", &self.ml_cv_splits),
             ("ml.cfs_runs", &self.ml_cfs_runs),
+            ("fault.injected", &self.faults_injected),
+            ("train.degraded", &self.train_degraded),
+            ("data.quarantined", &self.data_quarantined),
+            ("http.rejected", &self.http_rejected),
         ]
     }
 

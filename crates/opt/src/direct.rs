@@ -28,6 +28,13 @@ pub struct DirectParams {
     pub eps: f64,
     /// Worker threads for batch objective evaluation (`<= 1` = serial).
     pub n_threads: usize,
+    /// Wall-clock deadline for the whole run (`None` = unbounded).
+    /// Checked between iterations, so the optimizer stops at a division
+    /// boundary with the best point found so far — a deadline never
+    /// produces a torn division. Note that a deadline makes the search
+    /// trajectory depend on machine speed; leave it `None` when
+    /// reproducibility across runs matters more than bounded latency.
+    pub wall_clock: Option<std::time::Duration>,
 }
 
 impl Default for DirectParams {
@@ -37,6 +44,7 @@ impl Default for DirectParams {
             max_iters: 50,
             eps: 1e-4,
             n_threads: 1,
+            wall_clock: None,
         }
     }
 }
@@ -141,9 +149,15 @@ pub fn direct_minimize(
     }];
     let mut best_idx = 0usize;
 
+    let deadline = params
+        .wall_clock
+        .and_then(|d| std::time::Instant::now().checked_add(d));
     for _ in 0..params.max_iters {
         if evals >= params.max_evals {
             break;
+        }
+        if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+            break; // deadline: return the best division completed so far
         }
         let selected = potentially_optimal(&rects, rects[best_idx].f, params.eps);
         if selected.is_empty() {
@@ -441,6 +455,7 @@ mod tests {
                     max_iters: 80,
                     eps: 1e-4,
                     n_threads: threads,
+                    wall_clock: None,
                 },
             );
             assert_eq!(serial.x, parallel.x, "threads = {threads}");
@@ -471,6 +486,7 @@ mod tests {
                 max_iters: 50,
                 eps: 1e-4,
                 n_threads: 4,
+                wall_clock: None,
             },
         );
         assert_eq!(serial.0, parallel.0);

@@ -4,9 +4,13 @@
 //! rpm-cli train <TRAIN_FILE> --model <OUT> [--window W --paa P --alpha A]
 //!                                          [--direct N] [--gamma G]
 //!                                          [--rotation-invariant]
+//!         [--checkpoint PATH]              # resume parameter search
+//!         [--budget-evals N]               # stop after N fresh evals
+//!         [--budget-secs S]                # stop after S seconds
 //! rpm-cli classify <MODEL> <TEST_FILE>     # prints predictions + error
 //!         [--metrics-addr HOST:PORT]       # serve Prometheus /metrics
 //!         [--metrics-linger SECS]          # keep serving after classify
+//! rpm-cli model verify <MODEL>             # checksum + structure check
 //! rpm-cli patterns <MODEL>                 # prints the learned patterns
 //! rpm-cli motifs <SERIES_FILE> [--window W --paa P --alpha A]
 //!                                          # exploratory motifs/discords
@@ -17,12 +21,16 @@
 //! ```
 //!
 //! Files use the UCR archive format: one series per line, class label
-//! first, comma- or whitespace-separated. Run reports are the JSONL
+//! first, comma- or whitespace-separated; malformed rows (bad labels or
+//! values, NaN/Inf, ragged lengths) are quarantined with a summary on
+//! stderr rather than failing the command. Run reports are the JSONL
 //! files written via `RPM_LOG=spans,json=run.jsonl`.
 
-use rpm::core::{discover_motifs, find_discords, ParamSearch, RpmClassifier, RpmConfig};
+use rpm::core::{
+    discover_motifs, find_discords, ParamSearch, RpmClassifier, RpmConfig, TrainBudget,
+};
 use rpm::data::registry::spec_by_name;
-use rpm::data::ucr::{read_ucr_file, write_ucr};
+use rpm::data::ucr::{read_ucr_file, read_ucr_file_lenient, write_ucr, Quarantine};
 use rpm::ml::error_rate;
 use rpm::obs::{diff_reports, load_summary, DiffOptions};
 use rpm::sax::SaxConfig;
@@ -34,12 +42,13 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
+        Some("model") => cmd_model(&args[1..]),
         Some("patterns") => cmd_patterns(&args[1..]),
         Some("motifs") => cmd_motifs(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
         _ => {
-            eprintln!("usage: rpm-cli <train|classify|patterns|motifs|generate|obs> ...");
+            eprintln!("usage: rpm-cli <train|classify|model|patterns|motifs|generate|obs> ...");
             eprintln!("see the crate docs (src/bin/rpm-cli.rs) for full usage");
             return ExitCode::from(2);
         }
@@ -129,10 +138,19 @@ fn sax_from_flags(args: &[String], default_len: usize) -> Result<SaxConfig, Stri
     Ok(SaxConfig::new(window, paa.min(window), alpha))
 }
 
+/// Prints the lenient reader's verdict for a loaded file.
+fn report_quarantine(path: &str, q: &Quarantine) {
+    if q.is_clean() {
+        return;
+    }
+    eprintln!("warning: {path}: {}", q.summary());
+}
+
 fn cmd_train(args: &[String]) -> CliResult {
     let train_path = positional(args, 0)?;
     let model_path = flag_value(args, "--model")?.ok_or("train requires --model <OUT>")?;
-    let (train, _) = read_ucr_file(train_path)?;
+    let (train, _, quarantine) = read_ucr_file_lenient(train_path)?;
+    report_quarantine(train_path, &quarantine);
     eprintln!("loaded {train}");
 
     let param_search = if let Some(n) = parse_flag::<usize>(args, "--direct")? {
@@ -148,18 +166,57 @@ fn cmd_train(args: &[String]) -> CliResult {
             per_class: false,
         }
     };
+    let budget = TrainBudget {
+        wall_clock: parse_flag::<u64>(args, "--budget-secs")?.map(std::time::Duration::from_secs),
+        max_evals: parse_flag::<usize>(args, "--budget-evals")?,
+    };
     let config = RpmConfig {
         param_search,
         gamma: parse_flag::<f64>(args, "--gamma")?.unwrap_or(0.2),
         rotation_invariant: flag_present(args, "--rotation-invariant"),
+        budget,
+        checkpoint: flag_value(args, "--checkpoint")?.map(std::path::PathBuf::from),
         ..RpmConfig::default()
     };
     let model = RpmClassifier::train(&train, &config)?;
+    if model.is_degraded() {
+        eprintln!(
+            "warning: training budget exhausted before the parameter search \
+             finished; the model uses the best parameters found so far"
+        );
+    }
     eprintln!("learned {} representative patterns", model.patterns().len());
     eprintln!("training cache: {}", model.cache_stats());
     model.save(std::fs::File::create(&model_path)?)?;
     eprintln!("model written to {model_path}");
     Ok(())
+}
+
+fn cmd_model(args: &[String]) -> CliResult {
+    match args.first().map(String::as_str) {
+        Some("verify") => {
+            let rest = &args[1..];
+            let path = positional(rest, 0)?;
+            let report = RpmClassifier::verify(std::fs::File::open(path)?)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("{path}: OK (format v{})", report.version);
+            for (name, bytes) in &report.sections {
+                println!("  section {name:<9} {bytes} bytes, crc32 verified");
+            }
+            println!(
+                "  {} patterns, {} classes{}",
+                report.patterns,
+                report.classes,
+                if report.degraded {
+                    ", trained under an exhausted budget"
+                } else {
+                    ""
+                }
+            );
+            Ok(())
+        }
+        _ => Err("usage: rpm-cli model verify <MODEL>".into()),
+    }
 }
 
 fn cmd_classify(args: &[String]) -> CliResult {
@@ -187,7 +244,11 @@ fn cmd_classify(args: &[String]) -> CliResult {
         None => None,
     };
     let model = RpmClassifier::load(std::fs::File::open(model_path)?)?;
-    let (test, _) = read_ucr_file(test_path)?;
+    if model.is_degraded() {
+        eprintln!("note: model was trained under an exhausted budget");
+    }
+    let (test, _, quarantine) = read_ucr_file_lenient(test_path)?;
+    report_quarantine(test_path, &quarantine);
     let preds = model.predict_batch(&test.series);
     for p in &preds {
         println!("{p}");
