@@ -7,7 +7,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rpm_baselines::dtw_distance_banded;
 use rpm_grammar::infer;
 use rpm_sax::{discretize, SaxConfig};
-use rpm_ts::best_match;
+use rpm_ts::{best_match, best_match_naive, prepare_pattern};
 
 fn synthetic_series(len: usize, seed: u64) -> Vec<f64> {
     let mut state = seed.max(1);
@@ -33,6 +33,30 @@ fn bench_best_match(c: &mut Criterion) {
     g.bench_function("exhaustive", |b| {
         b.iter(|| best_match(black_box(&pattern), black_box(&series), false))
     });
+    g.finish();
+}
+
+/// Naive per-window z-normalization vs the rolling-statistics kernel, and
+/// the plan-reuse path that amortizes pattern preparation across series —
+/// the acceptance gate is rolling ≥ 3× naive for patterns ≥ 64 over
+/// series ≥ 1024 (see BENCH.md).
+fn bench_match_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("match_kernel");
+    for &(m, n) in &[(64usize, 2048usize), (64, 8192), (128, 2048), (128, 8192)] {
+        let series = synthetic_series(n, 7);
+        let pattern = series[n / 4..n / 4 + m].to_vec();
+        let id = format!("m{m}_n{n}");
+        g.bench_with_input(BenchmarkId::new("naive", &id), &pattern, |b, p| {
+            b.iter(|| best_match_naive(black_box(p), black_box(&series), true))
+        });
+        g.bench_with_input(BenchmarkId::new("rolling", &id), &pattern, |b, p| {
+            b.iter(|| best_match(black_box(p), black_box(&series), true))
+        });
+        let plan = prepare_pattern(&pattern);
+        g.bench_with_input(BenchmarkId::new("plan_reuse", &id), &plan, |b, plan| {
+            b.iter(|| plan.best_match(black_box(&series), true))
+        });
+    }
     g.finish();
 }
 
@@ -181,6 +205,7 @@ fn bench_predict_latency(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_best_match,
+    bench_match_kernel,
     bench_discretize,
     bench_sequitur,
     bench_dtw,

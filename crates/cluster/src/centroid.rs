@@ -63,8 +63,10 @@ pub fn centroid(members: &[&[f64]]) -> Option<Vec<f64>> {
 }
 
 /// Index of the member minimizing the summed distance to all other
-/// members. Returns `None` for an empty member set.
-pub fn medoid(members: &[&[f64]], mut dist: impl FnMut(&[f64], &[f64]) -> f64) -> Option<usize> {
+/// members. Returns `None` for an empty member set. Generic over the
+/// member representation so callers can pass raw slices or pre-prepared
+/// match plans.
+pub fn medoid<T: ?Sized>(members: &[&T], mut dist: impl FnMut(&T, &T) -> f64) -> Option<usize> {
     if members.is_empty() {
         return None;
     }
@@ -177,7 +179,7 @@ mod tests {
 
     #[test]
     fn medoid_empty_is_none() {
-        assert!(medoid(&[], |_, _| 0.0).is_none());
+        assert!(medoid::<[f64]>(&[], |_, _| 0.0).is_none());
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //!   probe heavily overlapping point sets; each distinct combination is
 //!   scored once per `train` call.
 //! * **Transform columns** — the distance of every series in a set to one
-//!   pattern, keyed by `(set, pattern fingerprint, rotation, abandoning)`.
-//!   The CFS selection transform and the final SVM transform share their
-//!   columns for every pattern that survives selection.
+//!   pattern, keyed by `(set, pattern fingerprint, rotation, abandoning,
+//!   kernel)`. The CFS selection transform and the final SVM transform
+//!   share their columns for every pattern that survives selection.
 //!
 //! All maps sit behind `std::sync::Mutex` (guarded locks; values are
 //! `Arc`-shared) so engine workers can hit the cache concurrently.
@@ -30,7 +30,7 @@
 
 use crate::engine::Engine;
 use rpm_sax::{paa_frames, words_from_frames, PaaFrame, SaxConfig, SaxWordAt};
-use rpm_ts::Label;
+use rpm_ts::{Label, MatchKernel};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -97,7 +97,7 @@ enum Family {
 type FramesKey = (SetId, Label, usize, usize);
 type WordsKey = (SetId, Label, SaxConfig, bool);
 pub(crate) type EvalValue = Option<(BTreeMap<Label, f64>, f64)>;
-type ColumnKey = (SetId, u64, bool, bool);
+type ColumnKey = (SetId, u64, bool, bool, MatchKernel);
 
 /// The per-training-run memoization cache. Construct one per
 /// `RpmClassifier::train` call (`RpmConfig::cache` gates it); a disabled
@@ -273,12 +273,19 @@ impl SaxCache {
         pattern: &[f64],
         rotation_invariant: bool,
         early_abandon: bool,
+        kernel: MatchKernel,
         compute: impl FnOnce() -> Vec<f64>,
     ) -> Arc<Vec<f64>> {
         if !self.enabled {
             return Arc::new(compute());
         }
-        let key = (set, fingerprint(pattern), rotation_invariant, early_abandon);
+        let key = (
+            set,
+            fingerprint(pattern),
+            rotation_invariant,
+            early_abandon,
+            kernel,
+        );
         if let Some(v) = self.columns.lock().ok().and_then(|m| m.get(&key).cloned()) {
             self.record(Family::Columns, true);
             return v;
@@ -498,9 +505,10 @@ mod tests {
         let cache = SaxCache::new(true);
         let p1 = vec![1.0, 2.0, 3.0];
         let p2 = vec![1.0, 2.0, 3.0 + 1e-12];
-        let c1 = cache.column(SetId::FullTrain, &p1, false, true, || vec![0.1]);
-        let c2 = cache.column(SetId::FullTrain, &p2, false, true, || vec![0.2]);
-        let c1_again = cache.column(SetId::FullTrain, &p1, false, true, || vec![9.9]);
+        let k = MatchKernel::Rolling;
+        let c1 = cache.column(SetId::FullTrain, &p1, false, true, k, || vec![0.1]);
+        let c2 = cache.column(SetId::FullTrain, &p2, false, true, k, || vec![0.2]);
+        let c1_again = cache.column(SetId::FullTrain, &p1, false, true, k, || vec![9.9]);
         assert_eq!(*c1, vec![0.1]);
         assert_eq!(
             *c2,
@@ -508,6 +516,15 @@ mod tests {
             "bit-different patterns get their own column"
         );
         assert_eq!(*c1_again, vec![0.1], "exact repeat is served from memory");
+        let naive = cache.column(
+            SetId::FullTrain,
+            &p1,
+            false,
+            true,
+            MatchKernel::Naive,
+            || vec![0.3],
+        );
+        assert_eq!(*naive, vec![0.3], "kernels get separate columns");
     }
 
     #[test]

@@ -13,11 +13,11 @@ use crate::cache::{Ctx, SaxCache};
 use crate::config::GrammarAlgorithm;
 use crate::config::RpmConfig;
 use crate::engine::Engine;
-use crate::transform::pattern_distance;
+use crate::transform::pattern_distance_plans;
 use rpm_cluster::{bisect_refine, centroid, medoid};
 use rpm_grammar::{infer_repair, Sequitur, Token};
 use rpm_sax::{SaxConfig, SaxWord};
-use rpm_ts::{znorm, Label};
+use rpm_ts::{znorm, Label, MatchPlan};
 use std::collections::HashMap;
 
 /// A candidate representative pattern for one class.
@@ -182,17 +182,25 @@ pub(crate) fn find_candidates_for_class_ctx(
                 .collect();
         }
 
-        // Materialize the subsequences once.
+        // Materialize the subsequences once, and a match plan per
+        // subsequence: refinement, the τ pool, and medoid selection all
+        // compare the same O(u) subsequences O(u²) times, so the per-
+        // pattern preparation (z-normalization + |zp| sort) is paid once
+        // here instead of once per pair.
         let subs: Vec<&[f64]> = occs
             .iter()
             .map(|o| &members[o.instance][o.start..o.end])
+            .collect();
+        let plans: Vec<MatchPlan> = subs
+            .iter()
+            .map(|s| MatchPlan::with_kernel(s, config.kernel))
             .collect();
 
         // --- Refinement: iterative bisection with complete linkage over
         //     closest-match distances.
         let clusters = bisect_refine(
             subs.len(),
-            |i, j| pattern_distance(subs[i], subs[j], config.early_abandon),
+            |i, j| pattern_distance_plans(&plans[i], &plans[j], config.early_abandon),
             &config.bisect,
         );
 
@@ -207,17 +215,18 @@ pub(crate) fn find_candidates_for_class_ctx(
             // Record the τ pool.
             for (a, &i) in cluster.iter().enumerate() {
                 for &j in &cluster[a + 1..] {
-                    out.intra_cluster_distances.push(pattern_distance(
-                        subs[i],
-                        subs[j],
+                    out.intra_cluster_distances.push(pattern_distance_plans(
+                        &plans[i],
+                        &plans[j],
                         config.early_abandon,
                     ));
                 }
             }
             let members_refs: Vec<&[f64]> = cluster.iter().map(|&i| subs[i]).collect();
             let values = if config.use_medoid {
-                let m = medoid(&members_refs, |a, b| {
-                    pattern_distance(a, b, config.early_abandon)
+                let cluster_plans: Vec<&MatchPlan> = cluster.iter().map(|&i| &plans[i]).collect();
+                let m = medoid(&cluster_plans, |a, b| {
+                    pattern_distance_plans(a, b, config.early_abandon)
                 })
                 .expect("cluster is non-empty");
                 znorm(members_refs[m])
@@ -242,6 +251,7 @@ pub(crate) fn find_candidates_for_class_ctx(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transform::pattern_distance;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

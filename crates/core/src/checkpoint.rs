@@ -276,6 +276,7 @@ pub(crate) fn context_fingerprint(train: &Dataset, config: &RpmConfig) -> u64 {
     mix(u64::from(config.use_medoid));
     mix(u64::from(config.rotation_invariant));
     mix(u64::from(config.early_abandon));
+    mix(config.kernel as u64);
     mix(config.max_occurrences_per_rule as u64);
     mix(config.max_candidates as u64);
     mix(config.grammar as u64);

@@ -6,6 +6,7 @@ use rpm_cluster::BisectParams;
 use rpm_ml::{CfsParams, SvmParams};
 use rpm_obs::ObsConfig;
 use rpm_sax::{SaxConfig, MAX_ALPHABET, MIN_ALPHABET};
+use rpm_ts::MatchKernel;
 use std::fmt;
 use std::time::Duration;
 
@@ -152,6 +153,13 @@ pub struct RpmConfig {
     /// Early-abandon the closest-match search (§5.3). Off only for the
     /// ablation benchmark; results are identical either way.
     pub early_abandon: bool,
+    /// Closest-match kernel implementation: the fused rolling-statistics
+    /// kernel (default) or the pre-optimization per-window re-normalizing
+    /// scan. The two are tolerance-equal (≤1e-9 relative distance, exact
+    /// match positions — see `tests/kernel_diff.rs`); `Naive` exists for
+    /// the differential regression tests and the ablation benchmark.
+    /// Not persisted: loaded models always serve with the default kernel.
+    pub kernel: MatchKernel,
     /// Cap on occurrences per grammar rule fed to the O(u³) clustering;
     /// larger rules are uniformly subsampled (engineering guard, see
     /// DESIGN.md).
@@ -214,6 +222,7 @@ impl Default for RpmConfig {
             use_medoid: false,
             rotation_invariant: false,
             early_abandon: true,
+            kernel: MatchKernel::Rolling,
             max_occurrences_per_rule: 64,
             max_candidates: 48,
             bisect: BisectParams::default(),
@@ -325,6 +334,13 @@ impl RpmConfigBuilder {
     /// Toggle early abandoning in closest-match scans (§5.3).
     pub fn early_abandon(mut self, on: bool) -> Self {
         self.config.early_abandon = on;
+        self
+    }
+
+    /// Closest-match kernel implementation (rolling-statistics default,
+    /// naive re-normalizing scan for differential tests and ablations).
+    pub fn kernel(mut self, kernel: MatchKernel) -> Self {
+        self.config.kernel = kernel;
         self
     }
 
@@ -461,6 +477,7 @@ mod tests {
         assert!(c.numerosity_reduction);
         assert!(!c.use_medoid);
         assert!(c.early_abandon);
+        assert_eq!(c.kernel, MatchKernel::Rolling, "rolling kernel by default");
         assert_eq!(c.n_threads, 1, "serial by default");
         assert!(c.cache);
     }

@@ -11,9 +11,9 @@ use crate::cache::{Ctx, SaxCache};
 use crate::candidates::Candidate;
 use crate::config::RpmConfig;
 use crate::engine::{Engine, EngineError};
-use crate::transform::{pattern_distance, transform_set_ctx};
+use crate::transform::{pattern_distance_plans, transform_set_ctx};
 use rpm_ml::cfs_select;
-use rpm_ts::{percentile, Label};
+use rpm_ts::{percentile, Label, MatchKernel, MatchPlan};
 
 /// The τ similarity threshold: the configured percentile of the pooled
 /// intra-cluster distances. Returns 0.0 when the pool is empty (no
@@ -30,19 +30,30 @@ pub fn compute_tau(intra_cluster_distances: &[f64], tau_percentile: f64) -> f64 
 /// in descending frequency order, a candidate within τ of an already-kept
 /// one is dropped — equivalent to the paper's replace-if-more-frequent
 /// bookkeeping, without the in-place swaps.
-pub fn remove_similar(
+pub fn remove_similar(candidates: Vec<Candidate>, tau: f64, early_abandon: bool) -> Vec<Candidate> {
+    remove_similar_kernel(candidates, tau, early_abandon, MatchKernel::default())
+}
+
+/// [`remove_similar`] with an explicit closest-match kernel. Each
+/// candidate's match plan is prepared once up front; the O(pool²) dedup
+/// scan then reuses them for every pairwise comparison.
+pub fn remove_similar_kernel(
     mut candidates: Vec<Candidate>,
     tau: f64,
     early_abandon: bool,
+    kernel: MatchKernel,
 ) -> Vec<Candidate> {
     candidates.sort_by_key(|c| std::cmp::Reverse(c.frequency));
     let mut kept: Vec<Candidate> = Vec::new();
+    let mut kept_plans: Vec<MatchPlan> = Vec::new();
     for c in candidates {
-        let similar = kept
+        let plan = MatchPlan::with_kernel(&c.values, kernel);
+        let similar = kept_plans
             .iter()
-            .any(|k| pattern_distance(&c.values, &k.values, early_abandon) < tau);
+            .any(|k| pattern_distance_plans(&plan, k, early_abandon) < tau);
         if !similar {
             kept.push(c);
+            kept_plans.push(plan);
         }
     }
     kept
@@ -92,7 +103,7 @@ pub(crate) fn select_representative_ctx(
         .add(candidates.len() as u64);
     let tau = compute_tau(intra_cluster_distances, config.tau_percentile);
     let dedup_span = rpm_obs::span!("dedup");
-    let mut deduped = remove_similar(candidates, tau, config.early_abandon);
+    let mut deduped = remove_similar_kernel(candidates, tau, config.early_abandon, config.kernel);
     if deduped.len() > config.max_candidates {
         // Keep the candidates covering the most training instances (ties
         // broken by raw frequency); the transform below is the training
@@ -107,7 +118,14 @@ pub(crate) fn select_representative_ctx(
     }
     // Transform the training set into the candidate-distance space.
     let pattern_values: Vec<Vec<f64>> = deduped.iter().map(|c| c.values.clone()).collect();
-    let rows = transform_set_ctx(train, &pattern_values, false, config.early_abandon, ctx)?;
+    let rows = transform_set_ctx(
+        train,
+        &pattern_values,
+        false,
+        config.early_abandon,
+        config.kernel,
+        ctx,
+    )?;
     let cfs_span = rpm_obs::span!("cfs");
     rpm_obs::metrics().cfs_features_in.add(deduped.len() as u64);
     let selected = cfs_select(&rows, labels, &config.cfs);

@@ -51,7 +51,7 @@ pub use checkpoint::CheckpointError;
 pub use config::{
     ConfigError, GrammarAlgorithm, ParamSearch, RpmConfig, RpmConfigBuilder, TrainBudget,
 };
-pub use distinct::{compute_tau, remove_similar, select_representative};
+pub use distinct::{compute_tau, remove_similar, remove_similar_kernel, select_representative};
 pub use engine::{Engine, EngineError};
 pub use explore::{
     discover_motifs, discover_motifs_batch, find_discords, find_discords_batch, rule_coverage,
@@ -61,6 +61,9 @@ pub use model::{Pattern, RpmClassifier, TrainError};
 pub use params::{default_bounds, search_parameters, SearchOutcome};
 pub use persist::PersistError;
 pub use rpm_obs::{ObsConfig, ObsLevel};
+pub use rpm_ts::{MatchKernel, MatchPlan};
 pub use transform::{
-    pattern_distance, transform_series, transform_set, transform_set_engine, transform_set_parallel,
+    pattern_distance, pattern_distance_plans, prepare_patterns, transform_series,
+    transform_series_plans, transform_set, transform_set_engine, transform_set_parallel,
+    transform_set_plans_engine,
 };

@@ -6,11 +6,13 @@ use crate::config::{ParamSearch, RpmConfig};
 use crate::distinct::select_representative_ctx;
 use crate::engine::{Engine, EngineError};
 use crate::params::search_parameters_ctx;
-use crate::transform::{transform_series, transform_set_ctx, transform_set_parallel};
+use crate::transform::{
+    prepare_patterns, transform_series_plans, transform_set_ctx, transform_set_plans_engine,
+};
 use crate::usage::{render_usage, PatternStats, PatternUsage};
 use rpm_ml::{LinearSvm, SvmParams};
 use rpm_sax::SaxConfig;
-use rpm_ts::{Dataset, Label};
+use rpm_ts::{Dataset, Label, MatchPlan};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -68,7 +70,13 @@ impl From<EngineError> for TrainError {
 #[derive(Clone, Debug)]
 pub struct RpmClassifier {
     pub(crate) patterns: Vec<Pattern>,
-    pub(crate) pattern_values: Vec<Vec<f64>>,
+    /// One prepared closest-match plan per pattern (same order as
+    /// `patterns`): the per-pattern z-normalization and early-abandon
+    /// sort are paid once at construction and reused by every
+    /// `transform`/`predict` call. Rebuilt (with the default kernel)
+    /// when a model is loaded from disk — the kernel is an execution
+    /// strategy, not part of the persisted model.
+    pub(crate) plans: Vec<MatchPlan>,
     pub(crate) svm: LinearSvm,
     pub(crate) per_class_sax: BTreeMap<Label, SaxConfig>,
     pub(crate) rotation_invariant: bool,
@@ -251,15 +259,17 @@ impl RpmClassifier {
             &pattern_values,
             false,
             config.early_abandon,
+            config.kernel,
             ctx,
         )?;
         let svm = LinearSvm::train(&rows, &train.labels, &config.svm);
         drop(svm_span);
 
+        let plans = prepare_patterns(&pattern_values, config.kernel);
         let usage = PatternUsage::new(pattern_values.len());
         Ok(Self {
             patterns: selected,
-            pattern_values,
+            plans,
             svm,
             per_class_sax: per_class_sax.clone(),
             rotation_invariant: config.rotation_invariant,
@@ -270,11 +280,12 @@ impl RpmClassifier {
         })
     }
 
-    /// Transforms a series into this model's feature space.
+    /// Transforms a series into this model's feature space, reusing the
+    /// per-pattern match plans built at training (or load) time.
     pub fn transform(&self, series: &[f64]) -> Vec<f64> {
-        transform_series(
+        transform_series_plans(
             series,
-            &self.pattern_values,
+            &self.plans,
             self.rotation_invariant,
             self.early_abandon,
         )
@@ -323,12 +334,12 @@ impl RpmClassifier {
         let m = rpm_obs::metrics();
         m.predict_batches.inc();
         m.predict_series.add(series.len() as u64);
-        let rows = transform_set_parallel(
+        let rows = transform_set_plans_engine(
             series,
-            &self.pattern_values,
+            &self.plans,
             self.rotation_invariant,
             self.early_abandon,
-            n_threads,
+            &Engine::new(n_threads.max(1)),
         )?;
         if rpm_obs::enabled() {
             // The parallel path bypasses `predict`; feed utilization from

@@ -237,9 +237,13 @@ impl Parts {
         let pattern_values: Vec<Vec<f64>> =
             self.patterns.iter().map(|p| p.values.clone()).collect();
         let n_patterns = pattern_values.len();
+        // The match kernel is an execution strategy, not part of the
+        // model: loaded models always serve with the default (rolling)
+        // kernel, whatever they were trained with.
+        let plans = crate::transform::prepare_patterns(&pattern_values, Default::default());
         Ok(RpmClassifier {
             patterns: self.patterns,
-            pattern_values,
+            plans,
             svm,
             per_class_sax: self.per_class_sax,
             rotation_invariant: self.rotation_invariant,
@@ -717,7 +721,11 @@ mod tests {
         let (model, _) = trained();
         let mut buf = Vec::new();
         model.save(&mut buf).unwrap();
-        for len in (0..buf.len()).step_by(13) {
+        // Up to len-2: dropping only the final newline leaves a complete
+        // `END` sentinel (take_line accepts an unterminated last line), and
+        // every payload is still CRC-verified — that is a complete model,
+        // not a truncation.
+        for len in (0..buf.len().saturating_sub(1)).step_by(13) {
             assert!(
                 RpmClassifier::load(&buf[..len]).is_err(),
                 "truncation to {len} bytes loaded cleanly"

@@ -11,11 +11,18 @@
 //! counter and results merge by index, so the parallel output is
 //! bit-identical to the serial one, and worker panics surface as
 //! [`EngineError`] values instead of aborting the process.
+//!
+//! Every transform here is built on [`MatchPlan`]s: the per-pattern
+//! closest-match preparation (z-normalization, the early-abandon |zp|
+//! sort, `Σzp²`) is computed **once** per pattern and reused across every
+//! series it is matched against — the train-set transform, CFS scoring
+//! and batch prediction all pay O(patterns) plan builds instead of
+//! O(patterns · series).
 
 use crate::cache::Ctx;
 use crate::engine::{Engine, EngineError};
 use rpm_cluster::resample;
-use rpm_ts::{best_match, euclidean, rotate_half, znorm};
+use rpm_ts::{euclidean, rotate_half, znorm, MatchKernel, MatchPlan};
 
 /// Distance between two patterns / subsequences of possibly different
 /// lengths: the shorter is slid over the longer (both z-normalized) and
@@ -25,55 +32,93 @@ use rpm_ts::{best_match, euclidean, rotate_half, znorm};
 /// function total).
 pub fn pattern_distance(a: &[f64], b: &[f64], early_abandon: bool) -> f64 {
     let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    match best_match(short, long, early_abandon) {
+    match MatchPlan::new(short).best_match(long, early_abandon) {
         Some(m) => m.distance,
         None => f64::INFINITY,
     }
 }
 
-/// Closest-match distance of `pattern` inside `series`, with the
+/// [`pattern_distance`] between two *prepared* sides: the shorter plan is
+/// slid over the longer side's raw values. Callers holding a plan per
+/// subsequence (candidate refinement, the τ pool, medoid selection) avoid
+/// re-preparing the shorter pattern on every pair.
+pub fn pattern_distance_plans(a: &MatchPlan, b: &MatchPlan, early_abandon: bool) -> f64 {
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    match short.best_match(long.raw(), early_abandon) {
+        Some(m) => m.distance,
+        None => f64::INFINITY,
+    }
+}
+
+/// Prepares one [`MatchPlan`] per pattern with the given kernel — the
+/// entry ticket to every plan-based transform below.
+pub fn prepare_patterns(patterns: &[Vec<f64>], kernel: MatchKernel) -> Vec<MatchPlan> {
+    patterns
+        .iter()
+        .map(|p| MatchPlan::with_kernel(p, kernel))
+        .collect()
+}
+
+/// Closest-match distance of a prepared pattern inside `series`, with the
 /// resampling fallback for a pattern longer than the series (possible when
 /// test series are shorter than the training series the pattern came
 /// from): the pattern is linearly resampled to the series length and
 /// compared directly, keeping the feature finite.
-fn feature_distance(pattern: &[f64], series: &[f64], early_abandon: bool) -> f64 {
-    if pattern.len() <= series.len() {
-        match best_match(pattern, series, early_abandon) {
+fn feature_distance_plan(plan: &MatchPlan, series: &[f64], early_abandon: bool) -> f64 {
+    if plan.len() <= series.len() {
+        match plan.best_match(series, early_abandon) {
             Some(m) => m.distance,
             None => 0.0, // empty pattern: degenerate, treat as zero signal
         }
     } else {
-        let shrunk = resample(pattern, series.len());
+        let shrunk = resample(plan.raw(), series.len());
         let d = euclidean(&znorm(&shrunk), &znorm(series));
         d / (series.len() as f64).sqrt()
     }
 }
 
-/// Transforms one series into the K-dimensional pattern-distance vector.
+/// Transforms one series into the K-dimensional pattern-distance vector
+/// using pre-built plans — the zero-per-call-preparation entry point for
+/// repeated (serving) transforms.
 ///
 /// While `rpm-obs` is enabled each call also feeds the
 /// `transform.series_ns` histogram; the disabled path skips the clock
 /// reads entirely.
-pub fn transform_series(
+pub fn transform_series_plans(
     series: &[f64],
-    patterns: &[Vec<f64>],
+    plans: &[MatchPlan],
     rotation_invariant: bool,
     early_abandon: bool,
 ) -> Vec<f64> {
     if !rpm_obs::enabled() {
-        return transform_series_inner(series, patterns, rotation_invariant, early_abandon);
+        return transform_series_inner(series, plans, rotation_invariant, early_abandon);
     }
     let start = rpm_obs::now_ns();
-    let out = transform_series_inner(series, patterns, rotation_invariant, early_abandon);
+    let out = transform_series_inner(series, plans, rotation_invariant, early_abandon);
     rpm_obs::metrics()
         .transform_series
         .observe(rpm_obs::now_ns().saturating_sub(start));
     out
 }
 
-fn transform_series_inner(
+/// Transforms one series into the K-dimensional pattern-distance vector.
+///
+/// Prepares a plan per pattern on every call; callers transforming more
+/// than one series should use [`prepare_patterns`] +
+/// [`transform_series_plans`] instead.
+pub fn transform_series(
     series: &[f64],
     patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+) -> Vec<f64> {
+    let plans = prepare_patterns(patterns, MatchKernel::default());
+    transform_series_plans(series, &plans, rotation_invariant, early_abandon)
+}
+
+fn transform_series_inner(
+    series: &[f64],
+    plans: &[MatchPlan],
     rotation_invariant: bool,
     early_abandon: bool,
 ) -> Vec<f64> {
@@ -82,35 +127,50 @@ fn transform_series_inner(
     } else {
         None
     };
-    patterns
+    plans
         .iter()
         .map(|p| {
-            let d = feature_distance(p, series, early_abandon);
+            let d = feature_distance_plan(p, series, early_abandon);
             match &rotated {
-                Some(r) => d.min(feature_distance(p, r, early_abandon)),
+                Some(r) => d.min(feature_distance_plan(p, r, early_abandon)),
                 None => d,
             }
         })
         .collect()
 }
 
-/// Transforms a whole set of series.
+/// Transforms a whole set of series (plans prepared once internally).
 pub fn transform_set(
     series: &[Vec<f64>],
     patterns: &[Vec<f64>],
     rotation_invariant: bool,
     early_abandon: bool,
 ) -> Vec<Vec<f64>> {
+    let plans = prepare_patterns(patterns, MatchKernel::default());
     series
         .iter()
-        .map(|s| transform_series(s, patterns, rotation_invariant, early_abandon))
+        .map(|s| transform_series_plans(s, &plans, rotation_invariant, early_abandon))
         .collect()
 }
 
-/// [`transform_set`] on an explicit [`Engine`]: series are distributed
-/// across the engine's workers and merged by index, so results are
-/// identical to the serial version. A panic inside a worker becomes an
-/// [`EngineError`] instead of a process abort.
+/// Plan-based [`transform_set`] on an explicit [`Engine`]: series are
+/// distributed across the engine's workers and merged by index, so
+/// results are identical to the serial version. A panic inside a worker
+/// becomes an [`EngineError`] instead of a process abort.
+pub fn transform_set_plans_engine(
+    series: &[Vec<f64>],
+    plans: &[MatchPlan],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    engine: &Engine,
+) -> Result<Vec<Vec<f64>>, EngineError> {
+    engine.map(series, |_, s| {
+        transform_series_plans(s, plans, rotation_invariant, early_abandon)
+    })
+}
+
+/// [`transform_set`] on an explicit [`Engine`] (plans prepared once
+/// internally with the default kernel).
 pub fn transform_set_engine(
     series: &[Vec<f64>],
     patterns: &[Vec<f64>],
@@ -118,9 +178,8 @@ pub fn transform_set_engine(
     early_abandon: bool,
     engine: &Engine,
 ) -> Result<Vec<Vec<f64>>, EngineError> {
-    engine.map(series, |_, s| {
-        transform_series(s, patterns, rotation_invariant, early_abandon)
-    })
+    let plans = prepare_patterns(patterns, MatchKernel::default());
+    transform_set_plans_engine(series, &plans, rotation_invariant, early_abandon, engine)
 }
 
 /// Parallel [`transform_set`] over `n_threads` workers — the batch
@@ -154,6 +213,7 @@ pub(crate) fn transform_set_ctx(
     patterns: &[Vec<f64>],
     rotation_invariant: bool,
     early_abandon: bool,
+    kernel: MatchKernel,
     ctx: &Ctx<'_>,
 ) -> Result<Vec<Vec<f64>>, EngineError> {
     let _span = rpm_obs::span!("transform");
@@ -163,20 +223,30 @@ pub(crate) fn transform_set_ctx(
     let rotated: Option<Vec<Vec<f64>>> =
         rotation_invariant.then(|| series.iter().map(|s| rotate_half(s)).collect());
     let columns = ctx.engine.map(patterns, |_, p| {
-        ctx.cache
-            .column(ctx.set, p, rotation_invariant, early_abandon, || {
+        ctx.cache.column(
+            ctx.set,
+            p,
+            rotation_invariant,
+            early_abandon,
+            kernel,
+            || {
+                // One plan per column, reused across every series in the
+                // set — the per-pattern sort and normalization amortize
+                // over the whole column.
+                let plan = MatchPlan::with_kernel(p, kernel);
                 series
                     .iter()
                     .enumerate()
                     .map(|(i, s)| {
-                        let d = feature_distance(p, s, early_abandon);
+                        let d = feature_distance_plan(&plan, s, early_abandon);
                         match &rotated {
-                            Some(r) => d.min(feature_distance(p, &r[i], early_abandon)),
+                            Some(r) => d.min(feature_distance_plan(&plan, &r[i], early_abandon)),
                             None => d,
                         }
                     })
                     .collect()
-            })
+            },
+        )
     })?;
     Ok((0..series.len())
         .map(|i| columns.iter().map(|c| c[i]).collect())
@@ -303,7 +373,9 @@ mod tests {
                 let ctx = Ctx::new(Engine::new(threads), &cache);
                 // Twice: cold (misses) then warm (all columns hit).
                 for _ in 0..2 {
-                    let got = transform_set_ctx(&set, &pats, rotation, true, &ctx).unwrap();
+                    let got =
+                        transform_set_ctx(&set, &pats, rotation, true, MatchKernel::Rolling, &ctx)
+                            .unwrap();
                     assert_eq!(plain, got, "rotation={rotation} threads={threads}");
                 }
             }
@@ -311,6 +383,51 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 6, "3 patterns x 2 rotation variants");
         assert!(stats.hits >= 18, "repeats served from memory: {stats:?}");
+    }
+
+    #[test]
+    fn plan_transforms_match_per_call_preparation() {
+        let set: Vec<Vec<f64>> = (0..7).map(|k| bump(6 + 2 * k, 52)).collect();
+        let pats = vec![bump(3, 11), bump(8, 19)];
+        let plans = prepare_patterns(&pats, MatchKernel::Rolling);
+        for s in &set {
+            assert_eq!(
+                transform_series(s, &pats, true, true),
+                transform_series_plans(s, &plans, true, true)
+            );
+        }
+    }
+
+    #[test]
+    fn naive_kernel_transform_agrees_with_rolling() {
+        let set: Vec<Vec<f64>> = (0..5).map(|k| bump(9 + 4 * k, 64)).collect();
+        let pats = vec![bump(4, 13), bump(2, 21)];
+        let rolling = prepare_patterns(&pats, MatchKernel::Rolling);
+        let naive = prepare_patterns(&pats, MatchKernel::Naive);
+        for s in &set {
+            let a = transform_series_plans(s, &rolling, false, true);
+            let b = transform_series_plans(s, &naive, false, true);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= 1e-9 * x.abs().max(1.0), "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_distance_plans_matches_raw_form() {
+        let a = bump(10, 30);
+        let b = bump(20, 50);
+        let pa = MatchPlan::new(&a);
+        let pb = MatchPlan::new(&b);
+        assert_eq!(
+            pattern_distance(&a, &b, true),
+            pattern_distance_plans(&pa, &pb, true)
+        );
+        assert_eq!(
+            pattern_distance_plans(&pa, &pb, true),
+            pattern_distance_plans(&pb, &pa, true),
+            "plan form stays symmetric"
+        );
     }
 
     #[test]

@@ -29,9 +29,14 @@ pub mod windows;
 pub use classifier::Classifier;
 pub use dataset::{ClassView, Dataset, Label};
 pub use dist::{euclidean, euclidean_early_abandon, sq_euclidean, sq_euclidean_early_abandon};
-pub use matching::{best_match, closest_match_distance, BestMatch};
+pub use matching::{
+    best_match, best_match_naive, closest_match_distance, prepare_pattern, BestMatch, MatchKernel,
+    MatchPlan,
+};
 pub use norm::{znorm, znorm_in_place, znorm_into, ZNORM_EPSILON};
 pub use paa::paa;
 pub use rotate::{rotate, rotate_half};
-pub use stats::{mean, percentile, std_dev};
+pub use stats::{
+    compensated_mean, compensated_sum, mean, percentile, std_dev, CompensatedSum, RollingStats,
+};
 pub use windows::sliding_windows;

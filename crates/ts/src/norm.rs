@@ -1,13 +1,46 @@
 //! Z-normalization.
 //!
 //! Every subsequence the paper's pipeline touches is z-normalized before
-//! discretization or distance computation (§3.2.1). A subsequence whose
-//! standard deviation falls below [`ZNORM_EPSILON`] is treated as constant
-//! and mapped to all zeros, the standard guard used by the SAX literature to
-//! avoid amplifying quantization noise on flat segments.
+//! discretization or distance computation (§3.2.1).
+//!
+//! # The σ = 0 convention
+//!
+//! A subsequence whose population standard deviation falls below
+//! [`ZNORM_EPSILON`] is treated as constant and mapped to **all zeros**,
+//! the standard guard used by the SAX literature to avoid amplifying
+//! quantization noise on flat segments. This single convention is shared
+//! by every kernel in the workspace: the functions here, the naive
+//! closest-match oracle ([`crate::matching::best_match_naive`]), and the
+//! fused rolling-statistics kernel ([`crate::matching::best_match`]) all
+//! compare the *same population σ* against the *same threshold*, so a
+//! constant window scores the distance `‖z(pattern)‖` in every
+//! implementation. The differential kernel suite (`tests/kernel_diff.rs`)
+//! pins the convention.
+//!
+//! Means and variances are computed with Neumaier-compensated summation
+//! ([`crate::stats::CompensatedSum`]): plain `f64` summation leaks
+//! O(n·ε·|offset|) into the mean for series riding a large baseline
+//! (absolute-unit sensors), which is exactly the regime the rolling
+//! kernel's differential tests exercise at 1e-9 tolerance.
+
+use crate::stats::{compensated_mean, CompensatedSum};
 
 /// Standard deviation below which a window counts as constant.
 pub const ZNORM_EPSILON: f64 = 1e-10;
+
+/// Compensated mean and population standard deviation of `x` — the
+/// shared two-pass recompute behind both z-normalization and the naive
+/// matching oracle.
+#[inline]
+fn mean_sd(x: &[f64]) -> (f64, f64) {
+    let mean = compensated_mean(x);
+    let mut acc = CompensatedSum::new();
+    for &v in x {
+        let d = v - mean;
+        acc.add(d * d);
+    }
+    (mean, (acc.value() / x.len() as f64).sqrt())
+}
 
 /// Returns the z-normalized copy of `x`.
 ///
@@ -31,10 +64,7 @@ pub fn znorm_into(x: &[f64], out: &mut [f64]) {
     if x.is_empty() {
         return;
     }
-    let n = x.len() as f64;
-    let mean = x.iter().sum::<f64>() / n;
-    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    let sd = var.sqrt();
+    let (mean, sd) = mean_sd(x);
     if sd < ZNORM_EPSILON {
         out.fill(0.0);
     } else {
@@ -49,10 +79,7 @@ pub fn znorm_in_place(x: &mut [f64]) {
     if x.is_empty() {
         return;
     }
-    let n = x.len() as f64;
-    let mean = x.iter().sum::<f64>() / n;
-    let var = x.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-    let sd = var.sqrt();
+    let (mean, sd) = mean_sd(x);
     if sd < ZNORM_EPSILON {
         x.fill(0.0);
     } else {
@@ -88,6 +115,26 @@ mod tests {
     fn near_constant_series_maps_to_zero() {
         let z = znorm(&[1.0, 1.0 + 1e-13, 1.0]);
         assert!(z.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn constant_series_on_large_baseline_maps_to_zero() {
+        // The σ=0 convention must survive absolute-unit baselines: the
+        // compensated mean leaves no rounding residue that would push σ
+        // past ZNORM_EPSILON.
+        assert_eq!(znorm(&[1e8; 16]), vec![0.0; 16]);
+        assert_eq!(znorm(&[-3.7e9; 5]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn large_offset_preserves_zscores() {
+        // The same shape riding a 1e6 baseline must z-normalize to the
+        // same values to well under the kernel suite's 1e-9 tolerance.
+        let base = [0.3, -1.2, 2.0, 0.7, -0.4, 1.1, -2.2, 0.9];
+        let shifted: Vec<f64> = base.iter().map(|v| v + 1e6).collect();
+        for (a, b) in znorm(&base).iter().zip(znorm(&shifted)) {
+            assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
     }
 
     #[test]

@@ -1,0 +1,225 @@
+//! Differential correctness suite for the closest-match kernels.
+//!
+//! The rolling-statistics kernel (`MatchPlan::best_match`, the default) must
+//! agree with the naive per-window oracle (`best_match_naive`) on every
+//! input: the winning position **exactly**, and the distance within `1e-9`
+//! relative tolerance. Bit-equality is deliberately not required — the two
+//! kernels sum the same per-element terms in different orders, so the last
+//! few ulps may differ (see DESIGN.md, "Closest-match kernel").
+//!
+//! Case count is read from `PROPTEST_CASES` (default 256 — the PR-gate
+//! budget); the nightly CI sweep runs with `PROPTEST_CASES=2048`.
+
+use proptest::prelude::*;
+use rpm::ts::{best_match, best_match_naive, prepare_pattern, MatchKernel, MatchPlan};
+
+/// Relative tolerance for distance agreement between the two kernels.
+const REL_TOL: f64 = 1e-9;
+
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Assert the rolling kernel and the naive oracle agree on `(pattern, series)`.
+fn assert_kernels_agree(pattern: &[f64], series: &[f64], early_abandon: bool) {
+    let naive = best_match_naive(pattern, series, early_abandon);
+    let rolling = best_match(pattern, series, early_abandon);
+    match (naive, rolling) {
+        (None, None) => {}
+        (Some(n), Some(r)) => {
+            assert_eq!(
+                r.position, n.position,
+                "argmin diverged: rolling pos {} (d={:.17e}) vs naive pos {} (d={:.17e})",
+                r.position, r.distance, n.position, n.distance
+            );
+            let tol = REL_TOL * n.distance.abs().max(1.0);
+            assert!(
+                (r.distance - n.distance).abs() <= tol,
+                "distance diverged at pos {}: rolling {:.17e} vs naive {:.17e} (tol {:.3e})",
+                n.position,
+                r.distance,
+                n.distance,
+                tol
+            );
+        }
+        (n, r) => panic!("feasibility diverged: naive={n:?} rolling={r:?}"),
+    }
+}
+
+/// Random-walk series generator (realistic autocorrelation).
+fn random_walk(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, len).prop_map(|steps| {
+        let mut acc = 0.0;
+        steps
+            .into_iter()
+            .map(|s| {
+                acc += s;
+                acc
+            })
+            .collect()
+    })
+}
+
+/// Coin-flip strategy (the vendored proptest shim has no `any::<bool>()`).
+fn coin() -> impl Strategy<Value = bool> {
+    (0u32..2).prop_map(|b| b == 1)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Plain random walks: the bread-and-butter case.
+    #[test]
+    fn random_walks_agree(
+        pattern in random_walk(4..48),
+        series in random_walk(48..256),
+        early_abandon in coin(),
+    ) {
+        assert_kernels_agree(&pattern, &series, early_abandon);
+    }
+
+    /// Large-magnitude vertical offsets (±1e6) stress the rolling sums:
+    /// variance is tiny relative to E[x²], which forces the kernel onto its
+    /// exact two-pass fallback. Agreement must survive.
+    #[test]
+    fn large_offsets_agree(
+        pattern in random_walk(4..32),
+        series in random_walk(32..160),
+        magnitude in 1.0e5f64..1.0e6,
+        negative in coin(),
+        early_abandon in coin(),
+    ) {
+        let offset = if negative { -magnitude } else { magnitude };
+        let shifted: Vec<f64> = series.iter().map(|x| x + offset).collect();
+        assert_kernels_agree(&pattern, &shifted, early_abandon);
+        // Offset pattern too: z-normalization must cancel it on both sides.
+        let shifted_pat: Vec<f64> = pattern.iter().map(|x| x - offset).collect();
+        assert_kernels_agree(&shifted_pat, &shifted, early_abandon);
+    }
+
+    /// A constant plateau spliced into the series produces σ = 0 windows
+    /// mid-scan; both kernels must apply the all-zeros convention and agree
+    /// on position and distance.
+    #[test]
+    fn constant_plateau_in_series_agrees(
+        pattern in random_walk(4..24),
+        series in random_walk(64..160),
+        start in 0usize..64,
+        run in 8usize..48,
+        level in -50.0f64..50.0,
+        early_abandon in coin(),
+    ) {
+        let mut series = series;
+        let begin = start.min(series.len());
+        let end = (start + run).min(series.len());
+        for v in &mut series[begin..end] {
+            *v = level;
+        }
+        assert_kernels_agree(&pattern, &series, early_abandon);
+    }
+
+    /// A constant (degenerate) pattern: every window is equidistant modulo
+    /// window shape, and the plan must fall back to the naive scan so the
+    /// positional tie-break is byte-for-byte identical.
+    #[test]
+    fn constant_pattern_agrees(
+        len in 3usize..24,
+        level in -100.0f64..100.0,
+        series in random_walk(32..128),
+        early_abandon in coin(),
+    ) {
+        let pattern = vec![level; len];
+        let naive = best_match_naive(&pattern, &series, early_abandon).unwrap();
+        let rolling = best_match(&pattern, &series, early_abandon).unwrap();
+        // Degenerate patterns delegate to the naive scan: exact equality.
+        prop_assert_eq!(rolling.position, naive.position);
+        prop_assert_eq!(rolling.distance.to_bits(), naive.distance.to_bits());
+    }
+
+    /// Near-constant series: a plateau with jitter well above the σ = 0
+    /// threshold (amplitudes in [1e-3, 10]) so both kernels must treat the
+    /// windows as genuinely variable and still agree at tolerance.
+    #[test]
+    fn near_constant_series_agrees(
+        pattern in random_walk(4..16),
+        jitter in proptest::collection::vec(-1.0f64..1.0, 48..128),
+        amplitude in 1.0e-3f64..10.0,
+        level in -1.0e4f64..1.0e4,
+        early_abandon in coin(),
+    ) {
+        let series: Vec<f64> = jitter.iter().map(|j| level + amplitude * j).collect();
+        assert_kernels_agree(&pattern, &series, early_abandon);
+    }
+
+    /// Series length == pattern length: exactly one candidate window, which
+    /// exercises the rolling-statistics warm-up path with no slide at all.
+    #[test]
+    fn single_window_agrees(
+        series in random_walk(4..64),
+        seed in random_walk(4..64),
+        early_abandon in coin(),
+    ) {
+        let n = series.len().min(seed.len());
+        assert_kernels_agree(&seed[..n], &series[..n], early_abandon);
+        // Pattern longer than the series: both must report no match.
+        if seed.len() > series.len() {
+            prop_assert!(best_match(&seed, &series, early_abandon).is_none());
+            prop_assert!(best_match_naive(&seed, &series, early_abandon).is_none());
+        }
+    }
+
+    /// Reusing one `MatchPlan` across many series is bit-identical to
+    /// preparing a fresh plan per call — plan state is never mutated by a
+    /// scan.
+    #[test]
+    fn plan_reuse_is_bitwise_deterministic(
+        pattern in random_walk(4..32),
+        series_a in random_walk(32..128),
+        series_b in random_walk(32..128),
+        early_abandon in coin(),
+    ) {
+        let shared = prepare_pattern(&pattern);
+        for series in [&series_a, &series_b] {
+            let reused = shared.best_match(series, early_abandon).unwrap();
+            let fresh = prepare_pattern(&pattern).best_match(series, early_abandon).unwrap();
+            prop_assert_eq!(reused.position, fresh.position);
+            prop_assert_eq!(reused.distance.to_bits(), fresh.distance.to_bits());
+            // And a second scan with the same plan repeats exactly.
+            let again = shared.best_match(series, early_abandon).unwrap();
+            prop_assert_eq!(again.position, reused.position);
+            prop_assert_eq!(again.distance.to_bits(), reused.distance.to_bits());
+        }
+    }
+
+    /// A plan pinned to the naive kernel is byte-for-byte the naive oracle.
+    #[test]
+    fn naive_plan_is_the_oracle(
+        pattern in random_walk(4..32),
+        series in random_walk(32..128),
+        early_abandon in coin(),
+    ) {
+        let plan = MatchPlan::with_kernel(&pattern, MatchKernel::Naive);
+        let via_plan = plan.best_match(&series, early_abandon).unwrap();
+        let oracle = best_match_naive(&pattern, &series, early_abandon).unwrap();
+        prop_assert_eq!(via_plan.position, oracle.position);
+        prop_assert_eq!(via_plan.distance.to_bits(), oracle.distance.to_bits());
+    }
+
+    /// Early abandoning is an optimization, not a semantics change: with and
+    /// without it the rolling kernel returns the same position and a
+    /// tolerance-equal distance.
+    #[test]
+    fn early_abandon_preserves_result(
+        pattern in random_walk(4..32),
+        series in random_walk(32..160),
+    ) {
+        let eager = best_match(&pattern, &series, true).unwrap();
+        let full = best_match(&pattern, &series, false).unwrap();
+        prop_assert_eq!(eager.position, full.position);
+        let tol = REL_TOL * full.distance.abs().max(1.0);
+        prop_assert!((eager.distance - full.distance).abs() <= tol);
+    }
+}

@@ -117,6 +117,47 @@ fn ucr_roundtrip_then_train() {
 }
 
 #[test]
+fn naive_and_rolling_kernels_train_equivalent_models() {
+    // Kernel choice is an execution strategy, not a modeling decision: a
+    // model trained with the naive oracle kernel must select the same
+    // patterns (tolerance-aware — distances agree to 1e-9, not bitwise)
+    // and classify identically to the default rolling-kernel model.
+    use rpm::core::MatchKernel;
+    let train = rpm::data::cbf::generate(10, 128, 71);
+    let test = rpm::data::cbf::generate(30, 128, 72);
+
+    let rolling = RpmClassifier::train(&train, &quick_config(32)).unwrap();
+    let naive = RpmClassifier::train(
+        &train,
+        &RpmConfig {
+            kernel: MatchKernel::Naive,
+            ..quick_config(32)
+        },
+    )
+    .unwrap();
+
+    // Same representative-pattern set: count, class, and values.
+    assert_eq!(rolling.patterns().len(), naive.patterns().len());
+    for (r, n) in rolling.patterns().iter().zip(naive.patterns()) {
+        assert_eq!(r.class, n.class);
+        assert_eq!(r.values.len(), n.values.len());
+        for (a, b) in r.values.iter().zip(&n.values) {
+            assert!(
+                (a - b).abs() <= 1e-6 * a.abs().max(1.0),
+                "pattern values diverged: {a} vs {b}"
+            );
+        }
+    }
+
+    // Same predictions, hence identical accuracy.
+    let preds_rolling = rolling.predict_batch(&test.series);
+    let preds_naive = naive.predict_batch(&test.series);
+    assert_eq!(preds_rolling, preds_naive);
+    let err = error_rate(&test.labels, &preds_rolling);
+    assert!(err < 0.15, "CBF error {err}");
+}
+
+#[test]
 fn training_twice_is_deterministic() {
     let train = rpm::data::ecg::generate(12, 136, 41);
     let test = rpm::data::ecg::generate(10, 136, 42);
