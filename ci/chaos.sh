@@ -74,6 +74,35 @@ for seed in 1 2 3 4 5; do
   run "*:io:0.05:$seed"       "ok err" classify "$WORK/clean.rpm" "$WORK/cbf_TEST"
 done
 
+echo "== serve: armed request-path faults degrade per request, never kill the server =="
+# Each pass starts the server with one serve-path site armed, drives it
+# with unarmed open-loop traffic, and requires the server to run out its
+# --duration-secs and exit 0: injected failures must surface as 5xx
+# responses (counted by load-gen, any mix accepted), not as a dead
+# process.
+SERVE_PORT=19917
+for spec in "serve.request:io:0.3:1" "serve.batch:io:0.3:2" "http.conn:panic:0.2:3"; do
+  SERVE_PORT=$((SERVE_PORT + 1))
+  RPM_FAULT="$spec" "$CLI" serve "$WORK/clean.rpm" \
+    --addr "127.0.0.1:$SERVE_PORT" --duration-secs 4 >/dev/null 2>"$WORK/serve-stderr" &
+  SERVE_PID=$!
+  sleep 1
+  "$CLI" load-gen "127.0.0.1:$SERVE_PORT" "$WORK/cbf_TEST" \
+    --qps 40 --duration-secs 2 --senders 4 >/dev/null 2>&1
+  wait "$SERVE_PID"
+  code=$?
+  if [[ "$code" -ne 0 ]]; then
+    echo "FAIL [server died, exit $code] RPM_FAULT='$spec' rpm-cli serve"
+    sed 's/^/    /' "$WORK/serve-stderr" | tail -5
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "  ok [server survived] RPM_FAULT='$spec' rpm-cli serve + load-gen"
+  fi
+done
+# Startup verification: a load-path fault must refuse to serve (typed
+# error, exit 1) rather than bring up a listener over a broken model.
+run "persist.load:io:1:0"   err  serve "$WORK/clean.rpm" --addr 127.0.0.1:0 --duration-secs 1
+
 echo "== malformed RPM_FAULT is a warning, not a failure =="
 run "not-a-valid-spec"        ok   model verify "$WORK/clean.rpm"
 

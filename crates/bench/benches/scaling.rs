@@ -4,7 +4,7 @@
 //! the clustering term).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rpm_core::{ParamSearch, RpmClassifier, RpmConfig};
+use rpm_core::{Parallelism, ParamSearch, RpmClassifier, RpmConfig};
 use rpm_sax::SaxConfig;
 
 fn bench_train_vs_set_size(c: &mut Criterion) {
@@ -110,7 +110,7 @@ fn bench_transform_thread_scaling(c: &mut Criterion) {
             |b, series| {
                 b.iter(|| {
                     model
-                        .predict_batch_parallel(black_box(series), n_threads)
+                        .predict_batch_with(black_box(series), Parallelism::Threads(n_threads))
                         .unwrap()
                 })
             },

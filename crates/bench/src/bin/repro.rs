@@ -45,7 +45,8 @@ fn threads() -> usize {
 /// Test error of any trained method, through the shared [`Classifier`]
 /// trait object — the single evaluation path for all six methods.
 fn eval_method(model: &dyn Classifier, test: &Dataset) -> f64 {
-    error_rate(&test.labels, &model.predict_batch(&test.series))
+    let refs: Vec<&[f64]> = test.series.iter().map(Vec::as_slice).collect();
+    error_rate(&test.labels, &model.predict_batch_refs(&refs))
 }
 
 fn main() {

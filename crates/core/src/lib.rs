@@ -59,9 +59,9 @@ pub use explore::{
 };
 pub use model::{Pattern, RpmClassifier, TrainError};
 pub use params::{default_bounds, search_parameters, SearchOutcome};
-pub use persist::PersistError;
+pub use persist::{PersistError, VerifyReport};
 pub use rpm_obs::{ObsConfig, ObsLevel};
-pub use rpm_ts::{MatchKernel, MatchPlan};
+pub use rpm_ts::{MatchKernel, MatchPlan, Parallelism};
 pub use transform::{
     pattern_distance, pattern_distance_plans, prepare_patterns, transform_series,
     transform_series_plans, transform_set, transform_set_engine, transform_set_parallel,

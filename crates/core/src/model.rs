@@ -12,7 +12,7 @@ use crate::transform::{
 use crate::usage::{render_usage, PatternStats, PatternUsage};
 use rpm_ml::{LinearSvm, SvmParams};
 use rpm_sax::SaxConfig;
-use rpm_ts::{Dataset, Label, MatchPlan};
+use rpm_ts::{Dataset, Label, MatchPlan, Parallelism};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -313,23 +313,34 @@ impl RpmClassifier {
         label
     }
 
-    /// Predicts a batch.
-    pub fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
+    /// Predicts a batch. The batch is *borrowed*: any slice whose items
+    /// view as `&[f64]` works (`&[Vec<f64>]` from a dataset, `&[&[f64]]`
+    /// gathered across request buffers) — no sample data is copied to
+    /// cross this call.
+    pub fn predict_batch<S: AsRef<[f64]>>(&self, series: &[S]) -> Vec<Label> {
         let _span = rpm_obs::span!("predict");
         rpm_obs::metrics().predict_batches.inc();
         // `predict.series` is counted per series inside `predict`.
-        series.iter().map(|s| self.predict(s)).collect()
+        series.iter().map(|s| self.predict(s.as_ref())).collect()
     }
 
-    /// Predicts a batch using `n_threads` workers for the pattern-distance
-    /// transform (the classification bottleneck). Identical results to
-    /// [`RpmClassifier::predict_batch`]; a panic inside a worker surfaces
-    /// as an [`EngineError`] instead of aborting the process.
-    pub fn predict_batch_parallel(
+    /// The configurable batch entry point: predicts every series in the
+    /// borrowed batch under the given [`Parallelism`].
+    ///
+    /// [`Parallelism::Serial`] is exactly [`RpmClassifier::predict_batch`]
+    /// (and cannot fail); [`Parallelism::Threads`] runs the
+    /// pattern-distance transform — the classification bottleneck — on
+    /// that many engine workers, producing bit-identical labels, with a
+    /// worker panic surfacing as an [`EngineError`] instead of aborting
+    /// the process.
+    pub fn predict_batch_with<S: AsRef<[f64]> + Sync>(
         &self,
-        series: &[Vec<f64>],
-        n_threads: usize,
+        series: &[S],
+        parallelism: Parallelism,
     ) -> Result<Vec<Label>, EngineError> {
+        if matches!(parallelism, Parallelism::Serial) {
+            return Ok(self.predict_batch(series));
+        }
         let _span = rpm_obs::span!("predict");
         let m = rpm_obs::metrics();
         m.predict_batches.inc();
@@ -339,7 +350,7 @@ impl RpmClassifier {
             &self.plans,
             self.rotation_invariant,
             self.early_abandon,
-            &Engine::new(n_threads.max(1)),
+            &Engine::new(parallelism.workers()),
         )?;
         if rpm_obs::enabled() {
             // The parallel path bypasses `predict`; feed utilization from
@@ -349,6 +360,20 @@ impl RpmClassifier {
             }
         }
         Ok(rows.iter().map(|r| self.svm.predict(r)).collect())
+    }
+
+    /// Pre-`Parallelism` shim, kept one release so existing harness and
+    /// repro code compiles.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use predict_batch_with(series, Parallelism::Threads(n_threads))"
+    )]
+    pub fn predict_batch_parallel(
+        &self,
+        series: &[Vec<f64>],
+        n_threads: usize,
+    ) -> Result<Vec<Label>, EngineError> {
+        self.predict_batch_with(series, Parallelism::Threads(n_threads))
     }
 
     /// Per-pattern utilization accumulated on the serving path while
@@ -447,6 +472,10 @@ impl RpmClassifier {
 impl rpm_ts::Classifier for RpmClassifier {
     fn predict(&self, series: &[f64]) -> Label {
         RpmClassifier::predict(self, series)
+    }
+
+    fn predict_batch_refs(&self, series: &[&[f64]]) -> Vec<Label> {
+        RpmClassifier::predict_batch(self, series)
     }
 }
 
@@ -618,8 +647,45 @@ mod tests {
             parallel.predict_batch(&test.series)
         );
         assert_eq!(serial.patterns().len(), parallel.patterns().len());
-        let batched = parallel.predict_batch_parallel(&test.series, 4).unwrap();
+        let batched = parallel
+            .predict_batch_with(&test.series, Parallelism::Threads(4))
+            .unwrap();
         assert_eq!(batched, serial.predict_batch(&test.series));
+    }
+
+    #[test]
+    fn borrowed_batches_match_owned_batches() {
+        let train = two_class_dataset(10, 128, 44);
+        let test = two_class_dataset(6, 128, 45);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let owned = model.predict_batch(&test.series);
+        // The serving shape: slices borrowed from buffers owned elsewhere.
+        let refs: Vec<&[f64]> = test.series.iter().map(Vec::as_slice).collect();
+        assert_eq!(model.predict_batch(&refs), owned);
+        assert_eq!(
+            model
+                .predict_batch_with(&refs, Parallelism::Threads(3))
+                .unwrap(),
+            owned
+        );
+        assert_eq!(
+            model
+                .predict_batch_with(&refs, Parallelism::Serial)
+                .unwrap(),
+            owned
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_shim_still_answers() {
+        let train = two_class_dataset(10, 128, 46);
+        let test = two_class_dataset(4, 128, 47);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        assert_eq!(
+            model.predict_batch_parallel(&test.series, 2).unwrap(),
+            model.predict_batch(&test.series)
+        );
     }
 
     #[test]
@@ -628,8 +694,10 @@ mod tests {
         let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
         let as_trait: &dyn rpm_ts::Classifier = &model;
         let direct = model.predict_batch(&train.series);
-        let via_trait = as_trait.predict_batch(&train.series);
+        let via_trait = rpm_ts::Classifier::predict_batch(&as_trait, &train.series);
         assert_eq!(direct, via_trait);
+        let refs: Vec<&[f64]> = train.series.iter().map(Vec::as_slice).collect();
+        assert_eq!(direct, as_trait.predict_batch_refs(&refs));
     }
 
     #[test]

@@ -157,15 +157,19 @@ pub fn transform_set(
 /// distributed across the engine's workers and merged by index, so
 /// results are identical to the serial version. A panic inside a worker
 /// becomes an [`EngineError`] instead of a process abort.
-pub fn transform_set_plans_engine(
-    series: &[Vec<f64>],
+///
+/// The batch is borrowed — any `&[S]` whose items view as `&[f64]`
+/// (`&[Vec<f64>]`, `&[&[f64]]`, …) works, so serving callers can fan
+/// out over request buffers they do not own.
+pub fn transform_set_plans_engine<S: AsRef<[f64]> + Sync>(
+    series: &[S],
     plans: &[MatchPlan],
     rotation_invariant: bool,
     early_abandon: bool,
     engine: &Engine,
 ) -> Result<Vec<Vec<f64>>, EngineError> {
     engine.map(series, |_, s| {
-        transform_series_plans(s, plans, rotation_invariant, early_abandon)
+        transform_series_plans(s.as_ref(), plans, rotation_invariant, early_abandon)
     })
 }
 

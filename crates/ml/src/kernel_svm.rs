@@ -298,9 +298,9 @@ impl KernelSvm {
         self.classes[best]
     }
 
-    /// Predicts a batch.
-    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict(r)).collect()
+    /// Predicts a batch of (borrowed) rows.
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r.as_ref())).collect()
     }
 
     /// The class labels the model knows, ascending.

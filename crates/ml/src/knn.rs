@@ -75,9 +75,9 @@ impl Knn {
             .expect("k >= 1")
     }
 
-    /// Predicts a batch of rows.
-    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict(r)).collect()
+    /// Predicts a batch of (borrowed) rows.
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r.as_ref())).collect()
     }
 
     /// The configured neighborhood size (clamped to the training size).

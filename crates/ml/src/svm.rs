@@ -181,9 +181,10 @@ impl LinearSvm {
         self.classes[best]
     }
 
-    /// Predicts a batch of rows.
-    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<usize> {
-        rows.iter().map(|r| self.predict(r)).collect()
+    /// Predicts a batch of (borrowed) rows: `&[Vec<f64>]`, `&[&[f64]]`,
+    /// or anything else that views as row slices.
+    pub fn predict_batch<R: AsRef<[f64]>>(&self, rows: &[R]) -> Vec<usize> {
+        rows.iter().map(|r| self.predict(r.as_ref())).collect()
     }
 
     /// The class labels the model knows, ascending.

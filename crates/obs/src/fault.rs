@@ -47,6 +47,8 @@ pub const KNOWN_SITES: &[&str] = &[
     "checkpoint.load",
     "data.load",
     "http.conn",
+    "serve.request",
+    "serve.batch",
 ];
 
 /// What an armed site does when a draw fires.

@@ -1,20 +1,28 @@
-//! Opt-in `/metrics` + `/healthz` HTTP endpoint, std-only, hardened.
+//! Std-only HTTP serving: a reusable method+path router on one hardened
+//! connection loop, plus the opt-in `/metrics` + `/healthz` endpoint.
 //!
 //! A minimal HTTP/1.0-style server: each connection gets its request
-//! line read, one response written, and the socket closed. That is all
-//! a Prometheus scraper (or `curl`) needs, and it keeps the
+//! line and headers read, at most one (bounded) body, one response
+//! written, and the socket closed. That is all a Prometheus scraper,
+//! `curl`, or a JSONL classify client needs, and it keeps the
 //! implementation at a `TcpListener` and a handful of `write_all`
-//! calls — no dependencies, no keep-alive state. Responses are rendered
-//! from a [`crate::metrics::snapshot`] taken at request time, so
-//! scrapes observe but never perturb the run.
+//! calls — no dependencies, no keep-alive state.
+//!
+//! The connection loop is shared through [`Router`]: consumers register
+//! `(method, path) → handler` routes and serve them with
+//! [`serve_router`]. The metrics endpoint ([`serve`]) is just the
+//! [`metrics_routes`] router on that loop, and `rpm-serve` mounts its
+//! `/classify` handler on the same loop instead of growing a second
+//! hand-rolled HTTP stack.
 //!
 //! Serving hardening ([`ServeLimits`]): every connection is handled on
 //! its own thread under a concurrency bound (excess connections get an
 //! immediate `503` on the accept thread), with read/write socket
-//! timeouts so a stalled peer cannot pin a handler, and a request-line
-//! size cap (`414` past it) so a hostile client cannot grow a buffer
-//! without bound. Rejections count into the `http.rejected` metric, and
-//! a handler panic (e.g. an armed `http.conn` fault) is contained per
+//! timeouts so a stalled peer cannot pin a handler, a request-line /
+//! header size cap (`414` past it), and a body size cap (`413` past
+//! it) so a hostile client cannot grow a buffer without bound.
+//! Rejections count into the `http.rejected` metric, and a handler
+//! panic (e.g. an armed `http.conn` fault) is contained per
 //! connection — the endpoint itself never goes down.
 //!
 //! Enabled via [`crate::ObsConfig`] (`http_addr`) or the `RPM_LOG`
@@ -31,7 +39,7 @@ use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Per-connection resource bounds for the metrics endpoint.
+/// Per-connection resource bounds for a served endpoint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ServeLimits {
     /// Socket read timeout: a peer that connects but never sends a
@@ -43,8 +51,11 @@ pub struct ServeLimits {
     /// Connections handled concurrently; arrivals past the bound get
     /// an immediate `503`. `0` rejects everything (used by tests).
     pub max_connections: usize,
-    /// Longest request line accepted, in bytes; longer gets `414`.
+    /// Longest request line (and longest single header line) accepted,
+    /// in bytes; longer gets `414`.
     pub max_request_bytes: usize,
+    /// Largest request body accepted, in bytes; larger gets `413`.
+    pub max_body_bytes: usize,
 }
 
 impl Default for ServeLimits {
@@ -54,13 +65,156 @@ impl Default for ServeLimits {
             write_timeout: Duration::from_secs(5),
             max_connections: 32,
             max_request_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
         }
     }
 }
 
-/// Handle to a running metrics endpoint. Dropping it shuts the server
-/// down (the global endpoint started by [`crate::ObsConfig::install`]
-/// is intentionally leaked so it lives for the process).
+/// One parsed request as seen by a [`Router`] handler.
+#[derive(Clone, Debug, Default)]
+pub struct Request {
+    /// Request method, uppercase as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query string included verbatim, if any).
+    pub path: String,
+    /// Request body (empty unless the client sent `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// A response a handler hands back to the connection loop.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code (`200`, `429`, …).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+    /// Extra headers, e.g. `("Retry-After", "1")`.
+    pub headers: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    /// A plain-text response with the given status.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// A `200 OK` plain-text response.
+    pub fn ok(body: impl Into<String>) -> Self {
+        Self::text(200, body)
+    }
+
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json; charset=utf-8",
+            body: body.into().into_bytes(),
+            headers: Vec::new(),
+        }
+    }
+
+    /// Overrides the content type (builder style).
+    pub fn with_content_type(mut self, content_type: &'static str) -> Self {
+        self.content_type = content_type;
+        self
+    }
+
+    /// Appends a header (builder style).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes this stack emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+type Handler = Box<dyn Fn(&Request) -> Response + Send + Sync>;
+
+/// A method + path → handler table sharing one hardened connection
+/// loop. Paths match exactly (no patterns); an unknown path is `404`,
+/// a known path with the wrong method `405`.
+#[derive(Default)]
+pub struct Router {
+    routes: Vec<(&'static str, &'static str, Handler)>,
+}
+
+impl Router {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `handler` for `method` + `path` (builder style).
+    pub fn route(
+        mut self,
+        method: &'static str,
+        path: &'static str,
+        handler: impl Fn(&Request) -> Response + Send + Sync + 'static,
+    ) -> Self {
+        self.routes.push((method, path, Box::new(handler)));
+        self
+    }
+
+    /// Resolves one request to a response.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let mut path_seen = false;
+        for (method, path, handler) in &self.routes {
+            if *path != request.path {
+                continue;
+            }
+            path_seen = true;
+            if *method == request.method {
+                return handler(request);
+            }
+        }
+        if path_seen {
+            Response::text(405, "method not allowed\n")
+        } else {
+            Response::text(404, "not found\n")
+        }
+    }
+}
+
+/// The observability routes: Prometheus text on `GET /metrics`,
+/// liveness on `GET /healthz`. Both render from a
+/// [`crate::metrics::snapshot`] taken at request time, so scrapes
+/// observe but never perturb the run. Start from this router to mount
+/// additional routes on the same endpoint.
+pub fn metrics_routes() -> Router {
+    Router::new()
+        .route("GET", "/metrics", |_req| {
+            let body = crate::export::to_prometheus(&crate::metrics::snapshot());
+            Response::ok(body).with_content_type("text/plain; version=0.0.4; charset=utf-8")
+        })
+        .route("GET", "/healthz", |_req| Response::ok("ok\n"))
+}
+
+/// Handle to a running endpoint. Dropping it shuts the server down
+/// (the global endpoint started by [`crate::ObsConfig::install`] is
+/// intentionally leaked so it lives for the process).
 pub struct MetricsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
@@ -100,13 +254,24 @@ pub fn serve(addr: &str) -> std::io::Result<MetricsServer> {
 
 /// [`serve`] with explicit per-connection limits.
 pub fn serve_with(addr: &str, limits: ServeLimits) -> std::io::Result<MetricsServer> {
+    serve_router(addr, limits, metrics_routes())
+}
+
+/// Serves an arbitrary [`Router`] on the shared connection loop. This
+/// is the entry point `rpm-serve` mounts `/classify` through.
+pub fn serve_router(
+    addr: &str,
+    limits: ServeLimits,
+    router: Router,
+) -> std::io::Result<MetricsServer> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop_flag = Arc::clone(&stop);
+    let router = Arc::new(router);
     let handle = std::thread::Builder::new()
         .name("rpm-obs-http".to_string())
-        .spawn(move || accept_loop(listener, &stop_flag, limits))?;
+        .spawn(move || accept_loop(listener, &stop_flag, limits, &router))?;
     Ok(MetricsServer {
         addr,
         stop,
@@ -134,15 +299,23 @@ pub fn serve_global(addr: &str) -> Option<SocketAddr> {
     })
 }
 
-fn accept_loop(listener: TcpListener, stop: &AtomicBool, limits: ServeLimits) {
+fn accept_loop(
+    listener: TcpListener,
+    stop: &AtomicBool,
+    limits: ServeLimits,
+    router: &Arc<Router>,
+) {
     let in_flight = Arc::new(AtomicUsize::new(0));
     for conn in listener.incoming() {
         if stop.load(Ordering::Relaxed) {
             break;
         }
-        let Ok(mut stream) = conn else { continue };
+        let Ok(stream) = conn else { continue };
         let _ = stream.set_read_timeout(Some(limits.read_timeout));
         let _ = stream.set_write_timeout(Some(limits.write_timeout));
+        // Responses are small and written once; Nagle + delayed ACK
+        // would park them for ~40 ms on the wire.
+        let _ = stream.set_nodelay(true);
         // Admission control happens on the accept thread: claim a slot
         // before spawning so a flood can never pile up handler threads.
         let claimed = in_flight
@@ -152,23 +325,19 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool, limits: ServeLimits) {
             .is_ok();
         if !claimed {
             crate::metrics().http_rejected.inc();
-            let _ = respond(
-                &mut stream,
-                "503 Service Unavailable",
-                "text/plain; charset=utf-8",
-                "busy\n",
-            );
+            let _ = write_response(&mut &stream, &Response::text(503, "busy\n"));
             close_gracefully(&stream);
             continue;
         }
         let slots = Arc::clone(&in_flight);
+        let conn_router = Arc::clone(router);
         let spawned = std::thread::Builder::new()
             .name("rpm-obs-http-conn".to_string())
             .spawn(move || {
                 // One bad connection (I/O error or an injected panic)
                 // must not kill the endpoint.
                 let _ = catch_unwind(AssertUnwindSafe(|| {
-                    let _ = handle_connection(stream, &limits);
+                    let _ = handle_connection(stream, &limits, &conn_router);
                 }));
                 slots.fetch_sub(1, Ordering::Relaxed);
             });
@@ -178,13 +347,20 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool, limits: ServeLimits) {
     }
 }
 
-fn handle_connection(stream: TcpStream, limits: &ServeLimits) -> std::io::Result<()> {
+/// Reads one request (bounded), dispatches it, writes one response.
+fn handle_connection(
+    stream: TcpStream,
+    limits: &ServeLimits,
+    router: &Router,
+) -> std::io::Result<()> {
     if let Err(e) = crate::fault::point("http.conn") {
         crate::metrics().http_rejected.inc();
         return Err(e);
     }
-    // Cap how much of the request line we are willing to buffer; a
-    // request line that fills the cap without a newline is oversized.
+    // Cap how much of the request line + headers we are willing to
+    // buffer; a line that fills the cap without a newline is oversized.
+    // The cap is re-armed per line, so the header block as a whole is
+    // bounded by MAX_HEADER_LINES × max_request_bytes.
     let mut reader = BufReader::new((&stream).take(limits.max_request_bytes as u64));
     let mut request_line = String::new();
     let n = match reader.read_line(&mut request_line) {
@@ -196,35 +372,62 @@ fn handle_connection(stream: TcpStream, limits: &ServeLimits) -> std::io::Result
         }
     };
     let mut writer = &stream;
-    let result = if n >= limits.max_request_bytes && !request_line.ends_with('\n') {
+    if n >= limits.max_request_bytes && !request_line.ends_with('\n') {
         crate::metrics().http_rejected.inc();
-        respond(
-            &mut writer,
-            "414 URI Too Long",
-            "text/plain; charset=utf-8",
-            "request line too long\n",
-        )
-    } else {
-        let path = request_line.split_whitespace().nth(1).unwrap_or("");
-        match path {
-            "/metrics" => {
-                let body = crate::export::to_prometheus(&crate::metrics::snapshot());
-                respond(
-                    &mut writer,
-                    "200 OK",
-                    "text/plain; version=0.0.4; charset=utf-8",
-                    &body,
-                )
+        let result = write_response(&mut writer, &Response::text(414, "request line too long\n"));
+        close_gracefully(&stream);
+        return result;
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_string();
+    let path = parts.next().unwrap_or("").to_string();
+
+    // Headers: only Content-Length matters to this stack.
+    const MAX_HEADER_LINES: usize = 64;
+    let mut content_length: usize = 0;
+    let mut oversized_header = false;
+    for _ in 0..MAX_HEADER_LINES {
+        reader.get_mut().set_limit(limits.max_request_bytes as u64);
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // EOF: header block ended with the stream.
+            Ok(n) if n >= limits.max_request_bytes && !line.ends_with('\n') => {
+                oversized_header = true;
+                break;
             }
-            "/healthz" => respond(&mut writer, "200 OK", "text/plain; charset=utf-8", "ok\n"),
-            _ => respond(
-                &mut writer,
-                "404 Not Found",
-                "text/plain; charset=utf-8",
-                "not found\n",
-            ),
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break; // end of headers
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+
+    let response = if oversized_header {
+        crate::metrics().http_rejected.inc();
+        Response::text(414, "header line too long\n")
+    } else if content_length > limits.max_body_bytes {
+        crate::metrics().http_rejected.inc();
+        Response::text(413, "request body too large\n")
+    } else {
+        // Part of the body may already sit in the BufReader's buffer;
+        // the rest streams through the (re-armed) Take.
+        let mut body = vec![0u8; content_length];
+        reader.get_mut().set_limit(content_length as u64);
+        if reader.read_exact(&mut body).is_err() {
+            crate::metrics().http_rejected.inc();
+            Response::text(408, "request body incomplete\n")
+        } else {
+            router.dispatch(&Request { method, path, body })
         }
     };
+    let result = write_response(&mut writer, &response);
     close_gracefully(&stream);
     result
 }
@@ -240,18 +443,23 @@ fn close_gracefully(stream: &TcpStream) {
     let _ = std::io::copy(&mut stream.take(64 * 1024), &mut std::io::sink());
 }
 
-fn respond<W: Write>(
-    stream: &mut W,
-    status: &str,
-    content_type: &str,
-    body: &str,
-) -> std::io::Result<()> {
-    let header = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
+fn write_response<W: Write>(stream: &mut W, response: &Response) -> std::io::Result<()> {
+    let mut header = format!(
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
     );
+    for (name, value) in &response.headers {
+        header.push_str(name);
+        header.push_str(": ");
+        header.push_str(value);
+        header.push_str("\r\n");
+    }
+    header.push_str("\r\n");
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())
+    stream.write_all(&response.body)
 }
 
 #[cfg(test)]
@@ -262,6 +470,19 @@ mod tests {
     fn get(addr: SocketAddr, path: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST {path} HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
         let mut response = String::new();
         stream.read_to_string(&mut response).unwrap();
         response
@@ -282,6 +503,47 @@ mod tests {
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+
+    #[test]
+    fn custom_routes_receive_bodies_and_reject_wrong_methods() {
+        let router = metrics_routes().route("POST", "/echo", |req| {
+            Response::ok(format!("got {} bytes\n", req.body.len()))
+                .with_header("X-Probe", "1".to_string())
+        });
+        let server = serve_router("127.0.0.1:0", ServeLimits::default(), router).expect("bind");
+        let addr = server.local_addr();
+
+        let echoed = post(addr, "/echo", "hello body");
+        assert!(echoed.starts_with("HTTP/1.0 200"), "{echoed}");
+        assert!(echoed.contains("X-Probe: 1"), "{echoed}");
+        assert!(echoed.ends_with("got 10 bytes\n"), "{echoed}");
+
+        // Known path, wrong method.
+        let wrong = get(addr, "/echo");
+        assert!(wrong.starts_with("HTTP/1.0 405"), "{wrong}");
+
+        // The stock metrics routes still serve on the same loop.
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+    }
+
+    #[test]
+    fn oversized_bodies_get_413() {
+        let limits = ServeLimits {
+            max_body_bytes: 16,
+            ..ServeLimits::default()
+        };
+        let router = Router::new().route("POST", "/echo", |req| {
+            Response::ok(format!("{}\n", req.body.len()))
+        });
+        let server = serve_router("127.0.0.1:0", limits, router).expect("bind");
+        let big = "x".repeat(64);
+        let response = post(server.local_addr(), "/echo", &big);
+        assert!(response.starts_with("HTTP/1.0 413"), "{response}");
+        // Within the cap still works.
+        let ok = post(server.local_addr(), "/echo", "small");
+        assert!(ok.ends_with("5\n"), "{ok}");
     }
 
     #[test]

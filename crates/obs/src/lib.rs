@@ -50,7 +50,10 @@ pub mod span;
 pub use diff::{diff_reports, load_summary, DiffOptions, DiffReport, ReportSummary};
 pub use export::to_prometheus;
 pub use fault::{FaultKind, FaultSpec};
-pub use http::{serve, MetricsServer};
+pub use http::{
+    metrics_routes, serve, serve_router, serve_with, MetricsServer, Request, Response, Router,
+    ServeLimits,
+};
 pub use logger::LogEvent;
 pub use metrics::{metrics, CacheFamilyMetrics, Counter, Gauge, Histogram, MetricsSnapshot};
 pub use report::{finish, snapshot, validate_jsonl, ReportCheck, RunReport, StageAgg};

@@ -366,6 +366,28 @@ pub struct Metrics {
     /// short by the serving limits (concurrency bound, oversized or
     /// timed-out requests).
     pub http_rejected: Counter,
+    /// `serve.requests` — classify requests accepted by `rpm-serve`
+    /// (parsed and enqueued; sheds and parse rejections not included).
+    pub serve_requests: Counter,
+    /// `serve.shed` — classify requests refused with `429` because the
+    /// bounded queue was full (load shedding, not failure).
+    pub serve_shed: Counter,
+    /// `serve.deadline_exceeded` — classify requests dropped because
+    /// their per-request deadline passed before prediction finished.
+    pub serve_deadline_exceeded: Counter,
+    /// `serve.batches` — micro-batches dispatched to `predict_batch`.
+    pub serve_batches: Counter,
+    /// `serve.errors` — classify requests answered with `5xx` (injected
+    /// faults, engine failures), excluding sheds and deadline drops.
+    pub serve_errors: Counter,
+    /// `serve.batch_fill` — series per dispatched micro-batch.
+    pub serve_batch_fill: Histogram,
+    /// `serve.queue_wait_ns` — time requests spent queued before their
+    /// batch was formed.
+    pub serve_queue_wait: Histogram,
+    /// `serve.latency_ns` — end-to-end request latency as measured by
+    /// the server (parse + queue + batch + predict + reply).
+    pub serve_latency: Histogram,
 }
 
 impl Metrics {
@@ -407,10 +429,18 @@ impl Metrics {
             train_degraded: Counter::new(),
             data_quarantined: Counter::new(),
             http_rejected: Counter::new(),
+            serve_requests: Counter::new(),
+            serve_shed: Counter::new(),
+            serve_deadline_exceeded: Counter::new(),
+            serve_batches: Counter::new(),
+            serve_errors: Counter::new(),
+            serve_batch_fill: Histogram::new(),
+            serve_queue_wait: Histogram::new(),
+            serve_latency: Histogram::new(),
         }
     }
 
-    fn counter_entries(&self) -> [(&'static str, &Counter); 24] {
+    fn counter_entries(&self) -> [(&'static str, &Counter); 29] {
         [
             ("engine.runs", &self.engine_runs),
             ("engine.jobs", &self.engine_jobs),
@@ -436,6 +466,11 @@ impl Metrics {
             ("train.degraded", &self.train_degraded),
             ("data.quarantined", &self.data_quarantined),
             ("http.rejected", &self.http_rejected),
+            ("serve.requests", &self.serve_requests),
+            ("serve.shed", &self.serve_shed),
+            ("serve.deadline_exceeded", &self.serve_deadline_exceeded),
+            ("serve.batches", &self.serve_batches),
+            ("serve.errors", &self.serve_errors),
         ]
     }
 
@@ -455,13 +490,16 @@ impl Metrics {
         ]
     }
 
-    fn histogram_entries(&self) -> [(&'static str, &Histogram); 5] {
+    fn histogram_entries(&self) -> [(&'static str, &Histogram); 8] {
         [
             ("engine.drain_ns", &self.engine_drain),
             ("params.eval_ns", &self.params_eval),
             ("transform.series_ns", &self.transform_series),
             ("predict.latency_ns", &self.predict_latency),
             ("predict.match_distance", &self.predict_match_distance),
+            ("serve.batch_fill", &self.serve_batch_fill),
+            ("serve.queue_wait_ns", &self.serve_queue_wait),
+            ("serve.latency_ns", &self.serve_latency),
         ]
     }
 }

@@ -1,0 +1,412 @@
+//! `rpm-serve`: a concurrent classify server over a shared RPM model.
+//!
+//! The serving story in one sentence: load a persisted model **once**
+//! (CRC-verified before the listener opens), share it immutably behind
+//! an `Arc` across a worker pool, and turn concurrent `/classify`
+//! requests into *micro-batches* so the per-series cost approaches
+//! offline [`predict_batch`](rpm_core::RpmClassifier::predict_batch)
+//! throughput instead of per-request latency.
+//!
+//! Pipeline, per request:
+//!
+//! ```text
+//! POST /classify (JSONL)
+//!   → parse            [proto]          400 on malformed lines
+//!   → bounded enqueue  [batch]          429 + Retry-After when full
+//!   → micro-batch pop  [worker pool]    flush on size or window
+//!   → predict_batch_with(&[&[f64]],…)   zero-copy borrow of request buffers
+//!   → JSONL response / 504 deadline / 500 fault
+//! ```
+//!
+//! Three properties are load-bearing:
+//!
+//! - **Backpressure over collapse.** The queue is bounded in series;
+//!   beyond it requests shed immediately with `429` + `Retry-After`
+//!   instead of queueing into latencies nobody will wait for.
+//! - **Deadlines, TrainBudget-style.** Each request carries a deadline;
+//!   workers drop expired entries before dispatch, and the handler's
+//!   reply-timeout backstops deadlines that expire mid-predict. Both
+//!   answer `504` with a `deadline_exceeded` error body.
+//! - **Verified start.** [`load_verified`] runs the v2 per-section CRC
+//!   check before any traffic is accepted; a v1 stream (no checksums)
+//!   is refused unless explicitly allowed.
+//!
+//! Observability rides the existing `rpm-obs` registry: `serve.*`
+//! counters and histograms surface on the same `/metrics` endpoint,
+//! and the `serve.request` / `serve.batch` fault sites make the
+//! request path chaos-testable like the rest of the pipeline.
+
+mod batch;
+pub mod loadgen;
+pub mod proto;
+
+use std::io::Read;
+use std::sync::mpsc::{channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use batch::{BatchQueue, Pending, Reply};
+use rpm_core::{PersistError, RpmClassifier, VerifyReport};
+use rpm_obs::{Request, Response, ServeLimits};
+use rpm_ts::Parallelism;
+
+pub use loadgen::{run_load, LoadConfig, LoadReport};
+
+/// Everything the server needs besides the model.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address; use port 0 to let the OS pick (tests do).
+    pub addr: String,
+    /// Micro-batching worker threads popping the shared queue.
+    pub workers: usize,
+    /// Flush a micro-batch at this many series.
+    pub max_batch: usize,
+    /// …or when this much time has passed since the batch opened.
+    pub batch_window: Duration,
+    /// Queue bound in series; pushes beyond it shed with `429`.
+    pub queue_depth: usize,
+    /// Per-request deadline, enqueue to reply.
+    pub deadline: Duration,
+    /// Execution mode handed to `predict_batch_with` per batch.
+    pub parallelism: Parallelism,
+    /// Per-connection HTTP limits (timeouts, body cap, admission).
+    pub limits: ServeLimits,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:9899".to_string(),
+            workers: 2,
+            max_batch: 32,
+            batch_window: Duration::from_millis(2),
+            queue_depth: 1024,
+            deadline: Duration::from_secs(2),
+            parallelism: Parallelism::Serial,
+            limits: ServeLimits::default(),
+        }
+    }
+}
+
+/// Why the server refused to start.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model stream failed verification (bad CRC, truncation, …).
+    Verify(PersistError),
+    /// The stream is a v1 model: it carries no checksums, so integrity
+    /// cannot be established. Pass `allow_unverified` to serve it
+    /// anyway (and log that you did).
+    Unverified(VerifyReport),
+    /// Bind or I/O failure bringing the listener up.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Verify(e) => write!(f, "model failed verification: {e}"),
+            Self::Unverified(report) => write!(
+                f,
+                "model is format v{} without checksums; integrity cannot be \
+                 verified (pass --allow-unverified to serve it anyway)",
+                report.version
+            ),
+            Self::Io(e) => write!(f, "server I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Verifies and loads a model for serving: the stream is checksummed
+/// end-to-end (v2 per-section CRCs) **before** parsing, and v1 streams
+/// — which carry no checksums — are refused unless `allow_unverified`.
+/// Returns the loaded model and the verification report (callers log
+/// the section/pattern counts at startup).
+pub fn load_verified(
+    bytes: &[u8],
+    allow_unverified: bool,
+) -> Result<(RpmClassifier, VerifyReport), ServeError> {
+    let report = RpmClassifier::verify(bytes).map_err(ServeError::Verify)?;
+    if report.version < 2 && !allow_unverified {
+        return Err(ServeError::Unverified(report));
+    }
+    let model = RpmClassifier::load(bytes).map_err(ServeError::Verify)?;
+    Ok((model, report))
+}
+
+/// [`load_verified`] from a file path.
+pub fn load_verified_path(
+    path: &std::path::Path,
+    allow_unverified: bool,
+) -> Result<(RpmClassifier, VerifyReport), ServeError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    load_verified(&bytes, allow_unverified)
+}
+
+/// A running classify server: HTTP listener + micro-batching workers.
+pub struct Server {
+    http: rpm_obs::MetricsServer,
+    queue: Arc<BatchQueue>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the listener and worker pool. The model is shared
+    /// immutably: every worker holds the same `Arc`, and prediction
+    /// borrows request buffers without copying them.
+    pub fn start(model: Arc<RpmClassifier>, config: &ServeConfig) -> Result<Server, ServeError> {
+        // A serving endpoint without metric recording would scrape
+        // empty; bump to Summary (keeping any RPM_LOG JSONL path) the
+        // way `rpm-cli classify --metrics-addr` does.
+        if !rpm_obs::enabled() {
+            rpm_obs::ObsConfig {
+                level: rpm_obs::ObsLevel::Summary,
+                json_path: rpm_obs::json_path(),
+                http_addr: None,
+            }
+            .install();
+        }
+        let queue = Arc::new(BatchQueue::new(config.queue_depth));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let model = Arc::clone(&model);
+            let parallelism = config.parallelism;
+            let max_batch = config.max_batch;
+            let window = config.batch_window;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("rpm-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(popped) = queue.pop_batch(max_batch, window) {
+                            batch::process_batch(&model, parallelism, popped);
+                        }
+                    })
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        let handler_queue = Arc::clone(&queue);
+        let deadline = config.deadline;
+        let router = rpm_obs::metrics_routes().route("POST", "/classify", move |req| {
+            classify(&handler_queue, deadline, req)
+        });
+        let http = rpm_obs::serve_router(&config.addr, config.limits, router)?;
+
+        Ok(Server {
+            http,
+            queue,
+            workers,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.http.local_addr()
+    }
+
+    /// Orderly shutdown: stop accepting, close the queue (workers drain
+    /// what is left), join the workers.
+    pub fn shutdown(&mut self) {
+        self.http.shutdown();
+        self.queue.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The `POST /classify` handler: parse, enqueue (or shed), await the
+/// worker's reply under the request deadline.
+fn classify(queue: &BatchQueue, deadline: Duration, req: &Request) -> Response {
+    let m = rpm_obs::metrics();
+    m.serve_requests.inc();
+    let started = Instant::now();
+
+    if let Err(e) = rpm_obs::fault::point("serve.request") {
+        m.serve_errors.inc();
+        return Response::json(500, proto::format_error("internal", &e.to_string()));
+    }
+
+    let requests = match proto::parse_body(&req.body) {
+        Ok(r) => r,
+        Err(e) => return Response::json(400, proto::format_error("bad_request", &e)),
+    };
+    let ids: Vec<Option<String>> = requests.iter().map(|r| r.id.clone()).collect();
+    let series: Vec<Vec<f64>> = requests.into_iter().map(|r| r.values).collect();
+
+    let (reply_tx, reply_rx) = channel();
+    let pending = Pending {
+        series,
+        enqueued: started,
+        deadline: started + deadline,
+        reply: reply_tx,
+    };
+    if queue.try_push(pending).is_err() {
+        m.serve_shed.inc();
+        return Response::json(
+            429,
+            proto::format_error("overloaded", "queue full; retry after backoff"),
+        )
+        .with_header("Retry-After", "1");
+    }
+
+    // Small grace over the deadline: the worker-side gate is the real
+    // enforcement; the timeout here only backstops a predict call that
+    // straddles the deadline (answered 504 all the same).
+    let wait = deadline + Duration::from_millis(50);
+    let response = match reply_rx.recv_timeout(wait) {
+        Ok(Reply::Labels(labels)) => {
+            let mut body = String::with_capacity(labels.len() * 16);
+            for (id, label) in ids.iter().zip(&labels) {
+                body.push_str(&proto::format_response_line(id.as_deref(), *label));
+                body.push('\n');
+            }
+            Response::json(200, body).with_content_type("application/jsonl; charset=utf-8")
+        }
+        Ok(Reply::DeadlineExceeded) | Err(RecvTimeoutError::Timeout) => {
+            m.serve_deadline_exceeded.inc();
+            Response::json(
+                504,
+                proto::format_error(
+                    "deadline_exceeded",
+                    &format!(
+                        "{}ms deadline passed before prediction",
+                        deadline.as_millis()
+                    ),
+                ),
+            )
+        }
+        Ok(Reply::Failed(msg)) => {
+            m.serve_errors.inc();
+            Response::json(500, proto::format_error("internal", &msg))
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            m.serve_errors.inc();
+            Response::json(
+                500,
+                proto::format_error("internal", "worker dropped the request"),
+            )
+        }
+    };
+    m.serve_latency.observe(started.elapsed().as_nanos() as u64);
+    response
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rpm_core::RpmConfig;
+    use rpm_sax::SaxConfig;
+    use rpm_ts::Dataset;
+    use std::io::Write;
+    use std::net::TcpStream;
+
+    /// Two planted-motif classes, the shape the persistence tests use.
+    fn dataset(seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new("serve-test", Vec::new(), Vec::new());
+        for class in 0..2usize {
+            for _ in 0..10 {
+                let mut s: Vec<f64> = (0..96).map(|_| 0.2 * (rng.gen::<f64>() - 0.5)).collect();
+                let at = rng.gen_range(0usize..96 - 20);
+                for i in 0..20 {
+                    let t = std::f64::consts::TAU * i as f64 / 20.0;
+                    s[at + i] += 3.0 * if class == 0 { t.sin() } else { -t.sin() };
+                }
+                d.push(s, class);
+            }
+        }
+        d
+    }
+
+    fn tiny_model() -> RpmClassifier {
+        let config = RpmConfig::fixed(SaxConfig::new(20, 4, 4));
+        RpmClassifier::train(&dataset(1), &config).unwrap()
+    }
+
+    fn post(addr: std::net::SocketAddr, body: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "POST /classify HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_classify_end_to_end() {
+        let model = Arc::new(tiny_model());
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeConfig::default()
+        };
+        let mut server = Server::start(Arc::clone(&model), &config).unwrap();
+        let addr = server.local_addr();
+
+        let series = dataset(2).series.remove(0);
+        let rendered: Vec<String> = series.iter().map(|v| format!("{v}")).collect();
+        let body = format!("{{\"id\":\"probe\",\"series\":[{}]}}\n", rendered.join(","));
+        let response = post(addr, &body);
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        let expected = model.predict_batch(std::slice::from_ref(&series));
+        assert!(
+            response.contains(&format!("{{\"id\":\"probe\",\"label\":{}}}", expected[0])),
+            "{response}"
+        );
+
+        // Malformed body → 400 with a line-numbered error.
+        let bad = post(addr, "not json\n");
+        assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+        assert!(bad.contains("bad_request"), "{bad}");
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn refuses_unverified_v1_models() {
+        let model = tiny_model();
+        let mut v2 = Vec::new();
+        model.save(&mut v2).unwrap();
+        let mut v1 = Vec::new();
+        model.save_v1(&mut v1).unwrap();
+
+        assert!(load_verified(&v2, false).is_ok());
+        match load_verified(&v1, false) {
+            Err(ServeError::Unverified(report)) => assert_eq!(report.version, 1),
+            other => panic!("expected Unverified, got {:?}", other.map(|_| ())),
+        }
+        // Explicit opt-in still loads it.
+        assert!(load_verified(&v1, true).is_ok());
+        // Corruption is refused regardless.
+        let mut corrupt = v2.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x40;
+        assert!(matches!(
+            load_verified(&corrupt, true),
+            Err(ServeError::Verify(_))
+        ));
+    }
+}

@@ -1,0 +1,310 @@
+//! The `/classify` wire protocol: JSON Lines in, JSON Lines out.
+//!
+//! Each request-body line is one series to classify, either a bare
+//! number array or an object carrying an optional client id:
+//!
+//! ```text
+//! [0.12, -3.4, 5.0e-1, 7]
+//! {"id": "icu-314", "series": [0.12, -3.4]}
+//! ```
+//!
+//! Each response line answers the same-positioned request line:
+//!
+//! ```text
+//! {"label": 2}
+//! {"id": "icu-314", "label": 0}
+//! ```
+//!
+//! Whole-request failures (shed, deadline, fault) come back as a single
+//! JSON object with an `"error"` field and the HTTP status carries the
+//! verdict. The parser is a minimal hand-rolled one — the build is
+//! dependency-free by policy — and accepts exactly the subset above:
+//! values must be finite JSON numbers, ids JSON strings without exotic
+//! escapes. Anything else is a parse error naming the line, answered
+//! with `400`.
+
+/// One parsed request line: the optional client id and the series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesRequest {
+    /// Client-chosen id echoed into the response line, if any.
+    pub id: Option<String>,
+    /// The series to classify.
+    pub values: Vec<f64>,
+}
+
+/// Parses a whole JSONL request body. Blank lines are skipped; an empty
+/// body (no series at all) is an error.
+pub fn parse_body(body: &[u8]) -> Result<Vec<SeriesRequest>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))?);
+    }
+    if out.is_empty() {
+        return Err("empty request: no series lines".to_string());
+    }
+    Ok(out)
+}
+
+/// Parses one request line (bare array or `{"id", "series"}` object).
+pub fn parse_line(line: &str) -> Result<SeriesRequest, String> {
+    let mut p = Parser {
+        chars: line.char_indices().peekable(),
+        src: line,
+    };
+    p.skip_ws();
+    let request = match p.peek() {
+        Some('[') => SeriesRequest {
+            id: None,
+            values: p.parse_number_array()?,
+        },
+        Some('{') => p.parse_request_object()?,
+        _ => return Err("expected a JSON array or object".to_string()),
+    };
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err("trailing characters after the JSON value".to_string());
+    }
+    if request.values.is_empty() {
+        return Err("series is empty".to_string());
+    }
+    Ok(request)
+}
+
+/// Renders one response line. `None` labels never happen today, but the
+/// signature mirrors the request shape: id echoed when present.
+pub fn format_response_line(id: Option<&str>, label: usize) -> String {
+    match id {
+        Some(id) => format!("{{\"id\":{},\"label\":{label}}}", quote_json(id)),
+        None => format!("{{\"label\":{label}}}"),
+    }
+}
+
+/// Renders the single-object error body used by non-200 responses.
+pub fn format_error(code: &str, detail: &str) -> String {
+    format!(
+        "{{\"error\":{},\"detail\":{}}}\n",
+        quote_json(code),
+        quote_json(detail)
+    )
+}
+
+/// JSON string quoting with the mandatory escapes.
+fn quote_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    fn next(&mut self) -> Option<char> {
+        self.chars.next().map(|(_, c)| c)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\r' | '\n')) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        self.skip_ws();
+        match self.next() {
+            Some(got) if got == c => Ok(()),
+            Some(got) => Err(format!("expected {c:?}, found {got:?}")),
+            None => Err(format!("expected {c:?}, found end of line")),
+        }
+    }
+
+    fn parse_number_array(&mut self) -> Result<Vec<f64>, String> {
+        self.expect('[')?;
+        let mut values = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.next();
+            return Ok(values);
+        }
+        loop {
+            values.push(self.parse_number()?);
+            self.skip_ws();
+            match self.next() {
+                Some(',') => continue,
+                Some(']') => return Ok(values),
+                Some(c) => return Err(format!("expected ',' or ']', found {c:?}")),
+                None => return Err("unterminated array".to_string()),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = match self.chars.peek() {
+            Some(&(i, _)) => i,
+            None => return Err("expected a number, found end of line".to_string()),
+        };
+        let mut end = start;
+        while let Some(&(i, c)) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                end = i + c.len_utf8();
+                self.chars.next();
+            } else {
+                break;
+            }
+        }
+        let token = &self.src[start..end];
+        let v: f64 = token.parse().map_err(|_| format!("bad number {token:?}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite number {token:?}"));
+        }
+        Ok(v)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some(c) => return Err(format!("unsupported escape \\{c}")),
+                    None => return Err("unterminated string escape".to_string()),
+                },
+                Some(c) => out.push(c),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn parse_request_object(&mut self) -> Result<SeriesRequest, String> {
+        self.expect('{')?;
+        let mut id = None;
+        let mut values: Option<Vec<f64>> = None;
+        self.skip_ws();
+        if self.peek() == Some('}') {
+            self.next();
+        } else {
+            loop {
+                let key = self.parse_string()?;
+                self.expect(':')?;
+                self.skip_ws();
+                match key.as_str() {
+                    "id" => id = Some(self.parse_string()?),
+                    "series" => values = Some(self.parse_number_array()?),
+                    other => return Err(format!("unknown key {other:?} (id|series)")),
+                }
+                self.skip_ws();
+                match self.next() {
+                    Some(',') => {
+                        self.skip_ws();
+                        continue;
+                    }
+                    Some('}') => break,
+                    Some(c) => return Err(format!("expected ',' or '}}', found {c:?}")),
+                    None => return Err("unterminated object".to_string()),
+                }
+            }
+        }
+        Ok(SeriesRequest {
+            id,
+            values: values.ok_or_else(|| "object is missing \"series\"".to_string())?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_arrays_parse() {
+        let r = parse_line("[0.5, -1, 2.5e1, 7]").unwrap();
+        assert_eq!(r.id, None);
+        assert_eq!(r.values, vec![0.5, -1.0, 25.0, 7.0]);
+    }
+
+    #[test]
+    fn objects_carry_ids() {
+        let r = parse_line(r#"{"id": "abc-1", "series": [1, 2, 3]}"#).unwrap();
+        assert_eq!(r.id.as_deref(), Some("abc-1"));
+        assert_eq!(r.values, vec![1.0, 2.0, 3.0]);
+        // Key order is free.
+        let r = parse_line(r#"{"series": [4], "id": "z"}"#).unwrap();
+        assert_eq!(r.id.as_deref(), Some("z"));
+        assert_eq!(r.values, vec![4.0]);
+    }
+
+    #[test]
+    fn bodies_split_lines_and_skip_blanks() {
+        let body = b"[1,2]\n\n{\"series\":[3]}\n";
+        let parsed = parse_body(body).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].values, vec![3.0]);
+    }
+
+    #[test]
+    fn junk_is_rejected_with_line_numbers() {
+        assert!(parse_body(b"").is_err());
+        assert!(parse_body(b"\n\n").is_err());
+        let e = parse_body(b"[1,2]\nnot json\n").unwrap_err();
+        assert!(e.starts_with("line 2:"), "{e}");
+        assert!(parse_line("[1, 2,]").is_err());
+        assert!(parse_line("[]").is_err(), "empty series");
+        assert!(parse_line("[1] trailing").is_err());
+        assert!(parse_line(r#"{"series": [1], "extra": 3}"#).is_err());
+        assert!(parse_line(r#"{"id": "x"}"#).is_err(), "missing series");
+        assert!(parse_line("[1e999]").is_err(), "overflow to inf");
+    }
+
+    #[test]
+    fn response_lines_echo_ids_with_escaping() {
+        assert_eq!(format_response_line(None, 3), "{\"label\":3}");
+        assert_eq!(
+            format_response_line(Some("a\"b"), 0),
+            "{\"id\":\"a\\\"b\",\"label\":0}"
+        );
+        let err = format_error("deadline_exceeded", "1ms deadline passed");
+        assert!(err.contains("\"deadline_exceeded\""), "{err}");
+    }
+
+    #[test]
+    fn parse_and_format_roundtrip() {
+        let line = format_response_line(Some("id-9"), 4);
+        // The response line itself is valid JSON by our own parser's
+        // standards for objects (different keys, so just sanity-check
+        // the quoting survived).
+        assert_eq!(line, "{\"id\":\"id-9\",\"label\":4}");
+    }
+}

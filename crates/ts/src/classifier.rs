@@ -6,8 +6,42 @@
 //! The trait lives in this foundation crate (rather than the baselines
 //! crate, where it started) so `rpm-core` can implement it without a
 //! dependency cycle.
+//!
+//! ## Borrowed batches
+//!
+//! The batch surface is built around *borrows*: a batch is any slice of
+//! things that view as `&[f64]` — `&[Vec<f64>]` from a loaded dataset,
+//! or `&[&[f64]]` assembled from buffers owned elsewhere (the serving
+//! path gathers slices across queued requests without copying a single
+//! sample). [`Classifier::predict_batch`] is the generic entry point;
+//! [`Classifier::predict_batch_refs`] is its object-safe core, which is
+//! what `dyn Classifier` callers and trait implementors use.
 
 use crate::dataset::Label;
+
+/// How much parallelism a batch-prediction call may use. This is a
+/// per-call execution knob, not a property of the model: the same
+/// trained classifier answers serial single-request traffic and wide
+/// offline batches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One thread — the caller's.
+    #[default]
+    Serial,
+    /// Fan the per-series work out across `n` worker threads (clamped to
+    /// at least 1). Results are bit-identical to [`Parallelism::Serial`].
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// Worker count this setting resolves to (`Serial` → 1).
+    pub fn workers(self) -> usize {
+        match self {
+            Self::Serial => 1,
+            Self::Threads(n) => n.max(1),
+        }
+    }
+}
 
 /// Uniform prediction interface over trained time-series classifiers.
 ///
@@ -24,17 +58,68 @@ use crate::dataset::Label;
 ///     }
 /// }
 ///
-/// let model: &dyn Classifier = &SignOfMean;
+/// let model = SignOfMean;
 /// assert_eq!(model.predict(&[-1.0, -2.0]), 0);
+/// // Owned batches and borrowed batches go through the same call.
 /// assert_eq!(model.predict_batch(&[vec![1.0, 2.0]]), vec![1]);
+/// let borrowed: [&[f64]; 2] = [&[1.0, 2.0], &[-1.0, -2.0]];
+/// assert_eq!(model.predict_batch(&borrowed), vec![1, 0]);
+///
+/// // Trait objects use the object-safe core; the generic door stays
+/// // reachable through the `&dyn` reference itself (which is `Sized`).
+/// let dyn_model: &dyn Classifier = &model;
+/// assert_eq!(dyn_model.predict_batch_refs(&borrowed), vec![1, 0]);
+/// assert_eq!(Classifier::predict_batch(&dyn_model, &[vec![1.0, 2.0]]), vec![1]);
 /// ```
 pub trait Classifier {
     /// Predicts the class label of one series.
     fn predict(&self, series: &[f64]) -> Label;
 
-    /// Predicts a batch.
-    fn predict_batch(&self, series: &[Vec<f64>]) -> Vec<Label> {
+    /// Object-safe batch core: predicts one label per borrowed series.
+    ///
+    /// Implementors override this (not [`Classifier::predict_batch`]) to
+    /// provide an optimized batch path; `dyn Classifier` callers that
+    /// cannot use the generic front door call it directly.
+    fn predict_batch_refs(&self, series: &[&[f64]]) -> Vec<Label> {
         series.iter().map(|s| self.predict(s)).collect()
+    }
+
+    /// Predicts a batch from anything that views as series slices:
+    /// `&[Vec<f64>]`, `&[&[f64]]`, `&[Box<[f64]>]`, … The batch is
+    /// *borrowed* — no sample data is copied to cross this call.
+    fn predict_batch<S: AsRef<[f64]>>(&self, series: &[S]) -> Vec<Label>
+    where
+        Self: Sized,
+    {
+        let refs: Vec<&[f64]> = series.iter().map(AsRef::as_ref).collect();
+        self.predict_batch_refs(&refs)
+    }
+}
+
+/// References classify like the classifier they point at. This keeps
+/// the generic [`Classifier::predict_batch`] reachable for trait
+/// objects: `&dyn Classifier` is `Sized`, so
+/// `Classifier::predict_batch(&the_ref, batch)` compiles even though
+/// `dyn Classifier` itself cannot carry the generic method.
+impl<C: Classifier + ?Sized> Classifier for &C {
+    fn predict(&self, series: &[f64]) -> Label {
+        (**self).predict(series)
+    }
+
+    fn predict_batch_refs(&self, series: &[&[f64]]) -> Vec<Label> {
+        (**self).predict_batch_refs(series)
+    }
+}
+
+/// Boxed classifiers (the harness's `Box<dyn Classifier>`) delegate to
+/// their contents.
+impl<C: Classifier + ?Sized> Classifier for Box<C> {
+    fn predict(&self, series: &[f64]) -> Label {
+        (**self).predict(series)
+    }
+
+    fn predict_batch_refs(&self, series: &[&[f64]]) -> Vec<Label> {
+        (**self).predict_batch_refs(series)
     }
 }
 
@@ -58,9 +143,41 @@ mod tests {
     }
 
     #[test]
+    fn borrowed_batches_take_plain_slices() {
+        let c = Constant(7);
+        let a = [0.0; 4];
+        let b = [1.0; 9];
+        let batch: [&[f64]; 2] = [&a, &b];
+        assert_eq!(c.predict_batch(&batch), vec![7, 7]);
+        assert_eq!(c.predict_batch_refs(&batch), vec![7, 7]);
+    }
+
+    #[test]
     fn trait_objects_dispatch() {
         let models: Vec<Box<dyn Classifier>> = vec![Box::new(Constant(0)), Box::new(Constant(1))];
         let preds: Vec<Label> = models.iter().map(|m| m.predict(&[0.5])).collect();
         assert_eq!(preds, vec![0, 1]);
+    }
+
+    #[test]
+    fn boxed_and_referenced_classifiers_batch_through_the_generic_door() {
+        let boxed: Box<dyn Classifier> = Box::new(Constant(2));
+        assert_eq!(boxed.predict_batch(&[vec![0.0; 3]]), vec![2]);
+        let constant = Constant(4);
+        let dynref: &dyn Classifier = &constant;
+        // Method syntax resolves to the (uncallable) object method, so
+        // dyn callers go through UFCS on the reference or the refs core.
+        assert_eq!(Classifier::predict_batch(&dynref, &[vec![0.0; 3]]), vec![4]);
+        let series = [0.0; 3];
+        let refs: [&[f64]; 1] = [&series];
+        assert_eq!(dynref.predict_batch_refs(&refs), vec![4]);
+    }
+
+    #[test]
+    fn parallelism_resolves_worker_counts() {
+        assert_eq!(Parallelism::Serial.workers(), 1);
+        assert_eq!(Parallelism::Threads(0).workers(), 1);
+        assert_eq!(Parallelism::Threads(8).workers(), 8);
+        assert_eq!(Parallelism::default(), Parallelism::Serial);
     }
 }

@@ -26,7 +26,7 @@ pub mod rotate;
 pub mod stats;
 pub mod windows;
 
-pub use classifier::Classifier;
+pub use classifier::{Classifier, Parallelism};
 pub use dataset::{ClassView, Dataset, Label};
 pub use dist::{euclidean, euclidean_early_abandon, sq_euclidean, sq_euclidean_early_abandon};
 pub use matching::{

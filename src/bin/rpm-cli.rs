@@ -12,6 +12,16 @@
 //!         [--metrics-addr HOST:PORT]       # serve Prometheus /metrics
 //!         [--metrics-linger SECS]          # keep serving after classify
 //! rpm-cli model verify <MODEL>             # checksum + structure check
+//! rpm-cli serve <MODEL> [--addr HOST:PORT] # HTTP/JSONL classify server
+//!         [--workers N] [--batch-max N]    # micro-batching worker pool
+//!         [--batch-window-ms MS]           # flush window per batch
+//!         [--queue-depth N]                # series queued before 429
+//!         [--deadline-ms MS]               # per-request deadline (504)
+//!         [--threads N]                    # per-batch predict threads
+//!         [--allow-unverified]             # accept v1 (no-checksum) models
+//!         [--duration-secs S]              # serve S seconds, then exit
+//! rpm-cli load-gen <ADDR> <TEST_FILE>      # open-loop load generator
+//!         [--qps R[,R..]] [--duration-secs S] [--senders N] [--json PATH]
 //! rpm-cli patterns <MODEL>                 # prints the learned patterns
 //! rpm-cli motifs <SERIES_FILE> [--window W --paa P --alpha A]
 //!                                          # exploratory motifs/discords
@@ -44,12 +54,16 @@ fn main() -> ExitCode {
         Some("train") => cmd_train(&args[1..]),
         Some("classify") => cmd_classify(&args[1..]),
         Some("model") => cmd_model(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("load-gen") => cmd_load_gen(&args[1..]),
         Some("patterns") => cmd_patterns(&args[1..]),
         Some("motifs") => cmd_motifs(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("obs") => cmd_obs(&args[1..]),
         _ => {
-            eprintln!("usage: rpm-cli <train|classify|model|patterns|motifs|generate|obs> ...");
+            eprintln!(
+                "usage: rpm-cli <train|classify|model|serve|load-gen|patterns|motifs|generate|obs> ..."
+            );
             eprintln!("see the crate docs (src/bin/rpm-cli.rs) for full usage");
             return ExitCode::from(2);
         }
@@ -229,6 +243,112 @@ fn cmd_model(args: &[String]) -> CliResult {
         }
         _ => Err("usage: rpm-cli model verify <MODEL>".into()),
     }
+}
+
+/// `rpm-cli serve MODEL …` — bring up the classify server. Verification
+/// is not optional: a model that fails its CRC check (or predates
+/// checksums, absent `--allow-unverified`) never reaches the listener.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let model_path = positional(args, 0)?;
+    let allow_unverified = flag_present(args, "--allow-unverified");
+    let (model, report) =
+        rpm::serve::load_verified_path(std::path::Path::new(model_path), allow_unverified)
+            .map_err(|e| format!("{model_path}: {e}"))?;
+    eprintln!(
+        "{model_path}: verified format v{}, {} patterns, {} classes{}",
+        report.version,
+        report.patterns,
+        report.classes,
+        if report.version < 2 {
+            " (UNVERIFIED: v1 carries no checksums)"
+        } else {
+            ""
+        }
+    );
+
+    let config = rpm::serve::ServeConfig {
+        addr: flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:9899".to_string()),
+        workers: parse_flag::<usize>(args, "--workers")?.unwrap_or(2),
+        max_batch: parse_flag::<usize>(args, "--batch-max")?.unwrap_or(32),
+        batch_window: std::time::Duration::from_millis(
+            parse_flag::<u64>(args, "--batch-window-ms")?.unwrap_or(2),
+        ),
+        queue_depth: parse_flag::<usize>(args, "--queue-depth")?.unwrap_or(1024),
+        deadline: std::time::Duration::from_millis(
+            parse_flag::<u64>(args, "--deadline-ms")?.unwrap_or(2000),
+        ),
+        parallelism: match parse_flag::<usize>(args, "--threads")?.unwrap_or(1) {
+            0 | 1 => rpm::core::Parallelism::Serial,
+            n => rpm::core::Parallelism::Threads(n),
+        },
+        limits: rpm::obs::ServeLimits::default(),
+    };
+    let mut server = rpm::serve::Server::start(std::sync::Arc::new(model), &config)?;
+    eprintln!(
+        "serving /classify, /metrics, /healthz on {} ({} workers, batch ≤{} series / {}ms window)",
+        server.local_addr(),
+        config.workers,
+        config.max_batch,
+        config.batch_window.as_millis()
+    );
+    match parse_flag::<u64>(args, "--duration-secs")? {
+        // Smoke-test mode: serve for a bounded window, then exit cleanly.
+        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
+        // Service mode: park this thread; the listener does the work.
+        None => loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        },
+    }
+    server.shutdown();
+    Ok(())
+}
+
+/// `rpm-cli load-gen ADDR TEST_FILE …` — drive a running server with
+/// open-loop traffic at each requested QPS level and print the table.
+fn cmd_load_gen(args: &[String]) -> CliResult {
+    let addr: std::net::SocketAddr = positional(args, 0)?
+        .parse()
+        .map_err(|e| format!("bad address: {e}"))?;
+    let test_path = positional(args, 1)?;
+    let (test, _, quarantine) = read_ucr_file_lenient(test_path)?;
+    report_quarantine(test_path, &quarantine);
+    let series = test.series.first().ok_or("test file is empty")?;
+    let rendered: Vec<String> = series.iter().map(|v| format!("{v}")).collect();
+    let body = format!("[{}]\n", rendered.join(","));
+
+    let qps_list: Vec<f64> = match flag_value(args, "--qps")? {
+        Some(spec) => spec
+            .split(',')
+            .map(|s| s.trim().parse::<f64>().map_err(|e| format!("--qps: {e}")))
+            .collect::<Result<_, _>>()?,
+        None => vec![50.0, 200.0, 800.0],
+    };
+    let duration =
+        std::time::Duration::from_secs(parse_flag::<u64>(args, "--duration-secs")?.unwrap_or(5));
+    let senders = parse_flag::<usize>(args, "--senders")?.unwrap_or(8);
+
+    println!(
+        "| run | offered qps | achieved qps | 200 | 429 | 504 | err | p50 ms | p99 ms | shed p99 ms |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    let mut json_lines = Vec::new();
+    for qps in qps_list {
+        let report = rpm::serve::run_load(&rpm::serve::LoadConfig {
+            addr,
+            qps,
+            duration,
+            senders,
+            body: body.clone(),
+        });
+        let label = format!("{qps:.0}qps");
+        println!("{}", report.markdown_row(&label));
+        json_lines.push(report.to_json(&label));
+    }
+    if let Some(path) = flag_value(args, "--json")? {
+        std::fs::write(&path, format!("[{}]\n", json_lines.join(",\n ")))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
 }
 
 fn cmd_classify(args: &[String]) -> CliResult {

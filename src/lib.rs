@@ -15,7 +15,8 @@
 //! * [`obs`] — spans, metrics, and structured run reports,
 //! * [`opt`] — DIRECT and grid search,
 //! * [`data`] — dataset generators and UCR I/O,
-//! * [`baselines`] — the five comparison classifiers.
+//! * [`baselines`] — the five comparison classifiers,
+//! * [`serve`] — the concurrent classify server with micro-batching.
 //!
 //! ## Quickstart
 //!
@@ -44,6 +45,7 @@ pub use rpm_ml as ml;
 pub use rpm_obs as obs;
 pub use rpm_opt as opt;
 pub use rpm_sax as sax;
+pub use rpm_serve as serve;
 pub use rpm_ts as ts;
 
 /// The names most programs need.

@@ -1,0 +1,266 @@
+//! End-to-end acceptance tests for the classify server: a trained model
+//! served over HTTP must answer concurrent clients with predictions
+//! bit-identical to the offline `predict_batch` path, enforce request
+//! deadlines with the documented `504` error code, shed overload with
+//! `429`, refuse unverifiable (v1) models at startup, and survive an
+//! armed request-path fault without dying.
+//!
+//! The fault plan is process-global, so the fault test serializes on
+//! [`gate`] like `tests/resilience.rs` does.
+
+use rpm::core::{RpmClassifier, RpmConfig};
+use rpm::data::generate;
+use rpm::data::registry::spec_by_name;
+use rpm::sax::SaxConfig;
+use rpm::serve::{load_verified, LoadConfig, ServeConfig, ServeError, Server};
+use rpm::ts::Dataset;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn gate() -> MutexGuard<'static, ()> {
+    static GATE: Mutex<()> = Mutex::new(());
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn cbf() -> (Dataset, Dataset) {
+    let mut spec = spec_by_name("CBF").expect("CBF registered");
+    spec.train = 12;
+    spec.test = 8;
+    generate(&spec, 2016)
+}
+
+fn trained() -> (Arc<RpmClassifier>, Dataset) {
+    let (train, test) = cbf();
+    let config = RpmConfig::fixed(SaxConfig::new(32, 4, 4));
+    let model = RpmClassifier::train(&train, &config).expect("train CBF");
+    (Arc::new(model), test)
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    }
+}
+
+fn jsonl_body(series: &[f64]) -> String {
+    let rendered: Vec<String> = series.iter().map(|v| format!("{v}")).collect();
+    format!("[{}]\n", rendered.join(","))
+}
+
+fn post(addr: std::net::SocketAddr, body: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /classify HTTP/1.0\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+fn label_of(response: &str) -> usize {
+    assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+    let tail = response
+        .split("\"label\":")
+        .nth(1)
+        .unwrap_or_else(|| panic!("no label in {response}"));
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric label")
+}
+
+#[test]
+fn concurrent_clients_match_offline_predictions_bit_for_bit() {
+    let (model, test) = trained();
+    let mut server = Server::start(Arc::clone(&model), &test_config()).expect("start");
+    let addr = server.local_addr();
+
+    let expected = model.predict_batch(&test.series);
+    // Every test series from its own client thread, all in flight at
+    // once, so replies cross micro-batch boundaries.
+    let served: Vec<usize> = std::thread::scope(|scope| {
+        let handles: Vec<_> = test
+            .series
+            .iter()
+            .map(|series| {
+                let body = jsonl_body(series);
+                scope.spawn(move || label_of(&post(addr, &body)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_eq!(served, expected, "served labels must match offline batch");
+
+    // The observability routes share the listener.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    write!(stream, "GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut metrics = String::new();
+    stream.read_to_string(&mut metrics).unwrap();
+    assert!(metrics.contains("rpm_serve_requests_total"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn multi_series_requests_answer_in_order_with_ids() {
+    let (model, test) = trained();
+    let mut server = Server::start(Arc::clone(&model), &test_config()).expect("start");
+    let addr = server.local_addr();
+
+    let expected = model.predict_batch(&test.series[..3]);
+    let body: String = test.series[..3]
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let rendered: Vec<String> = s.iter().map(|v| format!("{v}")).collect();
+            format!(
+                "{{\"id\":\"row-{i}\",\"series\":[{}]}}\n",
+                rendered.join(",")
+            )
+        })
+        .collect();
+    let response = post(addr, &body);
+    assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+    for (i, label) in expected.iter().enumerate() {
+        assert!(
+            response.contains(&format!("{{\"id\":\"row-{i}\",\"label\":{label}}}")),
+            "row {i}: {response}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn expired_deadlines_answer_the_documented_504_code() {
+    let (model, test) = trained();
+    let config = ServeConfig {
+        deadline: Duration::from_millis(0),
+        // A wide window holds the batch open past the (zero) deadline,
+        // so the worker-side gate is what answers.
+        batch_window: Duration::from_millis(150),
+        max_batch: 10_000,
+        ..test_config()
+    };
+    let mut server = Server::start(Arc::clone(&model), &config).expect("start");
+    let response = post(server.local_addr(), &jsonl_body(&test.series[0]));
+    assert!(response.starts_with("HTTP/1.0 504"), "{response}");
+    assert!(response.contains("\"deadline_exceeded\""), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_429_and_retry_after() {
+    let (model, test) = trained();
+    let config = ServeConfig {
+        // One worker holding batches open, a one-series queue: the
+        // second concurrent request must shed.
+        workers: 1,
+        queue_depth: 1,
+        max_batch: 1,
+        batch_window: Duration::from_millis(200),
+        ..test_config()
+    };
+    let mut server = Server::start(Arc::clone(&model), &config).expect("start");
+    let addr = server.local_addr();
+    let body = jsonl_body(&test.series[0]);
+
+    // Saturate with concurrent clients; at least one must be shed and
+    // sheds must carry Retry-After.
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let body = body.clone();
+                scope.spawn(move || post(addr, &body))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let shed: Vec<&String> = responses
+        .iter()
+        .filter(|r| r.starts_with("HTTP/1.0 429"))
+        .collect();
+    assert!(!shed.is_empty(), "expected sheds, got: {responses:?}");
+    for r in &shed {
+        assert!(r.contains("Retry-After: 1"), "{r}");
+        assert!(r.contains("\"overloaded\""), "{r}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn v1_models_are_refused_without_allow_unverified() {
+    let (model, _) = trained();
+    let mut v1 = Vec::new();
+    model.save_v1(&mut v1).expect("save v1");
+    match load_verified(&v1, false) {
+        Err(ServeError::Unverified(report)) => assert_eq!(report.version, 1),
+        other => panic!("expected Unverified, got {:?}", other.map(|_| "loaded")),
+    }
+    let (loaded, report) = load_verified(&v1, true).expect("explicit opt-in loads v1");
+    assert_eq!(report.version, 1);
+    // The opted-in model still predicts.
+    let (_, test) = cbf();
+    assert_eq!(
+        loaded.predict_batch(&test.series),
+        model.predict_batch(&test.series)
+    );
+}
+
+#[test]
+fn armed_request_fault_degrades_to_an_error_response_not_a_crash() {
+    let _g = gate();
+    let (model, test) = trained();
+    let mut server = Server::start(Arc::clone(&model), &test_config()).expect("start");
+    let addr = server.local_addr();
+    let body = jsonl_body(&test.series[0]);
+
+    rpm::obs::fault::install(rpm::obs::fault::parse("serve.request:io:1:0").expect("spec"));
+    let faulted = post(addr, &body);
+    rpm::obs::fault::clear();
+    assert!(faulted.starts_with("HTTP/1.0 500"), "{faulted}");
+    assert!(faulted.contains("\"internal\""), "{faulted}");
+
+    // The server survived: the same request now answers normally, and
+    // so does the batch-site fault once disarmed.
+    let healthy = post(addr, &body);
+    assert!(healthy.starts_with("HTTP/1.0 200"), "{healthy}");
+
+    rpm::obs::fault::install(rpm::obs::fault::parse("serve.batch:io:1:0").expect("spec"));
+    let faulted = post(addr, &body);
+    rpm::obs::fault::clear();
+    assert!(faulted.starts_with("HTTP/1.0 500"), "{faulted}");
+
+    let healthy = post(addr, &body);
+    assert!(healthy.starts_with("HTTP/1.0 200"), "{healthy}");
+    server.shutdown();
+}
+
+#[test]
+fn loadgen_reports_against_a_live_server() {
+    let (model, test) = trained();
+    let mut server = Server::start(Arc::clone(&model), &test_config()).expect("start");
+    let report = rpm::serve::run_load(&LoadConfig {
+        addr: server.local_addr(),
+        qps: 40.0,
+        duration: Duration::from_millis(500),
+        senders: 4,
+        body: jsonl_body(&test.series[0]),
+    });
+    assert!(report.sent > 0);
+    assert_eq!(
+        report.sent,
+        report.ok + report.shed + report.deadline + report.errors
+    );
+    assert!(report.ok > 0, "{report:?}");
+    assert!(report.p99_ms >= report.p50_ms, "{report:?}");
+    server.shutdown();
+}
