@@ -202,6 +202,71 @@ fn bench_predict_latency(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of request-scoped tracing on the serving path — the acceptance
+/// gate (BENCH.md): the traced batch predict (kernel counters attached)
+/// must stay within 2% of the untraced path at p99, and the per-request
+/// bookkeeping (build a trace, add the serving span tree, finish, offer
+/// it to the flight recorder) must be microseconds, dwarfed by any real
+/// predict.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use rpm_core::{Parallelism, RpmClassifier, RpmConfig};
+    use rpm_ts::ScanCounters;
+    let train = rpm_data::cbf::generate(8, 128, 21);
+    let batch = rpm_data::cbf::generate(4, 128, 22).series;
+    let model = RpmClassifier::train(&train, &RpmConfig::fixed(SaxConfig::new(32, 4, 4)))
+        .expect("train for trace bench");
+    let mut g = c.benchmark_group("trace_overhead");
+    g.bench_function("predict_untraced", |b| {
+        b.iter(|| {
+            model
+                .predict_batch_traced(black_box(&batch), Parallelism::Serial, None)
+                .expect("predict")
+        })
+    });
+    let counters = ScanCounters::new();
+    g.bench_function("predict_counted", |b| {
+        b.iter(|| {
+            model
+                .predict_batch_traced(black_box(&batch), Parallelism::Serial, Some(&counters))
+                .expect("predict")
+        })
+    });
+    g.bench_function("trace_record_cycle", |b| {
+        b.iter(|| {
+            let ctx = rpm_obs::TraceCtx::begin(black_box(None));
+            let t0 = ctx.start_ns();
+            ctx.add_span("parse", t0, 1_000);
+            ctx.add_span("queue_wait", t0 + 1_000, 2_000);
+            let batch_span = ctx.add_span_with(
+                "batch",
+                Some(ctx.root_span()),
+                t0 + 3_000,
+                10_000,
+                vec![
+                    ("batch", "1".to_string()),
+                    ("series", "4".to_string()),
+                    ("requests", "4".to_string()),
+                ],
+                Vec::new(),
+            );
+            ctx.add_span_with(
+                "predict",
+                Some(batch_span),
+                t0 + 3_000,
+                9_000,
+                vec![
+                    ("searches", "128".to_string()),
+                    ("windows", "4096".to_string()),
+                ],
+                Vec::new(),
+            );
+            ctx.add_span("respond", t0 + 13_000, 500);
+            rpm_obs::recorder().record(ctx.finish(rpm_obs::TraceOutcome::Ok, 200))
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_best_match,
@@ -211,6 +276,7 @@ criterion_group!(
     bench_dtw,
     bench_obs_disabled,
     bench_fault_disabled,
-    bench_predict_latency
+    bench_predict_latency,
+    bench_trace_overhead
 );
 criterion_main!(benches);

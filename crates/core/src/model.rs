@@ -7,12 +7,13 @@ use crate::distinct::select_representative_ctx;
 use crate::engine::{Engine, EngineError};
 use crate::params::search_parameters_ctx;
 use crate::transform::{
-    prepare_patterns, transform_series_plans, transform_set_ctx, transform_set_plans_engine,
+    prepare_patterns, transform_series_plans, transform_series_plans_counted, transform_set_ctx,
+    transform_set_plans_engine, transform_set_plans_engine_counted,
 };
 use crate::usage::{render_usage, PatternStats, PatternUsage};
 use rpm_ml::{LinearSvm, SvmParams};
 use rpm_sax::SaxConfig;
-use rpm_ts::{Dataset, Label, MatchPlan, Parallelism};
+use rpm_ts::{Dataset, Label, MatchPlan, Parallelism, ScanCounters};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -362,18 +363,55 @@ impl RpmClassifier {
         Ok(rows.iter().map(|r| self.svm.predict(r)).collect())
     }
 
-    /// Pre-`Parallelism` shim, kept one release so existing harness and
-    /// repro code compiles.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use predict_batch_with(series, Parallelism::Threads(n_threads))"
-    )]
-    pub fn predict_batch_parallel(
+    /// [`predict_batch_with`](Self::predict_batch_with) with an optional
+    /// per-request [`ScanCounters`] accumulator — the request-tracing
+    /// entry point. With `counters = None` this is exactly
+    /// `predict_batch_with` (same code path, same metrics). With an
+    /// accumulator attached, the kernel's search volume (searches,
+    /// windows, early-abandon count, match wall time) for *this batch
+    /// alone* lands in it; counting is integer-only side work, so labels
+    /// stay bit-identical either way.
+    pub fn predict_batch_traced<S: AsRef<[f64]> + Sync>(
         &self,
-        series: &[Vec<f64>],
-        n_threads: usize,
+        series: &[S],
+        parallelism: Parallelism,
+        counters: Option<&ScanCounters>,
     ) -> Result<Vec<Label>, EngineError> {
-        self.predict_batch_with(series, Parallelism::Threads(n_threads))
+        let Some(counters) = counters else {
+            return self.predict_batch_with(series, parallelism);
+        };
+        let _span = rpm_obs::span!("predict");
+        let m = rpm_obs::metrics();
+        m.predict_batches.inc();
+        m.predict_series.add(series.len() as u64);
+        let rows = match parallelism {
+            Parallelism::Serial => series
+                .iter()
+                .map(|s| {
+                    transform_series_plans_counted(
+                        s.as_ref(),
+                        &self.plans,
+                        self.rotation_invariant,
+                        self.early_abandon,
+                        Some(counters),
+                    )
+                })
+                .collect(),
+            Parallelism::Threads(_) => transform_set_plans_engine_counted(
+                series,
+                &self.plans,
+                self.rotation_invariant,
+                self.early_abandon,
+                &Engine::new(parallelism.workers()),
+                Some(counters),
+            )?,
+        };
+        if rpm_obs::enabled() {
+            for row in &rows {
+                self.usage.note(row);
+            }
+        }
+        Ok(rows.iter().map(|r| self.svm.predict(r)).collect())
     }
 
     /// Per-pattern utilization accumulated on the serving path while
@@ -677,15 +715,28 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_parallel_shim_still_answers() {
+    fn traced_batch_is_bit_identical_and_counts_the_kernel() {
         let train = two_class_dataset(10, 128, 46);
         let test = two_class_dataset(4, 128, 47);
         let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
-        assert_eq!(
-            model.predict_batch_parallel(&test.series, 2).unwrap(),
-            model.predict_batch(&test.series)
-        );
+        let plain = model.predict_batch(&test.series);
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+            let counters = ScanCounters::new();
+            let traced = model
+                .predict_batch_traced(&test.series, parallelism, Some(&counters))
+                .unwrap();
+            assert_eq!(traced, plain, "{parallelism:?}");
+            let stats = counters.snapshot();
+            assert!(stats.searches > 0, "{parallelism:?}: {stats:?}");
+            assert!(stats.windows >= stats.searches);
+            // None delegates straight to predict_batch_with.
+            assert_eq!(
+                model
+                    .predict_batch_traced(&test.series, parallelism, None)
+                    .unwrap(),
+                plain
+            );
+        }
     }
 
     #[test]

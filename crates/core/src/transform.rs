@@ -22,7 +22,7 @@
 use crate::cache::Ctx;
 use crate::engine::{Engine, EngineError};
 use rpm_cluster::resample;
-use rpm_ts::{euclidean, rotate_half, znorm, MatchKernel, MatchPlan};
+use rpm_ts::{euclidean, rotate_half, znorm, MatchKernel, MatchPlan, ScanCounters};
 
 /// Distance between two patterns / subsequences of possibly different
 /// lengths: the shorter is slid over the longer (both z-normalized) and
@@ -64,9 +64,14 @@ pub fn prepare_patterns(patterns: &[Vec<f64>], kernel: MatchKernel) -> Vec<Match
 /// test series are shorter than the training series the pattern came
 /// from): the pattern is linearly resampled to the series length and
 /// compared directly, keeping the feature finite.
-fn feature_distance_plan(plan: &MatchPlan, series: &[f64], early_abandon: bool) -> f64 {
+fn feature_distance_plan(
+    plan: &MatchPlan,
+    series: &[f64],
+    early_abandon: bool,
+    counters: Option<&ScanCounters>,
+) -> f64 {
     if plan.len() <= series.len() {
-        match plan.best_match(series, early_abandon) {
+        match plan.best_match_counted(series, early_abandon, counters) {
             Some(m) => m.distance,
             None => 0.0, // empty pattern: degenerate, treat as zero signal
         }
@@ -90,11 +95,25 @@ pub fn transform_series_plans(
     rotation_invariant: bool,
     early_abandon: bool,
 ) -> Vec<f64> {
+    transform_series_plans_counted(series, plans, rotation_invariant, early_abandon, None)
+}
+
+/// [`transform_series_plans`] with an optional per-request
+/// [`ScanCounters`] accumulator (the request-tracing path). Counting is
+/// integer-only side work inside the kernel, so the distances are
+/// bit-identical with or without it.
+pub fn transform_series_plans_counted(
+    series: &[f64],
+    plans: &[MatchPlan],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    counters: Option<&ScanCounters>,
+) -> Vec<f64> {
     if !rpm_obs::enabled() {
-        return transform_series_inner(series, plans, rotation_invariant, early_abandon);
+        return transform_series_inner(series, plans, rotation_invariant, early_abandon, counters);
     }
     let start = rpm_obs::now_ns();
-    let out = transform_series_inner(series, plans, rotation_invariant, early_abandon);
+    let out = transform_series_inner(series, plans, rotation_invariant, early_abandon, counters);
     rpm_obs::metrics()
         .transform_series
         .observe(rpm_obs::now_ns().saturating_sub(start));
@@ -121,6 +140,7 @@ fn transform_series_inner(
     plans: &[MatchPlan],
     rotation_invariant: bool,
     early_abandon: bool,
+    counters: Option<&ScanCounters>,
 ) -> Vec<f64> {
     let rotated = if rotation_invariant {
         Some(rotate_half(series))
@@ -130,9 +150,9 @@ fn transform_series_inner(
     plans
         .iter()
         .map(|p| {
-            let d = feature_distance_plan(p, series, early_abandon);
+            let d = feature_distance_plan(p, series, early_abandon, counters);
             match &rotated {
-                Some(r) => d.min(feature_distance_plan(p, r, early_abandon)),
+                Some(r) => d.min(feature_distance_plan(p, r, early_abandon, counters)),
                 None => d,
             }
         })
@@ -168,8 +188,36 @@ pub fn transform_set_plans_engine<S: AsRef<[f64]> + Sync>(
     early_abandon: bool,
     engine: &Engine,
 ) -> Result<Vec<Vec<f64>>, EngineError> {
+    transform_set_plans_engine_counted(
+        series,
+        plans,
+        rotation_invariant,
+        early_abandon,
+        engine,
+        None,
+    )
+}
+
+/// [`transform_set_plans_engine`] with an optional shared
+/// [`ScanCounters`] accumulator: every worker adds into the same atomic
+/// totals, so the caller reads one request-scoped sum after the batch
+/// joins. Results stay bit-identical to the uncounted form.
+pub fn transform_set_plans_engine_counted<S: AsRef<[f64]> + Sync>(
+    series: &[S],
+    plans: &[MatchPlan],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    engine: &Engine,
+    counters: Option<&ScanCounters>,
+) -> Result<Vec<Vec<f64>>, EngineError> {
     engine.map(series, |_, s| {
-        transform_series_plans(s.as_ref(), plans, rotation_invariant, early_abandon)
+        transform_series_plans_counted(
+            s.as_ref(),
+            plans,
+            rotation_invariant,
+            early_abandon,
+            counters,
+        )
     })
 }
 
@@ -242,9 +290,11 @@ pub(crate) fn transform_set_ctx(
                     .iter()
                     .enumerate()
                     .map(|(i, s)| {
-                        let d = feature_distance_plan(&plan, s, early_abandon);
+                        let d = feature_distance_plan(&plan, s, early_abandon, None);
                         match &rotated {
-                            Some(r) => d.min(feature_distance_plan(&plan, &r[i], early_abandon)),
+                            Some(r) => {
+                                d.min(feature_distance_plan(&plan, &r[i], early_abandon, None))
+                            }
                             None => d,
                         }
                     })
@@ -432,6 +482,25 @@ mod tests {
             pattern_distance_plans(&pb, &pa, true),
             "plan form stays symmetric"
         );
+    }
+
+    #[test]
+    fn counted_batch_transform_is_bit_identical_and_sums_across_workers() {
+        let set: Vec<Vec<f64>> = (0..12).map(|k| bump(3 + 4 * k, 72)).collect();
+        let pats = vec![bump(5, 16), bump(2, 24)];
+        let plans = prepare_patterns(&pats, MatchKernel::Rolling);
+        let engine = Engine::new(4);
+        let plain = transform_set_plans_engine(&set, &plans, true, true, &engine).unwrap();
+        let counters = ScanCounters::new();
+        let counted =
+            transform_set_plans_engine_counted(&set, &plans, true, true, &engine, Some(&counters))
+                .unwrap();
+        assert_eq!(plain, counted, "counting must not perturb the transform");
+        let stats = counters.snapshot();
+        // rotation-invariant: 2 scans per (series, pattern) pair.
+        assert_eq!(stats.searches, (set.len() * pats.len() * 2) as u64);
+        assert!(stats.windows > 0);
+        assert!(stats.match_ns > 0);
     }
 
     #[test]

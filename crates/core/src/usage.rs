@@ -11,7 +11,7 @@
 //! scan per prediction and contributes nothing.
 //!
 //! The counters are relaxed atomics, so tracking is thread-safe across
-//! `predict_batch_parallel` workers and adds no synchronization to the
+//! `predict_batch_with` workers and adds no synchronization to the
 //! hot path. Like every `rpm-obs` probe, tracking never feeds back into
 //! the computation: predictions are bit-identical with tracking on or
 //! off. Usage is process-local serving state — it is deliberately not

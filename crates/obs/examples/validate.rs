@@ -25,7 +25,7 @@ fn main() -> ExitCode {
         Ok(check) => {
             println!(
                 "{path}: OK — {} lines, {} spans, {} stages, {} counters, {} cache families, \
-                 {} histograms, {} logs, wall {:.3}s, root-stage coverage {:.1}%",
+                 {} histograms, {} logs, {} traces, wall {:.3}s, root-stage coverage {:.1}%",
                 check.lines,
                 check.spans,
                 check.stages,
@@ -33,9 +33,17 @@ fn main() -> ExitCode {
                 check.caches,
                 check.histograms,
                 check.logs,
+                check.traces,
                 check.wall_ns as f64 / 1e9,
                 100.0 * check.coverage,
             );
+            if check.traces > 0 {
+                println!(
+                    "{path}: {} trace(s) passed the span-tree invariants \
+                     (parents resolve, batch links resolve, spans inside their trace)",
+                    check.traces
+                );
+            }
             if check.histograms > 0 {
                 println!(
                     "{path}: {} histogram(s) passed the bucket invariants \

@@ -112,7 +112,19 @@ fn push_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
     let mut cumulative = 0u64;
     for &(upper, n) in &hist.buckets {
         cumulative += n;
-        let _ = writeln!(out, "rpm_{flat}_bucket{{le=\"{upper}\"}} {cumulative}");
+        let _ = write!(out, "rpm_{flat}_bucket{{le=\"{upper}\"}} {cumulative}");
+        // OpenMetrics-style exemplar: the latest *retained* trace whose
+        // observation fell in this bucket, so the id always resolves
+        // against the flight recorder (`/debug/traces`).
+        if let Some(ex) = crate::trace::exemplar_for(name, upper) {
+            let _ = write!(
+                out,
+                " # {{trace_id=\"{}\"}} {}",
+                ex.trace_id.to_hex(),
+                ex.value
+            );
+        }
+        out.push('\n');
     }
     let _ = writeln!(out, "rpm_{flat}_bucket{{le=\"+Inf\"}} {}", hist.count);
     let _ = writeln!(out, "rpm_{flat}_sum {}", hist.sum);
@@ -247,6 +259,40 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_empty_page() {
         assert_eq!(to_prometheus(&MetricsSnapshot::default()), "");
+    }
+
+    #[test]
+    fn exemplar_annotations_attach_to_their_bucket() {
+        let _g = crate::test_lock();
+        crate::trace::clear_exemplars();
+        let id = crate::trace::TraceId(0x1234_5678);
+        // 5 ns falls in the (4, 8] rendered bucket.
+        crate::trace::record_exemplar("serve.latency_ns", 5, id);
+        let snap = MetricsSnapshot {
+            histograms: vec![(
+                "serve.latency_ns",
+                HistogramSnapshot {
+                    count: 2,
+                    sum: 1005,
+                    buckets: vec![(8, 1), (1024, 1)],
+                },
+            )],
+            ..MetricsSnapshot::default()
+        };
+        let text = to_prometheus(&snap);
+        assert!(
+            text.contains(&format!(
+                "rpm_serve_latency_ns_bucket{{le=\"8\"}} 1 # {{trace_id=\"{}\"}} 5",
+                id.to_hex()
+            )),
+            "{text}"
+        );
+        // The bucket without a recorded exemplar renders bare.
+        assert!(
+            text.contains("rpm_serve_latency_ns_bucket{le=\"1024\"} 2\n"),
+            "{text}"
+        );
+        crate::trace::clear_exemplars();
     }
 
     #[test]

@@ -75,10 +75,35 @@ impl Default for ServeLimits {
 pub struct Request {
     /// Request method, uppercase as sent (`GET`, `POST`, …).
     pub method: String,
-    /// Request path (query string included verbatim, if any).
+    /// Request path with the query string split off (routes match on
+    /// this exactly).
     pub path: String,
+    /// Raw query string without the leading `?` (empty when absent).
+    pub query: String,
+    /// Header lines as `(lowercased name, trimmed value)`, in order.
+    pub headers: Vec<(String, String)>,
     /// Request body (empty unless the client sent `Content-Length`).
     pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with the given name (matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First `key=value` pair in the query string with the given key.
+    /// Values are returned verbatim (no percent-decoding — the routes
+    /// this stack serves only take numbers and identifiers).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
 }
 
 /// A response a handler hands back to the connection loop.
@@ -210,6 +235,26 @@ pub fn metrics_routes() -> Router {
             Response::ok(body).with_content_type("text/plain; version=0.0.4; charset=utf-8")
         })
         .route("GET", "/healthz", |_req| Response::ok("ok\n"))
+        .route("GET", "/debug/traces", |req| {
+            let min_ns = req
+                .query_param("min_ms")
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0)
+                .saturating_mul(1_000_000);
+            let outcome = req.query_param("outcome");
+            let mut body = String::new();
+            for record in crate::trace::recorder().snapshot() {
+                if record.dur_ns < min_ns {
+                    continue;
+                }
+                if outcome.is_some_and(|o| o != record.outcome.as_str()) {
+                    continue;
+                }
+                body.push_str(&record.to_jsonl_line());
+                body.push('\n');
+            }
+            Response::ok(body).with_content_type("application/jsonl; charset=utf-8")
+        })
 }
 
 /// Handle to a running endpoint. Dropping it shuts the server down
@@ -380,11 +425,20 @@ fn handle_connection(
     }
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("").to_string();
-    let path = parts.next().unwrap_or("").to_string();
+    let target = parts.next().unwrap_or("");
+    // Routes match on the bare path; the query string travels
+    // separately so handlers can read `?key=value` filters.
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
-    // Headers: only Content-Length matters to this stack.
+    // Headers: Content-Length drives the body read; the rest are kept
+    // for handlers (e.g. `traceparent` on `/classify`). The loop bound
+    // also bounds the retained header memory.
     const MAX_HEADER_LINES: usize = 64;
     let mut content_length: usize = 0;
+    let mut headers: Vec<(String, String)> = Vec::new();
     let mut oversized_header = false;
     for _ in 0..MAX_HEADER_LINES {
         reader.get_mut().set_limit(limits.max_request_bytes as u64);
@@ -403,9 +457,12 @@ fn handle_connection(
             break; // end of headers
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().unwrap_or(0);
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().unwrap_or(0);
             }
+            headers.push((name, value));
         }
     }
 
@@ -424,7 +481,13 @@ fn handle_connection(
             crate::metrics().http_rejected.inc();
             Response::text(408, "request body incomplete\n")
         } else {
-            router.dispatch(&Request { method, path, body })
+            router.dispatch(&Request {
+                method,
+                path,
+                query,
+                headers,
+                body,
+            })
         }
     };
     let result = write_response(&mut writer, &response);
@@ -526,6 +589,61 @@ mod tests {
         // The stock metrics routes still serve on the same loop.
         let health = get(addr, "/healthz");
         assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+    }
+
+    #[test]
+    fn queries_and_headers_reach_handlers() {
+        let router = Router::new().route("GET", "/probe", |req| {
+            Response::ok(format!(
+                "q={} tp={}\n",
+                req.query_param("min_ms").unwrap_or("-"),
+                req.header("Traceparent").unwrap_or("-"),
+            ))
+        });
+        let server = serve_router("127.0.0.1:0", ServeLimits::default(), router).expect("bind");
+        let addr = server.local_addr();
+
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(
+            stream,
+            "GET /probe?min_ms=25&outcome=ok HTTP/1.0\r\nTraceParent: 00-aa-bb-01\r\n\r\n"
+        )
+        .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        // The query split off the path (the route still matched), the
+        // param parsed, and the header arrived case-insensitively.
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        assert!(response.ends_with("q=25 tp=00-aa-bb-01\n"), "{response}");
+
+        // No query at all still matches.
+        let bare = get(addr, "/probe");
+        assert!(bare.ends_with("q=- tp=-\n"), "{bare}");
+    }
+
+    #[test]
+    fn debug_traces_route_serves_retained_traces() {
+        // `report::finish` clears the global recorder; serialize with
+        // the tests that call it.
+        let _g = crate::test_lock();
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+        // An error trace is always retained by the global recorder.
+        let ctx = crate::trace::TraceCtx::begin(None);
+        let id = ctx.trace_id().to_hex();
+        crate::trace::recorder().record(ctx.finish(crate::trace::TraceOutcome::Error, 500));
+
+        let all = get(addr, "/debug/traces");
+        assert!(all.starts_with("HTTP/1.0 200"), "{all}");
+        assert!(all.contains(&id), "{all}");
+
+        let errors = get(addr, "/debug/traces?outcome=error");
+        assert!(errors.contains(&id), "{errors}");
+        let oks = get(addr, "/debug/traces?outcome=ok");
+        assert!(!oks.contains(&id), "{oks}");
+        // A fast trace is filtered out by min_ms.
+        let slow_only = get(addr, "/debug/traces?min_ms=60000");
+        assert!(!slow_only.contains(&id), "{slow_only}");
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod logger;
 pub mod metrics;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use diff::{diff_reports, load_summary, DiffOptions, DiffReport, ReportSummary};
 pub use export::to_prometheus;
@@ -58,6 +59,10 @@ pub use logger::LogEvent;
 pub use metrics::{metrics, CacheFamilyMetrics, Counter, Gauge, Histogram, MetricsSnapshot};
 pub use report::{finish, snapshot, validate_jsonl, ReportCheck, RunReport, StageAgg};
 pub use span::{enter, SpanGuard, SpanRecord};
+pub use trace::{
+    parse_traceparent, record_exemplar, recorder, FlightRecorder, SpanId, TraceCtx, TraceId,
+    TraceOutcome, TraceRecord, TraceSpan,
+};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};

@@ -22,6 +22,9 @@ pub struct LogEvent {
     pub target: String,
     /// Formatted message.
     pub message: String,
+    /// The request trace this event belongs to (32-hex trace id), when
+    /// it was emitted on a traced serving path.
+    pub trace: Option<String>,
 }
 
 fn buffer() -> &'static Mutex<Vec<LogEvent>> {
@@ -33,11 +36,24 @@ fn buffer() -> &'static Mutex<Vec<LogEvent>> {
 /// report. Callers normally go through the [`info!`](crate::info) /
 /// [`debug!`](crate::debug) macros, which also gate on the level.
 pub fn log(level: &'static str, target: &str, message: String) {
+    log_traced(level, target, None, message);
+}
+
+/// [`log`] with a request trace id attached; the serving path uses this
+/// so a grep for one trace id finds its log lines, its `/debug/traces`
+/// record, and its report `"trace"` line together.
+pub fn log_traced(level: &'static str, target: &str, trace: Option<String>, message: String) {
     if !crate::enabled() {
         return;
     }
     let t_ns = crate::now_ns();
-    eprintln!("[{:9.3}s {level}] {target}: {message}", t_ns as f64 / 1e9);
+    match &trace {
+        Some(id) => eprintln!(
+            "[{:9.3}s {level}] {target}: {message} trace={id}",
+            t_ns as f64 / 1e9
+        ),
+        None => eprintln!("[{:9.3}s {level}] {target}: {message}", t_ns as f64 / 1e9),
+    }
     if let Ok(mut events) = buffer().lock() {
         if events.len() < BUFFER_CAP {
             events.push(LogEvent {
@@ -45,6 +61,7 @@ pub fn log(level: &'static str, target: &str, message: String) {
                 level,
                 target: target.to_string(),
                 message,
+                trace,
             });
         }
     }
@@ -126,6 +143,32 @@ mod tests {
         assert_eq!(events.len(), 2);
         assert_eq!(events[1].level, "debug");
         assert!(take().is_empty(), "take drains");
+        ObsConfig::default().install();
+    }
+
+    #[test]
+    fn traced_events_carry_the_trace_id() {
+        let _g = crate::test_lock();
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: None,
+            http_addr: None,
+        }
+        .install();
+        take();
+        log_traced(
+            "info",
+            "serve",
+            Some("4bf92f3577b34da6a3ce929d0e0e4736".to_string()),
+            "deadline missed".to_string(),
+        );
+        crate::info!("serve", "untraced");
+        let events = take();
+        assert_eq!(
+            events[0].trace.as_deref(),
+            Some("4bf92f3577b34da6a3ce929d0e0e4736")
+        );
+        assert_eq!(events[1].trace, None);
         ObsConfig::default().install();
     }
 }

@@ -388,6 +388,12 @@ pub struct Metrics {
     /// `serve.latency_ns` — end-to-end request latency as measured by
     /// the server (parse + queue + batch + predict + reply).
     pub serve_latency: Histogram,
+    /// `trace.recorded` — finished request traces retained by the
+    /// flight recorder (forensic, slow-decile, or sampled).
+    pub trace_recorded: Counter,
+    /// `trace.dropped` — finished request traces the retention policy
+    /// discarded (healthy, fast, and not sampled).
+    pub trace_dropped: Counter,
 }
 
 impl Metrics {
@@ -437,10 +443,12 @@ impl Metrics {
             serve_batch_fill: Histogram::new(),
             serve_queue_wait: Histogram::new(),
             serve_latency: Histogram::new(),
+            trace_recorded: Counter::new(),
+            trace_dropped: Counter::new(),
         }
     }
 
-    fn counter_entries(&self) -> [(&'static str, &Counter); 29] {
+    fn counter_entries(&self) -> [(&'static str, &Counter); 31] {
         [
             ("engine.runs", &self.engine_runs),
             ("engine.jobs", &self.engine_jobs),
@@ -471,6 +479,8 @@ impl Metrics {
             ("serve.deadline_exceeded", &self.serve_deadline_exceeded),
             ("serve.batches", &self.serve_batches),
             ("serve.errors", &self.serve_errors),
+            ("trace.recorded", &self.trace_recorded),
+            ("trace.dropped", &self.trace_dropped),
         ]
     }
 

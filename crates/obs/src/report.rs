@@ -12,12 +12,18 @@
 //! | `counter`   | `name`, `value` (includes gauges and labeled counters)              |
 //! | `cache`     | `family`, `hits`, `misses`, `evictions`, `lookups`, `hit_rate`      |
 //! | `histogram` | `name`, `count`, `sum_ns`, `mean_ns`, `p50`, `p90`, `p99`, `buckets` (`[upper, n]` pairs) |
-//! | `log`       | `t_ns`, `level`, `target`, `message`                                |
+//! | `log`       | `t_ns`, `level`, `target`, `message`, optional `trace`              |
+//! | `trace`     | `trace_id`, `root`, optional `remote_parent`, `outcome`, `status`, `sampled`, `start_ns`, `dur_ns`, `spans` (each `name`, `id`, `parent`, `start_ns`, `dur_ns`, optional `attrs`/`links`) |
 //!
 //! Version history: v1 had no quantile fields on `histogram` lines; v2
-//! (current) adds `p50`/`p90`/`p99` estimated from the log₂ buckets
-//! (see [`crate::metrics::HistogramSnapshot::quantile`] for the
-//! interpolation and its error bound).
+//! added `p50`/`p90`/`p99` estimated from the log₂ buckets (see
+//! [`crate::metrics::HistogramSnapshot::quantile`] for the
+//! interpolation and its error bound); v3 (current) adds `trace` lines
+//! — the flight recorder's retained request traces, with batch links
+//! filtered to traces present in the same report so they always
+//! resolve — and the optional `trace` field on `log` lines. Readers
+//! that skip unknown line types and fields (as [`crate::diff`] does)
+//! consume any version.
 
 use crate::logger::{self, LogEvent};
 use crate::metrics::{self, MetricsSnapshot};
@@ -27,7 +33,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Report schema version emitted in the `meta` line.
-pub const REPORT_VERSION: u64 = 2;
+pub const REPORT_VERSION: u64 = 3;
 
 /// All same-path spans merged into one stage.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,6 +71,9 @@ pub struct RunReport {
     pub metrics: MetricsSnapshot,
     /// Buffered structured log events.
     pub logs: Vec<LogEvent>,
+    /// Request traces retained by the flight recorder, newest first,
+    /// with batch links filtered to the retained set.
+    pub traces: Vec<crate::trace::TraceRecord>,
 }
 
 impl RunReport {
@@ -257,7 +266,15 @@ impl RunReport {
             push_json_str(&mut out, &event.target);
             out.push_str(",\"message\":");
             push_json_str(&mut out, &event.message);
+            if let Some(trace) = &event.trace {
+                out.push_str(",\"trace\":");
+                push_json_str(&mut out, trace);
+            }
             out.push_str("}\n");
+        }
+        for trace in &self.traces {
+            out.push_str(&trace.to_jsonl_line());
+            out.push('\n');
         }
         out
     }
@@ -285,6 +302,18 @@ fn build(mut records: Vec<SpanRecord>, logs: Vec<LogEvent>) -> RunReport {
         agg.min_start_ns = agg.min_start_ns.min(r.start_ns);
         agg.max_end_ns = agg.max_end_ns.max(r.end_ns());
     }
+    // The retained traces, with each batch span's links narrowed to
+    // trace ids that are themselves in the report — the recorder may
+    // have dropped a linked sibling, and a link that cannot be followed
+    // is noise the validator would (rightly) reject.
+    let mut traces = crate::trace::recorder().snapshot();
+    let retained: std::collections::HashSet<crate::trace::TraceId> =
+        traces.iter().map(|r| r.trace_id).collect();
+    for record in &mut traces {
+        for span in &mut record.spans {
+            span.links.retain(|l| retained.contains(l));
+        }
+    }
     RunReport {
         wall_ns: crate::now_ns(),
         level: crate::level(),
@@ -292,6 +321,7 @@ fn build(mut records: Vec<SpanRecord>, logs: Vec<LogEvent>) -> RunReport {
         records,
         metrics: metrics::snapshot(),
         logs,
+        traces,
     }
 }
 
@@ -348,6 +378,8 @@ pub fn finish() -> Option<RunReport> {
         }
     }
     metrics::reset();
+    crate::trace::recorder().clear();
+    crate::trace::clear_exemplars();
     Some(report)
 }
 
@@ -446,6 +478,10 @@ pub struct ReportCheck {
     pub histograms: usize,
     /// `log` lines.
     pub logs: usize,
+    /// `trace` lines (each verified against the span-tree invariants:
+    /// well-formed ids, parents resolving within the trace, batch
+    /// links resolving to trace lines in the same report).
+    pub traces: usize,
     /// Recording level from the `meta` line.
     pub level: String,
     /// Wall time from the `meta` line.
@@ -462,6 +498,59 @@ impl ReportCheck {
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
     }
+}
+
+/// Splits the `"spans":[{…},{…}]` array of a trace line into its
+/// top-level `{…}` blocks by brace depth. Sufficient for our own
+/// emitter: span names are static identifiers and attribute values are
+/// numbers-as-strings, so no brace ever appears inside a JSON string
+/// on these lines.
+fn trace_span_blocks(line: &str) -> Option<Vec<&str>> {
+    let pat = "\"spans\":[";
+    let start = line.find(pat)? + pat.len();
+    let rest = &line[start..];
+    let mut blocks = Vec::new();
+    let mut depth = 0usize;
+    let mut block_start = 0usize;
+    for (i, b) in rest.bytes().enumerate() {
+        match b {
+            b'{' => {
+                if depth == 0 {
+                    block_start = i;
+                }
+                depth += 1;
+            }
+            b'}' => {
+                depth = depth.checked_sub(1)?;
+                if depth == 0 {
+                    blocks.push(&rest[block_start..=i]);
+                }
+            }
+            b']' if depth == 0 => return Some(blocks),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts the `"links":["…",…]` ids of one span block (empty when the
+/// span has no links).
+fn link_ids(block: &str) -> Vec<String> {
+    let pat = "\"links\":[";
+    let Some(i) = block.find(pat) else {
+        return Vec::new();
+    };
+    let rest = &block[i + pat.len()..];
+    let Some(end) = rest.find(']') else {
+        return Vec::new();
+    };
+    rest[..end]
+        .split(',')
+        .filter_map(|s| {
+            let s = s.trim().trim_matches('"');
+            (!s.is_empty()).then(|| s.to_string())
+        })
+        .collect()
 }
 
 /// Parses the `"buckets":[[upper,n],…]` array of a histogram line.
@@ -495,6 +584,8 @@ pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
     let mut last_start = 0u64;
     let mut main_thread: Option<u64> = None;
     let mut covered_ns = 0u64;
+    let mut trace_ids: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut pending_links: Vec<(usize, String)> = Vec::new();
     for (idx, line) in text.lines().enumerate() {
         let lineno = idx + 1;
         if line.trim().is_empty() {
@@ -602,6 +693,89 @@ pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
                 }
                 check.histograms += 1;
             }
+            "trace" => {
+                let trace_id = str_field(line, "trace_id")
+                    .ok_or_else(|| format!("line {lineno}: trace without trace_id"))?;
+                if crate::trace::TraceId::from_hex(&trace_id).is_none() {
+                    return Err(format!(
+                        "line {lineno}: trace_id {trace_id:?} is not 32 lowercase hex digits"
+                    ));
+                }
+                let root = str_field(line, "root")
+                    .ok_or_else(|| format!("line {lineno}: trace without root"))?;
+                let start = u64_field(line, "start_ns")
+                    .ok_or_else(|| format!("line {lineno}: trace without start_ns"))?;
+                let dur = u64_field(line, "dur_ns")
+                    .ok_or_else(|| format!("line {lineno}: trace without dur_ns"))?;
+                str_field(line, "outcome")
+                    .ok_or_else(|| format!("line {lineno}: trace without outcome"))?;
+                let blocks = trace_span_blocks(line)
+                    .ok_or_else(|| format!("line {lineno}: trace without a spans array"))?;
+                if blocks.is_empty() {
+                    return Err(format!("line {lineno}: trace with no spans"));
+                }
+                // First pass: collect span ids (and reject duplicates).
+                let mut span_ids: std::collections::HashSet<String> =
+                    std::collections::HashSet::new();
+                for block in &blocks {
+                    let id = str_field(block, "id")
+                        .ok_or_else(|| format!("line {lineno}: span without id"))?;
+                    if crate::trace::SpanId::from_hex(&id).is_none() {
+                        return Err(format!(
+                            "line {lineno}: span id {id:?} is not 16 lowercase hex digits"
+                        ));
+                    }
+                    if !span_ids.insert(id.clone()) {
+                        return Err(format!("line {lineno}: duplicate span id {id}"));
+                    }
+                }
+                // Second pass: parents resolve, the parentless span is
+                // the declared root, spans sit inside the trace window,
+                // links are well-formed and deferred for resolution.
+                for block in &blocks {
+                    let id = str_field(block, "id").unwrap_or_default();
+                    match str_field(block, "parent") {
+                        Some(parent) => {
+                            if !span_ids.contains(&parent) {
+                                return Err(format!(
+                                    "line {lineno}: span {id} has parent {parent} not in the trace"
+                                ));
+                            }
+                        }
+                        None => {
+                            if id != root {
+                                return Err(format!(
+                                    "line {lineno}: parentless span {id} is not the root {root}"
+                                ));
+                            }
+                        }
+                    }
+                    let s_start = u64_field(block, "start_ns")
+                        .ok_or_else(|| format!("line {lineno}: span without start_ns"))?;
+                    let s_dur = u64_field(block, "dur_ns")
+                        .ok_or_else(|| format!("line {lineno}: span without dur_ns"))?;
+                    if s_start < start || s_start + s_dur > start + dur {
+                        return Err(format!(
+                            "line {lineno}: span {id} [{s_start}, {}] outside its trace [{start}, {}]",
+                            s_start + s_dur,
+                            start + dur
+                        ));
+                    }
+                    for link in link_ids(block) {
+                        if crate::trace::TraceId::from_hex(&link).is_none() {
+                            return Err(format!(
+                                "line {lineno}: link {link:?} is not 32 lowercase hex digits"
+                            ));
+                        }
+                        if link == trace_id {
+                            return Err(format!("line {lineno}: span {id} links its own trace"));
+                        }
+                        pending_links.push((lineno, link));
+                    }
+                }
+                trace_ids.insert(trace_id);
+                check.traces += 1;
+            }
             other => return Err(format!("line {lineno}: unknown type {other:?}")),
         }
     }
@@ -612,6 +786,16 @@ pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
     // report without any is broken.
     if check.spans == 0 && matches!(check.level.as_str(), "spans" | "debug") {
         return Err("no span lines in a spans-level report".to_string());
+    }
+    // Batch links are only useful if they can be followed: every link
+    // must name a trace line present in this report (the report builder
+    // guarantees it by filtering to the retained set).
+    for (lineno, link) in pending_links {
+        if !trace_ids.contains(&link) {
+            return Err(format!(
+                "line {lineno}: batch link {link} does not resolve to a trace in this report"
+            ));
+        }
     }
     check.coverage = covered_ns as f64 / check.wall_ns as f64;
     Ok(check)
@@ -640,6 +824,8 @@ mod tests {
         logger::take();
         metrics::reset();
 
+        crate::trace::recorder().clear();
+
         {
             let _train = crate::span!("train");
             {
@@ -651,6 +837,13 @@ mod tests {
             crate::metrics().cache_words.misses.add(3);
             crate::info!("test", "stage done");
         }
+        // One retained request trace (sampled inbound context forces
+        // retention) so the report carries a "trace" line.
+        let ctx = crate::trace::TraceCtx::begin(Some(
+            "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        ));
+        ctx.add_span("queue_wait", ctx.start_ns(), 5);
+        crate::trace::recorder().record(ctx.finish(crate::trace::TraceOutcome::Ok, 200));
         let report = finish().expect("enabled");
         assert_eq!(report.level, ObsLevel::Spans);
         let paths: Vec<&str> = report.stages.iter().map(|s| s.path.as_str()).collect();
@@ -663,10 +856,17 @@ mod tests {
         assert!(tree.contains("train"), "{tree}");
         assert!(tree.contains("cache hit-rates"), "{tree}");
 
+        assert_eq!(report.traces.len(), 1);
+        assert_eq!(
+            report.traces[0].trace_id.to_hex(),
+            "4bf92f3577b34da6a3ce929d0e0e4736"
+        );
+
         let check = validate_jsonl(&path.display().to_string()).expect("valid report");
         assert_eq!(check.spans, 3);
         assert_eq!(check.caches, 4);
         assert_eq!(check.logs, 1);
+        assert_eq!(check.traces, 1);
         assert_eq!(check.counter("mine.rules"), Some(10));
         assert!(check.coverage > 0.0);
         std::fs::remove_file(&path).ok();
@@ -750,6 +950,72 @@ mod tests {
     }
 
     #[test]
+    fn validator_checks_trace_span_trees_and_links() {
+        let path = temp_path("trace_invariants");
+        let meta = "{\"type\":\"meta\",\"version\":3,\"wall_ns\":100,\"level\":\"summary\"}\n";
+        let tid_a = "4bf92f3577b34da6a3ce929d0e0e4736";
+        let tid_b = "0af7651916cd43dd8448eb211c80319c";
+
+        // A well-formed pair of traces whose batch links resolve to each
+        // other is accepted and counted.
+        let good = format!(
+            "{meta}\
+             {{\"type\":\"trace\",\"trace_id\":\"{tid_a}\",\"root\":\"00f067aa0ba902b7\",\
+             \"outcome\":\"ok\",\"status\":200,\"sampled\":true,\"start_ns\":10,\"dur_ns\":50,\
+             \"spans\":[{{\"name\":\"request\",\"id\":\"00f067aa0ba902b7\",\"parent\":null,\
+             \"start_ns\":10,\"dur_ns\":50}},{{\"name\":\"batch\",\"id\":\"00f067aa0ba902b8\",\
+             \"parent\":\"00f067aa0ba902b7\",\"start_ns\":20,\"dur_ns\":30,\
+             \"links\":[\"{tid_b}\"]}}]}}\n\
+             {{\"type\":\"trace\",\"trace_id\":\"{tid_b}\",\"root\":\"00f067aa0ba902c1\",\
+             \"outcome\":\"deadline\",\"status\":504,\"sampled\":false,\"start_ns\":12,\"dur_ns\":40,\
+             \"spans\":[{{\"name\":\"request\",\"id\":\"00f067aa0ba902c1\",\"parent\":null,\
+             \"start_ns\":12,\"dur_ns\":40,\"attrs\":{{\"outcome\":\"deadline\"}},\
+             \"links\":[\"{tid_a}\"]}}]}}\n"
+        );
+        std::fs::write(&path, &good).unwrap();
+        let check = validate_jsonl(&path.display().to_string()).expect("valid traces");
+        assert_eq!(check.traces, 2);
+
+        // A span whose parent is not in the trace is rejected.
+        let orphan = format!(
+            "{meta}\
+             {{\"type\":\"trace\",\"trace_id\":\"{tid_a}\",\"root\":\"00f067aa0ba902b7\",\
+             \"outcome\":\"ok\",\"status\":200,\"sampled\":false,\"start_ns\":10,\"dur_ns\":50,\
+             \"spans\":[{{\"name\":\"request\",\"id\":\"00f067aa0ba902b7\",\"parent\":null,\
+             \"start_ns\":10,\"dur_ns\":50}},{{\"name\":\"predict\",\"id\":\"00f067aa0ba902b8\",\
+             \"parent\":\"deadbeefdeadbeef\",\"start_ns\":20,\"dur_ns\":5}}]}}\n"
+        );
+        std::fs::write(&path, &orphan).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("not in the trace"), "{err}");
+
+        // A batch link naming a trace absent from the report is rejected.
+        let dangling = format!(
+            "{meta}\
+             {{\"type\":\"trace\",\"trace_id\":\"{tid_a}\",\"root\":\"00f067aa0ba902b7\",\
+             \"outcome\":\"ok\",\"status\":200,\"sampled\":false,\"start_ns\":10,\"dur_ns\":50,\
+             \"spans\":[{{\"name\":\"request\",\"id\":\"00f067aa0ba902b7\",\"parent\":null,\
+             \"start_ns\":10,\"dur_ns\":50,\"links\":[\"{tid_b}\"]}}]}}\n"
+        );
+        std::fs::write(&path, &dangling).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("does not resolve"), "{err}");
+
+        // A span sticking out past the end of its trace is rejected.
+        let overhang = format!(
+            "{meta}\
+             {{\"type\":\"trace\",\"trace_id\":\"{tid_a}\",\"root\":\"00f067aa0ba902b7\",\
+             \"outcome\":\"ok\",\"status\":200,\"sampled\":false,\"start_ns\":10,\"dur_ns\":50,\
+             \"spans\":[{{\"name\":\"request\",\"id\":\"00f067aa0ba902b7\",\"parent\":null,\
+             \"start_ns\":10,\"dur_ns\":500}}]}}\n"
+        );
+        std::fs::write(&path, &overhang).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("outside its trace"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn empty_run_renders_and_validates_cleanly() {
         let _g = crate::test_lock();
         let path = temp_path("empty_run");
@@ -786,6 +1052,7 @@ mod tests {
             records: Vec::new(),
             metrics: MetricsSnapshot::default(),
             logs: Vec::new(),
+            traces: Vec::new(),
         };
         assert_eq!(report.coverage(), 0.0);
         // Rendering a zero-duration report must not divide by zero either.

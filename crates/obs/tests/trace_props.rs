@@ -1,0 +1,132 @@
+//! Property tests for the W3C `traceparent` codec.
+//!
+//! The serving path ingests this header from arbitrary clients, so the
+//! parser must (a) round-trip everything the formatter can emit, (b)
+//! accept the W3C-shaped inputs it should (future versions with extra
+//! fields), and (c) reject malformed inputs without panicking — a bad
+//! header falls back to a generated trace id, never a crash.
+
+use proptest::prelude::*;
+use rpm_obs::trace::format_traceparent;
+use rpm_obs::{parse_traceparent, SpanId, TraceId};
+
+/// Nonzero 128-bit id from two bounded 64-bit halves (the vendored
+/// strategy set has no u128 ranges).
+fn trace_id(hi: u64, lo: u64) -> TraceId {
+    TraceId(((hi as u128) << 64) | lo.max(1) as u128)
+}
+
+proptest! {
+    #[test]
+    fn format_then_parse_round_trips(
+        hi in 0u64..u64::MAX,
+        lo in 1u64..u64::MAX,
+        span in 1u64..u64::MAX,
+        sampled in 0u8..2,
+    ) {
+        let (trace, sampled) = (trace_id(hi, lo), sampled == 1);
+        let header = format_traceparent(trace, SpanId(span), sampled);
+        let parsed = parse_traceparent(&header).expect("own output must parse");
+        prop_assert_eq!(parsed.trace_id, trace);
+        prop_assert_eq!(parsed.parent, SpanId(span));
+        prop_assert_eq!(parsed.sampled, sampled);
+    }
+
+    #[test]
+    fn id_hex_round_trips(hi in 0u64..u64::MAX, lo in 1u64..u64::MAX, span in 1u64..u64::MAX) {
+        let t = trace_id(hi, lo);
+        prop_assert_eq!(TraceId::from_hex(&t.to_hex()), Some(t));
+        let s = SpanId(span);
+        prop_assert_eq!(SpanId::from_hex(&s.to_hex()), Some(s));
+    }
+
+    #[test]
+    fn arbitrary_input_never_panics(
+        bytes in proptest::collection::vec(32u8..127, 0..80),
+    ) {
+        let header = String::from_utf8(bytes).expect("printable ascii");
+        // Any outcome is fine; panicking (or accepting zero ids) is not.
+        if let Some(tp) = parse_traceparent(&header) {
+            prop_assert!(tp.trace_id.0 != 0);
+            prop_assert!(tp.parent.0 != 0);
+        }
+    }
+
+    #[test]
+    fn valid_shaped_input_parses_exactly(
+        hi in 0u64..u64::MAX,
+        lo in 1u64..u64::MAX,
+        span in 1u64..u64::MAX,
+        flags in 0u8..u8::MAX,
+    ) {
+        // Hand-built version-00 header with arbitrary flags: only bit 0
+        // (sampled) is interpreted; the rest must not break parsing.
+        let trace = trace_id(hi, lo);
+        let header = format!("00-{:032x}-{span:016x}-{flags:02x}", trace.0);
+        let parsed = parse_traceparent(&header).expect("well-formed v00");
+        prop_assert_eq!(parsed.trace_id, trace);
+        prop_assert_eq!(parsed.sampled, flags & 1 == 1);
+    }
+
+    #[test]
+    fn future_versions_tolerate_extra_fields(
+        version in 1u8..0xff,
+        hi in 0u64..u64::MAX,
+        lo in 1u64..u64::MAX,
+        span in 1u64..u64::MAX,
+        extra in proptest::collection::vec(0u8..16, 1..17),
+    ) {
+        // Per the W3C spec, versions above 00 may append fields; the
+        // parser takes the prefix it understands.
+        let trace = trace_id(hi, lo);
+        let extra: String = extra
+            .into_iter()
+            .map(|d| char::from_digit(d as u32, 16).expect("hex digit"))
+            .collect();
+        let header = format!("{version:02x}-{:032x}-{span:016x}-01-{extra}", trace.0);
+        let parsed = parse_traceparent(&header).expect("future version with extras");
+        prop_assert_eq!(parsed.trace_id, trace);
+        prop_assert_eq!(parsed.parent, SpanId(span));
+        prop_assert!(parsed.sampled);
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_widens_acceptance(
+        hi in 0u64..u64::MAX,
+        lo in 1u64..u64::MAX,
+        span in 1u64..u64::MAX,
+        at in 0usize..55,
+        pick in 0usize..8,
+    ) {
+        // Replacing any byte with a non-hex, non-separator one must kill
+        // the parse (the header is exactly 55 bytes of hex and dashes).
+        let header = format_traceparent(trace_id(hi, lo), SpanId(span), true);
+        let mut bytes = header.into_bytes();
+        bytes[at] = b"GZgz@#%~"[pick];
+        let corrupted = String::from_utf8(bytes).expect("ascii");
+        prop_assert_eq!(parse_traceparent(&corrupted), None);
+    }
+}
+
+#[test]
+fn rejects_the_documented_invalids() {
+    // Version ff is forbidden; v00 takes exactly four fields; zero ids
+    // mean "absent"; uppercase hex is not in the W3C grammar.
+    for bad in [
+        "ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+        "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",
+        "00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",
+        "",
+        "garbage",
+    ] {
+        assert_eq!(parse_traceparent(bad), None, "{bad:?} must not parse");
+    }
+    // And the canonical W3C example does parse.
+    let tp = parse_traceparent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01").unwrap();
+    assert_eq!(tp.trace_id.to_hex(), "4bf92f3577b34da6a3ce929d0e0e4736");
+    assert_eq!(tp.parent.to_hex(), "00f067aa0ba902b7");
+    assert!(tp.sampled);
+}

@@ -23,9 +23,13 @@
 //! deadlines that expire *mid*-predict.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+use rpm_obs::TraceCtx;
+use rpm_ts::ScanCounters;
 
 /// What a worker sends back to the waiting connection handler.
 #[derive(Clone, Debug)]
@@ -45,8 +49,14 @@ pub(crate) struct Pending {
     pub series: Vec<Vec<f64>>,
     /// When the request entered the queue.
     pub enqueued: Instant,
+    /// Queue-entry time on the observability clock (span timestamps).
+    pub enqueued_ns: u64,
     /// When the request stops being worth answering.
     pub deadline: Instant,
+    /// The request's trace: workers push `queue_wait` / `batch` /
+    /// `predict` spans into it **before** replying, so the handler's
+    /// `finish` sees them. The handler holds the other `Arc`.
+    pub trace: Arc<TraceCtx>,
     /// Reply channel back to the connection handler.
     pub reply: Sender<Reply>,
 }
@@ -159,13 +169,26 @@ pub(crate) fn process_batch(
     parallelism: rpm_ts::Parallelism,
     batch: Vec<Pending>,
 ) -> usize {
+    /// Process-wide batch sequence number: the `batch` attribute that
+    /// ties the N request traces a shared batch served to one another.
+    static BATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
     let now = Instant::now();
+    let batch_start_ns = rpm_obs::now_ns();
     let m = rpm_obs::metrics();
     // Deadline gate, TrainBudget-style: refuse the unit of work before
-    // it starts rather than interrupting it midway.
+    // it starts rather than interrupting it midway. The expired entry
+    // still gets its `queue_wait` span — that span (queue entry to the
+    // gate) is exactly *why* the request died, and it must land in the
+    // trace before the reply releases the waiting handler.
     let (live, expired): (Vec<Pending>, Vec<Pending>) =
         batch.into_iter().partition(|p| p.deadline > now);
     for p in expired {
+        p.trace.add_span(
+            "queue_wait",
+            p.enqueued_ns,
+            batch_start_ns.saturating_sub(p.enqueued_ns),
+        );
         let _ = p.reply.send(Reply::DeadlineExceeded);
     }
     if live.is_empty() {
@@ -174,6 +197,11 @@ pub(crate) fn process_batch(
     for p in &live {
         m.serve_queue_wait
             .observe(p.enqueued.elapsed().as_nanos() as u64);
+        p.trace.add_span(
+            "queue_wait",
+            p.enqueued_ns,
+            batch_start_ns.saturating_sub(p.enqueued_ns),
+        );
     }
 
     // The zero-copy heart of the serve path: slices borrowed straight
@@ -185,17 +213,64 @@ pub(crate) fn process_batch(
     m.serve_batches.inc();
     m.serve_batch_fill.observe(refs.len() as u64);
 
+    let batch_seq = BATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    let counters = ScanCounters::new();
+    let predict_start_ns = rpm_obs::now_ns();
     let verdict = if let Err(e) = rpm_obs::fault::point("serve.batch") {
         Err(format!("injected fault: {e}"))
     } else {
         // A panic inside predict (e.g. an armed engine fault) must kill
         // neither the worker nor the server.
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.predict_batch_with(&refs, parallelism)
+            model.predict_batch_traced(&refs, parallelism, Some(&counters))
         }))
         .map_err(|_| "prediction panicked".to_string())
         .and_then(|r| r.map_err(|e| e.to_string()))
     };
+    let predict_end_ns = rpm_obs::now_ns();
+
+    // Span the shared work into every request it served: a `batch` span
+    // (same `batch` attribute everywhere, links = the *other* traces in
+    // the batch) with the `predict` span and its kernel counters
+    // underneath. The counters describe the whole batch — the batch is
+    // the execution unit — which the sibling links make explicit.
+    let stats = counters.snapshot();
+    let trace_ids: Vec<rpm_obs::TraceId> = live.iter().map(|p| p.trace.trace_id()).collect();
+    for p in &live {
+        let own = p.trace.trace_id();
+        let links: Vec<rpm_obs::TraceId> =
+            trace_ids.iter().copied().filter(|&t| t != own).collect();
+        let batch_span = p.trace.add_span_with(
+            "batch",
+            Some(p.trace.root_span()),
+            batch_start_ns,
+            predict_end_ns.saturating_sub(batch_start_ns),
+            vec![
+                ("batch", batch_seq.to_string()),
+                ("series", refs.len().to_string()),
+                ("requests", live.len().to_string()),
+            ],
+            links,
+        );
+        p.trace.add_span_with(
+            "predict",
+            Some(batch_span),
+            predict_start_ns,
+            predict_end_ns.saturating_sub(predict_start_ns),
+            vec![
+                ("searches", stats.searches.to_string()),
+                ("windows", stats.windows.to_string()),
+                ("abandoned", stats.abandoned.to_string()),
+                ("abandon_rate", format!("{:.4}", stats.abandon_rate())),
+                ("match_ns", stats.match_ns.to_string()),
+                (
+                    "ns_per_search",
+                    (stats.match_ns / stats.searches.max(1)).to_string(),
+                ),
+            ],
+            Vec::new(),
+        );
+    }
 
     let n = refs.len();
     match verdict {
@@ -229,7 +304,9 @@ mod tests {
             Pending {
                 series: vec![vec![0.0; len]; n_series],
                 enqueued: now,
+                enqueued_ns: rpm_obs::now_ns(),
                 deadline: now + Duration::from_secs(5),
+                trace: TraceCtx::begin(None),
                 reply: tx,
             },
             rx,

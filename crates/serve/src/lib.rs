@@ -48,7 +48,7 @@ use std::time::{Duration, Instant};
 
 use batch::{BatchQueue, Pending, Reply};
 use rpm_core::{PersistError, RpmClassifier, VerifyReport};
-use rpm_obs::{Request, Response, ServeLimits};
+use rpm_obs::{Request, Response, ServeLimits, TraceCtx, TraceOutcome};
 use rpm_ts::Parallelism;
 
 pub use loadgen::{run_load, LoadConfig, LoadReport};
@@ -232,21 +232,84 @@ impl Drop for Server {
     }
 }
 
+/// Closes out a request's trace and stamps the response with its
+/// identity: finish the span tree, offer the record to the flight
+/// recorder (tail-based retention), attach Prometheus exemplars for the
+/// values that *were* observed into histograms this request (so every
+/// exemplar's trace id resolves against `/debug/traces`), log non-OK
+/// outcomes with the trace id, and echo `X-Request-Id` + `Traceparent`
+/// on the response — every response, including `429`/`504`.
+fn finish_traced(
+    trace: &TraceCtx,
+    outcome: TraceOutcome,
+    latency_ns: Option<u64>,
+    response: Response,
+) -> Response {
+    let status = response.status;
+    let record = trace.finish(outcome, status);
+    let trace_hex = record.trace_id.to_hex();
+    let queue_wait = record.span("queue_wait").map(|s| s.dur_ns);
+    let retained = rpm_obs::recorder().record(record);
+    if retained {
+        if let Some(latency) = latency_ns {
+            rpm_obs::record_exemplar("serve.latency_ns", latency, trace.trace_id());
+            if let Some(wait) = queue_wait {
+                rpm_obs::record_exemplar("serve.queue_wait_ns", wait, trace.trace_id());
+            }
+        }
+    }
+    if outcome != TraceOutcome::Ok {
+        rpm_obs::logger::log_traced(
+            "info",
+            "serve",
+            Some(trace_hex.clone()),
+            format!("request {} ({status})", outcome.as_str()),
+        );
+    }
+    response
+        .with_header("X-Request-Id", trace_hex)
+        .with_header("Traceparent", trace.traceparent())
+}
+
 /// The `POST /classify` handler: parse, enqueue (or shed), await the
-/// worker's reply under the request deadline.
+/// worker's reply under the request deadline. The whole path is
+/// request-traced: a W3C `traceparent` header is ingested (or a trace
+/// id generated), `parse`/`respond` spans are recorded here, the
+/// workers contribute `queue_wait`/`batch`/`predict`, and every exit —
+/// 200, 400, 429, 500, 504 — flows through [`finish_traced`].
 fn classify(queue: &BatchQueue, deadline: Duration, req: &Request) -> Response {
     let m = rpm_obs::metrics();
     m.serve_requests.inc();
     let started = Instant::now();
+    let trace = TraceCtx::begin(req.header("traceparent"));
 
     if let Err(e) = rpm_obs::fault::point("serve.request") {
         m.serve_errors.inc();
-        return Response::json(500, proto::format_error("internal", &e.to_string()));
+        return finish_traced(
+            &trace,
+            TraceOutcome::Error,
+            None,
+            Response::json(500, proto::format_error("internal", &e.to_string())),
+        );
     }
 
-    let requests = match proto::parse_body(&req.body) {
+    let parse_start = rpm_obs::now_ns();
+    let parsed = proto::parse_body(&req.body);
+    trace.add_span(
+        "parse",
+        parse_start,
+        rpm_obs::now_ns().saturating_sub(parse_start),
+    );
+    let requests = match parsed {
         Ok(r) => r,
-        Err(e) => return Response::json(400, proto::format_error("bad_request", &e)),
+        Err(e) => {
+            return finish_traced(
+                &trace,
+                TraceOutcome::BadRequest,
+                None,
+                Response::json(400, proto::format_error("bad_request", &e)),
+            )
+        }
     };
     let ids: Vec<Option<String>> = requests.iter().map(|r| r.id.clone()).collect();
     let series: Vec<Vec<f64>> = requests.into_iter().map(|r| r.values).collect();
@@ -255,58 +318,84 @@ fn classify(queue: &BatchQueue, deadline: Duration, req: &Request) -> Response {
     let pending = Pending {
         series,
         enqueued: started,
+        enqueued_ns: rpm_obs::now_ns(),
         deadline: started + deadline,
+        trace: Arc::clone(&trace),
         reply: reply_tx,
     };
     if queue.try_push(pending).is_err() {
         m.serve_shed.inc();
-        return Response::json(
-            429,
-            proto::format_error("overloaded", "queue full; retry after backoff"),
-        )
-        .with_header("Retry-After", "1");
+        return finish_traced(
+            &trace,
+            TraceOutcome::Shed,
+            None,
+            Response::json(
+                429,
+                proto::format_error("overloaded", "queue full; retry after backoff"),
+            )
+            .with_header("Retry-After", "1"),
+        );
     }
 
     // Small grace over the deadline: the worker-side gate is the real
     // enforcement; the timeout here only backstops a predict call that
     // straddles the deadline (answered 504 all the same).
     let wait = deadline + Duration::from_millis(50);
-    let response = match reply_rx.recv_timeout(wait) {
+    let (outcome, response) = match reply_rx.recv_timeout(wait) {
         Ok(Reply::Labels(labels)) => {
+            let respond_start = rpm_obs::now_ns();
             let mut body = String::with_capacity(labels.len() * 16);
             for (id, label) in ids.iter().zip(&labels) {
                 body.push_str(&proto::format_response_line(id.as_deref(), *label));
                 body.push('\n');
             }
-            Response::json(200, body).with_content_type("application/jsonl; charset=utf-8")
+            trace.add_span(
+                "respond",
+                respond_start,
+                rpm_obs::now_ns().saturating_sub(respond_start),
+            );
+            (
+                TraceOutcome::Ok,
+                Response::json(200, body).with_content_type("application/jsonl; charset=utf-8"),
+            )
         }
         Ok(Reply::DeadlineExceeded) | Err(RecvTimeoutError::Timeout) => {
             m.serve_deadline_exceeded.inc();
-            Response::json(
-                504,
-                proto::format_error(
-                    "deadline_exceeded",
-                    &format!(
-                        "{}ms deadline passed before prediction",
-                        deadline.as_millis()
+            (
+                TraceOutcome::Deadline,
+                Response::json(
+                    504,
+                    proto::format_error(
+                        "deadline_exceeded",
+                        &format!(
+                            "{}ms deadline passed before prediction",
+                            deadline.as_millis()
+                        ),
                     ),
                 ),
             )
         }
         Ok(Reply::Failed(msg)) => {
             m.serve_errors.inc();
-            Response::json(500, proto::format_error("internal", &msg))
+            (
+                TraceOutcome::Error,
+                Response::json(500, proto::format_error("internal", &msg)),
+            )
         }
         Err(RecvTimeoutError::Disconnected) => {
             m.serve_errors.inc();
-            Response::json(
-                500,
-                proto::format_error("internal", "worker dropped the request"),
+            (
+                TraceOutcome::Error,
+                Response::json(
+                    500,
+                    proto::format_error("internal", "worker dropped the request"),
+                ),
             )
         }
     };
-    m.serve_latency.observe(started.elapsed().as_nanos() as u64);
-    response
+    let latency_ns = started.elapsed().as_nanos() as u64;
+    m.serve_latency.observe(latency_ns);
+    finish_traced(&trace, outcome, Some(latency_ns), response)
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub use dataset::{ClassView, Dataset, Label};
 pub use dist::{euclidean, euclidean_early_abandon, sq_euclidean, sq_euclidean_early_abandon};
 pub use matching::{
     best_match, best_match_naive, closest_match_distance, prepare_pattern, BestMatch, MatchKernel,
-    MatchPlan,
+    MatchPlan, ScanCounters, ScanStats,
 };
 pub use norm::{znorm, znorm_in_place, znorm_into, ZNORM_EPSILON};
 pub use paa::paa;

@@ -48,6 +48,73 @@
 
 use crate::norm::{znorm, znorm_into, ZNORM_EPSILON};
 use crate::stats::RollingStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-request kernel counters for the closest-match search: a shared
+/// accumulator threaded (as `Option<&ScanCounters>`) from the serving
+/// path down through the feature transform into
+/// [`MatchPlan::best_match_counted`]. Atomic so one request's batch can
+/// be transformed across worker threads into the same accumulator;
+/// relaxed ordering is enough because the totals are only read after the
+/// batch joins.
+///
+/// Distinct from the process-wide `rpm-obs` counters the kernel already
+/// self-reports: these are scoped to one request and end up as
+/// attributes on its `predict` trace span.
+#[derive(Debug, Default)]
+pub struct ScanCounters {
+    /// Closest-match searches (pattern × series pairs scanned).
+    pub searches: AtomicU64,
+    /// Candidate windows considered across all searches.
+    pub windows: AtomicU64,
+    /// Windows abandoned early (distance accumulation crossed the
+    /// best-so-far cutoff before finishing).
+    pub abandoned: AtomicU64,
+    /// Wall nanoseconds spent inside the match kernel.
+    pub match_ns: AtomicU64,
+}
+
+impl ScanCounters {
+    /// A fresh all-zero accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the totals accumulated so far.
+    pub fn snapshot(&self) -> ScanStats {
+        ScanStats {
+            searches: self.searches.load(Ordering::Relaxed),
+            windows: self.windows.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            match_ns: self.match_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`ScanCounters`] accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Closest-match searches performed.
+    pub searches: u64,
+    /// Candidate windows considered.
+    pub windows: u64,
+    /// Windows abandoned before full accumulation.
+    pub abandoned: u64,
+    /// Wall nanoseconds inside the match kernel.
+    pub match_ns: u64,
+}
+
+impl ScanStats {
+    /// Fraction of considered windows that were abandoned early
+    /// (0.0 when nothing was scanned).
+    pub fn abandon_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.abandoned as f64 / self.windows as f64
+        }
+    }
+}
 
 /// Result of a closest-match search.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -166,6 +233,20 @@ impl MatchPlan {
     /// series. Set `early_abandon = false` only for the ablation
     /// benchmark; results are tolerance-equal either way.
     pub fn best_match(&self, series: &[f64], early_abandon: bool) -> Option<BestMatch> {
+        self.best_match_counted(series, early_abandon, None)
+    }
+
+    /// [`best_match`](Self::best_match) with an optional per-request
+    /// accumulator. The scan itself is identical — counting touches only
+    /// integers, never the float path — so results are bit-identical
+    /// with or without `counters`; kernel wall time is measured only
+    /// when an accumulator is attached.
+    pub fn best_match_counted(
+        &self,
+        series: &[f64],
+        early_abandon: bool,
+        counters: Option<&ScanCounters>,
+    ) -> Option<BestMatch> {
         let n = self.zp.len();
         if n == 0 || n > series.len() {
             return None;
@@ -176,20 +257,33 @@ impl MatchPlan {
         let m = rpm_obs::metrics();
         m.match_searches.inc();
         m.match_windows.add((series.len() - n + 1) as u64);
-        if self.kernel == MatchKernel::Naive || self.degenerate {
-            return Some(naive_scan(&self.zp, series, early_abandon));
+        let started = counters.map(|_| std::time::Instant::now());
+        let (best, abandoned) = if self.kernel == MatchKernel::Naive || self.degenerate {
+            naive_scan(&self.zp, series, early_abandon)
+        } else {
+            let stats = RollingStats::new(series, n).expect("bounds checked above");
+            self.rolling_scan(&stats, early_abandon)
+        };
+        if let (Some(c), Some(t0)) = (counters, started) {
+            c.searches.fetch_add(1, Ordering::Relaxed);
+            c.windows
+                .fetch_add((series.len() - n + 1) as u64, Ordering::Relaxed);
+            c.abandoned.fetch_add(abandoned, Ordering::Relaxed);
+            c.match_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        let stats = RollingStats::new(series, n).expect("bounds checked above");
-        Some(self.rolling_scan(&stats, early_abandon))
+        Some(best)
     }
 
     /// The rolling-statistics scan over pre-built window statistics.
-    fn rolling_scan(&self, stats: &RollingStats, early_abandon: bool) -> BestMatch {
+    /// Returns the winner and the number of windows abandoned early.
+    fn rolling_scan(&self, stats: &RollingStats, early_abandon: bool) -> (BestMatch, u64) {
         let n = self.zp.len();
         let nf = n as f64;
         let xc = stats.centered();
         let mut best_pos = 0usize;
         let mut best_sq = f64::INFINITY;
+        let mut abandoned = 0u64;
         for p in 0..stats.count() {
             let sd = stats.std(p);
             let d_sq = if sd < ZNORM_EPSILON {
@@ -203,7 +297,10 @@ impl MatchPlan {
                 if early_abandon {
                     match self.fused_early_abandon(w, mu, inv, best_sq) {
                         Some(d) => d,
-                        None => continue,
+                        None => {
+                            abandoned += 1;
+                            continue;
+                        }
                     }
                 } else {
                     // Fused per-element accumulation in natural order
@@ -227,10 +324,13 @@ impl MatchPlan {
                 best_pos = p;
             }
         }
-        BestMatch {
-            position: best_pos,
-            distance: (best_sq.max(0.0) / nf).sqrt(),
-        }
+        (
+            BestMatch {
+                position: best_pos,
+                distance: (best_sq.max(0.0) / nf).sqrt(),
+            },
+            abandoned,
+        )
     }
 
     /// One window's fused distance, accumulating `(zpᵢ − (xᵢ−μ)/σ)²` in
@@ -290,21 +390,26 @@ pub fn best_match_naive(pattern: &[f64], series: &[f64], early_abandon: bool) ->
     m.match_searches.inc();
     m.match_windows.add((series.len() - n + 1) as u64);
     let zp = znorm(pattern);
-    Some(naive_scan(&zp, series, early_abandon))
+    Some(naive_scan(&zp, series, early_abandon).0)
 }
 
-/// The shared naive scan over an already z-normalized pattern.
-fn naive_scan(zp: &[f64], series: &[f64], early_abandon: bool) -> BestMatch {
+/// The shared naive scan over an already z-normalized pattern. Returns
+/// the winner and the number of windows abandoned early.
+fn naive_scan(zp: &[f64], series: &[f64], early_abandon: bool) -> (BestMatch, u64) {
     let n = zp.len();
     let mut window_buf = vec![0.0; n];
     let mut best_pos = 0usize;
     let mut best_sq = f64::INFINITY;
+    let mut abandoned = 0u64;
     for p in 0..=(series.len() - n) {
         znorm_into(&series[p..p + n], &mut window_buf);
         let d_sq = if early_abandon {
             match crate::dist::sq_euclidean_early_abandon(zp, &window_buf, best_sq) {
                 Some(d) => d,
-                None => continue,
+                None => {
+                    abandoned += 1;
+                    continue;
+                }
             }
         } else {
             crate::dist::sq_euclidean(zp, &window_buf)
@@ -314,10 +419,13 @@ fn naive_scan(zp: &[f64], series: &[f64], early_abandon: bool) -> BestMatch {
             best_pos = p;
         }
     }
-    BestMatch {
-        position: best_pos,
-        distance: (best_sq / n as f64).sqrt(),
-    }
+    (
+        BestMatch {
+            position: best_pos,
+            distance: (best_sq / n as f64).sqrt(),
+        },
+        abandoned,
+    )
 }
 
 /// Convenience wrapper returning only the closest-match distance, with
@@ -482,6 +590,51 @@ mod tests {
         let m = best_match(&[1.0, 5.0, 2.0], &series, true).unwrap();
         assert_eq!(m.position, 0);
         assert!(m.distance < 1e-9);
+    }
+
+    #[test]
+    fn counted_search_is_bit_identical_and_fills_the_accumulator() {
+        let series = pseudo_random_series(400, 0xACE);
+        let pattern = series[120..180].to_vec();
+        let plan = MatchPlan::new(&pattern);
+        let plain = plan.best_match(&series, true).unwrap();
+        let counters = ScanCounters::new();
+        let counted = plan
+            .best_match_counted(&series, true, Some(&counters))
+            .unwrap();
+        assert_eq!(plain, counted, "counting must not perturb the scan");
+        let stats = counters.snapshot();
+        assert_eq!(stats.searches, 1);
+        assert_eq!(stats.windows, (series.len() - pattern.len() + 1) as u64);
+        assert!(
+            stats.abandoned > 0,
+            "a random series with an exact occurrence must abandon most windows"
+        );
+        assert!(
+            stats.abandoned < stats.windows,
+            "the winner is never abandoned"
+        );
+        assert!(stats.match_ns > 0);
+        assert!(stats.abandon_rate() > 0.0 && stats.abandon_rate() < 1.0);
+    }
+
+    #[test]
+    fn counted_naive_kernel_reports_abandons_too() {
+        let series = pseudo_random_series(200, 0xF00D);
+        let pattern = series[50..90].to_vec();
+        let plan = MatchPlan::with_kernel(&pattern, MatchKernel::Naive);
+        let counters = ScanCounters::new();
+        plan.best_match_counted(&series, true, Some(&counters))
+            .unwrap();
+        let stats = counters.snapshot();
+        assert!(stats.abandoned > 0, "{stats:?}");
+
+        // Without early abandoning nothing can be abandoned.
+        let exhaustive = ScanCounters::new();
+        plan.best_match_counted(&series, false, Some(&exhaustive))
+            .unwrap();
+        assert_eq!(exhaustive.snapshot().abandoned, 0);
+        assert_eq!(ScanStats::default().abandon_rate(), 0.0);
     }
 
     #[test]

@@ -29,6 +29,8 @@
 //! rpm-cli obs summary <RUN.jsonl>          # stage tree + quantiles
 //! rpm-cli obs diff <BASE.jsonl> <RUN.jsonl> [--tolerance 20%] [--time-gate]
 //!                                          # exit 1 on regression
+//! rpm-cli obs traces <ADDR>                # fetch retained request traces
+//!         [--min-ms N] [--outcome ok|bad_request|shed|deadline|error]
 //! ```
 //!
 //! Files use the UCR archive format: one series per line, class label
@@ -411,6 +413,24 @@ fn cmd_obs(args: &[String]) -> CliResult {
             print!("{}", summary.render());
             Ok(())
         }
+        Some("traces") => {
+            let rest = &args[1..];
+            let addr = positional(rest, 0)?;
+            let mut query = Vec::new();
+            if let Some(min_ms) = parse_flag::<u64>(rest, "--min-ms")? {
+                query.push(format!("min_ms={min_ms}"));
+            }
+            if let Some(outcome) = flag_value(rest, "--outcome")? {
+                query.push(format!("outcome={outcome}"));
+            }
+            let path = if query.is_empty() {
+                "/debug/traces".to_string()
+            } else {
+                format!("/debug/traces?{}", query.join("&"))
+            };
+            print!("{}", http_get(addr, &path)?);
+            Ok(())
+        }
         Some("diff") => {
             let rest = &args[1..];
             let baseline_path = positional(rest, 0)?;
@@ -438,10 +458,31 @@ fn cmd_obs(args: &[String]) -> CliResult {
         }
         _ => Err(
             "usage: rpm-cli obs <summary RUN.jsonl | diff BASELINE.jsonl RUN.jsonl \
-                  [--tolerance 20%] [--time-gate]>"
+                  [--tolerance 20%] [--time-gate] | traces ADDR [--min-ms N] \
+                  [--outcome ok|bad_request|shed|deadline|error]>"
                 .into(),
         ),
     }
+}
+
+/// A one-shot HTTP/1.0 GET against a serving endpoint (the flight
+/// recorder's `/debug/traces`), returning the body. Std-only — no HTTP
+/// client dependency for a line-oriented debug fetch.
+fn http_get(addr: &str, path: &str) -> Result<String, Box<dyn std::error::Error>> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: {addr}\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
+    let status_line = head.lines().next().unwrap_or_default();
+    if !status_line.contains(" 200 ") && !status_line.ends_with(" 200") {
+        return Err(format!("{addr}{path}: {status_line}").into());
+    }
+    Ok(body.to_string())
 }
 
 fn cmd_patterns(args: &[String]) -> CliResult {

@@ -66,6 +66,48 @@ fn post(addr: std::net::SocketAddr, body: &str) -> String {
     response
 }
 
+fn post_traced(addr: std::net::SocketAddr, body: &str, traceparent: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(
+        stream,
+        "POST /classify HTTP/1.0\r\nTraceparent: {traceparent}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+fn header_of<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+    response.lines().find_map(|line| {
+        let (key, value) = line.split_once(':')?;
+        key.eq_ignore_ascii_case(name).then(|| value.trim())
+    })
+}
+
+/// A sampled (forced-retention) traceparent with a recognizable,
+/// per-test-unique trace id.
+fn sampled_traceparent(tag: u32) -> (String, String) {
+    let trace_hex = format!("{:032x}", 0xfeed_0000_u128 + tag as u128);
+    let header = format!("00-{trace_hex}-00f067aa0ba902b7-01");
+    (trace_hex, header)
+}
+
 fn label_of(response: &str) -> usize {
     assert!(response.starts_with("HTTP/1.0 200"), "{response}");
     let tail = response
@@ -192,6 +234,9 @@ fn overload_sheds_with_429_and_retry_after() {
     for r in &shed {
         assert!(r.contains("Retry-After: 1"), "{r}");
         assert!(r.contains("\"overloaded\""), "{r}");
+        // Even sheds carry the trace identity headers.
+        assert!(header_of(r, "X-Request-Id").is_some(), "{r}");
+        assert!(header_of(r, "Traceparent").is_some(), "{r}");
     }
     server.shutdown();
 }
@@ -241,6 +286,214 @@ fn armed_request_fault_degrades_to_an_error_response_not_a_crash() {
 
     let healthy = post(addr, &body);
     assert!(healthy.starts_with("HTTP/1.0 200"), "{healthy}");
+    server.shutdown();
+}
+
+/// Duration of the named span inside one `/debug/traces` JSONL line.
+/// Span objects render `name` before `dur_ns`, so the first `dur_ns`
+/// after the name belongs to that span.
+fn span_dur(trace_line: &str, name: &str) -> Option<u64> {
+    let tail = trace_line.split(&format!("\"name\":\"{name}\"")).nth(1)?;
+    let tail = tail.split("\"dur_ns\":").nth(1)?;
+    tail.chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
+/// Wall time of the whole trace (the trace-level `dur_ns`, which
+/// renders before the `spans` array).
+fn trace_dur(trace_line: &str) -> u64 {
+    let head = trace_line.split("\"spans\":[").next().expect("head");
+    head.split("\"dur_ns\":")
+        .nth(1)
+        .expect("trace dur_ns")
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric dur")
+}
+
+#[test]
+fn deadline_miss_leaves_a_retained_trace_with_queue_wait() {
+    let (model, test) = trained();
+    let config = ServeConfig {
+        // deadline < batch_window < deadline + 50ms handler grace: the
+        // worker-side deadline gate answers (pushing the queue_wait
+        // span first) before the handler's own timeout gives up.
+        deadline: Duration::from_millis(150),
+        batch_window: Duration::from_millis(160),
+        max_batch: 10_000,
+        ..test_config()
+    };
+    let mut server = Server::start(Arc::clone(&model), &config).expect("start");
+    let addr = server.local_addr();
+    let (trace_hex, traceparent) = sampled_traceparent(0x5104);
+
+    let response = post_traced(addr, &jsonl_body(&test.series[0]), &traceparent);
+    assert!(response.starts_with("HTTP/1.0 504"), "{response}");
+    // The inbound trace identity comes back on the failure response.
+    assert_eq!(
+        header_of(&response, "X-Request-Id"),
+        Some(trace_hex.as_str())
+    );
+    let echoed = header_of(&response, "Traceparent").expect("traceparent echoed");
+    assert!(echoed.starts_with(&format!("00-{trace_hex}-")), "{echoed}");
+    assert!(echoed.ends_with("-01"), "sampled flag preserved: {echoed}");
+
+    // The flight recorder retained the trace (deadline outcome and the
+    // sampled flag each force retention), and it shows where the time
+    // went: waiting in the queue, never reaching predict.
+    let traces = get(addr, "/debug/traces?outcome=deadline");
+    let line = traces
+        .lines()
+        .find(|l| l.contains(&trace_hex))
+        .unwrap_or_else(|| panic!("no retained trace for {trace_hex} in:\n{traces}"));
+    assert!(
+        line.contains("\"outcome\":\"deadline\",\"status\":504"),
+        "{line}"
+    );
+    let waited = span_dur(line, "queue_wait").expect("queue_wait span");
+    assert!(waited > 0, "queue wait must be nonzero: {line}");
+    assert!(waited <= trace_dur(line), "span outlives trace: {line}");
+    assert!(
+        span_dur(line, "predict").is_none(),
+        "an expired request must not reach predict: {line}"
+    );
+    // The wall-time filter sees the ~160ms the request spent queued.
+    assert!(get(addr, "/debug/traces?min_ms=100").contains(&trace_hex));
+    assert!(!get(addr, "/debug/traces?min_ms=60000").contains(&trace_hex));
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_still_carry_trace_identity() {
+    let (model, _) = trained();
+    let mut server = Server::start(Arc::clone(&model), &test_config()).expect("start");
+    let addr = server.local_addr();
+
+    let (trace_hex, traceparent) = sampled_traceparent(0x0bad);
+    let response = post_traced(addr, "not json\n", &traceparent);
+    assert!(response.starts_with("HTTP/1.0 400"), "{response}");
+    assert_eq!(
+        header_of(&response, "X-Request-Id"),
+        Some(trace_hex.as_str())
+    );
+
+    // A malformed traceparent is not an error: the server falls back to
+    // a freshly generated id instead of echoing garbage.
+    let response = post_traced(addr, "not json\n", "garbage-not-a-traceparent");
+    assert!(response.starts_with("HTTP/1.0 400"), "{response}");
+    let generated = header_of(&response, "X-Request-Id").expect("generated id");
+    assert_eq!(generated.len(), 32, "{generated}");
+    assert!(
+        generated.chars().all(|c| c.is_ascii_hexdigit()),
+        "{generated}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_traces_share_a_batch_and_exemplars_resolve() {
+    let (model, test) = trained();
+    let config = ServeConfig {
+        // One worker and a wide window force the concurrent requests
+        // into a single micro-batch.
+        workers: 1,
+        max_batch: 10_000,
+        batch_window: Duration::from_millis(300),
+        ..test_config()
+    };
+    let mut server = Server::start(Arc::clone(&model), &config).expect("start");
+    let addr = server.local_addr();
+
+    let parents: Vec<(String, String)> = (0..4).map(|i| sampled_traceparent(0xba7c + i)).collect();
+    let responses: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = parents
+            .iter()
+            .zip(&test.series)
+            .map(|((_, header), series)| {
+                let body = jsonl_body(series);
+                scope.spawn(move || post_traced(addr, &body, header))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (response, (trace_hex, _)) in responses.iter().zip(&parents) {
+        assert!(response.starts_with("HTTP/1.0 200"), "{response}");
+        assert_eq!(
+            header_of(response, "X-Request-Id"),
+            Some(trace_hex.as_str())
+        );
+    }
+
+    let traces = get(addr, "/debug/traces");
+    let lines: Vec<&str> = parents
+        .iter()
+        .map(|(hex, _)| {
+            traces
+                .lines()
+                .find(|l| l.contains(&format!("\"trace_id\":\"{hex}\"")))
+                .unwrap_or_else(|| panic!("sampled trace {hex} not retained in:\n{traces}"))
+        })
+        .collect();
+
+    // Every request trace carries the full span tree, the spans fit
+    // inside the request's wall time, and the kernel counters rode
+    // along as predict-span attributes.
+    for line in &lines {
+        let total = trace_dur(line);
+        for span in ["parse", "queue_wait", "batch", "predict", "respond"] {
+            let dur = span_dur(line, span).unwrap_or_else(|| panic!("no {span} span in: {line}"));
+            assert!(
+                dur <= total,
+                "{span} ({dur}ns) exceeds trace ({total}ns): {line}"
+            );
+        }
+        let waited = span_dur(line, "queue_wait").unwrap();
+        let predicted = span_dur(line, "predict").unwrap();
+        assert!(
+            waited + predicted <= total,
+            "queue_wait + predict ({waited} + {predicted}) exceed wall time {total}: {line}"
+        );
+        assert!(line.contains("\"searches\":\""), "{line}");
+        assert!(line.contains("\"windows\":\""), "{line}");
+        assert!(line.contains("\"abandon_rate\":\""), "{line}");
+    }
+
+    // The shared batch span makes the causality explicit: the first
+    // request's batch span links the sibling traces it was served with.
+    let siblings_linked = parents[1..]
+        .iter()
+        .filter(|(hex, _)| lines[0].contains(hex.as_str()))
+        .count();
+    assert!(
+        siblings_linked >= 2,
+        "batch span should link >=2 sibling traces, linked {siblings_linked}: {}",
+        lines[0]
+    );
+
+    // Exemplar trace ids on /metrics resolve against the recorder: any
+    // `# {trace_id="..."}` annotation points at a retained trace.
+    let metrics = get(addr, "/metrics");
+    let exemplar_ids: Vec<&str> = metrics
+        .lines()
+        .filter_map(|l| l.split("# {trace_id=\"").nth(1))
+        .filter_map(|t| t.split('"').next())
+        .collect();
+    assert!(
+        !exemplar_ids.is_empty(),
+        "no exemplars on /metrics:\n{metrics}"
+    );
+    let all_traces = get(addr, "/debug/traces");
+    for id in &exemplar_ids {
+        assert!(
+            all_traces.contains(*id),
+            "exemplar {id} does not resolve against /debug/traces"
+        );
+    }
     server.shutdown();
 }
 
