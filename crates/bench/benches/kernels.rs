@@ -267,6 +267,58 @@ fn bench_trace_overhead(c: &mut Criterion) {
     g.finish();
 }
 
+/// Cost of online drift monitoring on the serving path — the acceptance
+/// gate (BENCH.md): the observed batch predict (drift samples extracted
+/// and folded into the monitor's epoch sketches) must stay within 2% of
+/// the traced path at p99. The per-sample fold is a handful of relaxed
+/// atomic increments into log₂ buckets; scoring the window (PSI + KS
+/// per metric, what `/debug/drift` pays per request) is also measured
+/// so the read side stays honest.
+fn bench_drift_overhead(c: &mut Criterion) {
+    use rpm_core::{Parallelism, RpmClassifier, RpmConfig};
+    use rpm_obs::{DriftConfig, DriftMonitor};
+    use rpm_ts::ScanCounters;
+    let train = rpm_data::cbf::generate(8, 128, 21);
+    let batch = rpm_data::cbf::generate(4, 128, 22).series;
+    let model = RpmClassifier::train(&train, &RpmConfig::fixed(SaxConfig::new(32, 4, 4)))
+        .expect("train for drift bench");
+    let profile = model
+        .reference_profile()
+        .expect("training builds a reference profile");
+    let monitor = DriftMonitor::new(profile, DriftConfig::default());
+    let counters = ScanCounters::new();
+
+    let mut g = c.benchmark_group("drift_overhead");
+    g.bench_function("predict_traced", |b| {
+        b.iter(|| {
+            model
+                .predict_batch_traced(black_box(&batch), Parallelism::Serial, Some(&counters))
+                .expect("predict")
+        })
+    });
+    g.bench_function("predict_observed", |b| {
+        b.iter(|| {
+            let observed = model
+                .predict_batch_observed(black_box(&batch), Parallelism::Serial, Some(&counters))
+                .expect("predict");
+            for (label, sample) in &observed {
+                monitor.observe(sample);
+                black_box(label);
+            }
+        })
+    });
+    // Warm the window so report() scores real sketches, then measure the
+    // on-demand scoring cost (read side: /debug/drift, /metrics gauges).
+    let samples: Vec<_> = model
+        .predict_batch_observed(&batch, Parallelism::Serial, None)
+        .expect("predict");
+    for (_, sample) in &samples {
+        monitor.observe(sample);
+    }
+    g.bench_function("drift_report", |b| b.iter(|| monitor.report()));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_best_match,
@@ -277,6 +329,7 @@ criterion_group!(
     bench_obs_disabled,
     bench_fault_disabled,
     bench_predict_latency,
-    bench_trace_overhead
+    bench_trace_overhead,
+    bench_drift_overhead
 );
 criterion_main!(benches);

@@ -107,7 +107,7 @@ fn main() {
             qps: (4.0 / per_series.max(1e-9)).max(200.0),
             duration: Duration::from_secs_f64(probe_secs),
             senders: 96,
-            body: body.clone(),
+            bodies: vec![body.clone()],
         });
         server.shutdown();
         report
@@ -138,7 +138,7 @@ fn main() {
                 qps,
                 duration,
                 senders: 96,
-                body: body.clone(),
+                bodies: vec![body.clone()],
             });
             let label = format!("{mode} {level}");
             eprintln!(

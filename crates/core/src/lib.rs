@@ -59,7 +59,7 @@ pub use explore::{
 };
 pub use model::{Pattern, RpmClassifier, TrainError};
 pub use params::{default_bounds, search_parameters, SearchOutcome};
-pub use persist::{PersistError, VerifyReport};
+pub use persist::{model_fingerprint, PersistError, VerifyReport};
 pub use rpm_obs::{ObsConfig, ObsLevel};
 pub use rpm_ts::{MatchKernel, MatchPlan, Parallelism};
 pub use transform::{

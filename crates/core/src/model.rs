@@ -92,6 +92,68 @@ pub struct RpmClassifier {
     /// Serving-path utilization accumulators (one slot per pattern);
     /// populated only while `rpm-obs` is enabled, never persisted.
     pub(crate) usage: PatternUsage,
+    /// Training-time reference profile: per-predicted-class distributions
+    /// of the drift metrics over the training set, persisted as the
+    /// optional `profile` section of model v2 files. `None` for models
+    /// saved before the section existed — drift detection then reports
+    /// `unavailable` instead of guessing.
+    pub(crate) profile: Option<rpm_obs::ReferenceProfile>,
+}
+
+/// Reduces one classified series to the quantities the drift sketches
+/// track: the winning closest-match distance, the class margin (runner-up
+/// class's best distance minus the winning class's), and input summary
+/// statistics. `row` is the series' feature vector (one distance per
+/// pattern, aligned with `pattern_classes`).
+fn drift_sample(
+    series: &[f64],
+    row: &[f64],
+    pattern_classes: &[Label],
+    label: Label,
+) -> rpm_obs::DriftSample {
+    let mut class_best: BTreeMap<Label, f64> = BTreeMap::new();
+    for (&class, &d) in pattern_classes.iter().zip(row) {
+        let e = class_best.entry(class).or_insert(f64::INFINITY);
+        if d < *e {
+            *e = d;
+        }
+    }
+    let mut dists: Vec<f64> = class_best.into_values().collect();
+    dists.sort_by(f64::total_cmp);
+    let best_distance = dists.first().copied().unwrap_or(0.0);
+    let margin = if dists.len() > 1 {
+        (dists[1] - dists[0]).max(0.0)
+    } else {
+        0.0
+    };
+    let n = series.len().max(1) as f64;
+    let mean = series.iter().sum::<f64>() / n;
+    let var = series
+        .iter()
+        .map(|v| {
+            let d = v - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    let stddev = var.sqrt();
+    let z_extreme = if stddev > 0.0 {
+        series
+            .iter()
+            .map(|v| ((v - mean) / stddev).abs())
+            .fold(0.0, f64::max)
+    } else {
+        0.0
+    };
+    rpm_obs::DriftSample {
+        class: label,
+        best_distance,
+        margin,
+        len: series.len(),
+        mean,
+        stddev,
+        z_extreme,
+    }
 }
 
 impl RpmClassifier {
@@ -266,6 +328,19 @@ impl RpmClassifier {
         let svm = LinearSvm::train(&rows, &train.labels, &config.svm);
         drop(svm_span);
 
+        // --- Reference profile: the training-set distributions of the
+        //     drift metrics, keyed by the model's *own* predictions so
+        //     serve-time comparisons are apples-to-apples even where the
+        //     model disagrees with the training labels.
+        let profile_span = rpm_obs::span!("profile");
+        let pattern_classes: Vec<Label> = selected.iter().map(|p| p.class).collect();
+        let mut profile = rpm_obs::ReferenceProfile::new();
+        for (series, row) in train.series.iter().zip(&rows) {
+            let label = svm.predict(row);
+            profile.observe(&drift_sample(series, row, &pattern_classes, label));
+        }
+        drop(profile_span);
+
         let plans = prepare_patterns(&pattern_values, config.kernel);
         let usage = PatternUsage::new(pattern_values.len());
         Ok(Self {
@@ -278,6 +353,7 @@ impl RpmClassifier {
             degraded: false,
             cache_stats: ctx.cache.stats(),
             usage,
+            profile: Some(profile),
         })
     }
 
@@ -412,6 +488,65 @@ impl RpmClassifier {
             }
         }
         Ok(rows.iter().map(|r| self.svm.predict(r)).collect())
+    }
+
+    /// [`predict_batch_traced`](Self::predict_batch_traced), additionally
+    /// returning one [`rpm_obs::DriftSample`] per series — the serving
+    /// path feeds these into the installed drift monitor. The samples are
+    /// derived from the same feature rows the SVM sees, so labels stay
+    /// bit-identical to every other batch entry point.
+    pub fn predict_batch_observed<S: AsRef<[f64]> + Sync>(
+        &self,
+        series: &[S],
+        parallelism: Parallelism,
+        counters: Option<&ScanCounters>,
+    ) -> Result<Vec<(Label, rpm_obs::DriftSample)>, EngineError> {
+        let _span = rpm_obs::span!("predict");
+        let m = rpm_obs::metrics();
+        m.predict_batches.inc();
+        m.predict_series.add(series.len() as u64);
+        let rows = match parallelism {
+            Parallelism::Serial => series
+                .iter()
+                .map(|s| {
+                    transform_series_plans_counted(
+                        s.as_ref(),
+                        &self.plans,
+                        self.rotation_invariant,
+                        self.early_abandon,
+                        counters,
+                    )
+                })
+                .collect(),
+            Parallelism::Threads(_) => transform_set_plans_engine_counted(
+                series,
+                &self.plans,
+                self.rotation_invariant,
+                self.early_abandon,
+                &Engine::new(parallelism.workers()),
+                counters,
+            )?,
+        };
+        if rpm_obs::enabled() {
+            for row in &rows {
+                self.usage.note(row);
+            }
+        }
+        let classes: Vec<Label> = self.patterns.iter().map(|p| p.class).collect();
+        Ok(series
+            .iter()
+            .zip(&rows)
+            .map(|(s, row)| {
+                let label = self.svm.predict(row);
+                (label, drift_sample(s.as_ref(), row, &classes, label))
+            })
+            .collect())
+    }
+
+    /// The training-time drift reference profile, when the model carries
+    /// one (models persisted before the `profile` section return `None`).
+    pub fn reference_profile(&self) -> Option<&rpm_obs::ReferenceProfile> {
+        self.profile.as_ref()
     }
 
     /// Per-pattern utilization accumulated on the serving path while
@@ -737,6 +872,50 @@ mod tests {
                 plain
             );
         }
+    }
+
+    #[test]
+    fn training_builds_a_reference_profile() {
+        let train = two_class_dataset(10, 128, 50);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let profile = model.reference_profile().expect("training always profiles");
+        assert_eq!(profile.total_samples(), train.series.len() as u64);
+        // The model predicts both classes on its own training set, so the
+        // profile holds a sketch per class.
+        assert_eq!(profile.class_labels(), vec![0, 1]);
+    }
+
+    #[test]
+    fn observed_batch_matches_plain_labels_and_fills_samples() {
+        let train = two_class_dataset(10, 128, 51);
+        let test = two_class_dataset(4, 128, 52);
+        let model = RpmClassifier::train(&train, &fixed_config()).unwrap();
+        let plain = model.predict_batch(&test.series);
+        for parallelism in [Parallelism::Serial, Parallelism::Threads(2)] {
+            let observed = model
+                .predict_batch_observed(&test.series, parallelism, None)
+                .unwrap();
+            let labels: Vec<usize> = observed.iter().map(|(l, _)| *l).collect();
+            assert_eq!(labels, plain, "{parallelism:?}");
+            for ((label, sample), series) in observed.iter().zip(&test.series) {
+                assert_eq!(sample.class, *label);
+                assert_eq!(sample.len, series.len());
+                assert!(sample.best_distance.is_finite() && sample.best_distance >= 0.0);
+                assert!(sample.margin >= 0.0);
+                assert!(sample.stddev > 0.0, "noisy series have spread");
+                assert!(sample.z_extreme > 0.0);
+            }
+            // The winning distance is the row minimum.
+            let row = model.transform(&test.series[0]);
+            let expected = row.iter().copied().fold(f64::INFINITY, f64::min);
+            assert_eq!(observed[0].1.best_distance, expected);
+        }
+        // Counters attach the same way as predict_batch_traced.
+        let counters = ScanCounters::new();
+        model
+            .predict_batch_observed(&test.series, Parallelism::Serial, Some(&counters))
+            .unwrap();
+        assert!(counters.snapshot().searches > 0);
     }
 
     #[test]

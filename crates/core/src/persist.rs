@@ -18,6 +18,7 @@
 //! section sax <len> <crc32-hex>
 //! section patterns <len> <crc32-hex>
 //! section svm <len> <crc32-hex>
+//! section profile <len> <crc32-hex>    (optional; drift reference)
 //! checksum <crc32-hex>                 (over all payloads, in order)
 //! END
 //! ```
@@ -26,6 +27,12 @@
 //! model, so the two formats share one line parser. A CRC mismatch loads
 //! as [`PersistError::Corrupt`] naming the section; header damage is a
 //! [`PersistError::Format`]. Loading never panics, whatever the bytes.
+//!
+//! The `profile` section holds the training-time drift reference
+//! (`profile-class`/`profile-hist` lines rendered by
+//! `rpm_obs::ReferenceProfile`). It is optional: files written before it
+//! existed load fine and simply leave the model without a profile, so
+//! serve-time drift detection reports `unavailable` for them.
 //!
 //! ## v1 (still read, written by [`RpmClassifier::save_v1`])
 //!
@@ -62,8 +69,8 @@ pub enum PersistError {
     /// A v2 section's bytes fail their CRC32 — the file was damaged after
     /// writing, and `section` says where.
     Corrupt {
-        /// Which section (`flags`, `sax`, `patterns`, `svm`, or `trailer`
-        /// for the whole-payload checksum) failed verification.
+        /// Which section (`flags`, `sax`, `patterns`, `svm`, `profile`, or
+        /// `trailer` for the whole-payload checksum) failed verification.
         section: String,
         /// What mismatched.
         detail: String,
@@ -121,6 +128,18 @@ pub struct VerifyReport {
     pub classes: usize,
     /// Whether the model was trained under an exhausted budget.
     pub degraded: bool,
+    /// CRC-32 of the entire stream, as 8 hex digits — the model identity
+    /// surfaced on `/healthz` ([`model_fingerprint`]).
+    pub fingerprint: String,
+    /// Training samples in the drift reference profile (0 when the model
+    /// carries none).
+    pub profile_samples: u64,
+}
+
+/// The model fingerprint surfaced by the serving path: CRC-32 of the
+/// entire serialized stream, rendered as 8 hex digits.
+pub fn model_fingerprint(bytes: &[u8]) -> String {
+    format!("{:08x}", crc32(bytes))
 }
 
 /// Accumulator shared by the v1 and v2 readers: both formats use the same
@@ -137,6 +156,9 @@ struct Parts {
     scaler_inv_sd: Option<Vec<f64>>,
     weights: Vec<Vec<f64>>,
     expected_rows: usize,
+    /// Raw `profile-*` lines, re-assembled and handed to
+    /// `ReferenceProfile::parse` at finish (empty = no profile section).
+    profile_lines: String,
 }
 
 impl Parts {
@@ -208,6 +230,12 @@ impl Parts {
                 self.expected_rows = parse::<usize>(f.next(), "svm rows")?;
             }
             "svm-row" => self.weights.push(parse_floats(f)?),
+            t if t.starts_with("profile-") => {
+                // Profile lines are validated as a unit by
+                // `ReferenceProfile::parse` in `finish`.
+                self.profile_lines.push_str(line);
+                self.profile_lines.push('\n');
+            }
             "END" => return Ok(true),
             other => return Err(format_err(format!("unknown tag {other:?}"))),
         }
@@ -215,6 +243,13 @@ impl Parts {
     }
 
     fn finish(self) -> Result<RpmClassifier, PersistError> {
+        let profile = if self.profile_lines.is_empty() {
+            None
+        } else {
+            let p = rpm_obs::ReferenceProfile::parse(&self.profile_lines)
+                .map_err(|e| format_err(format!("profile: {e}")))?;
+            (!p.is_empty()).then_some(p)
+        };
         if self.weights.len() != self.expected_rows {
             return Err(format_err(format!(
                 "declared {} weight rows, found {}",
@@ -253,6 +288,7 @@ impl Parts {
             // reports empty stats and starts a fresh usage window.
             cache_stats: crate::cache::CacheStats::default(),
             usage: crate::usage::PatternUsage::new(n_patterns),
+            profile,
         })
     }
 }
@@ -275,7 +311,7 @@ fn split_v2_sections(mut rest: &[u8]) -> Result<Vec<Section<'_>>, PersistError> 
         if let Some(fields) = line.strip_prefix("section ") {
             let mut f = fields.split_whitespace();
             let name = f.next().ok_or_else(|| format_err("section without name"))?;
-            if !matches!(name, "flags" | "sax" | "patterns" | "svm") {
+            if !matches!(name, "flags" | "sax" | "patterns" | "svm" | "profile") {
                 return Err(format_err(format!("unknown section {name:?}")));
             }
             let len: usize = parse(f.next(), "section length")?;
@@ -341,20 +377,28 @@ fn take_line(bytes: &[u8]) -> Result<(&str, &[u8]), PersistError> {
     Ok((line, rest))
 }
 
-/// (parsed sections, format version, per-section name/size listing).
-type LoadedParts = (Parts, u8, Vec<(String, usize)>);
+/// (parsed sections, format version, per-section name/size listing,
+/// whole-stream fingerprint).
+type LoadedParts = (Parts, u8, Vec<(String, usize)>, String);
 
 impl RpmClassifier {
     /// Writes the trained model in the current (v2) sectioned format with
     /// per-section CRC32s and a whole-payload trailer checksum.
     pub fn save(&self, mut writer: impl Write) -> std::io::Result<()> {
         rpm_obs::fault::point("persist.save")?;
-        let sections = [
+        let mut sections = vec![
             ("flags", self.render_flags()),
             ("sax", self.render_sax()),
             ("patterns", self.render_patterns()),
             ("svm", self.render_svm()),
         ];
+        // The drift reference rides along as an optional trailing section;
+        // readers that predate it skip nothing (it is simply absent from
+        // older files, and its tag-prefixed lines keep the shared line
+        // parser unambiguous).
+        if let Some(profile) = self.profile.as_ref().filter(|p| !p.is_empty()) {
+            sections.push(("profile", profile.render()));
+        }
         let mut out = String::from("RPM-MODEL v2\n");
         let mut all = Vec::new();
         for (name, payload) in &sections {
@@ -467,7 +511,7 @@ impl RpmClassifier {
     /// [`PersistError`] that [`RpmClassifier::load`] would — including
     /// [`PersistError::Corrupt`] naming the broken section.
     pub fn verify(reader: impl Read) -> Result<VerifyReport, PersistError> {
-        let (parts, version, sections) = Self::load_parts(reader)?;
+        let (parts, version, sections, fingerprint) = Self::load_parts(reader)?;
         let model = parts.finish()?;
         Ok(VerifyReport {
             version,
@@ -475,6 +519,8 @@ impl RpmClassifier {
             patterns: model.patterns.len(),
             classes: model.svm.export().classes.len(),
             degraded: model.degraded,
+            fingerprint,
+            profile_samples: model.profile.as_ref().map_or(0, |p| p.total_samples()),
         })
     }
 
@@ -482,6 +528,7 @@ impl RpmClassifier {
         rpm_obs::fault::point("persist.load")?;
         let mut buf = Vec::new();
         reader.read_to_end(&mut buf)?;
+        let fingerprint = model_fingerprint(&buf);
         let (magic, rest) = take_line(&buf).map_err(|_| format_err("bad magic line"))?;
         let mut parts = Parts::new();
         match magic.trim() {
@@ -498,7 +545,7 @@ impl RpmClassifier {
                 if !saw_end {
                     return Err(format_err("truncated stream (no END)"));
                 }
-                Ok((parts, 1, Vec::new()))
+                Ok((parts, 1, Vec::new(), fingerprint))
             }
             "RPM-MODEL v2" => {
                 let sections = split_v2_sections(rest)?;
@@ -519,7 +566,7 @@ impl RpmClassifier {
                     }
                     summary.push((section.name.to_string(), section.payload.len()));
                 }
-                Ok((parts, 2, summary))
+                Ok((parts, 2, summary, fingerprint))
             }
             other => Err(format_err(format!("bad magic line {other:?}"))),
         }
@@ -611,6 +658,8 @@ mod tests {
         let loaded = RpmClassifier::load(buf.as_slice()).unwrap();
         assert_eq!(model.patterns().len(), loaded.patterns().len());
         assert_eq!(model.sax_configs(), loaded.sax_configs());
+        assert!(model.reference_profile().is_some());
+        assert_eq!(model.reference_profile(), loaded.reference_profile());
         assert_eq!(
             model.is_rotation_invariant(),
             loaded.is_rotation_invariant()
@@ -657,16 +706,54 @@ mod tests {
         let report = RpmClassifier::verify(buf.as_slice()).unwrap();
         assert_eq!(report.version, 2);
         let names: Vec<&str> = report.sections.iter().map(|(n, _)| n.as_str()).collect();
-        assert_eq!(names, ["flags", "sax", "patterns", "svm"]);
+        assert_eq!(names, ["flags", "sax", "patterns", "svm", "profile"]);
         assert_eq!(report.patterns, model.patterns().len());
         assert_eq!(report.classes, 2);
         assert!(!report.degraded);
+        assert_eq!(report.fingerprint, model_fingerprint(&buf));
+        assert_eq!(report.fingerprint.len(), 8);
+        // One profile sample per training series.
+        assert_eq!(report.profile_samples, 20);
 
         let mut v1 = Vec::new();
         model.save_v1(&mut v1).unwrap();
         let report = RpmClassifier::verify(v1.as_slice()).unwrap();
         assert_eq!(report.version, 1);
         assert!(report.sections.is_empty());
+        assert_eq!(report.profile_samples, 0, "v1 never carries a profile");
+    }
+
+    #[test]
+    fn profileless_v2_models_still_load() {
+        // A model whose profile was stripped stands in for files written
+        // by the pre-profile v2 writer: the section is simply absent.
+        let (model, test) = trained();
+        let mut bare = model.clone();
+        bare.profile = None;
+        let mut buf = Vec::new();
+        bare.save(&mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(!text.contains("section profile"));
+        let loaded = RpmClassifier::load(buf.as_slice()).unwrap();
+        assert!(loaded.reference_profile().is_none());
+        assert_eq!(
+            model.predict_batch(&test.series),
+            loaded.predict_batch(&test.series)
+        );
+        let report = RpmClassifier::verify(buf.as_slice()).unwrap();
+        assert_eq!(report.profile_samples, 0);
+    }
+
+    #[test]
+    fn corrupt_profile_lines_are_rejected() {
+        let (model, _) = trained();
+        let mut buf = Vec::new();
+        model.save_v1(&mut buf).unwrap();
+        // v1 has no checksums, so a bogus profile line reaches the parser.
+        let text = String::from_utf8(buf).unwrap();
+        let broken = text.replace("END\n", "profile-hist 0 bogus_metric 0:1\nEND\n");
+        let err = RpmClassifier::load(broken.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("profile"), "{err}");
     }
 
     #[test]

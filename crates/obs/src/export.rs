@@ -106,6 +106,54 @@ pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Renders a [`crate::drift::DriftReport`] as `rpm_drift_*` gauges for
+/// the same exposition page. Scores are float gauges labeled by metric;
+/// `rpm_drift_status` encodes the overall verdict ordinally
+/// (0 unavailable, 1 warming, 2 ok, 3 warn, 4 page) so a single alert
+/// rule (`rpm_drift_status >= 3`) covers every metric. Renders nothing
+/// while no monitor is attached — an offline training run's scrape page
+/// stays free of serving-only families.
+pub fn drift_to_prometheus(report: &crate::drift::DriftReport) -> String {
+    use crate::drift::DriftStatus;
+    let mut out = String::new();
+    if report.status == DriftStatus::Unavailable {
+        return out;
+    }
+    let status_code = match report.status {
+        DriftStatus::Unavailable => 0,
+        DriftStatus::Warming => 1,
+        DriftStatus::Ok => 2,
+        DriftStatus::Warn => 3,
+        DriftStatus::Page => 4,
+    };
+    let _ = writeln!(out, "# TYPE rpm_drift_status gauge");
+    let _ = writeln!(out, "rpm_drift_status {status_code}");
+    let _ = writeln!(out, "# TYPE rpm_drift_samples gauge");
+    let _ = writeln!(out, "rpm_drift_samples {}", report.live_samples);
+    if !report.metrics.is_empty() {
+        let _ = writeln!(out, "# TYPE rpm_drift_psi gauge");
+        for m in &report.metrics {
+            let _ = writeln!(
+                out,
+                "rpm_drift_psi{{metric=\"{}\"}} {:.6}",
+                escape_label(m.metric),
+                m.psi
+            );
+        }
+        let _ = writeln!(out, "# TYPE rpm_drift_ks gauge");
+        for m in &report.metrics {
+            if let Some(ks) = m.ks {
+                let _ = writeln!(
+                    out,
+                    "rpm_drift_ks{{metric=\"{}\"}} {ks:.6}",
+                    escape_label(m.metric)
+                );
+            }
+        }
+    }
+    out
+}
+
 fn push_histogram(out: &mut String, name: &str, hist: &HistogramSnapshot) {
     let flat = flatten(name);
     let _ = writeln!(out, "# TYPE rpm_{flat} histogram");
@@ -293,6 +341,55 @@ mod tests {
             "{text}"
         );
         crate::trace::clear_exemplars();
+    }
+
+    #[test]
+    fn drift_reports_render_as_gauges() {
+        use crate::drift::{DriftReport, DriftStatus, MetricDrift};
+        // Unavailable renders nothing at all.
+        assert_eq!(drift_to_prometheus(&DriftReport::unavailable()), "");
+
+        let report = DriftReport {
+            status: DriftStatus::Warn,
+            live_samples: 120,
+            reference_samples: 500,
+            window_secs: 240,
+            epoch_secs: 30,
+            epochs: 8,
+            warn: 0.2,
+            page: 0.5,
+            metrics: vec![
+                MetricDrift {
+                    metric: "match_distance",
+                    psi: 0.31,
+                    ks: Some(0.4),
+                    verdict: DriftStatus::Warn,
+                },
+                MetricDrift {
+                    metric: "class_mix",
+                    psi: 0.01,
+                    ks: None,
+                    verdict: DriftStatus::Ok,
+                },
+            ],
+        };
+        let text = drift_to_prometheus(&report);
+        assert!(text.contains("rpm_drift_status 3"), "{text}");
+        assert!(text.contains("rpm_drift_samples 120"), "{text}");
+        assert!(
+            text.contains("rpm_drift_psi{metric=\"match_distance\"} 0.310000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("rpm_drift_ks{metric=\"match_distance\"} 0.400000"),
+            "{text}"
+        );
+        // The categorical mix has no KS series.
+        assert!(
+            !text.contains("rpm_drift_ks{metric=\"class_mix\"}"),
+            "{text}"
+        );
+        assert_eq!(text.matches("# TYPE rpm_drift_psi gauge").count(), 1);
     }
 
     #[test]

@@ -231,10 +231,16 @@ impl Router {
 pub fn metrics_routes() -> Router {
     Router::new()
         .route("GET", "/metrics", |_req| {
-            let body = crate::export::to_prometheus(&crate::metrics::snapshot());
+            let mut body = crate::export::to_prometheus(&crate::metrics::snapshot());
+            body.push_str(&crate::export::drift_to_prometheus(
+                &crate::drift::current_report(),
+            ));
             Response::ok(body).with_content_type("text/plain; version=0.0.4; charset=utf-8")
         })
-        .route("GET", "/healthz", |_req| Response::ok("ok\n"))
+        .route("GET", "/healthz", |_req| Response::json(200, health_json()))
+        .route("GET", "/debug/drift", |_req| {
+            Response::json(200, crate::drift::current_report().to_json())
+        })
         .route("GET", "/debug/traces", |req| {
             let min_ns = req
                 .query_param("min_ms")
@@ -255,6 +261,28 @@ pub fn metrics_routes() -> Router {
             }
             Response::ok(body).with_content_type("application/jsonl; charset=utf-8")
         })
+}
+
+/// The `/healthz` body: liveness plus a summary of what this process is
+/// serving. `status` is `degraded` when the attached drift monitor's
+/// verdict reached the page threshold — the endpoint still answers
+/// `200` (liveness is about the process, not the traffic), so
+/// orchestrators keep the replica while dashboards and the CLI see the
+/// degradation. `model` is the served model's fingerprint when a server
+/// published one, `drift` the current verdict
+/// (`unavailable`/`warming`/`ok`/`warn`/`page`).
+pub fn health_json() -> String {
+    let drift = crate::drift::current_report();
+    let status = if drift.degraded() { "degraded" } else { "ok" };
+    let uptime_secs = crate::now_ns() / 1_000_000_000;
+    let model = match crate::drift::model_fingerprint() {
+        Some(fp) => format!("\"{fp}\""),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"status\":\"{status}\",\"model\":{model},\"uptime_secs\":{uptime_secs},\"drift\":\"{}\"}}",
+        drift.status
+    )
 }
 
 /// Handle to a running endpoint. Dropping it shuts the server down
@@ -553,12 +581,19 @@ mod tests {
 
     #[test]
     fn serves_metrics_healthz_and_404() {
+        let _g = crate::test_lock();
+        crate::drift::clear_monitor();
+        crate::drift::set_model_fingerprint(None);
         let server = serve("127.0.0.1:0").expect("bind");
         let addr = server.local_addr();
 
         let health = get(addr, "/healthz");
         assert!(health.starts_with("HTTP/1.0 200"), "{health}");
-        assert!(health.ends_with("ok\n"), "{health}");
+        assert!(health.contains("application/json"), "{health}");
+        assert!(health.contains("\"status\":\"ok\""), "{health}");
+        assert!(health.contains("\"model\":null"), "{health}");
+        assert!(health.contains("\"uptime_secs\":"), "{health}");
+        assert!(health.contains("\"drift\":\"unavailable\""), "{health}");
 
         let metrics = get(addr, "/metrics");
         assert!(metrics.starts_with("HTTP/1.0 200"), "{metrics}");
@@ -566,6 +601,70 @@ mod tests {
 
         let missing = get(addr, "/nope");
         assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+    }
+
+    #[test]
+    fn drift_endpoints_follow_the_attached_monitor() {
+        let _g = crate::test_lock();
+        let server = serve("127.0.0.1:0").expect("bind");
+        let addr = server.local_addr();
+
+        // No monitor: drift is unavailable, health stays ok.
+        crate::drift::clear_monitor();
+        let body = get(addr, "/debug/drift");
+        assert!(body.contains("\"status\":\"unavailable\""), "{body}");
+
+        // A paging monitor degrades /healthz (still 200) and scores on
+        // /debug/drift and /metrics.
+        let mut profile = crate::drift::ReferenceProfile::new();
+        for _ in 0..100 {
+            profile.observe(&crate::drift::DriftSample {
+                class: 0,
+                best_distance: 0.5,
+                margin: 0.2,
+                len: 96,
+                mean: 0.0,
+                stddev: 1.0,
+                z_extreme: 2.0,
+            });
+        }
+        let monitor = std::sync::Arc::new(crate::drift::DriftMonitor::new(
+            &profile,
+            crate::drift::DriftConfig {
+                min_samples: 1,
+                ..crate::drift::DriftConfig::default()
+            },
+        ));
+        for _ in 0..10 {
+            monitor.observe(&crate::drift::DriftSample {
+                class: 0,
+                best_distance: 80.0,
+                margin: 40.0,
+                len: 96,
+                mean: 0.0,
+                stddev: 1.0,
+                z_extreme: 2.0,
+            });
+        }
+        crate::drift::install_monitor(monitor);
+        crate::drift::set_model_fingerprint(Some("cafebabe".into()));
+
+        let health = get(addr, "/healthz");
+        assert!(health.starts_with("HTTP/1.0 200"), "{health}");
+        assert!(health.contains("\"status\":\"degraded\""), "{health}");
+        assert!(health.contains("\"model\":\"cafebabe\""), "{health}");
+        assert!(health.contains("\"drift\":\"page\""), "{health}");
+
+        let drift = get(addr, "/debug/drift");
+        assert!(drift.contains("\"status\":\"page\""), "{drift}");
+        assert!(drift.contains("\"metric\":\"match_distance\""), "{drift}");
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.contains("rpm_drift_psi"), "{metrics}");
+        assert!(metrics.contains("rpm_drift_status 4"), "{metrics}");
+
+        crate::drift::clear_monitor();
+        crate::drift::set_model_fingerprint(None);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod diff;
+pub mod drift;
 pub mod export;
 pub mod fault;
 pub mod http;
@@ -49,7 +50,10 @@ pub mod span;
 pub mod trace;
 
 pub use diff::{diff_reports, load_summary, DiffOptions, DiffReport, ReportSummary};
-pub use export::to_prometheus;
+pub use drift::{
+    DriftConfig, DriftMonitor, DriftReport, DriftSample, DriftStatus, MetricDrift, ReferenceProfile,
+};
+pub use export::{drift_to_prometheus, to_prometheus};
 pub use fault::{FaultKind, FaultSpec};
 pub use http::{
     metrics_routes, serve, serve_router, serve_with, MetricsServer, Request, Response, Router,

@@ -101,7 +101,29 @@ impl Gauge {
     }
 }
 
-const HIST_BUCKETS: usize = 40;
+/// Number of log₂ buckets every histogram (and drift sketch) carries.
+pub const HIST_BUCKETS: usize = 40;
+
+/// The bucket index an observation falls into: bucket 0 holds exactly 0,
+/// bucket `i ≥ 1` holds `[2^(i-1), 2^i)`, everything ≥ 2^38 lands in the
+/// last bucket. Shared by [`Histogram`] and the drift sketches in
+/// [`crate::drift`] so reference and live distributions bucket
+/// identically.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// The exclusive upper bound of bucket `i` (0 for bucket 0, else `2^i`),
+/// matching [`Histogram::snapshot`]'s `(upper, count)` pairs.
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
 
 /// A log₂-bucket histogram: bucket `i` counts observations in
 /// `[2^(i-1), 2^i)` nanoseconds (bucket 0 holds zero). Tracks count and
@@ -132,8 +154,7 @@ impl Histogram {
         }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
-        let bucket = (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// A consistent-enough copy for reporting.
@@ -147,10 +168,7 @@ impl Histogram {
                 .enumerate()
                 .filter_map(|(i, b)| {
                     let n = b.load(Ordering::Relaxed);
-                    (n > 0).then(|| {
-                        let upper = if i == 0 { 0 } else { 1u64 << i };
-                        (upper, n)
-                    })
+                    (n > 0).then(|| (bucket_upper(i), n))
                 })
                 .collect(),
         }
@@ -336,6 +354,10 @@ pub struct Metrics {
     /// `match.windows` — candidate windows considered across all
     /// closest-match scans (before early abandoning).
     pub match_windows: Counter,
+    /// `match.abandoned` — candidate windows cut short by early
+    /// abandoning; `abandoned / windows` is the kernel's cumulative
+    /// early-abandon rate.
+    pub match_abandoned: Counter,
     /// `cache.frames.*` — PAA-frame cache family.
     pub cache_frames: CacheFamilyMetrics,
     /// `cache.words.*` — word-sequence cache family.
@@ -422,6 +444,7 @@ impl Metrics {
             predict_match_distance: Histogram::new(),
             match_searches: Counter::new(),
             match_windows: Counter::new(),
+            match_abandoned: Counter::new(),
             cache_frames: CacheFamilyMetrics::new(),
             cache_words: CacheFamilyMetrics::new(),
             cache_evals: CacheFamilyMetrics::new(),
@@ -448,7 +471,7 @@ impl Metrics {
         }
     }
 
-    fn counter_entries(&self) -> [(&'static str, &Counter); 31] {
+    fn counter_entries(&self) -> [(&'static str, &Counter); 32] {
         [
             ("engine.runs", &self.engine_runs),
             ("engine.jobs", &self.engine_jobs),
@@ -467,6 +490,7 @@ impl Metrics {
             ("predict.batches", &self.predict_batches),
             ("match.searches", &self.match_searches),
             ("match.windows", &self.match_windows),
+            ("match.abandoned", &self.match_abandoned),
             ("ml.svm_trains", &self.ml_svm_trains),
             ("ml.cv_splits", &self.ml_cv_splits),
             ("ml.cfs_runs", &self.ml_cfs_runs),

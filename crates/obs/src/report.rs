@@ -14,16 +14,19 @@
 //! | `histogram` | `name`, `count`, `sum_ns`, `mean_ns`, `p50`, `p90`, `p99`, `buckets` (`[upper, n]` pairs) |
 //! | `log`       | `t_ns`, `level`, `target`, `message`, optional `trace`              |
 //! | `trace`     | `trace_id`, `root`, optional `remote_parent`, `outcome`, `status`, `sampled`, `start_ns`, `dur_ns`, `spans` (each `name`, `id`, `parent`, `start_ns`, `dur_ns`, optional `attrs`/`links`) |
+//! | `drift`     | `status`, `live_samples`, `reference_samples`, window shape, thresholds, `metrics` (each `metric`, `psi`, `ks` (null for the class mix), `verdict`) |
 //!
 //! Version history: v1 had no quantile fields on `histogram` lines; v2
 //! added `p50`/`p90`/`p99` estimated from the log₂ buckets (see
 //! [`crate::metrics::HistogramSnapshot::quantile`] for the
-//! interpolation and its error bound); v3 (current) adds `trace` lines
+//! interpolation and its error bound); v3 added `trace` lines
 //! — the flight recorder's retained request traces, with batch links
 //! filtered to traces present in the same report so they always
-//! resolve — and the optional `trace` field on `log` lines. Readers
-//! that skip unknown line types and fields (as [`crate::diff`] does)
-//! consume any version.
+//! resolve — and the optional `trace` field on `log` lines; v4
+//! (current) adds the `drift` line — the attached
+//! [`crate::drift::DriftMonitor`]'s verdict at report time, emitted
+//! only when a monitor is attached. Readers that skip unknown line
+//! types and fields (as [`crate::diff`] does) consume any version.
 
 use crate::logger::{self, LogEvent};
 use crate::metrics::{self, MetricsSnapshot};
@@ -33,7 +36,7 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// Report schema version emitted in the `meta` line.
-pub const REPORT_VERSION: u64 = 3;
+pub const REPORT_VERSION: u64 = 4;
 
 /// All same-path spans merged into one stage.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -74,6 +77,11 @@ pub struct RunReport {
     /// Request traces retained by the flight recorder, newest first,
     /// with batch links filtered to the retained set.
     pub traces: Vec<crate::trace::TraceRecord>,
+    /// Drift verdict at report time ([`DriftStatus::Unavailable`] when
+    /// no monitor is attached — the usual case for training runs).
+    ///
+    /// [`DriftStatus::Unavailable`]: crate::drift::DriftStatus::Unavailable
+    pub drift: crate::drift::DriftReport,
 }
 
 impl RunReport {
@@ -276,6 +284,13 @@ impl RunReport {
             out.push_str(&trace.to_jsonl_line());
             out.push('\n');
         }
+        if self.drift.status != crate::drift::DriftStatus::Unavailable {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"drift\",{}}}",
+                self.drift.to_json_fields()
+            );
+        }
         out
     }
 }
@@ -322,6 +337,7 @@ fn build(mut records: Vec<SpanRecord>, logs: Vec<LogEvent>) -> RunReport {
         metrics: metrics::snapshot(),
         logs,
         traces,
+        drift: crate::drift::current_report(),
     }
 }
 
@@ -446,6 +462,16 @@ pub(crate) fn u64_field(line: &str, key: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+pub(crate) fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let i = line.find(&pat)? + pat.len();
+    let number: String = line[i..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect();
+    number.parse().ok()
+}
+
 pub(crate) fn str_field(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let i = line.find(&pat)? + pat.len();
@@ -482,6 +508,9 @@ pub struct ReportCheck {
     /// well-formed ids, parents resolving within the trace, batch
     /// links resolving to trace lines in the same report).
     pub traces: usize,
+    /// `drift` lines (each verified against the score invariants:
+    /// known status/verdict names, finite PSI ≥ 0, KS in [0, 1]).
+    pub drifts: usize,
     /// Recording level from the `meta` line.
     pub level: String,
     /// Wall time from the `meta` line.
@@ -506,8 +535,15 @@ impl ReportCheck {
 /// numbers-as-strings, so no brace ever appears inside a JSON string
 /// on these lines.
 fn trace_span_blocks(line: &str) -> Option<Vec<&str>> {
-    let pat = "\"spans\":[";
-    let start = line.find(pat)? + pat.len();
+    array_blocks(line, "spans")
+}
+
+/// Splits the `"<key>":[{…},{…}]` array of a line into its top-level
+/// `{…}` blocks by brace depth (same emitter caveats as
+/// [`trace_span_blocks`]).
+fn array_blocks<'a>(line: &'a str, key: &str) -> Option<Vec<&'a str>> {
+    let pat = format!("\"{key}\":[");
+    let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
     let mut blocks = Vec::new();
     let mut depth = 0usize;
@@ -776,6 +812,43 @@ pub fn validate_jsonl(path: &str) -> Result<ReportCheck, String> {
                 trace_ids.insert(trace_id);
                 check.traces += 1;
             }
+            "drift" => {
+                let status = str_field(line, "status")
+                    .ok_or_else(|| format!("line {lineno}: drift without status"))?;
+                if crate::drift::DriftStatus::parse(&status).is_none() {
+                    return Err(format!("line {lineno}: unknown drift status {status:?}"));
+                }
+                u64_field(line, "live_samples")
+                    .ok_or_else(|| format!("line {lineno}: drift without live_samples"))?;
+                let blocks = array_blocks(line, "metrics")
+                    .ok_or_else(|| format!("line {lineno}: drift without a metrics array"))?;
+                for block in &blocks {
+                    let metric = str_field(block, "metric")
+                        .ok_or_else(|| format!("line {lineno}: drift metric without a name"))?;
+                    let psi = f64_field(block, "psi")
+                        .ok_or_else(|| format!("line {lineno}: drift {metric} without psi"))?;
+                    if !psi.is_finite() || psi < 0.0 {
+                        return Err(format!(
+                            "line {lineno}: drift {metric}: psi {psi} not finite and ≥ 0"
+                        ));
+                    }
+                    if !block.contains("\"ks\":null") {
+                        let ks = f64_field(block, "ks")
+                            .ok_or_else(|| format!("line {lineno}: drift {metric} without ks"))?;
+                        if !(0.0..=1.0).contains(&ks) {
+                            return Err(format!(
+                                "line {lineno}: drift {metric}: ks {ks} outside [0, 1]"
+                            ));
+                        }
+                    }
+                    let verdict = str_field(block, "verdict")
+                        .ok_or_else(|| format!("line {lineno}: drift {metric} without verdict"))?;
+                    if crate::drift::DriftStatus::parse(&verdict).is_none() {
+                        return Err(format!("line {lineno}: unknown drift verdict {verdict:?}"));
+                    }
+                }
+                check.drifts += 1;
+            }
             other => return Err(format!("line {lineno}: unknown type {other:?}")),
         }
     }
@@ -1016,6 +1089,96 @@ mod tests {
     }
 
     #[test]
+    fn drift_line_round_trips_and_validates() {
+        let _g = crate::test_lock();
+        let path = temp_path("drift_line");
+        ObsConfig {
+            level: ObsLevel::Summary,
+            json_path: Some(path.display().to_string()),
+            http_addr: None,
+        }
+        .install();
+        span::take_records();
+        logger::take();
+        metrics::reset();
+
+        // An attached (warming) monitor puts a drift line in the report.
+        let mut profile = crate::drift::ReferenceProfile::new();
+        for _ in 0..100 {
+            profile.observe(&crate::drift::DriftSample {
+                class: 0,
+                best_distance: 1.0,
+                margin: 0.5,
+                len: 96,
+                mean: 0.0,
+                stddev: 1.0,
+                z_extreme: 2.0,
+            });
+        }
+        crate::drift::install_monitor(std::sync::Arc::new(crate::drift::DriftMonitor::new(
+            &profile,
+            crate::drift::DriftConfig::default(),
+        )));
+        let report = finish().expect("enabled");
+        assert_eq!(
+            report.drift.status,
+            crate::drift::DriftStatus::Warming,
+            "{:?}",
+            report.drift
+        );
+        assert!(report.to_jsonl().contains("\"type\":\"drift\""));
+        let check = validate_jsonl(&path.display().to_string()).expect("valid report");
+        assert_eq!(check.drifts, 1);
+        crate::drift::clear_monitor();
+
+        // Without a monitor the line is absent entirely.
+        let report = finish().expect("enabled");
+        assert!(!report.to_jsonl().contains("\"type\":\"drift\""));
+        let check = validate_jsonl(&path.display().to_string()).expect("valid report");
+        assert_eq!(check.drifts, 0);
+        std::fs::remove_file(&path).ok();
+        ObsConfig::default().install();
+    }
+
+    #[test]
+    fn validator_checks_drift_invariants() {
+        let path = temp_path("drift_invariants");
+        let meta = "{\"type\":\"meta\",\"version\":4,\"wall_ns\":100,\"level\":\"summary\"}\n";
+
+        let good = format!(
+            "{meta}{{\"type\":\"drift\",\"status\":\"warn\",\"live_samples\":80,\
+             \"reference_samples\":200,\"window_secs\":240,\"epoch_secs\":30,\"epochs\":8,\
+             \"warn\":0.200000,\"page\":0.500000,\"metrics\":[\
+             {{\"metric\":\"match_distance\",\"psi\":0.310000,\"ks\":0.400000,\"verdict\":\"warn\"}},\
+             {{\"metric\":\"class_mix\",\"psi\":0.010000,\"ks\":null,\"verdict\":\"ok\"}}]}}\n"
+        );
+        std::fs::write(&path, &good).unwrap();
+        let check = validate_jsonl(&path.display().to_string()).expect("valid drift line");
+        assert_eq!(check.drifts, 1);
+
+        let bad_status = good.replace("\"status\":\"warn\"", "\"status\":\"panic\"");
+        std::fs::write(&path, &bad_status).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("unknown drift status"), "{err}");
+
+        let bad_psi = good.replace("\"psi\":0.310000", "\"psi\":-0.400000");
+        std::fs::write(&path, &bad_psi).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("not finite and ≥ 0"), "{err}");
+
+        let bad_ks = good.replace("\"ks\":0.400000", "\"ks\":1.500000");
+        std::fs::write(&path, &bad_ks).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("outside [0, 1]"), "{err}");
+
+        let bad_verdict = good.replace("\"verdict\":\"ok\"", "\"verdict\":\"meh\"");
+        std::fs::write(&path, &bad_verdict).unwrap();
+        let err = validate_jsonl(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("unknown drift verdict"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn empty_run_renders_and_validates_cleanly() {
         let _g = crate::test_lock();
         let path = temp_path("empty_run");
@@ -1053,6 +1216,7 @@ mod tests {
             metrics: MetricsSnapshot::default(),
             logs: Vec::new(),
             traces: Vec::new(),
+            drift: crate::drift::DriftReport::unavailable(),
         };
         assert_eq!(report.coverage(), 0.0);
         // Rendering a zero-duration report must not divide by zero either.

@@ -1,0 +1,92 @@
+//! Property tests for the drift scores.
+//!
+//! The monitor sums epoch sketches into one live window before scoring,
+//! so the scores must be invariant under any permutation of the epochs
+//! (slots rotate, threads race, replays arrive out of order — none of
+//! it may move a verdict). PSI and KS must also stay finite and within
+//! their documented ranges on arbitrary bucket counts.
+
+use proptest::prelude::*;
+use rpm_obs::drift::{ks, psi};
+
+/// Sums per-epoch bucket counts in the given order (the monitor's
+/// window aggregation, extracted).
+fn sum_epochs(epochs: &[Vec<u64>], order: &[usize]) -> Vec<u64> {
+    let width = epochs.iter().map(|e| e.len()).max().unwrap_or(0);
+    let mut out = vec![0u64; width];
+    for &i in order {
+        for (b, &n) in epochs[i].iter().enumerate() {
+            out[b] += n;
+        }
+    }
+    out
+}
+
+fn epoch_strategy() -> impl Strategy<Value = Vec<Vec<u64>>> {
+    proptest::collection::vec(proptest::collection::vec(0u64..10_000, 1..40), 1..12)
+}
+
+proptest! {
+    #[test]
+    fn epoch_order_never_changes_the_scores(
+        epochs in epoch_strategy(),
+        reference in proptest::collection::vec(0u64..10_000, 1..40),
+        seed in 0u64..u64::MAX,
+    ) {
+        // A deterministic shuffle of the epoch order from the seed.
+        let n = epochs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut state = seed | 1;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let in_order: Vec<usize> = (0..n).collect();
+
+        let live_sorted = sum_epochs(&epochs, &in_order);
+        let live_shuffled = sum_epochs(&epochs, &order);
+        // Integer counts sum exactly, so the scores are bit-identical —
+        // not merely close.
+        prop_assert_eq!(&live_sorted, &live_shuffled);
+        prop_assert_eq!(
+            psi(&reference, &live_sorted).to_bits(),
+            psi(&reference, &live_shuffled).to_bits()
+        );
+        prop_assert_eq!(
+            ks(&reference, &live_sorted).to_bits(),
+            ks(&reference, &live_shuffled).to_bits()
+        );
+    }
+
+    #[test]
+    fn scores_stay_in_range_on_arbitrary_counts(
+        p in proptest::collection::vec(0u64..1_000_000, 1..40),
+        q in proptest::collection::vec(0u64..1_000_000, 1..40),
+    ) {
+        let s = psi(&p, &q);
+        prop_assert!(s.is_finite(), "psi = {s}");
+        // Each PSI term (q'-p')·ln(q'/p') is non-negative by sign
+        // agreement, so the clamped sum never dips below zero.
+        prop_assert!(s >= 0.0, "psi = {s}");
+        let d = ks(&p, &q);
+        prop_assert!((0.0..=1.0).contains(&d), "ks = {d}");
+    }
+
+    #[test]
+    fn psi_is_symmetric_and_zero_on_identity(
+        p in proptest::collection::vec(0u64..1_000_000, 1..40),
+        q in proptest::collection::vec(0u64..1_000_000, 1..40),
+        scale in 1u64..50,
+    ) {
+        prop_assert_eq!(psi(&p, &p), 0.0);
+        prop_assert_eq!(ks(&p, &p), 0.0);
+        // PSI and KS compare *fractions*: uniformly scaling one side's
+        // counts changes nothing beyond float rounding.
+        let scaled: Vec<u64> = p.iter().map(|&n| n * scale).collect();
+        prop_assert!(psi(&p, &scaled).abs() < 1e-9);
+        prop_assert!(ks(&p, &scaled).abs() < 1e-12);
+        // Symmetry: PSI's terms are symmetric under argument swap.
+        prop_assert!((psi(&p, &q) - psi(&q, &p)).abs() < 1e-9);
+        prop_assert!((ks(&p, &q) - ks(&q, &p)).abs() < 1e-12);
+    }
+}

@@ -215,6 +215,7 @@ pub(crate) fn process_batch(
 
     let batch_seq = BATCH_SEQ.fetch_add(1, Ordering::Relaxed);
     let counters = ScanCounters::new();
+    let monitor = rpm_obs::drift::monitor();
     let predict_start_ns = rpm_obs::now_ns();
     let verdict = if let Err(e) = rpm_obs::fault::point("serve.batch") {
         Err(format!("injected fault: {e}"))
@@ -222,7 +223,23 @@ pub(crate) fn process_batch(
         // A panic inside predict (e.g. an armed engine fault) must kill
         // neither the worker nor the server.
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            model.predict_batch_traced(&refs, parallelism, Some(&counters))
+            match &monitor {
+                // Drift armed: the observed variant derives one sketch
+                // sample per series from the same feature rows the SVM
+                // reads — labels stay bit-identical to the traced path.
+                Some(mon) => model
+                    .predict_batch_observed(&refs, parallelism, Some(&counters))
+                    .map(|observed| {
+                        observed
+                            .into_iter()
+                            .map(|(label, sample)| {
+                                mon.observe(&sample);
+                                label
+                            })
+                            .collect::<Vec<usize>>()
+                    }),
+                None => model.predict_batch_traced(&refs, parallelism, Some(&counters)),
+            }
         }))
         .map_err(|_| "prediction panicked".to_string())
         .and_then(|r| r.map_err(|e| e.to_string()))

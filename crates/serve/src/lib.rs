@@ -72,6 +72,10 @@ pub struct ServeConfig {
     pub parallelism: Parallelism,
     /// Per-connection HTTP limits (timeouts, body cap, admission).
     pub limits: ServeLimits,
+    /// Drift-monitor window shape and PSI thresholds. Only takes effect
+    /// when the served model carries a training-time reference profile;
+    /// without one, drift endpoints report `unavailable`.
+    pub drift: rpm_obs::DriftConfig,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +89,7 @@ impl Default for ServeConfig {
             deadline: Duration::from_secs(2),
             parallelism: Parallelism::Serial,
             limits: ServeLimits::default(),
+            drift: rpm_obs::DriftConfig::default(),
         }
     }
 }
@@ -175,6 +180,16 @@ impl Server {
             }
             .install();
         }
+        // Drift detection is armed iff the model carries a training-time
+        // reference profile; the workers feed the monitor per series and
+        // `/debug/drift`, `/healthz`, and `rpm_drift_*` read from it.
+        match model.reference_profile().filter(|p| !p.is_empty()) {
+            Some(profile) => rpm_obs::drift::install_monitor(Arc::new(rpm_obs::DriftMonitor::new(
+                profile,
+                config.drift,
+            ))),
+            None => rpm_obs::drift::clear_monitor(),
+        }
         let queue = Arc::new(BatchQueue::new(config.queue_depth));
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -216,13 +231,16 @@ impl Server {
     }
 
     /// Orderly shutdown: stop accepting, close the queue (workers drain
-    /// what is left), join the workers.
+    /// what is left), join the workers, detach the drift monitor so a
+    /// later server (or test) starts from a clean slate.
     pub fn shutdown(&mut self) {
         self.http.shutdown();
         self.queue.close();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        rpm_obs::drift::clear_monitor();
+        rpm_obs::drift::set_model_fingerprint(None);
     }
 }
 
@@ -432,6 +450,13 @@ mod tests {
         RpmClassifier::train(&dataset(1), &config).unwrap()
     }
 
+    /// Serializes tests that start a [`Server`]: the drift monitor and
+    /// model fingerprint are process-global.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     fn post(addr: std::net::SocketAddr, body: &str) -> String {
         let mut stream = TcpStream::connect(addr).expect("connect");
         write!(
@@ -445,8 +470,17 @@ mod tests {
         response
     }
 
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
     #[test]
     fn serves_classify_end_to_end() {
+        let _serial = serial();
         let model = Arc::new(tiny_model());
         let config = ServeConfig {
             addr: "127.0.0.1:0".to_string(),
@@ -471,6 +505,74 @@ mod tests {
         assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
         assert!(bad.contains("bad_request"), "{bad}");
 
+        server.shutdown();
+    }
+
+    #[test]
+    fn drift_monitor_flags_shifted_traffic_but_not_clean_replay() {
+        let _serial = serial();
+        let model = Arc::new(tiny_model());
+        let config = ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            drift: rpm_obs::DriftConfig {
+                min_samples: 5,
+                warn: 0.05,
+                page: 0.2,
+                ..rpm_obs::DriftConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+
+        let render = |series: &[f64]| {
+            let vals: Vec<String> = series.iter().map(|v| format!("{v}")).collect();
+            format!("{{\"series\":[{}]}}\n", vals.join(","))
+        };
+
+        // Replaying the training set itself stays quiet: the serve-side
+        // transform is bit-identical to training, so the live sketches
+        // reproduce the reference exactly (PSI 0 on every metric).
+        let mut server = Server::start(Arc::clone(&model), &config).unwrap();
+        let addr = server.local_addr();
+        for series in &dataset(1).series {
+            assert!(post(addr, &render(series)).starts_with("HTTP/1.0 200"));
+        }
+        let clean = get(addr, "/debug/drift");
+        assert!(
+            clean.contains("\"status\":\"ok\""),
+            "clean replay drifted: {clean}"
+        );
+        assert!(get(addr, "/healthz").contains("\"status\":\"ok\""));
+        server.shutdown();
+
+        // Amplitude-shifted traffic pages within the same window.
+        let mut server = Server::start(Arc::clone(&model), &config).unwrap();
+        let addr = server.local_addr();
+        for series in &dataset(8).series {
+            let shifted: Vec<f64> = series.iter().map(|v| v * 3.0 + 10.0).collect();
+            assert!(post(addr, &render(&shifted)).starts_with("HTTP/1.0 200"));
+        }
+        let drifted = get(addr, "/debug/drift");
+        assert!(
+            drifted.contains("\"status\":\"page\""),
+            "shifted replay did not page: {drifted}"
+        );
+        let health = get(addr, "/healthz");
+        assert!(
+            health.contains("\"status\":\"degraded\"") && health.starts_with("HTTP/1.0 200"),
+            "degraded health keeps liveness: {health}"
+        );
+        assert!(get(addr, "/metrics").contains("rpm_drift_psi"));
+        server.shutdown();
+
+        // A model without a profile serves with drift unavailable.
+        let bare = tiny_model();
+        let mut buf = Vec::new();
+        bare.save_v1(&mut buf).unwrap();
+        let (profileless, _) = load_verified(&buf, true).unwrap();
+        let mut server = Server::start(Arc::new(profileless), &config).unwrap();
+        let addr = server.local_addr();
+        assert!(get(addr, "/debug/drift").contains("\"status\":\"unavailable\""));
+        assert!(get(addr, "/healthz").contains("\"drift\":\"unavailable\""));
         server.shutdown();
     }
 

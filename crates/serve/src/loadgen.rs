@@ -10,7 +10,11 @@
 //!
 //! Each sender thread owns every `senders`-th tick, sleeps until the
 //! tick is due, POSTs one pre-rendered JSONL body over a fresh
-//! connection, and records `(status, latency)`. Senders stop issuing
+//! connection, and records `(status, latency)`. Bodies cycle
+//! round-robin by tick index, so offering `n × bodies.len()` requests
+//! replays each body exactly `n` times — a uniform replay of the
+//! source distribution, which is what the drift monitor compares
+//! against its training-time reference. Senders stop issuing
 //! once the configured duration has elapsed: ticks the client could
 //! not send in time are counted as [`LoadReport::missed`] rather than
 //! silently stretching the run into a closed loop, so `achieved_qps`
@@ -32,8 +36,10 @@ pub struct LoadConfig {
     pub duration: Duration,
     /// Sender threads sharing the schedule.
     pub senders: usize,
-    /// Pre-rendered JSONL request body, sent verbatim every request.
-    pub body: String,
+    /// Pre-rendered JSONL request bodies, cycled round-robin by tick
+    /// index. Must be non-empty; a single-element vector reproduces
+    /// the fixed-body behaviour.
+    pub bodies: Vec<String>,
 }
 
 /// What a load run observed.
@@ -109,6 +115,7 @@ impl LoadReport {
 
 /// Runs one open-loop load generation pass and reports what came back.
 pub fn run_load(config: &LoadConfig) -> LoadReport {
+    assert!(!config.bodies.is_empty(), "LoadConfig.bodies is empty");
     let total = ((config.qps * config.duration.as_secs_f64()).round() as usize).max(1);
     let senders = config.senders.max(1);
     let tick = Duration::from_secs_f64(1.0 / config.qps.max(0.001));
@@ -124,7 +131,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
     let (samples, missed): (Vec<(u16, Duration)>, usize) = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..senders {
-            let body = config.body.as_str();
+            let bodies = config.bodies.as_slice();
             let addr = config.addr;
             handles.push(scope.spawn(move || {
                 let mut local = Vec::new();
@@ -141,7 +148,7 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
                         std::thread::sleep(due - now);
                     }
                     let sent_at = Instant::now();
-                    let status = post_once(addr, body);
+                    let status = post_once(addr, &bodies[k % bodies.len()]);
                     local.push((status, sent_at.elapsed()));
                     k += senders;
                 }

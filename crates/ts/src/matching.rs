@@ -264,6 +264,7 @@ impl MatchPlan {
             let stats = RollingStats::new(series, n).expect("bounds checked above");
             self.rolling_scan(&stats, early_abandon)
         };
+        m.match_abandoned.add(abandoned);
         if let (Some(c), Some(t0)) = (counters, started) {
             c.searches.fetch_add(1, Ordering::Relaxed);
             c.windows
@@ -390,7 +391,9 @@ pub fn best_match_naive(pattern: &[f64], series: &[f64], early_abandon: bool) ->
     m.match_searches.inc();
     m.match_windows.add((series.len() - n + 1) as u64);
     let zp = znorm(pattern);
-    Some(naive_scan(&zp, series, early_abandon).0)
+    let (best, abandoned) = naive_scan(&zp, series, early_abandon);
+    m.match_abandoned.add(abandoned);
+    Some(best)
 }
 
 /// The shared naive scan over an already z-normalized pattern. Returns

@@ -20,8 +20,15 @@
 //!         [--threads N]                    # per-batch predict threads
 //!         [--allow-unverified]             # accept v1 (no-checksum) models
 //!         [--duration-secs S]              # serve S seconds, then exit
+//!         [--drift-warn PSI]               # drift warn threshold
+//!         [--drift-page PSI]               # drift page threshold (degraded
+//!                                          # /healthz; env RPM_DRIFT_WARN /
+//!                                          # RPM_DRIFT_PAGE also accepted)
+//!         [--drift-min-samples N]          # live samples before scoring
 //! rpm-cli load-gen <ADDR> <TEST_FILE>      # open-loop load generator
 //!         [--qps R[,R..]] [--duration-secs S] [--senders N] [--json PATH]
+//!         [--amplitude A] [--offset B]     # replay A*x+B shifted series
+//!                                          # (drift-sweep traffic)
 //! rpm-cli patterns <MODEL>                 # prints the learned patterns
 //! rpm-cli motifs <SERIES_FILE> [--window W --paa P --alpha A]
 //!                                          # exploratory motifs/discords
@@ -31,6 +38,8 @@
 //!                                          # exit 1 on regression
 //! rpm-cli obs traces <ADDR>                # fetch retained request traces
 //!         [--min-ms N] [--outcome ok|bad_request|shed|deadline|error]
+//! rpm-cli obs drift <ADDR> [--json]        # drift verdict vs the model's
+//!                                          # training reference profile
 //! ```
 //!
 //! Files use the UCR archive format: one series per line, class label
@@ -47,6 +56,7 @@ use rpm::data::ucr::{read_ucr_file, read_ucr_file_lenient, write_ucr, Quarantine
 use rpm::ml::error_rate;
 use rpm::obs::{diff_reports, load_summary, DiffOptions};
 use rpm::sax::SaxConfig;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -241,6 +251,15 @@ fn cmd_model(args: &[String]) -> CliResult {
                     ""
                 }
             );
+            println!("  fingerprint {}", report.fingerprint);
+            if report.profile_samples > 0 {
+                println!(
+                    "  drift reference profile: {} training samples",
+                    report.profile_samples
+                );
+            } else {
+                println!("  no drift reference profile (pre-profile model)");
+            }
             Ok(())
         }
         _ => Err("usage: rpm-cli model verify <MODEL>".into()),
@@ -257,16 +276,26 @@ fn cmd_serve(args: &[String]) -> CliResult {
         rpm::serve::load_verified_path(std::path::Path::new(model_path), allow_unverified)
             .map_err(|e| format!("{model_path}: {e}"))?;
     eprintln!(
-        "{model_path}: verified format v{}, {} patterns, {} classes{}",
+        "{model_path}: verified format v{}, {} patterns, {} classes, fingerprint {}{}",
         report.version,
         report.patterns,
         report.classes,
+        report.fingerprint,
         if report.version < 2 {
             " (UNVERIFIED: v1 carries no checksums)"
         } else {
             ""
         }
     );
+    rpm::obs::drift::set_model_fingerprint(Some(report.fingerprint.clone()));
+    if report.profile_samples > 0 {
+        eprintln!(
+            "drift reference profile: {} training samples (online drift detection armed)",
+            report.profile_samples
+        );
+    } else {
+        eprintln!("model carries no drift reference profile; /debug/drift will report unavailable");
+    }
 
     let config = rpm::serve::ServeConfig {
         addr: flag_value(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:9899".to_string()),
@@ -284,6 +313,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
             n => rpm::core::Parallelism::Threads(n),
         },
         limits: rpm::obs::ServeLimits::default(),
+        drift: drift_config_from(args)?,
     };
     let mut server = rpm::serve::Server::start(std::sync::Arc::new(model), &config)?;
     eprintln!(
@@ -305,8 +335,40 @@ fn cmd_serve(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Drift thresholds for `rpm-cli serve`: flags win, the `RPM_DRIFT_WARN`
+/// / `RPM_DRIFT_PAGE` environment variables are the fleet-config
+/// fallback, then the library defaults.
+fn drift_config_from(args: &[String]) -> Result<rpm::obs::DriftConfig, String> {
+    let env_threshold = |name: &str| -> Result<Option<f64>, String> {
+        match std::env::var(name) {
+            Ok(v) => v
+                .trim()
+                .parse::<f64>()
+                .map(Some)
+                .map_err(|e| format!("{name}={v:?}: {e}")),
+            Err(_) => Ok(None),
+        }
+    };
+    let defaults = rpm::obs::DriftConfig::default();
+    Ok(rpm::obs::DriftConfig {
+        warn: match parse_flag::<f64>(args, "--drift-warn")? {
+            Some(v) => v,
+            None => env_threshold("RPM_DRIFT_WARN")?.unwrap_or(defaults.warn),
+        },
+        page: match parse_flag::<f64>(args, "--drift-page")? {
+            Some(v) => v,
+            None => env_threshold("RPM_DRIFT_PAGE")?.unwrap_or(defaults.page),
+        },
+        min_samples: parse_flag::<u64>(args, "--drift-min-samples")?
+            .unwrap_or(defaults.min_samples),
+        ..defaults
+    })
+}
+
 /// `rpm-cli load-gen ADDR TEST_FILE …` — drive a running server with
 /// open-loop traffic at each requested QPS level and print the table.
+/// The file's rows are replayed round-robin (optionally `A*x + B`
+/// shifted), so the offered traffic carries the file's distribution.
 fn cmd_load_gen(args: &[String]) -> CliResult {
     let addr: std::net::SocketAddr = positional(args, 0)?
         .parse()
@@ -314,9 +376,28 @@ fn cmd_load_gen(args: &[String]) -> CliResult {
     let test_path = positional(args, 1)?;
     let (test, _, quarantine) = read_ucr_file_lenient(test_path)?;
     report_quarantine(test_path, &quarantine);
-    let series = test.series.first().ok_or("test file is empty")?;
-    let rendered: Vec<String> = series.iter().map(|v| format!("{v}")).collect();
-    let body = format!("[{}]\n", rendered.join(","));
+    // Optional distribution shift for drift sweeps: replay `A*x + B`
+    // instead of the clean series.
+    let amplitude = parse_flag::<f64>(args, "--amplitude")?.unwrap_or(1.0);
+    let offset = parse_flag::<f64>(args, "--offset")?.unwrap_or(0.0);
+    // Every row of the file, cycled round-robin by the generator, so
+    // the offered traffic replays the file's distribution rather than
+    // hammering one series into a point mass the drift monitor would
+    // rightly flag.
+    let bodies: Vec<String> = test
+        .series
+        .iter()
+        .map(|series| {
+            let rendered: Vec<String> = series
+                .iter()
+                .map(|v| format!("{}", v * amplitude + offset))
+                .collect();
+            format!("[{}]\n", rendered.join(","))
+        })
+        .collect();
+    if bodies.is_empty() {
+        return Err("test file is empty".into());
+    }
 
     let qps_list: Vec<f64> = match flag_value(args, "--qps")? {
         Some(spec) => spec
@@ -340,7 +421,7 @@ fn cmd_load_gen(args: &[String]) -> CliResult {
             qps,
             duration,
             senders,
-            body: body.clone(),
+            bodies: bodies.clone(),
         });
         let label = format!("{qps:.0}qps");
         println!("{}", report.markdown_row(&label));
@@ -431,6 +512,17 @@ fn cmd_obs(args: &[String]) -> CliResult {
             print!("{}", http_get(addr, &path)?);
             Ok(())
         }
+        Some("drift") => {
+            let rest = &args[1..];
+            let addr = positional(rest, 0)?;
+            let body = http_get(addr, "/debug/drift")?;
+            if flag_present(rest, "--json") {
+                println!("{}", body.trim_end());
+            } else {
+                print!("{}", render_drift(&body)?);
+            }
+            Ok(())
+        }
         Some("diff") => {
             let rest = &args[1..];
             let baseline_path = positional(rest, 0)?;
@@ -459,10 +551,62 @@ fn cmd_obs(args: &[String]) -> CliResult {
         _ => Err(
             "usage: rpm-cli obs <summary RUN.jsonl | diff BASELINE.jsonl RUN.jsonl \
                   [--tolerance 20%] [--time-gate] | traces ADDR [--min-ms N] \
-                  [--outcome ok|bad_request|shed|deadline|error]>"
+                  [--outcome ok|bad_request|shed|deadline|error] | drift ADDR [--json]>"
                 .into(),
         ),
     }
+}
+
+/// Pulls a `"key":"value"` string field out of a flat JSON object.
+fn json_string(json: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = json.find(&pat)? + pat.len();
+    json[at..].split('"').next().map(str::to_string)
+}
+
+/// Pulls a `"key":<number>` field out of a flat JSON object.
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = json.find(&pat)? + pat.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Renders the `/debug/drift` JSON as the human-facing drift table.
+fn render_drift(body: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let status = json_string(body, "status").ok_or("malformed drift report (no status)")?;
+    let mut out = format!("drift status: {status}\n");
+    if status == "unavailable" {
+        out.push_str("the served model carries no training reference profile\n");
+        return Ok(out);
+    }
+    let live = json_number(body, "live_samples").unwrap_or(0.0);
+    let reference = json_number(body, "reference_samples").unwrap_or(0.0);
+    let window = json_number(body, "window_secs").unwrap_or(0.0);
+    let warn = json_number(body, "warn").unwrap_or(0.0);
+    let page = json_number(body, "page").unwrap_or(0.0);
+    let _ = writeln!(
+        out,
+        "live window: {live:.0} samples over {window:.0}s (reference {reference:.0}); \
+         thresholds warn ≥ {warn} / page ≥ {page}",
+    );
+    let _ = writeln!(out, "{:<16} {:>9} {:>9}  verdict", "metric", "psi", "ks");
+    for block in body.split("{\"metric\":\"").skip(1) {
+        let seg = &block[..block.find('}').unwrap_or(block.len())];
+        let name = seg.split('"').next().unwrap_or("?");
+        let psi = json_number(seg, "psi").unwrap_or(f64::NAN);
+        let ks = json_number(seg, "ks");
+        let verdict = json_string(seg, "verdict").unwrap_or_else(|| "?".to_string());
+        let ks_cell = match ks {
+            Some(v) => format!("{v:>9.4}"),
+            None => format!("{:>9}", "-"),
+        };
+        let _ = writeln!(out, "{name:<16} {psi:>9.4} {ks_cell}  {verdict}");
+    }
+    Ok(out)
 }
 
 /// A one-shot HTTP/1.0 GET against a serving endpoint (the flight
@@ -617,6 +761,49 @@ mod tests {
             MatchKernel::Naive
         );
         assert!(parse_kernel(&argv(&["--kernel", "fast"])).is_err());
+    }
+
+    #[test]
+    fn drift_config_flags_override_defaults() {
+        let defaults = rpm::obs::DriftConfig::default();
+        let none = drift_config_from(&argv(&["serve", "m.rpm"])).unwrap();
+        assert_eq!(none.warn, defaults.warn);
+        assert_eq!(none.page, defaults.page);
+        let set = drift_config_from(&argv(&[
+            "serve",
+            "m.rpm",
+            "--drift-warn",
+            "0.1",
+            "--drift-page",
+            "0.3",
+            "--drift-min-samples",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(set.warn, 0.1);
+        assert_eq!(set.page, 0.3);
+        assert_eq!(set.min_samples, 7);
+    }
+
+    #[test]
+    fn drift_report_renders_as_a_table() {
+        let body = "{\"status\":\"warn\",\"live_samples\":120,\"reference_samples\":30,\
+                    \"window_secs\":240,\"epoch_secs\":30,\"epochs\":8,\"warn\":0.200000,\
+                    \"page\":0.500000,\"metrics\":[\
+                    {\"metric\":\"match_distance\",\"psi\":0.312000,\"ks\":0.140000,\"verdict\":\"warn\"},\
+                    {\"metric\":\"class_mix\",\"psi\":0.010000,\"ks\":null,\"verdict\":\"ok\"}]}";
+        let table = render_drift(body).unwrap();
+        assert!(table.contains("drift status: warn"), "{table}");
+        assert!(table.contains("match_distance"), "{table}");
+        assert!(table.contains("0.3120"), "{table}");
+        assert!(table.contains("class_mix"), "{table}");
+        // Categorical class mix has no KS column value.
+        let mix_line = table.lines().find(|l| l.contains("class_mix")).unwrap();
+        assert!(mix_line.contains('-'), "{mix_line}");
+
+        let off = render_drift("{\"status\":\"unavailable\",\"metrics\":[]}").unwrap();
+        assert!(off.contains("unavailable"), "{off}");
+        assert!(render_drift("{}").is_err());
     }
 
     #[test]

@@ -50,9 +50,16 @@ fn metrics_endpoint_serves_parseable_exposition() {
     let addr = server.local_addr();
 
     // --- /healthz ---------------------------------------------------
+    // JSON health payload; no drift monitor is installed in this
+    // process, so the verdict is `unavailable` and status stays `ok`.
     let (status, _, body) = http_get(addr, "/healthz");
     assert!(status.contains("200"), "healthz status: {status}");
-    assert_eq!(body, "ok\n");
+    assert!(body.contains("\"status\":\"ok\""), "healthz body: {body}");
+    assert!(
+        body.contains("\"drift\":\"unavailable\""),
+        "healthz body: {body}"
+    );
+    assert!(body.contains("\"uptime_secs\":"), "healthz body: {body}");
 
     // --- unknown route ----------------------------------------------
     let (status, _, _) = http_get(addr, "/nope");

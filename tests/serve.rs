@@ -506,7 +506,7 @@ fn loadgen_reports_against_a_live_server() {
         qps: 40.0,
         duration: Duration::from_millis(500),
         senders: 4,
-        body: jsonl_body(&test.series[0]),
+        bodies: vec![jsonl_body(&test.series[0])],
     });
     assert!(report.sent > 0);
     assert_eq!(
