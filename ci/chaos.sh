@@ -81,7 +81,8 @@ echo "== serve: armed request-path faults degrade per request, never kill the se
 # responses (counted by load-gen, any mix accepted), not as a dead
 # process.
 SERVE_PORT=19917
-for spec in "serve.request:io:0.3:1" "serve.batch:io:0.3:2" "http.conn:panic:0.2:3"; do
+for spec in "serve.request:io:0.3:1" "serve.batch:io:0.3:2" "http.conn:panic:0.2:3" \
+            "serve.worker:panic:0.3:7"; do
   SERVE_PORT=$((SERVE_PORT + 1))
   RPM_FAULT="$spec" "$CLI" serve "$WORK/clean.rpm" \
     --addr "127.0.0.1:$SERVE_PORT" --duration-secs 4 >/dev/null 2>"$WORK/serve-stderr" &
@@ -102,6 +103,33 @@ done
 # Startup verification: a load-path fault must refuse to serve (typed
 # error, exit 1) rather than bring up a listener over a broken model.
 run "persist.load:io:1:0"   err  serve "$WORK/clean.rpm" --addr 127.0.0.1:0 --duration-secs 1
+
+echo "== serve: a faulted reload is rejected, the incumbent keeps serving =="
+# Arm the reload gate itself: the admin client must see a typed 409
+# (exit 1), and the server must keep answering /classify on the old
+# generation and still exit 0 at the end of its duration.
+SERVE_PORT=$((SERVE_PORT + 1))
+RPM_FAULT="serve.reload:io:1:11" "$CLI" serve "$WORK/clean.rpm" \
+  --addr "127.0.0.1:$SERVE_PORT" --duration-secs 5 >/dev/null 2>"$WORK/serve-stderr" &
+SERVE_PID=$!
+sleep 1
+if RPM_FAULT="" "$CLI" serve reload "127.0.0.1:$SERVE_PORT" --model "$WORK/clean.rpm" >/dev/null 2>&1; then
+  echo "FAIL [reload accepted] RPM_FAULT='serve.reload:io:1:11' rpm-cli serve reload"
+  FAILURES=$((FAILURES + 1))
+else
+  echo "  ok [reload rejected with typed error] rpm-cli serve reload"
+fi
+RPM_FAULT="" "$CLI" load-gen "127.0.0.1:$SERVE_PORT" "$WORK/cbf_TEST" \
+  --qps 20 --duration-secs 1 --senders 2 >/dev/null 2>&1
+wait "$SERVE_PID"
+code=$?
+if [[ "$code" -ne 0 ]]; then
+  echo "FAIL [server died, exit $code] RPM_FAULT='serve.reload:io:1:11' rpm-cli serve"
+  sed 's/^/    /' "$WORK/serve-stderr" | tail -5
+  FAILURES=$((FAILURES + 1))
+else
+  echo "  ok [server survived rejected reload] rpm-cli serve"
+fi
 
 echo "== malformed RPM_FAULT is a warning, not a failure =="
 run "not-a-valid-spec"        ok   model verify "$WORK/clean.rpm"

@@ -57,7 +57,7 @@ pub use explore::{
     discover_motifs, discover_motifs_batch, find_discords, find_discords_batch, rule_coverage,
     Discord, Motif,
 };
-pub use model::{Pattern, RpmClassifier, TrainError};
+pub use model::{ModelSchema, Pattern, RpmClassifier, SchemaMismatch, TrainError};
 pub use params::{default_bounds, search_parameters, SearchOutcome};
 pub use persist::{model_fingerprint, PersistError, VerifyReport};
 pub use rpm_obs::{ObsConfig, ObsLevel};

@@ -638,7 +638,70 @@ impl RpmClassifier {
     pub fn svm_params_type() -> SvmParams {
         SvmParams::default()
     }
+
+    /// The model's wire-visible shape, for serving-side compatibility
+    /// checks: a hot reload must not change the label vocabulary
+    /// clients see mid-flight.
+    pub fn schema(&self) -> ModelSchema {
+        ModelSchema {
+            classes: self.per_class_sax.keys().copied().collect(),
+            patterns: self.patterns.len(),
+            rotation_invariant: self.rotation_invariant,
+        }
+    }
 }
+
+/// Shape summary of a trained model as seen over the wire. The serving
+/// reload gate compares the incumbent's schema against a candidate's
+/// before swapping: labels are part of the `/classify` contract, so a
+/// candidate with a different class set is an operator error (wrong
+/// file), not a retrain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelSchema {
+    /// Distinct class labels, ascending (the `/classify` vocabulary).
+    pub classes: Vec<Label>,
+    /// Representative patterns in the model (informational).
+    pub patterns: usize,
+    /// Whether rotation-invariant matching is enabled (informational).
+    pub rotation_invariant: bool,
+}
+
+impl ModelSchema {
+    /// Checks that `candidate` can replace a model with this schema
+    /// without changing what clients observe. Only the class set is a
+    /// hard gate; pattern count and rotation mode legitimately change
+    /// across retrains.
+    pub fn check_compat(&self, candidate: &ModelSchema) -> Result<(), SchemaMismatch> {
+        if self.classes != candidate.classes {
+            return Err(SchemaMismatch {
+                incumbent_classes: self.classes.clone(),
+                candidate_classes: candidate.classes.clone(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a candidate model cannot replace the incumbent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaMismatch {
+    /// Class labels the serving model answers with.
+    pub incumbent_classes: Vec<Label>,
+    /// Class labels the rejected candidate would answer with.
+    pub candidate_classes: Vec<Label>,
+}
+
+impl std::fmt::Display for SchemaMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "class set changed: serving {:?}, candidate {:?}",
+            self.incumbent_classes, self.candidate_classes
+        )
+    }
+}
+
+impl std::error::Error for SchemaMismatch {}
 
 /// RPM through the shared [`rpm_ts::Classifier`] interface, so harnesses
 /// can drive it and the baselines through one trait object.

@@ -382,6 +382,20 @@ fn take_line(bytes: &[u8]) -> Result<(&str, &[u8]), PersistError> {
 type LoadedParts = (Parts, u8, Vec<(String, usize)>, String);
 
 impl RpmClassifier {
+    /// The fingerprint this model would carry on disk: CRC-32 of its
+    /// serialized v2 stream, as surfaced on `/healthz`. Serializes into
+    /// memory — cheap for RPM models (a few KB of patterns), and the
+    /// only way an in-memory model's identity matches its file's.
+    pub fn current_fingerprint(&self) -> String {
+        let mut buf = Vec::new();
+        match self.save(&mut buf) {
+            Ok(()) => model_fingerprint(&buf),
+            // Writing to a Vec cannot fail; an armed persist.save fault
+            // can. Identity stays unknown rather than wrong.
+            Err(_) => "unknown".to_string(),
+        }
+    }
+
     /// Writes the trained model in the current (v2) sectioned format with
     /// per-section CRC32s and a whole-payload trailer checksum.
     pub fn save(&self, mut writer: impl Write) -> std::io::Result<()> {

@@ -49,6 +49,8 @@ pub const KNOWN_SITES: &[&str] = &[
     "http.conn",
     "serve.request",
     "serve.batch",
+    "serve.reload",
+    "serve.worker",
 ];
 
 /// What an armed site does when a draw fires.

@@ -166,6 +166,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         408 => "Request Timeout",
+        409 => "Conflict",
         413 => "Payload Too Large",
         414 => "URI Too Long",
         429 => "Too Many Requests",
@@ -270,7 +271,11 @@ pub fn metrics_routes() -> Router {
 /// orchestrators keep the replica while dashboards and the CLI see the
 /// degradation. `model` is the served model's fingerprint when a server
 /// published one, `drift` the current verdict
-/// (`unavailable`/`warming`/`ok`/`warn`/`page`).
+/// (`unavailable`/`warming`/`ok`/`warn`/`page`). The lifecycle fields
+/// read from the metrics registry: `generation` is the model generation
+/// currently serving (0 when no lifecycle-managed server runs),
+/// `reloads`/`rollbacks`/`worker_restarts` count swaps and supervisor
+/// respawns, `queue_depth` is the series queued for batching right now.
 pub fn health_json() -> String {
     let drift = crate::drift::current_report();
     let status = if drift.degraded() { "degraded" } else { "ok" };
@@ -279,8 +284,16 @@ pub fn health_json() -> String {
         Some(fp) => format!("\"{fp}\""),
         None => "null".to_string(),
     };
+    let m = crate::metrics();
     format!(
-        "{{\"status\":\"{status}\",\"model\":{model},\"uptime_secs\":{uptime_secs},\"drift\":\"{}\"}}",
+        "{{\"status\":\"{status}\",\"model\":{model},\"generation\":{},\"reloads\":{},\
+         \"rollbacks\":{},\"worker_restarts\":{},\"queue_depth\":{},\"uptime_secs\":{uptime_secs},\
+         \"drift\":\"{}\"}}",
+        m.serve_generation.get(),
+        m.serve_reloads.get(),
+        m.serve_rollbacks.get(),
+        m.serve_worker_restarts.get(),
+        m.serve_queue_depth.get(),
         drift.status
     )
 }

@@ -402,6 +402,27 @@ pub struct Metrics {
     /// `serve.errors` — classify requests answered with `5xx` (injected
     /// faults, engine failures), excluding sheds and deadline drops.
     pub serve_errors: Counter,
+    /// `serve.reloads` — model reloads accepted through the canary gate
+    /// and swapped into the serving slot.
+    pub serve_reloads: Counter,
+    /// `serve.reload_rejected` — reload attempts refused by the canary
+    /// gate (CRC, schema, drift, or replay failure); the serving
+    /// generation is untouched.
+    pub serve_reload_rejected: Counter,
+    /// `serve.rollbacks` — swaps back to the previous warm generation
+    /// (manual `/admin/rollback` or probation auto-rollback).
+    pub serve_rollbacks: Counter,
+    /// `serve.worker_restarts` — batch workers respawned by the
+    /// supervisor after a panic.
+    pub serve_worker_restarts: Counter,
+    /// `serve.quarantined` — classify requests answered `500` because
+    /// their batch was poisoned by a worker panic.
+    pub serve_quarantined: Counter,
+    /// `serve.generation` — the model generation currently serving
+    /// (1-based, bumped by every swap including rollbacks).
+    pub serve_generation: Gauge,
+    /// `serve.queue_depth` — series currently queued for batching.
+    pub serve_queue_depth: Gauge,
     /// `serve.batch_fill` — series per dispatched micro-batch.
     pub serve_batch_fill: Histogram,
     /// `serve.queue_wait_ns` — time requests spent queued before their
@@ -463,6 +484,13 @@ impl Metrics {
             serve_deadline_exceeded: Counter::new(),
             serve_batches: Counter::new(),
             serve_errors: Counter::new(),
+            serve_reloads: Counter::new(),
+            serve_reload_rejected: Counter::new(),
+            serve_rollbacks: Counter::new(),
+            serve_worker_restarts: Counter::new(),
+            serve_quarantined: Counter::new(),
+            serve_generation: Gauge::new(),
+            serve_queue_depth: Gauge::new(),
             serve_batch_fill: Histogram::new(),
             serve_queue_wait: Histogram::new(),
             serve_latency: Histogram::new(),
@@ -471,7 +499,7 @@ impl Metrics {
         }
     }
 
-    fn counter_entries(&self) -> [(&'static str, &Counter); 32] {
+    fn counter_entries(&self) -> [(&'static str, &Counter); 37] {
         [
             ("engine.runs", &self.engine_runs),
             ("engine.jobs", &self.engine_jobs),
@@ -503,6 +531,11 @@ impl Metrics {
             ("serve.deadline_exceeded", &self.serve_deadline_exceeded),
             ("serve.batches", &self.serve_batches),
             ("serve.errors", &self.serve_errors),
+            ("serve.reloads", &self.serve_reloads),
+            ("serve.reload_rejected", &self.serve_reload_rejected),
+            ("serve.rollbacks", &self.serve_rollbacks),
+            ("serve.worker_restarts", &self.serve_worker_restarts),
+            ("serve.quarantined", &self.serve_quarantined),
             ("trace.recorded", &self.trace_recorded),
             ("trace.dropped", &self.trace_dropped),
         ]
@@ -611,7 +644,11 @@ pub fn snapshot() -> MetricsSnapshot {
             .chain(m.opt_entries().iter())
             .map(|(n, c)| (*n, c.get()))
             .collect(),
-        gauges: vec![("engine.workers.max", m.engine_workers_max.get())],
+        gauges: vec![
+            ("engine.workers.max", m.engine_workers_max.get()),
+            ("serve.generation", m.serve_generation.get()),
+            ("serve.queue_depth", m.serve_queue_depth.get()),
+        ],
         cache: m
             .cache_entries()
             .iter()
@@ -636,6 +673,8 @@ pub fn reset() {
         c.reset();
     }
     m.engine_workers_max.reset();
+    m.serve_generation.reset();
+    m.serve_queue_depth.reset();
     for (_, f) in m.cache_entries() {
         f.reset();
     }

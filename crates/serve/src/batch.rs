@@ -34,8 +34,11 @@ use rpm_ts::ScanCounters;
 /// What a worker sends back to the waiting connection handler.
 #[derive(Clone, Debug)]
 pub(crate) enum Reply {
-    /// One label per series in the request, request order.
-    Labels(Vec<usize>),
+    /// One label per series in the request, request order, plus the
+    /// model generation that produced them (surfaced to clients as the
+    /// `X-Model-Generation` header so reload tests can pin responses
+    /// to the model that served them).
+    Labels { labels: Vec<usize>, generation: u64 },
     /// The request's deadline passed before its batch dispatched.
     DeadlineExceeded,
     /// Prediction failed (engine error or injected fault).
@@ -98,6 +101,9 @@ impl BatchQueue {
         }
         state.series += pending.series.len();
         state.queue.push_back(pending);
+        rpm_obs::metrics()
+            .serve_queue_depth
+            .set(state.series as u64);
         drop(state);
         self.arrived.notify_one();
         Ok(())
@@ -144,6 +150,9 @@ impl BatchQueue {
                         }
                     }
                 }
+                rpm_obs::metrics()
+                    .serve_queue_depth
+                    .set(state.series as u64);
                 return Some(batch);
             }
             if !state.open {
@@ -161,14 +170,15 @@ impl BatchQueue {
     }
 }
 
-/// One worker iteration: predicts a popped batch against the shared
-/// model and distributes replies. Returns the number of series
-/// predicted (tests use it; the server loop ignores it).
+/// One worker iteration: predicts a popped batch against the pinned
+/// model generation and distributes replies. Returns the number of
+/// series predicted (tests use it; the worker loop ignores it).
 pub(crate) fn process_batch(
-    model: &rpm_core::RpmClassifier,
+    generation: &crate::lifecycle::ModelGeneration,
     parallelism: rpm_ts::Parallelism,
     batch: Vec<Pending>,
 ) -> usize {
+    let model = &generation.model;
     /// Process-wide batch sequence number: the `batch` attribute that
     /// ties the N request traces a shared batch served to one another.
     static BATCH_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -295,7 +305,10 @@ pub(crate) fn process_batch(
             let mut cursor = labels.into_iter();
             for p in live {
                 let answer: Vec<usize> = cursor.by_ref().take(p.series.len()).collect();
-                let _ = p.reply.send(Reply::Labels(answer));
+                let _ = p.reply.send(Reply::Labels {
+                    labels: answer,
+                    generation: generation.generation,
+                });
             }
             n
         }

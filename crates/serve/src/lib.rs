@@ -33,25 +33,40 @@
 //!
 //! Observability rides the existing `rpm-obs` registry: `serve.*`
 //! counters and histograms surface on the same `/metrics` endpoint,
-//! and the `serve.request` / `serve.batch` fault sites make the
-//! request path chaos-testable like the rest of the pipeline.
+//! and the `serve.request` / `serve.batch` / `serve.reload` /
+//! `serve.worker` fault sites make the request, reload, and worker
+//! paths chaos-testable like the rest of the pipeline.
+//!
+//! Since the lifecycle PR the model is no longer a fixed `Arc` for the
+//! process lifetime: it lives in a generation slot ([`lifecycle`])
+//! behind `POST /admin/reload` / `POST /admin/rollback` (and SIGHUP),
+//! and the worker pool is crash-only under a supervisor
+//! ([`SuperviseSettings`]) that quarantines panicked batches and
+//! respawns dead workers with backoff.
 
 mod batch;
+pub mod lifecycle;
 pub mod loadgen;
 pub mod proto;
+mod supervise;
 
 use std::io::Read;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, RecvTimeoutError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use batch::{BatchQueue, Pending, Reply};
 use rpm_core::{PersistError, RpmClassifier, VerifyReport};
 use rpm_obs::{Request, Response, ServeLimits, TraceCtx, TraceOutcome};
 use rpm_ts::Parallelism;
+use supervise::Supervisor;
 
+pub use lifecycle::{
+    signals, Lifecycle, ModelGeneration, ReloadError, ReloadOutcome, ReloadPolicy,
+};
 pub use loadgen::{run_load, LoadConfig, LoadReport};
+pub use supervise::SuperviseSettings;
 
 /// Everything the server needs besides the model.
 #[derive(Clone, Debug)]
@@ -76,6 +91,14 @@ pub struct ServeConfig {
     /// when the served model carries a training-time reference profile;
     /// without one, drift endpoints report `unavailable`.
     pub drift: rpm_obs::DriftConfig,
+    /// Hot-reload canary thresholds and the post-swap probation window.
+    pub reload: ReloadPolicy,
+    /// Worker-pool supervision: respawn backoff and the restart-storm
+    /// breaker.
+    pub supervise: SuperviseSettings,
+    /// Where the served model lives on disk: the default candidate for
+    /// `POST /admin/reload` with no explicit path (and for SIGHUP).
+    pub model_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +113,9 @@ impl Default for ServeConfig {
             parallelism: Parallelism::Serial,
             limits: ServeLimits::default(),
             drift: rpm_obs::DriftConfig::default(),
+            reload: ReloadPolicy::default(),
+            supervise: SuperviseSettings::default(),
+            model_path: None,
         }
     }
 }
@@ -157,18 +183,45 @@ pub fn load_verified_path(
     load_verified(&bytes, allow_unverified)
 }
 
-/// A running classify server: HTTP listener + micro-batching workers.
+/// A running classify server: HTTP listener, supervised micro-batching
+/// worker pool, and the model lifecycle behind `/admin/reload` and
+/// `/admin/rollback`.
 pub struct Server {
     http: rpm_obs::MetricsServer,
     queue: Arc<BatchQueue>,
-    workers: Vec<JoinHandle<()>>,
+    lifecycle: Arc<Lifecycle>,
+    supervisor: Option<Supervisor>,
 }
 
 impl Server {
     /// Starts the listener and worker pool. The model is shared
-    /// immutably: every worker holds the same `Arc`, and prediction
-    /// borrows request buffers without copying them.
+    /// immutably behind the generation slot: every worker pins the
+    /// current generation per batch, and prediction borrows request
+    /// buffers without copying them. The serving fingerprint is
+    /// computed from the model's canonical serialization; when the
+    /// model came through [`load_verified`], prefer
+    /// [`Server::start_verified`] so `/healthz` reports the exact
+    /// fingerprint of the bytes on disk.
     pub fn start(model: Arc<RpmClassifier>, config: &ServeConfig) -> Result<Server, ServeError> {
+        let fingerprint = model.current_fingerprint();
+        Self::start_inner(model, fingerprint, config)
+    }
+
+    /// [`Server::start`] with the fingerprint taken from a
+    /// [`VerifyReport`] (the CRC of the model file actually loaded).
+    pub fn start_verified(
+        model: Arc<RpmClassifier>,
+        report: &VerifyReport,
+        config: &ServeConfig,
+    ) -> Result<Server, ServeError> {
+        Self::start_inner(model, report.fingerprint.clone(), config)
+    }
+
+    fn start_inner(
+        model: Arc<RpmClassifier>,
+        fingerprint: String,
+        config: &ServeConfig,
+    ) -> Result<Server, ServeError> {
         // A serving endpoint without metric recording would scrape
         // empty; bump to Summary (keeping any RPM_LOG JSONL path) the
         // way `rpm-cli classify --metrics-addr` does.
@@ -180,48 +233,49 @@ impl Server {
             }
             .install();
         }
-        // Drift detection is armed iff the model carries a training-time
-        // reference profile; the workers feed the monitor per series and
-        // `/debug/drift`, `/healthz`, and `rpm_drift_*` read from it.
-        match model.reference_profile().filter(|p| !p.is_empty()) {
-            Some(profile) => rpm_obs::drift::install_monitor(Arc::new(rpm_obs::DriftMonitor::new(
-                profile,
-                config.drift,
-            ))),
-            None => rpm_obs::drift::clear_monitor(),
-        }
+        // The lifecycle installs generation 1 and publishes its drift
+        // monitor (armed iff the model carries a reference profile),
+        // fingerprint, and the generation gauge.
+        let lifecycle = Arc::new(Lifecycle::new(
+            model,
+            fingerprint,
+            config.reload,
+            config.drift,
+        ));
         let queue = Arc::new(BatchQueue::new(config.queue_depth));
 
-        let mut workers = Vec::with_capacity(config.workers.max(1));
-        for i in 0..config.workers.max(1) {
-            let queue = Arc::clone(&queue);
-            let model = Arc::clone(&model);
-            let parallelism = config.parallelism;
-            let max_batch = config.max_batch;
-            let window = config.batch_window;
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("rpm-serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(popped) = queue.pop_batch(max_batch, window) {
-                            batch::process_batch(&model, parallelism, popped);
-                        }
-                    })
-                    .map_err(ServeError::Io)?,
-            );
-        }
+        let supervisor = Supervisor::start(
+            Arc::clone(&queue),
+            Arc::clone(&lifecycle),
+            config.workers,
+            config.max_batch,
+            config.batch_window,
+            config.parallelism,
+            config.supervise,
+        );
 
         let handler_queue = Arc::clone(&queue);
         let deadline = config.deadline;
-        let router = rpm_obs::metrics_routes().route("POST", "/classify", move |req| {
-            classify(&handler_queue, deadline, req)
-        });
+        let reload_lc = Arc::clone(&lifecycle);
+        let rollback_lc = Arc::clone(&lifecycle);
+        let default_path = config.model_path.clone();
+        let router = rpm_obs::metrics_routes()
+            .route("POST", "/classify", move |req| {
+                classify(&handler_queue, deadline, req)
+            })
+            .route("POST", "/admin/reload", move |req| {
+                admin_reload(&reload_lc, default_path.as_deref(), req)
+            })
+            .route("POST", "/admin/rollback", move |_req| {
+                admin_rollback(&rollback_lc)
+            });
         let http = rpm_obs::serve_router(&config.addr, config.limits, router)?;
 
         Ok(Server {
             http,
             queue,
-            workers,
+            lifecycle,
+            supervisor: Some(supervisor),
         })
     }
 
@@ -230,23 +284,113 @@ impl Server {
         self.http.local_addr()
     }
 
+    /// The model lifecycle: reload/rollback programmatically (the CLI's
+    /// SIGHUP path) or drive probation ticks in tests.
+    pub fn lifecycle(&self) -> Arc<Lifecycle> {
+        Arc::clone(&self.lifecycle)
+    }
+
     /// Orderly shutdown: stop accepting, close the queue (workers drain
-    /// what is left), join the workers, detach the drift monitor so a
-    /// later server (or test) starts from a clean slate.
+    /// what is left), join the pool via the supervisor, detach the
+    /// drift monitor and identity gauges so a later server (or test)
+    /// starts from a clean slate.
     pub fn shutdown(&mut self) {
         self.http.shutdown();
         self.queue.close();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        if let Some(mut supervisor) = self.supervisor.take() {
+            supervisor.stop();
         }
         rpm_obs::drift::clear_monitor();
         rpm_obs::drift::set_model_fingerprint(None);
+        let m = rpm_obs::metrics();
+        m.serve_generation.set(0);
+        m.serve_queue_depth.set(0);
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Minimal extractor for the one admin-body field we accept: the value
+/// of `"key": "…"` in a flat JSON object (no escapes in the value —
+/// file paths with quotes or backslashes should use the CLI).
+fn extract_json_string(body: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let after_key = &body[body.find(&needle)? + needle.len()..];
+    let after_colon = after_key.trim_start().strip_prefix(':')?.trim_start();
+    let value = after_colon.strip_prefix('"')?;
+    Some(value[..value.find('"')?].to_string())
+}
+
+/// `POST /admin/reload`: run the candidate (body `{"path":"…"}`, else
+/// the path the server was started with) through the canary gate and
+/// swap it in. `200` on swap; `409` with a machine-readable `reason`
+/// when the candidate is rejected — the serving generation is
+/// untouched in that case.
+fn admin_reload(
+    lifecycle: &Lifecycle,
+    default_path: Option<&std::path::Path>,
+    req: &Request,
+) -> Response {
+    let explicit = extract_json_string(&String::from_utf8_lossy(&req.body), "path");
+    let outcome = match (&explicit, default_path) {
+        (Some(path), _) => lifecycle.reload_from_path(std::path::Path::new(path)),
+        (None, Some(path)) => lifecycle.reload_from_path(path),
+        (None, None) => {
+            return Response::json(
+                400,
+                proto::format_error(
+                    "bad_request",
+                    "no candidate: POST {\"path\":\"…\"} or start the server with a model path",
+                ),
+            )
+        }
+    };
+    match outcome {
+        Ok(o) => Response::json(
+            200,
+            format!(
+                "{{\"result\":\"swapped\",\"generation\":{},\"fingerprint\":{},\"displaced\":{}}}\n",
+                o.generation,
+                proto::quote_json(&o.fingerprint),
+                proto::quote_json(&o.displaced)
+            ),
+        ),
+        Err(e) => Response::json(
+            409,
+            format!(
+                "{{\"error\":\"reload_rejected\",\"reason\":{},\"detail\":{}}}\n",
+                proto::quote_json(e.code()),
+                proto::quote_json(&e.to_string())
+            ),
+        ),
+    }
+}
+
+/// `POST /admin/rollback`: swap back to the warm previous generation.
+/// `409` when there is none.
+fn admin_rollback(lifecycle: &Lifecycle) -> Response {
+    match lifecycle.rollback("admin request") {
+        Ok(o) => Response::json(
+            200,
+            format!(
+                "{{\"result\":\"rolled_back\",\"generation\":{},\"fingerprint\":{},\"displaced\":{}}}\n",
+                o.generation,
+                proto::quote_json(&o.fingerprint),
+                proto::quote_json(&o.displaced)
+            ),
+        ),
+        Err(e) => Response::json(
+            409,
+            format!(
+                "{{\"error\":\"rollback_rejected\",\"reason\":{},\"detail\":{}}}\n",
+                proto::quote_json(e.code()),
+                proto::quote_json(&e.to_string())
+            ),
+        ),
     }
 }
 
@@ -360,7 +504,7 @@ fn classify(queue: &BatchQueue, deadline: Duration, req: &Request) -> Response {
     // straddles the deadline (answered 504 all the same).
     let wait = deadline + Duration::from_millis(50);
     let (outcome, response) = match reply_rx.recv_timeout(wait) {
-        Ok(Reply::Labels(labels)) => {
+        Ok(Reply::Labels { labels, generation }) => {
             let respond_start = rpm_obs::now_ns();
             let mut body = String::with_capacity(labels.len() * 16);
             for (id, label) in ids.iter().zip(&labels) {
@@ -374,7 +518,9 @@ fn classify(queue: &BatchQueue, deadline: Duration, req: &Request) -> Response {
             );
             (
                 TraceOutcome::Ok,
-                Response::json(200, body).with_content_type("application/jsonl; charset=utf-8"),
+                Response::json(200, body)
+                    .with_content_type("application/jsonl; charset=utf-8")
+                    .with_header("X-Model-Generation", generation.to_string()),
             )
         }
         Ok(Reply::DeadlineExceeded) | Err(RecvTimeoutError::Timeout) => {

@@ -94,7 +94,7 @@ pub fn format_error(code: &str, detail: &str) -> String {
 }
 
 /// JSON string quoting with the mandatory escapes.
-fn quote_json(s: &str) -> String {
+pub(crate) fn quote_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -25,6 +25,13 @@
 //!                                          # /healthz; env RPM_DRIFT_WARN /
 //!                                          # RPM_DRIFT_PAGE also accepted)
 //!         [--drift-min-samples N]          # live samples before scoring
+//!         [--reload-canary PSI]            # canary-gate divergence bound
+//!         [--probation-secs S]             # auto-rollback watch window
+//!         [--max-body-kb N]                # /classify body cap (413)
+//!                                          # SIGHUP hot-reloads the model
+//!                                          # file; SIGTERM/SIGINT drain
+//! rpm-cli serve reload <ADDR> [--model P]  # hot-reload a running server
+//! rpm-cli serve rollback <ADDR>            # swap back to previous model
 //! rpm-cli load-gen <ADDR> <TEST_FILE>      # open-loop load generator
 //!         [--qps R[,R..]] [--duration-secs S] [--senders N] [--json PATH]
 //!         [--amplitude A] [--offset B]     # replay A*x+B shifted series
@@ -269,7 +276,14 @@ fn cmd_model(args: &[String]) -> CliResult {
 /// `rpm-cli serve MODEL …` — bring up the classify server. Verification
 /// is not optional: a model that fails its CRC check (or predates
 /// checksums, absent `--allow-unverified`) never reaches the listener.
+/// `rpm-cli serve reload|rollback ADDR` are thin clients for the admin
+/// endpoints of an already-running server.
 fn cmd_serve(args: &[String]) -> CliResult {
+    match positional(args, 0).map(String::as_str) {
+        Ok("reload") => return cmd_serve_reload(&args[1..]),
+        Ok("rollback") => return cmd_serve_rollback(&args[1..]),
+        _ => {}
+    }
     let model_path = positional(args, 0)?;
     let allow_unverified = flag_present(args, "--allow-unverified");
     let (model, report) =
@@ -312,26 +326,100 @@ fn cmd_serve(args: &[String]) -> CliResult {
             0 | 1 => rpm::core::Parallelism::Serial,
             n => rpm::core::Parallelism::Threads(n),
         },
-        limits: rpm::obs::ServeLimits::default(),
+        limits: rpm::obs::ServeLimits {
+            max_body_bytes: parse_flag::<usize>(args, "--max-body-kb")?
+                .map(|kb| kb * 1024)
+                .unwrap_or(rpm::obs::ServeLimits::default().max_body_bytes),
+            ..rpm::obs::ServeLimits::default()
+        },
         drift: drift_config_from(args)?,
+        reload: {
+            let defaults = rpm::serve::ReloadPolicy::default();
+            rpm::serve::ReloadPolicy {
+                canary_psi: parse_flag::<f64>(args, "--reload-canary")?
+                    .unwrap_or(defaults.canary_psi),
+                probation: parse_flag::<u64>(args, "--probation-secs")?
+                    .map(std::time::Duration::from_secs)
+                    .unwrap_or(defaults.probation),
+                allow_unverified,
+                ..defaults
+            }
+        },
+        supervise: rpm::serve::SuperviseSettings::default(),
+        model_path: Some(std::path::PathBuf::from(model_path)),
     };
-    let mut server = rpm::serve::Server::start(std::sync::Arc::new(model), &config)?;
+    let mut server =
+        rpm::serve::Server::start_verified(std::sync::Arc::new(model), &report, &config)?;
     eprintln!(
-        "serving /classify, /metrics, /healthz on {} ({} workers, batch ≤{} series / {}ms window)",
+        "serving /classify, /metrics, /healthz, /admin/reload on {} \
+         ({} workers, batch ≤{} series / {}ms window)",
         server.local_addr(),
         config.workers,
         config.max_batch,
         config.batch_window.as_millis()
     );
-    match parse_flag::<u64>(args, "--duration-secs")? {
-        // Smoke-test mode: serve for a bounded window, then exit cleanly.
-        Some(secs) => std::thread::sleep(std::time::Duration::from_secs(secs)),
-        // Service mode: park this thread; the listener does the work.
-        None => loop {
-            std::thread::sleep(std::time::Duration::from_secs(3600));
-        },
+
+    // The serve loop is signal-driven: SIGHUP hot-reloads the model
+    // file through the canary gate, SIGTERM/SIGINT break out into the
+    // graceful drain below. `--duration-secs` bounds the loop for
+    // smoke tests.
+    rpm::serve::signals::reset();
+    rpm::serve::signals::install();
+    let until = parse_flag::<u64>(args, "--duration-secs")?
+        .map(|secs| std::time::Instant::now() + std::time::Duration::from_secs(secs));
+    loop {
+        if rpm::serve::signals::shutdown_requested() {
+            eprintln!("shutdown signal received; draining in-flight requests");
+            break;
+        }
+        if rpm::serve::signals::take_reload() {
+            eprintln!("SIGHUP: reloading {model_path} through the canary gate");
+            match server
+                .lifecycle()
+                .reload_from_path(std::path::Path::new(model_path))
+            {
+                Ok(o) => eprintln!(
+                    "reload accepted: generation {} fingerprint {}",
+                    o.generation, o.fingerprint
+                ),
+                Err(e) => eprintln!("reload rejected ({}): {e}", e.code()),
+            }
+        }
+        if until.is_some_and(|t| std::time::Instant::now() >= t) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
     }
     server.shutdown();
+    Ok(())
+}
+
+/// `rpm-cli serve reload ADDR [--model PATH]` — ask a running server to
+/// hot-reload (its own model path unless `--model` names another
+/// candidate). Exits nonzero when the canary gate rejects it.
+fn cmd_serve_reload(args: &[String]) -> CliResult {
+    let addr = positional(args, 0)?;
+    let body = match flag_value(args, "--model")? {
+        Some(path) => format!("{{\"path\":\"{path}\"}}"),
+        None => "{}".to_string(),
+    };
+    let (status, response) = http_post(addr, "/admin/reload", &body)?;
+    print!("{response}");
+    if status != 200 {
+        return Err(format!("reload refused (HTTP {status})").into());
+    }
+    Ok(())
+}
+
+/// `rpm-cli serve rollback ADDR` — swap a running server back to its
+/// warm previous generation.
+fn cmd_serve_rollback(args: &[String]) -> CliResult {
+    let addr = positional(args, 0)?;
+    let (status, response) = http_post(addr, "/admin/rollback", "")?;
+    print!("{response}");
+    if status != 200 {
+        return Err(format!("rollback refused (HTTP {status})").into());
+    }
     Ok(())
 }
 
@@ -627,6 +715,35 @@ fn http_get(addr: &str, path: &str) -> Result<String, Box<dyn std::error::Error>
         return Err(format!("{addr}{path}: {status_line}").into());
     }
     Ok(body.to_string())
+}
+
+/// One-shot HTTP/1.0 POST; returns (status, body) so admin clients can
+/// surface `409 Conflict` bodies instead of erroring on the transport.
+fn http_post(
+    addr: &str,
+    path: &str,
+    body: &str,
+) -> Result<(u16, String), Box<dyn std::error::Error>> {
+    use std::io::{Read as _, Write as _};
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    write!(
+        stream,
+        "POST {path} HTTP/1.0\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or("malformed HTTP response")?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line: {status_line}"))?;
+    Ok((status, body.to_string()))
 }
 
 fn cmd_patterns(args: &[String]) -> CliResult {
