@@ -57,6 +57,96 @@ fn bench_match_kernel(c: &mut Criterion) {
             b.iter(|| plan.best_match(black_box(&series), true))
         });
     }
+
+    // Pattern-set scans: K patterns over one series — the per-pattern
+    // rolling loop (K RollingStats builds, K full window sweeps) vs one
+    // batched cascade pass (stats shared, most exact loops pruned by the
+    // lower-bound tiers). The acceptance gate is batched ≥ 3× per-pattern
+    // on the multi-pattern transform (see BENCH.md).
+    for &(k, m, n) in &[
+        (8usize, 64usize, 2048usize),
+        (16, 64, 8192),
+        (16, 128, 8192),
+    ] {
+        let series = synthetic_series(n, 7);
+        // Patterns are staggered subsequences of the series itself —
+        // mined patterns come from the data they later scan, so every
+        // pattern has a (near-)perfect window somewhere and the cascade's
+        // bounds are exercised at realistic best-so-far levels.
+        let patterns: Vec<Vec<f64>> = (0..k)
+            .map(|i| {
+                let at = (i * (n - m)) / k;
+                series[at..at + m].to_vec()
+            })
+            .collect();
+        let rolling_plans: Vec<rpm_ts::MatchPlan> =
+            patterns.iter().map(|p| prepare_pattern(p)).collect();
+        let batched_plans: Vec<rpm_ts::MatchPlan> = patterns
+            .iter()
+            .map(|p| rpm_ts::MatchPlan::with_kernel(p, rpm_ts::MatchKernel::Batched))
+            .collect();
+        let set = rpm_ts::BatchedMatch::new(&batched_plans);
+        let id = format!("k{k}_m{m}_n{n}");
+        g.bench_with_input(
+            BenchmarkId::new("set_per_pattern", &id),
+            &rolling_plans,
+            |b, plans| {
+                b.iter(|| {
+                    plans
+                        .iter()
+                        .map(|p| p.best_match(black_box(&series), true))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("set_batched", &id), &set, |b, set| {
+            b.iter(|| set.match_all(black_box(&series), true, None))
+        });
+    }
+
+    // The classification-path composite: transform a batch of series into
+    // the K-pattern feature space — what `predict_batch` pays per batch.
+    // Mined patterns recur across instances (that is what makes them
+    // patterns), so each batch series embeds the pattern set at
+    // staggered, per-series-shuffled offsets: the cascade runs at the
+    // tight best-so-far levels the real pipeline sees once a pattern
+    // finds its occurrence.
+    for (k, n) in [(16usize, 2048usize), (32, 4096)] {
+        use rpm_core::{prepare_patterns, transform_set_plans_engine, Engine, MatchKernel};
+        let master = synthetic_series(n, 97);
+        let patterns: Vec<Vec<f64>> = (0..k)
+            .map(|i| {
+                let at = (i * (n - 64)) / k;
+                master[at..at + 64].to_vec()
+            })
+            .collect();
+        let batch: Vec<Vec<f64>> = (0..32)
+            .map(|i| {
+                let mut s = synthetic_series(n, 200 + i as u64);
+                for j in 0..k {
+                    let p = &patterns[(j + i) % k];
+                    let at = j * (n / k) + (i % 3) * 17;
+                    s[at..at + p.len()].copy_from_slice(p);
+                }
+                s
+            })
+            .collect();
+        let rolling_plans = prepare_patterns(&patterns, MatchKernel::Rolling);
+        let batched_plans = prepare_patterns(&patterns, MatchKernel::Batched);
+        let engine = Engine::serial();
+        g.bench_function(format!("transform_rolling_k{k}"), |b| {
+            b.iter(|| {
+                transform_set_plans_engine(black_box(&batch), &rolling_plans, false, true, &engine)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("transform_batched_k{k}"), |b| {
+            b.iter(|| {
+                transform_set_plans_engine(black_box(&batch), &batched_plans, false, true, &engine)
+                    .unwrap()
+            })
+        });
+    }
     g.finish();
 }
 

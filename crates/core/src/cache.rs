@@ -297,6 +297,63 @@ impl SaxCache {
         }
         v
     }
+
+    /// Split-phase [`column`](Self::column) lookup for the batched
+    /// transform, which computes all missing columns in one pattern-set
+    /// scan instead of one closure per column. Records a hit/miss per
+    /// call, exactly like `column`; always a recorded miss on a
+    /// disabled cache.
+    pub(crate) fn try_column(
+        &self,
+        set: SetId,
+        pattern: &[f64],
+        rotation_invariant: bool,
+        early_abandon: bool,
+        kernel: MatchKernel,
+    ) -> Option<Arc<Vec<f64>>> {
+        if !self.enabled {
+            self.record(Family::Columns, false);
+            return None;
+        }
+        let key = (
+            set,
+            fingerprint(pattern),
+            rotation_invariant,
+            early_abandon,
+            kernel,
+        );
+        let found = self.columns.lock().ok().and_then(|m| m.get(&key).cloned());
+        self.record(Family::Columns, found.is_some());
+        found
+    }
+
+    /// Stores a column computed after a [`try_column`](Self::try_column)
+    /// miss (no hit/miss accounting — the miss was already recorded).
+    /// First write wins, mirroring `column`'s `or_insert`.
+    pub(crate) fn store_column(
+        &self,
+        set: SetId,
+        pattern: &[f64],
+        rotation_invariant: bool,
+        early_abandon: bool,
+        kernel: MatchKernel,
+        value: Arc<Vec<f64>>,
+    ) -> Arc<Vec<f64>> {
+        if !self.enabled {
+            return value;
+        }
+        let key = (
+            set,
+            fingerprint(pattern),
+            rotation_invariant,
+            early_abandon,
+            kernel,
+        );
+        if let Ok(mut m) = self.columns.lock() {
+            return m.entry(key).or_insert(value).clone();
+        }
+        value
+    }
 }
 
 /// FNV-1a over the pattern's length and exact f64 bit patterns. Patterns

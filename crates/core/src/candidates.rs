@@ -17,7 +17,7 @@ use crate::transform::pattern_distance_plans;
 use rpm_cluster::{bisect_refine, centroid, medoid};
 use rpm_grammar::{infer_repair, Sequitur, Token};
 use rpm_sax::{SaxConfig, SaxWord};
-use rpm_ts::{znorm, Label, MatchPlan};
+use rpm_ts::{znorm, BatchedMatch, Label, MatchKernel, MatchPlan};
 use std::collections::HashMap;
 
 /// A candidate representative pattern for one class.
@@ -196,13 +196,21 @@ pub(crate) fn find_candidates_for_class_ctx(
             .map(|s| MatchPlan::with_kernel(s, config.kernel))
             .collect();
 
+        // Under the batched kernel the full u×u distance matrix is filled
+        // up front: for each subsequence j, every strictly-shorter (or
+        // equal-length, scanned directionally) subsequence slides over it
+        // in one pattern-set cascade scan. Refinement, the τ pool, and
+        // medoid selection then read the matrix instead of re-scanning.
+        let matrix: Option<Vec<f64>> = (config.kernel == MatchKernel::Batched)
+            .then(|| pairwise_matrix(&subs, &plans, config.early_abandon));
+        let dist = |i: usize, j: usize| match &matrix {
+            Some(m) => m[i * plans.len() + j],
+            None => pattern_distance_plans(&plans[i], &plans[j], config.early_abandon),
+        };
+
         // --- Refinement: iterative bisection with complete linkage over
         //     closest-match distances.
-        let clusters = bisect_refine(
-            subs.len(),
-            |i, j| pattern_distance_plans(&plans[i], &plans[j], config.early_abandon),
-            &config.bisect,
-        );
+        let clusters = bisect_refine(subs.len(), &dist, &config.bisect);
 
         for cluster in clusters {
             // γ filter on distinct instance coverage.
@@ -215,20 +223,13 @@ pub(crate) fn find_candidates_for_class_ctx(
             // Record the τ pool.
             for (a, &i) in cluster.iter().enumerate() {
                 for &j in &cluster[a + 1..] {
-                    out.intra_cluster_distances.push(pattern_distance_plans(
-                        &plans[i],
-                        &plans[j],
-                        config.early_abandon,
-                    ));
+                    out.intra_cluster_distances.push(dist(i, j));
                 }
             }
             let members_refs: Vec<&[f64]> = cluster.iter().map(|&i| subs[i]).collect();
             let values = if config.use_medoid {
-                let cluster_plans: Vec<&MatchPlan> = cluster.iter().map(|&i| &plans[i]).collect();
-                let m = medoid(&cluster_plans, |a, b| {
-                    pattern_distance_plans(a, b, config.early_abandon)
-                })
-                .expect("cluster is non-empty");
+                let cluster_refs: Vec<&usize> = cluster.iter().collect();
+                let m = medoid(&cluster_refs, |&a, &b| dist(a, b)).expect("cluster is non-empty");
                 znorm(members_refs[m])
             } else {
                 centroid(&members_refs).expect("cluster is non-empty")
@@ -246,6 +247,43 @@ pub(crate) fn find_candidates_for_class_ctx(
     m.mine_rules.add(out.rules_inspected as u64);
     m.mine_candidates.add(out.candidates.len() as u64);
     out
+}
+
+/// Full u×u pairwise closest-match distance matrix (row-major), filled
+/// with pattern-set scans. For each subsequence `j`, every other
+/// subsequence no longer than it slides over `subs[j]` in one batched
+/// cascade pass, which preserves the exact orientation rule of
+/// [`pattern_distance_plans`]: the shorter side is the pattern, and on
+/// equal lengths the first argument slides — so equal-length pairs get
+/// their own directional scan per cell while strictly-shorter results
+/// are mirrored. The diagonal is left 0.0 and never queried (both
+/// `bisect_refine` and `medoid` skip self-pairs).
+fn pairwise_matrix(subs: &[&[f64]], plans: &[MatchPlan], early_abandon: bool) -> Vec<f64> {
+    let u = plans.len();
+    let mut m = vec![0.0; u * u];
+    for j in 0..u {
+        let idx: Vec<usize> = (0..u)
+            .filter(|&i| i != j && plans[i].len() <= plans[j].len())
+            .collect();
+        if idx.is_empty() {
+            continue;
+        }
+        let refs: Vec<&MatchPlan> = idx.iter().map(|&i| &plans[i]).collect();
+        let set = BatchedMatch::from_refs(&refs);
+        for (k, best) in set
+            .match_all(subs[j], early_abandon, None)
+            .iter()
+            .enumerate()
+        {
+            let i = idx[k];
+            let d = best.map_or(f64::INFINITY, |b| b.distance);
+            m[i * u + j] = d;
+            if plans[i].len() < plans[j].len() {
+                m[j * u + i] = d;
+            }
+        }
+    }
+    m
 }
 
 #[cfg(test)]

@@ -153,11 +153,15 @@ pub struct RpmConfig {
     /// Early-abandon the closest-match search (§5.3). Off only for the
     /// ablation benchmark; results are identical either way.
     pub early_abandon: bool,
-    /// Closest-match kernel implementation: the fused rolling-statistics
-    /// kernel (default) or the pre-optimization per-window re-normalizing
-    /// scan. The two are tolerance-equal (≤1e-9 relative distance, exact
-    /// match positions — see `tests/kernel_diff.rs`); `Naive` exists for
-    /// the differential regression tests and the ablation benchmark.
+    /// Closest-match kernel implementation: the batched pattern-set ×
+    /// series cascade (default; bit-identical to `Rolling`, with shared
+    /// per-series statistics and admissible lower-bound pruning), the
+    /// fused rolling-statistics kernel, or the pre-optimization
+    /// per-window re-normalizing scan. `Rolling` and `Naive` are
+    /// tolerance-equal (≤1e-9 relative distance, exact match positions
+    /// — see `tests/kernel_diff.rs`); `Batched` and `Rolling` are
+    /// bit-identical; `Naive` exists for the differential regression
+    /// tests and the ablation benchmark.
     /// Not persisted: loaded models always serve with the default kernel.
     pub kernel: MatchKernel,
     /// Cap on occurrences per grammar rule fed to the O(u³) clustering;
@@ -222,7 +226,7 @@ impl Default for RpmConfig {
             use_medoid: false,
             rotation_invariant: false,
             early_abandon: true,
-            kernel: MatchKernel::Rolling,
+            kernel: MatchKernel::Batched,
             max_occurrences_per_rule: 64,
             max_candidates: 48,
             bisect: BisectParams::default(),
@@ -337,7 +341,7 @@ impl RpmConfigBuilder {
         self
     }
 
-    /// Closest-match kernel implementation (rolling-statistics default,
+    /// Closest-match kernel implementation (batched-cascade default,
     /// naive re-normalizing scan for differential tests and ablations).
     pub fn kernel(mut self, kernel: MatchKernel) -> Self {
         self.config.kernel = kernel;
@@ -477,7 +481,7 @@ mod tests {
         assert!(c.numerosity_reduction);
         assert!(!c.use_medoid);
         assert!(c.early_abandon);
-        assert_eq!(c.kernel, MatchKernel::Rolling, "rolling kernel by default");
+        assert_eq!(c.kernel, MatchKernel::Batched, "batched kernel by default");
         assert_eq!(c.n_threads, 1, "serial by default");
         assert!(c.cache);
     }

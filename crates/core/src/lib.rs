@@ -63,7 +63,8 @@ pub use persist::{model_fingerprint, PersistError, VerifyReport};
 pub use rpm_obs::{ObsConfig, ObsLevel};
 pub use rpm_ts::{MatchKernel, MatchPlan, Parallelism};
 pub use transform::{
-    pattern_distance, pattern_distance_plans, prepare_patterns, transform_series,
-    transform_series_plans, transform_series_plans_counted, transform_set, transform_set_engine,
-    transform_set_parallel, transform_set_plans_engine, transform_set_plans_engine_counted,
+    batched_match, pattern_distance, pattern_distance_plans, prepare_patterns, transform_series,
+    transform_series_batched_counted, transform_series_plans, transform_series_plans_counted,
+    transform_set, transform_set_engine, transform_set_parallel, transform_set_plans_engine,
+    transform_set_plans_engine_counted,
 };

@@ -7,13 +7,14 @@ use crate::distinct::select_representative_ctx;
 use crate::engine::{Engine, EngineError};
 use crate::params::search_parameters_ctx;
 use crate::transform::{
-    prepare_patterns, transform_series_plans, transform_series_plans_counted, transform_set_ctx,
-    transform_set_plans_engine, transform_set_plans_engine_counted,
+    batched_match, prepare_patterns, transform_series_batched_counted,
+    transform_series_plans_counted, transform_set_ctx, transform_set_plans_engine,
+    transform_set_plans_engine_counted,
 };
 use crate::usage::{render_usage, PatternStats, PatternUsage};
 use rpm_ml::{LinearSvm, SvmParams};
 use rpm_sax::SaxConfig;
-use rpm_ts::{Dataset, Label, MatchPlan, Parallelism, ScanCounters};
+use rpm_ts::{BatchedMatch, Dataset, Label, MatchPlan, Parallelism, ScanCounters};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -78,6 +79,11 @@ pub struct RpmClassifier {
     /// when a model is loaded from disk — the kernel is an execution
     /// strategy, not part of the persisted model.
     pub(crate) plans: Vec<MatchPlan>,
+    /// Prebuilt pattern-set scanner backing `plans` when they use the
+    /// batched kernel (`None` otherwise): the per-pattern envelope and
+    /// tier-1 streams are computed once here and shared by every
+    /// `transform`/`predict` call on this model.
+    pub(crate) batched: Option<BatchedMatch>,
     pub(crate) svm: LinearSvm,
     pub(crate) per_class_sax: BTreeMap<Label, SaxConfig>,
     pub(crate) rotation_invariant: bool,
@@ -342,10 +348,12 @@ impl RpmClassifier {
         drop(profile_span);
 
         let plans = prepare_patterns(&pattern_values, config.kernel);
+        let batched = batched_match(&plans);
         let usage = PatternUsage::new(pattern_values.len());
         Ok(Self {
             patterns: selected,
             plans,
+            batched,
             svm,
             per_class_sax: per_class_sax.clone(),
             rotation_invariant: config.rotation_invariant,
@@ -360,12 +368,31 @@ impl RpmClassifier {
     /// Transforms a series into this model's feature space, reusing the
     /// per-pattern match plans built at training (or load) time.
     pub fn transform(&self, series: &[f64]) -> Vec<f64> {
-        transform_series_plans(
-            series,
-            &self.plans,
-            self.rotation_invariant,
-            self.early_abandon,
-        )
+        self.feature_row(series, None)
+    }
+
+    /// One series' feature row: through the prebuilt pattern-set scanner
+    /// when the batched kernel is active, per-pattern plans otherwise.
+    /// Every single-series transform/predict path funnels here so the
+    /// batched set is built once per model, not once per call.
+    fn feature_row(&self, series: &[f64], counters: Option<&ScanCounters>) -> Vec<f64> {
+        match &self.batched {
+            Some(b) => transform_series_batched_counted(
+                series,
+                &self.plans,
+                b,
+                self.rotation_invariant,
+                self.early_abandon,
+                counters,
+            ),
+            None => transform_series_plans_counted(
+                series,
+                &self.plans,
+                self.rotation_invariant,
+                self.early_abandon,
+                counters,
+            ),
+        }
     }
 
     /// Predicts the class label of one series.
@@ -463,15 +490,7 @@ impl RpmClassifier {
         let rows = match parallelism {
             Parallelism::Serial => series
                 .iter()
-                .map(|s| {
-                    transform_series_plans_counted(
-                        s.as_ref(),
-                        &self.plans,
-                        self.rotation_invariant,
-                        self.early_abandon,
-                        Some(counters),
-                    )
-                })
+                .map(|s| self.feature_row(s.as_ref(), Some(counters)))
                 .collect(),
             Parallelism::Threads(_) => transform_set_plans_engine_counted(
                 series,
@@ -508,15 +527,7 @@ impl RpmClassifier {
         let rows = match parallelism {
             Parallelism::Serial => series
                 .iter()
-                .map(|s| {
-                    transform_series_plans_counted(
-                        s.as_ref(),
-                        &self.plans,
-                        self.rotation_invariant,
-                        self.early_abandon,
-                        counters,
-                    )
-                })
+                .map(|s| self.feature_row(s.as_ref(), counters))
                 .collect(),
             Parallelism::Threads(_) => transform_set_plans_engine_counted(
                 series,

@@ -22,7 +22,8 @@
 use crate::cache::Ctx;
 use crate::engine::{Engine, EngineError};
 use rpm_cluster::resample;
-use rpm_ts::{euclidean, rotate_half, znorm, MatchKernel, MatchPlan, ScanCounters};
+use rpm_ts::{euclidean, rotate_half, znorm, BatchedMatch, MatchKernel, MatchPlan, ScanCounters};
+use std::sync::Arc;
 
 /// Distance between two patterns / subsequences of possibly different
 /// lengths: the shorter is slid over the longer (both z-normalized) and
@@ -142,6 +143,20 @@ fn transform_series_inner(
     early_abandon: bool,
     counters: Option<&ScanCounters>,
 ) -> Vec<f64> {
+    if wants_batched(plans) {
+        // Ad-hoc batched route for callers without a prebuilt set;
+        // repeated-transform callers should hold a [`BatchedMatch`] and
+        // use [`transform_series_batched_counted`] instead.
+        let batched = BatchedMatch::new(plans);
+        return batched_series_row(
+            &batched,
+            plans,
+            series,
+            rotation_invariant,
+            early_abandon,
+            counters,
+        );
+    }
     let rotated = if rotation_invariant {
         Some(rotate_half(series))
     } else {
@@ -157,6 +172,104 @@ fn transform_series_inner(
             }
         })
         .collect()
+}
+
+/// True when `plans` should run through the pattern-set cascade: the
+/// pipeline prepares every plan with one kernel, so the first grouped
+/// plan speaks for the set (fallback-only sets gain nothing and keep
+/// the per-pattern path).
+fn wants_batched(plans: &[MatchPlan]) -> bool {
+    plans.iter().any(|p| p.kernel() == MatchKernel::Batched)
+}
+
+/// Prepares the batched pattern-set scanner for a plan slice, or `None`
+/// when no plan requests the batched kernel — build once per model
+/// (train/load) and reuse across every transformed series.
+pub fn batched_match(plans: &[MatchPlan]) -> Option<BatchedMatch> {
+    wants_batched(plans).then(|| BatchedMatch::new(plans))
+}
+
+/// One series' feature row through the batched cascade: a single
+/// `match_all` per view (plus one for the rotated view), with the same
+/// resampling fallback [`feature_distance_plan`] applies to patterns
+/// longer than the series. Distances are bit-identical to the
+/// per-pattern rolling path.
+fn batched_series_row(
+    batched: &BatchedMatch,
+    plans: &[MatchPlan],
+    series: &[f64],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    counters: Option<&ScanCounters>,
+) -> Vec<f64> {
+    let mut row = batched_feature_distances(batched, plans, series, early_abandon, counters);
+    if rotation_invariant {
+        let rotated = rotate_half(series);
+        let rot = batched_feature_distances(batched, plans, &rotated, early_abandon, counters);
+        for (d, r) in row.iter_mut().zip(rot) {
+            *d = d.min(r);
+        }
+    }
+    row
+}
+
+fn batched_feature_distances(
+    batched: &BatchedMatch,
+    plans: &[MatchPlan],
+    series: &[f64],
+    early_abandon: bool,
+    counters: Option<&ScanCounters>,
+) -> Vec<f64> {
+    let matches = batched.match_all(series, early_abandon, counters);
+    plans
+        .iter()
+        .zip(&matches)
+        .map(|(plan, m)| match m {
+            Some(m) => m.distance,
+            None if !plan.is_empty() && plan.len() > series.len() => {
+                let shrunk = resample(plan.raw(), series.len());
+                euclidean(&znorm(&shrunk), &znorm(series)) / (series.len() as f64).sqrt()
+            }
+            None => 0.0, // empty pattern: degenerate, treat as zero signal
+        })
+        .collect()
+}
+
+/// [`transform_series_plans_counted`] against a prebuilt
+/// [`BatchedMatch`] — the serving path's entry point, paying zero
+/// per-call preparation. `plans` must be the slice the set was built
+/// from (it supplies the resampling fallback for oversized patterns).
+pub fn transform_series_batched_counted(
+    series: &[f64],
+    plans: &[MatchPlan],
+    batched: &BatchedMatch,
+    rotation_invariant: bool,
+    early_abandon: bool,
+    counters: Option<&ScanCounters>,
+) -> Vec<f64> {
+    if !rpm_obs::enabled() {
+        return batched_series_row(
+            batched,
+            plans,
+            series,
+            rotation_invariant,
+            early_abandon,
+            counters,
+        );
+    }
+    let start = rpm_obs::now_ns();
+    let out = batched_series_row(
+        batched,
+        plans,
+        series,
+        rotation_invariant,
+        early_abandon,
+        counters,
+    );
+    rpm_obs::metrics()
+        .transform_series
+        .observe(rpm_obs::now_ns().saturating_sub(start));
+    out
 }
 
 /// Transforms a whole set of series (plans prepared once internally).
@@ -210,14 +323,25 @@ pub fn transform_set_plans_engine_counted<S: AsRef<[f64]> + Sync>(
     engine: &Engine,
     counters: Option<&ScanCounters>,
 ) -> Result<Vec<Vec<f64>>, EngineError> {
-    engine.map(series, |_, s| {
-        transform_series_plans_counted(
+    // For the batched kernel, build the pattern set once and share it
+    // across workers (it is `Sync`) instead of once per series.
+    let batched = wants_batched(plans).then(|| BatchedMatch::new(plans));
+    engine.map(series, |_, s| match &batched {
+        Some(b) => transform_series_batched_counted(
+            s.as_ref(),
+            plans,
+            b,
+            rotation_invariant,
+            early_abandon,
+            counters,
+        ),
+        None => transform_series_plans_counted(
             s.as_ref(),
             plans,
             rotation_invariant,
             early_abandon,
             counters,
-        )
+        ),
     })
 }
 
@@ -272,6 +396,9 @@ pub(crate) fn transform_set_ctx(
     rpm_obs::metrics()
         .transform_columns
         .add(patterns.len() as u64);
+    if kernel == MatchKernel::Batched {
+        return transform_set_ctx_batched(series, patterns, rotation_invariant, early_abandon, ctx);
+    }
     let rotated: Option<Vec<Vec<f64>>> =
         rotation_invariant.then(|| series.iter().map(|s| rotate_half(s)).collect());
     let columns = ctx.engine.map(patterns, |_, p| {
@@ -302,6 +429,70 @@ pub(crate) fn transform_set_ctx(
             },
         )
     })?;
+    Ok((0..series.len())
+        .map(|i| columns.iter().map(|c| c[i]).collect())
+        .collect())
+}
+
+/// The batched-kernel arm of [`transform_set_ctx`]: instead of a
+/// closest-match scan per (pattern, series) pair, the *missing* columns
+/// are computed in one pattern-set cascade per series — one shared
+/// `RollingStats` per (series, pattern length) — and the workers fan
+/// out over series (rows) rather than patterns (columns). Cache
+/// semantics are unchanged: one recorded hit or miss per pattern
+/// column, misses stored for the CFS→SVM transform reuse, rows
+/// bit-identical to the per-pattern path.
+fn transform_set_ctx_batched(
+    series: &[Vec<f64>],
+    patterns: &[Vec<f64>],
+    rotation_invariant: bool,
+    early_abandon: bool,
+    ctx: &Ctx<'_>,
+) -> Result<Vec<Vec<f64>>, EngineError> {
+    let kernel = MatchKernel::Batched;
+    let cached: Vec<Option<Arc<Vec<f64>>>> = patterns
+        .iter()
+        .map(|p| {
+            ctx.cache
+                .try_column(ctx.set, p, rotation_invariant, early_abandon, kernel)
+        })
+        .collect();
+    let missing: Vec<usize> = cached
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| c.is_none().then_some(i))
+        .collect();
+    let computed: Vec<Arc<Vec<f64>>> = if missing.is_empty() {
+        Vec::new()
+    } else {
+        let missing_patterns: Vec<Vec<f64>> =
+            missing.iter().map(|&i| patterns[i].clone()).collect();
+        let plans = prepare_patterns(&missing_patterns, kernel);
+        let batched = BatchedMatch::new(&plans);
+        let rows = ctx.engine.map(series, |_, s| {
+            batched_series_row(&batched, &plans, s, rotation_invariant, early_abandon, None)
+        })?;
+        missing
+            .iter()
+            .enumerate()
+            .map(|(k, &pattern_idx)| {
+                let col: Vec<f64> = rows.iter().map(|r| r[k]).collect();
+                ctx.cache.store_column(
+                    ctx.set,
+                    &patterns[pattern_idx],
+                    rotation_invariant,
+                    early_abandon,
+                    kernel,
+                    Arc::new(col),
+                )
+            })
+            .collect()
+    };
+    let mut from_scan = computed.into_iter();
+    let columns: Vec<Arc<Vec<f64>>> = cached
+        .into_iter()
+        .map(|c| c.unwrap_or_else(|| from_scan.next().expect("one computed column per miss")))
+        .collect();
     Ok((0..series.len())
         .map(|i| columns.iter().map(|c| c[i]).collect())
         .collect())
@@ -501,6 +692,62 @@ mod tests {
         assert_eq!(stats.searches, (set.len() * pats.len() * 2) as u64);
         assert!(stats.windows > 0);
         assert!(stats.match_ns > 0);
+    }
+
+    #[test]
+    fn batched_transform_builds_stats_once_per_series() {
+        // The CFS-scoring fix: with K same-length patterns, the batched
+        // path computes the per-series rolling statistics ONCE and shares
+        // them across all K cascade scans, where the per-pattern rolling
+        // path rebuilds them K times. The `stats_builds` counter is the
+        // contract: series.len() × length-groups for batched, series.len()
+        // × K for rolling.
+        let set: Vec<Vec<f64>> = (0..6).map(|k| bump(3 + 5 * k, 72)).collect();
+        let pats = vec![bump(5, 16), bump(2, 16), bump(9, 16), bump(12, 16)];
+        let engine = Engine::serial();
+
+        let batched_plans = prepare_patterns(&pats, MatchKernel::Batched);
+        let batched_counters = ScanCounters::new();
+        let batched_rows = transform_set_plans_engine_counted(
+            &set,
+            &batched_plans,
+            false,
+            true,
+            &engine,
+            Some(&batched_counters),
+        )
+        .unwrap();
+        let batched_stats = batched_counters.snapshot();
+        assert_eq!(
+            batched_stats.stats_builds,
+            set.len() as u64,
+            "one RollingStats build per (series, length-group)"
+        );
+        // Pair accounting is preserved: still one search per (series,
+        // pattern), and the cascade pruned at least something.
+        assert_eq!(batched_stats.searches, (set.len() * pats.len()) as u64);
+        assert!(batched_stats.pruned_total() > 0, "{batched_stats:?}");
+
+        let rolling_plans = prepare_patterns(&pats, MatchKernel::Rolling);
+        let rolling_counters = ScanCounters::new();
+        let rolling_rows = transform_set_plans_engine_counted(
+            &set,
+            &rolling_plans,
+            false,
+            true,
+            &engine,
+            Some(&rolling_counters),
+        )
+        .unwrap();
+        let rolling_stats = rolling_counters.snapshot();
+        assert_eq!(
+            rolling_stats.stats_builds,
+            (set.len() * pats.len()) as u64,
+            "per-pattern path rebuilds stats K times per series"
+        );
+
+        // And the shared-stats rows are bit-identical to the per-pattern ones.
+        assert_eq!(batched_rows, rolling_rows);
     }
 
     #[test]

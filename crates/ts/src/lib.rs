@@ -9,13 +9,15 @@
 //! * Piecewise Aggregate Approximation ([`paa()`]),
 //! * Euclidean distances with early abandoning ([`dist`]),
 //! * sliding-window subsequence extraction ([`windows`]),
-//! * closest-match subsequence search ([`matching`]),
+//! * closest-match subsequence search ([`matching`]), and the batched
+//!   pattern-set × series cascade kernel ([`batched`]),
 //! * rotation/shift corruption used by the paper's §6.1 case study
 //!   ([`rotate()`]),
 //! * small statistics helpers ([`stats`]).
 //!
 //! All series are `f64` slices; no external numeric dependencies are used.
 
+pub mod batched;
 pub mod classifier;
 pub mod dataset;
 pub mod dist;
@@ -26,6 +28,7 @@ pub mod rotate;
 pub mod stats;
 pub mod windows;
 
+pub use batched::{BatchedMatch, LbAudit, ENVELOPE_SEGMENTS, MIN_ENVELOPE_LEN};
 pub use classifier::{Classifier, Parallelism};
 pub use dataset::{ClassView, Dataset, Label};
 pub use dist::{euclidean, euclidean_early_abandon, sq_euclidean, sq_euclidean_early_abandon};

@@ -70,6 +70,18 @@ pub struct ScanCounters {
     /// Windows abandoned early (distance accumulation crossed the
     /// best-so-far cutoff before finishing).
     pub abandoned: AtomicU64,
+    /// Windows killed by the O(1) first/last z-value bound (tier 1 of
+    /// the batched cascade) before any exact accumulation.
+    pub pruned_first_last: AtomicU64,
+    /// Windows killed by the PAA envelope bound (tier 2).
+    pub pruned_envelope: AtomicU64,
+    /// Windows killed by the optional SAX MINDIST bound (tier 3).
+    pub pruned_sax: AtomicU64,
+    /// `RollingStats` constructions: once per scan for the rolling
+    /// kernel, once per (series, pattern length) for the batched kernel
+    /// — the shared-statistics win is visible as `stats_builds` ≪
+    /// `searches`.
+    pub stats_builds: AtomicU64,
     /// Wall nanoseconds spent inside the match kernel.
     pub match_ns: AtomicU64,
 }
@@ -86,6 +98,10 @@ impl ScanCounters {
             searches: self.searches.load(Ordering::Relaxed),
             windows: self.windows.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
+            pruned_first_last: self.pruned_first_last.load(Ordering::Relaxed),
+            pruned_envelope: self.pruned_envelope.load(Ordering::Relaxed),
+            pruned_sax: self.pruned_sax.load(Ordering::Relaxed),
+            stats_builds: self.stats_builds.load(Ordering::Relaxed),
             match_ns: self.match_ns.load(Ordering::Relaxed),
         }
     }
@@ -100,6 +116,14 @@ pub struct ScanStats {
     pub windows: u64,
     /// Windows abandoned before full accumulation.
     pub abandoned: u64,
+    /// Windows killed by the first/last z-value bound (cascade tier 1).
+    pub pruned_first_last: u64,
+    /// Windows killed by the PAA envelope bound (cascade tier 2).
+    pub pruned_envelope: u64,
+    /// Windows killed by the SAX MINDIST bound (cascade tier 3).
+    pub pruned_sax: u64,
+    /// `RollingStats` constructions performed.
+    pub stats_builds: u64,
     /// Wall nanoseconds inside the match kernel.
     pub match_ns: u64,
 }
@@ -112,6 +136,23 @@ impl ScanStats {
             0.0
         } else {
             self.abandoned as f64 / self.windows as f64
+        }
+    }
+
+    /// Total windows killed by a lower-bound tier before the exact
+    /// distance loop ran.
+    pub fn pruned_total(&self) -> u64 {
+        self.pruned_first_last + self.pruned_envelope + self.pruned_sax
+    }
+
+    /// Fraction of considered windows killed by a lower-bound tier
+    /// (0.0 when nothing was scanned; always 0.0 for the per-pattern
+    /// kernels, which have no cascade).
+    pub fn prune_rate(&self) -> f64 {
+        if self.windows == 0 {
+            0.0
+        } else {
+            self.pruned_total() as f64 / self.windows as f64
         }
     }
 }
@@ -130,12 +171,23 @@ pub struct BestMatch {
 /// of it) dispatches to.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum MatchKernel {
-    /// The fused rolling-statistics kernel (the default).
-    #[default]
+    /// The fused rolling-statistics kernel.
     Rolling,
     /// The pre-optimization per-window re-normalizing scan — the
     /// differential-test oracle and ablation baseline.
     Naive,
+    /// The pattern-set × series cascade kernel (the default): shared
+    /// `RollingStats` per series, per-window lower-bound pruning
+    /// (first/last z-values, PAA envelope, optional SAX MINDIST)
+    /// before the exact rolling accumulation. Bit-identical to
+    /// [`Rolling`](Self::Rolling) — a single-pattern scan through a
+    /// `Batched` plan dispatches to the rolling scan, and the batched
+    /// entry point ([`crate::batched::BatchedMatch`]) only ever prunes
+    /// windows whose admissible lower bound already exceeds the
+    /// per-pattern best. Appended last: the discriminant feeds config
+    /// fingerprints (`kernel as u64`), so variant order is ABI.
+    #[default]
+    Batched,
 }
 
 /// Pre-computed per-pattern state for the closest-match search: the
@@ -151,26 +203,27 @@ pub struct MatchPlan {
     /// transform).
     raw: Vec<f64>,
     /// Z-normalized pattern in natural index order.
-    zp: Vec<f64>,
+    pub(crate) zp: Vec<f64>,
     /// Indices of `zp` sorted by decreasing |zp| (ties by index).
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
     /// `zp` permuted into `order` (one cache-friendly stream for the
     /// abandoning loop).
-    zp_ord: Vec<f64>,
+    pub(crate) zp_ord: Vec<f64>,
     /// Σ zp² (plain sequential sum — bit-identical to what the naive
     /// kernel scores against an all-zero constant window).
-    sq_norm: f64,
+    pub(crate) sq_norm: f64,
     /// True when the pattern itself is constant (zp all zeros): the
     /// rolling kernel's distances would tie at exactly `n` for every
     /// non-constant window, so the plan delegates to the naive scan for
     /// exact positional agreement.
-    degenerate: bool,
+    pub(crate) degenerate: bool,
     kernel: MatchKernel,
 }
 
 impl MatchPlan {
     /// Prepares `pattern` for repeated closest-match searches with the
-    /// default (rolling) kernel.
+    /// rolling kernel. (A lone plan gains nothing from `Batched`; the
+    /// cascade needs a pattern *set* — see [`crate::batched`].)
     pub fn new(pattern: &[f64]) -> Self {
         Self::with_kernel(pattern, MatchKernel::Rolling)
     }
@@ -258,9 +311,15 @@ impl MatchPlan {
         m.match_searches.inc();
         m.match_windows.add((series.len() - n + 1) as u64);
         let started = counters.map(|_| std::time::Instant::now());
+        // A `Batched` plan scanned alone has no pattern set to share
+        // statistics or bounds with: it takes the rolling path, which
+        // the batched cascade is bit-identical to by construction.
         let (best, abandoned) = if self.kernel == MatchKernel::Naive || self.degenerate {
             naive_scan(&self.zp, series, early_abandon)
         } else {
+            if let Some(c) = counters {
+                c.stats_builds.fetch_add(1, Ordering::Relaxed);
+            }
             let stats = RollingStats::new(series, n).expect("bounds checked above");
             self.rolling_scan(&stats, early_abandon)
         };
@@ -304,20 +363,7 @@ impl MatchPlan {
                         }
                     }
                 } else {
-                    // Fused per-element accumulation in natural order
-                    // (vectorizable; no abandon). The closed dot-product
-                    // expansion `Σzp² + n − (2/σ)(Σzpᵢxᵢ − μΣzpᵢ)` would
-                    // save a subtraction per lane but cancels
-                    // catastrophically near d ≈ 0 (absolute error ~n·ε on
-                    // d², i.e. ~√ε on d) — the per-element form keeps
-                    // full precision at exact matches, which the 1e-9
-                    // differential tolerance requires.
-                    let mut acc = 0.0;
-                    for (zi, xi) in self.zp.iter().zip(w) {
-                        let d = zi - (xi - mu) * inv;
-                        acc += d * d;
-                    }
-                    acc
+                    self.fused_exhaustive(w, mu, inv)
                 }
             };
             if d_sq < best_sq {
@@ -335,12 +381,38 @@ impl MatchPlan {
     }
 
     /// One window's fused distance, accumulating `(zpᵢ − (xᵢ−μ)/σ)²` in
+    /// natural order (vectorizable; no abandon). The closed dot-product
+    /// expansion `Σzp² + n − (2/σ)(Σzpᵢxᵢ − μΣzpᵢ)` would save a
+    /// subtraction per lane but cancels catastrophically near d ≈ 0
+    /// (absolute error ~n·ε on d², i.e. ~√ε on d) — the per-element
+    /// form keeps full precision at exact matches, which the 1e-9
+    /// differential tolerance requires. Shared with the batched
+    /// cascade's exact tier, so both kernels produce the same floats.
+    #[inline]
+    pub(crate) fn fused_exhaustive(&self, w: &[f64], mu: f64, inv: f64) -> f64 {
+        let mut acc = 0.0;
+        for (zi, xi) in self.zp.iter().zip(w) {
+            let d = zi - (xi - mu) * inv;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// One window's fused distance, accumulating `(zpᵢ − (xᵢ−μ)/σ)²` in
     /// decreasing-|zp| order and abandoning against `cutoff` every 8
     /// terms (strict `>`, matching [`sq_euclidean_early_abandon`]).
+    /// Shared with the batched cascade's exact tier — identical floats,
+    /// identical abandon decisions for an identical cutoff.
     ///
     /// [`sq_euclidean_early_abandon`]: crate::dist::sq_euclidean_early_abandon
     #[inline]
-    fn fused_early_abandon(&self, w: &[f64], mu: f64, inv: f64, cutoff: f64) -> Option<f64> {
+    pub(crate) fn fused_early_abandon(
+        &self,
+        w: &[f64],
+        mu: f64,
+        inv: f64,
+        cutoff: f64,
+    ) -> Option<f64> {
         let n = self.zp_ord.len();
         let mut acc = 0.0;
         let mut i = 0;

@@ -7,7 +7,7 @@
 //!         [--checkpoint PATH]              # resume parameter search
 //!         [--budget-evals N]               # stop after N fresh evals
 //!         [--budget-secs S]                # stop after S seconds
-//!         [--kernel rolling|naive]         # closest-match kernel (ablation)
+//!         [--kernel batched|rolling|naive]  # closest-match kernel (ablation)
 //! rpm-cli classify <MODEL> <TEST_FILE>     # prints predictions + error
 //!         [--metrics-addr HOST:PORT]       # serve Prometheus /metrics
 //!         [--metrics-linger SECS]          # keep serving after classify
@@ -180,13 +180,17 @@ fn report_quarantine(path: &str, q: &Quarantine) {
     eprintln!("warning: {path}: {}", q.summary());
 }
 
-/// `--kernel rolling|naive` (default rolling). The naive kernel exists
-/// for ablation runs and cross-checking the optimized search.
+/// `--kernel batched|rolling|naive` (default batched). The rolling and
+/// naive kernels exist for ablation runs and cross-checking the batched
+/// pattern-set cascade; all three produce bit-identical distances.
 fn parse_kernel(args: &[String]) -> Result<MatchKernel, String> {
     match flag_value(args, "--kernel")?.as_deref() {
-        None | Some("rolling") => Ok(MatchKernel::Rolling),
+        None | Some("batched") => Ok(MatchKernel::Batched),
+        Some("rolling") => Ok(MatchKernel::Rolling),
         Some("naive") => Ok(MatchKernel::Naive),
-        Some(other) => Err(format!("--kernel {other:?}: expected rolling or naive")),
+        Some(other) => Err(format!(
+            "--kernel {other:?}: expected batched, rolling, or naive"
+        )),
     }
 }
 
@@ -867,8 +871,12 @@ mod tests {
     }
 
     #[test]
-    fn kernel_flag_parses_both_kernels_and_rejects_junk() {
-        assert_eq!(parse_kernel(&argv(&[])).unwrap(), MatchKernel::Rolling);
+    fn kernel_flag_parses_all_kernels_and_rejects_junk() {
+        assert_eq!(parse_kernel(&argv(&[])).unwrap(), MatchKernel::Batched);
+        assert_eq!(
+            parse_kernel(&argv(&["--kernel", "batched"])).unwrap(),
+            MatchKernel::Batched
+        );
         assert_eq!(
             parse_kernel(&argv(&["--kernel", "rolling"])).unwrap(),
             MatchKernel::Rolling

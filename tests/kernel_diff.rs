@@ -223,3 +223,186 @@ proptest! {
         prop_assert!((eager.distance - full.distance).abs() <= tol);
     }
 }
+
+// --- Batched pattern-set cascade -------------------------------------
+//
+// The batched kernel scans all K patterns of a set through the
+// lower-bound cascade in one pass per series. Its contract is stronger
+// than the rolling/naive tolerance above: because every cascade tier is
+// admissible (proved in `lb_admissibility.rs`) and the exact tier shares
+// the rolling kernel's summation code verbatim, the batched result must
+// be **bit-identical** to the per-pattern rolling scan — position and
+// distance bits — for every pattern in the set.
+
+/// Assert the batched cascade agrees with both per-pattern oracles for
+/// every pattern in `patterns`: bit-identical to rolling, and exact
+/// position + `REL_TOL` distance vs naive.
+fn assert_batched_agrees(patterns: &[Vec<f64>], series: &[f64], early_abandon: bool) {
+    let plans: Vec<MatchPlan> = patterns
+        .iter()
+        .map(|p| MatchPlan::with_kernel(p, MatchKernel::Batched))
+        .collect();
+    let set = rpm::ts::BatchedMatch::new(&plans);
+    let results = set.match_all(series, early_abandon, None);
+    assert_eq!(results.len(), patterns.len());
+    for (k, (pattern, got)) in patterns.iter().zip(&results).enumerate() {
+        let rolling = best_match(pattern, series, early_abandon);
+        match (rolling, got) {
+            (None, None) => {}
+            (Some(r), Some(b)) => {
+                assert_eq!(
+                    b.position, r.position,
+                    "pattern {k}: batched pos {} (d={:.17e}) vs rolling pos {} (d={:.17e})",
+                    b.position, b.distance, r.position, r.distance
+                );
+                assert_eq!(
+                    b.distance.to_bits(),
+                    r.distance.to_bits(),
+                    "pattern {k}: batched distance {:.17e} not bit-identical to rolling {:.17e}",
+                    b.distance,
+                    r.distance
+                );
+                let naive = best_match_naive(pattern, series, early_abandon).unwrap();
+                assert_eq!(
+                    b.position, naive.position,
+                    "pattern {k}: naive argmin diverged"
+                );
+                let tol = REL_TOL * naive.distance.abs().max(1.0);
+                assert!(
+                    (b.distance - naive.distance).abs() <= tol,
+                    "pattern {k}: batched {:.17e} vs naive {:.17e} (tol {:.3e})",
+                    b.distance,
+                    naive.distance,
+                    tol
+                );
+            }
+            (r, b) => panic!("pattern {k}: feasibility diverged: rolling={r:?} batched={b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Multi-pattern sets over random walks: the core batched contract.
+    #[test]
+    fn batched_multi_pattern_set_agrees(
+        patterns in proptest::collection::vec(random_walk(4..48), 2..6),
+        series in random_walk(48..256),
+        early_abandon in coin(),
+    ) {
+        assert_batched_agrees(&patterns, &series, early_abandon);
+    }
+
+    /// A single-pattern set (K = 1) must equal the rolling scan exactly —
+    /// the degenerate batch carries no cross-pattern state.
+    #[test]
+    fn batched_single_pattern_agrees(
+        pattern in random_walk(4..48),
+        series in random_walk(48..192),
+        early_abandon in coin(),
+    ) {
+        assert_batched_agrees(std::slice::from_ref(&pattern), &series, early_abandon);
+    }
+
+    /// Duplicate patterns in one set: every copy must return the same
+    /// bits, and all of them the rolling answer — per-pattern best-so-far
+    /// state must not leak between set members.
+    #[test]
+    fn batched_duplicate_patterns_agree(
+        pattern in random_walk(4..32),
+        copies in 2usize..6,
+        series in random_walk(32..160),
+        early_abandon in coin(),
+    ) {
+        let patterns = vec![pattern; copies];
+        assert_batched_agrees(&patterns, &series, early_abandon);
+    }
+
+    /// K ≫ windows: many patterns nearly as long as the series, so each
+    /// scan has only a handful of candidate positions (including the
+    /// single-window warm-up path) while the set is wide.
+    #[test]
+    fn batched_many_patterns_few_windows(
+        series in random_walk(24..48),
+        seeds in proptest::collection::vec(random_walk(20..48), 8..20),
+        early_abandon in coin(),
+    ) {
+        let patterns: Vec<Vec<f64>> = seeds
+            .into_iter()
+            .map(|s| {
+                let n = s.len().min(series.len());
+                s[..n].to_vec()
+            })
+            .collect();
+        assert_batched_agrees(&patterns, &series, early_abandon);
+    }
+
+    /// Oversized patterns in the set report no match, without disturbing
+    /// their feasible neighbours.
+    #[test]
+    fn batched_oversized_patterns_are_infeasible(
+        series in random_walk(16..48),
+        feasible in random_walk(4..16),
+        extra in random_walk(1..32),
+        early_abandon in coin(),
+    ) {
+        let mut oversized = series.clone();
+        oversized.extend_from_slice(&extra);
+        assert_batched_agrees(&[feasible, oversized], &series, early_abandon);
+    }
+
+    /// The adversarial corpus, batched: constant plateaus (σ = 0 windows
+    /// mid-scan) and ±1e5..1e6 vertical offsets in one series, scanned by
+    /// a mixed-length pattern set.
+    #[test]
+    fn batched_adversarial_series_agrees(
+        patterns in proptest::collection::vec(random_walk(4..32), 2..5),
+        series in random_walk(64..192),
+        start in 0usize..64,
+        run in 8usize..48,
+        level in -50.0f64..50.0,
+        magnitude in 1.0e5f64..1.0e6,
+        negative in coin(),
+        early_abandon in coin(),
+    ) {
+        let mut series = series;
+        let begin = start.min(series.len());
+        let end = (start + run).min(series.len());
+        for v in &mut series[begin..end] {
+            *v = level;
+        }
+        let offset = if negative { -magnitude } else { magnitude };
+        let shifted: Vec<f64> = series.iter().map(|x| x + offset).collect();
+        assert_batched_agrees(&patterns, &series, early_abandon);
+        assert_batched_agrees(&patterns, &shifted, early_abandon);
+    }
+
+    /// Constant (degenerate) patterns inside a batched set take the naive
+    /// fallback — byte-for-byte the naive oracle — while their variable
+    /// neighbours stay bit-identical to rolling.
+    #[test]
+    fn batched_degenerate_members_take_naive_fallback(
+        variable in random_walk(4..24),
+        len in 3usize..24,
+        level in -100.0f64..100.0,
+        series in random_walk(32..128),
+        early_abandon in coin(),
+    ) {
+        let constant = vec![level; len];
+        let plans = vec![
+            MatchPlan::with_kernel(&variable, MatchKernel::Batched),
+            MatchPlan::with_kernel(&constant, MatchKernel::Batched),
+        ];
+        let set = rpm::ts::BatchedMatch::new(&plans);
+        let results = set.match_all(&series, early_abandon, None);
+        let var_rolling = best_match(&variable, &series, early_abandon).unwrap();
+        let var_batched = results[0].unwrap();
+        prop_assert_eq!(var_batched.position, var_rolling.position);
+        prop_assert_eq!(var_batched.distance.to_bits(), var_rolling.distance.to_bits());
+        let const_naive = best_match_naive(&constant, &series, early_abandon).unwrap();
+        let const_batched = results[1].unwrap();
+        prop_assert_eq!(const_batched.position, const_naive.position);
+        prop_assert_eq!(const_batched.distance.to_bits(), const_naive.distance.to_bits());
+    }
+}

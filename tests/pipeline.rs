@@ -158,6 +158,59 @@ fn naive_and_rolling_kernels_train_equivalent_models() {
 }
 
 #[test]
+fn batched_and_rolling_kernels_train_bit_identical_models() {
+    // Stronger than the naive comparison above: the batched cascade's
+    // exact tier shares the rolling kernel's summation code verbatim and
+    // every pruning tier is admissible, so a batched-kernel training run
+    // must select **bit-identical** patterns (values compared with
+    // `assert_eq!`, not a tolerance) and produce identical predictions.
+    use rpm::core::MatchKernel;
+    let train = rpm::data::cbf::generate(10, 128, 71);
+    let test = rpm::data::cbf::generate(30, 128, 72);
+
+    let rolling = RpmClassifier::train(
+        &train,
+        &RpmConfig {
+            kernel: MatchKernel::Rolling,
+            ..quick_config(32)
+        },
+    )
+    .unwrap();
+    let batched = RpmClassifier::train(
+        &train,
+        &RpmConfig {
+            kernel: MatchKernel::Batched,
+            ..quick_config(32)
+        },
+    )
+    .unwrap();
+
+    assert_eq!(rolling.patterns().len(), batched.patterns().len());
+    for (r, b) in rolling.patterns().iter().zip(batched.patterns()) {
+        assert_eq!(r.class, b.class);
+        assert_eq!(r.values, b.values, "pattern values not bit-identical");
+    }
+
+    let preds_rolling = rolling.predict_batch(&test.series);
+    let preds_batched = batched.predict_batch(&test.series);
+    assert_eq!(preds_rolling, preds_batched);
+
+    // The per-series feature rows agree bitwise too, not just the argmax.
+    for s in test.series.iter().take(5) {
+        let row_r = rolling.transform(s);
+        let row_b = batched.transform(s);
+        assert_eq!(row_r.len(), row_b.len());
+        for (a, b) in row_r.iter().zip(&row_b) {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "feature rows diverged: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
 fn training_twice_is_deterministic() {
     let train = rpm::data::ecg::generate(12, 136, 41);
     let test = rpm::data::ecg::generate(10, 136, 42);
